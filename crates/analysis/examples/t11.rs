@@ -1,0 +1,7 @@
+fn main() {
+    let t = mips_analysis::table11::measure();
+    println!("{t}");
+    for c in &t.columns {
+        println!("{}: steps {:?}", c.name, c.step_improvements());
+    }
+}

@@ -1,0 +1,522 @@
+//! Tables 5 and 6: the cost of evaluating boolean expressions under each
+//! architectural support level.
+//!
+//! Everything here is *measured from generated code*, not hand-derived:
+//! for each strategy we compile small programs containing an OR-chain of
+//! `k` comparisons in a store context (`found := …`) and a jump context
+//! (`if … then`), subtract a baseline without the expression, and count
+//! instruction classes — statically, and dynamically averaged over every
+//! truth-value combination of the terms (which is where the paper's
+//! "1.5 branches" style averages come from).
+//!
+//! Costs are weighted with the paper's §2.3.2 numbers: "register
+//! operations take time 1, compares take time 2, and branches take
+//! time 4."
+
+use mips_ccm::{CcInstr, CcMachine, CcPolicy, CcProgram};
+use mips_hll::{
+    compile_cc, compile_mips, CcBoolStrategy, CcGenOptions, CodegenOptions,
+};
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::Machine;
+use mips_core::Instr;
+use std::fmt;
+
+/// Instruction-class counts (floating to allow dynamic averages).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Classes {
+    /// Compares (MIPS *Set Conditionally*, CC `cmp`).
+    pub compares: f64,
+    /// Register operations, moves, loads/stores, conditional sets.
+    pub reg_ops: f64,
+    /// Branches (including MIPS compare-and-branch).
+    pub branches: f64,
+}
+
+impl Classes {
+    /// Weighted cost (1 / 2 / 4).
+    pub fn weighted(&self) -> f64 {
+        self.reg_ops + 2.0 * self.compares + 4.0 * self.branches
+    }
+
+    fn sub(self, o: Classes) -> Classes {
+        Classes {
+            compares: self.compares - o.compares,
+            reg_ops: self.reg_ops - o.reg_ops,
+            branches: self.branches - o.branches,
+        }
+    }
+
+    fn scale(self, k: f64) -> Classes {
+        Classes {
+            compares: self.compares * k,
+            reg_ops: self.reg_ops * k,
+            branches: self.branches * k,
+        }
+    }
+
+    fn add(self, o: Classes) -> Classes {
+        Classes {
+            compares: self.compares + o.compares,
+            reg_ops: self.reg_ops + o.reg_ops,
+            branches: self.branches + o.branches,
+        }
+    }
+}
+
+impl fmt::Display for Classes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}/{:.1}/{:.1}",
+            self.compares, self.reg_ops, self.branches
+        )
+    }
+}
+
+/// The strategies compared (Table 5's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// MIPS: *Set Conditionally*, no condition code.
+    SetCond,
+    /// CC machine with a conditional-set instruction.
+    CcCondSet,
+    /// CC machine, branches only, full evaluation.
+    CcFullEval,
+    /// CC machine, branches only, early-out.
+    CcEarlyOut,
+}
+
+impl Strategy {
+    /// All strategies in the paper's row order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::SetCond,
+        Strategy::CcCondSet,
+        Strategy::CcFullEval,
+        Strategy::CcEarlyOut,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::SetCond => "Set Conditionally (MIPS, no CC)",
+            Strategy::CcCondSet => "CC + conditional set",
+            Strategy::CcFullEval => "CC, branch only, full evaluation",
+            Strategy::CcEarlyOut => "CC, branch only, early-out",
+        }
+    }
+
+    /// Paper Table 5 triples (compare/register/branch), static.
+    pub fn paper_static(self) -> (f64, f64, f64) {
+        match self {
+            Strategy::SetCond => (2.0, 1.0, 0.0),
+            Strategy::CcCondSet => (2.0, 3.0, 0.0),
+            Strategy::CcFullEval => (2.0, 2.0, 2.0),
+            Strategy::CcEarlyOut => (2.0, 0.0, 2.0),
+        }
+    }
+
+    /// Paper Table 5 triples, dynamic.
+    pub fn paper_dynamic(self) -> (f64, f64, f64) {
+        match self {
+            Strategy::CcEarlyOut => (2.0, 0.0, 1.5),
+            other => other.paper_static(),
+        }
+    }
+}
+
+/// Builds the test program: `k+1` integer globals, an OR-chain of `k+1`
+/// comparisons (`k` operators), in the requested context. `truth`
+/// selects which terms evaluate true (bit per term). `with_expr` = false
+/// gives the baseline program.
+fn test_source(terms: usize, truth: usize, store_ctx: bool, with_expr: bool) -> String {
+    use std::fmt::Write as _;
+    let mut vars = String::new();
+    let mut inits = String::new();
+    for t in 0..terms {
+        let _ = write!(vars, "v{t}, ");
+        let val = if truth & (1 << t) != 0 { t + 1 } else { 0 };
+        let _ = writeln!(inits, "  v{t} := {val};");
+    }
+    let expr = (0..terms)
+        .map(|t| format!("(v{t} = {})", t + 1))
+        .collect::<Vec<_>>()
+        .join(" or ");
+    let body = if !with_expr {
+        String::new()
+    } else if store_ctx {
+        format!("  found := {expr};\n")
+    } else {
+        format!("  if {expr} then x := 1;\n")
+    };
+    format!(
+        "program t;\nvar {vars}x: integer; found: boolean;\nbegin\n{inits}{body}end.\n"
+    )
+}
+
+/// Classifies an instruction into the paper's Compare/Register/Branch
+/// accounting. Memory traffic is *excluded*: the paper's baseline
+/// machines take memory operands directly (`cmp Rec,Key`), so loads and
+/// stores are not part of the per-operator counts.
+fn classify_mips(i: &Instr) -> Classes {
+    let mut c = Classes::default();
+    match i {
+        Instr::SetCond(_) => c.compares = 1.0,
+        Instr::CmpBranch(_) | Instr::Jump(_) | Instr::Call(_) | Instr::JumpInd(_) => {
+            c.branches = 1.0
+        }
+        Instr::Trap(_) | Instr::Halt => {}
+        Instr::Op { mem: Some(_), .. } => {}
+        Instr::Op { alu: None, mem: None } => {}
+        _ => c.reg_ops = 1.0,
+    }
+    c
+}
+
+fn classify_cc(i: &CcInstr) -> Classes {
+    let mut c = Classes::default();
+    match i {
+        CcInstr::Compare { .. } => c.compares = 1.0,
+        CcInstr::CondBranch { .. } | CcInstr::Branch { .. } | CcInstr::Call { .. }
+        | CcInstr::Ret => c.branches = 1.0,
+        CcInstr::Halt | CcInstr::PutC | CcInstr::PutInt => {}
+        // Memory traffic excluded (memory-operand machines).
+        CcInstr::Load { .. } | CcInstr::Store { .. } | CcInstr::Push { .. }
+        | CcInstr::Pop { .. } => {}
+        _ => c.reg_ops = 1.0,
+    }
+    c
+}
+
+/// Static + dynamic class counts of a whole MIPS program.
+fn mips_counts(src: &str) -> (Classes, Classes) {
+    let lc = compile_mips(src, &CodegenOptions::standard()).expect("compiles");
+    let out = reorganize(&lc, ReorgOptions::SCHEDULE).expect("reorganizes");
+    let mut stat = Classes::default();
+    for i in out.program.instrs() {
+        stat = stat.add(classify_mips(i));
+    }
+    let mut m = Machine::new(out.program);
+    let mut dynamic = Classes::default();
+    while let Some(&i) = m.program().fetch(m.pc()) {
+        dynamic = dynamic.add(classify_mips(&i));
+        if !m.step().expect("runs") {
+            break;
+        }
+    }
+    (stat, dynamic)
+}
+
+/// Static + dynamic class counts of a whole CC program.
+fn cc_counts(src: &str, strategy: CcBoolStrategy, policy: CcPolicy) -> (Classes, Classes) {
+    let p: CcProgram = compile_cc(src, &CcGenOptions { strategy }).expect("compiles");
+    let mut stat = Classes::default();
+    for i in p.instrs() {
+        stat = stat.add(classify_cc(i));
+    }
+    let mut m = CcMachine::new(p, policy);
+    let mut dynamic = Classes::default();
+    while let Some(&i) = m.program().instrs().get(m.pc() as usize) {
+        dynamic = dynamic.add(classify_cc(&i));
+        match m.step() {
+            Ok(true) => {}
+            _ => break,
+        }
+    }
+    (stat, dynamic)
+}
+
+/// Measured costs of one strategy in one context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContextCost {
+    /// Static class counts attributable to the expression.
+    pub static_classes: Classes,
+    /// Dynamic class counts averaged over all truth combinations.
+    pub dynamic_classes: Classes,
+}
+
+/// Measures (static, dynamic-averaged) expression costs for `k` operator
+/// terms in the given context.
+pub fn measure(strategy: Strategy, operators: usize, store_ctx: bool) -> ContextCost {
+    let terms = operators + 1;
+    let counts = |src: &str| -> (Classes, Classes) {
+        match strategy {
+            Strategy::SetCond => mips_counts(src),
+            Strategy::CcCondSet => cc_counts(src, CcBoolStrategy::CondSet, CcPolicy::M68000),
+            Strategy::CcFullEval => cc_counts(src, CcBoolStrategy::FullEval, CcPolicy::VAX),
+            Strategy::CcEarlyOut => cc_counts(src, CcBoolStrategy::EarlyOut, CcPolicy::VAX),
+        }
+    };
+    // Static: any truth combo (static code identical).
+    let (with_stat, _) = counts(&test_source(terms, 0, store_ctx, true));
+    let (base_stat, _) = counts(&test_source(terms, 0, store_ctx, false));
+    let static_classes = with_stat.sub(base_stat);
+
+    // Dynamic: average over all truth combinations.
+    let combos = 1usize << terms;
+    let mut acc = Classes::default();
+    for truth in 0..combos {
+        let (_, with_dyn) = counts(&test_source(terms, truth, store_ctx, true));
+        let (_, base_dyn) = counts(&test_source(terms, truth, store_ctx, false));
+        acc = acc.add(with_dyn.sub(base_dyn));
+    }
+    ContextCost {
+        static_classes,
+        dynamic_classes: acc.scale(1.0 / combos as f64),
+    }
+}
+
+/// One Table 5 row: per-single-operator expression costs.
+#[derive(Debug, Clone, Copy)]
+pub struct Table5Row {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Measured single-operator expression classes (store context,
+    /// evaluation only), static.
+    pub measured_static: Classes,
+    /// Same, dynamic.
+    pub measured_dynamic: Classes,
+}
+
+/// Table 5.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// Rows in paper order.
+    pub rows: Vec<Table5Row>,
+}
+
+/// Computes Table 5 (the canonical one-operator expression).
+pub fn table5() -> Table5 {
+    let rows = Strategy::ALL
+        .iter()
+        .map(|&s| {
+            let c = measure(s, 1, true);
+            Table5Row {
+                strategy: s,
+                measured_static: c.static_classes,
+                measured_dynamic: c.dynamic_classes,
+            }
+        })
+        .collect();
+    Table5 { rows }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 5: Compare/Register/Branch operations per boolean operator"
+        )?;
+        writeln!(
+            f,
+            "{:<36} {:>14} {:>14} {:>12} {:>12}",
+            "strategy", "measured stat", "measured dyn", "paper stat", "paper dyn"
+        )?;
+        for r in &self.rows {
+            let (ps1, ps2, ps3) = r.strategy.paper_static();
+            let (pd1, pd2, pd3) = r.strategy.paper_dynamic();
+            writeln!(
+                f,
+                "{:<36} {:>14} {:>14} {:>12} {:>12}",
+                r.strategy.name(),
+                r.measured_static.to_string(),
+                r.measured_dynamic.to_string(),
+                format!("{ps1}/{ps2}/{ps3}"),
+                format!("{pd1}/{pd2}/{pd3}"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Paper Table 6 values (weighted costs; Full / Early-out columns).
+pub const PAPER_TABLE6: [(&str, f64, f64); 9] = [
+    ("Store: set conditionally/no CC", 9.3, 9.3),
+    ("Store: CC/conditional set", 14.9, 14.9),
+    ("Store: CC with only branch", 27.9, 20.5),
+    ("Jump: set conditionally/no CC", 13.3, 13.3),
+    ("Jump: CC/conditional set", 18.9, 18.9),
+    ("Jump: CC with only branch", 26.9, 19.5),
+    ("Total: set conditionally/no CC", 12.5, 12.5),
+    ("Total: CC/conditional set", 18.0, 18.0),
+    ("Total: CC with only branch", 26.9, 19.7),
+];
+
+/// One Table 6 strategy summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Table6Row {
+    /// Strategy.
+    pub strategy: Strategy,
+    /// Weighted cost in store context (interpolated to the corpus's
+    /// average operator count).
+    pub store: f64,
+    /// Weighted cost in jump context.
+    pub jump: f64,
+    /// Context-mix weighted total.
+    pub total: f64,
+}
+
+/// Table 6.
+#[derive(Debug, Clone)]
+pub struct Table6 {
+    /// Rows.
+    pub rows: Vec<Table6Row>,
+    /// The operator average used (from Table 4).
+    pub avg_operators: f64,
+    /// Jump-context weight used (from Table 4).
+    pub jump_fraction: f64,
+    /// Improvement of conditional-set over branch-only CC (vs full /
+    /// vs early-out), percent. Paper: 33.0% / 8.6%.
+    pub improvement_condset_pct: (f64, f64),
+    /// Improvement of MIPS set-conditionally over branch-only CC
+    /// (vs full / vs early-out), percent. Paper: 53.5% / 36.5%.
+    pub improvement_setcond_pct: (f64, f64),
+}
+
+/// Computes Table 6 from measured strategy costs and the corpus's
+/// Table 4 statistics.
+pub fn table6(avg_operators: f64, jump_fraction: f64) -> Table6 {
+    let interp = |s: Strategy, store: bool| -> f64 {
+        let c1 = measure(s, 1, store).dynamic_classes.weighted();
+        let c2 = measure(s, 2, store).dynamic_classes.weighted();
+        c1 + (avg_operators - 1.0) * (c2 - c1)
+    };
+    let rows: Vec<Table6Row> = Strategy::ALL
+        .iter()
+        .map(|&s| {
+            let store = interp(s, true);
+            let jump = interp(s, false);
+            Table6Row {
+                strategy: s,
+                store,
+                jump,
+                total: jump_fraction * jump + (1.0 - jump_fraction) * store,
+            }
+        })
+        .collect();
+    let total_of = |s: Strategy| rows.iter().find(|r| r.strategy == s).unwrap().total;
+    let full = total_of(Strategy::CcFullEval);
+    let early = total_of(Strategy::CcEarlyOut);
+    let imp = |mine: f64| (100.0 * (full - mine) / full, 100.0 * (early - mine) / early);
+    Table6 {
+        improvement_condset_pct: imp(total_of(Strategy::CcCondSet)),
+        improvement_setcond_pct: imp(total_of(Strategy::SetCond)),
+        rows,
+        avg_operators,
+        jump_fraction,
+    }
+}
+
+impl fmt::Display for Table6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 6: Weighted cost of evaluating boolean expressions (weights 1/2/4)"
+        )?;
+        writeln!(
+            f,
+            "  (operator average {:.2}, {:.1}% jump context)",
+            self.avg_operators,
+            100.0 * self.jump_fraction
+        )?;
+        writeln!(
+            f,
+            "{:<36} {:>8} {:>8} {:>8}",
+            "strategy", "store", "jump", "total"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<36} {:>8.1} {:>8.1} {:>8.1}",
+                r.strategy.name(),
+                r.store,
+                r.jump,
+                r.total
+            )?;
+        }
+        writeln!(
+            f,
+            "  improvement, conditional set vs branch-only CC: {:.1}% full / {:.1}% early-out (paper 33.0% / 8.6%)",
+            self.improvement_condset_pct.0, self.improvement_condset_pct.1
+        )?;
+        writeln!(
+            f,
+            "  improvement, MIPS set-conditionally vs CC:      {:.1}% full / {:.1}% early-out (paper 53.5% / 36.5%)",
+            self.improvement_setcond_pct.0, self.improvement_setcond_pct.1
+        )?;
+        writeln!(f, "  paper reference values:")?;
+        for (name, full, early) in PAPER_TABLE6 {
+            writeln!(f, "    {name:<36} full {full:>5}  early-out {early:>5}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_matches_paper_exactly_for_branchless_strategies() {
+        let t5 = table5();
+        let row = |s: Strategy| {
+            t5.rows
+                .iter()
+                .find(|r| r.strategy == s)
+                .copied()
+                .unwrap()
+        };
+        // MIPS set-conditionally: 2 compares, 1 register op, 0 branches
+        // (the paper's Figure 3 / Table 5 row), static and dynamic.
+        let m = row(Strategy::SetCond);
+        assert_eq!(
+            (m.measured_static.compares, m.measured_static.reg_ops, m.measured_static.branches),
+            (2.0, 1.0, 0.0),
+            "{t5}"
+        );
+        assert_eq!(m.measured_dynamic.branches, 0.0);
+        // CC + conditional set: 2/3/0 (Figure 2).
+        let c = row(Strategy::CcCondSet);
+        assert_eq!(
+            (c.measured_static.compares, c.measured_static.reg_ops, c.measured_static.branches),
+            (2.0, 3.0, 0.0),
+            "{t5}"
+        );
+        // Branch-only strategies really branch.
+        assert!(row(Strategy::CcFullEval).measured_static.branches >= 2.0);
+        assert!(row(Strategy::CcEarlyOut).measured_static.branches >= 2.0);
+        // Early-out executes fewer branches than it contains.
+        let e = row(Strategy::CcEarlyOut);
+        assert!(e.measured_dynamic.branches < e.measured_static.branches);
+    }
+
+    #[test]
+    fn table6_mips_wins() {
+        let t6 = table6(1.66, 0.809);
+        let total = |s: Strategy| t6.rows.iter().find(|r| r.strategy == s).unwrap().total;
+        // The paper's headline: set-conditionally beats every CC scheme.
+        for s in [Strategy::CcCondSet, Strategy::CcFullEval, Strategy::CcEarlyOut] {
+            assert!(
+                total(Strategy::SetCond) < total(s),
+                "MIPS must win: {t6}"
+            );
+        }
+        // Conditional set beats full evaluation (paper: 33.0%).
+        assert!(t6.improvement_condset_pct.0 > 0.0, "{t6}");
+        // And the set-conditionally improvements are in the paper's band.
+        assert!(
+            t6.improvement_setcond_pct.1 > 15.0,
+            "early-out improvement too small: {t6}"
+        );
+    }
+
+    #[test]
+    fn weighted_costs_use_paper_weights() {
+        let c = Classes {
+            compares: 1.0,
+            reg_ops: 1.0,
+            branches: 1.0,
+        };
+        assert_eq!(c.weighted(), 7.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Table 4: boolean-expression statistics.
+//!
+//! "Average operators/boolean expression 1.66; boolean expressions ending
+//! in jumps 80.9%; boolean expressions ending in stores 19.1%."
+//!
+//! A *boolean expression* here is a maximal boolean-operator tree at a
+//! statement use site: a conditional context (if/while/until — "ending in
+//! a jump") or a value context (assignment of a boolean — "ending in a
+//! store"). Operators are the `and`/`or` connectives.
+
+use crate::util::pct;
+use mips_hll::hir::*;
+use std::fmt;
+
+/// Paper values.
+pub const PAPER_OPERATORS_PER_EXPR: f64 = 1.66;
+/// See [`PAPER_OPERATORS_PER_EXPR`].
+pub const PAPER_JUMP_PCT: f64 = 80.9;
+/// See [`PAPER_OPERATORS_PER_EXPR`].
+pub const PAPER_STORE_PCT: f64 = 19.1;
+
+/// Aggregated boolean-expression statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BoolStats {
+    /// Boolean expressions in jump (conditional) context.
+    pub jumps: u64,
+    /// Boolean expressions in store (assignment) context.
+    pub stores: u64,
+    /// Total `and`/`or` operators across all of them.
+    pub operators: u64,
+    /// Expressions containing at least one operator.
+    pub with_operators: u64,
+    /// Operators in those expressions only.
+    pub operators_in_compound: u64,
+}
+
+impl BoolStats {
+    /// Total boolean expressions.
+    pub fn total(&self) -> u64 {
+        self.jumps + self.stores
+    }
+
+    /// Average operators per boolean expression, among expressions that
+    /// contain operators (the paper's compound expressions).
+    pub fn operators_per_compound(&self) -> f64 {
+        if self.with_operators == 0 {
+            0.0
+        } else {
+            self.operators_in_compound as f64 / self.with_operators as f64
+        }
+    }
+
+    /// Percent ending in jumps.
+    pub fn jump_pct(&self) -> f64 {
+        pct(self.jumps, self.total())
+    }
+
+    /// Percent ending in stores.
+    pub fn store_pct(&self) -> f64 {
+        pct(self.stores, self.total())
+    }
+
+    /// Merge.
+    pub fn merge(&mut self, o: &BoolStats) {
+        self.jumps += o.jumps;
+        self.stores += o.stores;
+        self.operators += o.operators;
+        self.with_operators += o.with_operators;
+        self.operators_in_compound += o.operators_in_compound;
+    }
+}
+
+impl fmt::Display for BoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 4: Boolean expressions")?;
+        writeln!(
+            f,
+            "  operators/compound expression  {:>6.2}   (paper {PAPER_OPERATORS_PER_EXPR})",
+            self.operators_per_compound()
+        )?;
+        writeln!(
+            f,
+            "  ending in jumps                {:>5.1}%   (paper {PAPER_JUMP_PCT}%)",
+            self.jump_pct()
+        )?;
+        writeln!(
+            f,
+            "  ending in stores               {:>5.1}%   (paper {PAPER_STORE_PCT}%)",
+            self.store_pct()
+        )?;
+        writeln!(
+            f,
+            "  total expressions {} (jumps {}, stores {})",
+            self.total(),
+            self.jumps,
+            self.stores
+        )
+    }
+}
+
+/// Counts `and`/`or` operators in a boolean tree.
+fn count_ops(e: &HExpr) -> u64 {
+    match e {
+        HExpr::BoolBin { a, b, .. } => 1 + count_ops(a) + count_ops(b),
+        HExpr::Not(a) => count_ops(a),
+        _ => 0,
+    }
+}
+
+/// Records one boolean-expression use site.
+fn record(stats: &mut BoolStats, e: &HExpr, jump: bool) {
+    if jump {
+        stats.jumps += 1;
+    } else {
+        stats.stores += 1;
+    }
+    let ops = count_ops(e);
+    stats.operators += ops;
+    if ops > 0 {
+        stats.with_operators += 1;
+        stats.operators_in_compound += ops;
+    }
+}
+
+/// Analyzes one program.
+pub fn analyze(prog: &HProgram) -> BoolStats {
+    let mut stats = BoolStats::default();
+    fn stmt(s: &HStmt, stats: &mut BoolStats) {
+        match s {
+            HStmt::Assign(lv, e)
+                if lv.ty == Ty::Bool => {
+                    record(stats, e, false);
+                }
+            HStmt::SetResult(e)
+                if e.ty() == Ty::Bool => {
+                    record(stats, e, false);
+                }
+            HStmt::If { cond, then, els } => {
+                record(stats, cond, true);
+                for s in then.iter().chain(els) {
+                    stmt(s, stats);
+                }
+            }
+            HStmt::While { cond, body } => {
+                record(stats, cond, true);
+                for s in body {
+                    stmt(s, stats);
+                }
+            }
+            HStmt::Repeat { body, cond } => {
+                record(stats, cond, true);
+                for s in body {
+                    stmt(s, stats);
+                }
+            }
+            HStmt::For { body, .. } => {
+                for s in body {
+                    stmt(s, stats);
+                }
+            }
+            HStmt::Block(ss) => {
+                for s in ss {
+                    stmt(s, stats);
+                }
+            }
+            HStmt::Case { arms, default, .. } => {
+                for (_, body) in arms {
+                    for s in body {
+                        stmt(s, stats);
+                    }
+                }
+                for s in default {
+                    stmt(s, stats);
+                }
+            }
+            _ => {}
+        }
+    }
+    for r in &prog.routines {
+        for s in &r.body {
+            stmt(s, &mut stats);
+        }
+    }
+    stats
+}
+
+/// Analyzes the whole corpus.
+pub fn analyze_corpus() -> BoolStats {
+    let mut stats = BoolStats::default();
+    for (_, prog) in crate::util::corpus_hirs() {
+        stats.merge(&analyze(&prog));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_contexts() {
+        let prog = mips_hll::front_end(
+            "program t; var b: boolean; x: integer;
+             begin
+               b := (x = 1) or (x = 2);
+               if (x > 0) and b then x := 1;
+               while x < 3 do x := x + 1
+             end.",
+        )
+        .unwrap();
+        let s = analyze(&prog);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.jumps, 2);
+        assert_eq!(s.operators, 2);
+        assert_eq!(s.with_operators, 2);
+        assert_eq!(s.operators_per_compound(), 1.0);
+    }
+
+    #[test]
+    fn corpus_shape_matches_paper() {
+        let s = analyze_corpus();
+        assert!(s.total() > 40, "corpus boolean-rich: {s:?}");
+        // Jumps dominate stores, as in the paper.
+        assert!(
+            s.jump_pct() > 60.0,
+            "jumps should dominate: {:.1}%",
+            s.jump_pct()
+        );
+        assert!(s.store_pct() > 2.0, "stores must occur: {s:?}");
+        let avg = s.operators_per_compound();
+        assert!(
+            (1.0..=3.0).contains(&avg),
+            "compound operator average {avg:.2} out of band"
+        );
+    }
+}

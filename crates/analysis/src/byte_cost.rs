@@ -1,0 +1,330 @@
+//! Tables 9 and 10: the cost of byte operations and the byte- vs
+//! word-addressing comparison.
+//!
+//! Table 9's cycle costs are measured by compiling micro-statements for
+//! each access kind on both machine targets and counting the *executed
+//! cycles* attributable to the access (naive schedule, so load-delay
+//! no-ops are charged, exactly as a cycle count should). The
+//! byte-addressed machine's costs are then inflated by the paper's
+//! estimated memory-interface overhead ("from 15% to 20% additional
+//! overhead to the critical path").
+//!
+//! Table 10 composes those costs with the measured reference frequencies
+//! of Tables 7/8 to produce the headline: word addressing wins.
+
+use crate::refs::RefPattern;
+use mips_hll::{compile_mips, CodegenOptions, MachineTarget};
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::{Machine, MachineConfig};
+use std::fmt;
+
+/// The paper's byte-interface overhead band.
+pub const OVERHEAD_LOW: f64 = 1.15;
+/// See [`OVERHEAD_LOW`].
+pub const OVERHEAD_HIGH: f64 = 1.20;
+
+/// The access kinds of Table 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load a word element from an array.
+    LoadWordArray,
+    /// Store a word element into an array.
+    StoreWordArray,
+    /// Load a byte (packed char) element.
+    LoadByte,
+    /// Store a byte element.
+    StoreByte,
+    /// Load a scalar word.
+    LoadWord,
+    /// Store a scalar word.
+    StoreWord,
+}
+
+impl AccessKind {
+    /// All kinds in the paper's row order.
+    pub const ALL: [AccessKind; 6] = [
+        AccessKind::LoadWordArray,
+        AccessKind::StoreWordArray,
+        AccessKind::LoadByte,
+        AccessKind::StoreByte,
+        AccessKind::LoadWord,
+        AccessKind::StoreWord,
+    ];
+
+    /// Row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessKind::LoadWordArray => "load from array",
+            AccessKind::StoreWordArray => "store into array",
+            AccessKind::LoadByte => "load byte",
+            AccessKind::StoreByte => "store byte",
+            AccessKind::LoadWord => "load word",
+            AccessKind::StoreWord => "store word",
+        }
+    }
+
+    /// Paper values: (byte machine, byte machine + overhead, word MIPS)
+    /// as strings (some are ranges).
+    pub fn paper(self) -> (&'static str, &'static str, &'static str) {
+        match self {
+            AccessKind::LoadWordArray => ("4", "4.6", "6"),
+            AccessKind::StoreWordArray => ("4", "4.6", "8-12"),
+            AccessKind::LoadByte => ("6", "6.9", "8"),
+            AccessKind::StoreByte => ("6", "6.9", "10-18"),
+            AccessKind::LoadWord => ("4", "4.6", "4"),
+            AccessKind::StoreWord => ("4", "4.6", "4"),
+        }
+    }
+
+    /// The micro-statement exercising this access (inside a fixed harness
+    /// program).
+    fn statement(self) -> &'static str {
+        match self {
+            AccessKind::LoadWordArray => "x := a[i]",
+            AccessKind::StoreWordArray => "a[i] := x",
+            AccessKind::LoadByte => "c := s[i]",
+            AccessKind::StoreByte => "s[i] := c",
+            AccessKind::LoadWord => "x := y",
+            AccessKind::StoreWord => "y := x",
+        }
+    }
+}
+
+fn harness(stmt: Option<&str>) -> String {
+    let body = stmt.map(|s| format!("  {s};\n")).unwrap_or_default();
+    format!(
+        "program t;\n\
+         var a: array [0..63] of integer;\n\
+             s: packed array [0..63] of char;\n\
+             x, y, i: integer; c: char;\n\
+         begin\n  i := 3;\n{body}end.\n"
+    )
+}
+
+/// Executed cycles of one micro-statement on a target (naive schedule,
+/// delay no-ops included).
+pub fn measure_cycles(kind: AccessKind, target: MachineTarget) -> f64 {
+    let cg = CodegenOptions {
+        target,
+        promote_locals: 0,
+        ..CodegenOptions::standard()
+    };
+    let run = |src: &str| -> u64 {
+        let lc = compile_mips(src, &cg).expect("compiles");
+        let out = reorganize(&lc, ReorgOptions::NONE).expect("reorganizes");
+        let cfg = MachineConfig {
+            byte_addressed: target == MachineTarget::Byte,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::with_config(out.program, cfg);
+        m.run().expect("runs");
+        m.profile().instructions
+    };
+    let with = run(&harness(Some(kind.statement())));
+    let without = run(&harness(None));
+    (with - without) as f64
+}
+
+/// Table 9: measured cycle costs per access kind.
+#[derive(Debug, Clone)]
+pub struct Table9 {
+    /// (kind, byte-machine cycles, word-machine cycles).
+    pub rows: Vec<(AccessKind, f64, f64)>,
+}
+
+/// Measures Table 9.
+pub fn table9() -> Table9 {
+    let rows = AccessKind::ALL
+        .iter()
+        .map(|&k| {
+            (
+                k,
+                measure_cycles(k, MachineTarget::Byte),
+                measure_cycles(k, MachineTarget::Word),
+            )
+        })
+        .collect();
+    Table9 { rows }
+}
+
+impl Table9 {
+    /// Measured cost on the byte machine including interface overhead.
+    pub fn byte_with_overhead(&self, kind: AccessKind, overhead: f64) -> f64 {
+        self.cost(kind, MachineTarget::Byte) * overhead
+    }
+
+    /// Raw measured cost.
+    pub fn cost(&self, kind: AccessKind, target: MachineTarget) -> f64 {
+        let row = self.rows.iter().find(|(k, _, _)| *k == kind).unwrap();
+        match target {
+            MachineTarget::Byte => row.1,
+            MachineTarget::Word => row.2,
+        }
+    }
+}
+
+impl fmt::Display for Table9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 9: Cost of various byte operations (cycles)")?;
+        writeln!(
+            f,
+            "{:<18} {:>10} {:>12} {:>10}   (paper: byte / byte+ovh / MIPS)",
+            "operation", "byte mach", "byte +15%", "word MIPS"
+        )?;
+        for &(k, b, w) in &self.rows {
+            let (p1, p2, p3) = k.paper();
+            writeln!(
+                f,
+                "{:<18} {:>10.1} {:>12.2} {:>10.1}   ({p1} / {p2} / {p3})",
+                k.name(),
+                b,
+                b * OVERHEAD_LOW,
+                w
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Table 10: the composed comparison.
+#[derive(Debug, Clone)]
+pub struct Table10 {
+    /// Weighted cost per reference on the word-addressed machine,
+    /// word-allocated mix.
+    pub word_mix_on_word: f64,
+    /// Same mix on the byte-addressed machine (overhead low..high).
+    pub word_mix_on_byte: (f64, f64),
+    /// Byte-allocated mix on the word machine.
+    pub byte_mix_on_word: f64,
+    /// Byte-allocated mix on the byte machine (overhead low..high).
+    pub byte_mix_on_byte: (f64, f64),
+}
+
+impl Table10 {
+    /// Byte-addressing penalty for the word-allocated mix, percent
+    /// (low..high). Paper: 9% – 11.8%.
+    pub fn penalty_word_alloc(&self) -> (f64, f64) {
+        (
+            100.0 * (self.word_mix_on_byte.0 - self.word_mix_on_word) / self.word_mix_on_word,
+            100.0 * (self.word_mix_on_byte.1 - self.word_mix_on_word) / self.word_mix_on_word,
+        )
+    }
+
+    /// Byte-addressing penalty for the byte-allocated mix, percent.
+    /// Paper: 7.7% – 14.6%.
+    pub fn penalty_byte_alloc(&self) -> (f64, f64) {
+        (
+            100.0 * (self.byte_mix_on_byte.0 - self.byte_mix_on_word) / self.byte_mix_on_word,
+            100.0 * (self.byte_mix_on_byte.1 - self.byte_mix_on_word) / self.byte_mix_on_word,
+        )
+    }
+}
+
+/// Composes Table 10 from Table 9 costs and measured reference mixes.
+pub fn table10(t9: &Table9, word_mix: &RefPattern, byte_mix: &RefPattern) -> Table10 {
+    // Class fractions: [byte loads, word loads, byte stores, word stores].
+    let frac = |p: &RefPattern| -> [f64; 4] {
+        let m = p.percentages();
+        [m[2] / 100.0, m[3] / 100.0, m[4] / 100.0, m[5] / 100.0]
+    };
+    let cost_mix = |fr: [f64; 4], target: MachineTarget, oh: f64| -> f64 {
+        let c = |k: AccessKind| t9.cost(k, target) * oh;
+        fr[0] * c(AccessKind::LoadByte)
+            + fr[1] * c(AccessKind::LoadWordArray)
+            + fr[2] * c(AccessKind::StoreByte)
+            + fr[3] * c(AccessKind::StoreWordArray)
+    };
+    let wm = frac(word_mix);
+    let bm = frac(byte_mix);
+    Table10 {
+        word_mix_on_word: cost_mix(wm, MachineTarget::Word, 1.0),
+        word_mix_on_byte: (
+            cost_mix(wm, MachineTarget::Byte, OVERHEAD_LOW),
+            cost_mix(wm, MachineTarget::Byte, OVERHEAD_HIGH),
+        ),
+        byte_mix_on_word: cost_mix(bm, MachineTarget::Word, 1.0),
+        byte_mix_on_byte: (
+            cost_mix(bm, MachineTarget::Byte, OVERHEAD_LOW),
+            cost_mix(bm, MachineTarget::Byte, OVERHEAD_HIGH),
+        ),
+    }
+}
+
+impl fmt::Display for Table10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 10: Cost of byte- and word-addressed architectures")?;
+        writeln!(
+            f,
+            "  word-allocated mix: word machine {:.3} vs byte machine {:.3}-{:.3} cycles/ref",
+            self.word_mix_on_word, self.word_mix_on_byte.0, self.word_mix_on_byte.1
+        )?;
+        writeln!(
+            f,
+            "  byte-allocated mix: word machine {:.3} vs byte machine {:.3}-{:.3} cycles/ref",
+            self.byte_mix_on_word, self.byte_mix_on_byte.0, self.byte_mix_on_byte.1
+        )?;
+        let (wl, wh) = self.penalty_word_alloc();
+        let (bl, bh) = self.penalty_byte_alloc();
+        writeln!(
+            f,
+            "  byte-addressing penalty, word-allocated: {wl:.1}% - {wh:.1}%  (paper 9% - 11.8%)"
+        )?;
+        writeln!(
+            f,
+            "  byte-addressing penalty, byte-allocated: {bl:.1}% - {bh:.1}%  (paper 7.7% - 14.6%)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refs;
+
+    #[test]
+    fn byte_ops_cost_more_on_word_machine() {
+        let t9 = table9();
+        // On the word machine, byte accesses synthesize via xc/ic: more
+        // expensive than on the byte machine.
+        assert!(
+            t9.cost(AccessKind::LoadByte, MachineTarget::Word)
+                > t9.cost(AccessKind::LoadByte, MachineTarget::Byte),
+            "{t9}"
+        );
+        assert!(
+            t9.cost(AccessKind::StoreByte, MachineTarget::Word)
+                > t9.cost(AccessKind::StoreByte, MachineTarget::Byte),
+            "{t9}"
+        );
+        // Word scalars cost the same number of instructions on both.
+        assert_eq!(
+            t9.cost(AccessKind::LoadWord, MachineTarget::Word),
+            t9.cost(AccessKind::LoadWord, MachineTarget::Byte),
+            "{t9}"
+        );
+        // Byte stores carry the read-modify-write surcharge over loads.
+        assert!(
+            t9.cost(AccessKind::StoreByte, MachineTarget::Word)
+                >= t9.cost(AccessKind::LoadByte, MachineTarget::Word)
+        );
+    }
+
+    #[test]
+    fn word_addressing_wins_table10() {
+        let t9 = table9();
+        let names: &[&str] = &["scanner", "wordcount", "strings", "formatter", "sieve"];
+        let wm = refs::measure(MachineTarget::Word, Some(names));
+        let bm = refs::measure(MachineTarget::Byte, Some(names));
+        let t10 = table10(&t9, &wm, &bm);
+        let (wl, _) = t10.penalty_word_alloc();
+        let (bl, _) = t10.penalty_byte_alloc();
+        assert!(
+            wl > 0.0,
+            "word addressing must win on word-allocated mix: {t10}"
+        );
+        assert!(
+            bl > -5.0,
+            "byte machine should not win big even on byte-allocated mix: {t10}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Table 3: how many compares condition codes actually save.
+//!
+//! "Table 3 contains empirical data which show that the number of
+//! instructions saved by condition codes is so small as to be essentially
+//! useless" — ≈1.1% with operation-set codes, ≈2.1% when moves set them
+//! too.
+
+use crate::util::pct;
+use mips_ccm::analyze_savings;
+use mips_hll::{compile_cc, CcBoolStrategy, CcGenOptions};
+use std::fmt;
+
+/// Aggregated Table 3 result.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CcUsage {
+    /// Explicit compares in the compiled corpus.
+    pub total_compares: u64,
+    /// Saved with operation-set codes.
+    pub saved_ops_only: u64,
+    /// Gross saves with operation-and-move-set codes.
+    pub gross_ops_and_moves: u64,
+    /// Moves that existed only to set the codes (excluded from net).
+    pub moves_only_for_cc: u64,
+}
+
+/// Paper values (percent savings).
+pub const PAPER_OPS_ONLY_PCT: f64 = 1.1;
+/// See [`PAPER_OPS_ONLY_PCT`].
+pub const PAPER_OPS_AND_MOVES_PCT: f64 = 2.1;
+
+impl CcUsage {
+    /// Net saves under the ops-and-moves policy.
+    pub fn net_saved(&self) -> u64 {
+        self.gross_ops_and_moves - self.moves_only_for_cc
+    }
+
+    /// Percent saved, ops-only policy.
+    pub fn pct_ops_only(&self) -> f64 {
+        pct(self.saved_ops_only, self.total_compares)
+    }
+
+    /// Percent saved (net), ops-and-moves policy.
+    pub fn pct_ops_and_moves(&self) -> f64 {
+        pct(self.net_saved(), self.total_compares)
+    }
+}
+
+impl fmt::Display for CcUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 3: Use of condition codes")?;
+        writeln!(f, "  compares in compiled corpus          {:>8}", self.total_compares)?;
+        writeln!(
+            f,
+            "  saved, codes set by operations only  {:>8}  ({:.1}%; paper {PAPER_OPS_ONLY_PCT}%)",
+            self.saved_ops_only,
+            self.pct_ops_only()
+        )?;
+        writeln!(
+            f,
+            "  gross saves, codes set by ops+moves  {:>8}",
+            self.gross_ops_and_moves
+        )?;
+        writeln!(
+            f,
+            "  moves used only to set the codes     {:>8}",
+            self.moves_only_for_cc
+        )?;
+        writeln!(
+            f,
+            "  net saved, ops and moves             {:>8}  ({:.1}%; paper {PAPER_OPS_AND_MOVES_PCT}%)",
+            self.net_saved(),
+            self.pct_ops_and_moves()
+        )
+    }
+}
+
+/// Runs the analysis over the whole corpus (compiled with the standard
+/// early-out CC compiler).
+pub fn analyze_corpus() -> CcUsage {
+    let mut u = CcUsage::default();
+    for w in mips_workloads::corpus() {
+        let p = compile_cc(
+            w.source,
+            &CcGenOptions {
+                strategy: CcBoolStrategy::EarlyOut,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let r = analyze_savings(&p);
+        u.total_compares += r.total_compares;
+        u.saved_ops_only += r.saved_ops_only;
+        u.gross_ops_and_moves += r.gross_ops_and_moves;
+        u.moves_only_for_cc += r.moves_only_for_cc;
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_savings_are_small() {
+        let u = analyze_corpus();
+        assert!(u.total_compares > 100, "corpus compare-rich: {u:?}");
+        // The paper's headline: savings are tiny.
+        assert!(
+            u.pct_ops_and_moves() < 15.0,
+            "net savings should be small: {u:?}"
+        );
+        assert!(u.gross_ops_and_moves >= u.saved_ops_only);
+        assert!(
+            u.pct_ops_only() < 10.0,
+            "ops-only savings should be tiny: {u:?}"
+        );
+    }
+
+    #[test]
+    fn display_mentions_paper() {
+        let u = analyze_corpus();
+        let s = u.to_string();
+        assert!(s.contains("Table 3"));
+        assert!(s.contains("paper 1.1%"));
+    }
+}

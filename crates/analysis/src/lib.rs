@@ -1,0 +1,32 @@
+//! # mips-analysis — the paper's measurements, regenerated
+//!
+//! One module per experiment; each produces a typed result with a
+//! `Display` implementation printing measured values next to the paper's
+//! published ones. The `tables` binary in `mips-bench` drives everything.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`constants`] | Table 1 — constant-magnitude distribution |
+//! | [`taxonomy`] | Table 2 — condition-code policy taxonomy |
+//! | [`cc_usage`] | Table 3 — compares saved by condition codes |
+//! | [`booleans`] | Table 4 — boolean expression statistics |
+//! | [`bool_cost`] | Tables 5 & 6 — boolean evaluation strategy costs |
+//! | [`refs`] | Tables 7 & 8 — dynamic data-reference patterns |
+//! | [`byte_cost`] | Tables 9 & 10 — byte vs word addressing costs |
+//! | [`table11`] | Table 11 — reorganizer improvement levels |
+//! | [`figures`] | Figures 1–4 — code-shape listings |
+//! | [`free_cycles`] | §3.1 — free memory-cycle fraction |
+
+pub mod bool_cost;
+pub mod booleans;
+pub mod byte_cost;
+pub mod cc_usage;
+pub mod constants;
+pub mod figures;
+pub mod free_cycles;
+pub mod refs;
+pub mod regalloc;
+pub mod table11;
+pub mod taxonomy;
+pub mod util;
+pub mod word_at_a_time;

@@ -1,0 +1,235 @@
+//! Tables 7 and 8: dynamic data-reference patterns.
+//!
+//! The corpus is compiled twice — word-allocated for the word-addressed
+//! machine (Table 7) and byte-allocated for the byte-addressed variant
+//! (Table 8) — executed on the simulator, and every load/store's
+//! [`mips_core::RefClass`] is tallied.
+
+use crate::util::pct;
+use mips_hll::{compile_mips, CodegenOptions, MachineTarget};
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::{Machine, MachineConfig, Profile};
+use std::fmt;
+
+/// Paper values for Table 7 (word-allocated) as percentages of all data
+/// references: (loads, stores, byte loads, word loads, byte stores, word
+/// stores).
+pub const PAPER_WORD: [f64; 6] = [71.2, 28.7, 2.6, 68.6, 2.6, 26.2];
+/// Paper values for Table 8 (byte-allocated).
+pub const PAPER_BYTE: [f64; 6] = [71.2, 28.7, 6.6, 64.6, 5.9, 22.9];
+/// Paper character-reference split for Table 7: (char loads % of char
+/// refs, char stores %, byte char loads % of char refs, word char loads,
+/// byte char stores, word char stores).
+pub const PAPER_WORD_CHAR: [f64; 6] = [66.7, 33.3, 14.7, 52.0, 21.5, 11.8];
+
+/// A measured reference-pattern table.
+#[derive(Debug, Clone, Default)]
+pub struct RefPattern {
+    /// Which allocation regime.
+    pub target_name: &'static str,
+    /// Merged execution profile.
+    pub profile: Profile,
+}
+
+impl RefPattern {
+    fn totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let p = &self.profile;
+        let byte_loads = p.char_byte.loads + p.other_byte.loads;
+        let byte_stores = p.char_byte.stores + p.other_byte.stores;
+        let word_loads = p.loads - byte_loads;
+        let word_stores = p.stores - byte_stores;
+        (p.loads, p.stores, byte_loads, word_loads, byte_stores, word_stores)
+    }
+
+    /// The six headline percentages (same order as [`PAPER_WORD`]).
+    pub fn percentages(&self) -> [f64; 6] {
+        let (l, s, bl, wl, bs, ws) = self.totals();
+        let all = l + s;
+        [
+            pct(l, all),
+            pct(s, all),
+            pct(bl, all),
+            pct(wl, all),
+            pct(bs, all),
+            pct(ws, all),
+        ]
+    }
+
+    /// Character-reference split (same order, relative to character
+    /// references).
+    pub fn char_percentages(&self) -> [f64; 6] {
+        let p = &self.profile;
+        let cl = p.char_byte.loads + p.char_word.loads;
+        let cs = p.char_byte.stores + p.char_word.stores;
+        let all = cl + cs;
+        [
+            pct(cl, all),
+            pct(cs, all),
+            pct(p.char_byte.loads, all),
+            pct(p.char_word.loads, all),
+            pct(p.char_byte.stores, all),
+            pct(p.char_word.stores, all),
+        ]
+    }
+
+    /// Fraction of all references that touch character data.
+    pub fn char_fraction(&self) -> f64 {
+        let p = &self.profile;
+        let c = p.char_byte.total() + p.char_word.total();
+        pct(c, p.loads + p.stores)
+    }
+}
+
+const LABELS: [&str; 6] = [
+    "loads (all)",
+    "stores (all)",
+    "8-bit loads",
+    "32-bit loads",
+    "8-bit stores",
+    "32-bit stores",
+];
+
+impl fmt::Display for RefPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (table, paper) = if self.target_name == "word" {
+            ("Table 7: Data reference patterns in word-allocated programs", PAPER_WORD)
+        } else {
+            ("Table 8: Data reference patterns in byte-allocated programs", PAPER_BYTE)
+        };
+        writeln!(f, "{table}")?;
+        writeln!(f, "{:>16}  {:>9}  {:>9}", "class", "measured", "paper")?;
+        let m = self.percentages();
+        for i in 0..6 {
+            writeln!(f, "{:>16}  {:>8.1}%  {:>8.1}%", LABELS[i], m[i], paper[i])?;
+        }
+        if self.target_name == "word" {
+            writeln!(f, "  character references ({:.1}% of all):", self.char_fraction())?;
+            let c = self.char_percentages();
+            for i in 0..6 {
+                writeln!(
+                    f,
+                    "{:>16}  {:>8.1}%  {:>8.1}%",
+                    LABELS[i], c[i], PAPER_WORD_CHAR[i]
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn merge_profiles(into: &mut Profile, p: &Profile) {
+    into.instructions += p.instructions;
+    into.loads += p.loads;
+    into.stores += p.stores;
+    for (a, b) in [
+        (&mut into.word_data, &p.word_data),
+        (&mut into.char_word, &p.char_word),
+        (&mut into.char_byte, &p.char_byte),
+        (&mut into.other_byte, &p.other_byte),
+        (&mut into.unclassified, &p.unclassified),
+    ] {
+        a.loads += b.loads;
+        a.stores += b.stores;
+    }
+    into.mem_cycles_used += p.mem_cycles_used;
+    into.mem_cycles_free += p.mem_cycles_free;
+    into.nops += p.nops;
+    into.packed += p.packed;
+    into.branches += p.branches;
+    into.branches_taken += p.branches_taken;
+}
+
+/// Runs one workload on the given target and returns its profile.
+pub fn profile_workload(source: &str, target: MachineTarget) -> Profile {
+    let cg = CodegenOptions {
+        target,
+        ..CodegenOptions::standard()
+    };
+    let lc = compile_mips(source, &cg).expect("compiles");
+    let out = reorganize(&lc, ReorgOptions::FULL).expect("reorganizes");
+    let cfg = MachineConfig {
+        byte_addressed: target == MachineTarget::Byte,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::with_config(out.program, cfg);
+    m.set_refclass_map(out.refclass);
+    m.run().expect("runs");
+    m.profile().clone()
+}
+
+/// Measures the reference pattern over the named workloads. With `None`,
+/// uses every non-Table-11 workload — the stand-in for the paper's §4.1
+/// Pascal corpus ("compilers, optimizers, and VLSI design aid software"),
+/// which is distinct from the Table 11 benchmark inputs.
+pub fn measure(target: MachineTarget, names: Option<&[&str]>) -> RefPattern {
+    let mut pat = RefPattern {
+        target_name: match target {
+            MachineTarget::Word => "word",
+            MachineTarget::Byte => "byte",
+        },
+        profile: Profile::default(),
+    };
+    for w in mips_workloads::corpus() {
+        match names {
+            Some(ns) => {
+                if !ns.contains(&w.name) {
+                    continue;
+                }
+            }
+            None => {
+                if w.table11 {
+                    continue;
+                }
+            }
+        }
+        let p = profile_workload(w.source, target);
+        merge_profiles(&mut pat.profile, &p);
+    }
+    pat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAST: &[&str] = &[
+        "scanner", "wordcount", "strings", "formatter", "sieve", "matmul", "sort", "queens",
+    ];
+
+    #[test]
+    fn word_allocation_pattern_shape() {
+        let pat = measure(MachineTarget::Word, Some(FAST));
+        let m = pat.percentages();
+        assert!(m[0] > 55.0, "loads dominate: {m:?}");
+        assert!(m[0] + m[1] > 99.9);
+        // Word references dominate byte references on word-allocated
+        // programs (the paper's key observation).
+        assert!(m[3] > m[2] * 3.0, "32-bit loads dominate: {m:?}");
+        // Byte (packed) references exist.
+        assert!(m[2] + m[4] > 0.5, "packed data must appear: {m:?}");
+    }
+
+    #[test]
+    fn byte_allocation_raises_byte_share() {
+        let w = measure(MachineTarget::Word, Some(FAST));
+        let b = measure(MachineTarget::Byte, Some(FAST));
+        let (wm, bm) = (w.percentages(), b.percentages());
+        assert!(
+            bm[2] + bm[4] > wm[2] + wm[4],
+            "byte allocation must increase byte refs: {wm:?} vs {bm:?}"
+        );
+    }
+
+    #[test]
+    fn char_stores_run_high_in_char_data() {
+        // "Character reference patterns have a much higher percentage of
+        // stores than do non-character reference patterns."
+        let pat = measure(MachineTarget::Word, Some(&["strings", "formatter", "wordcount"]));
+        let c = pat.char_percentages();
+        let all = pat.percentages();
+        assert!(
+            c[1] > all[1],
+            "char stores {c:?} should exceed overall store share {all:?}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Table 11: cumulative static-instruction improvement from the
+//! reorganizer's three optimizations.
+//!
+//! "The data in Table 11 show the improvements in static instruction
+//! counts" for Fibonacci and the two Puzzle variants, through the levels
+//! None → Reorganization → Packing → Branch delay. Paper totals: 20.6%,
+//! 24.8%, 35.1%.
+
+use crate::util::pct;
+use mips_hll::{compile_mips, CodegenOptions, MachineTarget};
+use mips_reorg::{reorganize, ReorgOptions};
+use std::fmt;
+
+/// Paper values: static counts per level for (Fibbonacci, Puzzle 0,
+/// Puzzle 1).
+pub const PAPER_COUNTS: [(&str, [u64; 3]); 4] = [
+    ("None (no-ops inserted)", [63, 843, 1219]),
+    ("Reorganization", [63, 834, 1113]),
+    ("Packing", [55, 776, 992]),
+    ("Branch delay", [50, 634, 791]),
+];
+
+/// Paper total improvements per workload (percent).
+pub const PAPER_IMPROVEMENT: [f64; 3] = [20.6, 24.8, 35.1];
+
+/// One measured workload column.
+#[derive(Debug, Clone)]
+pub struct WorkloadColumn {
+    /// Workload name.
+    pub name: &'static str,
+    /// Static counts at the four levels.
+    pub counts: [u64; 4],
+}
+
+impl WorkloadColumn {
+    /// Total improvement, percent.
+    pub fn improvement(&self) -> f64 {
+        pct(self.counts[0] - self.counts[3], self.counts[0])
+    }
+
+    /// Improvement at each level vs the previous.
+    pub fn step_improvements(&self) -> [f64; 3] {
+        [
+            pct(self.counts[0] - self.counts[1], self.counts[0]),
+            pct(self.counts[1] - self.counts[2], self.counts[0]),
+            pct(self.counts[2] - self.counts[3], self.counts[0]),
+        ]
+    }
+}
+
+/// The measured table.
+#[derive(Debug, Clone)]
+pub struct Table11 {
+    /// One column per workload (fib, puzzle0, puzzle1).
+    pub columns: Vec<WorkloadColumn>,
+}
+
+/// Measures one workload's static counts at all four levels.
+pub fn measure_workload(name: &'static str, source: &str) -> WorkloadColumn {
+    // PCC-style code: no register promotion, as in the paper's inputs.
+    let cg = CodegenOptions {
+        target: MachineTarget::Word,
+        promote_locals: 0,
+        ..CodegenOptions::standard()
+    };
+    let lc = compile_mips(source, &cg).expect("compiles");
+    let mut counts = [0u64; 4];
+    for (i, (_, opts)) in ReorgOptions::LEVELS.iter().enumerate() {
+        counts[i] = reorganize(&lc, *opts).expect("reorganizes").program.len() as u64;
+    }
+    WorkloadColumn { name, counts }
+}
+
+/// Measures the paper's three workloads.
+pub fn measure() -> Table11 {
+    let columns = mips_workloads::table11()
+        .into_iter()
+        .map(|w| measure_workload(w.name, w.source))
+        .collect();
+    Table11 { columns }
+}
+
+impl fmt::Display for Table11 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 11: Cumulative improvements with postpass optimization (static words)"
+        )?;
+        write!(f, "{:<26}", "optimization")?;
+        for c in &self.columns {
+            write!(f, "{:>12}", c.name)?;
+        }
+        writeln!(f, "     paper (fib/puz0/puz1)")?;
+        for (lvl, (label, paper)) in PAPER_COUNTS.iter().enumerate() {
+            write!(f, "{label:<26}")?;
+            for c in &self.columns {
+                write!(f, "{:>12}", c.counts[lvl])?;
+            }
+            writeln!(f, "     {} / {} / {}", paper[0], paper[1], paper[2])?;
+        }
+        write!(f, "{:<26}", "total improvement")?;
+        for c in &self.columns {
+            write!(f, "{:>11.1}%", c.improvement())?;
+        }
+        writeln!(
+            f,
+            "     {}% / {}% / {}%",
+            PAPER_IMPROVEMENT[0], PAPER_IMPROVEMENT[1], PAPER_IMPROVEMENT[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_shrink_monotonically_and_meaningfully() {
+        let t = measure();
+        assert_eq!(t.columns.len(), 3);
+        for c in &t.columns {
+            assert!(
+                c.counts[0] >= c.counts[1]
+                    && c.counts[1] >= c.counts[2]
+                    && c.counts[2] >= c.counts[3],
+                "{}: {:?}",
+                c.name,
+                c.counts
+            );
+            let imp = c.improvement();
+            // The paper reports 20.6-35.1%; our code generator's richer
+            // addressing modes absorb address arithmetic PCC emitted as
+            // separate (packable) pieces, so the reorganizer has less to
+            // win — the qualitative shape (monotone, double-digit total,
+            // branch delay the largest step on Puzzle) still holds. See
+            // EXPERIMENTS.md.
+            assert!(
+                (8.0..=45.0).contains(&imp),
+                "{}: improvement {imp:.1}% outside the accepted band",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn display_shows_paper_columns() {
+        let t = measure();
+        let s = t.to_string();
+        assert!(s.contains("Table 11"));
+        assert!(s.contains("843"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Shared helpers: corpus access, HIR walking, percentage formatting.
+
+use mips_hll::hir::*;
+
+/// Compiles the whole workload corpus to HIR.
+///
+/// # Panics
+///
+/// Panics if any corpus program fails to compile (the corpus is tested).
+pub fn corpus_hirs() -> Vec<(&'static str, HProgram)> {
+    mips_workloads::corpus()
+        .iter()
+        .map(|w| {
+            (
+                w.name,
+                mips_hll::front_end(w.source)
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.name)),
+            )
+        })
+        .collect()
+}
+
+/// Percentage with divide-by-zero safety.
+pub fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Walks every expression in a program (including nested ones),
+/// depth-first.
+pub fn walk_exprs(prog: &HProgram, mut f: impl FnMut(&HExpr)) {
+    fn expr(e: &HExpr, f: &mut impl FnMut(&HExpr)) {
+        f(e);
+        match e {
+            HExpr::Neg(a) | HExpr::Not(a) | HExpr::Ord(a) | HExpr::Chr(a) => expr(a, f),
+            HExpr::Bin { a, b, .. } | HExpr::Rel { a, b, .. } | HExpr::BoolBin { a, b, .. } => {
+                expr(a, f);
+                expr(b, f);
+            }
+            HExpr::Load(lv) => {
+                for ix in &lv.indices {
+                    expr(&ix.expr, f);
+                }
+            }
+            HExpr::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        HArg::Value(e) => expr(e, f),
+                        HArg::Ref(lv) => {
+                            for ix in &lv.indices {
+                                expr(&ix.expr, f);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fn lv_exprs(lv: &HLValue, f: &mut impl FnMut(&HExpr)) {
+        for ix in &lv.indices {
+            expr(&ix.expr, f);
+        }
+    }
+    fn stmt(s: &HStmt, f: &mut impl FnMut(&HExpr)) {
+        match s {
+            HStmt::Assign(lv, e) => {
+                lv_exprs(lv, f);
+                expr(e, f);
+            }
+            HStmt::SetResult(e) => expr(e, f),
+            HStmt::If { cond, then, els } => {
+                expr(cond, f);
+                for s in then.iter().chain(els) {
+                    stmt(s, f);
+                }
+            }
+            HStmt::While { cond, body } => {
+                expr(cond, f);
+                for s in body {
+                    stmt(s, f);
+                }
+            }
+            HStmt::Repeat { body, cond } => {
+                expr(cond, f);
+                for s in body {
+                    stmt(s, f);
+                }
+            }
+            HStmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                lv_exprs(var, f);
+                expr(from, f);
+                expr(to, f);
+                for s in body {
+                    stmt(s, f);
+                }
+            }
+            HStmt::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        HArg::Value(e) => expr(e, f),
+                        HArg::Ref(lv) => lv_exprs(lv, f),
+                    }
+                }
+            }
+            HStmt::Write { args, .. } => {
+                for a in args {
+                    match a {
+                        HWriteArg::Int(e) | HWriteArg::Char(e) => expr(e, f),
+                        HWriteArg::Str(_) => {}
+                    }
+                }
+            }
+            HStmt::Block(ss) => {
+                for s in ss {
+                    stmt(s, f);
+                }
+            }
+            HStmt::Case {
+                selector,
+                arms,
+                default,
+            } => {
+                expr(selector, f);
+                for (_, body) in arms {
+                    for s in body {
+                        stmt(s, f);
+                    }
+                }
+                for s in default {
+                    stmt(s, f);
+                }
+            }
+        }
+    }
+    for r in &prog.routines {
+        for s in &r.body {
+            stmt(s, &mut f);
+        }
+    }
+}
+
+/// Walks every statement (recursively) in a program.
+pub fn walk_stmts(prog: &HProgram, mut f: impl FnMut(&HStmt)) {
+    fn stmt(s: &HStmt, f: &mut impl FnMut(&HStmt)) {
+        f(s);
+        match s {
+            HStmt::If { then, els, .. } => {
+                for s in then.iter().chain(els) {
+                    stmt(s, f);
+                }
+            }
+            HStmt::While { body, .. }
+            | HStmt::Repeat { body, .. }
+            | HStmt::For { body, .. } => {
+                for s in body {
+                    stmt(s, f);
+                }
+            }
+            HStmt::Block(ss) => {
+                for s in ss {
+                    stmt(s, f);
+                }
+            }
+            HStmt::Case { arms, default, .. } => {
+                for (_, body) in arms {
+                    for s in body {
+                        stmt(s, f);
+                    }
+                }
+                for s in default {
+                    stmt(s, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    for r in &prog.routines {
+        for s in &r.body {
+            stmt(s, &mut f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_compiles() {
+        let hirs = corpus_hirs();
+        assert!(hirs.len() >= 12);
+    }
+
+    #[test]
+    fn walkers_visit_nested_expressions() {
+        let prog = mips_hll::front_end(
+            "program t; var a: array [0..9] of integer; i: integer;
+             begin if a[i + 1] = 2 then a[3] := 4 + 5 end.",
+        )
+        .unwrap();
+        let mut ints = Vec::new();
+        walk_exprs(&prog, |e| {
+            if let HExpr::Int(v) = e {
+                ints.push(*v);
+            }
+        });
+        ints.sort_unstable();
+        assert_eq!(ints, vec![1, 2, 3, 4, 5]);
+        let mut stmts = 0;
+        walk_stmts(&prog, |_| stmts += 1);
+        assert_eq!(stmts, 2); // if + assign
+    }
+
+    #[test]
+    fn pct_safety() {
+        assert_eq!(pct(1, 0), 0.0);
+        assert!((pct(1, 4) - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! # mips-asm — the MIPS assembler
+//!
+//! A two-pass assembler for a textual form of the reproduction's MIPS
+//! instruction set. Used throughout the test suite and the examples to
+//! write precise machine code (exception handlers, delay-slot tests)
+//! without hand-building instruction structs.
+//!
+//! ## Syntax
+//!
+//! One instruction per line; `;` starts a comment; `label:` defines a
+//! label (all labels are also exported as program symbols).
+//!
+//! ```text
+//!         mvi #5,r1           ; r1 := 5          (8-bit immediate)
+//!         add r1,#3,r2        ; r2 := r1 + 3     (4-bit operand constant)
+//!         rsub r1,#1,r3       ; r3 := 1 - r1     (reverse operator)
+//!         lim #70000,r4       ; r4 := 70000      (24-bit long immediate)
+//!         ld 2(r14),r0        ; displacement(base)
+//!         ld (r0>>2),r1       ; base shifted (byte-pointer word fetch)
+//!         ld (r1,r2),r3       ; base + index
+//!         ld @100,r5          ; absolute
+//!         st r2,2(r14)
+//!         xc r0,r1,r1         ; extract byte
+//!         beq r1,r2,done      ; compare-and-branch (16 conditions)
+//!         sltu r1,#4,r2       ; set conditionally
+//!         bra loop
+//!         call fib,r15
+//!         jmpi (r15)          ; indirect jump (two delay slots)
+//!         trap #1
+//!         rsp surprise,r1     ; read special register
+//!         wsp r1,surprise
+//!         rfe
+//!         nop
+//!         halt
+//! done:
+//! ```
+//!
+//! Packed pairs are written with `&` between the ALU piece and the memory
+//! piece: `add r4,#1,r4 & st r2,2(r14)`.
+//!
+//! Two entry points:
+//!
+//! * [`assemble`] — text → executable [`mips_core::Program`]
+//!   (instructions placed exactly as written; `nop` is allowed);
+//! * [`assemble_linear`] — text → unscheduled [`mips_core::LinearCode`]
+//!   for the reorganizer (no `nop`s or packed pairs; supports the `.dead`
+//!   and `.notouch` scheduling directives).
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_asm::assemble;
+//! let p = assemble("
+//!     mvi #40,r1
+//!     add r1,#2,r1
+//!     halt
+//! ").unwrap();
+//! assert_eq!(p.len(), 3);
+//! ```
+
+mod error;
+mod parse;
+
+pub use error::AsmError;
+pub use parse::{assemble, assemble_linear, disassemble};

@@ -1,0 +1,874 @@
+//! The assembler proper: tokenizing, operand parsing, and the two
+//! assembly modes.
+
+use crate::error::AsmError;
+use mips_core::{
+    AluOp, AluPiece, CallPiece, CmpBranchPiece, Cond, Instr, JumpIndPiece, JumpPiece, Label,
+    LinearCode, MemMode, MemPiece, MviPiece, Operand, Program, ProgramBuilder, RefClass, Reg,
+    SetCondPiece, SpecialOp, SpecialReg, Target, TrapPiece, UnschedOp, Width, WordAddr,
+};
+use std::collections::HashMap;
+
+/// A parsed operand token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Reg(Reg),
+    Imm(i64),
+    Mem(MemMode),
+    Name(String),
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    let n: usize = s.strip_prefix('r')?.parse().ok()?;
+    Reg::from_index(n)
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Tok, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(AsmError::new(line, "empty operand"));
+    }
+    if let Some(r) = parse_reg(s) {
+        return Ok(Tok::Reg(r));
+    }
+    if let Some(rest) = s.strip_prefix('#') {
+        let v = parse_int(rest)
+            .ok_or_else(|| AsmError::new(line, format!("bad constant `{s}`")))?;
+        return Ok(Tok::Imm(v));
+    }
+    if let Some(rest) = s.strip_prefix('@') {
+        let v = parse_int(rest)
+            .ok_or_else(|| AsmError::new(line, format!("bad absolute address `{s}`")))?;
+        return Ok(Tok::Mem(MemMode::Absolute(WordAddr::new(v as u32))));
+    }
+    // Memory forms containing parentheses: d(base), (base), (base,index),
+    // (base>>n).
+    if let Some(open) = s.find('(') {
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
+        let pre = &s[..open];
+        let inner = &s[open + 1..close];
+        let disp = if pre.is_empty() {
+            0
+        } else {
+            parse_int(pre)
+                .ok_or_else(|| AsmError::new(line, format!("bad displacement `{pre}`")))?
+                as i32
+        };
+        if let Some((b, sh)) = inner.split_once(">>") {
+            let base = parse_reg(b.trim())
+                .ok_or_else(|| AsmError::new(line, format!("bad base register `{b}`")))?;
+            let shift: u8 = sh
+                .trim()
+                .parse()
+                .map_err(|_| AsmError::new(line, format!("bad shift `{sh}`")))?;
+            if disp != 0 {
+                return Err(AsmError::new(line, "base-shifted mode takes no displacement"));
+            }
+            if shift == 0 || shift > MemMode::SHIFT_MAX {
+                return Err(AsmError::new(line, "shift must be 1..=5"));
+            }
+            return Ok(Tok::Mem(MemMode::BaseShifted { base, shift }));
+        }
+        if let Some((b, x)) = inner.split_once(',') {
+            let base = parse_reg(b.trim())
+                .ok_or_else(|| AsmError::new(line, format!("bad base register `{b}`")))?;
+            let index = parse_reg(x.trim())
+                .ok_or_else(|| AsmError::new(line, format!("bad index register `{x}`")))?;
+            if disp != 0 {
+                return Err(AsmError::new(line, "base-indexed mode takes no displacement"));
+            }
+            return Ok(Tok::Mem(MemMode::BasedIndexed { base, index }));
+        }
+        let base = parse_reg(inner.trim())
+            .ok_or_else(|| AsmError::new(line, format!("bad base register `{inner}`")))?;
+        return Ok(Tok::Mem(MemMode::Based { base, disp }));
+    }
+    Ok(Tok::Name(s.to_string()))
+}
+
+/// Splits an operand field on top-level commas (commas inside parentheses
+/// belong to the base-indexed mode).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn to_operand(t: &Tok, line: usize) -> Result<Operand, AsmError> {
+    match t {
+        Tok::Reg(r) => Ok(Operand::Reg(*r)),
+        Tok::Imm(v) => {
+            if (0..=Operand::SMALL_MAX as i64).contains(v) {
+                Ok(Operand::Small(*v as u8))
+            } else {
+                Err(AsmError::new(
+                    line,
+                    format!(
+                        "constant {v} does not fit the 4-bit operand field (use mvi/lim or a reverse operator)"
+                    ),
+                ))
+            }
+        }
+        _ => Err(AsmError::new(line, "expected register or #constant")),
+    }
+}
+
+fn to_reg(t: &Tok, line: usize) -> Result<Reg, AsmError> {
+    match t {
+        Tok::Reg(r) => Ok(*r),
+        _ => Err(AsmError::new(line, "expected register")),
+    }
+}
+
+fn to_mem(t: &Tok, line: usize) -> Result<MemMode, AsmError> {
+    match t {
+        Tok::Mem(m) => Ok(*m),
+        _ => Err(AsmError::new(line, "expected memory operand")),
+    }
+}
+
+/// A parsed instruction whose branch targets are still names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PInstr {
+    Ready(Instr),
+    Branch {
+        template: Instr,
+        target: String,
+    },
+}
+
+fn arity(line: usize, toks: &[Tok], n: usize, mnem: &str) -> Result<(), AsmError> {
+    if toks.len() != n {
+        return Err(AsmError::new(
+            line,
+            format!("{mnem} takes {n} operand(s), got {}", toks.len()),
+        ));
+    }
+    Ok(())
+}
+
+/// Parses a single piece/instruction (no packing, no label).
+fn parse_instr(text: &str, line: usize) -> Result<PInstr, AsmError> {
+    let text = text.trim();
+    let (mnem, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let toks: Vec<Tok> = split_operands(rest)
+        .iter()
+        .map(|o| parse_operand(o, line))
+        .collect::<Result<_, _>>()?;
+
+    // ALU ops.
+    if let Some(op) = AluOp::from_mnemonic(mnem) {
+        arity(line, &toks, 3, mnem)?;
+        return Ok(PInstr::Ready(Instr::alu(AluPiece::new(
+            op,
+            to_operand(&toks[0], line)?,
+            to_operand(&toks[1], line)?,
+            to_reg(&toks[2], line)?,
+        ))));
+    }
+
+    // Loads/stores.
+    match mnem {
+        "ld" | "ldb" => {
+            arity(line, &toks, 2, mnem)?;
+            let width = if mnem == "ldb" { Width::Byte } else { Width::Word };
+            return Ok(PInstr::Ready(Instr::mem(MemPiece::Load {
+                mode: to_mem(&toks[0], line)?,
+                dst: to_reg(&toks[1], line)?,
+                width,
+            })));
+        }
+        "st" | "stb" => {
+            arity(line, &toks, 2, mnem)?;
+            let width = if mnem == "stb" { Width::Byte } else { Width::Word };
+            return Ok(PInstr::Ready(Instr::mem(MemPiece::Store {
+                mode: to_mem(&toks[1], line)?,
+                src: to_reg(&toks[0], line)?,
+                width,
+            })));
+        }
+        "lim" => {
+            arity(line, &toks, 2, mnem)?;
+            let v = match toks[0] {
+                Tok::Imm(v) if (0..=MemPiece::LONG_IMM_MAX as i64).contains(&v) => v as u32,
+                Tok::Imm(v) => {
+                    return Err(AsmError::new(line, format!("{v} exceeds 24-bit long immediate")))
+                }
+                _ => return Err(AsmError::new(line, "lim takes #constant,reg")),
+            };
+            return Ok(PInstr::Ready(Instr::mem(MemPiece::LoadImm {
+                value: v,
+                dst: to_reg(&toks[1], line)?,
+            })));
+        }
+        "mvi" => {
+            arity(line, &toks, 2, mnem)?;
+            let v = match toks[0] {
+                Tok::Imm(v) if (0..=255).contains(&v) => v as u8,
+                Tok::Imm(v) => {
+                    return Err(AsmError::new(line, format!("{v} exceeds 8-bit immediate")))
+                }
+                _ => return Err(AsmError::new(line, "mvi takes #constant,reg")),
+            };
+            return Ok(PInstr::Ready(Instr::Mvi(MviPiece {
+                imm: v,
+                dst: to_reg(&toks[1], line)?,
+            })));
+        }
+        "mov" => {
+            // Pseudo: register move.
+            arity(line, &toks, 2, mnem)?;
+            return Ok(PInstr::Ready(Instr::alu(AluPiece::new(
+                AluOp::Add,
+                to_operand(&toks[0], line)?,
+                Operand::Small(0),
+                to_reg(&toks[1], line)?,
+            ))));
+        }
+        "bra" => {
+            arity(line, &toks, 1, mnem)?;
+            let Tok::Name(n) = &toks[0] else {
+                return Err(AsmError::new(line, "bra takes a label"));
+            };
+            return Ok(PInstr::Branch {
+                template: Instr::Jump(JumpPiece {
+                    target: Target::Abs(0),
+                }),
+                target: n.clone(),
+            });
+        }
+        "call" => {
+            arity(line, &toks, 2, mnem)?;
+            let Tok::Name(n) = &toks[0] else {
+                return Err(AsmError::new(line, "call takes label,linkreg"));
+            };
+            return Ok(PInstr::Branch {
+                template: Instr::Call(CallPiece {
+                    target: Target::Abs(0),
+                    link: to_reg(&toks[1], line)?,
+                }),
+                target: n.clone(),
+            });
+        }
+        "lea" => {
+            arity(line, &toks, 2, mnem)?;
+            let Tok::Name(n) = &toks[0] else {
+                return Err(AsmError::new(line, "lea takes label,reg"));
+            };
+            let dst = to_reg(&toks[1], line)?;
+            return Ok(PInstr::Branch {
+                template: Instr::Lea {
+                    target: Target::Abs(0),
+                    dst,
+                },
+                target: n.clone(),
+            });
+        }
+        "jmpi" => {
+            arity(line, &toks, 1, mnem)?;
+            let m = to_mem(&toks[0], line)?;
+            let MemMode::Based { base, disp } = m else {
+                return Err(AsmError::new(line, "jmpi takes (reg) or disp(reg)"));
+            };
+            return Ok(PInstr::Ready(Instr::JumpInd(JumpIndPiece { base, disp })));
+        }
+        "trap" => {
+            arity(line, &toks, 1, mnem)?;
+            let Tok::Imm(v) = toks[0] else {
+                return Err(AsmError::new(line, "trap takes #code"));
+            };
+            let p = TrapPiece::new(v as u16)
+                .filter(|_| (0..4096).contains(&v))
+                .ok_or_else(|| AsmError::new(line, "trap code must be 0..4096"))?;
+            return Ok(PInstr::Ready(Instr::Trap(p)));
+        }
+        "rsp" => {
+            arity(line, &toks, 2, mnem)?;
+            let Tok::Name(n) = &toks[0] else {
+                return Err(AsmError::new(line, "rsp takes specialreg,reg"));
+            };
+            let sr = SpecialReg::from_name(n)
+                .ok_or_else(|| AsmError::new(line, format!("unknown special register `{n}`")))?;
+            return Ok(PInstr::Ready(Instr::Special(SpecialOp::Read {
+                sr,
+                dst: to_reg(&toks[1], line)?,
+            })));
+        }
+        "wsp" => {
+            arity(line, &toks, 2, mnem)?;
+            let Tok::Name(n) = &toks[1] else {
+                return Err(AsmError::new(line, "wsp takes operand,specialreg"));
+            };
+            let sr = SpecialReg::from_name(n)
+                .ok_or_else(|| AsmError::new(line, format!("unknown special register `{n}`")))?;
+            return Ok(PInstr::Ready(Instr::Special(SpecialOp::Write {
+                sr,
+                src: to_operand(&toks[0], line)?,
+            })));
+        }
+        "rfe" => {
+            arity(line, &toks, 0, mnem)?;
+            return Ok(PInstr::Ready(Instr::Special(SpecialOp::Rfe)));
+        }
+        "halt" => {
+            arity(line, &toks, 0, mnem)?;
+            return Ok(PInstr::Ready(Instr::Halt));
+        }
+        "nop" => {
+            arity(line, &toks, 0, mnem)?;
+            return Ok(PInstr::Ready(Instr::NOP));
+        }
+        _ => {}
+    }
+
+    // Set-conditionally and compare-and-branch families.
+    if let Some(cs) = mnem.strip_prefix('s') {
+        if let Some(cond) = Cond::from_mnemonic(cs) {
+            arity(line, &toks, 3, mnem)?;
+            return Ok(PInstr::Ready(Instr::SetCond(SetCondPiece::new(
+                cond,
+                to_operand(&toks[0], line)?,
+                to_operand(&toks[1], line)?,
+                to_reg(&toks[2], line)?,
+            ))));
+        }
+    }
+    if let Some(cs) = mnem.strip_prefix('b') {
+        if let Some(cond) = Cond::from_mnemonic(cs) {
+            arity(line, &toks, 3, mnem)?;
+            let Tok::Name(n) = &toks[2] else {
+                return Err(AsmError::new(line, "branch target must be a label"));
+            };
+            return Ok(PInstr::Branch {
+                template: Instr::CmpBranch(CmpBranchPiece::new(
+                    cond,
+                    to_operand(&toks[0], line)?,
+                    to_operand(&toks[1], line)?,
+                    Target::Abs(0),
+                )),
+                target: n.clone(),
+            });
+        }
+    }
+
+    Err(AsmError::new(line, format!("unknown mnemonic `{mnem}`")))
+}
+
+/// One source line, parsed.
+#[derive(Debug)]
+enum SrcLine {
+    Nothing,
+    Label(String),
+    Instr(PInstr),
+    Packed(PInstr, PInstr),
+    Directive(String, String),
+}
+
+fn parse_line(raw: &str, line: usize) -> Result<SrcLine, AsmError> {
+    let text = match raw.find(';') {
+        Some(i) => &raw[..i],
+        None => raw,
+    };
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(SrcLine::Nothing);
+    }
+    if let Some(l) = text.strip_suffix(':') {
+        let name = l.trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(AsmError::new(line, format!("bad label `{name}`")));
+        }
+        return Ok(SrcLine::Label(name.to_string()));
+    }
+    if let Some(d) = text.strip_prefix('.') {
+        let (name, rest) = match d.split_once(char::is_whitespace) {
+            Some((n, r)) => (n, r.trim()),
+            None => (d, ""),
+        };
+        return Ok(SrcLine::Directive(name.to_string(), rest.to_string()));
+    }
+    if let Some((a, b)) = text.split_once('&') {
+        return Ok(SrcLine::Packed(parse_instr(a, line)?, parse_instr(b, line)?));
+    }
+    Ok(SrcLine::Instr(parse_instr(text, line)?))
+}
+
+/// Assembles text into an executable [`Program`].
+///
+/// Every label is also exported as a program symbol.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (syntax, range, unknown
+/// label, invalid packing).
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut names: HashMap<String, Label> = HashMap::new();
+    let mut intern = |b: &mut ProgramBuilder, n: &str| -> Label {
+        *names
+            .entry(n.to_string())
+            .or_insert_with(|| b.fresh_label())
+    };
+    let mut symbols: Vec<(String, u32)> = Vec::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        match parse_line(raw, line)? {
+            SrcLine::Nothing => {}
+            SrcLine::Label(name) => {
+                let l = intern(&mut b, &name);
+                b.define(l)
+                    .map_err(|_| AsmError::new(line, format!("duplicate label `{name}`")))?;
+                symbols.push((name, b.here()));
+            }
+            SrcLine::Instr(p) => {
+                let instr = resolve_names(p, &mut b, &mut intern);
+                b.push(instr);
+            }
+            SrcLine::Packed(pa, pb) => {
+                let (PInstr::Ready(a), PInstr::Ready(c)) = (pa, pb) else {
+                    return Err(AsmError::new(line, "branches cannot be packed"));
+                };
+                let (Instr::Op { alu: Some(alu), mem: None }, Instr::Op { alu: None, mem: Some(mem) }) =
+                    (a, c)
+                else {
+                    return Err(AsmError::new(
+                        line,
+                        "packed pair must be `aluop & load/store`",
+                    ));
+                };
+                let packed = Instr::Op {
+                    alu: Some(alu),
+                    mem: Some(mem),
+                };
+                if !packed.is_valid() {
+                    return Err(AsmError::new(line, "illegal packed pair"));
+                }
+                b.push(packed);
+            }
+            SrcLine::Directive(name, _) => {
+                return Err(AsmError::new(
+                    line,
+                    format!("directive `.{name}` is only valid in linear mode"),
+                ));
+            }
+        }
+    }
+    let mut p = b
+        .finish()
+        .map_err(|e| AsmError::new(src.lines().count(), e.to_string()))?;
+    for (n, a) in symbols {
+        p.define_symbol(n, a);
+    }
+    Ok(p)
+}
+
+fn resolve_names(
+    p: PInstr,
+    b: &mut ProgramBuilder,
+    intern: &mut impl FnMut(&mut ProgramBuilder, &str) -> Label,
+) -> Instr {
+    match p {
+        PInstr::Ready(i) => i,
+        PInstr::Branch { template, target } => {
+            let l = intern(b, &target);
+            template.with_target(Target::Label(l))
+        }
+    }
+}
+
+/// Assembles text into unscheduled [`LinearCode`] for the reorganizer.
+///
+/// Differences from [`assemble`]: `nop` and packed pairs are rejected
+/// (those are the reorganizer's output, not its input), and the
+/// scheduling directives are accepted:
+///
+/// * `.dead r2,r3` — marks registers dead after the preceding op;
+/// * `.notouch` / `.endnotouch` — protects the enclosed ops from
+///   reordering;
+/// * `.refclass word|charword|charbyte|byte` — attaches a data-reference
+///   class to the preceding op.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered.
+pub fn assemble_linear(src: &str) -> Result<LinearCode, AsmError> {
+    let mut lc = LinearCode::new();
+    let mut names: HashMap<String, Label> = HashMap::new();
+    let mut no_touch = false;
+
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        match parse_line(raw, line)? {
+            SrcLine::Nothing => {}
+            SrcLine::Label(name) => {
+                let l = *names
+                    .entry(name.clone())
+                    .or_insert_with(|| lc.fresh_label());
+                lc.define(l);
+                lc.symbol(name);
+            }
+            SrcLine::Instr(p) => {
+                let instr = match p {
+                    PInstr::Ready(i) => {
+                        if i.is_nop() {
+                            return Err(AsmError::new(
+                                line,
+                                "no-ops are not allowed in linear code (the reorganizer inserts them)",
+                            ));
+                        }
+                        i
+                    }
+                    PInstr::Branch { template, target } => {
+                        let l = *names
+                            .entry(target.clone())
+                            .or_insert_with(|| lc.fresh_label());
+                        template.with_target(Target::Label(l))
+                    }
+                };
+                let mut op = UnschedOp::new(instr);
+                op.meta.no_touch = no_touch;
+                lc.op_meta(op);
+            }
+            SrcLine::Packed(..) => {
+                return Err(AsmError::new(
+                    line,
+                    "packed pairs are not allowed in linear code (the reorganizer packs)",
+                ));
+            }
+            SrcLine::Directive(name, rest) => match name.as_str() {
+                "notouch" => no_touch = true,
+                "endnotouch" => no_touch = false,
+                "dead" => {
+                    let regs: Vec<Reg> = split_operands(&rest)
+                        .iter()
+                        .map(|s| {
+                            parse_reg(s)
+                                .ok_or_else(|| AsmError::new(line, format!("bad register `{s}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    attach_meta(&mut lc, line, |m| m.dead_after.extend(regs.iter().copied()))?;
+                }
+                "refclass" => {
+                    let rc = match rest.as_str() {
+                        "word" => RefClass::WORD,
+                        "charword" => RefClass::CHAR_WORD,
+                        "charbyte" => RefClass::CHAR_BYTE,
+                        "byte" => RefClass::BYTE,
+                        other => {
+                            return Err(AsmError::new(line, format!("unknown refclass `{other}`")))
+                        }
+                    };
+                    attach_meta(&mut lc, line, |m| m.refclass = Some(rc))?;
+                }
+                other => return Err(AsmError::new(line, format!("unknown directive `.{other}`"))),
+            },
+        }
+    }
+    Ok(lc)
+}
+
+fn attach_meta(
+    lc: &mut LinearCode,
+    line: usize,
+    f: impl FnOnce(&mut mips_core::OpMeta),
+) -> Result<(), AsmError> {
+    let Some(op) = lc.last_op_mut() else {
+        return Err(AsmError::new(line, "directive must follow an instruction"));
+    };
+    f(&mut op.meta);
+    Ok(())
+}
+
+/// Renders a program back to assembler-like text (the inverse direction
+/// is best-effort: labels come back as raw addresses).
+pub fn disassemble(p: &Program) -> String {
+    p.listing()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_instructions_assemble() {
+        let p = assemble(
+            "
+            start:
+                mvi #5,r1
+                add r1,#3,r2
+                rsub r1,#1,r3
+                lim #70000,r4
+                ld 2(r14),r0
+                ld (r0>>2),r5
+                ld (r1,r2),r6
+                ld @100,r7
+                st r2,-4(r14)
+                xc r0,r5,r5
+                seq r1,#13,r8
+                trap #1
+                rsp lo,r9
+                wsp r9,lo
+                nop
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(p[0], Instr::Mvi(MviPiece { imm: 5, dst: Reg::R1 }));
+        assert_eq!(
+            p[4],
+            Instr::mem(MemPiece::load(
+                MemMode::Based {
+                    base: Reg::SP,
+                    disp: 2
+                },
+                Reg::R0
+            ))
+        );
+        assert_eq!(
+            p[8],
+            Instr::mem(MemPiece::store(
+                MemMode::Based {
+                    base: Reg::SP,
+                    disp: -4
+                },
+                Reg::R2
+            ))
+        );
+    }
+
+    #[test]
+    fn branches_resolve_forward_and_back() {
+        let p = assemble(
+            "
+            loop:
+                beq r1,r2,done
+                nop
+                bra loop
+                nop
+            done:
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p[0].target(), Some(Target::Abs(4)));
+        assert_eq!(p[2].target(), Some(Target::Abs(0)));
+    }
+
+    #[test]
+    fn call_and_jmpi() {
+        let p = assemble(
+            "
+                call f,r15
+                nop
+                halt
+            f:
+                jmpi (r15)
+                nop
+                nop
+            ",
+        )
+        .unwrap();
+        assert_eq!(p[0].target(), Some(Target::Abs(3)));
+        assert_eq!(p[3], Instr::JumpInd(JumpIndPiece { base: Reg::RA, disp: 0 }));
+    }
+
+    #[test]
+    fn packed_pair_syntax() {
+        let p = assemble("add r4,#1,r4 & st r2,2(r14)\nhalt\n").unwrap();
+        assert!(p[0].is_packed_pair());
+    }
+
+    #[test]
+    fn packed_pair_validation() {
+        // Same destination register: illegal pair.
+        let e = assemble("add r4,#1,r4 & ld 2(r14),r4\n").unwrap_err();
+        assert!(e.message.contains("illegal packed pair"), "{e}");
+        // Branch cannot pack.
+        let e = assemble("add r4,#1,r4 & bra x\nx:\n").unwrap_err();
+        assert!(e.message.contains("branches cannot be packed"), "{e}");
+        // Two ALU pieces cannot pack.
+        let e = assemble("add r4,#1,r4 & add r5,#1,r5\n").unwrap_err();
+        assert!(e.message.contains("aluop & load/store"), "{e}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn oversized_small_constant_rejected() {
+        let e = assemble("add r1,#16,r2\n").unwrap_err();
+        assert!(e.message.contains("4-bit"), "{e}");
+        assert!(assemble("add r1,#15,r2\n").is_ok());
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let e = assemble("bra nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined"), "{e}");
+    }
+
+    #[test]
+    fn mov_pseudo() {
+        let p = assemble("mov r3,r4\nhalt\n").unwrap();
+        assert_eq!(
+            p[0],
+            Instr::alu(AluPiece::new(
+                AluOp::Add,
+                Reg::R3.into(),
+                Operand::Small(0),
+                Reg::R4
+            ))
+        );
+    }
+
+    #[test]
+    fn byte_width_mnemonics() {
+        let p = assemble("ldb (r1),r2\nstb r2,(r1)\nhalt\n").unwrap();
+        assert!(matches!(
+            p[0],
+            Instr::Op {
+                mem: Some(MemPiece::Load {
+                    width: Width::Byte,
+                    ..
+                }),
+                ..
+            }
+        ));
+        assert!(matches!(
+            p[1],
+            Instr::Op {
+                mem: Some(MemPiece::Store {
+                    width: Width::Byte,
+                    ..
+                }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn all_sixteen_branch_and_set_mnemonics() {
+        for c in Cond::ALL {
+            let b = format!("b{} r1,r2,t\nt:\n", c.mnemonic());
+            assert!(assemble(&b).is_ok(), "branch {c}");
+            let s = format!("s{} r1,r2,r3\n", c.mnemonic());
+            assert!(assemble(&s).is_ok(), "set {c}");
+        }
+    }
+
+    #[test]
+    fn linear_mode_collects_metadata() {
+        let lc = assemble_linear(
+            "
+            f:
+                ld 2(r14),r0
+                .refclass charword
+                sub r0,#1,r2
+                .dead r2
+                .notouch
+                st r2,2(r14)
+                .endnotouch
+                bra f
+            ",
+        )
+        .unwrap();
+        let ops: Vec<_> = lc.ops().collect();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[0].meta.refclass, Some(RefClass::CHAR_WORD));
+        assert_eq!(ops[1].meta.dead_after, vec![Reg::R2]);
+        assert!(ops[2].meta.no_touch);
+        assert!(!ops[3].meta.no_touch);
+    }
+
+    #[test]
+    fn linear_mode_rejects_nops_and_packing() {
+        assert!(assemble_linear("nop\n").is_err());
+        assert!(assemble_linear("add r1,#1,r1 & st r1,(r2)\n").is_err());
+        assert!(assemble_linear(".dead r1\n").is_err());
+    }
+
+    #[test]
+    fn disassemble_shows_symbols() {
+        let p = assemble("main:\n nop\n halt\n").unwrap();
+        let d = disassemble(&p);
+        assert!(d.contains("main:"));
+        assert!(d.contains("no-op"));
+    }
+}
+
+#[cfg(test)]
+mod lea_tests {
+    use super::*;
+
+    #[test]
+    fn lea_resolves_label_addresses() {
+        let p = assemble(
+            "
+                lea table,r3
+                halt
+            table:
+                nop
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p[0],
+            Instr::Lea {
+                target: Target::Abs(2),
+                dst: Reg::R3
+            }
+        );
+    }
+
+    #[test]
+    fn lea_requires_a_label() {
+        assert!(assemble("lea r1,r2\n").is_err());
+        assert!(assemble("lea nowhere,r2\n").is_err());
+    }
+}

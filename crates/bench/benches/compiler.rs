@@ -1,0 +1,58 @@
+//! Compiler pipeline speed: front end, MIPS backend, CC backend, and
+//! instruction encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mips_core::encode::{decode, encode};
+use mips_hll::{compile_cc, compile_mips, CcGenOptions, CodegenOptions};
+
+fn front_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("front_end");
+    for name in ["fib", "puzzle0", "scanner"] {
+        let w = mips_workloads::get(name).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &w.source, |b, src| {
+            b.iter(|| mips_hll::front_end(src).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backends");
+    let w = mips_workloads::get("puzzle0").unwrap();
+    g.bench_function("mips", |b| {
+        b.iter(|| compile_mips(w.source, &CodegenOptions::standard()).unwrap())
+    });
+    g.bench_function("cc", |b| {
+        b.iter(|| compile_cc(w.source, &CcGenOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn encoding(c: &mut Criterion) {
+    let w = mips_workloads::get("puzzle0").unwrap();
+    let out = mips_bench::build(w.source);
+    let words: Vec<u64> = out.program.instrs().iter().map(encode).collect();
+    let mut g = c.benchmark_group("encoding");
+    g.bench_function("encode_program", |b| {
+        b.iter(|| {
+            out.program
+                .instrs()
+                .iter()
+                .map(encode)
+                .fold(0u64, |a, w| a ^ w)
+        })
+    });
+    g.bench_function("decode_program", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .map(|&w| decode(w).unwrap())
+                .filter(|i| i.is_nop())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, front_end, backends, encoding);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Reorganizer speed (the paper: "since the code reorganization process
+//! is part of every compilation, we must concentrate on solutions which
+//! have acceptable run-time performance") and per-level output quality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mips_hll::{compile_mips, CodegenOptions};
+use mips_reorg::{reorganize, ReorgOptions};
+
+fn reorg_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorg_speed");
+    for name in ["fib", "puzzle0", "puzzle1", "scanner"] {
+        let w = mips_workloads::get(name).unwrap();
+        let lc = compile_mips(w.source, &CodegenOptions::standard()).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &lc, |b, lc| {
+            b.iter(|| reorganize(lc, ReorgOptions::FULL).unwrap().stats)
+        });
+    }
+    g.finish();
+}
+
+fn reorg_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorg_levels");
+    let w = mips_workloads::get("puzzle0").unwrap();
+    let lc = compile_mips(w.source, &CodegenOptions::standard()).unwrap();
+    for (name, opts) in ReorgOptions::LEVELS {
+        g.bench_function(name.replace(' ', "_"), |b| {
+            b.iter(|| reorganize(&lc, opts).unwrap().stats)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, reorg_speed, reorg_levels);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Simulator throughput: instructions per second executing the corpus
+//! kernels on the five-stage-machine model, plus the pipeline-feature
+//! overheads (hazard checking, byte addressing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mips_bench::build;
+use mips_hll::{compile_mips, CodegenOptions, MachineTarget};
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::{Machine, MachineConfig};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    for name in ["fib", "sieve", "queens", "matmul", "strings"] {
+        let w = mips_workloads::get(name).unwrap();
+        let out = build(w.source);
+        // Instruction count for throughput units.
+        let mut probe = Machine::new(out.program.clone());
+        probe.run().unwrap();
+        g.throughput(Throughput::Elements(probe.profile().instructions));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &out, |b, out| {
+            b.iter(|| {
+                let mut m = Machine::new(out.program.clone());
+                m.run().unwrap();
+                m.profile().instructions
+            })
+        });
+    }
+    g.finish();
+}
+
+fn sim_feature_overheads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_features");
+    let w = mips_workloads::get("sieve").unwrap();
+    let out = build(w.source);
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(out.program.clone());
+            m.run().unwrap();
+        })
+    });
+    g.bench_function("hazard_checking", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_config(
+                out.program.clone(),
+                MachineConfig {
+                    check_hazards: true,
+                    ..MachineConfig::default()
+                },
+            );
+            m.run().unwrap();
+        })
+    });
+    let cg = CodegenOptions {
+        target: MachineTarget::Byte,
+        ..CodegenOptions::standard()
+    };
+    let lc = compile_mips(w.source, &cg).unwrap();
+    let bout = reorganize(&lc, ReorgOptions::FULL).unwrap();
+    g.bench_function("byte_addressed", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_config(
+                bout.program.clone(),
+                MachineConfig {
+                    byte_addressed: true,
+                    ..MachineConfig::default()
+                },
+            );
+            m.run().unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput, sim_feature_overheads);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! One Criterion benchmark per paper experiment: times each table's full
+//! regeneration (the `tables` binary prints the values; this tracks how
+//! long each experiment takes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mips_analysis as analysis;
+use mips_hll::MachineTarget;
+
+fn per_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_constants", |b| {
+        b.iter(analysis::constants::analyze_corpus)
+    });
+    g.bench_function("table3_cc_savings", |b| {
+        b.iter(analysis::cc_usage::analyze_corpus)
+    });
+    g.bench_function("table4_booleans", |b| {
+        b.iter(analysis::booleans::analyze_corpus)
+    });
+    g.bench_function("table5_strategies", |b| b.iter(analysis::bool_cost::table5));
+    g.bench_function("table9_byte_costs", |b| b.iter(analysis::byte_cost::table9));
+    g.bench_function("table11_reorg_levels", |b| b.iter(analysis::table11::measure));
+    let fast: &[&str] = &["scanner", "wordcount", "strings", "formatter", "sieve"];
+    g.bench_function("table7_refs_word", |b| {
+        b.iter(|| analysis::refs::measure(MachineTarget::Word, Some(fast)))
+    });
+    g.bench_function("table8_refs_byte", |b| {
+        b.iter(|| analysis::refs::measure(MachineTarget::Byte, Some(fast)))
+    });
+    g.bench_function("figure4_reorg", |b| b.iter(analysis::figures::figure4));
+    g.finish();
+}
+
+criterion_group!(benches, per_table);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Regenerates every table and figure of *Hardware/Software Tradeoffs for
+//! Increased Performance* (ASPLOS 1982), printing measured values next to
+//! the paper's published numbers.
+//!
+//! ```text
+//! cargo run --release -p mips-bench --bin tables            # everything
+//! cargo run --release -p mips-bench --bin tables table11    # one experiment
+//! ```
+//!
+//! Experiments: `table1` … `table11`, `figure1` … `figure4`, `free`.
+
+use mips_analysis as analysis;
+use mips_hll::MachineTarget;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+    let t0 = Instant::now();
+
+    if want("table1") {
+        section("Table 1");
+        println!("{}", analysis::constants::analyze_corpus());
+    }
+    if want("table2") {
+        section("Table 2");
+        println!("{}", analysis::taxonomy::Taxonomy);
+    }
+    if want("table3") {
+        section("Table 3");
+        println!("{}", analysis::cc_usage::analyze_corpus());
+    }
+
+    let bool_stats = analysis::booleans::analyze_corpus();
+    if want("table4") {
+        section("Table 4");
+        println!("{bool_stats}");
+    }
+    if want("table5") {
+        section("Table 5");
+        println!("{}", analysis::bool_cost::table5());
+    }
+    if want("table6") {
+        section("Table 6");
+        let t6 = analysis::bool_cost::table6(
+            bool_stats.operators_per_compound().max(1.0),
+            bool_stats.jump_pct() / 100.0,
+        );
+        println!("{t6}");
+    }
+
+    if want("table7") || want("table8") || want("table9") || want("table10") {
+        let word = analysis::refs::measure(MachineTarget::Word, None);
+        let byte = analysis::refs::measure(MachineTarget::Byte, None);
+        if want("table7") {
+            section("Table 7");
+            println!("{word}");
+        }
+        if want("table8") {
+            section("Table 8");
+            println!("{byte}");
+        }
+        let t9 = analysis::byte_cost::table9();
+        if want("table9") {
+            section("Table 9");
+            println!("{t9}");
+        }
+        if want("table10") {
+            section("Table 10");
+            println!("{}", analysis::byte_cost::table10(&t9, &word, &byte));
+        }
+    }
+
+    if want("table11") {
+        section("Table 11");
+        println!("{}", analysis::table11::measure());
+    }
+
+    if want("figure1") {
+        section("Figure 1");
+        println!("{}", analysis::figures::figure1());
+    }
+    if want("figure2") {
+        section("Figure 2");
+        println!("{}", analysis::figures::figure2());
+    }
+    if want("figure3") {
+        section("Figure 3");
+        println!("{}", analysis::figures::figure3());
+    }
+    if want("figure4") {
+        section("Figure 4");
+        println!("{}", analysis::figures::figure4());
+    }
+
+    if want("wordwise") {
+        section("Word-at-a-time string processing (§4.1)");
+        println!("{}", analysis::word_at_a_time::measure());
+    }
+
+    if want("regalloc") {
+        section("Register allocation payoff (§2.2)");
+        println!(
+            "{}",
+            analysis::regalloc::sweep(&["sort", "queens", "strings", "formatter", "sieve", "matmul"])
+        );
+    }
+
+    if want("free") {
+        section("Free memory cycles (§3.1)");
+        let names: Vec<&str> = mips_workloads::corpus().iter().map(|w| w.name).collect();
+        println!("{}", analysis::free_cycles::measure(&names));
+    }
+
+    eprintln!("[tables: completed in {:?}]", t0.elapsed());
+}
+
+fn section(name: &str) {
+    println!("{}", "=".repeat(72));
+    println!("== {name}");
+    println!("{}", "=".repeat(72));
+}

@@ -1,0 +1,52 @@
+//! # mips-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the **`tables` binary** (`cargo run --release -p mips-bench --bin
+//!   tables`) regenerates every table and figure of the paper, printing
+//!   measured values next to the published ones;
+//! * the **Criterion benches** (`cargo bench`) measure the reproduction's
+//!   own machinery (simulator throughput, reorganizer and compiler speed)
+//!   and re-run the per-table experiments under Criterion timing.
+//!
+//! The helpers here are shared between the two.
+
+use mips_hll::{compile_mips, CodegenOptions};
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::{Machine, Profile};
+
+/// Compiles a workload with the standard configuration and reorganizes
+/// it at full optimization.
+///
+/// # Panics
+///
+/// Panics if the source does not compile (corpus sources always do).
+pub fn build(source: &str) -> mips_reorg::ReorgOutput {
+    let lc = compile_mips(source, &CodegenOptions::standard()).expect("corpus compiles");
+    reorganize(&lc, ReorgOptions::FULL).expect("reorganizes")
+}
+
+/// Runs a built program to completion and returns its profile.
+///
+/// # Panics
+///
+/// Panics on simulation errors.
+pub fn run(out: &mips_reorg::ReorgOutput) -> Profile {
+    let mut m = Machine::new(out.program.clone());
+    m.set_refclass_map(out.refclass.clone());
+    m.run().expect("runs");
+    m.profile().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_run_a_workload() {
+        let w = mips_workloads::get("fib").unwrap();
+        let out = build(w.source);
+        let p = run(&out);
+        assert!(p.instructions > 1000);
+    }
+}

@@ -1,0 +1,104 @@
+//! The paper's instruction cost weights.
+//!
+//! Table 6 is computed "assuming that register operations take time 1,
+//! compares take time 2, and branches take time 4" (§2.3.2). Memory moves
+//! are charged as register operations (weight 1), matching the paper's
+//! instruction-count framing.
+
+use crate::isa::{CcInstr, CcProgram};
+
+/// Per-class instruction costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostWeights {
+    /// Register operations, moves, conditional sets.
+    pub reg_op: u64,
+    /// Explicit compare instructions.
+    pub compare: u64,
+    /// Branches, calls, returns (taken or not — the paper's weight models
+    /// the pipeline disruption cost of a branch instruction).
+    pub branch: u64,
+}
+
+impl CostWeights {
+    /// The paper's weights: 1 / 2 / 4.
+    pub const PAPER: CostWeights = CostWeights {
+        reg_op: 1,
+        compare: 2,
+        branch: 4,
+    };
+
+    /// The weighted cost of one instruction.
+    pub fn of(&self, i: &CcInstr) -> u64 {
+        if matches!(i, CcInstr::Compare { .. }) {
+            self.compare
+        } else if i.is_branch() {
+            self.branch
+        } else if matches!(i, CcInstr::Halt) {
+            0
+        } else {
+            self.reg_op
+        }
+    }
+
+    /// The static weighted cost of a whole program.
+    pub fn static_cost(&self, p: &CcProgram) -> u64 {
+        p.instrs().iter().map(|i| self.of(i)).sum()
+    }
+}
+
+impl Default for CostWeights {
+    fn default() -> CostWeights {
+        CostWeights::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{CcAluOp, CcCond, CcOperand, CcProgramBuilder, CcTarget};
+
+    #[test]
+    fn weights_match_paper() {
+        let w = CostWeights::PAPER;
+        assert_eq!(
+            w.of(&CcInstr::Alu {
+                op: CcAluOp::Add,
+                src: CcOperand::Imm(1),
+                dst: 0
+            }),
+            1
+        );
+        assert_eq!(
+            w.of(&CcInstr::Compare {
+                a: 0,
+                b: CcOperand::Imm(0)
+            }),
+            2
+        );
+        assert_eq!(
+            w.of(&CcInstr::CondBranch {
+                cond: CcCond::Eq,
+                target: CcTarget::Abs(0)
+            }),
+            4
+        );
+        assert_eq!(w.of(&CcInstr::CondSet { cond: CcCond::Eq, dst: 0 }), 1);
+        assert_eq!(w.of(&CcInstr::MoveImm { imm: 0, dst: 0 }), 1);
+    }
+
+    #[test]
+    fn static_cost_sums() {
+        let mut b = CcProgramBuilder::new();
+        b.push(CcInstr::MoveImm { imm: 1, dst: 0 }); // 1
+        b.push(CcInstr::Compare {
+            a: 0,
+            b: CcOperand::Imm(1),
+        }); // 2
+        b.push(CcInstr::Branch {
+            target: CcTarget::Abs(3),
+        }); // 4
+        b.push(CcInstr::Halt); // 0
+        let p = b.finish().unwrap();
+        assert_eq!(CostWeights::PAPER.static_cost(&p), 7);
+    }
+}

@@ -1,0 +1,691 @@
+//! The baseline machine's instruction set: a conventional two-address
+//! register machine with eight general registers, a frame/stack
+//! discipline, and condition-code-mediated control flow.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A register number, `0..8`. By software convention `r6` is the frame
+/// pointer and `r7` the stack pointer.
+pub type CcReg = u8;
+
+/// Number of general registers.
+pub const CC_REGS: usize = 8;
+/// Frame-pointer convention.
+pub const CC_FP: CcReg = 6;
+/// Stack-pointer convention.
+pub const CC_SP: CcReg = 7;
+
+/// A code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CcLabel(pub u32);
+
+impl fmt::Display for CcLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Base of a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcBase {
+    /// Absolute (global) address.
+    Abs(u32),
+    /// Register-relative (frame/stack/pointer).
+    Reg(CcReg),
+}
+
+/// A memory address: base + displacement + optional index register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CcAddr {
+    /// The base.
+    pub base: CcBase,
+    /// Word displacement.
+    pub disp: i32,
+    /// Optional index register (added as a word index).
+    pub index: Option<CcReg>,
+}
+
+impl CcAddr {
+    /// An absolute address.
+    pub fn abs(a: u32) -> CcAddr {
+        CcAddr {
+            base: CcBase::Abs(a),
+            disp: 0,
+            index: None,
+        }
+    }
+
+    /// Frame-relative.
+    pub fn fp(disp: i32) -> CcAddr {
+        CcAddr {
+            base: CcBase::Reg(CC_FP),
+            disp,
+            index: None,
+        }
+    }
+
+    /// Adds an index register.
+    pub fn indexed(mut self, r: CcReg) -> CcAddr {
+        self.index = Some(r);
+        self
+    }
+}
+
+impl fmt::Display for CcAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.base {
+            CcBase::Abs(a) => write!(f, "@{a}")?,
+            CcBase::Reg(r) => write!(f, "{}(r{r})", self.disp)?,
+        }
+        if let CcBase::Abs(_) = self.base {
+            if self.disp != 0 {
+                write!(f, "+{}", self.disp)?;
+            }
+        }
+        if let Some(x) = self.index {
+            write!(f, "[r{x}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A source operand for ALU/compare instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcOperand {
+    /// A register.
+    Reg(CcReg),
+    /// An immediate.
+    Imm(i32),
+}
+
+impl fmt::Display for CcOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcOperand::Reg(r) => write!(f, "r{r}"),
+            CcOperand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Two-address ALU operations: `dst := dst op src`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcAluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Signed division.
+    Div,
+    /// Signed remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Negate (`dst := -dst`; ignores src).
+    Neg,
+    /// Logical not on booleans (`dst := 1 - dst`; ignores src).
+    NotB,
+}
+
+impl fmt::Display for CcAluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CcAluOp::Add => "add",
+            CcAluOp::Sub => "sub",
+            CcAluOp::Mul => "mul",
+            CcAluOp::Div => "div",
+            CcAluOp::Rem => "rem",
+            CcAluOp::And => "and",
+            CcAluOp::Or => "or",
+            CcAluOp::Xor => "xor",
+            CcAluOp::Shl => "shl",
+            CcAluOp::Shr => "shr",
+            CcAluOp::Neg => "neg",
+            CcAluOp::NotB => "notb",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions decoded from the N/Z/V flags (signed comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcCond {
+    /// Equal (Z).
+    Eq,
+    /// Not equal (!Z).
+    Ne,
+    /// Signed less-than (N ⊕ V).
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CcCond {
+    /// The negated condition.
+    pub fn negate(self) -> CcCond {
+        match self {
+            CcCond::Eq => CcCond::Ne,
+            CcCond::Ne => CcCond::Eq,
+            CcCond::Lt => CcCond::Ge,
+            CcCond::Ge => CcCond::Lt,
+            CcCond::Le => CcCond::Gt,
+            CcCond::Gt => CcCond::Le,
+        }
+    }
+
+    /// Mnemonic suffix.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CcCond::Eq => "eq",
+            CcCond::Ne => "ne",
+            CcCond::Lt => "lt",
+            CcCond::Le => "le",
+            CcCond::Gt => "gt",
+            CcCond::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for CcCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A baseline-machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcInstr {
+    /// `dst := mem[addr]` (a move: sets N/Z under the VAX policy).
+    Load {
+        /// Source address.
+        addr: CcAddr,
+        /// Destination register.
+        dst: CcReg,
+    },
+    /// `mem[addr] := src` (a move).
+    Store {
+        /// Source register.
+        src: CcReg,
+        /// Destination address.
+        addr: CcAddr,
+    },
+    /// `dst := imm` (a move).
+    MoveImm {
+        /// The immediate.
+        imm: i32,
+        /// Destination register.
+        dst: CcReg,
+    },
+    /// `dst := src` (a move).
+    MoveReg {
+        /// Source register.
+        src: CcReg,
+        /// Destination register.
+        dst: CcReg,
+    },
+    /// `dst := dst op src` (an operation: always sets the codes).
+    Alu {
+        /// The operation.
+        op: CcAluOp,
+        /// Source operand.
+        src: CcOperand,
+        /// Destination register.
+        dst: CcReg,
+    },
+    /// Explicit compare: codes := flags of `a - b`.
+    Compare {
+        /// Left comparand.
+        a: CcReg,
+        /// Right comparand.
+        b: CcOperand,
+    },
+    /// Conditional branch on the codes.
+    CondBranch {
+        /// Condition.
+        cond: CcCond,
+        /// Target.
+        target: CcTarget,
+    },
+    /// Unconditional branch.
+    Branch {
+        /// Target.
+        target: CcTarget,
+    },
+    /// Conditional set (M68000 `scc`): `dst := cond ? 1 : 0`. Only legal
+    /// when the policy has it.
+    CondSet {
+        /// Condition.
+        cond: CcCond,
+        /// Destination register.
+        dst: CcReg,
+    },
+    /// Push a register on the stack.
+    Push {
+        /// Source register.
+        src: CcReg,
+    },
+    /// Pop the stack into a register.
+    Pop {
+        /// Destination register.
+        dst: CcReg,
+    },
+    /// Call a procedure (return address on an internal stack — this is
+    /// the "conventional" machine; no delay slots, no visible pipeline).
+    Call {
+        /// Entry point.
+        target: CcTarget,
+    },
+    /// Return from a call.
+    Ret,
+    /// Write the low byte of `r0` to the output stream.
+    PutC,
+    /// Write `r0` as signed decimal to the output stream.
+    PutInt,
+    /// Stop.
+    Halt,
+}
+
+/// A branch target (label pre-resolution, absolute after).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcTarget {
+    /// Unresolved label.
+    Label(CcLabel),
+    /// Absolute instruction index.
+    Abs(u32),
+}
+
+impl fmt::Display for CcTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcTarget::Label(l) => write!(f, "{l}"),
+            CcTarget::Abs(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl CcInstr {
+    /// Whether this instruction is a *move* in the paper's sense (loads,
+    /// stores, register and immediate moves).
+    pub fn is_move(&self) -> bool {
+        matches!(
+            self,
+            CcInstr::Load { .. }
+                | CcInstr::Store { .. }
+                | CcInstr::MoveImm { .. }
+                | CcInstr::MoveReg { .. }
+        )
+    }
+
+    /// Whether this instruction is an *operation* (always sets the codes).
+    pub fn is_operation(&self) -> bool {
+        matches!(self, CcInstr::Alu { .. })
+    }
+
+    /// Whether this is any kind of branch (for the cost model's weight 4).
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            CcInstr::CondBranch { .. } | CcInstr::Branch { .. } | CcInstr::Call { .. } | CcInstr::Ret
+        )
+    }
+
+    /// Registers read by the instruction.
+    pub fn reads(&self) -> Vec<CcReg> {
+        let mut v = Vec::new();
+        let addr_regs = |a: &CcAddr, v: &mut Vec<CcReg>| {
+            if let CcBase::Reg(r) = a.base {
+                v.push(r);
+            }
+            if let Some(x) = a.index {
+                v.push(x);
+            }
+        };
+        match self {
+            CcInstr::Load { addr, .. } => addr_regs(addr, &mut v),
+            CcInstr::Store { src, addr } => {
+                v.push(*src);
+                addr_regs(addr, &mut v);
+            }
+            CcInstr::MoveReg { src, .. } => v.push(*src),
+            CcInstr::Alu { src, dst, .. } => {
+                v.push(*dst);
+                if let CcOperand::Reg(r) = src {
+                    v.push(*r);
+                }
+            }
+            CcInstr::Compare { a, b } => {
+                v.push(*a);
+                if let CcOperand::Reg(r) = b {
+                    v.push(*r);
+                }
+            }
+            CcInstr::Push { src } => v.push(*src),
+            CcInstr::PutC | CcInstr::PutInt => v.push(0),
+            _ => {}
+        }
+        v
+    }
+
+    /// The register written, if any.
+    pub fn writes(&self) -> Option<CcReg> {
+        match self {
+            CcInstr::Load { dst, .. }
+            | CcInstr::MoveImm { dst, .. }
+            | CcInstr::MoveReg { dst, .. }
+            | CcInstr::Alu { dst, .. }
+            | CcInstr::CondSet { dst, .. }
+            | CcInstr::Pop { dst } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// The register whose value the instruction leaves in the condition
+    /// codes when it sets them (`None` for compares, which reflect a
+    /// difference, and for non-setting instructions).
+    pub fn cc_result_reg(&self) -> Option<CcReg> {
+        match self {
+            CcInstr::Alu { dst, .. } => Some(*dst),
+            CcInstr::Load { dst, .. } => Some(*dst),
+            CcInstr::MoveImm { dst, .. } => Some(*dst),
+            CcInstr::MoveReg { dst, .. } => Some(*dst),
+            CcInstr::Store { src, .. } => Some(*src),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CcInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcInstr::Load { addr, dst } => write!(f, "ld {addr},r{dst}"),
+            CcInstr::Store { src, addr } => write!(f, "st r{src},{addr}"),
+            CcInstr::MoveImm { imm, dst } => write!(f, "mov #{imm},r{dst}"),
+            CcInstr::MoveReg { src, dst } => write!(f, "mov r{src},r{dst}"),
+            CcInstr::Alu { op, src, dst } => write!(f, "{op} {src},r{dst}"),
+            CcInstr::Compare { a, b } => write!(f, "cmp r{a},{b}"),
+            CcInstr::CondBranch { cond, target } => write!(f, "b{cond} {target}"),
+            CcInstr::Branch { target } => write!(f, "bra {target}"),
+            CcInstr::CondSet { cond, dst } => write!(f, "s{cond} r{dst}"),
+            CcInstr::Push { src } => write!(f, "push r{src}"),
+            CcInstr::Pop { dst } => write!(f, "pop r{dst}"),
+            CcInstr::Call { target } => write!(f, "call {target}"),
+            CcInstr::Ret => write!(f, "ret"),
+            CcInstr::PutC => write!(f, "putc"),
+            CcInstr::PutInt => write!(f, "putint"),
+            CcInstr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Label-resolution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcResolveError {
+    /// A referenced label was never defined.
+    Undefined(CcLabel),
+    /// A label was defined twice.
+    Duplicate(CcLabel),
+}
+
+impl fmt::Display for CcResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcResolveError::Undefined(l) => write!(f, "undefined label {l}"),
+            CcResolveError::Duplicate(l) => write!(f, "duplicate label {l}"),
+        }
+    }
+}
+
+impl Error for CcResolveError {}
+
+/// A resolved baseline-machine program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CcProgram {
+    instrs: Vec<CcInstr>,
+    symbols: HashMap<String, u32>,
+}
+
+impl CcProgram {
+    /// The instructions.
+    pub fn instrs(&self) -> &[CcInstr] {
+        &self.instrs
+    }
+
+    /// Static instruction count.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Looks up a named entry point.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// A printable listing.
+    pub fn listing(&self) -> String {
+        use fmt::Write as _;
+        let mut rev: HashMap<u32, &str> = HashMap::new();
+        for (n, a) in &self.symbols {
+            rev.insert(*a, n);
+        }
+        let mut s = String::new();
+        for (i, ins) in self.instrs.iter().enumerate() {
+            if let Some(n) = rev.get(&(i as u32)) {
+                let _ = writeln!(s, "{n}:");
+            }
+            let _ = writeln!(s, "{i:6}  {ins}");
+        }
+        s
+    }
+}
+
+/// Builds a [`CcProgram`], resolving labels.
+#[derive(Debug, Default)]
+pub struct CcProgramBuilder {
+    instrs: Vec<CcInstr>,
+    defs: HashMap<CcLabel, u32>,
+    next: u32,
+    symbols: HashMap<String, u32>,
+}
+
+impl CcProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> CcProgramBuilder {
+        CcProgramBuilder::default()
+    }
+
+    /// A fresh label.
+    pub fn fresh_label(&mut self) -> CcLabel {
+        let l = CcLabel(self.next);
+        self.next += 1;
+        l
+    }
+
+    /// Defines `l` at the current address.
+    ///
+    /// # Errors
+    ///
+    /// [`CcResolveError::Duplicate`] when already defined.
+    pub fn define(&mut self, l: CcLabel) -> Result<(), CcResolveError> {
+        if l.0 >= self.next {
+            self.next = l.0 + 1;
+        }
+        if self.defs.insert(l, self.instrs.len() as u32).is_some() {
+            return Err(CcResolveError::Duplicate(l));
+        }
+        Ok(())
+    }
+
+    /// Current address.
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, i: CcInstr) {
+        self.instrs.push(i);
+    }
+
+    /// Names the current address.
+    pub fn define_symbol(&mut self, name: impl Into<String>) {
+        self.symbols.insert(name.into(), self.here());
+    }
+
+    /// Resolves and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// [`CcResolveError::Undefined`] for dangling labels.
+    pub fn finish(self) -> Result<CcProgram, CcResolveError> {
+        let resolve = |t: CcTarget| -> Result<CcTarget, CcResolveError> {
+            match t {
+                CcTarget::Label(l) => self
+                    .defs
+                    .get(&l)
+                    .map(|&a| CcTarget::Abs(a))
+                    .ok_or(CcResolveError::Undefined(l)),
+                abs => Ok(abs),
+            }
+        };
+        let mut out = Vec::with_capacity(self.instrs.len());
+        for i in self.instrs.iter() {
+            let r = match *i {
+                CcInstr::CondBranch { cond, target } => CcInstr::CondBranch {
+                    cond,
+                    target: resolve(target)?,
+                },
+                CcInstr::Branch { target } => CcInstr::Branch {
+                    target: resolve(target)?,
+                },
+                CcInstr::Call { target } => CcInstr::Call {
+                    target: resolve(target)?,
+                },
+                other => other,
+            };
+            out.push(r);
+        }
+        Ok(CcProgram {
+            instrs: out,
+            symbols: self.symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve() {
+        let mut b = CcProgramBuilder::new();
+        let l = b.fresh_label();
+        b.push(CcInstr::Branch {
+            target: CcTarget::Label(l),
+        });
+        b.define(l).unwrap();
+        b.push(CcInstr::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(
+            p.instrs()[0],
+            CcInstr::Branch {
+                target: CcTarget::Abs(1)
+            }
+        );
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut b = CcProgramBuilder::new();
+        let l = b.fresh_label();
+        b.push(CcInstr::Call {
+            target: CcTarget::Label(l),
+        });
+        assert_eq!(b.finish().unwrap_err(), CcResolveError::Undefined(l));
+    }
+
+    #[test]
+    fn move_and_operation_classification() {
+        assert!(CcInstr::MoveImm { imm: 1, dst: 0 }.is_move());
+        assert!(CcInstr::Load {
+            addr: CcAddr::abs(0),
+            dst: 0
+        }
+        .is_move());
+        assert!(!CcInstr::Compare {
+            a: 0,
+            b: CcOperand::Imm(0)
+        }
+        .is_move());
+        assert!(CcInstr::Alu {
+            op: CcAluOp::Add,
+            src: CcOperand::Imm(1),
+            dst: 0
+        }
+        .is_operation());
+    }
+
+    #[test]
+    fn cc_result_reg_tracks_value() {
+        assert_eq!(
+            CcInstr::Alu {
+                op: CcAluOp::Sub,
+                src: CcOperand::Reg(1),
+                dst: 2
+            }
+            .cc_result_reg(),
+            Some(2)
+        );
+        assert_eq!(
+            CcInstr::Store {
+                src: 3,
+                addr: CcAddr::abs(0)
+            }
+            .cc_result_reg(),
+            Some(3)
+        );
+        assert_eq!(
+            CcInstr::Compare {
+                a: 0,
+                b: CcOperand::Imm(1)
+            }
+            .cc_result_reg(),
+            None
+        );
+    }
+
+    #[test]
+    fn display_round() {
+        let i = CcInstr::CondBranch {
+            cond: CcCond::Le,
+            target: CcTarget::Abs(7),
+        };
+        assert_eq!(i.to_string(), "ble 7");
+        assert_eq!(CcAddr::fp(-2).indexed(3).to_string(), "-2(r6)[r3]");
+    }
+
+    #[test]
+    fn cond_negate() {
+        for c in [CcCond::Eq, CcCond::Ne, CcCond::Lt, CcCond::Le, CcCond::Gt, CcCond::Ge] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+}

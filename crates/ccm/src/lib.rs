@@ -1,0 +1,53 @@
+//! # mips-ccm — the condition-code baseline machines
+//!
+//! The paper's case against condition codes (§2.3) is comparative: MIPS's
+//! compare-and-branch / *Set Conditionally* design is measured against
+//! "conventional" machines in which conditional control flow communicates
+//! through a flags register set as a side effect of other instructions.
+//!
+//! This crate provides that baseline: a small two-address register machine
+//! with a four-flag condition code (N, Z, V, C) whose *policy* is
+//! parametric, covering the axes of the paper's Table 2:
+//!
+//! * **what sets the codes** — arithmetic operations only (S/360-style) or
+//!   every move as well (VAX-style);
+//! * **conditional set** — whether an M68000-style `scc` (set a register
+//!   from the condition code) exists.
+//!
+//! It also carries the paper's §2.3.2 cost weights ("register operations
+//! take time 1, compares take time 2, and branches take time 4") and the
+//! Table 3 *compares saved* analysis: how many explicit compare
+//! instructions could be elided because the condition code already held
+//! the needed result.
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_ccm::{CcInstr, CcMachine, CcOperand, CcPolicy, CcProgramBuilder, CcCond};
+//!
+//! let mut b = CcProgramBuilder::new();
+//! b.push(CcInstr::MoveImm { imm: 5, dst: 0 });
+//! b.push(CcInstr::Compare { a: 0, b: CcOperand::Imm(5) });
+//! b.push(CcInstr::CondSet { cond: CcCond::Eq, dst: 1 });
+//! b.push(CcInstr::Halt);
+//! let p = b.finish().unwrap();
+//!
+//! let mut m = CcMachine::new(p, CcPolicy::M68000);
+//! m.run().unwrap();
+//! assert_eq!(m.reg(1), 1);
+//! ```
+
+mod cost;
+mod isa;
+mod machine;
+mod policy;
+mod savings;
+
+pub use cost::CostWeights;
+pub use isa::{
+    CcAddr, CcAluOp, CcBase, CcCond, CcInstr, CcLabel, CcOperand, CcProgram, CcProgramBuilder,
+    CcReg, CcResolveError, CcTarget, CC_FP, CC_REGS, CC_SP,
+};
+pub use machine::{CcMachine, CcRunError, CcStats, Flags};
+pub use policy::CcPolicy;
+pub use savings::{analyze_savings, SavingsReport};

@@ -1,0 +1,649 @@
+//! The baseline-machine simulator.
+//!
+//! A conventional sequential machine: no delay slots, no visible pipeline
+//! — exactly the programming model the paper's "machines with condition
+//! codes" present to their compilers. Costs are charged per the paper's
+//! weights so dynamic comparisons against MIPS code are possible.
+
+use crate::cost::CostWeights;
+use crate::isa::{
+    CcAddr, CcAluOp, CcBase, CcCond, CcInstr, CcOperand, CcProgram, CcReg, CcTarget, CC_REGS,
+    CC_SP,
+};
+use crate::policy::CcPolicy;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// The condition-code flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Overflow.
+    pub v: bool,
+    /// Carry (borrow on subtract).
+    pub c: bool,
+}
+
+impl Flags {
+    /// Flags from a plain value (what a move leaves behind: N and Z; V
+    /// and C cleared, as on the M68000's MOVE).
+    pub fn of_value(v: i32) -> Flags {
+        Flags {
+            n: v < 0,
+            z: v == 0,
+            v: false,
+            c: false,
+        }
+    }
+
+    /// Flags of the subtraction `a - b` (what compare leaves behind).
+    pub fn of_sub(a: i32, b: i32) -> Flags {
+        let (r, ovf) = a.overflowing_sub(b);
+        Flags {
+            n: r < 0,
+            z: r == 0,
+            v: ovf,
+            c: (a as u32) < (b as u32),
+        }
+    }
+
+    /// Evaluates a signed branch condition.
+    pub fn cond(&self, c: CcCond) -> bool {
+        match c {
+            CcCond::Eq => self.z,
+            CcCond::Ne => !self.z,
+            CcCond::Lt => self.n != self.v,
+            CcCond::Ge => self.n == self.v,
+            CcCond::Le => self.z || (self.n != self.v),
+            CcCond::Gt => !self.z && (self.n == self.v),
+        }
+    }
+}
+
+/// Dynamic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Weighted dynamic cost under the attached [`CostWeights`].
+    pub cost: u64,
+    /// Branch instructions executed (conditional + unconditional +
+    /// call/ret).
+    pub branches: u64,
+    /// Conditional branches that were taken.
+    pub taken: u64,
+    /// Compares executed.
+    pub compares: u64,
+    /// Moves executed.
+    pub moves: u64,
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcRunError {
+    /// PC left the program.
+    PcOutOfRange(u32),
+    /// Step budget exhausted.
+    StepLimit(u64),
+    /// Return without a call.
+    EmptyCallStack,
+    /// `scc` executed under a policy without conditional set.
+    CondSetUnavailable,
+    /// Division by zero.
+    DivideByZero(u32),
+}
+
+impl fmt::Display for CcRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcRunError::PcOutOfRange(pc) => write!(f, "pc {pc} out of range"),
+            CcRunError::StepLimit(l) => write!(f, "step limit {l} exhausted"),
+            CcRunError::EmptyCallStack => write!(f, "return with empty call stack"),
+            CcRunError::CondSetUnavailable => {
+                write!(f, "conditional set not available under this policy")
+            }
+            CcRunError::DivideByZero(pc) => write!(f, "divide by zero at {pc}"),
+        }
+    }
+}
+
+impl Error for CcRunError {}
+
+/// The baseline machine.
+pub struct CcMachine {
+    program: CcProgram,
+    policy: CcPolicy,
+    weights: CostWeights,
+    regs: [i32; CC_REGS],
+    flags: Flags,
+    pc: u32,
+    mem: HashMap<u32, i32>,
+    call_stack: Vec<u32>,
+    halted: bool,
+    stats: CcStats,
+    output: Vec<u8>,
+    step_limit: u64,
+}
+
+impl fmt::Debug for CcMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CcMachine")
+            .field("pc", &self.pc)
+            .field("halted", &self.halted)
+            .field("policy", &self.policy.name)
+            .finish()
+    }
+}
+
+/// Default stack top (word address).
+pub const CC_STACK_TOP: i32 = 0x0070_0000;
+
+impl CcMachine {
+    /// Creates a machine over `program` with the given condition-code
+    /// policy and the paper's cost weights.
+    pub fn new(program: CcProgram, policy: CcPolicy) -> CcMachine {
+        let mut m = CcMachine {
+            program,
+            policy,
+            weights: CostWeights::PAPER,
+            regs: [0; CC_REGS],
+            flags: Flags::default(),
+            pc: 0,
+            mem: HashMap::new(),
+            call_stack: Vec::new(),
+            halted: false,
+            stats: CcStats::default(),
+            output: Vec::new(),
+            step_limit: 200_000_000,
+        };
+        m.regs[CC_SP as usize] = CC_STACK_TOP;
+        m
+    }
+
+    /// Replaces the cost weights.
+    pub fn set_weights(&mut self, w: CostWeights) {
+        self.weights = w;
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: CcReg) -> i32 {
+        self.regs[r as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: CcReg, v: i32) {
+        self.regs[r as usize] = v;
+    }
+
+    /// The flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &CcProgram {
+        &self.program
+    }
+
+    /// Reads memory (zero default).
+    pub fn peek(&self, a: u32) -> i32 {
+        self.mem.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Writes memory.
+    pub fn poke(&mut self, a: u32, v: i32) {
+        self.mem.insert(a, v);
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CcStats {
+        self.stats
+    }
+
+    /// Output bytes.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Output as lossy UTF-8.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// Jumps to an address (clears nothing — conventional machine).
+    pub fn jump_to(&mut self, pc: u32) {
+        self.pc = pc;
+        self.halted = false;
+    }
+
+    fn ea(&self, a: &CcAddr) -> u32 {
+        let base = match a.base {
+            CcBase::Abs(x) => x as i64,
+            CcBase::Reg(r) => self.regs[r as usize] as i64,
+        };
+        let idx = a.index.map_or(0, |r| self.regs[r as usize] as i64);
+        (base + a.disp as i64 + idx) as u32
+    }
+
+    fn operand(&self, o: CcOperand) -> i32 {
+        match o {
+            CcOperand::Reg(r) => self.regs[r as usize],
+            CcOperand::Imm(v) => v,
+        }
+    }
+
+    fn set_cc_value(&mut self, v: i32) {
+        self.flags = Flags::of_value(v);
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`CcRunError`].
+    pub fn step(&mut self) -> Result<bool, CcRunError> {
+        if self.halted {
+            return Ok(false);
+        }
+        if self.stats.instructions >= self.step_limit {
+            return Err(CcRunError::StepLimit(self.step_limit));
+        }
+        let Some(&i) = self.program.instrs().get(self.pc as usize) else {
+            return Err(CcRunError::PcOutOfRange(self.pc));
+        };
+        self.stats.instructions += 1;
+        self.stats.cost += self.weights.of(&i);
+        let mut next = self.pc + 1;
+        match i {
+            CcInstr::Load { addr, dst } => {
+                self.stats.moves += 1;
+                let v = self.peek(self.ea(&addr));
+                self.regs[dst as usize] = v;
+                if self.policy.set_on_moves {
+                    self.set_cc_value(v);
+                }
+            }
+            CcInstr::Store { src, addr } => {
+                self.stats.moves += 1;
+                let v = self.regs[src as usize];
+                let a = self.ea(&addr);
+                self.poke(a, v);
+                if self.policy.set_on_moves {
+                    self.set_cc_value(v);
+                }
+            }
+            CcInstr::MoveImm { imm, dst } => {
+                self.stats.moves += 1;
+                self.regs[dst as usize] = imm;
+                if self.policy.set_on_moves {
+                    self.set_cc_value(imm);
+                }
+            }
+            CcInstr::MoveReg { src, dst } => {
+                self.stats.moves += 1;
+                let v = self.regs[src as usize];
+                self.regs[dst as usize] = v;
+                if self.policy.set_on_moves {
+                    self.set_cc_value(v);
+                }
+            }
+            CcInstr::Alu { op, src, dst } => {
+                let a = self.regs[dst as usize];
+                let b = self.operand(src);
+                let (r, ovf) = match op {
+                    CcAluOp::Add => a.overflowing_add(b),
+                    CcAluOp::Sub => a.overflowing_sub(b),
+                    CcAluOp::Mul => a.overflowing_mul(b),
+                    CcAluOp::Div => {
+                        if b == 0 {
+                            return Err(CcRunError::DivideByZero(self.pc));
+                        }
+                        a.overflowing_div(b)
+                    }
+                    CcAluOp::Rem => {
+                        if b == 0 {
+                            return Err(CcRunError::DivideByZero(self.pc));
+                        }
+                        a.overflowing_rem(b)
+                    }
+                    CcAluOp::And => (a & b, false),
+                    CcAluOp::Or => (a | b, false),
+                    CcAluOp::Xor => (a ^ b, false),
+                    CcAluOp::Shl => (a.wrapping_shl(b as u32 & 31), false),
+                    CcAluOp::Shr => (a.wrapping_shr(b as u32 & 31), false),
+                    CcAluOp::Neg => a.overflowing_neg(),
+                    CcAluOp::NotB => (1 - a, false),
+                };
+                self.regs[dst as usize] = r;
+                self.flags = Flags {
+                    n: r < 0,
+                    z: r == 0,
+                    v: ovf,
+                    c: false,
+                };
+            }
+            CcInstr::Compare { a, b } => {
+                self.stats.compares += 1;
+                self.flags = Flags::of_sub(self.regs[a as usize], self.operand(b));
+            }
+            CcInstr::CondBranch { cond, target } => {
+                self.stats.branches += 1;
+                if self.flags.cond(cond) {
+                    self.stats.taken += 1;
+                    next = self.resolve(target);
+                }
+            }
+            CcInstr::Branch { target } => {
+                self.stats.branches += 1;
+                self.stats.taken += 1;
+                next = self.resolve(target);
+            }
+            CcInstr::CondSet { cond, dst } => {
+                if !self.policy.has_cond_set {
+                    return Err(CcRunError::CondSetUnavailable);
+                }
+                self.regs[dst as usize] = self.flags.cond(cond) as i32;
+            }
+            CcInstr::Push { src } => {
+                self.regs[CC_SP as usize] -= 1;
+                let a = self.regs[CC_SP as usize] as u32;
+                let v = self.regs[src as usize];
+                self.poke(a, v);
+            }
+            CcInstr::Pop { dst } => {
+                let a = self.regs[CC_SP as usize] as u32;
+                let v = self.peek(a);
+                self.regs[CC_SP as usize] += 1;
+                self.regs[dst as usize] = v;
+            }
+            CcInstr::Call { target } => {
+                self.stats.branches += 1;
+                self.call_stack.push(next);
+                next = self.resolve(target);
+            }
+            CcInstr::Ret => {
+                self.stats.branches += 1;
+                next = self
+                    .call_stack
+                    .pop()
+                    .ok_or(CcRunError::EmptyCallStack)?;
+            }
+            CcInstr::PutC => self.output.push(self.regs[0] as u8),
+            CcInstr::PutInt => self
+                .output
+                .extend_from_slice(self.regs[0].to_string().as_bytes()),
+            CcInstr::Halt => {
+                self.halted = true;
+                return Ok(false);
+            }
+        }
+        self.pc = next;
+        Ok(true)
+    }
+
+    fn resolve(&self, t: CcTarget) -> u32 {
+        match t {
+            CcTarget::Abs(a) => a,
+            CcTarget::Label(l) => panic!("unresolved label {l} at run time"),
+        }
+    }
+
+    /// Runs to halt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CcRunError`] from [`CcMachine::step`].
+    pub fn run(&mut self) -> Result<(), CcRunError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Calls a named procedure: result convention is `r0`.
+    ///
+    /// # Errors
+    ///
+    /// Simulation errors.
+    ///
+    /// # Panics
+    ///
+    /// If the symbol is undefined.
+    pub fn run_fn(&mut self, name: &str, args: &[i32]) -> Result<i32, CcRunError> {
+        let entry = self
+            .program
+            .symbol(name)
+            .unwrap_or_else(|| panic!("undefined symbol {name}"));
+        // Arguments are pushed right-to-left; a synthetic frame is built
+        // by the callee's prologue.
+        for &a in args.iter().rev() {
+            self.regs[CC_SP as usize] -= 1;
+            let sp = self.regs[CC_SP as usize] as u32;
+            self.poke(sp, a);
+        }
+        // Return lands on a Halt sentinel: push a pc beyond the program,
+        // catch the return manually.
+        self.call_stack.push(u32::MAX);
+        self.pc = entry;
+        self.halted = false;
+        loop {
+            if self.pc == u32::MAX {
+                break;
+            }
+            if !self.step()? {
+                break;
+            }
+        }
+        // Pop the arguments.
+        self.regs[CC_SP as usize] += args.len() as i32;
+        Ok(self.regs[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::CcProgramBuilder;
+
+    fn program(is: Vec<CcInstr>) -> CcProgram {
+        let mut b = CcProgramBuilder::new();
+        for i in is {
+            b.push(i);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn flags_of_sub_signed_cases() {
+        assert!(Flags::of_sub(1, 2).cond(CcCond::Lt));
+        assert!(Flags::of_sub(2, 1).cond(CcCond::Gt));
+        assert!(Flags::of_sub(2, 2).cond(CcCond::Eq));
+        assert!(Flags::of_sub(2, 2).cond(CcCond::Le));
+        // Overflow case: i32::MIN - 1 overflows; signed compare must still
+        // be "less than".
+        assert!(Flags::of_sub(i32::MIN, 1).cond(CcCond::Lt));
+        assert!(Flags::of_sub(i32::MAX, -1).cond(CcCond::Gt));
+    }
+
+    #[test]
+    fn alu_and_compare_flow() {
+        let p = program(vec![
+            CcInstr::MoveImm { imm: 10, dst: 0 },
+            CcInstr::Alu {
+                op: CcAluOp::Sub,
+                src: CcOperand::Imm(10),
+                dst: 0,
+            },
+            CcInstr::CondBranch {
+                cond: CcCond::Eq,
+                target: CcTarget::Abs(4),
+            },
+            CcInstr::MoveImm { imm: 99, dst: 1 },
+            CcInstr::Halt,
+        ]);
+        let mut m = CcMachine::new(p, CcPolicy::S360);
+        m.run().unwrap();
+        assert_eq!(m.reg(1), 0, "branch on operation-set Z must be taken");
+        assert_eq!(m.stats().branches, 1);
+        assert_eq!(m.stats().taken, 1);
+    }
+
+    #[test]
+    fn moves_set_cc_only_under_vax_policy() {
+        let code = vec![
+            CcInstr::MoveImm { imm: 7, dst: 0 },
+            CcInstr::Alu {
+                op: CcAluOp::Sub,
+                src: CcOperand::Imm(7),
+                dst: 0,
+            }, // Z set
+            CcInstr::MoveImm { imm: 5, dst: 1 }, // VAX: clears Z; 360: leaves Z
+            CcInstr::CondBranch {
+                cond: CcCond::Eq,
+                target: CcTarget::Abs(5),
+            },
+            CcInstr::MoveImm { imm: 1, dst: 2 },
+            CcInstr::Halt,
+        ];
+        let mut m360 = CcMachine::new(program(code.clone()), CcPolicy::S360);
+        m360.run().unwrap();
+        assert_eq!(m360.reg(2), 0, "360: move left Z intact, branch taken");
+
+        let mut mvax = CcMachine::new(program(code), CcPolicy::VAX);
+        mvax.run().unwrap();
+        assert_eq!(mvax.reg(2), 1, "VAX: move of 5 cleared Z");
+    }
+
+    #[test]
+    fn cond_set_requires_policy() {
+        let p = program(vec![
+            CcInstr::Compare {
+                a: 0,
+                b: CcOperand::Imm(0),
+            },
+            CcInstr::CondSet {
+                cond: CcCond::Eq,
+                dst: 1,
+            },
+            CcInstr::Halt,
+        ]);
+        let mut m = CcMachine::new(p.clone(), CcPolicy::VAX);
+        assert_eq!(m.run(), Err(CcRunError::CondSetUnavailable));
+        let mut m = CcMachine::new(p, CcPolicy::M68000);
+        m.run().unwrap();
+        assert_eq!(m.reg(1), 1);
+    }
+
+    #[test]
+    fn push_pop_and_memory() {
+        let p = program(vec![
+            CcInstr::MoveImm { imm: 42, dst: 0 },
+            CcInstr::Push { src: 0 },
+            CcInstr::MoveImm { imm: 0, dst: 0 },
+            CcInstr::Pop { dst: 1 },
+            CcInstr::Store {
+                src: 1,
+                addr: CcAddr::abs(100),
+            },
+            CcInstr::Halt,
+        ]);
+        let mut m = CcMachine::new(p, CcPolicy::VAX);
+        m.run().unwrap();
+        assert_eq!(m.reg(1), 42);
+        assert_eq!(m.peek(100), 42);
+        assert_eq!(m.reg(CC_SP), CC_STACK_TOP);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let p = program(vec![
+            CcInstr::Call {
+                target: CcTarget::Abs(3),
+            },
+            CcInstr::MoveImm { imm: 9, dst: 1 },
+            CcInstr::Halt,
+            CcInstr::MoveImm { imm: 5, dst: 0 },
+            CcInstr::Ret,
+        ]);
+        let mut m = CcMachine::new(p, CcPolicy::S360);
+        m.run().unwrap();
+        assert_eq!(m.reg(0), 5);
+        assert_eq!(m.reg(1), 9);
+    }
+
+    #[test]
+    fn indexed_addressing() {
+        let p = program(vec![
+            CcInstr::MoveImm { imm: 3, dst: 2 },
+            CcInstr::Load {
+                addr: CcAddr::abs(200).indexed(2),
+                dst: 0,
+            },
+            CcInstr::Halt,
+        ]);
+        let mut m = CcMachine::new(p, CcPolicy::S360);
+        m.poke(203, 77);
+        m.run().unwrap();
+        assert_eq!(m.reg(0), 77);
+    }
+
+    #[test]
+    fn cost_accounting_uses_weights() {
+        let p = program(vec![
+            CcInstr::MoveImm { imm: 1, dst: 0 }, // 1
+            CcInstr::Compare {
+                a: 0,
+                b: CcOperand::Imm(1),
+            }, // 2
+            CcInstr::CondBranch {
+                cond: CcCond::Ne,
+                target: CcTarget::Abs(0),
+            }, // 4 (not taken)
+            CcInstr::Halt, // 0
+        ]);
+        let mut m = CcMachine::new(p, CcPolicy::S360);
+        m.run().unwrap();
+        assert_eq!(m.stats().cost, 7);
+        assert_eq!(m.stats().compares, 1);
+        assert_eq!(m.stats().moves, 1);
+    }
+
+    #[test]
+    fn output_services() {
+        let p = program(vec![
+            CcInstr::MoveImm {
+                imm: 'x' as i32,
+                dst: 0,
+            },
+            CcInstr::PutC,
+            CcInstr::MoveImm { imm: -7, dst: 0 },
+            CcInstr::PutInt,
+            CcInstr::Halt,
+        ]);
+        let mut m = CcMachine::new(p, CcPolicy::S360);
+        m.run().unwrap();
+        assert_eq!(m.output_string(), "x-7");
+    }
+
+    #[test]
+    fn divide_by_zero_reported() {
+        let p = program(vec![
+            CcInstr::MoveImm { imm: 1, dst: 0 },
+            CcInstr::Alu {
+                op: CcAluOp::Div,
+                src: CcOperand::Imm(0),
+                dst: 0,
+            },
+            CcInstr::Halt,
+        ]);
+        let mut m = CcMachine::new(p, CcPolicy::S360);
+        assert_eq!(m.run(), Err(CcRunError::DivideByZero(1)));
+    }
+}

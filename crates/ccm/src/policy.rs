@@ -1,0 +1,69 @@
+//! Condition-code policies — the rows of the paper's Table 2.
+
+use std::fmt;
+
+/// How a machine's condition codes behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcPolicy {
+    /// Human-readable name for tables.
+    pub name: &'static str,
+    /// Moves (loads, stores, register moves, immediates) set N and Z —
+    /// the VAX discipline ("the VAX sets the condition code on all move
+    /// operations").
+    pub set_on_moves: bool,
+    /// The machine has a conditional-set instruction (M68000 `scc`).
+    pub has_cond_set: bool,
+}
+
+impl CcPolicy {
+    /// S/360-style: operations set the codes, moves do not, no
+    /// conditional set.
+    pub const S360: CcPolicy = CcPolicy {
+        name: "360-style (set on operations)",
+        set_on_moves: false,
+        has_cond_set: false,
+    };
+
+    /// VAX-style: operations *and* moves set the codes, no conditional
+    /// set.
+    pub const VAX: CcPolicy = CcPolicy {
+        name: "VAX-style (set on operations and moves)",
+        set_on_moves: true,
+        has_cond_set: false,
+    };
+
+    /// M68000-style: operations and moves set the codes, conditional set
+    /// available.
+    pub const M68000: CcPolicy = CcPolicy {
+        name: "M68000-style (conditional set)",
+        set_on_moves: true,
+        has_cond_set: true,
+    };
+
+    /// The baseline policies used across the analysis crate.
+    pub const ALL: [CcPolicy; 3] = [CcPolicy::S360, CcPolicy::VAX, CcPolicy::M68000];
+}
+
+impl fmt::Display for CcPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_are_distinct() {
+        // Pairwise distinct along at least one axis.
+        for (i, a) in CcPolicy::ALL.iter().enumerate() {
+            for b in &CcPolicy::ALL[i + 1..] {
+                assert!(
+                    a.set_on_moves != b.set_on_moves || a.has_cond_set != b.has_cond_set,
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+}

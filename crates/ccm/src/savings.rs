@@ -1,0 +1,282 @@
+//! The Table 3 analysis: how many explicit compares could condition codes
+//! actually eliminate?
+//!
+//! A compare is *saved* by condition codes when the value it tests against
+//! zero is exactly the value whose flags the immediately preceding
+//! instruction already left in the condition code — i.e. the compare is a
+//! pure re-derivation of live flags. The paper measured this over compiled
+//! Pascal programs and found the savings "so small as to be essentially
+//! useless" (≈1.1% when operations set the codes, ≈2.1% when moves set
+//! them too).
+
+use crate::isa::{CcInstr, CcOperand, CcProgram, CcTarget};
+use std::collections::HashSet;
+
+/// The result of the savings analysis, following the paper's Table 3
+/// accounting: a compare whose flags come from a *move* only counts as a
+/// net saving when the moved value is reused afterwards — otherwise the
+/// move existed "only to set the condition code" and merely relabels the
+/// compare.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SavingsReport {
+    /// Explicit compare instructions in the program.
+    pub total_compares: u64,
+    /// Compares saved when only operations set the codes (360 policy).
+    pub saved_ops_only: u64,
+    /// Gross compares saved when operations and moves set the codes
+    /// (the paper's "set by operators and moves" row).
+    pub gross_ops_and_moves: u64,
+    /// Of those, enabled by a move whose only purpose was setting the
+    /// codes (the paper's "moves used only to set condition code" row —
+    /// excluded from net savings).
+    pub moves_only_for_cc: u64,
+}
+
+impl SavingsReport {
+    /// Net compares saved under the ops-and-moves policy (the paper's
+    /// "total compares saved by condition codes").
+    pub fn net_saved(&self) -> u64 {
+        self.gross_ops_and_moves - self.moves_only_for_cc
+    }
+
+    /// Savings percentage under the ops-only policy.
+    pub fn pct_ops_only(&self) -> f64 {
+        percentage(self.saved_ops_only, self.total_compares)
+    }
+
+    /// Net savings percentage under the ops-and-moves policy.
+    pub fn pct_ops_and_moves(&self) -> f64 {
+        percentage(self.net_saved(), self.total_compares)
+    }
+}
+
+fn percentage(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Computes basic-block leader positions: branch/call targets and
+/// fall-through successors of control transfers.
+fn leaders(p: &CcProgram) -> HashSet<usize> {
+    let mut l = HashSet::new();
+    l.insert(0);
+    for (i, ins) in p.instrs().iter().enumerate() {
+        match ins {
+            CcInstr::CondBranch { target, .. }
+            | CcInstr::Branch { target }
+            | CcInstr::Call { target } => {
+                if let CcTarget::Abs(t) = target {
+                    l.insert(*t as usize);
+                }
+                l.insert(i + 1);
+            }
+            CcInstr::Ret | CcInstr::Halt => {
+                l.insert(i + 1);
+            }
+            _ => {}
+        }
+    }
+    l
+}
+
+/// Runs the Table 3 analysis over a compiled program.
+pub fn analyze_savings(p: &CcProgram) -> SavingsReport {
+    let leaders = leaders(p);
+    let mut r = SavingsReport::default();
+    let instrs = p.instrs();
+    for (i, ins) in instrs.iter().enumerate() {
+        let CcInstr::Compare { a, b } = ins else {
+            continue;
+        };
+        r.total_compares += 1;
+        // Only zero-compares can reuse result flags.
+        if *b != CcOperand::Imm(0) {
+            continue;
+        }
+        // Must have a same-block predecessor.
+        if i == 0 || leaders.contains(&i) {
+            continue;
+        }
+        let prev = &instrs[i - 1];
+        if prev.cc_result_reg() != Some(*a) {
+            continue;
+        }
+        if prev.is_operation() {
+            r.saved_ops_only += 1;
+            r.gross_ops_and_moves += 1;
+        } else if prev.is_move() {
+            r.gross_ops_and_moves += 1;
+            // Does the moved value get reused (beyond this compare)? If
+            // not, the move existed only to set the codes.
+            if !value_reused(instrs, &leaders, i, *a) {
+                r.moves_only_for_cc += 1;
+            }
+        }
+    }
+    r
+}
+
+/// Scans forward from the compare at `i` within its basic block: is the
+/// register `r` read again before being overwritten?
+fn value_reused(instrs: &[CcInstr], leaders: &HashSet<usize>, i: usize, r: crate::isa::CcReg) -> bool {
+    for (k, ins) in instrs.iter().enumerate().skip(i + 1) {
+        if leaders.contains(&k) {
+            return false;
+        }
+        if ins.reads().contains(&r) {
+            return true;
+        }
+        if ins.writes() == Some(r) {
+            return false;
+        }
+        if matches!(
+            ins,
+            CcInstr::CondBranch { .. }
+                | CcInstr::Branch { .. }
+                | CcInstr::Call { .. }
+                | CcInstr::Ret
+                | CcInstr::Halt
+        ) {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{CcAddr, CcAluOp, CcCond, CcProgramBuilder};
+
+    #[test]
+    fn op_result_compare_is_saved() {
+        let mut b = CcProgramBuilder::new();
+        b.push(CcInstr::Alu {
+            op: CcAluOp::Sub,
+            src: CcOperand::Imm(1),
+            dst: 0,
+        });
+        b.push(CcInstr::Compare {
+            a: 0,
+            b: CcOperand::Imm(0),
+        });
+        b.push(CcInstr::CondBranch {
+            cond: CcCond::Eq,
+            target: CcTarget::Abs(4),
+        });
+        b.push(CcInstr::Halt);
+        b.push(CcInstr::Halt);
+        let r = analyze_savings(&b.finish().unwrap());
+        assert_eq!(r.total_compares, 1);
+        assert_eq!(r.saved_ops_only, 1);
+        assert_eq!(r.gross_ops_and_moves, 1);
+        assert_eq!(r.moves_only_for_cc, 0);
+        assert!((r.pct_ops_only() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn move_result_compare_saved_only_with_moves_policy() {
+        let mut b = CcProgramBuilder::new();
+        b.push(CcInstr::Load {
+            addr: CcAddr::abs(10),
+            dst: 0,
+        });
+        b.push(CcInstr::Compare {
+            a: 0,
+            b: CcOperand::Imm(0),
+        });
+        b.push(CcInstr::Halt);
+        let r = analyze_savings(&b.finish().unwrap());
+        assert_eq!(r.saved_ops_only, 0);
+        assert_eq!(r.gross_ops_and_moves, 1);
+        assert_eq!(r.moves_only_for_cc, 1, "dead after the test: move-only");
+        assert_eq!(r.net_saved(), 0);
+    }
+
+    #[test]
+    fn reused_move_counts_as_net_saving() {
+        let mut b = CcProgramBuilder::new();
+        b.push(CcInstr::Load {
+            addr: CcAddr::abs(10),
+            dst: 0,
+        });
+        b.push(CcInstr::Compare {
+            a: 0,
+            b: CcOperand::Imm(0),
+        });
+        // The loaded value is used again: the move was real work.
+        b.push(CcInstr::Alu {
+            op: CcAluOp::Add,
+            src: CcOperand::Reg(0),
+            dst: 1,
+        });
+        b.push(CcInstr::Halt);
+        let r = analyze_savings(&b.finish().unwrap());
+        assert_eq!(r.gross_ops_and_moves, 1);
+        assert_eq!(r.moves_only_for_cc, 0);
+        assert_eq!(r.net_saved(), 1);
+    }
+
+    #[test]
+    fn nonzero_compare_never_saved() {
+        let mut b = CcProgramBuilder::new();
+        b.push(CcInstr::Alu {
+            op: CcAluOp::Sub,
+            src: CcOperand::Imm(1),
+            dst: 0,
+        });
+        b.push(CcInstr::Compare {
+            a: 0,
+            b: CcOperand::Imm(13),
+        });
+        b.push(CcInstr::Halt);
+        let r = analyze_savings(&b.finish().unwrap());
+        assert_eq!(r.total_compares, 1);
+        assert_eq!(r.gross_ops_and_moves, 0);
+    }
+
+    #[test]
+    fn block_boundary_blocks_saving() {
+        // The compare is a branch target: flags unknown on entry.
+        let mut b = CcProgramBuilder::new();
+        let l = b.fresh_label();
+        b.push(CcInstr::Alu {
+            op: CcAluOp::Sub,
+            src: CcOperand::Imm(1),
+            dst: 0,
+        });
+        b.define(l).unwrap();
+        b.push(CcInstr::Compare {
+            a: 0,
+            b: CcOperand::Imm(0),
+        });
+        b.push(CcInstr::CondBranch {
+            cond: CcCond::Ne,
+            target: CcTarget::Label(l),
+        });
+        b.push(CcInstr::Halt);
+        let r = analyze_savings(&b.finish().unwrap());
+        assert_eq!(r.total_compares, 1);
+        assert_eq!(r.gross_ops_and_moves, 0);
+    }
+
+    #[test]
+    fn wrong_register_blocks_saving() {
+        let mut b = CcProgramBuilder::new();
+        b.push(CcInstr::Alu {
+            op: CcAluOp::Sub,
+            src: CcOperand::Imm(1),
+            dst: 3,
+        });
+        b.push(CcInstr::Compare {
+            a: 0,
+            b: CcOperand::Imm(0),
+        });
+        b.push(CcInstr::Halt);
+        let r = analyze_savings(&b.finish().unwrap());
+        assert_eq!(r.gross_ops_and_moves, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The sixteen comparison conditions.
+//!
+//! MIPS "supports conditional control flow breaks using a compare and
+//! branch instruction with one of 16 possible comparisons. The 16
+//! comparisons include both signed and unsigned arithmetic" (paper
+//! §2.3.1), and the *Set Conditionally* instruction uses "the same 16
+//! comparisons found in conditional branches" (§2.3.2).
+//!
+//! The paper does not enumerate the sixteen; we use the natural closure of
+//! the relations it names: the six signed orderings, the four strict /
+//! non-strict unsigned orderings (equality is sign-agnostic), constant
+//! true/false, two mask tests (useful for flag words without a carry bit),
+//! and two sign-bit tests. Each condition has a [negation](Cond::negate)
+//! within the set, which the code generators rely on.
+
+use std::fmt;
+
+/// A comparison condition for compare-and-branch and *Set Conditionally*.
+///
+/// # Example
+///
+/// ```
+/// use mips_core::Cond;
+/// assert!(Cond::Ltu.eval(1, u32::MAX));      // unsigned: 1 < 0xffffffff
+/// assert!(!Cond::Lt.eval(1, u32::MAX));      // signed:   1 > -1
+/// assert_eq!(Cond::Lt.negate(), Cond::Ge);
+/// assert_eq!(Cond::Lt.swap(), Cond::Gt);     // a < b  ⇔  b > a
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Never true (a canonical no-op branch).
+    Never = 0,
+    /// Always true (an unconditional branch expressed as a comparison).
+    Always = 1,
+    /// Equal.
+    Eq = 2,
+    /// Not equal.
+    Ne = 3,
+    /// Signed less-than.
+    Lt = 4,
+    /// Signed less-or-equal.
+    Le = 5,
+    /// Signed greater-than.
+    Gt = 6,
+    /// Signed greater-or-equal.
+    Ge = 7,
+    /// Unsigned less-than.
+    Ltu = 8,
+    /// Unsigned less-or-equal.
+    Leu = 9,
+    /// Unsigned greater-than.
+    Gtu = 10,
+    /// Unsigned greater-or-equal.
+    Geu = 11,
+    /// `a & b == 0` — all masked bits clear.
+    MaskZero = 12,
+    /// `a & b != 0` — some masked bit set.
+    MaskNonZero = 13,
+    /// Sign bit of `a` set (ignores `b`).
+    Neg = 14,
+    /// Sign bit of `a` clear (ignores `b`).
+    NotNeg = 15,
+}
+
+impl Cond {
+    /// All sixteen conditions in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::Never,
+        Cond::Always,
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::Ltu,
+        Cond::Leu,
+        Cond::Gtu,
+        Cond::Geu,
+        Cond::MaskZero,
+        Cond::MaskNonZero,
+        Cond::Neg,
+        Cond::NotNeg,
+    ];
+
+    /// The condition's 4-bit encoding.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 4-bit condition code.
+    #[inline]
+    pub fn from_code(c: u8) -> Option<Cond> {
+        Cond::ALL.get(c as usize).copied()
+    }
+
+    /// Evaluates the comparison on two 32-bit register values.
+    ///
+    /// Signed comparisons reinterpret the bits as two's-complement `i32`.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            Cond::Never => false,
+            Cond::Always => true,
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => sa < sb,
+            Cond::Le => sa <= sb,
+            Cond::Gt => sa > sb,
+            Cond::Ge => sa >= sb,
+            Cond::Ltu => a < b,
+            Cond::Leu => a <= b,
+            Cond::Gtu => a > b,
+            Cond::Geu => a >= b,
+            Cond::MaskZero => a & b == 0,
+            Cond::MaskNonZero => a & b != 0,
+            Cond::Neg => sa < 0,
+            Cond::NotNeg => sa >= 0,
+        }
+    }
+
+    /// The logical negation, which is always another member of the set —
+    /// compilers use this to invert branches without extra instructions.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Never => Cond::Always,
+            Cond::Always => Cond::Never,
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+            Cond::Leu => Cond::Gtu,
+            Cond::Gtu => Cond::Leu,
+            Cond::MaskZero => Cond::MaskNonZero,
+            Cond::MaskNonZero => Cond::MaskZero,
+            Cond::Neg => Cond::NotNeg,
+            Cond::NotNeg => Cond::Neg,
+        }
+    }
+
+    /// The condition with its operands exchanged: `a ⟐ b ⇔ b ⟐.swap() a`.
+    ///
+    /// `Neg`/`NotNeg` inspect only the first operand and are returned
+    /// unchanged; callers must not swap operands of those.
+    pub fn swap(self) -> Cond {
+        match self {
+            Cond::Lt => Cond::Gt,
+            Cond::Gt => Cond::Lt,
+            Cond::Le => Cond::Ge,
+            Cond::Ge => Cond::Le,
+            Cond::Ltu => Cond::Gtu,
+            Cond::Gtu => Cond::Ltu,
+            Cond::Leu => Cond::Geu,
+            Cond::Geu => Cond::Leu,
+            other => other,
+        }
+    }
+
+    /// Whether the condition is symmetric in its operands.
+    pub fn is_symmetric(self) -> bool {
+        matches!(
+            self,
+            Cond::Never | Cond::Always | Cond::Eq | Cond::Ne | Cond::MaskZero | Cond::MaskNonZero
+        )
+    }
+
+    /// The assembler mnemonic suffix (`beq`, `bltu`, `seq`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Never => "nev",
+            Cond::Always => "alw",
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::Ltu => "ltu",
+            Cond::Leu => "leu",
+            Cond::Gtu => "gtu",
+            Cond::Geu => "geu",
+            Cond::MaskZero => "mz",
+            Cond::MaskNonZero => "mnz",
+            Cond::Neg => "neg",
+            Cond::NotNeg => "nneg",
+        }
+    }
+
+    /// Parses a mnemonic suffix produced by [`Cond::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Cond> {
+        Cond::ALL.iter().copied().find(|c| c.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_sixteen() {
+        assert_eq!(Cond::ALL.len(), 16);
+        for (i, c) in Cond::ALL.iter().enumerate() {
+            assert_eq!(c.code() as usize, i);
+            assert_eq!(Cond::from_code(i as u8), Some(*c));
+        }
+        assert_eq!(Cond::from_code(16), None);
+    }
+
+    #[test]
+    fn negate_is_involution_and_complements_eval() {
+        let samples = [
+            (0u32, 0u32),
+            (1, 2),
+            (2, 1),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (0x8000_0000, 0x7fff_ffff),
+            (5, 5),
+            (0xf0, 0x0f),
+        ];
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            for &(a, b) in &samples {
+                assert_eq!(c.eval(a, b), !c.negate().eval(a, b), "{c} on {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_operands() {
+        let samples = [(1u32, 2u32), (2, 1), (7, 7), (u32::MAX, 1)];
+        for c in Cond::ALL {
+            if matches!(c, Cond::Neg | Cond::NotNeg) {
+                continue; // unary in the first operand
+            }
+            for &(a, b) in &samples {
+                assert_eq!(c.eval(a, b), c.swap().eval(b, a), "{c} on {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_conditions_really_are() {
+        let samples = [(1u32, 2u32), (3, 3), (u32::MAX, 0)];
+        for c in Cond::ALL.iter().copied().filter(|c| c.is_symmetric()) {
+            for &(a, b) in &samples {
+                assert_eq!(c.eval(a, b), c.eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn signed_vs_unsigned() {
+        assert!(Cond::Lt.eval(u32::MAX, 0)); // -1 < 0
+        assert!(!Cond::Ltu.eval(u32::MAX, 0));
+        assert!(Cond::Gtu.eval(u32::MAX, 0));
+        assert!(Cond::Ge.eval(0, u32::MAX));
+    }
+
+    #[test]
+    fn mask_and_sign_tests() {
+        assert!(Cond::MaskZero.eval(0b1100, 0b0011));
+        assert!(Cond::MaskNonZero.eval(0b1100, 0b0100));
+        assert!(Cond::Neg.eval(0x8000_0000, 12345));
+        assert!(Cond::NotNeg.eval(0x7fff_ffff, 0));
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_mnemonic(c.mnemonic()), Some(c));
+        }
+        assert_eq!(Cond::from_mnemonic("zz"), None);
+    }
+}

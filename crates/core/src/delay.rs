@@ -1,0 +1,50 @@
+//! Pipeline delay constants — the contract between the hardware (which
+//! has **no interlocks**) and the reorganizer (which must respect these
+//! numbers or insert no-ops).
+//!
+//! "The MIPS architecture employs the approach outlined here: there are no
+//! hardware interlocks" (paper §4.2.1). The constraints software must
+//! enforce are:
+//!
+//! * **Load delay** — the instruction immediately after a load sees the
+//!   destination register's *old* value ([`LOAD_DELAY`] = 1 slot).
+//! * **Branch delay** — "All branches in MIPS are delayed branches with a
+//!   single instruction delay" ([`BRANCH_DELAY`] = 1): the sequence for a
+//!   taken branch at `i` is `i, i+1, target`.
+//! * **Indirect-jump delay** — indirect jumps "have a branch delay of
+//!   two" ([`INDIRECT_DELAY`] = 2, paper §3.3), which is why the exception
+//!   machinery saves *three* return addresses.
+//!
+//! ALU results, by contrast, are forwarded: an ALU or set-conditionally
+//! result is visible to the very next instruction.
+
+/// Number of instructions after a load that still observe the destination
+/// register's old value.
+pub const LOAD_DELAY: u32 = 1;
+
+/// Delay slots after direct branches, jumps, and calls.
+pub const BRANCH_DELAY: u32 = 1;
+
+/// Delay slots after indirect jumps.
+pub const INDIRECT_DELAY: u32 = 2;
+
+/// Number of pipe stages; "all instructions execute in exactly five pipe
+/// stages" (paper §3.2).
+pub const PIPE_STAGES: u32 = 5;
+
+/// Number of return addresses the exception machinery saves — enough to
+/// restart inside the shadow of an indirect jump ([`INDIRECT_DELAY`] + 1).
+pub const SAVED_RETURN_ADDRESSES: u32 = INDIRECT_DELAY + 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn return_addresses_cover_indirect_shadow() {
+        // Spelled as a runtime check of the module's invariants; the
+        // values are constants by design.
+        assert_eq!(SAVED_RETURN_ADDRESSES, INDIRECT_DELAY + 1);
+        assert_eq!(SAVED_RETURN_ADDRESSES, 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for decoding and label resolution.
+
+use crate::program::Label;
+use std::error::Error;
+use std::fmt;
+
+/// An instruction word failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown major opcode.
+    BadOpcode(u8),
+    /// Unknown ALU operation code.
+    BadAluOp(u8),
+    /// Unknown addressing-mode code.
+    BadMemMode(u8),
+    /// Unknown special-register code.
+    BadSpecialReg(u8),
+    /// A field holds an out-of-range value (e.g. base-shift amount 0).
+    BadField(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(c) => write!(f, "unknown opcode {c:#x}"),
+            DecodeError::BadAluOp(c) => write!(f, "unknown alu operation {c:#x}"),
+            DecodeError::BadMemMode(c) => write!(f, "unknown addressing mode {c:#x}"),
+            DecodeError::BadSpecialReg(c) => write!(f, "unknown special register {c:#x}"),
+            DecodeError::BadField(what) => write!(f, "field out of range: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Program assembly failed to resolve a label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(Label),
+    /// A label was defined more than once.
+    DuplicateLabel(Label),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::UndefinedLabel(l) => write!(f, "undefined label {l}"),
+            ResolveError::DuplicateLabel(l) => write!(f, "duplicate label {l}"),
+        }
+    }
+}
+
+impl Error for ResolveError {}

@@ -1,0 +1,618 @@
+//! Instruction words.
+//!
+//! A MIPS instruction word is either a *packed* operate word holding up to
+//! one ALU piece and one load/store piece, or a full-word instruction
+//! (branch, call, trap, …). Every instruction executes in exactly five
+//! pipe stages and one issue slot; "memory cycles are allocated to
+//! instructions, just as ALU or register access resources" (paper §3.1),
+//! so an operate word without a memory piece leaves its data-memory cycle
+//! *free* for DMA or cache write-backs.
+
+use crate::piece::{
+    AluPiece, CmpBranchPiece, JumpIndPiece, JumpPiece, MemPiece, MviPiece, Operand, SetCondPiece,
+    TrapPiece,
+};
+use crate::piece::CallPiece;
+use crate::program::Label;
+use crate::reg::Reg;
+use std::fmt;
+
+/// A branch/call target: a symbolic label before resolution, an absolute
+/// instruction index afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Unresolved symbolic label (linear code, assembler output).
+    Label(Label),
+    /// Resolved absolute instruction address.
+    Abs(u32),
+}
+
+impl Target {
+    /// The absolute address, if resolved.
+    pub fn abs(self) -> Option<u32> {
+        match self {
+            Target::Abs(a) => Some(a),
+            Target::Label(_) => None,
+        }
+    }
+
+    /// The label, if unresolved.
+    pub fn label(self) -> Option<Label> {
+        match self {
+            Target::Label(l) => Some(l),
+            Target::Abs(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Label(l) => write!(f, "{l}"),
+            Target::Abs(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// The processor's special registers.
+///
+/// All of the "miscellaneous state of the processor is encapsulated into a
+/// single *surprise register*" (paper §3.2); the remaining entries are the
+/// on-chip segmentation registers, the byte-insert selector, and the three
+/// exception return addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpecialReg {
+    /// The surprise register: privilege levels, enable bits, exception
+    /// cause fields. Supervisor-only.
+    Surprise = 0,
+    /// Byte selector for the insert-byte operation. User-accessible.
+    Lo = 1,
+    /// On-chip segmentation: the process identifier inserted into the top
+    /// address bits. Supervisor-only.
+    Pid = 2,
+    /// Number of address bits masked for PID insertion (the `n` of §3.1).
+    /// Supervisor-only.
+    PidBits = 3,
+    /// End of the valid low half of the process address space (exclusive).
+    /// Supervisor-only.
+    LowLimit = 4,
+    /// Start of the valid high half of the process address space.
+    /// Supervisor-only.
+    HighBase = 5,
+    /// First saved exception return address (the offending instruction).
+    Ret0 = 6,
+    /// Second saved return address (its successor).
+    Ret1 = 7,
+    /// Third saved return address (the pending branch target; needed for
+    /// returns into indirect-jump shadows, §3.3). Supervisor-only.
+    Ret2 = 8,
+}
+
+impl SpecialReg {
+    /// All special registers in encoding order.
+    pub const ALL: [SpecialReg; 9] = [
+        SpecialReg::Surprise,
+        SpecialReg::Lo,
+        SpecialReg::Pid,
+        SpecialReg::PidBits,
+        SpecialReg::LowLimit,
+        SpecialReg::HighBase,
+        SpecialReg::Ret0,
+        SpecialReg::Ret1,
+        SpecialReg::Ret2,
+    ];
+
+    /// 4-bit encoding.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a code produced by [`SpecialReg::code`].
+    pub fn from_code(c: u8) -> Option<SpecialReg> {
+        SpecialReg::ALL.get(c as usize).copied()
+    }
+
+    /// Whether access requires supervisor privilege. "The only
+    /// instructions that require supervisor privilege are those that read
+    /// and write the surprise register and the on-chip segmentation
+    /// registers" (§3.2); `lo` is plain user data-path state.
+    pub fn privileged(self) -> bool {
+        !matches!(self, SpecialReg::Lo)
+    }
+
+    /// Assembler name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialReg::Surprise => "surprise",
+            SpecialReg::Lo => "lo",
+            SpecialReg::Pid => "pid",
+            SpecialReg::PidBits => "pidbits",
+            SpecialReg::LowLimit => "lowlimit",
+            SpecialReg::HighBase => "highbase",
+            SpecialReg::Ret0 => "ret0",
+            SpecialReg::Ret1 => "ret1",
+            SpecialReg::Ret2 => "ret2",
+        }
+    }
+
+    /// Parses a name produced by [`SpecialReg::name`].
+    pub fn from_name(s: &str) -> Option<SpecialReg> {
+        SpecialReg::ALL.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Special-register moves and the return-from-exception primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialOp {
+    /// `dst := special`.
+    Read {
+        /// Source special register.
+        sr: SpecialReg,
+        /// Destination general register.
+        dst: Reg,
+    },
+    /// `special := src`.
+    Write {
+        /// Destination special register.
+        sr: SpecialReg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Return from exception: restores the previous privilege/mapping
+    /// state from the surprise register and resumes at the three saved
+    /// return addresses `ret0, ret1, ret2` (paper §3.3). Models the
+    /// MIPS return sequence as one primitive; see DESIGN.md.
+    Rfe,
+}
+
+impl fmt::Display for SpecialOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecialOp::Read { sr, dst } => write!(f, "rsp {sr},{dst}"),
+            SpecialOp::Write { sr, src } => write!(f, "wsp {src},{sr}"),
+            SpecialOp::Rfe => write!(f, "rfe"),
+        }
+    }
+}
+
+/// One 32-bit instruction word.
+///
+/// # Example
+///
+/// ```
+/// use mips_core::{AluOp, AluPiece, Instr, MemMode, MemPiece, Operand, Reg};
+///
+/// // A packed word: an ALU piece and a store piece issued together.
+/// let packed = Instr::Op {
+///     alu: Some(AluPiece::new(AluOp::Add, Reg::R4.into(), Operand::Small(1), Reg::R4)),
+///     mem: Some(MemPiece::store(MemMode::Based { base: Reg::SP, disp: 2 }, Reg::R2)),
+/// };
+/// assert!(packed.is_packed_pair());
+/// assert_eq!(packed.to_string(), "add r4,#1,r4 ; st r2,2(r14)");
+/// assert_eq!(Instr::NOP.to_string(), "no-op");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Operate word: up to one ALU piece and one memory piece. With both
+    /// pieces absent this is the canonical no-op.
+    ///
+    /// Packed-pair semantics: both pieces read the register state from
+    /// *before* the instruction; writes must go to distinct registers. If
+    /// the memory reference faults, the ALU piece's register write is
+    /// suppressed so the instruction can restart (paper §3.3).
+    Op {
+        /// Optional ALU piece.
+        alu: Option<AluPiece>,
+        /// Optional load/store piece.
+        mem: Option<MemPiece>,
+    },
+    /// *Set Conditionally*.
+    SetCond(SetCondPiece),
+    /// Move 8-bit immediate.
+    Mvi(MviPiece),
+    /// Compare-and-branch (delay 1).
+    CmpBranch(CmpBranchPiece),
+    /// Unconditional direct jump (delay 1).
+    Jump(JumpPiece),
+    /// Direct call with link (delay 1).
+    Call(CallPiece),
+    /// Indirect jump (delay 2).
+    JumpInd(JumpIndPiece),
+    /// Load the address of a code label into a register (the linker-style
+    /// relocation a jump table needs; resolved with the program's labels).
+    Lea {
+        /// The code location whose address is loaded.
+        target: Target,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Software trap.
+    Trap(TrapPiece),
+    /// Special-register operation / return-from-exception.
+    Special(SpecialOp),
+    /// Stop the simulation (a simulator convenience, not real hardware;
+    /// real programs end with `trap`).
+    Halt,
+}
+
+impl Instr {
+    /// The canonical no-op (an operate word with no pieces).
+    pub const NOP: Instr = Instr::Op {
+        alu: None,
+        mem: None,
+    };
+
+    /// An operate word holding a single ALU piece.
+    pub fn alu(p: AluPiece) -> Instr {
+        Instr::Op {
+            alu: Some(p),
+            mem: None,
+        }
+    }
+
+    /// An operate word holding a single memory piece.
+    pub fn mem(p: MemPiece) -> Instr {
+        Instr::Op {
+            alu: None,
+            mem: Some(p),
+        }
+    }
+
+    /// True for the no-op.
+    pub fn is_nop(&self) -> bool {
+        matches!(
+            self,
+            Instr::Op {
+                alu: None,
+                mem: None
+            }
+        )
+    }
+
+    /// True when both an ALU and a memory piece are packed together.
+    pub fn is_packed_pair(&self) -> bool {
+        matches!(
+            self,
+            Instr::Op {
+                alu: Some(_),
+                mem: Some(_)
+            }
+        )
+    }
+
+    /// The number of delay slots following this instruction
+    /// (see [`crate::delay`]).
+    pub fn branch_delay(&self) -> u32 {
+        match self {
+            Instr::CmpBranch(_) | Instr::Jump(_) | Instr::Call(_) => crate::delay::BRANCH_DELAY,
+            Instr::JumpInd(_) => crate::delay::INDIRECT_DELAY,
+            _ => 0,
+        }
+    }
+
+    /// Whether this instruction is a control-flow break (branch, jump,
+    /// call, indirect jump, trap, rfe, halt).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::CmpBranch(_)
+                | Instr::Jump(_)
+                | Instr::Call(_)
+                | Instr::JumpInd(_)
+                | Instr::Trap(_)
+                | Instr::Special(SpecialOp::Rfe)
+                | Instr::Halt
+        )
+    }
+
+    /// The branch target (or loaded address), if the instruction has one.
+    pub fn target(&self) -> Option<Target> {
+        match self {
+            Instr::CmpBranch(p) => Some(p.target),
+            Instr::Jump(p) => Some(p.target),
+            Instr::Call(p) => Some(p.target),
+            Instr::Lea { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Replaces the branch target (no-op for targetless instructions).
+    pub fn with_target(mut self, t: Target) -> Instr {
+        match &mut self {
+            Instr::CmpBranch(p) => p.target = t,
+            Instr::Jump(p) => p.target = t,
+            Instr::Call(p) => p.target = t,
+            Instr::Lea { target, .. } => *target = t,
+            _ => {}
+        }
+        self
+    }
+
+    /// Whether the instruction makes a data-memory reference.
+    pub fn references_memory(&self) -> bool {
+        matches!(self, Instr::Op { mem: Some(m), .. } if m.references_memory())
+    }
+
+    /// General registers read by the instruction (deduplicated).
+    pub fn reads(&self) -> Vec<Reg> {
+        fn push(v: &mut Vec<Reg>, r: Reg) {
+            if !v.contains(&r) {
+                v.push(r);
+            }
+        }
+        let mut v = Vec::new();
+        match self {
+            Instr::Op { alu, mem } => {
+                if let Some(a) = alu {
+                    // ic reads its destination word too (read-modify-write
+                    // of the word register is expressed as b operand by
+                    // convention in codegen; the data path reads only a,b).
+                    for r in a.reads() {
+                        push(&mut v, r);
+                    }
+                }
+                if let Some(m) = mem {
+                    for r in m.reads() {
+                        push(&mut v, r);
+                    }
+                }
+            }
+            Instr::SetCond(p) => {
+                for r in p.reads() {
+                    push(&mut v, r);
+                }
+            }
+            Instr::Mvi(_) => {}
+            Instr::CmpBranch(p) => {
+                for r in p.reads() {
+                    push(&mut v, r);
+                }
+            }
+            Instr::Jump(_) => {}
+            Instr::Call(_) => {}
+            Instr::JumpInd(p) => push(&mut v, p.base),
+            Instr::Lea { .. } => {}
+            Instr::Trap(_) => {}
+            Instr::Special(SpecialOp::Write { src, .. }) => {
+                if let Some(r) = src.reg() {
+                    push(&mut v, r);
+                }
+            }
+            Instr::Special(_) => {}
+            Instr::Halt => {}
+        }
+        v
+    }
+
+    /// General registers written by the instruction.
+    pub fn writes(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        match self {
+            Instr::Op { alu, mem } => {
+                if let Some(a) = alu {
+                    v.push(a.dst);
+                }
+                if let Some(m) = mem {
+                    if let Some(d) = m.writes() {
+                        if !v.contains(&d) {
+                            v.push(d);
+                        }
+                    }
+                }
+            }
+            Instr::SetCond(p) => v.push(p.dst),
+            Instr::Mvi(p) => v.push(p.dst),
+            Instr::Call(p) => v.push(p.link),
+            Instr::Lea { dst, .. } => v.push(*dst),
+            Instr::Special(SpecialOp::Read { dst, .. }) => v.push(*dst),
+            _ => {}
+        }
+        v
+    }
+
+    /// Validates piece field ranges and packed-pair legality (distinct
+    /// destination registers, both pieces fit the packed form).
+    pub fn is_valid(&self) -> bool {
+        match self {
+            Instr::Op {
+                alu: Some(a),
+                mem: Some(m),
+            } => {
+                if !m.is_valid() || !m.fits_packed() {
+                    return false;
+                }
+                match m.writes() {
+                    Some(d) => d != a.dst,
+                    None => true,
+                }
+            }
+            Instr::Op { mem: Some(m), .. } => m.is_valid(),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Op {
+                alu: None,
+                mem: None,
+            } => write!(f, "no-op"),
+            Instr::Op {
+                alu: Some(a),
+                mem: None,
+            } => write!(f, "{a}"),
+            Instr::Op {
+                alu: None,
+                mem: Some(m),
+            } => write!(f, "{m}"),
+            Instr::Op {
+                alu: Some(a),
+                mem: Some(m),
+            } => write!(f, "{a} ; {m}"),
+            Instr::SetCond(p) => write!(f, "{p}"),
+            Instr::Mvi(p) => write!(f, "{p}"),
+            Instr::CmpBranch(p) => write!(f, "{p}"),
+            Instr::Jump(p) => write!(f, "{p}"),
+            Instr::Call(p) => write!(f, "{p}"),
+            Instr::JumpInd(p) => write!(f, "{p}"),
+            Instr::Trap(p) => write!(f, "{p}"),
+            Instr::Lea { target, dst } => write!(f, "lea {target},{dst}"),
+            Instr::Special(p) => write!(f, "{p}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::piece::{AluOp, MemMode};
+
+    fn add_r1_r2_r3() -> AluPiece {
+        AluPiece::new(AluOp::Add, Reg::R1.into(), Reg::R2.into(), Reg::R3)
+    }
+
+    fn ld_sp2_r0() -> MemPiece {
+        MemPiece::load(
+            MemMode::Based {
+                base: Reg::SP,
+                disp: 2,
+            },
+            Reg::R0,
+        )
+    }
+
+    #[test]
+    fn nop_properties() {
+        assert!(Instr::NOP.is_nop());
+        assert!(!Instr::NOP.is_packed_pair());
+        assert!(Instr::NOP.reads().is_empty());
+        assert!(Instr::NOP.writes().is_empty());
+        assert!(!Instr::NOP.references_memory());
+        assert!(Instr::NOP.is_valid());
+    }
+
+    #[test]
+    fn packed_pair_reads_and_writes() {
+        let i = Instr::Op {
+            alu: Some(add_r1_r2_r3()),
+            mem: Some(ld_sp2_r0()),
+        };
+        assert!(i.is_packed_pair());
+        assert_eq!(i.reads(), vec![Reg::R1, Reg::R2, Reg::SP]);
+        assert_eq!(i.writes(), vec![Reg::R3, Reg::R0]);
+        assert!(i.references_memory());
+        assert!(i.is_valid());
+    }
+
+    #[test]
+    fn packed_pair_same_dst_is_invalid() {
+        let i = Instr::Op {
+            alu: Some(AluPiece::new(
+                AluOp::Add,
+                Reg::R1.into(),
+                Reg::R2.into(),
+                Reg::R0,
+            )),
+            mem: Some(ld_sp2_r0()),
+        };
+        assert!(!i.is_valid());
+    }
+
+    #[test]
+    fn packed_pair_with_long_disp_is_invalid() {
+        let i = Instr::Op {
+            alu: Some(add_r1_r2_r3()),
+            mem: Some(MemPiece::load(
+                MemMode::Based {
+                    base: Reg::SP,
+                    disp: 5000,
+                },
+                Reg::R0,
+            )),
+        };
+        assert!(!i.is_valid());
+        // Unpacked, the 16-bit displacement is fine.
+        let j = Instr::mem(MemPiece::load(
+            MemMode::Based {
+                base: Reg::SP,
+                disp: 5000,
+            },
+            Reg::R0,
+        ));
+        assert!(j.is_valid());
+    }
+
+    #[test]
+    fn branch_delays() {
+        let b = Instr::CmpBranch(CmpBranchPiece::new(
+            Cond::Eq,
+            Reg::R1.into(),
+            Reg::R2.into(),
+            Target::Abs(10),
+        ));
+        assert_eq!(b.branch_delay(), 1);
+        let j = Instr::JumpInd(JumpIndPiece {
+            base: Reg::RA,
+            disp: 0,
+        });
+        assert_eq!(j.branch_delay(), 2);
+        assert_eq!(Instr::NOP.branch_delay(), 0);
+        assert!(b.is_control());
+        assert!(!Instr::NOP.is_control());
+    }
+
+    #[test]
+    fn target_replacement() {
+        let b = Instr::Jump(JumpPiece {
+            target: Target::Label(Label::new(3)),
+        });
+        let b2 = b.with_target(Target::Abs(77));
+        assert_eq!(b2.target(), Some(Target::Abs(77)));
+        // with_target on a targetless instruction is a no-op
+        assert_eq!(Instr::NOP.with_target(Target::Abs(1)), Instr::NOP);
+    }
+
+    #[test]
+    fn call_writes_link() {
+        let c = Instr::Call(CallPiece {
+            target: Target::Abs(5),
+            link: Reg::RA,
+        });
+        assert_eq!(c.writes(), vec![Reg::RA]);
+        assert_eq!(c.branch_delay(), 1);
+    }
+
+    #[test]
+    fn special_reg_codes_and_privilege() {
+        for sr in SpecialReg::ALL {
+            assert_eq!(SpecialReg::from_code(sr.code()), Some(sr));
+            assert_eq!(SpecialReg::from_name(sr.name()), Some(sr));
+        }
+        assert!(SpecialReg::Surprise.privileged());
+        assert!(!SpecialReg::Lo.privileged());
+        assert!(SpecialReg::Pid.privileged());
+    }
+
+    #[test]
+    fn long_immediate_not_packable() {
+        let i = Instr::Op {
+            alu: Some(add_r1_r2_r3()),
+            mem: Some(MemPiece::LoadImm {
+                value: 0x10000,
+                dst: Reg::R5,
+            }),
+        };
+        assert!(!i.is_valid());
+    }
+}

@@ -1,0 +1,80 @@
+//! # mips-core — the Stanford MIPS instruction-set model
+//!
+//! This crate is the primary contribution of the reproduction: a faithful
+//! model of the MIPS (Microprocessor without Interlocked Pipe Stages)
+//! instruction set described in *Hennessy, Jouppi, Baskett, Gross, Gill,
+//! Przybylski — "Hardware/Software Tradeoffs for Increased Performance"*
+//! (ASPLOS 1982).
+//!
+//! The architectural choices the paper argues for are all visible in the
+//! types of this crate:
+//!
+//! * **No condition codes.** Conditional control flow uses
+//!   [`CmpBranchPiece`] (compare-and-branch with one of [`Cond`]'s sixteen
+//!   comparisons) and boolean values are produced with [`SetCondPiece`]
+//!   (*Set Conditionally*). There is no flags register anywhere in the
+//!   machine state.
+//! * **Word addressing.** Memory is addressed in 32-bit words
+//!   ([`WordAddr`], 24-bit word address space = 16M words). Byte data is
+//!   handled in software with the *insert byte* / *extract byte* ALU
+//!   operations ([`AluOp::Xc`], [`AluOp::Ic`]) and the *base shifted*
+//!   load/store mode ([`MemMode::BaseShifted`]).
+//! * **Instruction pieces.** An instruction word holds an optional ALU
+//!   piece and an optional load/store piece ([`Instr::Op`]); the post-pass
+//!   reorganizer (crate `mips-reorg`) packs pieces into words.
+//! * **Software-imposed interlocks.** The ISA defines a one-instruction
+//!   load delay, a one-instruction branch delay, and a two-instruction
+//!   delay for indirect jumps ([`delay`]); the hardware never stalls.
+//! * **Orthogonal small immediates.** Every operand field can hold a
+//!   four-bit constant ([`Operand::Small`]) and [`Instr::Mvi`] loads an
+//!   eight-bit constant; *reverse operators* ([`AluOp::Rsub`],
+//!   [`AluOp::Rsra`], …) make small negative constants expressible without
+//!   sign extension hardware.
+//!
+//! The crate also provides a binary encoding ([`encode`]) with a full
+//! decode round-trip, the unscheduled *linear code* form emitted by
+//! compilers and consumed by the reorganizer ([`linear`]), and resolved,
+//! runnable [`Program`]s.
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_core::{AluOp, AluPiece, Cond, Instr, Operand, Reg};
+//!
+//! // r2 := 1 - r0   (a reverse-subtract: constant minus register)
+//! let rsub = Instr::alu(AluPiece::new(
+//!     AluOp::Rsub,
+//!     Operand::Reg(Reg::R0),
+//!     Operand::small(1).unwrap(),
+//!     Reg::R2,
+//! ));
+//! assert_eq!(rsub.to_string(), "rsub r0,#1,r2");
+//!
+//! // Compare-and-branch: one instruction, no condition code involved.
+//! let word = mips_core::encode::encode(&rsub);
+//! assert_eq!(mips_core::encode::decode(word).unwrap(), rsub);
+//! assert!(Cond::Lt.eval(3, 5));
+//! ```
+
+pub mod cond;
+pub mod delay;
+pub mod encode;
+pub mod error;
+pub mod instr;
+pub mod linear;
+pub mod piece;
+pub mod program;
+pub mod reg;
+pub mod word;
+
+pub use cond::Cond;
+pub use error::{DecodeError, ResolveError};
+pub use instr::{Instr, SpecialOp, SpecialReg, Target};
+pub use linear::{Item, LinearCode, OpMeta, RefClass, UnschedOp};
+pub use piece::{
+    AluOp, AluPiece, CallPiece, CmpBranchPiece, JumpIndPiece, JumpPiece, MemMode, MemPiece,
+    MviPiece, Operand, Piece, SetCondPiece, TrapPiece, Width,
+};
+pub use program::{Label, Program, ProgramBuilder};
+pub use reg::Reg;
+pub use word::{ByteAddr, WordAddr, ADDR_BITS, MEM_WORDS, WORD_BYTES};

@@ -1,0 +1,356 @@
+//! Unscheduled *linear code* — the code generator's output and the
+//! reorganizer's input.
+//!
+//! "The current scheme provides the reorganization as a post-processing of
+//! the code generator's output" (paper §4.2.1). Code generators (the
+//! `mips-hll` backends, the assembler) emit one piece per [`UnschedOp`]
+//! with no pipeline awareness; the reorganizer in `mips-reorg` then
+//! schedules, packs, and fills branch-delay slots (or inserts no-ops).
+//!
+//! Each op may carry [`OpMeta`]:
+//!
+//! * a [`RefClass`] describing the source-level data reference (byte or
+//!   word, character or not) — the raw material of the paper's Tables 7–8;
+//! * *dead register* hints — Figure 4's transformation is legal only
+//!   because "r2 is 'dead' outside of the section shown", so the compiler
+//!   tells the reorganizer which registers die at block ends;
+//! * a *no-touch* flag — "the front end of the compiler is able to handle
+//!   delayed branches better than the reorganizer; in this case it emits a
+//!   pseudo-op which tells the reorganizer that this sequence is not to be
+//!   touched."
+
+use crate::instr::Instr;
+use crate::program::Label;
+use std::fmt;
+
+/// Source-level classification of a data reference, used by the dynamic
+/// profiler to reproduce the reference-pattern tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RefClass {
+    /// True when the *source datum* is byte-sized (a character or packed
+    /// boolean), regardless of the machine access width used to reach it.
+    pub byte_sized: bool,
+    /// True when the datum is character data (Tables 7–8 split character
+    /// references out separately).
+    pub character: bool,
+}
+
+impl RefClass {
+    /// A 32-bit, non-character datum.
+    pub const WORD: RefClass = RefClass {
+        byte_sized: false,
+        character: false,
+    };
+    /// A byte-sized character datum.
+    pub const CHAR_BYTE: RefClass = RefClass {
+        byte_sized: true,
+        character: true,
+    };
+    /// A character datum allocated in a full word.
+    pub const CHAR_WORD: RefClass = RefClass {
+        byte_sized: false,
+        character: true,
+    };
+    /// A byte-sized non-character datum (packed boolean).
+    pub const BYTE: RefClass = RefClass {
+        byte_sized: true,
+        character: false,
+    };
+}
+
+/// Scheduling metadata attached to an unscheduled op.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpMeta {
+    /// Data-reference classification (memory ops only).
+    pub refclass: Option<RefClass>,
+    /// Registers known dead after this op executes (scheduling hints for
+    /// delayed-branch filling).
+    pub dead_after: Vec<crate::reg::Reg>,
+    /// When set, the reorganizer must leave this op exactly where it is
+    /// relative to its neighbours (the paper's protective pseudo-op).
+    pub no_touch: bool,
+}
+
+/// One unscheduled operation: a single-piece instruction plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnschedOp {
+    /// The instruction. Never a packed pair — packing is the reorganizer's
+    /// job — and never a no-op.
+    pub instr: Instr,
+    /// Scheduling metadata.
+    pub meta: OpMeta,
+}
+
+impl UnschedOp {
+    /// Wraps an instruction with empty metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instr` is already a packed pair or a no-op: linear code
+    /// is made of single pieces.
+    pub fn new(instr: Instr) -> UnschedOp {
+        assert!(
+            !instr.is_packed_pair(),
+            "linear code must be unpacked: {instr}"
+        );
+        assert!(!instr.is_nop(), "linear code never contains no-ops");
+        UnschedOp {
+            instr,
+            meta: OpMeta::default(),
+        }
+    }
+
+    /// Attaches a data-reference classification.
+    pub fn with_refclass(mut self, rc: RefClass) -> UnschedOp {
+        self.meta.refclass = Some(rc);
+        self
+    }
+
+    /// Marks registers dead after this op.
+    pub fn with_dead(mut self, regs: &[crate::reg::Reg]) -> UnschedOp {
+        self.meta.dead_after.extend_from_slice(regs);
+        self
+    }
+
+    /// Protects the op from reordering.
+    pub fn no_touch(mut self) -> UnschedOp {
+        self.meta.no_touch = true;
+        self
+    }
+}
+
+impl fmt::Display for UnschedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.instr)
+    }
+}
+
+/// An element of linear code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A label definition.
+    Label(Label),
+    /// An operation.
+    Op(UnschedOp),
+    /// A named entry point (procedure) at this position.
+    Symbol(String),
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Label(l) => write!(f, "{l}:"),
+            Item::Op(o) => write!(f, "        {o}"),
+            Item::Symbol(s) => write!(f, "{s}::"),
+        }
+    }
+}
+
+/// A whole unscheduled compilation unit.
+///
+/// # Example
+///
+/// ```
+/// use mips_core::{AluOp, AluPiece, Instr, LinearCode, Operand, Reg};
+///
+/// let mut lc = LinearCode::new();
+/// lc.op(Instr::alu(AluPiece::new(AluOp::Add, Reg::R1.into(), Operand::Small(1), Reg::R1)));
+/// lc.push(mips_core::Item::Op(
+///     mips_core::UnschedOp::new(Instr::Halt),
+/// ));
+/// assert_eq!(lc.op_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinearCode {
+    items: Vec<Item>,
+    next_label: u32,
+}
+
+impl LinearCode {
+    /// Creates empty linear code.
+    pub fn new() -> LinearCode {
+        LinearCode::default()
+    }
+
+    /// The items in order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Consumes the unit, returning its items.
+    pub fn into_items(self) -> Vec<Item> {
+        self.items
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: Item) {
+        if let Item::Label(l) = item {
+            if l.id() >= self.next_label {
+                self.next_label = l.id() + 1;
+            }
+        }
+        self.items.push(item);
+    }
+
+    /// Appends a bare op (no metadata).
+    pub fn op(&mut self, instr: Instr) {
+        self.push(Item::Op(UnschedOp::new(instr)));
+    }
+
+    /// Appends an op with metadata.
+    pub fn op_meta(&mut self, op: UnschedOp) {
+        self.push(Item::Op(op));
+    }
+
+    /// Allocates a fresh label unique within this unit.
+    pub fn fresh_label(&mut self) -> Label {
+        let l = Label::new(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Defines a label at the current position.
+    pub fn define(&mut self, l: Label) {
+        self.push(Item::Label(l));
+    }
+
+    /// Defines a named entry point at the current position.
+    pub fn symbol(&mut self, name: impl Into<String>) {
+        self.push(Item::Symbol(name.into()));
+    }
+
+    /// Appends all items of `other`, assuming label spaces are already
+    /// disjoint (the compiler allocates labels from one counter).
+    pub fn append(&mut self, other: LinearCode) {
+        for it in other.items {
+            self.push(it);
+        }
+    }
+
+    /// Number of operations (excludes labels/symbols).
+    pub fn op_count(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, Item::Op(_))).count()
+    }
+
+    /// Mutable access to the most recently pushed op (used by assemblers
+    /// to attach trailing metadata directives).
+    pub fn last_op_mut(&mut self) -> Option<&mut UnschedOp> {
+        self.items.iter_mut().rev().find_map(|i| match i {
+            Item::Op(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    /// Iterates over just the ops.
+    pub fn ops(&self) -> impl Iterator<Item = &UnschedOp> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Op(o) => Some(o),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for LinearCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for it in &self.items {
+            writeln!(f, "{it}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Item> for LinearCode {
+    fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> LinearCode {
+        let mut lc = LinearCode::new();
+        for it in iter {
+            lc.push(it);
+        }
+        lc
+    }
+}
+
+impl Extend<Item> for LinearCode {
+    fn extend<T: IntoIterator<Item = Item>>(&mut self, iter: T) {
+        for it in iter {
+            self.push(it);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::piece::{AluOp, AluPiece, MemMode, MemPiece};
+    use crate::{Operand, Reg};
+
+    fn some_alu() -> Instr {
+        Instr::alu(AluPiece::new(
+            AluOp::Add,
+            Reg::R1.into(),
+            Operand::Small(1),
+            Reg::R1,
+        ))
+    }
+
+    #[test]
+    #[should_panic(expected = "unpacked")]
+    fn packed_ops_rejected() {
+        let packed = Instr::Op {
+            alu: Some(AluPiece::new(
+                AluOp::Add,
+                Reg::R1.into(),
+                Operand::Small(1),
+                Reg::R1,
+            )),
+            mem: Some(MemPiece::load(
+                MemMode::Based {
+                    base: Reg::SP,
+                    disp: 0,
+                },
+                Reg::R2,
+            )),
+        };
+        let _ = UnschedOp::new(packed);
+    }
+
+    #[test]
+    #[should_panic(expected = "no-ops")]
+    fn nops_rejected() {
+        let _ = UnschedOp::new(Instr::NOP);
+    }
+
+    #[test]
+    fn metadata_builders() {
+        let op = UnschedOp::new(some_alu())
+            .with_refclass(RefClass::CHAR_WORD)
+            .with_dead(&[Reg::R2])
+            .no_touch();
+        assert_eq!(op.meta.refclass, Some(RefClass::CHAR_WORD));
+        assert_eq!(op.meta.dead_after, vec![Reg::R2]);
+        assert!(op.meta.no_touch);
+    }
+
+    #[test]
+    fn fresh_labels_avoid_pushed_ones() {
+        let mut lc = LinearCode::new();
+        lc.define(Label::new(5));
+        let l = lc.fresh_label();
+        assert_eq!(l.id(), 6);
+    }
+
+    #[test]
+    fn append_and_counts() {
+        let mut a = LinearCode::new();
+        a.symbol("main");
+        a.op(some_alu());
+        let mut b = LinearCode::new();
+        b.op(some_alu());
+        a.append(b);
+        assert_eq!(a.op_count(), 2);
+        assert_eq!(a.ops().count(), 2);
+        assert_eq!(a.items().len(), 3);
+        let shown = a.to_string();
+        assert!(shown.contains("main::"));
+        assert!(shown.contains("add r1,#1,r1"));
+    }
+}

@@ -1,0 +1,964 @@
+//! Instruction pieces.
+//!
+//! "An instruction can consist of a load or store piece and an ALU piece"
+//! (paper §3.3). Pieces are the unit the compiler emits and the
+//! reorganizer schedules; the reorganizer then *packs* compatible pieces
+//! into single instruction words ([`crate::Instr::Op`]).
+//!
+//! Operand fields are orthogonal: anywhere a source register may appear, a
+//! four-bit constant `0..=15` may appear instead ([`Operand::Small`]),
+//! which the paper's Table 1 shows covers ≈70% of constants in real
+//! programs. Negative constants are expressed with *reverse operators*
+//! ([`AluOp::Rsub`], the reverse shifts) rather than sign-extension
+//! hardware.
+
+use crate::cond::Cond;
+use crate::instr::Target;
+use crate::reg::Reg;
+use crate::word::{self, WordAddr};
+use std::fmt;
+
+/// A source operand: a register or a four-bit immediate constant.
+///
+/// # Example
+///
+/// ```
+/// use mips_core::{Operand, Reg};
+/// assert_eq!(Operand::small(15), Some(Operand::Small(15)));
+/// assert_eq!(Operand::small(16), None);
+/// assert_eq!(Operand::Reg(Reg::R7).to_string(), "r7");
+/// assert_eq!(Operand::Small(3).to_string(), "#3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// A four-bit constant in the range `0..=15`, stored in place of a
+    /// register field.
+    Small(u8),
+}
+
+impl Operand {
+    /// Largest value representable by a small-constant operand.
+    pub const SMALL_MAX: u8 = 15;
+
+    /// Creates a small-constant operand, or `None` if `v > 15`.
+    #[inline]
+    pub fn small(v: u8) -> Option<Operand> {
+        (v <= Self::SMALL_MAX).then_some(Operand::Small(v))
+    }
+
+    /// The register read by this operand, if any.
+    #[inline]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Small(_) => None,
+        }
+    }
+
+    /// True if the operand is an immediate constant.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Operand::Small(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Small(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// ALU operations.
+///
+/// Notable members:
+///
+/// * [`AluOp::Rsub`] / [`AluOp::Rsll`] / [`AluOp::Rsrl`] / [`AluOp::Rsra`]
+///   — the *reverse operators* (paper §2.2): `rsub` computes `b - a`,
+///   letting `1 - r0` and `r0 - 1` both use the four-bit constant `1`
+///   without a sign bit.
+/// * [`AluOp::Xc`] / [`AluOp::Ic`] — *extract byte* and *insert byte*
+///   (paper §4.1), the software byte-addressing support.
+/// * [`AluOp::Mul`], [`AluOp::Div`], [`AluOp::Rem`] — modeled as
+///   single-cycle operations. The physical Stanford MIPS used multiply /
+///   divide *steps* to keep every instruction at one cycle; collapsing the
+///   step sequence changes only absolute cycle counts, not any of the
+///   paper's comparisons (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// `dst = a + b` (signed overflow detectable).
+    Add = 0,
+    /// `dst = a - b` (signed overflow detectable).
+    Sub = 1,
+    /// Reverse subtract: `dst = b - a`.
+    Rsub = 2,
+    /// Bitwise and.
+    And = 3,
+    /// Bitwise or.
+    Or = 4,
+    /// Bitwise exclusive-or.
+    Xor = 5,
+    /// And-not (bit clear): `dst = a & !b`.
+    Bic = 6,
+    /// Logical shift left: `dst = a << (b & 31)`.
+    Sll = 7,
+    /// Logical shift right: `dst = a >> (b & 31)`.
+    Srl = 8,
+    /// Arithmetic shift right.
+    Sra = 9,
+    /// Reverse shift left: `dst = b << (a & 31)`.
+    Rsll = 10,
+    /// Reverse logical shift right: `dst = b >> (a & 31)`.
+    Rsrl = 11,
+    /// Reverse arithmetic shift right.
+    Rsra = 12,
+    /// Extract byte: `dst = (b >> 8*(a & 3)) & 0xff` — `a` is a byte
+    /// pointer whose low two bits select the byte.
+    Xc = 13,
+    /// Insert byte: `dst = b` with byte `LO & 3` replaced by the low byte
+    /// of `a`. The byte selector lives in the special register `lo`
+    /// (paper: "for insert the byte pointer must be moved to a special
+    /// register").
+    Ic = 14,
+    /// `dst = a * b` (low 32 bits; signed overflow detectable).
+    Mul = 15,
+    /// Signed division `dst = a / b`; division by zero is an arithmetic
+    /// exception in the simulator.
+    Div = 16,
+    /// Signed remainder.
+    Rem = 17,
+}
+
+impl AluOp {
+    /// All operations in encoding order.
+    pub const ALL: [AluOp; 18] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Rsub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Bic,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Rsll,
+        AluOp::Rsrl,
+        AluOp::Rsra,
+        AluOp::Xc,
+        AluOp::Ic,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+    ];
+
+    /// 5-bit encoding.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes an opcode produced by [`AluOp::code`].
+    pub fn from_code(c: u8) -> Option<AluOp> {
+        AluOp::ALL.get(c as usize).copied()
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Rsub => "rsub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Bic => "bic",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Rsll => "rsll",
+            AluOp::Rsrl => "rsrl",
+            AluOp::Rsra => "rsra",
+            AluOp::Xc => "xc",
+            AluOp::Ic => "ic",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`AluOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<AluOp> {
+        AluOp::ALL.iter().copied().find(|o| o.mnemonic() == s)
+    }
+
+    /// Whether the operation reads the `lo` byte-selector special register.
+    #[inline]
+    pub fn reads_lo(self) -> bool {
+        matches!(self, AluOp::Ic)
+    }
+
+    /// Evaluates the operation's data path.
+    ///
+    /// Returns the 32-bit result and an overflow/arithmetic-error flag
+    /// (signed overflow for add/sub/mul; divide-by-zero for div/rem — in
+    /// which case the result is 0).
+    pub fn eval(self, a: u32, b: u32, lo: u32) -> (u32, bool) {
+        let (sa, sb) = (a as i32, b as i32);
+        match self {
+            AluOp::Add => {
+                let (r, o) = sa.overflowing_add(sb);
+                (r as u32, o)
+            }
+            AluOp::Sub => {
+                let (r, o) = sa.overflowing_sub(sb);
+                (r as u32, o)
+            }
+            AluOp::Rsub => {
+                let (r, o) = sb.overflowing_sub(sa);
+                (r as u32, o)
+            }
+            AluOp::And => (a & b, false),
+            AluOp::Or => (a | b, false),
+            AluOp::Xor => (a ^ b, false),
+            AluOp::Bic => (a & !b, false),
+            AluOp::Sll => (a << (b & 31), false),
+            AluOp::Srl => (a >> (b & 31), false),
+            AluOp::Sra => ((sa >> (b & 31)) as u32, false),
+            AluOp::Rsll => (b << (a & 31), false),
+            AluOp::Rsrl => (b >> (a & 31), false),
+            AluOp::Rsra => ((sb >> (a & 31)) as u32, false),
+            AluOp::Xc => (word::extract_byte(b, a), false),
+            AluOp::Ic => (word::insert_byte(b, lo, a), false),
+            AluOp::Mul => {
+                let (r, o) = sa.overflowing_mul(sb);
+                (r as u32, o)
+            }
+            AluOp::Div => {
+                if sb == 0 || (sa == i32::MIN && sb == -1) {
+                    (0, true)
+                } else {
+                    ((sa / sb) as u32, false)
+                }
+            }
+            AluOp::Rem => {
+                if sb == 0 || (sa == i32::MIN && sb == -1) {
+                    (0, true)
+                } else {
+                    ((sa % sb) as u32, false)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// An ALU piece: `dst = a op b`.
+///
+/// # Example
+///
+/// ```
+/// use mips_core::{AluOp, AluPiece, Operand, Reg};
+/// let p = AluPiece::new(AluOp::Add, Reg::R1.into(), Operand::Small(4), Reg::R2);
+/// assert_eq!(p.to_string(), "add r1,#4,r2");
+/// assert_eq!(p.reads(), vec![Reg::R1]);
+/// assert_eq!(p.dst, Reg::R2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AluPiece {
+    /// The operation.
+    pub op: AluOp,
+    /// First source operand.
+    pub a: Operand,
+    /// Second source operand.
+    pub b: Operand,
+    /// Destination register.
+    pub dst: Reg,
+}
+
+impl AluPiece {
+    /// Creates an ALU piece.
+    pub fn new(op: AluOp, a: Operand, b: Operand, dst: Reg) -> AluPiece {
+        AluPiece { op, a, b, dst }
+    }
+
+    /// Registers read by the piece (duplicates removed; excludes `lo`).
+    pub fn reads(&self) -> Vec<Reg> {
+        let mut v = Vec::with_capacity(2);
+        if let Some(r) = self.a.reg() {
+            v.push(r);
+        }
+        if let Some(r) = self.b.reg() {
+            if !v.contains(&r) {
+                v.push(r);
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for AluPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {},{},{}", self.op, self.a, self.b, self.dst)
+    }
+}
+
+/// Access width for the byte-addressed machine variant of §4.1.
+///
+/// The baseline word-addressed MIPS only ever uses [`Width::Word`];
+/// executing a [`Width::Byte`] access on it is an illegal-instruction
+/// exception. The byte-addressed variant (built for the Table 9/10 study)
+/// accepts both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Width {
+    /// A 32-bit word access.
+    #[default]
+    Word,
+    /// An 8-bit byte access (byte-addressed variant only).
+    Byte,
+}
+
+/// The addressing modes of load and store pieces (paper §2.2: "long
+/// immediate, absolute, displacement(base), (base index), and base shifted
+/// by n").
+///
+/// Long immediate is a [`MemPiece::LoadImm`], not a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemMode {
+    /// A 24-bit absolute address.
+    Absolute(WordAddr),
+    /// `disp(base)`: base register plus signed displacement.
+    Based {
+        /// Base register.
+        base: Reg,
+        /// Signed word displacement.
+        disp: i32,
+    },
+    /// `(base,index)`: sum of two registers.
+    BasedIndexed {
+        /// Base register.
+        base: Reg,
+        /// Index register.
+        index: Reg,
+    },
+    /// `(base>>n)`: the base register shifted right by `n`, `1..=5` — used
+    /// to turn a pointer to a packed `2^(5-n)`-bit object into the word
+    /// address holding it (`n = 2` for bytes).
+    BaseShifted {
+        /// Base register (a packed-object pointer).
+        base: Reg,
+        /// Right-shift amount, `1..=5`.
+        shift: u8,
+    },
+}
+
+impl MemMode {
+    /// Displacement range representable when the piece is *packed* with an
+    /// ALU piece into one instruction word.
+    pub const PACKED_DISP_MIN: i32 = -128;
+    /// See [`MemMode::PACKED_DISP_MIN`].
+    pub const PACKED_DISP_MAX: i32 = 127;
+    /// Displacement range of a full-word (unpacked) load/store.
+    pub const DISP_MIN: i32 = -(1 << 15);
+    /// See [`MemMode::DISP_MIN`].
+    pub const DISP_MAX: i32 = (1 << 15) - 1;
+    /// Maximum base-shift amount.
+    pub const SHIFT_MAX: u8 = 5;
+
+    /// Registers read to form the address.
+    pub fn reads(&self) -> Vec<Reg> {
+        match *self {
+            MemMode::Absolute(_) => vec![],
+            MemMode::Based { base, .. } => vec![base],
+            MemMode::BasedIndexed { base, index } => {
+                if base == index {
+                    vec![base]
+                } else {
+                    vec![base, index]
+                }
+            }
+            MemMode::BaseShifted { base, .. } => vec![base],
+        }
+    }
+
+    /// Computes the effective address given a register-read function.
+    pub fn effective(&self, read: impl Fn(Reg) -> u32) -> u32 {
+        match *self {
+            MemMode::Absolute(a) => a.value(),
+            MemMode::Based { base, disp } => read(base).wrapping_add(disp as u32),
+            MemMode::BasedIndexed { base, index } => read(base).wrapping_add(read(index)),
+            MemMode::BaseShifted { base, shift } => read(base) >> (shift & 31),
+        }
+    }
+
+    /// Whether this mode fits in the packed (half-word) form, which has a
+    /// short displacement field.
+    pub fn fits_packed(&self) -> bool {
+        match *self {
+            MemMode::Based { disp, .. } => {
+                (Self::PACKED_DISP_MIN..=Self::PACKED_DISP_MAX).contains(&disp)
+            }
+            // Absolute addresses need the long field: not packable.
+            MemMode::Absolute(_) => false,
+            MemMode::BasedIndexed { .. } | MemMode::BaseShifted { .. } => true,
+        }
+    }
+
+    /// Validates field ranges (displacement, shift amount).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            MemMode::Based { disp, .. } => (Self::DISP_MIN..=Self::DISP_MAX).contains(&disp),
+            MemMode::BaseShifted { shift, .. } => (1..=Self::SHIFT_MAX).contains(&shift),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for MemMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MemMode::Absolute(a) => write!(f, "{a}"),
+            MemMode::Based { base, disp } => write!(f, "{disp}({base})"),
+            MemMode::BasedIndexed { base, index } => write!(f, "({base},{index})"),
+            MemMode::BaseShifted { base, shift } => write!(f, "({base}>>{shift})"),
+        }
+    }
+}
+
+/// A load/store piece.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemPiece {
+    /// Load from memory into `dst`. The loaded value is subject to the
+    /// one-instruction load delay ([`crate::delay::LOAD_DELAY`]).
+    Load {
+        /// Addressing mode.
+        mode: MemMode,
+        /// Destination register.
+        dst: Reg,
+        /// Access width (word unless on the byte-addressed variant).
+        width: Width,
+    },
+    /// Store `src` to memory.
+    Store {
+        /// Addressing mode.
+        mode: MemMode,
+        /// Source register.
+        src: Reg,
+        /// Access width.
+        width: Width,
+    },
+    /// *Long immediate*: load a 24-bit constant into `dst`. Uses the
+    /// load-piece slot but makes no memory reference (so the data-memory
+    /// cycle stays free).
+    LoadImm {
+        /// The constant, `0 .. 2^24`.
+        value: u32,
+        /// Destination register.
+        dst: Reg,
+    },
+}
+
+impl MemPiece {
+    /// Largest long-immediate constant (24 bits).
+    pub const LONG_IMM_MAX: u32 = (1 << 24) - 1;
+
+    /// Convenience constructor for a word load.
+    pub fn load(mode: MemMode, dst: Reg) -> MemPiece {
+        MemPiece::Load {
+            mode,
+            dst,
+            width: Width::Word,
+        }
+    }
+
+    /// Convenience constructor for a word store.
+    pub fn store(mode: MemMode, src: Reg) -> MemPiece {
+        MemPiece::Store {
+            mode,
+            src,
+            width: Width::Word,
+        }
+    }
+
+    /// Registers read by the piece.
+    pub fn reads(&self) -> Vec<Reg> {
+        match self {
+            MemPiece::Load { mode, .. } => mode.reads(),
+            MemPiece::Store { mode, src, .. } => {
+                let mut v = mode.reads();
+                if !v.contains(src) {
+                    v.push(*src);
+                }
+                v
+            }
+            MemPiece::LoadImm { .. } => vec![],
+        }
+    }
+
+    /// The register written (loads only).
+    pub fn writes(&self) -> Option<Reg> {
+        match self {
+            MemPiece::Load { dst, .. } | MemPiece::LoadImm { dst, .. } => Some(*dst),
+            MemPiece::Store { .. } => None,
+        }
+    }
+
+    /// Whether the piece makes a data-memory reference (long immediates do
+    /// not — their memory cycle stays free).
+    pub fn references_memory(&self) -> bool {
+        !matches!(self, MemPiece::LoadImm { .. })
+    }
+
+    /// True if the loaded value arrives with the load delay (i.e. the
+    /// piece is a real load; long immediates behave like ALU results).
+    pub fn is_delayed_load(&self) -> bool {
+        matches!(self, MemPiece::Load { .. })
+    }
+
+    /// Whether the piece may occupy the packed (half-word) form.
+    pub fn fits_packed(&self) -> bool {
+        match self {
+            MemPiece::Load { mode, .. } | MemPiece::Store { mode, .. } => mode.fits_packed(),
+            MemPiece::LoadImm { .. } => false,
+        }
+    }
+
+    /// Field-range validity.
+    pub fn is_valid(&self) -> bool {
+        match self {
+            MemPiece::Load { mode, .. } | MemPiece::Store { mode, .. } => mode.is_valid(),
+            MemPiece::LoadImm { value, .. } => *value <= Self::LONG_IMM_MAX,
+        }
+    }
+}
+
+impl fmt::Display for MemPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemPiece::Load { mode, dst, width } => match width {
+                Width::Word => write!(f, "ld {mode},{dst}"),
+                Width::Byte => write!(f, "ldb {mode},{dst}"),
+            },
+            MemPiece::Store { mode, src, width } => match width {
+                Width::Word => write!(f, "st {src},{mode}"),
+                Width::Byte => write!(f, "stb {src},{mode}"),
+            },
+            MemPiece::LoadImm { value, dst } => write!(f, "lim #{value},{dst}"),
+        }
+    }
+}
+
+/// A generic piece: the unit of scheduling before packing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Piece {
+    /// An ALU piece.
+    Alu(AluPiece),
+    /// A load/store piece.
+    Mem(MemPiece),
+}
+
+impl fmt::Display for Piece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Piece::Alu(p) => write!(f, "{p}"),
+            Piece::Mem(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// *Set Conditionally* (paper §2.3.2): performs one of the sixteen
+/// comparisons and sets `dst` to one or zero. This is MIPS's replacement
+/// for condition-code + conditional-set sequences; boolean expressions
+/// compile to straight-line code with no branches (Figure 3).
+///
+/// # Example
+///
+/// ```
+/// use mips_core::{Cond, Operand, Reg, SetCondPiece};
+/// let s = SetCondPiece::new(Cond::Eq, Reg::R1.into(), Operand::Small(13), Reg::R2);
+/// assert_eq!(s.to_string(), "seq r1,#13,r2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SetCondPiece {
+    /// The comparison.
+    pub cond: Cond,
+    /// First comparand.
+    pub a: Operand,
+    /// Second comparand.
+    pub b: Operand,
+    /// Register set to 0 or 1.
+    pub dst: Reg,
+}
+
+impl SetCondPiece {
+    /// Creates a *Set Conditionally* piece.
+    pub fn new(cond: Cond, a: Operand, b: Operand, dst: Reg) -> SetCondPiece {
+        SetCondPiece { cond, a, b, dst }
+    }
+
+    /// Registers read.
+    pub fn reads(&self) -> Vec<Reg> {
+        let mut v = Vec::with_capacity(2);
+        if let Some(r) = self.a.reg() {
+            v.push(r);
+        }
+        if let Some(r) = self.b.reg() {
+            if !v.contains(&r) {
+                v.push(r);
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for SetCondPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{} {},{},{}", self.cond, self.a, self.b, self.dst)
+    }
+}
+
+/// Move-immediate: loads an 8-bit constant (paper §2.2: "a move immediate
+/// instruction will load an 8-bit constant into any register"; Table 1
+/// shows this covers all but ≈5% of constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MviPiece {
+    /// The 8-bit constant.
+    pub imm: u8,
+    /// Destination register.
+    pub dst: Reg,
+}
+
+impl fmt::Display for MviPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mvi #{},{}", self.imm, self.dst)
+    }
+}
+
+/// Compare-and-branch (paper §2.3.1): the single-instruction conditional
+/// control-flow break. "In MIPS all instructions, including the compare
+/// and branch instructions, take the same amount of execution time. Thus,
+/// the comparison is to some extent free."
+///
+/// The branch is *delayed*: the next sequential instruction always
+/// executes ([`crate::delay::BRANCH_DELAY`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CmpBranchPiece {
+    /// The comparison.
+    pub cond: Cond,
+    /// First comparand.
+    pub a: Operand,
+    /// Second comparand.
+    pub b: Operand,
+    /// Branch target.
+    pub target: Target,
+}
+
+impl CmpBranchPiece {
+    /// Creates a compare-and-branch.
+    pub fn new(cond: Cond, a: Operand, b: Operand, target: Target) -> CmpBranchPiece {
+        CmpBranchPiece { cond, a, b, target }
+    }
+
+    /// Registers read.
+    pub fn reads(&self) -> Vec<Reg> {
+        let mut v = Vec::with_capacity(2);
+        if let Some(r) = self.a.reg() {
+            v.push(r);
+        }
+        if let Some(r) = self.b.reg() {
+            if !v.contains(&r) {
+                v.push(r);
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for CmpBranchPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{} {},{},{}", self.cond, self.a, self.b, self.target)
+    }
+}
+
+/// Unconditional direct jump (delayed by one instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JumpPiece {
+    /// Jump target.
+    pub target: Target,
+}
+
+impl fmt::Display for JumpPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bra {}", self.target)
+    }
+}
+
+/// Direct call: jumps to `target`, writing the return address (the
+/// instruction after the delay slot) into `link`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallPiece {
+    /// Call target.
+    pub target: Target,
+    /// Register receiving the return address.
+    pub link: Reg,
+}
+
+impl fmt::Display for CallPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call {},{}", self.target, self.link)
+    }
+}
+
+/// Indirect jump through a register (plus displacement), with a
+/// **two**-instruction branch delay (paper §3.3: "indirect jumps, which
+/// have a branch delay of two"). Used for returns, jump tables, and the
+/// exception dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JumpIndPiece {
+    /// Register holding the target instruction address.
+    pub base: Reg,
+    /// Signed displacement added to the register.
+    pub disp: i32,
+}
+
+impl fmt::Display for JumpIndPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disp == 0 {
+            write!(f, "jmpi ({})", self.base)
+        } else {
+            write!(f, "jmpi {}({})", self.disp, self.base)
+        }
+    }
+}
+
+/// Software trap with a 12-bit code ("allowing 4096 different monitor
+/// calls", paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrapPiece {
+    /// Trap code, `0..4096`.
+    pub code: u16,
+}
+
+impl TrapPiece {
+    /// Number of distinct trap codes.
+    pub const CODES: u16 = 1 << 12;
+
+    /// Creates a trap piece; returns `None` when the code exceeds 12 bits.
+    pub fn new(code: u16) -> Option<TrapPiece> {
+        (code < Self::CODES).then_some(TrapPiece { code })
+    }
+}
+
+impl fmt::Display for TrapPiece {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trap #{}", self.code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_small_range() {
+        assert!(Operand::small(0).is_some());
+        assert!(Operand::small(15).is_some());
+        assert!(Operand::small(16).is_none());
+        assert!(Operand::Small(9).is_const());
+        assert_eq!(Operand::Reg(Reg::R4).reg(), Some(Reg::R4));
+    }
+
+    #[test]
+    fn alu_op_codes_round_trip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_code(op.code()), Some(op));
+            assert_eq!(AluOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(AluOp::from_code(31), None);
+    }
+
+    #[test]
+    fn reverse_subtract() {
+        // rsub a,b → b - a: "1 - r0" with the constant in the a field.
+        assert_eq!(AluOp::Rsub.eval(1, 10, 0), (9, false));
+        assert_eq!(AluOp::Sub.eval(10, 1, 0), (9, false));
+    }
+
+    #[test]
+    fn reverse_shifts() {
+        assert_eq!(AluOp::Rsll.eval(2, 3, 0), (12, false));
+        assert_eq!(AluOp::Sll.eval(3, 2, 0), (12, false));
+        assert_eq!(AluOp::Rsra.eval(1, 0x8000_0000, 0), (0xC000_0000, false));
+    }
+
+    #[test]
+    fn add_overflow_flag() {
+        assert_eq!(AluOp::Add.eval(i32::MAX as u32, 1, 0), (0x8000_0000, true));
+        assert_eq!(AluOp::Sub.eval(i32::MIN as u32, 1, 0), (0x7fff_ffff, true));
+        assert_eq!(AluOp::Add.eval(1, 2, 0), (3, false));
+    }
+
+    #[test]
+    fn divide_by_zero_flags() {
+        assert_eq!(AluOp::Div.eval(5, 0, 0), (0, true));
+        assert_eq!(AluOp::Rem.eval(5, 0, 0), (0, true));
+        assert_eq!(AluOp::Div.eval(i32::MIN as u32, -1i32 as u32, 0), (0, true));
+        assert_eq!(AluOp::Div.eval(7, 2, 0), (3, false));
+        assert_eq!(AluOp::Rem.eval(7, 2, 0), (1, false));
+        assert_eq!(AluOp::Div.eval(-7i32 as u32, 2, 0), (-3i32 as u32, false));
+    }
+
+    #[test]
+    fn byte_ops_use_lo_for_insert_only() {
+        // xc: selector is the first operand.
+        assert_eq!(AluOp::Xc.eval(2, 0x4433_2211, 99), (0x33, false));
+        // ic: selector is the lo special register.
+        assert_eq!(AluOp::Ic.eval(0xAB, 0x4433_2211, 1), (0x4433_AB11, false));
+        assert!(AluOp::Ic.reads_lo());
+        assert!(!AluOp::Xc.reads_lo());
+    }
+
+    #[test]
+    fn alu_piece_reads_dedups() {
+        let p = AluPiece::new(AluOp::Add, Reg::R3.into(), Reg::R3.into(), Reg::R4);
+        assert_eq!(p.reads(), vec![Reg::R3]);
+        let q = AluPiece::new(AluOp::Add, Operand::Small(1), Operand::Small(2), Reg::R4);
+        assert!(q.reads().is_empty());
+    }
+
+    #[test]
+    fn mem_mode_effective_addresses() {
+        let read = |r: Reg| match r {
+            Reg::R1 => 100u32,
+            Reg::R2 => 7,
+            _ => 0,
+        };
+        assert_eq!(MemMode::Absolute(WordAddr::new(42)).effective(read), 42);
+        assert_eq!(
+            MemMode::Based {
+                base: Reg::R1,
+                disp: -4
+            }
+            .effective(read),
+            96
+        );
+        assert_eq!(
+            MemMode::BasedIndexed {
+                base: Reg::R1,
+                index: Reg::R2
+            }
+            .effective(read),
+            107
+        );
+        assert_eq!(
+            MemMode::BaseShifted {
+                base: Reg::R1,
+                shift: 2
+            }
+            .effective(read),
+            25
+        );
+    }
+
+    #[test]
+    fn mem_mode_packing_rules() {
+        assert!(MemMode::Based {
+            base: Reg::R1,
+            disp: 127
+        }
+        .fits_packed());
+        assert!(!MemMode::Based {
+            base: Reg::R1,
+            disp: 128
+        }
+        .fits_packed());
+        assert!(!MemMode::Absolute(WordAddr::new(0)).fits_packed());
+        assert!(MemMode::BaseShifted {
+            base: Reg::R1,
+            shift: 2
+        }
+        .fits_packed());
+    }
+
+    #[test]
+    fn mem_piece_reads_writes() {
+        let ld = MemPiece::load(
+            MemMode::Based {
+                base: Reg::SP,
+                disp: 2,
+            },
+            Reg::R0,
+        );
+        assert_eq!(ld.reads(), vec![Reg::SP]);
+        assert_eq!(ld.writes(), Some(Reg::R0));
+        assert!(ld.references_memory());
+        assert!(ld.is_delayed_load());
+
+        let st = MemPiece::store(
+            MemMode::BasedIndexed {
+                base: Reg::R1,
+                index: Reg::R2,
+            },
+            Reg::R2,
+        );
+        assert_eq!(st.reads(), vec![Reg::R1, Reg::R2]);
+        assert_eq!(st.writes(), None);
+
+        let li = MemPiece::LoadImm {
+            value: 0x123456,
+            dst: Reg::R5,
+        };
+        assert!(!li.references_memory());
+        assert!(!li.is_delayed_load());
+        assert!(li.is_valid());
+        assert!(!MemPiece::LoadImm {
+            value: 1 << 24,
+            dst: Reg::R5
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let ld = MemPiece::load(
+            MemMode::Based {
+                base: Reg::SP,
+                disp: 2,
+            },
+            Reg::R0,
+        );
+        assert_eq!(ld.to_string(), "ld 2(r14),r0");
+        let xb = MemPiece::load(
+            MemMode::BaseShifted {
+                base: Reg::R0,
+                shift: 2,
+            },
+            Reg::R1,
+        );
+        assert_eq!(xb.to_string(), "ld (r0>>2),r1");
+        let tr = TrapPiece::new(17).unwrap();
+        assert_eq!(tr.to_string(), "trap #17");
+    }
+
+    #[test]
+    fn trap_code_range() {
+        assert!(TrapPiece::new(4095).is_some());
+        assert!(TrapPiece::new(4096).is_none());
+    }
+}

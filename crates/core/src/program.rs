@@ -1,0 +1,308 @@
+//! Resolved programs and the label-resolving builder.
+
+use crate::error::ResolveError;
+use crate::instr::{Instr, Target};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic code label (compiler- or assembler-generated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(u32);
+
+impl Label {
+    /// Creates a label with the given id.
+    pub fn new(id: u32) -> Label {
+        Label(id)
+    }
+
+    /// The label's numeric id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A fully resolved instruction sequence, ready to execute.
+///
+/// Instruction addresses are indices into the sequence (the simulator's
+/// instruction memory is word-per-instruction). All branch targets are
+/// [`Target::Abs`].
+///
+/// # Example
+///
+/// ```
+/// use mips_core::{Instr, Label, ProgramBuilder, Target};
+/// use mips_core::piece::JumpPiece;
+///
+/// let mut b = ProgramBuilder::new();
+/// let top = b.fresh_label();
+/// b.define(top).unwrap();
+/// b.push(Instr::NOP);
+/// b.push(Instr::Jump(JumpPiece { target: Target::Label(top) }));
+/// b.push(Instr::NOP); // branch delay slot
+/// let p = b.finish().unwrap();
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p[1].target(), Some(Target::Abs(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    /// Named entry points (procedure name → instruction address).
+    symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Wraps a resolved instruction sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instruction still carries an unresolved label target;
+    /// use [`ProgramBuilder`] to resolve labels.
+    pub fn new(instrs: Vec<Instr>) -> Program {
+        for (i, ins) in instrs.iter().enumerate() {
+            if let Some(Target::Label(l)) = ins.target() {
+                panic!("instruction {i} has unresolved label {l}");
+            }
+        }
+        Program {
+            instrs,
+            symbols: HashMap::new(),
+        }
+    }
+
+    /// The instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instruction words — the *static instruction count* that
+    /// Table 11 reports.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Fetches the instruction at `addr`, if in range.
+    pub fn fetch(&self, addr: u32) -> Option<&Instr> {
+        self.instrs.get(addr as usize)
+    }
+
+    /// Registers a named entry point.
+    pub fn define_symbol(&mut self, name: impl Into<String>, addr: u32) {
+        self.symbols.insert(name.into(), addr);
+    }
+
+    /// Looks up a named entry point.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols, for listings.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.symbols.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Number of no-op instruction words (the quantity the reorganizer
+    /// minimizes).
+    pub fn nop_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_nop()).count()
+    }
+
+    /// Number of packed pairs (two pieces in one word).
+    pub fn packed_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_packed_pair()).count()
+    }
+
+    /// A human-readable listing with addresses.
+    pub fn listing(&self) -> String {
+        use fmt::Write as _;
+        let mut rev: HashMap<u32, &str> = HashMap::new();
+        for (n, a) in self.symbols() {
+            rev.insert(a, n);
+        }
+        let mut s = String::new();
+        for (i, ins) in self.instrs.iter().enumerate() {
+            if let Some(n) = rev.get(&(i as u32)) {
+                let _ = writeln!(s, "{n}:");
+            }
+            let _ = writeln!(s, "{i:6}  {ins}");
+        }
+        s
+    }
+}
+
+impl std::ops::Index<usize> for Program {
+    type Output = Instr;
+    fn index(&self, i: usize) -> &Instr {
+        &self.instrs[i]
+    }
+}
+
+/// Builds a [`Program`], resolving labels to absolute addresses.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    defs: HashMap<Label, u32>,
+    next_label: u32,
+    symbols: HashMap<String, u32>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Allocates a fresh, undefined label.
+    pub fn fresh_label(&mut self) -> Label {
+        let l = Label::new(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Defines `label` at the current address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolveError::DuplicateLabel`] if already defined.
+    pub fn define(&mut self, label: Label) -> Result<(), ResolveError> {
+        if label.id() >= self.next_label {
+            self.next_label = label.id() + 1;
+        }
+        if self.defs.insert(label, self.instrs.len() as u32).is_some() {
+            return Err(ResolveError::DuplicateLabel(label));
+        }
+        Ok(())
+    }
+
+    /// Current instruction address (where the next push lands).
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Appends an instruction (targets may be labels).
+    pub fn push(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    /// Registers a named entry point at the current address.
+    pub fn define_symbol(&mut self, name: impl Into<String>) {
+        self.symbols.insert(name.into(), self.here());
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolveError::UndefinedLabel`] if a branch references an
+    /// undefined label.
+    pub fn finish(self) -> Result<Program, ResolveError> {
+        let mut out = Vec::with_capacity(self.instrs.len());
+        for ins in self.instrs {
+            let resolved = match ins.target() {
+                Some(Target::Label(l)) => {
+                    let addr = *self
+                        .defs
+                        .get(&l)
+                        .ok_or(ResolveError::UndefinedLabel(l))?;
+                    ins.with_target(Target::Abs(addr))
+                }
+                _ => ins,
+            };
+            out.push(resolved);
+        }
+        Ok(Program {
+            instrs: out,
+            symbols: self.symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::piece::{CmpBranchPiece, JumpPiece};
+    use crate::{Cond, Reg};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let back = b.fresh_label();
+        let fwd = b.fresh_label();
+        b.define(back).unwrap();
+        b.push(Instr::CmpBranch(CmpBranchPiece::new(
+            Cond::Eq,
+            Reg::R1.into(),
+            Reg::R2.into(),
+            Target::Label(fwd),
+        )));
+        b.push(Instr::NOP);
+        b.push(Instr::Jump(JumpPiece {
+            target: Target::Label(back),
+        }));
+        b.push(Instr::NOP);
+        b.define(fwd).unwrap();
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p[0].target(), Some(Target::Abs(4)));
+        assert_eq!(p[2].target(), Some(Target::Abs(0)));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label();
+        b.push(Instr::Jump(JumpPiece {
+            target: Target::Label(l),
+        }));
+        assert_eq!(b.finish().unwrap_err(), ResolveError::UndefinedLabel(l));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label();
+        b.define(l).unwrap();
+        assert_eq!(b.define(l).unwrap_err(), ResolveError::DuplicateLabel(l));
+    }
+
+    #[test]
+    fn symbols_and_counters() {
+        let mut b = ProgramBuilder::new();
+        b.define_symbol("main");
+        b.push(Instr::NOP);
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+        assert_eq!(p.symbol("main"), Some(0));
+        assert_eq!(p.symbol("other"), None);
+        assert_eq!(p.nop_count(), 1);
+        assert_eq!(p.packed_count(), 0);
+        assert!(p.listing().contains("main:"));
+        assert!(p.fetch(2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved label")]
+    fn program_new_rejects_labels() {
+        let _ = Program::new(vec![Instr::Jump(JumpPiece {
+            target: Target::Label(Label::new(0)),
+        })]);
+    }
+
+    #[test]
+    fn external_labels_dont_collide_with_fresh() {
+        let mut b = ProgramBuilder::new();
+        b.define(Label::new(10)).unwrap();
+        let l = b.fresh_label();
+        assert_eq!(l.id(), 11);
+    }
+}

@@ -1,0 +1,136 @@
+//! General-purpose registers.
+//!
+//! The Stanford MIPS processor has sixteen 32-bit general-purpose
+//! registers. Unlike later MIPS-company architectures, `r0` is an ordinary
+//! register (it is not hardwired to zero); small constants come from the
+//! four-bit immediate operand fields instead ([`crate::Operand::Small`]).
+
+use std::fmt;
+
+/// One of the sixteen general-purpose registers `r0`–`r15`.
+///
+/// Software conventions used by the `mips-hll` code generator (the
+/// hardware attaches no meaning to any register):
+///
+/// | register | convention |
+/// |---|---|
+/// | `r13` | frame pointer (`fp`) |
+/// | `r14` | stack pointer (`sp`) |
+/// | `r15` | link register for calls (`ra`) |
+///
+/// # Example
+///
+/// ```
+/// use mips_core::Reg;
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!(Reg::from_index(3), Some(Reg::R3));
+/// assert_eq!(Reg::R14.to_string(), "r14");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// Number of general-purpose registers in the machine.
+    pub const COUNT: usize = 16;
+
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Software-convention frame pointer.
+    pub const FP: Reg = Reg::R13;
+    /// Software-convention stack pointer.
+    pub const SP: Reg = Reg::R14;
+    /// Software-convention link (return-address) register.
+    pub const RA: Reg = Reg::R15;
+
+    /// The register's index, `0..16`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from an index.
+    ///
+    /// Returns `None` when `i >= 16`.
+    #[inline]
+    pub fn from_index(i: usize) -> Option<Reg> {
+        Reg::ALL.get(i).copied()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..Reg::COUNT {
+            let r = Reg::from_index(i).expect("index in range");
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R15.to_string(), "r15");
+    }
+
+    #[test]
+    fn conventions_are_distinct() {
+        assert_ne!(Reg::FP, Reg::SP);
+        assert_ne!(Reg::SP, Reg::RA);
+        assert_ne!(Reg::FP, Reg::RA);
+    }
+
+    #[test]
+    fn all_is_complete_and_ordered() {
+        assert_eq!(Reg::ALL.len(), Reg::COUNT);
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Words, word addresses, and byte pointers.
+//!
+//! MIPS is a **word-addressed** machine (paper §4.1): memory is an array
+//! of 32-bit words and a virtual address names a word, not a byte. The
+//! word address space is 24 bits — 16 million words — the top eight bits
+//! of a 32-bit virtual address are consumed by the on-chip segmentation
+//! unit (process-id insertion, see `mips-sim`).
+//!
+//! Byte data is reached through *byte pointers*: a 32-bit value whose high
+//! 30 bits are a word address and whose low two bits select a byte within
+//! the word (paper §4.1, "the high order 30 bits contain a word address").
+//! [`ByteAddr`] models exactly that split.
+
+use std::fmt;
+
+/// Bits in a word address (16M words).
+pub const ADDR_BITS: u32 = 24;
+/// Number of addressable words: 2^24.
+pub const MEM_WORDS: u32 = 1 << ADDR_BITS;
+/// Bytes per machine word.
+pub const WORD_BYTES: u32 = 4;
+
+/// A word address: names one 32-bit word of memory.
+///
+/// Only the low [`ADDR_BITS`] bits are significant; constructors mask the
+/// rest so arithmetic naturally wraps within the 16M-word space.
+///
+/// # Example
+///
+/// ```
+/// use mips_core::WordAddr;
+/// let a = WordAddr::new(0x00_1234);
+/// assert_eq!(a.offset(1).value(), 0x00_1235);
+/// assert_eq!(a.to_string(), "@001234");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WordAddr(u32);
+
+impl WordAddr {
+    /// Creates a word address, masking to the 24-bit address space.
+    #[inline]
+    pub fn new(a: u32) -> WordAddr {
+        WordAddr(a & (MEM_WORDS - 1))
+    }
+
+    /// The numeric word address.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The address `self + delta` words, wrapping within the address space.
+    #[inline]
+    pub fn offset(self, delta: i32) -> WordAddr {
+        WordAddr::new(self.0.wrapping_add(delta as u32))
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:06x}", self.0)
+    }
+}
+
+impl From<WordAddr> for u32 {
+    fn from(a: WordAddr) -> u32 {
+        a.value()
+    }
+}
+
+/// A byte pointer: word address in the high 30 bits, byte-in-word in the
+/// low 2 bits.
+///
+/// This is the software representation used with the *extract byte* /
+/// *insert byte* instructions; the equivalent of a `load byte` is
+///
+/// ```text
+/// ld  (r0>>2),r1    ; word containing the byte
+/// xc  r0,r1,r1      ; extract byte selected by r0's low 2 bits
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use mips_core::{ByteAddr, WordAddr};
+/// let p = ByteAddr::new(WordAddr::new(10), 3);
+/// assert_eq!(p.word().value(), 10);
+/// assert_eq!(p.byte_in_word(), 3);
+/// assert_eq!(p.offset(1).word().value(), 11);
+/// assert_eq!(p.offset(1).byte_in_word(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteAddr(u32);
+
+impl ByteAddr {
+    /// Creates a byte pointer from a word address and a byte index `0..4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte >= 4`.
+    #[inline]
+    pub fn new(word: WordAddr, byte: u32) -> ByteAddr {
+        assert!(byte < WORD_BYTES, "byte index {byte} out of range");
+        ByteAddr((word.value() << 2) | byte)
+    }
+
+    /// Reinterprets a raw 32-bit register value as a byte pointer.
+    #[inline]
+    pub fn from_raw(v: u32) -> ByteAddr {
+        ByteAddr(v & ((MEM_WORDS << 2) - 1))
+    }
+
+    /// The raw 32-bit representation (what lives in a register).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The word containing the addressed byte (the pointer shifted right
+    /// by two, exactly what `ld (r0>>2)` computes).
+    #[inline]
+    pub fn word(self) -> WordAddr {
+        WordAddr::new(self.0 >> 2)
+    }
+
+    /// Which byte within the word, `0..4`. Byte 0 is the least significant
+    /// byte of the word.
+    #[inline]
+    pub fn byte_in_word(self) -> u32 {
+        self.0 & 3
+    }
+
+    /// The pointer advanced by `delta` bytes.
+    #[inline]
+    pub fn offset(self, delta: i32) -> ByteAddr {
+        ByteAddr::from_raw(self.0.wrapping_add(delta as u32))
+    }
+}
+
+impl fmt::Display for ByteAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:06x}.{}", self.word().value(), self.byte_in_word())
+    }
+}
+
+/// Extracts byte `sel & 3` from `word` (the `xc` ALU operation's data
+/// path). Byte 0 is the least significant byte.
+#[inline]
+pub fn extract_byte(word: u32, sel: u32) -> u32 {
+    (word >> ((sel & 3) * 8)) & 0xff
+}
+
+/// Replaces byte `sel & 3` of `word` with the low byte of `src` (the `ic`
+/// ALU operation's data path).
+#[inline]
+pub fn insert_byte(word: u32, sel: u32, src: u32) -> u32 {
+    let sh = (sel & 3) * 8;
+    (word & !(0xffu32 << sh)) | ((src & 0xff) << sh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_addr_masks_to_24_bits() {
+        assert_eq!(WordAddr::new(0xff00_0001).value(), 0x00_0001);
+        assert_eq!(WordAddr::new(MEM_WORDS).value(), 0);
+    }
+
+    #[test]
+    fn word_addr_offset_wraps() {
+        let top = WordAddr::new(MEM_WORDS - 1);
+        assert_eq!(top.offset(1).value(), 0);
+        assert_eq!(WordAddr::new(0).offset(-1).value(), MEM_WORDS - 1);
+    }
+
+    #[test]
+    fn byte_addr_split() {
+        let p = ByteAddr::new(WordAddr::new(0x123), 2);
+        assert_eq!(p.raw(), (0x123 << 2) | 2);
+        assert_eq!(p.word().value(), 0x123);
+        assert_eq!(p.byte_in_word(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn byte_addr_rejects_bad_byte() {
+        let _ = ByteAddr::new(WordAddr::new(0), 4);
+    }
+
+    #[test]
+    fn byte_stepping_crosses_words() {
+        let mut p = ByteAddr::new(WordAddr::new(7), 0);
+        for i in 0..8 {
+            assert_eq!(p.word().value(), 7 + i / 4);
+            assert_eq!(p.byte_in_word(), i % 4);
+            p = p.offset(1);
+        }
+    }
+
+    #[test]
+    fn extract_and_insert_are_inverse() {
+        let w = 0x4433_2211u32;
+        assert_eq!(extract_byte(w, 0), 0x11);
+        assert_eq!(extract_byte(w, 1), 0x22);
+        assert_eq!(extract_byte(w, 2), 0x33);
+        assert_eq!(extract_byte(w, 3), 0x44);
+        for sel in 0..4 {
+            let b = extract_byte(w, sel);
+            assert_eq!(insert_byte(w, sel, b), w);
+        }
+        assert_eq!(insert_byte(0, 2, 0xAB), 0x00AB_0000);
+        // Only the low byte of the source participates.
+        assert_eq!(insert_byte(0, 0, 0xFFFF_FFAB), 0x0000_00AB);
+    }
+}

@@ -1,0 +1,292 @@
+//! The parse-level abstract syntax tree (names unresolved, types
+//! unchecked).
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The program name.
+    pub name: String,
+    /// Global declarations in order.
+    pub decls: Vec<Decl>,
+    /// The main statement block.
+    pub main: Vec<Stmt>,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// `const name = value;`
+    Const {
+        /// Name.
+        name: String,
+        /// Constant expression.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `type name = ty;`
+    Type {
+        /// Name.
+        name: String,
+        /// The named type.
+        ty: TypeExpr,
+        /// Source line.
+        line: usize,
+    },
+    /// `var a, b: ty;`
+    Var {
+        /// Names.
+        names: Vec<String>,
+        /// Their type.
+        ty: TypeExpr,
+        /// Source line.
+        line: usize,
+    },
+    /// A function or procedure.
+    Routine(Routine),
+}
+
+/// A function or procedure declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routine {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type (None = procedure).
+    pub ret: Option<TypeExpr>,
+    /// Local declarations (const/var only).
+    pub locals: Vec<Decl>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A parameter group member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: TypeExpr,
+    /// `var` (by-reference) parameter?
+    pub by_ref: bool,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A syntactic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// A type name (`integer`, `char`, `boolean`, or a declared name).
+    Name(String, usize),
+    /// `[packed] array [lo..hi] of elem`
+    Array {
+        /// Packed?
+        packed: bool,
+        /// Lower bound (constant expression).
+        lo: Expr,
+        /// Upper bound.
+        hi: Expr,
+        /// Element type.
+        elem: Box<TypeExpr>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `lv := e`
+    Assign {
+        /// Target.
+        lv: Designator,
+        /// Value.
+        e: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// Procedure call.
+    Call {
+        /// Procedure name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `if c then t [else e]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Box<Stmt>,
+        /// Else-branch.
+        els: Option<Box<Stmt>>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while c do s`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `repeat ss until c`
+    Repeat {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Exit condition.
+        cond: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `for v := a to|downto b do s`
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Start.
+        from: Expr,
+        /// End.
+        to: Expr,
+        /// Counting down?
+        down: bool,
+        /// Body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `case e of … end`
+    Case {
+        /// Selector expression.
+        selector: Expr,
+        /// Arms: constant labels and their statement.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// Optional `else` statement.
+        els: Option<Box<Stmt>>,
+        /// Source line.
+        line: usize,
+    },
+    /// `begin … end`
+    Block(Vec<Stmt>),
+    /// `write(...)` / `writeln(...)`
+    Write {
+        /// Arguments.
+        args: Vec<WriteArg>,
+        /// Trailing newline?
+        newline: bool,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// An argument of write/writeln.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteArg {
+    /// An expression (integer, char, or boolean).
+    Expr(Expr),
+    /// A string literal.
+    Str(Vec<u8>),
+}
+
+/// An assignable location: a variable with zero or more index steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Designator {
+    /// Variable name.
+    pub name: String,
+    /// Index expressions (multi-dimensional arrays index step by step).
+    pub indices: Vec<Expr>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, usize),
+    /// Char literal.
+    Char(u8, usize),
+    /// `true`/`false`.
+    Bool(bool, usize),
+    /// Variable/constant reference or zero-argument function call.
+    Name(String, usize),
+    /// Array element.
+    Index(Box<Designator>),
+    /// Function call.
+    Call {
+        /// Name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>, usize),
+    /// `not`.
+    Not(Box<Expr>, usize),
+}
+
+impl Expr {
+    /// The expression's source line.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Char(_, l)
+            | Expr::Bool(_, l)
+            | Expr::Name(_, l)
+            | Expr::Neg(_, l)
+            | Expr::Not(_, l) => *l,
+            Expr::Index(d) => d.line,
+            Expr::Call { line, .. } | Expr::Bin { line, .. } => *line,
+        }
+    }
+}

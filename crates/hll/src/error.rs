@@ -1,0 +1,31 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical, syntactic, or semantic error, with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(line: usize, message: impl Into<String>) -> CompileError {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for CompileError {}

@@ -1,0 +1,447 @@
+//! The typed high-level IR produced by semantic analysis and consumed by
+//! the code generators, the interpreter, and the static analyzers.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A Pasqal type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit signed integer.
+    Int,
+    /// Character (stored as its code).
+    Char,
+    /// Boolean (stored as 0/1).
+    Bool,
+    /// Array type.
+    Array(Rc<ArrayTy>),
+}
+
+/// An array type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayTy {
+    /// Element type.
+    pub elem: Ty,
+    /// Lower bound (inclusive).
+    pub lo: i32,
+    /// Upper bound (inclusive).
+    pub hi: i32,
+    /// Declared `packed` (byte packing for char/bool elements).
+    pub packed: bool,
+}
+
+impl ArrayTy {
+    /// Number of elements.
+    pub fn count(&self) -> u32 {
+        (self.hi - self.lo + 1).max(0) as u32
+    }
+
+    /// Whether elements are byte-packed under the word-allocated layout
+    /// (packed arrays of char/bool).
+    pub fn byte_elems_when_packed(&self) -> bool {
+        self.packed && matches!(self.elem, Ty::Char | Ty::Bool)
+    }
+}
+
+impl Ty {
+    /// Scalar (non-array)?
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, Ty::Array(_))
+    }
+
+    /// A character or boolean — the byte-sized data classes of
+    /// Tables 7–8.
+    pub fn is_byte_datum(&self) -> bool {
+        matches!(self, Ty::Char | Ty::Bool)
+    }
+
+    /// Is this character data (for the tables' character split)?
+    pub fn is_character(&self) -> bool {
+        matches!(self, Ty::Char)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "integer"),
+            Ty::Char => write!(f, "char"),
+            Ty::Bool => write!(f, "boolean"),
+            Ty::Array(a) => {
+                if a.packed {
+                    write!(f, "packed ")?;
+                }
+                write!(f, "array [{}..{}] of {}", a.lo, a.hi, a.elem)
+            }
+        }
+    }
+}
+
+/// A variable slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HVar {
+    /// Source name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+}
+
+/// A routine parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HParam {
+    /// Source name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// `var` parameter (passed by address)?
+    pub by_ref: bool,
+}
+
+/// A resolved variable reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarRef {
+    /// Index into [`HProgram::globals`].
+    Global(usize),
+    /// Index into the enclosing routine's locals.
+    Local(usize),
+    /// Index into the enclosing routine's params.
+    Param(usize),
+}
+
+/// One indexing step of an lvalue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HIndex {
+    /// The index expression (integer).
+    pub expr: HExpr,
+    /// The array type being indexed at this step.
+    pub arr: Rc<ArrayTy>,
+}
+
+/// An assignable (or loadable) location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HLValue {
+    /// The base variable.
+    pub base: VarRef,
+    /// True when the base is a `var` parameter holding an address.
+    pub by_ref: bool,
+    /// Indexing steps (outermost first).
+    pub indices: Vec<HIndex>,
+    /// The type of the designated location.
+    pub ty: Ty,
+}
+
+/// Integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// `div`.
+    Div,
+    /// `mod`.
+    Mod,
+}
+
+/// Relational operators (over int/char/bool; result is boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HRelOp {
+    /// `=`.
+    Eq,
+    /// `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl HRelOp {
+    /// The negated relation.
+    pub fn negate(self) -> HRelOp {
+        match self {
+            HRelOp::Eq => HRelOp::Ne,
+            HRelOp::Ne => HRelOp::Eq,
+            HRelOp::Lt => HRelOp::Ge,
+            HRelOp::Ge => HRelOp::Lt,
+            HRelOp::Le => HRelOp::Gt,
+            HRelOp::Gt => HRelOp::Le,
+        }
+    }
+}
+
+/// Boolean connectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HBoolOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HExpr {
+    /// Integer literal.
+    Int(i32),
+    /// Character literal.
+    Char(u8),
+    /// Boolean literal.
+    Bool(bool),
+    /// Load from a location.
+    Load(Box<HLValue>),
+    /// Integer negation.
+    Neg(Box<HExpr>),
+    /// Boolean not.
+    Not(Box<HExpr>),
+    /// Integer arithmetic.
+    Bin {
+        /// Operator.
+        op: HBinOp,
+        /// Left.
+        a: Box<HExpr>,
+        /// Right.
+        b: Box<HExpr>,
+    },
+    /// Comparison (boolean result).
+    Rel {
+        /// Operator.
+        op: HRelOp,
+        /// Left.
+        a: Box<HExpr>,
+        /// Right.
+        b: Box<HExpr>,
+    },
+    /// Boolean connective.
+    BoolBin {
+        /// Operator.
+        op: HBoolOp,
+        /// Left.
+        a: Box<HExpr>,
+        /// Right.
+        b: Box<HExpr>,
+    },
+    /// Function call.
+    Call {
+        /// Routine index.
+        routine: usize,
+        /// Arguments.
+        args: Vec<HArg>,
+        /// Result type.
+        ret: Ty,
+    },
+    /// `ord(e)` — char/bool to integer.
+    Ord(Box<HExpr>),
+    /// `chr(e)` — integer to char.
+    Chr(Box<HExpr>),
+}
+
+impl HExpr {
+    /// The expression's type.
+    pub fn ty(&self) -> Ty {
+        match self {
+            HExpr::Int(_) | HExpr::Neg(_) | HExpr::Bin { .. } | HExpr::Ord(_) => Ty::Int,
+            HExpr::Char(_) | HExpr::Chr(_) => Ty::Char,
+            HExpr::Bool(_) | HExpr::Not(_) | HExpr::Rel { .. } | HExpr::BoolBin { .. } => Ty::Bool,
+            HExpr::Load(lv) => lv.ty.clone(),
+            HExpr::Call { ret, .. } => ret.clone(),
+        }
+    }
+}
+
+/// A call argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HArg {
+    /// By value.
+    Value(HExpr),
+    /// By reference (`var` parameter).
+    Ref(HLValue),
+}
+
+/// A `write`/`writeln` argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HWriteArg {
+    /// An integer expression (printed as decimal; booleans print as 0/1).
+    Int(HExpr),
+    /// A character expression.
+    Char(HExpr),
+    /// A string literal.
+    Str(Vec<u8>),
+}
+
+/// A typed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HStmt {
+    /// `lv := e`.
+    Assign(HLValue, HExpr),
+    /// Function-result assignment (`fname := e` inside `fname`).
+    SetResult(HExpr),
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: HExpr,
+        /// Then branch.
+        then: Vec<HStmt>,
+        /// Else branch.
+        els: Vec<HStmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: HExpr,
+        /// Body.
+        body: Vec<HStmt>,
+    },
+    /// Repeat-until loop.
+    Repeat {
+        /// Body.
+        body: Vec<HStmt>,
+        /// Exit condition.
+        cond: HExpr,
+    },
+    /// Counted loop. The limit is evaluated once, per Pascal.
+    For {
+        /// Loop variable (a scalar integer location).
+        var: HLValue,
+        /// Initial value.
+        from: HExpr,
+        /// Final value.
+        to: HExpr,
+        /// `downto`?
+        down: bool,
+        /// Body.
+        body: Vec<HStmt>,
+    },
+    /// Procedure call.
+    Call {
+        /// Routine index.
+        routine: usize,
+        /// Arguments.
+        args: Vec<HArg>,
+    },
+    /// Output.
+    Write {
+        /// Arguments in order.
+        args: Vec<HWriteArg>,
+        /// Append a newline?
+        newline: bool,
+    },
+    /// A compound statement.
+    Block(Vec<HStmt>),
+    /// A `case` statement over integer/char constants.
+    Case {
+        /// The selector (integer-valued; chars are selected by code).
+        selector: HExpr,
+        /// Arms: sorted-deduplicated label values and their bodies.
+        arms: Vec<(Vec<i32>, Vec<HStmt>)>,
+        /// The `else` arm (empty = fall through, per this dialect).
+        default: Vec<HStmt>,
+    },
+}
+
+/// A routine (the synthesized `main` is one too).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HRoutine {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<HParam>,
+    /// Locals (the `for`-limit temporaries are appended here by sema).
+    pub locals: Vec<HVar>,
+    /// Return type (None = procedure).
+    pub ret: Option<Ty>,
+    /// Body.
+    pub body: Vec<HStmt>,
+}
+
+/// A checked program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HProgram {
+    /// Program name.
+    pub name: String,
+    /// Global variables.
+    pub globals: Vec<HVar>,
+    /// All routines; `routines[main]` is the synthesized main.
+    pub routines: Vec<HRoutine>,
+    /// Index of the main routine.
+    pub main: usize,
+}
+
+impl HProgram {
+    /// The main routine.
+    pub fn main_routine(&self) -> &HRoutine {
+        &self.routines[self.main]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_count_and_packing() {
+        let a = ArrayTy {
+            elem: Ty::Char,
+            lo: 0,
+            hi: 79,
+            packed: true,
+        };
+        assert_eq!(a.count(), 80);
+        assert!(a.byte_elems_when_packed());
+        let b = ArrayTy {
+            elem: Ty::Int,
+            lo: 1,
+            hi: 10,
+            packed: true,
+        };
+        assert!(!b.byte_elems_when_packed());
+    }
+
+    #[test]
+    fn expr_types() {
+        assert_eq!(HExpr::Int(1).ty(), Ty::Int);
+        assert_eq!(HExpr::Char(b'a').ty(), Ty::Char);
+        assert_eq!(
+            HExpr::Rel {
+                op: HRelOp::Eq,
+                a: Box::new(HExpr::Int(1)),
+                b: Box::new(HExpr::Int(2)),
+            }
+            .ty(),
+            Ty::Bool
+        );
+        assert_eq!(HExpr::Ord(Box::new(HExpr::Char(b'a'))).ty(), Ty::Int);
+        assert_eq!(HExpr::Chr(Box::new(HExpr::Int(65))).ty(), Ty::Char);
+    }
+
+    #[test]
+    fn relop_negation() {
+        for op in [
+            HRelOp::Eq,
+            HRelOp::Ne,
+            HRelOp::Lt,
+            HRelOp::Le,
+            HRelOp::Gt,
+            HRelOp::Ge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn type_display() {
+        let t = Ty::Array(Rc::new(ArrayTy {
+            elem: Ty::Char,
+            lo: 0,
+            hi: 9,
+            packed: true,
+        }));
+        assert_eq!(t.to_string(), "packed array [0..9] of char");
+    }
+}

@@ -1,0 +1,677 @@
+//! A direct HIR interpreter — the reference semantics that both code
+//! generators are differentially tested against.
+
+use crate::hir::*;
+use std::cell::RefCell;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Interpretation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Division (or `mod`) by zero.
+    DivideByZero,
+    /// The step budget was exhausted.
+    StepLimit,
+    /// An array index left its declared bounds.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: i32,
+        /// Declared bounds.
+        lo: i32,
+        /// Declared bounds.
+        hi: i32,
+    },
+    /// A function returned without assigning its result.
+    NoResult(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::DivideByZero => write!(f, "division by zero"),
+            InterpError::StepLimit => write!(f, "step limit exhausted"),
+            InterpError::IndexOutOfBounds { index, lo, hi } => {
+                write!(f, "index {index} outside [{lo}..{hi}]")
+            }
+            InterpError::NoResult(n) => write!(f, "function {n} assigned no result"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+type Cell = Rc<RefCell<Vec<i32>>>;
+
+/// Flattened word count of a type (1 per scalar element).
+fn flat_size(ty: &Ty) -> usize {
+    match ty {
+        Ty::Int | Ty::Char | Ty::Bool => 1,
+        Ty::Array(a) => a.count() as usize * flat_size(&a.elem),
+    }
+}
+
+fn new_cell(ty: &Ty) -> Cell {
+    Rc::new(RefCell::new(vec![0; flat_size(ty)]))
+}
+
+/// A parameter binding.
+enum PSlot {
+    Val(Cell),
+    Ref(Cell, usize),
+}
+
+struct Frame {
+    params: Vec<PSlot>,
+    locals: Vec<Cell>,
+    result: Option<i32>,
+}
+
+/// The interpreter.
+pub struct Interp<'p> {
+    prog: &'p HProgram,
+    globals: Vec<Cell>,
+    output: Vec<u8>,
+    steps: u64,
+    limit: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with zero-initialized globals.
+    pub fn new(prog: &'p HProgram) -> Interp<'p> {
+        Interp {
+            prog,
+            globals: prog.globals.iter().map(|g| new_cell(&g.ty)).collect(),
+            output: Vec::new(),
+            steps: 0,
+            limit: 5_000_000_000,
+        }
+    }
+
+    /// Program output so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Output as lossy UTF-8.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// Reads a global scalar (tests).
+    pub fn global(&self, name: &str) -> Option<i32> {
+        let i = self.prog.globals.iter().position(|g| g.name == name)?;
+        Some(self.globals[i].borrow()[0])
+    }
+
+    /// Runs the main routine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on runtime failures.
+    pub fn run(&mut self) -> Result<(), InterpError> {
+        let main = self.prog.main;
+        self.invoke(main, Vec::new()).map(|_| ())
+    }
+
+    /// Calls a function by name with scalar arguments (differential test
+    /// harness).
+    ///
+    /// # Errors
+    ///
+    /// Runtime failures.
+    ///
+    /// # Panics
+    ///
+    /// Unknown routine name, wrong arity, or var parameters.
+    pub fn call_function(&mut self, name: &str, args: &[i32]) -> Result<i32, InterpError> {
+        let idx = self
+            .prog
+            .routines
+            .iter()
+            .position(|r| r.name == name)
+            .unwrap_or_else(|| panic!("unknown routine {name}"));
+        let r = &self.prog.routines[idx];
+        assert_eq!(r.params.len(), args.len(), "arity of {name}");
+        assert!(
+            r.params.iter().all(|p| !p.by_ref),
+            "call_function cannot bind var parameters"
+        );
+        let slots = args
+            .iter()
+            .map(|&v| PSlot::Val(Rc::new(RefCell::new(vec![v]))))
+            .collect();
+        self.invoke(idx, slots)
+    }
+
+    fn invoke(&mut self, routine: usize, params: Vec<PSlot>) -> Result<i32, InterpError> {
+        let r = &self.prog.routines[routine];
+        let mut frame = Frame {
+            params,
+            locals: r.locals.iter().map(|l| new_cell(&l.ty)).collect(),
+            result: None,
+        };
+        self.stmts(&r.body, &mut frame, routine)?;
+        if r.ret.is_some() {
+            frame
+                .result
+                .ok_or_else(|| InterpError::NoResult(r.name.clone()))
+        } else {
+            Ok(0)
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.limit {
+            return Err(InterpError::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn stmts(
+        &mut self,
+        ss: &[HStmt],
+        frame: &mut Frame,
+        routine: usize,
+    ) -> Result<(), InterpError> {
+        for s in ss {
+            self.stmt(s, frame, routine)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &HStmt, frame: &mut Frame, routine: usize) -> Result<(), InterpError> {
+        self.tick()?;
+        match s {
+            HStmt::Assign(lv, e) => {
+                let v = self.eval(e, frame)?;
+                let (cell, off) = self.place(lv, frame)?;
+                cell.borrow_mut()[off] = v;
+            }
+            HStmt::SetResult(e) => {
+                let v = self.eval(e, frame)?;
+                frame.result = Some(v);
+            }
+            HStmt::If { cond, then, els } => {
+                if self.eval(cond, frame)? != 0 {
+                    self.stmts(then, frame, routine)?;
+                } else {
+                    self.stmts(els, frame, routine)?;
+                }
+            }
+            HStmt::While { cond, body } => {
+                while self.eval(cond, frame)? != 0 {
+                    self.tick()?;
+                    self.stmts(body, frame, routine)?;
+                }
+            }
+            HStmt::Repeat { body, cond } => loop {
+                self.tick()?;
+                self.stmts(body, frame, routine)?;
+                if self.eval(cond, frame)? != 0 {
+                    break;
+                }
+            },
+            HStmt::For {
+                var,
+                from,
+                to,
+                down,
+                body,
+            } => {
+                let start = self.eval(from, frame)?;
+                let limit = self.eval(to, frame)?;
+                let (cell, off) = self.place(var, frame)?;
+                let mut i = start;
+                loop {
+                    if (*down && i < limit) || (!*down && i > limit) {
+                        break;
+                    }
+                    self.tick()?;
+                    cell.borrow_mut()[off] = i;
+                    self.stmts(body, frame, routine)?;
+                    // Reload: the body may assign the loop variable.
+                    i = cell.borrow()[off];
+                    if i == limit {
+                        break;
+                    }
+                    i = if *down { i - 1 } else { i + 1 };
+                }
+            }
+            HStmt::Call { routine: r, args } => {
+                let slots = self.bind_args(args, frame)?;
+                self.invoke(*r, slots)?;
+            }
+            HStmt::Write { args, newline } => {
+                for a in args {
+                    match a {
+                        HWriteArg::Int(e) => {
+                            let v = self.eval(e, frame)?;
+                            self.output.extend_from_slice(v.to_string().as_bytes());
+                        }
+                        HWriteArg::Char(e) => {
+                            let v = self.eval(e, frame)?;
+                            self.output.push(v as u8);
+                        }
+                        HWriteArg::Str(s) => self.output.extend_from_slice(s),
+                    }
+                }
+                if *newline {
+                    self.output.push(b'\n');
+                }
+            }
+            HStmt::Block(ss) => self.stmts(ss, frame, routine)?,
+            HStmt::Case {
+                selector,
+                arms,
+                default,
+            } => {
+                let v = self.eval(selector, frame)?;
+                let body = arms
+                    .iter()
+                    .find(|(labels, _)| labels.contains(&v))
+                    .map(|(_, b)| b.as_slice())
+                    .unwrap_or(default.as_slice());
+                // (No-match without an else arm falls through, per this
+                // dialect; ISO Pascal calls it an error.)
+                self.stmts(body, frame, routine)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn bind_args(&mut self, args: &[HArg], frame: &mut Frame) -> Result<Vec<PSlot>, InterpError> {
+        let mut out = Vec::new();
+        for a in args {
+            match a {
+                HArg::Value(e) => {
+                    let v = self.eval(e, frame)?;
+                    out.push(PSlot::Val(Rc::new(RefCell::new(vec![v]))));
+                }
+                HArg::Ref(lv) => {
+                    let (cell, off) = self.place(lv, frame)?;
+                    out.push(PSlot::Ref(cell, off));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves an lvalue to (storage cell, flat offset).
+    fn place(&mut self, lv: &HLValue, frame: &mut Frame) -> Result<(Cell, usize), InterpError> {
+        let (cell, mut off) = match lv.base {
+            VarRef::Global(i) => (self.globals[i].clone(), 0),
+            VarRef::Local(i) => (frame.locals[i].clone(), 0),
+            VarRef::Param(i) => match &frame.params[i] {
+                PSlot::Val(c) => (c.clone(), 0),
+                PSlot::Ref(c, o) => (c.clone(), *o),
+            },
+        };
+        for ix in &lv.indices {
+            let v = self.eval(&ix.expr, frame)?;
+            if v < ix.arr.lo || v > ix.arr.hi {
+                return Err(InterpError::IndexOutOfBounds {
+                    index: v,
+                    lo: ix.arr.lo,
+                    hi: ix.arr.hi,
+                });
+            }
+            let elem = flat_size(&ix.arr.elem);
+            off += (v - ix.arr.lo) as usize * elem;
+        }
+        Ok((cell, off))
+    }
+
+    fn eval(&mut self, e: &HExpr, frame: &mut Frame) -> Result<i32, InterpError> {
+        self.tick()?;
+        Ok(match e {
+            HExpr::Int(v) => *v,
+            HExpr::Char(c) => *c as i32,
+            HExpr::Bool(b) => *b as i32,
+            HExpr::Load(lv) => {
+                let (cell, off) = self.place(lv, frame)?;
+                let v = cell.borrow()[off];
+                v
+            }
+            HExpr::Neg(a) => self.eval(a, frame)?.wrapping_neg(),
+            HExpr::Not(a) => 1 - self.eval(a, frame)?,
+            HExpr::Bin { op, a, b } => {
+                let x = self.eval(a, frame)?;
+                let y = self.eval(b, frame)?;
+                match op {
+                    HBinOp::Add => x.wrapping_add(y),
+                    HBinOp::Sub => x.wrapping_sub(y),
+                    HBinOp::Mul => x.wrapping_mul(y),
+                    HBinOp::Div => {
+                        if y == 0 {
+                            return Err(InterpError::DivideByZero);
+                        }
+                        x.wrapping_div(y)
+                    }
+                    HBinOp::Mod => {
+                        if y == 0 {
+                            return Err(InterpError::DivideByZero);
+                        }
+                        x.wrapping_rem(y)
+                    }
+                }
+            }
+            HExpr::Rel { op, a, b } => {
+                let x = self.eval(a, frame)?;
+                let y = self.eval(b, frame)?;
+                let r = match op {
+                    HRelOp::Eq => x == y,
+                    HRelOp::Ne => x != y,
+                    HRelOp::Lt => x < y,
+                    HRelOp::Le => x <= y,
+                    HRelOp::Gt => x > y,
+                    HRelOp::Ge => x >= y,
+                };
+                r as i32
+            }
+            HExpr::BoolBin { op, a, b } => {
+                // Reference semantics: strict evaluation (no side effects
+                // exist in Pasqal expressions other than time, so
+                // early-out and full evaluation agree on results).
+                let x = self.eval(a, frame)?;
+                let y = self.eval(b, frame)?;
+                match op {
+                    HBoolOp::And => ((x != 0) && (y != 0)) as i32,
+                    HBoolOp::Or => ((x != 0) || (y != 0)) as i32,
+                }
+            }
+            HExpr::Call { routine, args, .. } => {
+                let slots = self.bind_args(args, frame)?;
+                self.invoke(*routine, slots)?
+            }
+            HExpr::Ord(a) | HExpr::Chr(a) => {
+                let v = self.eval(a, frame)?;
+                if matches!(e, HExpr::Chr(_)) {
+                    v & 0xff
+                } else {
+                    v
+                }
+            }
+        })
+    }
+}
+
+/// Compiles and interprets a source program, returning its output.
+///
+/// # Errors
+///
+/// Compilation errors are returned as `Err(Ok(_))`-free
+/// [`crate::CompileError`] strings inside [`InterpError`]?? — no:
+/// compilation failures panic the caller's unwrap; use
+/// [`crate::front_end`] directly for richer handling. This helper is for
+/// tests and examples.
+///
+/// # Panics
+///
+/// Panics on compile errors (use [`crate::front_end`] to handle those).
+pub fn run_program(src: &str) -> Result<String, InterpError> {
+    let prog = crate::front_end(src).expect("compile error");
+    let mut i = Interp::new(&prog);
+    i.run()?;
+    Ok(i.output_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_output() {
+        let out = run_program(
+            "program t; var x: integer;
+             begin x := 2 + 3 * 4; writeln(x, ' ', x div 2, ' ', x mod 5) end.",
+        )
+        .unwrap();
+        assert_eq!(out, "14 7 4\n");
+    }
+
+    #[test]
+    fn recursion_fib() {
+        let out = run_program(
+            "program t;
+             function fib(n: integer): integer;
+             begin
+               if n < 2 then fib := n
+               else fib := fib(n-1) + fib(n-2)
+             end;
+             begin writeln(fib(10)) end.",
+        )
+        .unwrap();
+        assert_eq!(out, "55\n");
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let out = run_program(
+            "program t;
+             var a: array [1..5] of integer; i, s: integer;
+             begin
+               for i := 1 to 5 do a[i] := i * i;
+               s := 0;
+               for i := 5 downto 1 do s := s + a[i];
+               writeln(s)
+             end.",
+        )
+        .unwrap();
+        assert_eq!(out, "55\n");
+    }
+
+    #[test]
+    fn while_and_repeat() {
+        let out = run_program(
+            "program t; var i, s: integer;
+             begin
+               i := 0; s := 0;
+               while i < 4 do begin i := i + 1; s := s + i end;
+               repeat s := s + 10 until s > 30;
+               writeln(s)
+             end.",
+        )
+        .unwrap();
+        assert_eq!(out, "40\n");
+    }
+
+    #[test]
+    fn var_params_alias() {
+        let out = run_program(
+            "program t;
+             var g: integer;
+             procedure bump(var x: integer); begin x := x + 1 end;
+             begin g := 41; bump(g); writeln(g) end.",
+        )
+        .unwrap();
+        assert_eq!(out, "42\n");
+    }
+
+    #[test]
+    fn var_array_param() {
+        let out = run_program(
+            "program t;
+             type vec = array [0..3] of integer;
+             var v: vec;
+             procedure fill(var a: vec);
+             var i: integer;
+             begin for i := 0 to 3 do a[i] := i * 2 end;
+             begin fill(v); writeln(v[3]) end.",
+        )
+        .unwrap();
+        assert_eq!(out, "6\n");
+    }
+
+    #[test]
+    fn chars_and_packed_arrays() {
+        let out = run_program(
+            "program t;
+             var s: packed array [0..4] of char; i: integer;
+             begin
+               for i := 0 to 4 do s[i] := chr(ord('a') + i);
+               for i := 4 downto 0 do write(s[i]);
+               writeln
+             end.",
+        )
+        .unwrap();
+        assert_eq!(out, "edcba\n");
+    }
+
+    #[test]
+    fn booleans_print_as_ints() {
+        let out = run_program(
+            "program t; var b: boolean;
+             begin b := (1 = 1) and (2 < 3); writeln(b, ' ', not b) end.",
+        )
+        .unwrap();
+        assert_eq!(out, "1 0\n");
+    }
+
+    #[test]
+    fn for_loop_zero_trips_and_once() {
+        let out = run_program(
+            "program t; var i, c: integer;
+             begin
+               c := 0;
+               for i := 3 to 2 do c := c + 1;
+               for i := 2 to 2 do c := c + 10;
+               writeln(c)
+             end.",
+        )
+        .unwrap();
+        assert_eq!(out, "10\n");
+    }
+
+    #[test]
+    fn divide_by_zero_detected() {
+        let e = run_program("program t; var x: integer; begin x := 1 div x end.").unwrap_err();
+        assert_eq!(e, InterpError::DivideByZero);
+    }
+
+    #[test]
+    fn index_bounds_checked() {
+        let e = run_program(
+            "program t; var a: array [1..3] of integer; i: integer;
+             begin i := 9; a[i] := 0 end.",
+        )
+        .unwrap_err();
+        assert!(matches!(e, InterpError::IndexOutOfBounds { index: 9, .. }));
+    }
+
+    #[test]
+    fn function_without_result_detected() {
+        let e = run_program(
+            "program t;
+             function f: integer; begin end;
+             begin writeln(f) end.",
+        )
+        .unwrap_err();
+        assert_eq!(e, InterpError::NoResult("f".into()));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let prog = crate::front_end(
+            "program t; var x: integer; begin while true do x := x + 1 end.",
+        )
+        .unwrap();
+        let mut i = Interp::new(&prog);
+        i.limit = 10_000;
+        assert_eq!(i.run(), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn call_function_helper() {
+        let prog = crate::front_end(
+            "program t;
+             function add(a, b: integer): integer;
+             begin add := a + b end;
+             begin end.",
+        )
+        .unwrap();
+        let mut i = Interp::new(&prog);
+        assert_eq!(i.call_function("add", &[40, 2]).unwrap(), 42);
+    }
+
+    #[test]
+    fn multidim() {
+        let out = run_program(
+            "program t;
+             var m: array [0..2] of array [0..2] of integer; i, j, s: integer;
+             begin
+               for i := 0 to 2 do
+                 for j := 0 to 2 do
+                   m[i, j] := i * 3 + j;
+               s := 0;
+               for i := 0 to 2 do s := s + m[i, i];
+               writeln(s)
+             end.",
+        )
+        .unwrap();
+        assert_eq!(out, "12\n");
+    }
+}
+
+#[cfg(test)]
+mod case_tests {
+    use super::*;
+
+    #[test]
+    fn case_selects_arms_and_default() {
+        let out = run_program(
+            "program t; var i, r: integer;
+             begin
+               for i := 0 to 6 do
+               begin
+                 case i of
+                   0: r := 100;
+                   1, 2: r := 200;
+                   4: r := 400
+                 else r := 9
+                 end;
+                 write(r, ' ')
+               end;
+               writeln
+             end.",
+        )
+        .unwrap();
+        assert_eq!(out, "100 200 200 9 400 9 9 \n");
+    }
+
+    #[test]
+    fn case_on_chars() {
+        let out = run_program(
+            "program t; var c: char; n: integer;
+             begin
+               c := 'x';
+               case c of
+                 'a': n := 1;
+                 'x', 'y': n := 2
+               else n := 3
+               end;
+               writeln(n)
+             end.",
+        )
+        .unwrap();
+        assert_eq!(out, "2\n");
+    }
+
+    #[test]
+    fn case_without_else_falls_through() {
+        let out = run_program(
+            "program t; var r: integer;
+             begin
+               r := 7;
+               case 99 of
+                 1: r := 1
+               end;
+               writeln(r)
+             end.",
+        )
+        .unwrap();
+        assert_eq!(out, "7\n");
+    }
+}

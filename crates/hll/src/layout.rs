@@ -1,0 +1,256 @@
+//! Data layout under the paper's two allocation regimes (§4.1).
+//!
+//! * **Word machine, word-allocated** (Table 7): every unpacked datum —
+//!   including characters and booleans — occupies a full word; only
+//!   `packed` arrays of char/bool are byte-packed, reached through byte
+//!   pointers and the insert/extract-byte instructions. This matches "the
+//!   global activation records of the word-based allocation version
+//!   average 20% larger".
+//! * **Byte machine, byte-allocated** (Table 8): "allocates all characters
+//!   and booleans as bytes" — char/bool data takes one byte whether packed
+//!   or not; integers take four bytes, aligned.
+//!
+//! Addresses are measured in *units*: words on the word-addressed machine,
+//! bytes on the byte-addressed variant.
+
+use crate::hir::{ArrayTy, HProgram, Ty};
+
+/// Which machine (and, jointly, which allocation regime) code is laid out
+/// for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MachineTarget {
+    /// Word-addressed MIPS, word-allocated data (the real machine).
+    #[default]
+    Word,
+    /// The byte-addressed variant with byte-allocated characters
+    /// (the §4.1 comparison machine).
+    Byte,
+}
+
+impl MachineTarget {
+    /// Bytes per address unit (1 on the byte machine, 4 per word
+    /// otherwise — i.e. how a *word slot count* converts to units).
+    pub fn units_per_word(self) -> u32 {
+        match self {
+            MachineTarget::Word => 1,
+            MachineTarget::Byte => 4,
+        }
+    }
+}
+
+/// First global's address, in units.
+pub fn global_base(t: MachineTarget) -> u32 {
+    match t {
+        MachineTarget::Word => 0x1000,
+        MachineTarget::Byte => 0x4000,
+    }
+}
+
+/// Initial stack pointer (stack grows down), in units.
+pub fn stack_top(t: MachineTarget) -> u32 {
+    match t {
+        MachineTarget::Word => 0x00e0_0000,
+        // Same word, expressed in bytes — still inside the 24-bit word
+        // space after the machine's `>>2`.
+        MachineTarget::Byte => 0x00e0_0000 * 4,
+    }
+}
+
+/// Whether a scalar of type `ty` is stored as a byte on this target.
+pub fn scalar_is_byte(t: MachineTarget, ty: &Ty) -> bool {
+    t == MachineTarget::Byte && ty.is_byte_datum()
+}
+
+/// Whether elements of `arr` are byte-sized on this target.
+pub fn elems_are_bytes(t: MachineTarget, arr: &ArrayTy) -> bool {
+    match t {
+        MachineTarget::Word => arr.byte_elems_when_packed(),
+        MachineTarget::Byte => arr.elem.is_byte_datum(),
+    }
+}
+
+/// Element stride within `arr`, in units.
+pub fn elem_stride(t: MachineTarget, arr: &ArrayTy) -> u32 {
+    if elems_are_bytes(t, arr) {
+        1
+    } else {
+        size_units(t, &arr.elem)
+    }
+}
+
+/// Storage size of a type, in units (byte-machine sizes are rounded up to
+/// word alignment for aggregates containing words).
+pub fn size_units(t: MachineTarget, ty: &Ty) -> u32 {
+    match (t, ty) {
+        (MachineTarget::Word, Ty::Int | Ty::Char | Ty::Bool) => 1,
+        (MachineTarget::Word, Ty::Array(a)) => {
+            if a.byte_elems_when_packed() {
+                a.count().div_ceil(4)
+            } else {
+                a.count() * size_units(t, &a.elem)
+            }
+        }
+        (MachineTarget::Byte, Ty::Int) => 4,
+        (MachineTarget::Byte, Ty::Char | Ty::Bool) => 1,
+        (MachineTarget::Byte, Ty::Array(a)) => {
+            let raw = a.count() * elem_stride(t, a);
+            raw.div_ceil(4) * 4
+        }
+    }
+}
+
+/// Alignment of a type, in units.
+pub fn align_units(t: MachineTarget, ty: &Ty) -> u32 {
+    match t {
+        MachineTarget::Word => 1,
+        MachineTarget::Byte => match ty {
+            Ty::Char | Ty::Bool => 1,
+            Ty::Int => 4,
+            Ty::Array(a) => {
+                if elems_are_bytes(t, a) {
+                    1
+                } else {
+                    4
+                }
+            }
+        },
+    }
+}
+
+/// Global-variable addresses, in units.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// The target.
+    pub target: MachineTarget,
+    /// Address of each global (parallel to [`HProgram::globals`]).
+    pub global_addr: Vec<u32>,
+    /// One word past the last global (in units).
+    pub global_end: u32,
+}
+
+impl Layout {
+    /// Lays out a program's globals.
+    pub fn new(prog: &HProgram, target: MachineTarget) -> Layout {
+        let mut addr = global_base(target);
+        let mut global_addr = Vec::with_capacity(prog.globals.len());
+        for g in &prog.globals {
+            let a = align_units(target, &g.ty);
+            addr = addr.div_ceil(a) * a;
+            global_addr.push(addr);
+            addr += size_units(target, &g.ty);
+        }
+        Layout {
+            target,
+            global_addr,
+            global_end: addr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn arr(elem: Ty, n: i32, packed: bool) -> Ty {
+        Ty::Array(Rc::new(ArrayTy {
+            elem,
+            lo: 0,
+            hi: n - 1,
+            packed,
+        }))
+    }
+
+    #[test]
+    fn word_machine_sizes() {
+        let t = MachineTarget::Word;
+        assert_eq!(size_units(t, &Ty::Int), 1);
+        assert_eq!(size_units(t, &Ty::Char), 1, "unpacked chars take a word");
+        assert_eq!(size_units(t, &arr(Ty::Char, 80, false)), 80);
+        assert_eq!(size_units(t, &arr(Ty::Char, 80, true)), 20, "packed: 4/word");
+        assert_eq!(size_units(t, &arr(Ty::Char, 81, true)), 21);
+        assert_eq!(size_units(t, &arr(Ty::Int, 10, true)), 10, "packed ints stay words");
+    }
+
+    #[test]
+    fn byte_machine_sizes() {
+        let t = MachineTarget::Byte;
+        assert_eq!(size_units(t, &Ty::Int), 4);
+        assert_eq!(size_units(t, &Ty::Char), 1, "byte-allocated chars");
+        assert_eq!(size_units(t, &arr(Ty::Char, 80, false)), 80, "bytes even unpacked");
+        assert_eq!(size_units(t, &arr(Ty::Int, 10, false)), 40);
+    }
+
+    #[test]
+    fn word_allocation_is_larger_for_char_data() {
+        // The paper: word-allocated records average ~20% larger; for pure
+        // char data the factor is 4.
+        let w = size_units(MachineTarget::Word, &arr(Ty::Char, 100, false));
+        let b = size_units(MachineTarget::Byte, &arr(Ty::Char, 100, false));
+        assert_eq!(w, 100);
+        assert_eq!(b, 100); // bytes
+        // compare in bytes:
+        assert_eq!(w * 4, 400);
+    }
+
+    #[test]
+    fn strides() {
+        let packed = ArrayTy {
+            elem: Ty::Char,
+            lo: 0,
+            hi: 9,
+            packed: true,
+        };
+        assert_eq!(elem_stride(MachineTarget::Word, &packed), 1); // byte ptr units
+        assert!(elems_are_bytes(MachineTarget::Word, &packed));
+        let unpacked = ArrayTy {
+            elem: Ty::Char,
+            lo: 0,
+            hi: 9,
+            packed: false,
+        };
+        assert_eq!(elem_stride(MachineTarget::Word, &unpacked), 1); // words
+        assert!(!elems_are_bytes(MachineTarget::Word, &unpacked));
+        assert!(elems_are_bytes(MachineTarget::Byte, &unpacked));
+        let ints = ArrayTy {
+            elem: Ty::Int,
+            lo: 0,
+            hi: 9,
+            packed: false,
+        };
+        assert_eq!(elem_stride(MachineTarget::Byte, &ints), 4);
+    }
+
+    #[test]
+    fn global_layout_aligns_on_byte_machine() {
+        use crate::hir::{HProgram, HRoutine, HVar};
+        let prog = HProgram {
+            name: "t".into(),
+            globals: vec![
+                HVar {
+                    name: "c".into(),
+                    ty: Ty::Char,
+                },
+                HVar {
+                    name: "i".into(),
+                    ty: Ty::Int,
+                },
+            ],
+            routines: vec![HRoutine {
+                name: "main".into(),
+                params: vec![],
+                locals: vec![],
+                ret: None,
+                body: vec![],
+            }],
+            main: 0,
+        };
+        let l = Layout::new(&prog, MachineTarget::Byte);
+        assert_eq!(l.global_addr[0], global_base(MachineTarget::Byte));
+        assert_eq!(l.global_addr[1] % 4, 0, "int aligned");
+        assert!(l.global_addr[1] > l.global_addr[0]);
+
+        let lw = Layout::new(&prog, MachineTarget::Word);
+        assert_eq!(lw.global_addr[1], lw.global_addr[0] + 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! The Pasqal lexer.
+//!
+//! Pascal-flavoured: case-insensitive identifiers/keywords, `{ … }` and
+//! `(* … *)` comments, `'…'` character and string literals with `''`
+//! escaping.
+
+use crate::error::CompileError;
+use crate::token::{keyword, Tok, Token};
+
+/// Tokenizes a source string.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut out = Vec::new();
+
+    macro_rules! tok {
+        ($k:expr) => {
+            out.push(Token { kind: $k, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'{' => {
+                // Comment to matching }.
+                let start = line;
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(CompileError::new(start, "unterminated { comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'}' {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(start, "unterminated (* comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char or string literal; '' escapes a quote.
+                let start = line;
+                i += 1;
+                let mut text = Vec::new();
+                loop {
+                    if i >= bytes.len() || bytes[i] == b'\n' {
+                        return Err(CompileError::new(start, "unterminated literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            text.push(b'\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    text.push(bytes[i]);
+                    i += 1;
+                }
+                match text.len() {
+                    0 => return Err(CompileError::new(start, "empty character literal")),
+                    1 => tok!(Tok::Char(text[0])),
+                    _ => tok!(Tok::Str(text)),
+                }
+            }
+            b'0'..=b'9' => {
+                let s = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[s..i];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| CompileError::new(line, format!("bad number `{text}`")))?;
+                tok!(Tok::Int(v));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let s = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = src[s..i].to_ascii_lowercase();
+                match keyword(&word) {
+                    Some(k) => tok!(k),
+                    None => tok!(Tok::Ident(word)),
+                }
+            }
+            b';' => {
+                tok!(Tok::Semi);
+                i += 1;
+            }
+            b':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tok!(Tok::Assign);
+                    i += 2;
+                } else {
+                    tok!(Tok::Colon);
+                    i += 1;
+                }
+            }
+            b',' => {
+                tok!(Tok::Comma);
+                i += 1;
+            }
+            b'.' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    tok!(Tok::DotDot);
+                    i += 2;
+                } else {
+                    tok!(Tok::Dot);
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tok!(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                tok!(Tok::RParen);
+                i += 1;
+            }
+            b'[' => {
+                tok!(Tok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                tok!(Tok::RBracket);
+                i += 1;
+            }
+            b'=' => {
+                tok!(Tok::Eq);
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tok!(Tok::Ne);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tok!(Tok::Le);
+                    i += 2;
+                } else {
+                    tok!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tok!(Tok::Ge);
+                    i += 2;
+                } else {
+                    tok!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b'+' => {
+                tok!(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tok!(Tok::Minus);
+                i += 1;
+            }
+            b'*' => {
+                tok!(Tok::Star);
+                i += 1;
+            }
+            other => {
+                return Err(CompileError::new(
+                    line,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("program Foo; BEGIN end."),
+            vec![
+                Tok::Program,
+                Tok::Ident("foo".into()),
+                Tok::Semi,
+                Tok::Begin,
+                Tok::End,
+                Tok::Dot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds(":= <> <= >= .. < > = + - *"),
+            vec![
+                Tok::Assign,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::DotDot,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            kinds("42 'a' 'hi' ''''"),
+            vec![
+                Tok::Int(42),
+                Tok::Char(b'a'),
+                Tok::Str(b"hi".to_vec()),
+                Tok::Char(b'\''),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("{ one\n two }\nx (* y\n *) z").unwrap();
+        assert_eq!(toks[0].kind, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+        assert_eq!(toks[1].kind, Tok::Ident("z".into()));
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let e = lex("x\n?").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("{ forever").is_err());
+        assert!(lex("''").is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! # mips-hll — the Pasqal compiler
+//!
+//! The paper's data comes from "a collection of Pascal programs including
+//! compilers and VLSI design aid software" compiled for MIPS and for
+//! condition-code machines. This crate provides that substrate: a small
+//! Pascal-like language (*Pasqal*) with a complete pipeline —
+//!
+//! ```text
+//! source ──lexer──▶ tokens ──parser──▶ AST ──sema──▶ typed HIR
+//!     HIR ──codegen::mips──▶ LinearCode (→ mips-reorg → mips-sim)
+//!     HIR ──codegen::cc────▶ CcProgram  (→ mips-ccm)
+//!     HIR ──interp─────────▶ reference results (differential testing)
+//! ```
+//!
+//! The code generators expose exactly the knobs the paper's experiments
+//! turn:
+//!
+//! * **Data layout / machine target** ([`MachineTarget`]) — word-addressed
+//!   MIPS with word-allocated data and software byte handling (`xc`/`ic`),
+//!   or the byte-addressed variant with byte-allocated characters
+//!   (Tables 7–10);
+//! * **Boolean evaluation strategy** — MIPS *Set Conditionally*
+//!   straight-line code versus the condition-code machine's full
+//!   evaluation, early-out, and conditional-set strategies
+//!   (Tables 4–6, Figures 1–3);
+//! * **Register promotion** ([`CodegenOptions::promote_locals`]) — how
+//!   many of a routine's most-used scalar locals live in callee-saved
+//!   registers (§2.2's register-allocation payoff).
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_hll::compile_mips;
+//! use mips_reorg::{reorganize, ReorgOptions};
+//! use mips_sim::Machine;
+//!
+//! let src = "
+//! program demo;
+//! function double(x: integer): integer;
+//! begin
+//!   double := x + x
+//! end;
+//! begin
+//!   writeln(double(21))
+//! end.
+//! ";
+//! let lc = compile_mips(src, &Default::default()).unwrap();
+//! let out = reorganize(&lc, ReorgOptions::FULL).unwrap();
+//! let mut m = Machine::new(out.program);
+//! m.run().unwrap();
+//! assert_eq!(m.output_string(), "42\n");
+//! ```
+
+pub mod ast;
+pub mod cc_gen;
+pub mod error;
+pub mod hir;
+pub mod interp;
+pub mod layout;
+pub mod lexer;
+pub mod mips_gen;
+pub mod parser;
+pub mod sema;
+pub mod token;
+
+pub use cc_gen::{compile_cc, CcBoolStrategy, CcGenOptions};
+pub use error::CompileError;
+pub use interp::{run_program, InterpError};
+pub use mips_gen::{compile_mips, BoolValueStrategy, CodegenOptions, MachineTarget};
+
+/// Parses, checks, and lowers a Pasqal source to typed HIR.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with a line number on any lexical, syntax,
+/// or type error.
+pub fn front_end(src: &str) -> Result<hir::HProgram, CompileError> {
+    let tokens = lexer::lex(src)?;
+    let ast = parser::parse(&tokens)?;
+    sema::check(&ast)
+}

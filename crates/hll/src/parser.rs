@@ -1,0 +1,702 @@
+//! Recursive-descent parser for Pasqal.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{Tok, Token};
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, CompileError>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> PResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.line(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(CompileError::new(
+                self.line(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    // ---- program structure ----
+
+    fn program(&mut self) -> PResult<Program> {
+        self.expect(&Tok::Program)?;
+        let name = self.ident()?;
+        self.expect(&Tok::Semi)?;
+        let decls = self.decls(true)?;
+        self.expect(&Tok::Begin)?;
+        let main = self.stmt_list()?;
+        self.expect(&Tok::End)?;
+        self.expect(&Tok::Dot)?;
+        if self.peek() != &Tok::Eof {
+            return Err(CompileError::new(self.line(), "text after final `.`"));
+        }
+        Ok(Program { name, decls, main })
+    }
+
+    fn decls(&mut self, allow_routines: bool) -> PResult<Vec<Decl>> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Const => {
+                    self.bump();
+                    loop {
+                        let line = self.line();
+                        let name = self.ident()?;
+                        self.expect(&Tok::Eq)?;
+                        let value = self.expr()?;
+                        self.expect(&Tok::Semi)?;
+                        out.push(Decl::Const { name, value, line });
+                        if !matches!(self.peek(), Tok::Ident(_)) {
+                            break;
+                        }
+                    }
+                }
+                Tok::Type => {
+                    self.bump();
+                    loop {
+                        let line = self.line();
+                        let name = self.ident()?;
+                        self.expect(&Tok::Eq)?;
+                        let ty = self.type_expr()?;
+                        self.expect(&Tok::Semi)?;
+                        out.push(Decl::Type { name, ty, line });
+                        if !matches!(self.peek(), Tok::Ident(_)) {
+                            break;
+                        }
+                    }
+                }
+                Tok::Var => {
+                    self.bump();
+                    loop {
+                        let line = self.line();
+                        let mut names = vec![self.ident()?];
+                        while self.eat(&Tok::Comma) {
+                            names.push(self.ident()?);
+                        }
+                        self.expect(&Tok::Colon)?;
+                        let ty = self.type_expr()?;
+                        self.expect(&Tok::Semi)?;
+                        out.push(Decl::Var { names, ty, line });
+                        if !matches!(self.peek(), Tok::Ident(_)) {
+                            break;
+                        }
+                    }
+                }
+                Tok::Function | Tok::Procedure if allow_routines => {
+                    out.push(Decl::Routine(self.routine()?));
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn routine(&mut self) -> PResult<Routine> {
+        let line = self.line();
+        let is_func = matches!(self.bump(), Tok::Function);
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat(&Tok::LParen)
+            && !self.eat(&Tok::RParen) {
+                loop {
+                    let by_ref = self.eat(&Tok::Var);
+                    let pline = self.line();
+                    let mut names = vec![self.ident()?];
+                    while self.eat(&Tok::Comma) {
+                        names.push(self.ident()?);
+                    }
+                    self.expect(&Tok::Colon)?;
+                    let ty = self.type_expr()?;
+                    for n in names {
+                        params.push(Param {
+                            name: n,
+                            ty: ty.clone(),
+                            by_ref,
+                            line: pline,
+                        });
+                    }
+                    if !self.eat(&Tok::Semi) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+            }
+        let ret = if is_func {
+            self.expect(&Tok::Colon)?;
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi)?;
+        let locals = self.decls(false)?;
+        self.expect(&Tok::Begin)?;
+        let body = self.stmt_list()?;
+        self.expect(&Tok::End)?;
+        self.expect(&Tok::Semi)?;
+        Ok(Routine {
+            name,
+            params,
+            ret,
+            locals,
+            body,
+            line,
+        })
+    }
+
+    fn type_expr(&mut self) -> PResult<TypeExpr> {
+        let line = self.line();
+        let packed = self.eat(&Tok::Packed);
+        if self.eat(&Tok::Array) {
+            self.expect(&Tok::LBracket)?;
+            let lo = self.expr()?;
+            self.expect(&Tok::DotDot)?;
+            let hi = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            self.expect(&Tok::Of)?;
+            let elem = Box::new(self.type_expr()?);
+            return Ok(TypeExpr::Array {
+                packed,
+                lo,
+                hi,
+                elem,
+                line,
+            });
+        }
+        if packed {
+            return Err(CompileError::new(line, "`packed` must precede `array`"));
+        }
+        Ok(TypeExpr::Name(self.ident()?, line))
+    }
+
+    // ---- statements ----
+
+    fn stmt_list(&mut self) -> PResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            // Allow empty statements (stray semicolons) as Pascal does.
+            while self.eat(&Tok::Semi) {}
+            if matches!(self.peek(), Tok::End | Tok::Until) {
+                break;
+            }
+            out.push(self.stmt()?);
+            if !self.eat(&Tok::Semi) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Begin => {
+                self.bump();
+                let body = self.stmt_list()?;
+                self.expect(&Tok::End)?;
+                Ok(Stmt::Block(body))
+            }
+            Tok::If => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(&Tok::Then)?;
+                let then = Box::new(self.stmt()?);
+                let els = if self.eat(&Tok::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    els,
+                    line,
+                })
+            }
+            Tok::While => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(&Tok::Do)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::Repeat => {
+                self.bump();
+                let body = self.stmt_list()?;
+                self.expect(&Tok::Until)?;
+                let cond = self.expr()?;
+                Ok(Stmt::Repeat { body, cond, line })
+            }
+            Tok::Case => {
+                self.bump();
+                let selector = self.expr()?;
+                self.expect(&Tok::Of)?;
+                let mut arms = Vec::new();
+                let mut els = None;
+                loop {
+                    while self.eat(&Tok::Semi) {}
+                    if self.eat(&Tok::End) {
+                        break;
+                    }
+                    if self.eat(&Tok::Else) {
+                        els = Some(Box::new(self.stmt()?));
+                        let _ = self.eat(&Tok::Semi);
+                        self.expect(&Tok::End)?;
+                        break;
+                    }
+                    let mut labels = vec![self.expr()?];
+                    while self.eat(&Tok::Comma) {
+                        labels.push(self.expr()?);
+                    }
+                    self.expect(&Tok::Colon)?;
+                    let body = self.stmt()?;
+                    arms.push((labels, body));
+                    // Arms are separated by `;`; `else`/`end` may follow
+                    // the last arm directly (Pascal style).
+                    if !matches!(self.peek(), Tok::Semi | Tok::Else | Tok::End) {
+                        return Err(CompileError::new(
+                            self.line(),
+                            format!("expected `;`, `else`, or `end` in case, found {}", self.peek()),
+                        ));
+                    }
+                }
+                Ok(Stmt::Case {
+                    selector,
+                    arms,
+                    els,
+                    line,
+                })
+            }
+            Tok::For => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let from = self.expr()?;
+                let down = match self.bump() {
+                    Tok::To => false,
+                    Tok::Downto => true,
+                    other => {
+                        return Err(CompileError::new(
+                            line,
+                            format!("expected `to` or `downto`, found {other}"),
+                        ))
+                    }
+                };
+                let to = self.expr()?;
+                self.expect(&Tok::Do)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For {
+                    var,
+                    from,
+                    to,
+                    down,
+                    body,
+                    line,
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if name == "write" || name == "writeln" {
+                    let newline = name == "writeln";
+                    let mut args = Vec::new();
+                    if self.eat(&Tok::LParen) {
+                        loop {
+                            match self.peek().clone() {
+                                Tok::Str(s) => {
+                                    self.bump();
+                                    args.push(WriteArg::Str(s));
+                                }
+                                _ => args.push(WriteArg::Expr(self.expr()?)),
+                            }
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    return Ok(Stmt::Write {
+                        args,
+                        newline,
+                        line,
+                    });
+                }
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.eat(&Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&Tok::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&Tok::RParen)?;
+                        }
+                        Ok(Stmt::Call { name, args, line })
+                    }
+                    _ => {
+                        let indices = self.index_suffix()?;
+                        // A bare identifier (no indices, no `:=`) is a
+                        // parameterless procedure call.
+                        if indices.is_empty() && self.peek() != &Tok::Assign {
+                            return Ok(Stmt::Call {
+                                name,
+                                args: Vec::new(),
+                                line,
+                            });
+                        }
+                        self.expect(&Tok::Assign)?;
+                        let e = self.expr()?;
+                        Ok(Stmt::Assign {
+                            lv: Designator {
+                                name,
+                                indices,
+                                line,
+                            },
+                            e,
+                            line,
+                        })
+                    }
+                }
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected statement, found {other}"),
+            )),
+        }
+    }
+
+    /// Parses `[e]`, `[e][e]`, and `[e, e]` index chains.
+    fn index_suffix(&mut self) -> PResult<Vec<Expr>> {
+        let mut indices = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            loop {
+                indices.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RBracket)?;
+        }
+        Ok(indices)
+    }
+
+    // ---- expressions (Pascal precedence) ----
+
+    fn expr(&mut self) -> PResult<Expr> {
+        let a = self.simple()?;
+        let line = self.line();
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(a),
+        };
+        self.bump();
+        let b = self.simple()?;
+        Ok(Expr::Bin {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+            line,
+        })
+    }
+
+    fn simple(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        let mut a = if self.eat(&Tok::Minus) {
+            Expr::Neg(Box::new(self.term()?), line)
+        } else {
+            let _ = self.eat(&Tok::Plus);
+            self.term()?
+        };
+        loop {
+            let line = self.line();
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                Tok::Or => BinOp::Or,
+                _ => break,
+            };
+            self.bump();
+            let b = self.term()?;
+            a = Expr::Bin {
+                op,
+                a: Box::new(a),
+                b: Box::new(b),
+                line,
+            };
+        }
+        Ok(a)
+    }
+
+    fn term(&mut self) -> PResult<Expr> {
+        let mut a = self.factor()?;
+        loop {
+            let line = self.line();
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Div => BinOp::Div,
+                Tok::Mod => BinOp::Mod,
+                Tok::And => BinOp::And,
+                _ => break,
+            };
+            self.bump();
+            let b = self.factor()?;
+            a = Expr::Bin {
+                op,
+                a: Box::new(a),
+                b: Box::new(b),
+                line,
+            };
+        }
+        Ok(a)
+    }
+
+    fn factor(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, line))
+            }
+            Tok::Char(c) => {
+                self.bump();
+                Ok(Expr::Char(c, line))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::Bool(true, line))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::Bool(false, line))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Not => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.factor()?), line))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?), line))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.eat(&Tok::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&Tok::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&Tok::RParen)?;
+                        }
+                        Ok(Expr::Call { name, args, line })
+                    }
+                    Tok::LBracket => {
+                        let indices = self.index_suffix()?;
+                        Ok(Expr::Index(Box::new(Designator {
+                            name,
+                            indices,
+                            line,
+                        })))
+                    }
+                    _ => Ok(Expr::Name(name, line)),
+                }
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on syntax errors.
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program, CompileError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse_src("program p; begin end.").unwrap();
+        assert_eq!(p.name, "p");
+        assert!(p.decls.is_empty());
+        assert!(p.main.is_empty());
+    }
+
+    #[test]
+    fn full_shapes_parse() {
+        let p = parse_src(
+            "
+            program demo;
+            const n = 10; m = -n;
+            type row = array [0..7] of integer;
+            var a: array [1..100] of integer;
+                line: packed array [0..79] of char;
+                i, j: integer;
+                ok: boolean;
+
+            function fib(k: integer): integer;
+            begin
+              if k < 2 then fib := k
+              else fib := fib(k-1) + fib(k-2)
+            end;
+
+            procedure fill(var x: integer; v: integer);
+            var t: integer;
+            begin
+              x := v;
+              for t := 1 to 10 do a[t] := t * v;
+              while i > 0 do i := i - 1;
+              repeat i := i + 1 until i = 5;
+              if ok and (line[0] = 'a') then write(line[0]);
+              writeln('sum=', i)
+            end;
+
+            begin
+              fill(i, 3);
+              writeln(fib(n))
+            end.
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.decls.len(), 9);
+        assert_eq!(p.main.len(), 2);
+        let Decl::Routine(f) = &p.decls[7] else {
+            panic!("expected routine");
+        };
+        assert_eq!(f.name, "fib");
+        assert!(f.ret.is_some());
+        let Decl::Routine(g) = &p.decls[8] else {
+            panic!("expected routine");
+        };
+        assert!(g.params[0].by_ref);
+        assert!(!g.params[1].by_ref);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("program p; var x: integer; begin x := 1 + 2 * 3 end.").unwrap();
+        let Stmt::Assign { e, .. } = &p.main[0] else {
+            panic!()
+        };
+        let Expr::Bin { op: BinOp::Add, b, .. } = e else {
+            panic!("expected + at top: {e:?}")
+        };
+        assert!(matches!(**b, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn relational_binds_loosest() {
+        let p =
+            parse_src("program p; var b: boolean; begin b := (1 = 2) or (3 = 4) end.").unwrap();
+        let Stmt::Assign { e, .. } = &p.main[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Bin { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn multi_dim_index_sugar() {
+        let p = parse_src(
+            "program p; var m: array [0..3] of array [0..3] of integer;
+             begin m[1,2] := m[1][2] end.",
+        )
+        .unwrap();
+        let Stmt::Assign { lv, e, .. } = &p.main[0] else {
+            panic!()
+        };
+        assert_eq!(lv.indices.len(), 2);
+        let Expr::Index(d) = e else { panic!() };
+        assert_eq!(d.indices.len(), 2);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = parse_src("program p; begin x = 1 end.").unwrap_err();
+        assert!(e.message.contains("expected"), "{e}");
+        assert!(parse_src("program p; begin end").is_err()); // missing dot
+        assert!(parse_src("begin end.").is_err()); // missing header
+    }
+
+    #[test]
+    fn empty_statements_allowed() {
+        assert!(parse_src("program p; begin ;; end.").is_ok());
+    }
+}

@@ -1,0 +1,1033 @@
+//! Semantic analysis: name resolution, constant evaluation, type
+//! checking, and lowering to [`crate::hir`].
+
+use crate::ast;
+use crate::error::CompileError;
+use crate::hir::*;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+type CResult<T> = Result<T, CompileError>;
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConstVal {
+    Int(i32),
+    Char(u8),
+    Bool(bool),
+}
+
+impl ConstVal {
+    fn ty(self) -> Ty {
+        match self {
+            ConstVal::Int(_) => Ty::Int,
+            ConstVal::Char(_) => Ty::Char,
+            ConstVal::Bool(_) => Ty::Bool,
+        }
+    }
+
+    fn to_expr(self) -> HExpr {
+        match self {
+            ConstVal::Int(v) => HExpr::Int(v),
+            ConstVal::Char(c) => HExpr::Char(c),
+            ConstVal::Bool(b) => HExpr::Bool(b),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RoutineSig {
+    name: String,
+    params: Vec<HParam>,
+    ret: Option<Ty>,
+}
+
+struct Checker {
+    consts: HashMap<String, ConstVal>,
+    types: HashMap<String, Ty>,
+    globals: Vec<HVar>,
+    global_idx: HashMap<String, usize>,
+    sigs: Vec<RoutineSig>,
+    sig_idx: HashMap<String, usize>,
+}
+
+/// Checks a parsed program and lowers it to HIR.
+///
+/// # Errors
+///
+/// Returns the first semantic error found.
+pub fn check(ast: &ast::Program) -> CResult<HProgram> {
+    let mut ck = Checker {
+        consts: HashMap::new(),
+        types: HashMap::new(),
+        globals: Vec::new(),
+        global_idx: HashMap::new(),
+        sigs: Vec::new(),
+        sig_idx: HashMap::new(),
+    };
+
+    // Pass 1: constants, types, globals, routine signatures.
+    for d in &ast.decls {
+        match d {
+            ast::Decl::Const { name, value, line } => {
+                let v = ck.eval_const(value)?;
+                ck.declare_unique(name, *line)?;
+                ck.consts.insert(name.clone(), v);
+            }
+            ast::Decl::Type { name, ty, line } => {
+                let t = ck.resolve_type(ty)?;
+                ck.declare_unique(name, *line)?;
+                ck.types.insert(name.clone(), t);
+            }
+            ast::Decl::Var { names, ty, line } => {
+                let t = ck.resolve_type(ty)?;
+                for n in names {
+                    ck.declare_unique(n, *line)?;
+                    ck.global_idx.insert(n.clone(), ck.globals.len());
+                    ck.globals.push(HVar {
+                        name: n.clone(),
+                        ty: t.clone(),
+                    });
+                }
+            }
+            ast::Decl::Routine(r) => {
+                ck.declare_unique(&r.name, r.line)?;
+                let mut params = Vec::new();
+                for p in &r.params {
+                    let ty = ck.resolve_type(&p.ty)?;
+                    if !p.by_ref && !ty.is_scalar() {
+                        return Err(CompileError::new(
+                            p.line,
+                            format!(
+                                "array parameter `{}` must be a var parameter",
+                                p.name
+                            ),
+                        ));
+                    }
+                    params.push(HParam {
+                        name: p.name.clone(),
+                        ty,
+                        by_ref: p.by_ref,
+                    });
+                }
+                let ret = match &r.ret {
+                    Some(t) => {
+                        let ty = ck.resolve_type(t)?;
+                        if !ty.is_scalar() {
+                            return Err(CompileError::new(
+                                r.line,
+                                "functions must return a scalar",
+                            ));
+                        }
+                        Some(ty)
+                    }
+                    None => None,
+                };
+                ck.sig_idx.insert(r.name.clone(), ck.sigs.len());
+                ck.sigs.push(RoutineSig {
+                    name: r.name.clone(),
+                    params,
+                    ret,
+                });
+            }
+        }
+    }
+
+    // Pass 2: routine bodies.
+    let mut routines = Vec::new();
+    for d in &ast.decls {
+        if let ast::Decl::Routine(r) = d {
+            let idx = ck.sig_idx[&r.name];
+            routines.push(ck.check_routine(r, idx)?);
+        }
+    }
+
+    // The synthesized main.
+    let main_index = routines.len();
+    {
+        let mut scope = Scope::new(&ck, None);
+        let body = scope.stmts(&ast.main)?;
+        routines.push(HRoutine {
+            name: "main".to_string(),
+            params: Vec::new(),
+            locals: scope.locals,
+            ret: None,
+            body,
+        });
+    }
+
+    Ok(HProgram {
+        name: ast.name.clone(),
+        globals: ck.globals,
+        routines,
+        main: main_index,
+    })
+}
+
+impl Checker {
+    fn declare_unique(&self, name: &str, line: usize) -> CResult<()> {
+        if self.consts.contains_key(name)
+            || self.types.contains_key(name)
+            || self.global_idx.contains_key(name)
+            || self.sig_idx.contains_key(name)
+            || name == "main"
+            || name == "ord"
+            || name == "chr"
+            || name == "write"
+            || name == "writeln"
+        {
+            return Err(CompileError::new(line, format!("`{name}` already declared")));
+        }
+        Ok(())
+    }
+
+    fn resolve_type(&self, t: &ast::TypeExpr) -> CResult<Ty> {
+        match t {
+            ast::TypeExpr::Name(n, line) => match n.as_str() {
+                "integer" => Ok(Ty::Int),
+                "char" => Ok(Ty::Char),
+                "boolean" => Ok(Ty::Bool),
+                other => self
+                    .types
+                    .get(other)
+                    .cloned()
+                    .ok_or_else(|| CompileError::new(*line, format!("unknown type `{other}`"))),
+            },
+            ast::TypeExpr::Array {
+                packed,
+                lo,
+                hi,
+                elem,
+                line,
+            } => {
+                let lo = self.const_int(lo)?;
+                let hi = self.const_int(hi)?;
+                if hi < lo {
+                    return Err(CompileError::new(*line, "array upper bound below lower"));
+                }
+                let elem = self.resolve_type(elem)?;
+                Ok(Ty::Array(Rc::new(ArrayTy {
+                    elem,
+                    lo,
+                    hi,
+                    packed: *packed,
+                })))
+            }
+        }
+    }
+
+    fn const_int(&self, e: &ast::Expr) -> CResult<i32> {
+        match self.eval_const(e)? {
+            ConstVal::Int(v) => Ok(v),
+            other => Err(CompileError::new(
+                e.line(),
+                format!("expected integer constant, found {:?}", other.ty()),
+            )),
+        }
+    }
+
+    fn eval_const(&self, e: &ast::Expr) -> CResult<ConstVal> {
+        let line = e.line();
+        match e {
+            ast::Expr::Int(v, _) => i32::try_from(*v)
+                .map(ConstVal::Int)
+                .map_err(|_| CompileError::new(line, "integer constant out of range")),
+            ast::Expr::Char(c, _) => Ok(ConstVal::Char(*c)),
+            ast::Expr::Bool(b, _) => Ok(ConstVal::Bool(*b)),
+            ast::Expr::Name(n, _) => self
+                .consts
+                .get(n)
+                .copied()
+                .ok_or_else(|| CompileError::new(line, format!("`{n}` is not a constant"))),
+            ast::Expr::Neg(inner, _) => match self.eval_const(inner)? {
+                ConstVal::Int(v) => Ok(ConstVal::Int(-v)),
+                _ => Err(CompileError::new(line, "cannot negate non-integer constant")),
+            },
+            ast::Expr::Bin { op, a, b, .. } => {
+                let (ConstVal::Int(x), ConstVal::Int(y)) =
+                    (self.eval_const(a)?, self.eval_const(b)?)
+                else {
+                    return Err(CompileError::new(line, "non-integer constant arithmetic"));
+                };
+                let v = match op {
+                    ast::BinOp::Add => x.wrapping_add(y),
+                    ast::BinOp::Sub => x.wrapping_sub(y),
+                    ast::BinOp::Mul => x.wrapping_mul(y),
+                    ast::BinOp::Div if y != 0 => x.wrapping_div(y),
+                    ast::BinOp::Mod if y != 0 => x.wrapping_rem(y),
+                    ast::BinOp::Div | ast::BinOp::Mod => {
+                        return Err(CompileError::new(line, "constant division by zero"))
+                    }
+                    _ => {
+                        return Err(CompileError::new(
+                            line,
+                            "operator not allowed in constant expression",
+                        ))
+                    }
+                };
+                Ok(ConstVal::Int(v))
+            }
+            _ => Err(CompileError::new(line, "expression is not constant")),
+        }
+    }
+
+    fn check_routine(&self, r: &ast::Routine, idx: usize) -> CResult<HRoutine> {
+        let sig = &self.sigs[idx];
+        let mut scope = Scope::new(self, Some(idx));
+        // Local declarations.
+        for d in &r.locals {
+            match d {
+                ast::Decl::Const { name, value, line } => {
+                    let v = self.eval_const(value)?;
+                    scope.declare_local_unique(name, *line)?;
+                    scope.local_consts.insert(name.clone(), v);
+                }
+                ast::Decl::Var { names, ty, line } => {
+                    let t = self.resolve_type(ty)?;
+                    for n in names {
+                        scope.declare_local_unique(n, *line)?;
+                        scope.local_idx.insert(n.clone(), scope.locals.len());
+                        scope.locals.push(HVar {
+                            name: n.clone(),
+                            ty: t.clone(),
+                        });
+                    }
+                }
+                ast::Decl::Type { line, .. } => {
+                    return Err(CompileError::new(*line, "local type declarations unsupported"))
+                }
+                ast::Decl::Routine(nested) => {
+                    return Err(CompileError::new(
+                        nested.line,
+                        "nested routines unsupported",
+                    ))
+                }
+            }
+        }
+        let body = scope.stmts(&r.body)?;
+        Ok(HRoutine {
+            name: sig.name.clone(),
+            params: sig.params.clone(),
+            locals: scope.locals,
+            ret: sig.ret.clone(),
+            body,
+        })
+    }
+}
+
+struct Scope<'a> {
+    ck: &'a Checker,
+    routine: Option<usize>,
+    locals: Vec<HVar>,
+    local_idx: HashMap<String, usize>,
+    local_consts: HashMap<String, ConstVal>,
+}
+
+impl<'a> Scope<'a> {
+    fn new(ck: &'a Checker, routine: Option<usize>) -> Scope<'a> {
+        Scope {
+            ck,
+            routine,
+            locals: Vec::new(),
+            local_idx: HashMap::new(),
+            local_consts: HashMap::new(),
+        }
+    }
+
+    fn sig(&self) -> Option<&RoutineSig> {
+        self.routine.map(|i| &self.ck.sigs[i])
+    }
+
+    fn declare_local_unique(&self, name: &str, line: usize) -> CResult<()> {
+        if self.local_idx.contains_key(name)
+            || self.local_consts.contains_key(name)
+            || self.sig().is_some_and(|s| {
+                s.params.iter().any(|p| p.name == name) || s.name == name
+            })
+        {
+            return Err(CompileError::new(
+                line,
+                format!("`{name}` already declared in this routine"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn stmts(&mut self, ss: &[ast::Stmt]) -> CResult<Vec<HStmt>> {
+        ss.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, s: &ast::Stmt) -> CResult<HStmt> {
+        match s {
+            ast::Stmt::Assign { lv, e, line } => {
+                // Function result assignment?
+                if lv.indices.is_empty() {
+                    if let Some(sig) = self.sig() {
+                        if sig.name == lv.name {
+                            let ret = sig.ret.clone().ok_or_else(|| {
+                                CompileError::new(*line, "procedures have no result")
+                            })?;
+                            let he = self.expr(e)?;
+                            self.require(&he.ty(), &ret, *line)?;
+                            return Ok(HStmt::SetResult(he));
+                        }
+                    }
+                }
+                let hlv = self.lvalue(lv)?;
+                if !hlv.ty.is_scalar() {
+                    return Err(CompileError::new(*line, "array assignment unsupported"));
+                }
+                let he = self.expr(e)?;
+                self.require(&he.ty(), &hlv.ty, *line)?;
+                Ok(HStmt::Assign(hlv, he))
+            }
+            ast::Stmt::Call { name, args, line } => {
+                let (routine, hargs) = self.call(name, args, *line)?;
+                if self.ck.sigs[routine].ret.is_some() {
+                    return Err(CompileError::new(
+                        *line,
+                        format!("`{name}` is a function; its result must be used"),
+                    ));
+                }
+                Ok(HStmt::Call {
+                    routine,
+                    args: hargs,
+                })
+            }
+            ast::Stmt::If {
+                cond,
+                then,
+                els,
+                line,
+            } => {
+                let c = self.expr(cond)?;
+                self.require(&c.ty(), &Ty::Bool, *line)?;
+                let then = vec![self.stmt(then)?];
+                let els = match els {
+                    Some(e) => vec![self.stmt(e)?],
+                    None => Vec::new(),
+                };
+                Ok(HStmt::If {
+                    cond: c,
+                    then,
+                    els,
+                })
+            }
+            ast::Stmt::While { cond, body, line } => {
+                let c = self.expr(cond)?;
+                self.require(&c.ty(), &Ty::Bool, *line)?;
+                Ok(HStmt::While {
+                    cond: c,
+                    body: vec![self.stmt(body)?],
+                })
+            }
+            ast::Stmt::Repeat { body, cond, line } => {
+                let body = self.stmts(body)?;
+                let c = self.expr(cond)?;
+                self.require(&c.ty(), &Ty::Bool, *line)?;
+                Ok(HStmt::Repeat { body, cond: c })
+            }
+            ast::Stmt::For {
+                var,
+                from,
+                to,
+                down,
+                body,
+                line,
+            } => {
+                let lv = self.lvalue(&ast::Designator {
+                    name: var.clone(),
+                    indices: Vec::new(),
+                    line: *line,
+                })?;
+                self.require(&lv.ty, &Ty::Int, *line)?;
+                let from = self.expr(from)?;
+                self.require(&from.ty(), &Ty::Int, *line)?;
+                let to = self.expr(to)?;
+                self.require(&to.ty(), &Ty::Int, *line)?;
+                Ok(HStmt::For {
+                    var: lv,
+                    from,
+                    to,
+                    down: *down,
+                    body: vec![self.stmt(body)?],
+                })
+            }
+            ast::Stmt::Case {
+                selector,
+                arms,
+                els,
+                line,
+            } => {
+                let sel = self.expr(selector)?;
+                let sel_ty = sel.ty();
+                if !matches!(sel_ty, Ty::Int | Ty::Char) {
+                    return Err(CompileError::new(
+                        *line,
+                        "case selector must be integer or char",
+                    ));
+                }
+                let mut seen = std::collections::HashSet::new();
+                let mut harms = Vec::new();
+                for (labels, body) in arms {
+                    let mut vals = Vec::new();
+                    for l in labels {
+                        let v = match self.ck.eval_const(l)? {
+                            ConstVal::Int(v) if sel_ty == Ty::Int => v,
+                            ConstVal::Char(c) if sel_ty == Ty::Char => c as i32,
+                            other => {
+                                return Err(CompileError::new(
+                                    l.line(),
+                                    format!(
+                                        "case label type {:?} does not match the selector",
+                                        other.ty()
+                                    ),
+                                ))
+                            }
+                        };
+                        if !seen.insert(v) {
+                            return Err(CompileError::new(
+                                l.line(),
+                                format!("duplicate case label {v}"),
+                            ));
+                        }
+                        vals.push(v);
+                    }
+                    harms.push((vals, vec![self.stmt(body)?]));
+                }
+                let default = match els {
+                    Some(e) => vec![self.stmt(e)?],
+                    None => Vec::new(),
+                };
+                Ok(HStmt::Case {
+                    selector: sel,
+                    arms: harms,
+                    default,
+                })
+            }
+            ast::Stmt::Block(ss) => Ok(HStmt::Block(self.stmts(ss)?)),
+            ast::Stmt::Write {
+                args,
+                newline,
+                line,
+            } => {
+                let mut out = Vec::new();
+                for a in args {
+                    match a {
+                        ast::WriteArg::Str(s) => out.push(HWriteArg::Str(s.clone())),
+                        ast::WriteArg::Expr(e) => {
+                            let he = self.expr(e)?;
+                            match he.ty() {
+                                Ty::Int | Ty::Bool => out.push(HWriteArg::Int(he)),
+                                Ty::Char => out.push(HWriteArg::Char(he)),
+                                Ty::Array(_) => {
+                                    return Err(CompileError::new(
+                                        *line,
+                                        "cannot write an array",
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(HStmt::Write {
+                    args: out,
+                    newline: *newline,
+                })
+            }
+        }
+    }
+
+    fn require(&self, got: &Ty, want: &Ty, line: usize) -> CResult<()> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                line,
+                format!("type mismatch: expected {want}, found {got}"),
+            ))
+        }
+    }
+
+    fn base_var(&self, name: &str, line: usize) -> CResult<(VarRef, Ty, bool)> {
+        if let Some(sig) = self.sig() {
+            if let Some(i) = sig.params.iter().position(|p| p.name == name) {
+                let p = &sig.params[i];
+                return Ok((VarRef::Param(i), p.ty.clone(), p.by_ref));
+            }
+        }
+        if let Some(&i) = self.local_idx.get(name) {
+            return Ok((VarRef::Local(i), self.locals[i].ty.clone(), false));
+        }
+        if let Some(&i) = self.ck.global_idx.get(name) {
+            return Ok((VarRef::Global(i), self.ck.globals[i].ty.clone(), false));
+        }
+        Err(CompileError::new(line, format!("unknown variable `{name}`")))
+    }
+
+    fn lvalue(&mut self, d: &ast::Designator) -> CResult<HLValue> {
+        let (base, mut ty, by_ref) = self.base_var(&d.name, d.line)?;
+        let mut indices = Vec::new();
+        for ix in &d.indices {
+            let Ty::Array(arr) = ty.clone() else {
+                return Err(CompileError::new(
+                    d.line,
+                    format!("`{}` indexed too deeply", d.name),
+                ));
+            };
+            let e = self.expr(ix)?;
+            self.require(&e.ty(), &Ty::Int, d.line)?;
+            ty = arr.elem.clone();
+            indices.push(HIndex {
+                expr: e,
+                arr: arr.clone(),
+            });
+        }
+        Ok(HLValue {
+            base,
+            by_ref,
+            indices,
+            ty,
+        })
+    }
+
+    fn call(&mut self, name: &str, args: &[ast::Expr], line: usize) -> CResult<(usize, Vec<HArg>)> {
+        let Some(&idx) = self.ck.sig_idx.get(name) else {
+            return Err(CompileError::new(line, format!("unknown routine `{name}`")));
+        };
+        let sig = self.ck.sigs[idx].clone();
+        if sig.params.len() != args.len() {
+            return Err(CompileError::new(
+                line,
+                format!(
+                    "`{name}` takes {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut hargs = Vec::new();
+        for (p, a) in sig.params.iter().zip(args) {
+            if p.by_ref {
+                let ast::Expr::Name(n, l) = a else {
+                    match a {
+                        ast::Expr::Index(d) => {
+                            let lv = self.lvalue(d)?;
+                            self.check_ref_arg(&lv, &p.ty, a.line())?;
+                            hargs.push(HArg::Ref(lv));
+                            continue;
+                        }
+                        _ => {
+                            return Err(CompileError::new(
+                                a.line(),
+                                "var parameter needs a variable argument",
+                            ))
+                        }
+                    }
+                };
+                let lv = self.lvalue(&ast::Designator {
+                    name: n.clone(),
+                    indices: Vec::new(),
+                    line: *l,
+                })?;
+                self.check_ref_arg(&lv, &p.ty, *l)?;
+                hargs.push(HArg::Ref(lv));
+            } else {
+                let he = self.expr(a)?;
+                self.require(&he.ty(), &p.ty, a.line())?;
+                hargs.push(HArg::Value(he));
+            }
+        }
+        Ok((idx, hargs))
+    }
+
+    fn check_ref_arg(&self, lv: &HLValue, want: &Ty, line: usize) -> CResult<()> {
+        self.require(&lv.ty, want, line)?;
+        // Pascal forbids var parameters bound to packed-array elements.
+        if let Some(last) = lv.indices.last() {
+            if last.arr.byte_elems_when_packed() {
+                return Err(CompileError::new(
+                    line,
+                    "cannot pass a packed array element as a var parameter",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &ast::Expr) -> CResult<HExpr> {
+        let line = e.line();
+        match e {
+            ast::Expr::Int(v, _) => i32::try_from(*v)
+                .map(HExpr::Int)
+                .map_err(|_| CompileError::new(line, "integer literal out of range")),
+            ast::Expr::Char(c, _) => Ok(HExpr::Char(*c)),
+            ast::Expr::Bool(b, _) => Ok(HExpr::Bool(*b)),
+            ast::Expr::Name(n, _) => {
+                if let Some(v) = self.local_consts.get(n).or_else(|| self.ck.consts.get(n)) {
+                    return Ok(v.to_expr());
+                }
+                // Paramless function call by bare name.
+                if let Some(&idx) = self.ck.sig_idx.get(n) {
+                    let sig = &self.ck.sigs[idx];
+                    if let Some(ret) = &sig.ret {
+                        if sig.params.is_empty() {
+                            return Ok(HExpr::Call {
+                                routine: idx,
+                                args: Vec::new(),
+                                ret: ret.clone(),
+                            });
+                        }
+                    }
+                    return Err(CompileError::new(
+                        line,
+                        format!("routine `{n}` used without arguments"),
+                    ));
+                }
+                let lv = self.lvalue(&ast::Designator {
+                    name: n.clone(),
+                    indices: Vec::new(),
+                    line,
+                })?;
+                Ok(HExpr::Load(Box::new(lv)))
+            }
+            ast::Expr::Index(d) => {
+                let lv = self.lvalue(d)?;
+                if !lv.ty.is_scalar() {
+                    return Err(CompileError::new(line, "partial array indexing in expression"));
+                }
+                Ok(HExpr::Load(Box::new(lv)))
+            }
+            ast::Expr::Call { name, args, line } => match name.as_str() {
+                "ord" => {
+                    self.one_arg(args, *line)?;
+                    let a = self.expr(&args[0])?;
+                    if !a.ty().is_scalar() {
+                        return Err(CompileError::new(*line, "ord takes a scalar"));
+                    }
+                    Ok(HExpr::Ord(Box::new(a)))
+                }
+                "chr" => {
+                    self.one_arg(args, *line)?;
+                    let a = self.expr(&args[0])?;
+                    self.require(&a.ty(), &Ty::Int, *line)?;
+                    Ok(HExpr::Chr(Box::new(a)))
+                }
+                _ => {
+                    let (routine, hargs) = self.call(name, args, *line)?;
+                    let ret = self.ck.sigs[routine].ret.clone().ok_or_else(|| {
+                        CompileError::new(*line, format!("procedure `{name}` has no result"))
+                    })?;
+                    Ok(HExpr::Call {
+                        routine,
+                        args: hargs,
+                        ret,
+                    })
+                }
+            },
+            ast::Expr::Neg(inner, _) => {
+                let a = self.expr(inner)?;
+                self.require(&a.ty(), &Ty::Int, line)?;
+                Ok(HExpr::Neg(Box::new(a)))
+            }
+            ast::Expr::Not(inner, _) => {
+                let a = self.expr(inner)?;
+                self.require(&a.ty(), &Ty::Bool, line)?;
+                Ok(HExpr::Not(Box::new(a)))
+            }
+            ast::Expr::Bin { op, a, b, .. } => {
+                let ha = self.expr(a)?;
+                let hb = self.expr(b)?;
+                match op {
+                    ast::BinOp::Add
+                    | ast::BinOp::Sub
+                    | ast::BinOp::Mul
+                    | ast::BinOp::Div
+                    | ast::BinOp::Mod => {
+                        self.require(&ha.ty(), &Ty::Int, line)?;
+                        self.require(&hb.ty(), &Ty::Int, line)?;
+                        let hop = match op {
+                            ast::BinOp::Add => HBinOp::Add,
+                            ast::BinOp::Sub => HBinOp::Sub,
+                            ast::BinOp::Mul => HBinOp::Mul,
+                            ast::BinOp::Div => HBinOp::Div,
+                            _ => HBinOp::Mod,
+                        };
+                        Ok(HExpr::Bin {
+                            op: hop,
+                            a: Box::new(ha),
+                            b: Box::new(hb),
+                        })
+                    }
+                    ast::BinOp::And | ast::BinOp::Or => {
+                        self.require(&ha.ty(), &Ty::Bool, line)?;
+                        self.require(&hb.ty(), &Ty::Bool, line)?;
+                        let hop = if *op == ast::BinOp::And {
+                            HBoolOp::And
+                        } else {
+                            HBoolOp::Or
+                        };
+                        Ok(HExpr::BoolBin {
+                            op: hop,
+                            a: Box::new(ha),
+                            b: Box::new(hb),
+                        })
+                    }
+                    _ => {
+                        let ta = ha.ty();
+                        if !ta.is_scalar() {
+                            return Err(CompileError::new(line, "cannot compare arrays"));
+                        }
+                        self.require(&hb.ty(), &ta, line)?;
+                        let hop = match op {
+                            ast::BinOp::Eq => HRelOp::Eq,
+                            ast::BinOp::Ne => HRelOp::Ne,
+                            ast::BinOp::Lt => HRelOp::Lt,
+                            ast::BinOp::Le => HRelOp::Le,
+                            ast::BinOp::Gt => HRelOp::Gt,
+                            _ => HRelOp::Ge,
+                        };
+                        Ok(HExpr::Rel {
+                            op: hop,
+                            a: Box::new(ha),
+                            b: Box::new(hb),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn one_arg(&self, args: &[ast::Expr], line: usize) -> CResult<()> {
+        if args.len() == 1 {
+            Ok(())
+        } else {
+            Err(CompileError::new(line, "builtin takes one argument"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn hir_of(src: &str) -> CResult<HProgram> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn resolves_and_types_a_program() {
+        let p = hir_of(
+            "
+            program t;
+            const n = 3;
+            var a: array [1..10] of integer; c: char; b: boolean;
+            function inc2(x: integer): integer;
+            begin inc2 := x + 2 end;
+            begin
+              a[n] := inc2(5);
+              c := 'z';
+              b := (a[1] = 0) or (c = 'z');
+              if b then writeln(a[n])
+            end.
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.routines.len(), 2);
+        let main = p.main_routine();
+        assert!(matches!(main.body[0], HStmt::Assign(..)));
+        // boolean or got typed
+        let HStmt::Assign(_, ref e) = main.body[2] else {
+            panic!()
+        };
+        assert!(matches!(e, HExpr::BoolBin { op: HBoolOp::Or, .. }));
+    }
+
+    #[test]
+    fn const_folding_including_negatives() {
+        let p = hir_of(
+            "program t; const a = 5; b = -a; c = a * 2 + 1; var x: integer;
+             begin x := b + c end.",
+        )
+        .unwrap();
+        let HStmt::Assign(_, HExpr::Bin { a, b, .. }) = &p.main_routine().body[0] else {
+            panic!()
+        };
+        assert_eq!(**a, HExpr::Int(-5));
+        assert_eq!(**b, HExpr::Int(11));
+    }
+
+    #[test]
+    fn function_result_assignment() {
+        let p = hir_of(
+            "program t;
+             function f: integer;
+             begin f := 7 end;
+             begin writeln(f) end.",
+        )
+        .unwrap();
+        assert!(matches!(p.routines[0].body[0], HStmt::SetResult(_)));
+        // bare-name call of a paramless function
+        let HStmt::Write { args, .. } = &p.main_routine().body[0] else {
+            panic!()
+        };
+        assert!(matches!(args[0], HWriteArg::Int(HExpr::Call { .. })));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(hir_of("program t; var x: integer; begin x := 'a' end.").is_err());
+        assert!(hir_of("program t; var b: boolean; begin b := 1 end.").is_err());
+        assert!(hir_of("program t; var x: integer; begin y := 1 end.").is_err());
+        assert!(hir_of("program t; begin writeln(f) end.").is_err());
+        assert!(
+            hir_of("program t; var x: integer; begin if x then x := 1 end.").is_err(),
+            "if needs a boolean"
+        );
+    }
+
+    #[test]
+    fn var_params_need_lvalues() {
+        let src = "
+            program t;
+            var g: integer;
+            procedure p(var x: integer); begin x := 1 end;
+            begin p(g); p(3) end.
+        ";
+        let e = hir_of(src).unwrap_err();
+        assert!(e.message.contains("var parameter"), "{e}");
+    }
+
+    #[test]
+    fn array_value_params_rejected() {
+        let src = "
+            program t;
+            type v = array [0..3] of integer;
+            var g: v;
+            procedure p(x: v); begin end;
+            begin p(g) end.
+        ";
+        let e = hir_of(src).unwrap_err();
+        assert!(e.message.contains("var parameter"), "{e}");
+    }
+
+    #[test]
+    fn packed_element_var_param_rejected() {
+        let src = "
+            program t;
+            var s: packed array [0..3] of char;
+            procedure p(var c: char); begin end;
+            begin p(s[0]) end.
+        ";
+        let e = hir_of(src).unwrap_err();
+        assert!(e.message.contains("packed"), "{e}");
+    }
+
+    #[test]
+    fn multidim_arrays_resolve() {
+        let p = hir_of(
+            "program t; var m: array [0..2] of array [0..4] of integer;
+             begin m[1,2] := 9 end.",
+        )
+        .unwrap();
+        let HStmt::Assign(lv, _) = &p.main_routine().body[0] else {
+            panic!()
+        };
+        assert_eq!(lv.indices.len(), 2);
+        assert_eq!(lv.ty, Ty::Int);
+    }
+
+    #[test]
+    fn ord_and_chr() {
+        let p = hir_of(
+            "program t; var x: integer; c: char;
+             begin x := ord('a'); c := chr(x + 1) end.",
+        )
+        .unwrap();
+        assert!(matches!(
+            p.main_routine().body[0],
+            HStmt::Assign(_, HExpr::Ord(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(hir_of("program t; var x: integer; var x: char; begin end.").is_err());
+        assert!(hir_of(
+            "program t; procedure p; begin end; procedure p; begin end; begin end."
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn for_variable_must_be_integer() {
+        assert!(hir_of(
+            "program t; var c: char; begin for c := 1 to 3 do writeln(1) end."
+        )
+        .is_err());
+    }
+}
+
+#[cfg(test)]
+mod case_sema_tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn hir_of(src: &str) -> CResult<HProgram> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn duplicate_case_labels_rejected() {
+        let e = hir_of(
+            "program t; var x: integer;
+             begin case x of 1: x := 1; 2, 1: x := 2 end end.",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn case_label_type_must_match_selector() {
+        let e = hir_of(
+            "program t; var x: integer;
+             begin case x of 'a': x := 1 end end.",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("does not match"), "{e}");
+        let e = hir_of(
+            "program t; var c: char; x: integer;
+             begin case c of 1: x := 1 end end.",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("does not match"), "{e}");
+    }
+
+    #[test]
+    fn boolean_selector_rejected() {
+        let e = hir_of(
+            "program t; var b: boolean; x: integer;
+             begin case b of 1: x := 1 end end.",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("selector"), "{e}");
+    }
+
+    #[test]
+    fn const_names_work_as_case_labels() {
+        let p = hir_of(
+            "program t; const a = 3; var x: integer;
+             begin case x of a: x := 1; a + 1: x := 2 end end.",
+        )
+        .unwrap();
+        let HStmt::Case { arms, .. } = &p.main_routine().body[0] else {
+            panic!()
+        };
+        assert_eq!(arms[0].0, vec![3]);
+        assert_eq!(arms[1].0, vec![4]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Pasqal tokens.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (lowercased — Pasqal is case-insensitive like Pascal).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Character literal `'a'`.
+    Char(u8),
+    /// String literal `'hello'` (two or more characters).
+    Str(Vec<u8>),
+
+    // Keywords.
+    /// `program`
+    Program,
+    /// `const`
+    Const,
+    /// `type`
+    Type,
+    /// `var`
+    Var,
+    /// `function`
+    Function,
+    /// `procedure`
+    Procedure,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `repeat`
+    Repeat,
+    /// `until`
+    Until,
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `downto`
+    Downto,
+    /// `case`
+    Case,
+    /// `array`
+    Array,
+    /// `packed`
+    Packed,
+    /// `of`
+    Of,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `true`
+    True,
+    /// `false`
+    False,
+
+    // Punctuation and operators.
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Char(c) => write!(f, "char literal '{}'", *c as char),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", keyword_text(other)),
+        }
+    }
+}
+
+fn keyword_text(t: &Tok) -> &'static str {
+    match t {
+        Tok::Program => "program",
+        Tok::Const => "const",
+        Tok::Type => "type",
+        Tok::Var => "var",
+        Tok::Function => "function",
+        Tok::Procedure => "procedure",
+        Tok::Begin => "begin",
+        Tok::End => "end",
+        Tok::If => "if",
+        Tok::Then => "then",
+        Tok::Else => "else",
+        Tok::While => "while",
+        Tok::Do => "do",
+        Tok::Repeat => "repeat",
+        Tok::Until => "until",
+        Tok::For => "for",
+        Tok::To => "to",
+        Tok::Downto => "downto",
+        Tok::Case => "case",
+        Tok::Array => "array",
+        Tok::Packed => "packed",
+        Tok::Of => "of",
+        Tok::Div => "div",
+        Tok::Mod => "mod",
+        Tok::And => "and",
+        Tok::Or => "or",
+        Tok::Not => "not",
+        Tok::True => "true",
+        Tok::False => "false",
+        Tok::Semi => ";",
+        Tok::Colon => ":",
+        Tok::Comma => ",",
+        Tok::Dot => ".",
+        Tok::DotDot => "..",
+        Tok::LParen => "(",
+        Tok::RParen => ")",
+        Tok::LBracket => "[",
+        Tok::RBracket => "]",
+        Tok::Assign => ":=",
+        Tok::Eq => "=",
+        Tok::Ne => "<>",
+        Tok::Lt => "<",
+        Tok::Le => "<=",
+        Tok::Gt => ">",
+        Tok::Ge => ">=",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Star => "*",
+        _ => "?",
+    }
+}
+
+/// Looks up a keyword.
+pub fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "program" => Tok::Program,
+        "const" => Tok::Const,
+        "type" => Tok::Type,
+        "var" => Tok::Var,
+        "function" => Tok::Function,
+        "procedure" => Tok::Procedure,
+        "begin" => Tok::Begin,
+        "end" => Tok::End,
+        "if" => Tok::If,
+        "then" => Tok::Then,
+        "else" => Tok::Else,
+        "while" => Tok::While,
+        "do" => Tok::Do,
+        "repeat" => Tok::Repeat,
+        "until" => Tok::Until,
+        "for" => Tok::For,
+        "to" => Tok::To,
+        "downto" => Tok::Downto,
+        "case" => Tok::Case,
+        "array" => Tok::Array,
+        "packed" => Tok::Packed,
+        "of" => Tok::Of,
+        "div" => Tok::Div,
+        "mod" => Tok::Mod,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "not" => Tok::Not,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        _ => return None,
+    })
+}

@@ -1,0 +1,379 @@
+//! Differential testing: every code-generator configuration must produce
+//! exactly the interpreter's output on a battery of programs, at every
+//! reorganizer level.
+
+use mips_ccm::{CcMachine, CcPolicy};
+use mips_hll::{
+    compile_cc, compile_mips, run_program, BoolValueStrategy, CcBoolStrategy, CcGenOptions,
+    CodegenOptions, MachineTarget,
+};
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::{Machine, MachineConfig};
+
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "arith",
+        "program t; var x, y: integer;
+         begin
+           x := 2 + 3 * 4 - 1;
+           y := (x div 3) * 100 + x mod 3;
+           writeln(x, ' ', y, ' ', -y + 5, ' ', 1000000 * 3)
+         end.",
+    ),
+    (
+        "fib",
+        "program t;
+         function fib(n: integer): integer;
+         begin
+           if n < 2 then fib := n
+           else fib := fib(n-1) + fib(n-2)
+         end;
+         begin writeln(fib(12)) end.",
+    ),
+    (
+        "loops",
+        "program t; var i, s: integer;
+         begin
+           s := 0;
+           for i := 1 to 10 do s := s + i;
+           while s > 30 do s := s - 7;
+           repeat s := s + 1 until s >= 31;
+           for i := 3 downto 1 do s := s * 2;
+           writeln(s)
+         end.",
+    ),
+    (
+        "arrays",
+        "program t;
+         var a: array [1..20] of integer;
+             m: array [0..3] of array [0..3] of integer;
+             i, j, s: integer;
+         begin
+           for i := 1 to 20 do a[i] := 21 - i;
+           for i := 0 to 3 do
+             for j := 0 to 3 do
+               m[i][j] := a[i * 4 + j + 1];
+           s := 0;
+           for i := 0 to 3 do s := s + m[i, 3 - i];
+           writeln(s, ' ', a[1], ' ', a[20])
+         end.",
+    ),
+    (
+        "chars",
+        "program t;
+         var s: packed array [0..9] of char;
+             u: array [0..9] of char;
+             i, n: integer;
+         begin
+           for i := 0 to 9 do s[i] := chr(ord('a') + i);
+           for i := 0 to 9 do u[i] := s[9 - i];
+           n := 0;
+           for i := 0 to 9 do
+             if s[i] = u[9 - i] then n := n + 1;
+           for i := 0 to 9 do write(u[i]);
+           writeln(' ', n)
+         end.",
+    ),
+    (
+        "booleans",
+        "program t;
+         var found, b1, b2: boolean; rec, key, i: integer;
+         begin
+           rec := 5; key := 5; i := 13;
+           found := (rec = key) or (i = 13);
+           b1 := (rec < key) and (i <> 0);
+           b2 := not b1 and (found or (rec >= key));
+           writeln(found, ' ', b1, ' ', b2);
+           if (rec = key) and ((i > 10) or b1) then writeln('yes')
+           else writeln('no')
+         end.",
+    ),
+    (
+        "procs",
+        "program t;
+         var g: integer;
+         procedure setg(v: integer); begin g := v end;
+         procedure bump(var x: integer; by: integer); begin x := x + by end;
+         function triple(x: integer): integer; begin triple := 3 * x end;
+         begin
+           setg(5);
+           bump(g, triple(2));
+           writeln(g)
+         end.",
+    ),
+    (
+        "varrays",
+        "program t;
+         type vec = array [0..5] of integer;
+         var v: vec; total: integer;
+         procedure double(var a: vec);
+         var i: integer;
+         begin for i := 0 to 5 do a[i] := a[i] * 2 end;
+         function sum(var a: vec): integer;
+         var i, s: integer;
+         begin
+           s := 0;
+           for i := 0 to 5 do s := s + a[i];
+           sum := s
+         end;
+         var i: integer;
+         begin
+           for i := 0 to 5 do v[i] := i;
+           double(v);
+           total := sum(v);
+           writeln(total)
+         end.",
+    ),
+    (
+        "sieve",
+        "program t;
+         var isprime: array [2..50] of boolean;
+             i, j, count: integer;
+         begin
+           for i := 2 to 50 do isprime[i] := true;
+           for i := 2 to 50 do
+             if isprime[i] then
+             begin
+               j := i + i;
+               while j <= 50 do
+               begin
+                 isprime[j] := false;
+                 j := j + i
+               end
+             end;
+           count := 0;
+           for i := 2 to 50 do
+             if isprime[i] then count := count + 1;
+           writeln(count)
+         end.",
+    ),
+    (
+        "stringops",
+        "program t;
+         var s, d: packed array [0..15] of char;
+             i, len, matches: integer;
+         begin
+           len := 12;
+           for i := 0 to len - 1 do s[i] := chr(ord('A') + (i * 7) mod 26);
+           for i := 0 to len - 1 do d[i] := s[i];
+           matches := 0;
+           for i := 0 to len - 1 do
+             if d[i] = s[i] then matches := matches + 1;
+           for i := 0 to len - 1 do write(d[i]);
+           writeln(' ', matches)
+         end.",
+    ),
+    (
+        "deep_calls",
+        "program t;
+         function add(a, b: integer): integer; begin add := a + b end;
+         function mul(a, b: integer): integer; begin mul := a * b end;
+         begin
+           writeln(add(mul(2, 3), add(mul(4, 5), mul(6, add(1, 6)))))
+         end.",
+    ),
+    (
+        "case_dense",
+        "program t; var i, r, acc: integer;
+         begin
+           acc := 0;
+           for i := 0 to 9 do
+           begin
+             case i of
+               0: r := 10;
+               1, 2: r := 20;
+               3: r := 30;
+               5: r := 50;
+               7, 8: r := 80
+             else r := 1
+             end;
+             acc := acc * 10 + r div 10 + r mod 10
+           end;
+           writeln(acc)
+         end.",
+    ),
+    (
+        "case_sparse",
+        "program t; var i, r, acc: integer;
+         begin
+           acc := 0;
+           for i := 0 to 4 do
+           begin
+             case i * 100 of
+               0: r := 1;
+               100: r := 2;
+               300: r := 3;
+               400: r := 4
+             else r := 0
+             end;
+             acc := acc * 10 + r
+           end;
+           writeln(acc)
+         end.",
+    ),
+    (
+        "case_chars",
+        "program t; var s: packed array [0..7] of char; i, vowels, digits, other: integer;
+         begin
+           s[0] := 'a'; s[1] := '3'; s[2] := 'z'; s[3] := 'e';
+           s[4] := '9'; s[5] := 'q'; s[6] := 'i'; s[7] := 'u';
+           vowels := 0; digits := 0; other := 0;
+           for i := 0 to 7 do
+             case s[i] of
+               'a', 'e', 'i', 'o', 'u': vowels := vowels + 1;
+               '0', '1', '2', '3', '4', '5', '6', '7', '8', '9': digits := digits + 1
+             else other := other + 1
+             end;
+           writeln(vowels, ' ', digits, ' ', other)
+         end.",
+    ),
+    (
+        "negatives",
+        "program t; var x, y: integer;
+         begin
+           x := -17;
+           y := x div 4;
+           writeln(y, ' ', x mod 4, ' ', -x, ' ', x * -3, ' ', x - 100)
+         end.",
+    ),
+];
+
+fn mips_output(src: &str, cg: &CodegenOptions, reorg: ReorgOptions) -> String {
+    let lc = compile_mips(src, cg).expect("compiles");
+    let out = reorganize(&lc, reorg).expect("reorganizes");
+    let cfg = MachineConfig {
+        byte_addressed: cg.target == MachineTarget::Byte,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::with_config(out.program, cfg);
+    m.run().expect("runs");
+    m.output_string()
+}
+
+fn cc_output(src: &str, strategy: CcBoolStrategy, policy: CcPolicy) -> String {
+    let p = compile_cc(src, &CcGenOptions { strategy }).expect("compiles");
+    let mut m = CcMachine::new(p, policy);
+    m.run().expect("runs");
+    m.output_string()
+}
+
+#[test]
+fn mips_matches_interpreter_all_configs() {
+    for (name, src) in PROGRAMS {
+        let want = run_program(src).expect("interpreter runs");
+        for target in [MachineTarget::Word, MachineTarget::Byte] {
+            for bool_value in [BoolValueStrategy::SetCond, BoolValueStrategy::Branching] {
+                for (promote, pcc_style) in [(0, false), (4, false), (0, true)] {
+                    let cg = CodegenOptions {
+                        target,
+                        bool_value,
+                        promote_locals: promote,
+                        pcc_style,
+                    };
+                    for (lname, opts) in ReorgOptions::LEVELS {
+                        let got = mips_output(src, &cg, opts);
+                        assert_eq!(
+                            got, want,
+                            "{name} on {target:?}/{bool_value:?}/promote={promote}/pcc={pcc_style} at {lname}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cc_matches_interpreter_all_strategies() {
+    for (name, src) in PROGRAMS {
+        let want = run_program(src).expect("interpreter runs");
+        let combos = [
+            (CcBoolStrategy::FullEval, CcPolicy::S360),
+            (CcBoolStrategy::FullEval, CcPolicy::VAX),
+            (CcBoolStrategy::EarlyOut, CcPolicy::VAX),
+            (CcBoolStrategy::CondSet, CcPolicy::M68000),
+        ];
+        for (strategy, policy) in combos {
+            let got = cc_output(src, strategy, policy);
+            assert_eq!(got, want, "{name} under {strategy:?}/{}", policy.name);
+        }
+    }
+}
+
+#[test]
+fn reorganized_code_is_hazard_free_and_smaller() {
+    for (name, src) in PROGRAMS {
+        let cg = CodegenOptions::standard();
+        let lc = compile_mips(src, &cg).unwrap();
+        let none = reorganize(&lc, ReorgOptions::NONE).unwrap();
+        let full = reorganize(&lc, ReorgOptions::FULL).unwrap();
+        assert!(
+            full.program.len() <= none.program.len(),
+            "{name}: full {} vs none {}",
+            full.program.len(),
+            none.program.len()
+        );
+        // The full-level program must execute without a single load-use
+        // hazard.
+        let cfg = MachineConfig {
+            check_hazards: true,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::with_config(full.program, cfg);
+        m.run().unwrap();
+        assert!(
+            m.hazards().is_empty(),
+            "{name}: hazards {:?}",
+            m.hazards()
+        );
+    }
+}
+
+#[test]
+fn packing_produces_packed_pairs_on_real_code() {
+    let (_, src) = PROGRAMS[3]; // arrays
+    let lc = compile_mips(src, &CodegenOptions::standard()).unwrap();
+    let out = reorganize(&lc, ReorgOptions::FULL).unwrap();
+    assert!(out.stats.packed > 0, "expected packed pairs");
+}
+
+#[test]
+fn byte_machine_actually_issues_byte_accesses() {
+    let (_, src) = PROGRAMS[4]; // chars
+    let cg = CodegenOptions {
+        target: MachineTarget::Byte,
+        ..CodegenOptions::standard()
+    };
+    let lc = compile_mips(src, &cg).unwrap();
+    let out = reorganize(&lc, ReorgOptions::FULL).unwrap();
+    let cfg = MachineConfig {
+        byte_addressed: true,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::with_config(out.program, cfg);
+    m.set_refclass_map(out.refclass);
+    m.run().unwrap();
+    let p = m.profile();
+    assert!(p.char_byte.loads > 0, "byte char loads expected: {p:?}");
+    assert!(p.char_byte.stores > 0, "byte char stores expected");
+}
+
+#[test]
+fn word_machine_packed_arrays_use_byte_pointers() {
+    let (_, src) = PROGRAMS[4]; // chars (packed + unpacked arrays)
+    let cg = CodegenOptions::standard();
+    let lc = compile_mips(src, &cg).unwrap();
+    let out = reorganize(&lc, ReorgOptions::FULL).unwrap();
+    let mut m = Machine::new(out.program);
+    m.set_refclass_map(out.refclass);
+    m.run().unwrap();
+    let p = m.profile();
+    assert!(
+        p.char_byte.total() > 0,
+        "packed chars must profile as byte refs: {p:?}"
+    );
+    assert!(
+        p.char_word.total() > 0,
+        "unpacked chars must profile as word refs: {p:?}"
+    );
+}

@@ -1,0 +1,843 @@
+//! Whole-program assembly: cross-block branch-delay schemes, the global
+//! load-delay fixup, and final program construction.
+
+use crate::block::split_blocks;
+use crate::schedule::{schedule_block, slot_instr, slot_refclass, ScheduledBlock};
+use crate::ReorgOptions;
+use mips_core::{
+    AluOp, Instr, Label, LinearCode, Program, ProgramBuilder, RefClass, Reg, ResolveError, Target,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Reorganization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReorgError {
+    /// Label resolution failed (undefined/duplicate label in the input).
+    Resolve(ResolveError),
+    /// Hand-written input placed a delayed load inside an indirect jump's
+    /// shadow where its consumer cannot be protected by no-op insertion.
+    UnfixableShadow {
+        /// Index (in emitted order) of the offending instruction.
+        at: usize,
+    },
+}
+
+impl fmt::Display for ReorgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReorgError::Resolve(e) => write!(f, "{e}"),
+            ReorgError::UnfixableShadow { at } => {
+                write!(f, "delayed load in unprotectable shadow slot at {at}")
+            }
+        }
+    }
+}
+
+impl Error for ReorgError {}
+
+impl From<ResolveError> for ReorgError {
+    fn from(e: ResolveError) -> ReorgError {
+        ReorgError::Resolve(e)
+    }
+}
+
+/// Counters describing what the reorganizer did (the raw material of
+/// Table 11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorgStats {
+    /// Ops in the unscheduled input.
+    pub input_ops: usize,
+    /// Instruction words emitted — the static instruction count.
+    pub words: usize,
+    /// No-op words in the output.
+    pub nops: usize,
+    /// Packed pairs in the output.
+    pub packed: usize,
+    /// Delay slots filled by moving pre-branch code (scheme 1).
+    pub delay_filled_move: usize,
+    /// Delay slots filled by duplicating a backward target (scheme 2).
+    pub delay_filled_dup: usize,
+    /// Delay slots filled by hoisting the fall-through op (scheme 3).
+    pub delay_filled_hoist: usize,
+}
+
+/// The reorganizer's output.
+#[derive(Debug, Clone)]
+pub struct ReorgOutput {
+    /// The executable program.
+    pub program: Program,
+    /// Per-instruction data-reference classes (for the simulator's
+    /// Tables 7–8 profiling).
+    pub refclass: Vec<Option<RefClass>>,
+    /// What happened.
+    pub stats: ReorgStats,
+}
+
+/// Working item during final assembly.
+#[derive(Debug, Clone)]
+enum FItem {
+    Label(Label),
+    Symbol(String),
+    I(Box<FInstr>),
+}
+
+#[derive(Debug, Clone)]
+struct FInstr {
+    instr: Instr,
+    refclass: Option<RefClass>,
+    /// This word is an unfilled branch-delay no-op.
+    delay_nop: bool,
+    /// Dead-register hints carried by branch terminators (scheme 3).
+    dead_after: Vec<Reg>,
+    /// Protected from the cross-block schemes.
+    no_touch: bool,
+}
+
+impl FInstr {
+    fn plain(instr: Instr) -> FItem {
+        FItem::I(Box::new(FInstr {
+            instr,
+            refclass: None,
+            delay_nop: false,
+            dead_after: Vec::new(),
+            no_touch: false,
+        }))
+    }
+}
+
+/// Runs the reorganizer.
+///
+/// # Errors
+///
+/// Returns [`ReorgError`] on label problems or unprotectable hand-written
+/// shadow hazards.
+pub fn reorganize(lc: &LinearCode, opts: ReorgOptions) -> Result<ReorgOutput, ReorgError> {
+    let blocks = split_blocks(lc);
+    let scheduled: Vec<ScheduledBlock> = blocks
+        .iter()
+        .map(|b| schedule_block(b, opts))
+        .collect();
+
+    let mut stats = ReorgStats {
+        input_ops: lc.op_count(),
+        ..ReorgStats::default()
+    };
+
+    // Flatten to the item list.
+    let mut items: Vec<FItem> = Vec::new();
+    let mut next_label = 0u32;
+    for sb in &scheduled {
+        for l in &sb.labels {
+            next_label = next_label.max(l.id() + 1);
+            items.push(FItem::Label(*l));
+        }
+        for s in &sb.symbols {
+            items.push(FItem::Symbol(s.clone()));
+        }
+        for slot in &sb.slots {
+            items.push(FItem::I(Box::new(FInstr {
+                instr: slot_instr(&sb.body, slot),
+                refclass: slot_refclass(&sb.body, slot),
+                delay_nop: false,
+                dead_after: Vec::new(),
+                no_touch: slot
+                    .ops
+                    .iter()
+                    .any(|&i| sb.body[i].meta.no_touch),
+            })));
+        }
+        if let Some(t) = &sb.term {
+            items.push(FItem::I(Box::new(FInstr {
+                instr: t.instr,
+                refclass: None,
+                delay_nop: false,
+                dead_after: t.meta.dead_after.clone(),
+                no_touch: t.meta.no_touch,
+            })));
+            for d in &sb.delay {
+                match d {
+                    Some(slot) => {
+                        stats.delay_filled_move += 1;
+                        items.push(FItem::I(Box::new(FInstr {
+                            instr: slot_instr(&sb.body, slot),
+                            refclass: slot_refclass(&sb.body, slot),
+                            delay_nop: false,
+                            dead_after: Vec::new(),
+                            no_touch: false,
+                        })));
+                    }
+                    None => {
+                        items.push(FItem::I(Box::new(FInstr {
+                            instr: Instr::NOP,
+                            refclass: None,
+                            delay_nop: true,
+                            dead_after: Vec::new(),
+                            no_touch: false,
+                        })));
+                    }
+                }
+            }
+        }
+    }
+
+    if opts.branch_delay {
+        scheme3_hoist_fall_through(&mut items, &mut stats);
+        scheme2_duplicate_loop_head(&mut items, &mut stats, &mut next_label);
+    }
+
+    global_load_delay_fixup(&mut items)?;
+
+    // Build the program.
+    let mut b = ProgramBuilder::new();
+    let mut symbols: Vec<(String, u32)> = Vec::new();
+    let mut refclass: Vec<Option<RefClass>> = Vec::new();
+    for item in &items {
+        match item {
+            FItem::Label(l) => b
+                .define(*l)
+                .map_err(ReorgError::Resolve)?,
+            FItem::Symbol(s) => symbols.push((s.clone(), b.here())),
+            FItem::I(fi) => {
+                refclass.push(fi.refclass);
+                if fi.instr.is_nop() {
+                    stats.nops += 1;
+                }
+                if fi.instr.is_packed_pair() {
+                    stats.packed += 1;
+                }
+                b.push(fi.instr);
+            }
+        }
+    }
+    let mut program = b.finish().map_err(ReorgError::Resolve)?;
+    for (s, a) in symbols {
+        program.define_symbol(s, a);
+    }
+    stats.words = program.len();
+    Ok(ReorgOutput {
+        program,
+        refclass,
+        stats,
+    })
+}
+
+/// True when the instruction may be hoisted into a conditional branch's
+/// delay slot under dead-register cover: no memory reference, no
+/// trappable arithmetic, no control, no special state.
+fn hoistable(i: &Instr) -> bool {
+    match i {
+        Instr::Op {
+            alu: Some(a),
+            mem: None,
+        } => !matches!(a.op, AluOp::Div | AluOp::Rem),
+        Instr::SetCond(_) | Instr::Mvi(_) => true,
+        _ => false,
+    }
+}
+
+/// Computes instruction liveness over the current item list. Returns
+/// (live-in per instruction index, instruction index of each item).
+fn item_liveness(items: &[FItem]) -> (Vec<crate::liveness::RegSet>, Vec<Option<usize>>) {
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut item_instr: Vec<Option<usize>> = Vec::with_capacity(items.len());
+    let mut label_addr: HashMap<Label, u32> = HashMap::new();
+    for it in items {
+        match it {
+            FItem::Label(l) => {
+                label_addr.insert(*l, instrs.len() as u32);
+                item_instr.push(None);
+            }
+            FItem::Symbol(_) => item_instr.push(None),
+            FItem::I(fi) => {
+                item_instr.push(Some(instrs.len()));
+                instrs.push(fi.instr);
+            }
+        }
+    }
+    let live = crate::liveness::live_in(&instrs, |l| label_addr.get(&l).copied());
+    (live, item_instr)
+}
+
+/// Scheme 3: "If the branch is conditional, move the next n sequential
+/// instructions so they immediately follow the branch" — legal when the
+/// moved instruction's destinations are dead on the taken path, proven by
+/// the reorganizer's own liveness analysis (or asserted by the front
+/// end's `dead_after` hint, as in the paper's Figure 4).
+fn scheme3_hoist_fall_through(items: &mut Vec<FItem>, stats: &mut ReorgStats) {
+    loop {
+        let (live, item_instr) = item_liveness(items);
+        let mut applied = false;
+        let mut i = 0;
+        while i + 2 < items.len() {
+            let applies = {
+                let (FItem::I(branch), FItem::I(nop), FItem::I(cand)) =
+                    (&items[i], &items[i + 1], &items[i + 2])
+                else {
+                    i += 1;
+                    continue;
+                };
+                let Instr::CmpBranch(cb) = &branch.instr else {
+                    i += 1;
+                    continue;
+                };
+                let target_idx = match cb.target {
+                    Target::Label(l) => label_instr_index(items, l),
+                    Target::Abs(a) => Some(a as usize),
+                };
+                nop.delay_nop
+                    && !branch.no_touch
+                    && !cand.no_touch
+                    && hoistable(&cand.instr)
+                    && cand.instr.writes().iter().all(|w| {
+                        branch.dead_after.contains(w)
+                            || target_idx
+                                .is_some_and(|t| crate::liveness::is_dead(&live, t, *w))
+                    })
+            };
+            if applies {
+                let cand = items.remove(i + 2);
+                items[i + 1] = cand;
+                stats.delay_filled_hoist += 1;
+                applied = true;
+                break; // indices shifted: recompute liveness
+            }
+            i += 1;
+        }
+        if !applied {
+            let _ = item_instr;
+            return;
+        }
+    }
+}
+
+/// The instruction index at a label (first real instruction at or after
+/// its definition).
+fn label_instr_index(items: &[FItem], l: Label) -> Option<usize> {
+    let mut idx = 0usize;
+    let mut found = false;
+    for it in items {
+        match it {
+            FItem::Label(ll) => {
+                if *ll == l {
+                    found = true;
+                }
+            }
+            FItem::Symbol(_) => {}
+            FItem::I(_) => {
+                if found {
+                    return Some(idx);
+                }
+                idx += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Scheme 2: "If the branch is a backward loop branch, then duplicate the
+/// first n instructions in the loop and branch to the n + 1 instruction."
+///
+/// For an unconditional backward jump the duplicate always replaces the
+/// target's first instruction, so any non-control instruction qualifies.
+/// For a *conditional* backward branch the delay slot also executes on
+/// the loop-exit path, so the duplicate must additionally be side-effect
+/// free and write only registers the liveness analysis proves dead on the
+/// fall-through path.
+fn scheme2_duplicate_loop_head(
+    items: &mut Vec<FItem>,
+    stats: &mut ReorgStats,
+    next_label: &mut u32,
+) {
+    // Label positions (item index of the label).
+    let label_pos: HashMap<Label, usize> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(p, it)| match it {
+            FItem::Label(l) => Some((*l, p)),
+            _ => None,
+        })
+        .collect();
+    let (live, item_instr) = item_liveness(items);
+
+    let mut i = 0;
+    while i + 1 < items.len() {
+        let action: Option<(usize, Label)> = (|| {
+            let FItem::I(jump) = &items[i] else { return None };
+            let conditional = match &jump.instr {
+                Instr::Jump(_) => false,
+                Instr::CmpBranch(_) => true,
+                _ => return None,
+            };
+            if jump.no_touch {
+                return None;
+            }
+            let FItem::I(nop) = &items[i + 1] else {
+                return None;
+            };
+            if !nop.delay_nop {
+                return None;
+            }
+            let Some(Target::Label(l)) = jump.instr.target() else {
+                return None;
+            };
+            let &pos = label_pos.get(&l)?;
+            if pos >= i {
+                return None; // forward jump: not a loop bottom
+            }
+            // First instruction after the label group.
+            let mut k = pos;
+            while k < items.len() && matches!(items[k], FItem::Label(_) | FItem::Symbol(_)) {
+                k += 1;
+            }
+            if k >= i {
+                return None; // empty target block reaching the jump itself
+            }
+            let FItem::I(head) = &items[k] else {
+                return None;
+            };
+            if head.no_touch || head.instr.is_control() || head.instr.is_nop() {
+                return None;
+            }
+            if conditional {
+                // The duplicate also runs when the loop exits: it must be
+                // harmless there.
+                if !hoistable(&head.instr) {
+                    return None;
+                }
+                // Fall-through instruction = the one after the delay slot.
+                let ft = item_instr[i + 1].map(|q| q + 1)?;
+                if !head
+                    .instr
+                    .writes()
+                    .iter()
+                    .all(|w| crate::liveness::is_dead(&live, ft, *w))
+                {
+                    return None;
+                }
+            }
+            Some((k, l))
+        })();
+
+        if let Some((head_idx, _)) = action {
+            let FItem::I(head) = items[head_idx].clone() else {
+                unreachable!()
+            };
+            // New label right after the duplicated head.
+            let new_l = Label::new(*next_label);
+            *next_label += 1;
+            // Replace the delay no-op with the duplicate and retarget.
+            items[i + 1] = FItem::I(Box::new((*head).clone()));
+            if let FItem::I(jump) = &mut items[i] {
+                jump.instr = jump.instr.with_target(Target::Label(new_l));
+            }
+            items.insert(head_idx + 1, FItem::Label(new_l));
+            stats.delay_filled_dup += 1;
+            // Inserting shifted every index; restart the scan.
+            return scheme2_duplicate_loop_head(items, stats, next_label);
+        }
+        i += 1;
+    }
+}
+
+/// The final whole-program pass: wherever an instruction can execute
+/// immediately after a delayed load of `r` and reads `r`, insert a
+/// covering no-op. Handles fall-through adjacency and taken-branch
+/// adjacency (insertion at the target label).
+fn global_load_delay_fixup(items: &mut Vec<FItem>) -> Result<(), ReorgError> {
+    // Map: label -> item index.
+    loop {
+        let label_pos: HashMap<Label, usize> = items
+            .iter()
+            .enumerate()
+            .filter_map(|(p, it)| match it {
+                FItem::Label(l) => Some((*l, p)),
+                _ => None,
+            })
+            .collect();
+
+        // Instruction positions in item order.
+        let instr_positions: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter_map(|(p, it)| matches!(it, FItem::I(_)).then_some(p))
+            .collect();
+
+        let get = |p: usize| -> &FInstr {
+            match &items[p] {
+                FItem::I(fi) => fi,
+                _ => unreachable!(),
+            }
+        };
+
+        enum Fix {
+            Insert(usize),
+            /// Swap a filled delay-slot load back out of the shadow
+            /// (items indices of the branch and the load).
+            Unfill { branch_item: usize, load_item: usize },
+        }
+        let mut fix: Option<Fix> = None;
+        'scan: for (k, &p) in instr_positions.iter().enumerate() {
+            let fi = get(p);
+            let Some(r) = delayed_load_dst(&fi.instr) else {
+                continue;
+            };
+            // Where can execution go right after this instruction?
+            // 1. Fall-through (unless this is the final shadow slot of an
+            //    unconditional jump — then the next item never follows).
+            let prev = (k > 0).then(|| get(instr_positions[k - 1]));
+            let prev2 = (k > 1).then(|| get(instr_positions[k - 2]));
+            let in_final_uncond_shadow = matches!(
+                prev.map(|f| &f.instr),
+                Some(Instr::Jump(_)) | Some(Instr::JumpInd(_))
+            ) && !matches!(prev.map(|f| &f.instr), Some(Instr::JumpInd(_)))
+                || matches!(prev2.map(|f| &f.instr), Some(Instr::JumpInd(_)));
+            // Note: for a conditional branch shadow, fall-through is
+            // still possible, so the check below applies.
+            let uncond_jump_shadow =
+                matches!(prev.map(|f| &f.instr), Some(Instr::Jump(_)))
+                    || matches!(prev2.map(|f| &f.instr), Some(Instr::JumpInd(_)));
+            // Is this load sitting in the single delay slot of a direct
+            // branch? If its value is read on any next path, the cheapest
+            // correct repair is to move it back out of the shadow (the
+            // fill bought nothing once a covering no-op is needed).
+            let in_direct_shadow = matches!(
+                prev.map(|f| &f.instr),
+                Some(Instr::CmpBranch(_) | Instr::Jump(_) | Instr::Call(_))
+            );
+            if !uncond_jump_shadow {
+                if let Some(&np) = instr_positions.get(k + 1) {
+                    if get(np).instr.reads().contains(&r) {
+                        // A load in the *first* shadow slot of an indirect
+                        // jump cannot be fixed by insertion (it would push
+                        // the second shadow slot out of the shadow).
+                        if matches!(prev.map(|f| &f.instr), Some(Instr::JumpInd(_))) {
+                            return Err(ReorgError::UnfixableShadow { at: k });
+                        }
+                        fix = Some(if in_direct_shadow {
+                            Fix::Unfill {
+                                branch_item: instr_positions[k - 1],
+                                load_item: p,
+                            }
+                        } else {
+                            Fix::Insert(np)
+                        });
+                        break 'scan;
+                    }
+                }
+            }
+            // 2. Taken path: this is the final shadow slot of a branch.
+            let branch = match (prev.map(|f| &f.instr), prev2.map(|f| &f.instr)) {
+                (Some(b @ (Instr::CmpBranch(_) | Instr::Jump(_) | Instr::Call(_))), _) => Some(b),
+                (_, Some(b @ Instr::JumpInd(_))) => Some(b),
+                _ => None,
+            };
+            if let Some(b) = branch {
+                match b.target() {
+                    Some(Target::Label(l)) => {
+                        let &lp = label_pos
+                            .get(&l)
+                            .expect("branch target label exists in item list");
+                        // First instruction at/after the label group.
+                        let mut q = lp;
+                        while q < items.len()
+                            && matches!(items[q], FItem::Label(_) | FItem::Symbol(_))
+                        {
+                            q += 1;
+                        }
+                        if q < items.len() {
+                            if let FItem::I(tfi) = &items[q] {
+                                if tfi.instr.reads().contains(&r) {
+                                    fix = Some(if in_direct_shadow {
+                                        Fix::Unfill {
+                                            branch_item: instr_positions[k - 1],
+                                            load_item: p,
+                                        }
+                                    } else {
+                                        Fix::Insert(q)
+                                    });
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                    Some(Target::Abs(_)) => {}
+                    None => {
+                        // Indirect jump: target statically unknown. A load
+                        // here cannot be protected.
+                        return Err(ReorgError::UnfixableShadow { at: k });
+                    }
+                }
+            }
+            let _ = in_final_uncond_shadow;
+        }
+
+        match fix {
+            Some(Fix::Insert(p)) => {
+                items.insert(p, FInstr::plain(Instr::NOP));
+            }
+            Some(Fix::Unfill {
+                branch_item,
+                load_item,
+            }) => {
+                debug_assert_eq!(branch_item + 1, load_item);
+                // [branch, load] -> [load, branch, nop]: the branch gets
+                // its delay slot back behind it.
+                items.swap(branch_item, load_item);
+                items.insert(load_item + 1, FInstr::plain(Instr::NOP));
+            }
+            None => return Ok(()),
+        }
+    }
+}
+
+fn delayed_load_dst(i: &Instr) -> Option<Reg> {
+    match i {
+        Instr::Op { mem: Some(m), .. } if m.is_delayed_load() => m.writes(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble_linear;
+
+    fn run(src: &str, opts: ReorgOptions) -> ReorgOutput {
+        reorganize(&assemble_linear(src).unwrap(), opts).unwrap()
+    }
+
+    #[test]
+    fn none_level_inserts_all_padding() {
+        let out = run(
+            "
+            f:
+                ld 2(r13),r0
+                sub r0,#1,r2
+                beq r2,#0,f
+                halt
+            ",
+            ReorgOptions::NONE,
+        );
+        // ld, nop, sub, beq, nop(delay), halt
+        assert_eq!(out.program.len(), 6);
+        assert_eq!(out.stats.nops, 2);
+        assert_eq!(out.stats.packed, 0);
+    }
+
+    #[test]
+    fn full_level_is_never_larger() {
+        let src = "
+            f:
+                ld 2(r13),r0
+                ld 3(r13),r1
+                add r0,r1,r2
+                st r2,4(r13)
+                add r5,#1,r5
+                beq r5,#10,f
+                halt
+            ";
+        let mut prev = usize::MAX;
+        for (_, opts) in ReorgOptions::LEVELS {
+            let out = run(src, opts);
+            assert!(out.program.len() <= prev, "{opts:?} grew the program");
+            prev = out.program.len();
+        }
+    }
+
+    #[test]
+    fn figure4_style_reorganization() {
+        // The paper's Figure 4 fragment (adapted to our syntax).
+        let src = "
+                ld 2(r13),r0
+                ble r0,#1,l11
+                .dead r2
+                sub r0,#1,r2
+                st r2,2(r14)
+                ld 3(r14),r5
+                add r5,r0,r5
+                add r4,#1,r4
+                bra l3
+            l3:
+                halt
+            l11:
+                halt
+            ";
+        let none = run(src, ReorgOptions::NONE);
+        let full = run(src, ReorgOptions::FULL);
+        assert!(
+            full.program.len() < none.program.len(),
+            "full {} vs none {}",
+            full.program.len(),
+            none.program.len()
+        );
+        assert!(full.stats.packed > 0 || full.stats.delay_filled_move > 0);
+    }
+
+    #[test]
+    fn scheme3_hoists_under_dead_cover() {
+        let src = "
+                beq r1,r2,out
+                .dead r3
+                add r4,#1,r3
+                st r3,2(r13)
+                halt
+            out:
+                halt
+            ";
+        let out = run(src, ReorgOptions::FULL);
+        assert_eq!(out.stats.delay_filled_hoist, 1);
+        // branch, add(hoisted), st, halt, halt
+        assert_eq!(out.program.len(), 5);
+    }
+
+    #[test]
+    fn scheme3_requires_dead_cover() {
+        // r3 is live on the taken path (stored at `out`), so the add may
+        // not be hoisted into the delay slot.
+        let src = "
+                beq r1,r2,out
+                add r4,#1,r3
+                st r3,2(r13)
+                halt
+            out:
+                st r3,4(r13)
+                halt
+            ";
+        let out = run(src, ReorgOptions::FULL);
+        assert_eq!(out.stats.delay_filled_hoist, 0);
+        assert_eq!(out.stats.nops, 1);
+    }
+
+    #[test]
+    fn scheme3_liveness_proves_dead_without_hints() {
+        // No `.dead` hint, but r3 is provably dead at `out` (immediately
+        // overwritten): the reorganizer's own liveness justifies hoisting.
+        let src = "
+                beq r1,r2,out
+                add r4,#1,r3
+                st r3,2(r13)
+                halt
+            out:
+                mvi #0,r3
+                st r3,4(r13)
+                halt
+            ";
+        let out = run(src, ReorgOptions::FULL);
+        assert_eq!(out.stats.delay_filled_hoist, 1);
+        assert_eq!(out.stats.nops, 0);
+    }
+
+    #[test]
+    fn scheme2_conditional_backward_with_dead_head() {
+        // A repeat-style loop: conditional backward branch; the loop head
+        // writes a register that is dead on the exit path.
+        let src = "
+            top:
+                add r1,#1,r1
+                st r1,2(r13)
+                bne r1,#9,top
+                mvi #0,r1
+                st r1,3(r13)
+                halt
+            ";
+        let out = run(src, ReorgOptions::FULL);
+        // Either the scheduler fills the slot from the body (scheme 1) or
+        // the head is duplicated (scheme 2); no delay no-op remains.
+        assert_eq!(out.stats.nops, 0, "{}", out.program.listing());
+    }
+
+    #[test]
+    fn scheme2_duplicates_loop_head() {
+        let src = "
+            loop:
+                add r1,#1,r1
+                st r1,2(r13)
+                bra loop
+                halt
+            ";
+        let out = run(src, ReorgOptions::FULL);
+        // With schedule+pack the body may shrink; the jump's slot must be
+        // filled by the duplicated head and the jump retargeted.
+        assert!(out.stats.delay_filled_dup >= 1 || out.stats.delay_filled_move >= 1);
+        assert_eq!(out.stats.nops, 0);
+    }
+
+    #[test]
+    fn cross_block_load_use_gets_fixed_up() {
+        // Block ends with a load; fall-through block reads it first thing.
+        let src = "
+                ld 2(r13),r0
+            next:
+                add r0,#1,r1
+                halt
+            ";
+        let out = run(src, ReorgOptions::FULL);
+        // ld, nop, add, halt
+        assert_eq!(out.program.len(), 4);
+        assert!(out.program[1].is_nop());
+    }
+
+    #[test]
+    fn taken_path_load_use_fixed_at_target() {
+        // A load fills the delay slot; the branch target reads it.
+        let src = "
+                ld 2(r13),r0
+                bra tgt
+            mid:
+                halt
+            tgt:
+                add r0,#1,r1
+                halt
+            ";
+        let out = run(src, ReorgOptions::FULL);
+        // The load moves into the jump's delay slot (scheme 1), so a no-op
+        // must appear at the target.
+        let listing = out.program.listing();
+        assert!(
+            out.program.instrs().iter().any(|i| i.is_nop()),
+            "fixup no-op expected:\n{listing}"
+        );
+        assert_eq!(out.program.len(), 6, "{listing}");
+    }
+
+    #[test]
+    fn refclass_sidecar_tracks_mem_words() {
+        let src = "
+                ld 2(r13),r0
+                .refclass charword
+                st r0,3(r13)
+                .refclass word
+                halt
+            ";
+        let out = run(src, ReorgOptions::NONE);
+        let classes: Vec<_> = out.refclass.iter().flatten().collect();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(*classes[0], RefClass::CHAR_WORD);
+        assert_eq!(*classes[1], RefClass::WORD);
+    }
+
+    #[test]
+    fn packing_reduces_words() {
+        let src = "
+                add r1,#1,r2
+                st r5,2(r13)
+                add r3,#1,r4
+                st r6,3(r13)
+                halt
+            ";
+        let sched = run(src, ReorgOptions::SCHEDULE);
+        let pack = run(src, ReorgOptions::PACK);
+        assert_eq!(sched.program.len(), 5);
+        assert_eq!(pack.program.len(), 3);
+        assert_eq!(pack.stats.packed, 2);
+    }
+
+    #[test]
+    fn stats_word_count_matches_program() {
+        let out = run("add r1,#1,r1\nhalt\n", ReorgOptions::FULL);
+        assert_eq!(out.stats.words, out.program.len());
+        assert_eq!(out.refclass.len(), out.program.len());
+    }
+}

@@ -1,0 +1,166 @@
+//! Basic-block construction from linear code.
+//!
+//! "All code reorganization is done on a basic block basis." (paper
+//! §4.2.1, citing [6])
+
+use mips_core::{Instr, Item, Label, LinearCode, SpecialOp, UnschedOp};
+
+/// A basic block: optional entry labels/symbols, straight-line body ops,
+/// and an optional control-flow terminator.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Labels defined at the block's entry.
+    pub labels: Vec<Label>,
+    /// Named entry points at the block's entry.
+    pub symbols: Vec<String>,
+    /// Straight-line body (no control transfers).
+    pub body: Vec<UnschedOp>,
+    /// The control transfer ending the block, if any (a block can also end
+    /// by falling into the next block's label).
+    pub term: Option<UnschedOp>,
+}
+
+impl Block {
+    fn new() -> Block {
+        Block {
+            labels: Vec::new(),
+            symbols: Vec::new(),
+            body: Vec::new(),
+            term: None,
+        }
+    }
+
+    fn is_trivial(&self) -> bool {
+        self.labels.is_empty() && self.symbols.is_empty() && self.body.is_empty()
+            && self.term.is_none()
+    }
+
+    /// Number of delay slots the terminator requires.
+    pub fn delay_slots(&self) -> u32 {
+        self.term.as_ref().map_or(0, |t| t.instr.branch_delay())
+    }
+}
+
+/// True when the instruction ends a basic block.
+///
+/// Traps do *not* end blocks: control resumes at the next instruction and
+/// they carry no delay slot; they are handled as scheduling fences
+/// instead. `rfe` and `halt` end blocks (control never falls through in a
+/// way the scheduler may touch).
+pub fn is_terminator(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::CmpBranch(_)
+            | Instr::Jump(_)
+            | Instr::Call(_)
+            | Instr::JumpInd(_)
+            | Instr::Special(SpecialOp::Rfe)
+            | Instr::Halt
+    )
+}
+
+/// Splits linear code into basic blocks, preserving order.
+pub fn split_blocks(lc: &LinearCode) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut cur = Block::new();
+    for item in lc.items() {
+        match item {
+            Item::Label(l) => {
+                if !cur.body.is_empty() || cur.term.is_some() {
+                    blocks.push(std::mem::replace(&mut cur, Block::new()));
+                }
+                cur.labels.push(*l);
+            }
+            Item::Symbol(s) => {
+                if !cur.body.is_empty() || cur.term.is_some() {
+                    blocks.push(std::mem::replace(&mut cur, Block::new()));
+                }
+                cur.symbols.push(s.clone());
+            }
+            Item::Op(op) => {
+                if is_terminator(&op.instr) {
+                    cur.term = Some(op.clone());
+                    blocks.push(std::mem::replace(&mut cur, Block::new()));
+                } else {
+                    cur.body.push(op.clone());
+                }
+            }
+        }
+    }
+    if !cur.is_trivial() {
+        blocks.push(cur);
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble_linear;
+
+    #[test]
+    fn splits_at_labels_and_branches() {
+        let lc = assemble_linear(
+            "
+            main:
+                mvi #1,r1
+                beq r1,#1,out
+                add r1,#1,r2
+            out:
+                st r2,(r1)
+                halt
+            ",
+        )
+        .unwrap();
+        let bs = split_blocks(&lc);
+        assert_eq!(bs.len(), 3);
+        assert_eq!(bs[0].symbols, vec!["main".to_string()]);
+        assert_eq!(bs[0].body.len(), 1);
+        assert!(bs[0].term.is_some());
+        assert_eq!(bs[0].delay_slots(), 1);
+        // fall-through block after the branch
+        assert_eq!(bs[1].body.len(), 1);
+        assert!(bs[1].term.is_none());
+        assert_eq!(bs[2].labels.len(), 1);
+        assert_eq!(bs[2].body.len(), 1);
+        assert!(matches!(bs[2].term.as_ref().unwrap().instr, Instr::Halt));
+    }
+
+    #[test]
+    fn trap_does_not_end_a_block() {
+        let lc = assemble_linear(
+            "
+                mvi #1,r1
+                trap #1
+                mvi #2,r1
+                halt
+            ",
+        )
+        .unwrap();
+        let bs = split_blocks(&lc);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn jumpind_has_two_delay_slots() {
+        let lc = assemble_linear("jmpi (r15)\n").unwrap();
+        let bs = split_blocks(&lc);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].delay_slots(), 2);
+    }
+
+    #[test]
+    fn adjacent_labels_share_a_block() {
+        let lc = assemble_linear("a:\nb:\n mvi #1,r1\n halt\n").unwrap();
+        let bs = split_blocks(&lc);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].labels.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_no_blocks() {
+        let lc = assemble_linear("").unwrap();
+        assert!(split_blocks(&lc).is_empty());
+    }
+}

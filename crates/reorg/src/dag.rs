@@ -1,0 +1,367 @@
+//! The machine-level dependence DAG.
+//!
+//! "Read in a basic block and create a machine-level dag that represents
+//! the dependencies between individual instruction pieces." (paper
+//! §4.2.1, step 1)
+//!
+//! Edges carry *latencies* in instruction slots:
+//!
+//! * `2` — the consumer of a delayed load must issue at least two slots
+//!   after it (one covered slot);
+//! * `1` — ordinary true/output dependences and may-alias memory ordering;
+//! * `0` — anti-dependences (write-after-read): the writer may share the
+//!   reader's slot, because packed pieces read pre-instruction state, but
+//!   may not precede it.
+
+use mips_core::{Instr, MemPiece, SpecialOp, UnschedOp};
+
+/// Pseudo-resource index for the `lo` byte-selector register (general
+/// registers occupy indices `0..16`).
+const LO: usize = 16;
+const RESOURCES: usize = 17;
+
+fn reads_of(op: &UnschedOp) -> Vec<usize> {
+    let mut v: Vec<usize> = op.instr.reads().iter().map(|r| r.index()).collect();
+    if let Instr::Op { alu: Some(a), .. } = &op.instr {
+        if a.op.reads_lo() {
+            v.push(LO);
+        }
+    }
+    if let Instr::Special(SpecialOp::Read { sr, .. }) = &op.instr {
+        if *sr == mips_core::SpecialReg::Lo {
+            v.push(LO);
+        }
+    }
+    v
+}
+
+fn writes_of(op: &UnschedOp) -> Vec<usize> {
+    let mut v: Vec<usize> = op.instr.writes().iter().map(|r| r.index()).collect();
+    if let Instr::Special(SpecialOp::Write { sr, .. }) = &op.instr {
+        if *sr == mips_core::SpecialReg::Lo {
+            v.push(LO);
+        }
+    }
+    v
+}
+
+/// The memory piece of an op, if any.
+fn mem_piece(op: &UnschedOp) -> Option<&MemPiece> {
+    match &op.instr {
+        Instr::Op { mem: Some(m), .. } => Some(m),
+        _ => None,
+    }
+}
+
+/// Whether the op is a scheduling fence: it keeps its position relative to
+/// every other op. Traps, privileged special-register traffic, and ops the
+/// front end protected with the no-touch pseudo-op.
+fn is_fence(op: &UnschedOp) -> bool {
+    if op.meta.no_touch {
+        return true;
+    }
+    match &op.instr {
+        Instr::Trap(_) => true,
+        Instr::Special(SpecialOp::Read { sr, .. })
+        | Instr::Special(SpecialOp::Write { sr, .. }) => sr.privileged(),
+        Instr::Special(SpecialOp::Rfe) => true,
+        _ => false,
+    }
+}
+
+/// Whether the op performs a delayed load (its register write lands one
+/// slot late).
+pub fn is_delayed_load(op: &UnschedOp) -> bool {
+    matches!(mem_piece(op), Some(m) if m.is_delayed_load())
+}
+
+/// Conservative may-alias test between two memory pieces.
+///
+/// `stable_based` — registers *not* written anywhere in the block, so a
+/// `disp(base)` comparison between two uses of the same base is meaningful.
+fn may_alias(a: &MemPiece, b: &MemPiece, stable: &dyn Fn(mips_core::Reg) -> bool) -> bool {
+    use mips_core::MemMode::*;
+    let (ma, mb) = match (mode_of(a), mode_of(b)) {
+        (Some(x), Some(y)) => (x, y),
+        // A long immediate references no memory: never aliases.
+        _ => return false,
+    };
+    match (ma, mb) {
+        (Absolute(x), Absolute(y)) => x == y,
+        (
+            Based {
+                base: b1,
+                disp: d1,
+            },
+            Based {
+                base: b2,
+                disp: d2,
+            },
+        ) if b1 == b2 && stable(b1) => d1 == d2,
+        _ => true,
+    }
+}
+
+fn mode_of(m: &MemPiece) -> Option<mips_core::MemMode> {
+    match m {
+        MemPiece::Load { mode, .. } | MemPiece::Store { mode, .. } => Some(*mode),
+        MemPiece::LoadImm { .. } => None,
+    }
+}
+
+/// The dependence DAG over a block's ops. Node indices are the ops'
+/// original order (`0..n`), so all edges point forward.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    n: usize,
+    /// `edges[u]` = (v, latency), deduplicated to the max latency.
+    edges: Vec<Vec<(usize, u32)>>,
+    redges: Vec<Vec<(usize, u32)>>,
+}
+
+impl Dag {
+    /// Builds the DAG for `ops` (a block's body, optionally with its
+    /// terminator appended as the final node).
+    pub fn build(ops: &[UnschedOp]) -> Dag {
+        let n = ops.len();
+        let mut written = [false; RESOURCES];
+        for op in ops {
+            for w in writes_of(op) {
+                written[w] = true;
+            }
+        }
+        let stable = |r: mips_core::Reg| !written[r.index()];
+
+        let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        let add = |edges: &mut Vec<Vec<(usize, u32)>>, u: usize, v: usize, lat: u32| {
+            debug_assert!(u < v);
+            match edges[u].iter_mut().find(|(t, _)| *t == v) {
+                Some((_, l)) => *l = (*l).max(lat),
+                None => edges[u].push((v, lat)),
+            }
+        };
+
+        #[allow(clippy::needless_range_loop)] // pairwise u < v over the same slice
+        for v in 0..n {
+            let v_reads = reads_of(&ops[v]);
+            let v_writes = writes_of(&ops[v]);
+            let v_mem = mem_piece(&ops[v]);
+            let v_fence = is_fence(&ops[v]);
+            for u in 0..v {
+                let u_writes = writes_of(&ops[u]);
+                let u_reads = reads_of(&ops[u]);
+                // RAW
+                if v_reads.iter().any(|r| u_writes.contains(r)) {
+                    let lat = if is_delayed_load(&ops[u]) {
+                        // Which resources does the load write late? Only
+                        // its memory destination; a packed ALU dst would be
+                        // a separate op pre-packing, so the whole op gets
+                        // load latency.
+                        2
+                    } else {
+                        1
+                    };
+                    add(&mut edges, u, v, lat);
+                }
+                // WAW
+                if v_writes.iter().any(|w| u_writes.contains(w)) {
+                    add(&mut edges, u, v, 1);
+                }
+                // WAR
+                if v_writes.iter().any(|w| u_reads.contains(w)) {
+                    add(&mut edges, u, v, 0);
+                }
+                // Memory ordering
+                if let (Some(mu), Some(mv)) = (mem_piece(&ops[u]), v_mem) {
+                    let u_store = matches!(mu, MemPiece::Store { .. });
+                    let v_store = matches!(mv, MemPiece::Store { .. });
+                    if (u_store || v_store) && may_alias(mu, mv, &stable) {
+                        add(&mut edges, u, v, 1);
+                    }
+                }
+                // Fences order against everything.
+                if v_fence || is_fence(&ops[u]) {
+                    add(&mut edges, u, v, 1);
+                }
+            }
+        }
+
+        let mut redges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        for (u, outs) in edges.iter().enumerate() {
+            for &(v, lat) in outs {
+                redges[v].push((u, lat));
+            }
+        }
+        Dag { n, edges, redges }
+    }
+
+    /// Predecessors of `v` with latencies.
+    pub fn preds(&self, v: usize) -> &[(usize, u32)] {
+        &self.redges[v]
+    }
+
+    /// The latency of the edge `u → v`, if present.
+    pub fn edge(&self, u: usize, v: usize) -> Option<u32> {
+        self.edges[u].iter().find(|(t, _)| *t == v).map(|(_, l)| *l)
+    }
+
+    /// True when `u` and `v` have no direct edge in either direction
+    /// requiring separation — the packing compatibility test.
+    pub fn co_issuable(&self, u: usize, v: usize) -> bool {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        match self.edge(a, b) {
+            None => true,
+            Some(0) => true, // anti-dependence: same slot reads pre-state
+            Some(_) => false,
+        }
+    }
+
+    /// Longest-path height of every node (critical-path priority).
+    pub fn heights(&self) -> Vec<u32> {
+        let mut h = vec![0u32; self.n];
+        for u in (0..self.n).rev() {
+            for &(v, lat) in &self.edges[u] {
+                h[u] = h[u].max(h[v] + lat.max(1));
+            }
+        }
+        h
+    }
+
+    /// Checks a proposed placement: `slot_of[i]` is the issue slot of op
+    /// `i`. Every edge `u → v` with latency `l` requires
+    /// `slot_of[v] >= slot_of[u] + l` (and co-issue only on latency-0
+    /// edges).
+    pub fn verify(&self, slot_of: &[usize]) -> bool {
+        debug_assert_eq!(slot_of.len(), self.n);
+        for u in 0..self.n {
+            for &(v, lat) in &self.edges[u] {
+                if slot_of[v] < slot_of[u] + lat as usize {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble_linear;
+    use mips_core::LinearCode;
+
+    fn ops(src: &str) -> Vec<UnschedOp> {
+        let lc: LinearCode = assemble_linear(src).unwrap();
+        lc.ops().cloned().collect()
+    }
+
+    #[test]
+    fn raw_from_load_has_latency_two() {
+        let o = ops("ld 2(r13),r0\nsub r0,#1,r2\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), Some(2));
+        assert!(!d.co_issuable(0, 1));
+    }
+
+    #[test]
+    fn raw_from_alu_has_latency_one() {
+        let o = ops("add r1,#1,r0\nsub r0,#1,r2\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), Some(1));
+    }
+
+    #[test]
+    fn war_allows_co_issue() {
+        // op0 reads r0; op1 writes r0 — anti-dependence only.
+        let o = ops("st r0,2(r13)\nmvi #1,r0\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), Some(0));
+        assert!(d.co_issuable(0, 1));
+    }
+
+    #[test]
+    fn independent_ops_have_no_edge() {
+        let o = ops("add r1,#1,r2\nadd r3,#1,r4\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), None);
+        assert!(d.co_issuable(0, 1));
+    }
+
+    #[test]
+    fn same_base_distinct_disp_stores_disjoint() {
+        let o = ops("st r1,2(r13)\nld 3(r13),r2\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), None, "distinct displacements cannot alias");
+        let o = ops("st r1,2(r13)\nld 2(r13),r2\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), Some(1), "same address must stay ordered");
+    }
+
+    #[test]
+    fn unstable_base_defeats_disjointness() {
+        // r13 is rewritten in the block, so displacement comparison is
+        // meaningless.
+        let o = ops("st r1,2(r13)\nadd r13,#4,r13\nld 3(r13),r2\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 2), Some(1));
+    }
+
+    #[test]
+    fn loads_reorder_freely() {
+        let o = ops("ld 2(r13),r1\nld 3(r13),r2\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), None);
+    }
+
+    #[test]
+    fn trap_is_a_fence() {
+        let o = ops("add r1,#1,r2\ntrap #1\nadd r3,#1,r4\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), Some(1));
+        assert_eq!(d.edge(1, 2), Some(1));
+        assert_eq!(d.edge(0, 2), None);
+    }
+
+    #[test]
+    fn lo_register_dependence() {
+        // wsp …,lo then ic (reads lo): RAW on the pseudo-resource.
+        let o = ops("wsp r1,lo\nic r3,r2,r2\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), Some(1));
+    }
+
+    #[test]
+    fn no_touch_is_a_fence() {
+        let o = ops("add r1,#1,r2\n.notouch\nadd r3,#1,r4\n.endnotouch\nadd r5,#1,r6\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), Some(1));
+        assert_eq!(d.edge(1, 2), Some(1));
+    }
+
+    #[test]
+    fn heights_reflect_critical_path() {
+        let o = ops("ld 2(r13),r0\nsub r0,#1,r2\nst r2,3(r13)\nadd r5,#1,r6\n");
+        let d = Dag::build(&o);
+        let h = d.heights();
+        assert_eq!(h[3], 0);
+        assert_eq!(h[2], 0);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[0], 3); // 2 (load latency) + 1
+    }
+
+    #[test]
+    fn verify_checks_latencies() {
+        let o = ops("ld 2(r13),r0\nsub r0,#1,r2\n");
+        let d = Dag::build(&o);
+        assert!(!d.verify(&[0, 1]), "use in the delay slot is illegal");
+        assert!(d.verify(&[0, 2]));
+    }
+
+    #[test]
+    fn waw_requires_separation() {
+        let o = ops("ld 2(r13),r0\nmvi #1,r0\n");
+        let d = Dag::build(&o);
+        assert_eq!(d.edge(0, 1), Some(1));
+        assert!(!d.co_issuable(0, 1));
+    }
+}

@@ -1,0 +1,112 @@
+//! # mips-reorg — the post-pass code reorganizer
+//!
+//! "An alternative approach is to move these optimizations from hardware
+//! to software. In that case there is no hardware interlock mechanism.
+//! Instead, the functions … have to be provided by software, either by
+//! rearranging the code sequence or by inserting no-ops." (paper §4.2.1)
+//!
+//! The reorganizer takes a compiler's (or programmer's) unscheduled
+//! [`mips_core::LinearCode`] — one instruction piece per statement, no
+//! pipeline awareness — and produces an executable [`mips_core::Program`]
+//! that respects every software-enforced pipeline constraint. It performs
+//! the paper's three post-pass functions, each independently switchable so
+//! Table 11's cumulative-improvement experiment can be rerun:
+//!
+//! 1. **Reorganization** ([`ReorgOptions::schedule`]) — basic-block
+//!    dependence-DAG list scheduling that covers load-delay slots with
+//!    useful work instead of no-ops;
+//! 2. **Packing** ([`ReorgOptions::pack`]) — co-issuing an ALU piece and
+//!    a load/store piece in one instruction word;
+//! 3. **Branch-delay optimization** ([`ReorgOptions::branch_delay`]) —
+//!    the three schemes of §4.2.1: moving pre-branch instructions into
+//!    delay slots, duplicating loop heads for backward jumps, and hoisting
+//!    fall-through instructions under dead-register cover.
+//!
+//! Whatever the option level — including [`ReorgOptions::NONE`], which
+//! models a compiler with no reorganizer at all — the emitted program is
+//! *correct*: a final whole-program pass inserts any no-ops still needed
+//! to satisfy the load delay across block boundaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_asm::assemble_linear;
+//! use mips_reorg::{reorganize, ReorgOptions};
+//!
+//! let lc = assemble_linear("
+//!     f:
+//!         ld 2(r13),r0
+//!         sub r0,#1,r2
+//!         st r2,2(r14)
+//!         halt
+//! ").unwrap();
+//!
+//! let naive = reorganize(&lc, ReorgOptions::NONE).unwrap();
+//! let full  = reorganize(&lc, ReorgOptions::FULL).unwrap();
+//! // The naive program needs a no-op between the load and its use; the
+//! // scheduler covers it (here by sinking the store's address compute).
+//! assert!(full.program.len() <= naive.program.len());
+//! ```
+
+mod assemble;
+mod block;
+mod dag;
+pub mod liveness;
+mod schedule;
+
+pub use assemble::{reorganize, ReorgError, ReorgOutput, ReorgStats};
+
+/// Which post-pass optimizations to run (Table 11's cumulative levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorgOptions {
+    /// Reorder within basic blocks to cover delay slots (off = original
+    /// order with no-ops inserted).
+    pub schedule: bool,
+    /// Pack compatible ALU + load/store pieces into one word.
+    pub pack: bool,
+    /// Fill branch delay slots (schemes 1–3) instead of padding with
+    /// no-ops.
+    pub branch_delay: bool,
+}
+
+impl ReorgOptions {
+    /// No optimization: every piece in its own word, no-ops everywhere a
+    /// constraint demands one (Table 11's "None" row).
+    pub const NONE: ReorgOptions = ReorgOptions {
+        schedule: false,
+        pack: false,
+        branch_delay: false,
+    };
+    /// Scheduling only (Table 11's "Reorganization" row).
+    pub const SCHEDULE: ReorgOptions = ReorgOptions {
+        schedule: true,
+        pack: false,
+        branch_delay: false,
+    };
+    /// Scheduling + packing (Table 11's "Packing" row).
+    pub const PACK: ReorgOptions = ReorgOptions {
+        schedule: true,
+        pack: true,
+        branch_delay: false,
+    };
+    /// Everything (Table 11's "Branch delay" row).
+    pub const FULL: ReorgOptions = ReorgOptions {
+        schedule: true,
+        pack: true,
+        branch_delay: true,
+    };
+
+    /// The four cumulative levels of Table 11, in order.
+    pub const LEVELS: [(&'static str, ReorgOptions); 4] = [
+        ("None (no-ops inserted)", ReorgOptions::NONE),
+        ("Reorganization", ReorgOptions::SCHEDULE),
+        ("Packing", ReorgOptions::PACK),
+        ("Branch delay", ReorgOptions::FULL),
+    ];
+}
+
+impl Default for ReorgOptions {
+    fn default() -> ReorgOptions {
+        ReorgOptions::FULL
+    }
+}

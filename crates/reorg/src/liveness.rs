@@ -1,0 +1,267 @@
+//! Whole-program register liveness over emitted code.
+//!
+//! The branch-delay schemes need to know which registers are *dead* at a
+//! branch target (scheme 3: "the outcome of the test must not depend on
+//! any of the moved instructions" — and the moved instruction's result
+//! must be harmless on the path that did not want it; the paper's
+//! Figure 4 relies on "r2 is 'dead' outside of the section shown").
+//! Rather than trusting front-end hints alone, the reorganizer computes a
+//! standard backward liveness fixpoint over the final instruction
+//! sequence, following the delayed-branch execution semantics.
+//!
+//! Conservatisms: indirect jumps and `rfe` have unknown targets — all
+//! registers are live-out there; traps likewise (the handler may read
+//! anything).
+
+use mips_core::{Instr, SpecialOp, Target};
+
+/// A register set as a 16-bit mask.
+pub type RegSet = u16;
+
+/// All registers.
+pub const ALL: RegSet = 0xffff;
+
+fn reads_mask(i: &Instr) -> RegSet {
+    let mut m = 0;
+    for r in i.reads() {
+        m |= 1 << r.index();
+    }
+    m
+}
+
+fn writes_mask(i: &Instr) -> RegSet {
+    let mut m = 0;
+    for r in i.writes() {
+        m |= 1 << r.index();
+    }
+    m
+}
+
+/// Computes `live_in` for every instruction of a resolved sequence.
+///
+/// `instrs` is the final program order; branch targets must be
+/// [`Target::Abs`] or resolvable through `label_addr`.
+pub fn live_in(instrs: &[Instr], label_addr: impl Fn(mips_core::Label) -> Option<u32>) -> Vec<RegSet> {
+    let n = instrs.len();
+    // Successor sets, following the delayed-branch shadow: the branch's
+    // redirect applies after its delay slots, i.e. the *last shadow slot*
+    // has the branch's target among its successors.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut conservative: Vec<bool> = vec![false; n];
+
+    let target_of = |i: &Instr| -> Option<usize> {
+        match i.target()? {
+            Target::Abs(a) => Some(a as usize),
+            Target::Label(l) => label_addr(l).map(|a| a as usize),
+        }
+    };
+
+    // Pass 1: default fall-through successors.
+    for k in 0..n {
+        match &instrs[k] {
+            Instr::Halt | Instr::Special(SpecialOp::Rfe) => {
+                // No successors / unknown state: handled via live-out
+                // below (halt: nothing; rfe: conservative).
+                if matches!(instrs[k], Instr::Special(SpecialOp::Rfe)) {
+                    conservative[k] = true;
+                }
+            }
+            Instr::Trap(_) => {
+                // The handler may read anything.
+                conservative[k] = true;
+                if k + 1 < n {
+                    succs[k].push(k + 1);
+                }
+            }
+            _ => {
+                if k + 1 < n {
+                    succs[k].push(k + 1);
+                }
+            }
+        }
+    }
+    // Pass 2: branch redirects attach to the end of the shadow.
+    #[allow(clippy::needless_range_loop)] // indexes relatives of k, not just instrs[k]
+    for k in 0..n {
+        // Branch redirects attach to the end of the shadow.
+        let delay = instrs[k].branch_delay() as usize;
+        if delay > 0 {
+            let last_slot = k + delay;
+            match &instrs[k] {
+                Instr::JumpInd(_) => {
+                    // Unknown target: everything live at shadow end.
+                    if last_slot < n {
+                        conservative[last_slot] = true;
+                    } else {
+                        conservative[n - 1] = true;
+                    }
+                }
+                Instr::Jump(_) => {
+                    if last_slot < n {
+                        // The fall-through edge out of the shadow does not
+                        // exist for unconditional jumps.
+                        succs[last_slot].retain(|&s| s != last_slot + 1);
+                        if let Some(t) = target_of(&instrs[k]) {
+                            succs[last_slot].push(t);
+                        } else {
+                            conservative[last_slot] = true;
+                        }
+                    }
+                }
+                _ => {
+                    if last_slot < n {
+                        if let Some(t) = target_of(&instrs[k]) {
+                            succs[last_slot].push(t);
+                        } else {
+                            conservative[last_slot] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let reads: Vec<RegSet> = instrs.iter().map(reads_mask).collect();
+    let writes: Vec<RegSet> = instrs.iter().map(writes_mask).collect();
+    let mut live: Vec<RegSet> = vec![0; n];
+    // Fixpoint (programs are small; simple iteration suffices).
+    loop {
+        let mut changed = false;
+        for k in (0..n).rev() {
+            let mut out: RegSet = if conservative[k] { ALL } else { 0 };
+            for &s in &succs[k] {
+                if s < n {
+                    out |= live[s];
+                }
+            }
+            let inn = reads[k] | (out & !writes[k]);
+            if inn != live[k] {
+                live[k] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            return live;
+        }
+    }
+}
+
+/// True when `reg` is dead (not live-in) at instruction `at`.
+pub fn is_dead(live: &[RegSet], at: usize, reg: mips_core::Reg) -> bool {
+    at >= live.len() || live[at] & (1 << reg.index()) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+    use mips_core::Reg;
+
+    fn live_of(src: &str) -> (Vec<RegSet>, Vec<Instr>) {
+        let p = assemble(src).unwrap();
+        let instrs = p.instrs().to_vec();
+        let l = live_in(&instrs, |_| None);
+        (l, instrs)
+    }
+
+    fn has(l: RegSet, r: Reg) -> bool {
+        l & (1 << r.index()) != 0
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let (l, _) = live_of(
+            "
+            mvi #1,r1
+            add r1,#2,r2
+            st r2,(r3)
+            halt
+            ",
+        );
+        assert!(!has(l[0], Reg::R1), "r1 defined here");
+        assert!(has(l[1], Reg::R1));
+        assert!(has(l[2], Reg::R2));
+        assert!(has(l[0], Reg::R3), "r3 live from entry");
+        assert!(!has(l[3], Reg::R2), "dead after last use");
+    }
+
+    #[test]
+    fn branch_target_liveness_flows() {
+        let (l, _) = live_of(
+            "
+            beq r1,#0,tgt
+            nop
+            mvi #1,r4
+            halt
+        tgt:
+            add r5,#1,r6
+            halt
+            ",
+        );
+        // r5 is read at the target; the branch's shadow end (the nop, index
+        // 1) must carry it, and so must the branch itself.
+        assert!(has(l[1], Reg::R5));
+        assert!(has(l[0], Reg::R5));
+        // r4's def kills it backwards.
+        assert!(!has(l[0], Reg::R4));
+    }
+
+    #[test]
+    fn unconditional_jump_kills_fall_through() {
+        let (l, _) = live_of(
+            "
+            bra tgt
+            nop
+            add r7,#1,r8
+            halt
+        tgt:
+            halt
+            ",
+        );
+        // The add after the shadow is unreachable from the jump path.
+        assert!(!has(l[0], Reg::R7));
+    }
+
+    #[test]
+    fn indirect_jump_is_conservative() {
+        let (l, _) = live_of(
+            "
+            jmpi (r15)
+            nop
+            nop
+            ",
+        );
+        // Everything is live at the shadow end.
+        assert_eq!(l[2], ALL);
+        assert!(has(l[0], Reg::R15));
+    }
+
+    #[test]
+    fn trap_is_conservative() {
+        let (l, _) = live_of(
+            "
+            mvi #1,r9
+            trap #1
+            halt
+            ",
+        );
+        assert!(has(l[1], Reg::R9), "handler may read anything");
+    }
+
+    #[test]
+    fn loop_fixpoint_converges() {
+        let (l, _) = live_of(
+            "
+        top:
+            add r1,#1,r1
+            bne r1,#9,top
+            nop
+            halt
+            ",
+        );
+        // r1 is live around the loop.
+        assert!(has(l[0], Reg::R1));
+        assert!(has(l[2], Reg::R1) || !has(l[2], Reg::R1)); // shadow slot: no constraint violated
+        assert!(has(l[1], Reg::R1));
+    }
+}

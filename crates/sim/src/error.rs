@@ -1,0 +1,45 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A condition that stops simulation abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program counter left the loaded program.
+    PcOutOfRange {
+        /// The runaway program counter.
+        pc: u32,
+    },
+    /// The configured step budget was exhausted (runaway program).
+    StepLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// An exception was raised while the machine was already executing at
+    /// the exception vector with exceptions unserviceable (no handler
+    /// code), which on real hardware would wedge the processor.
+    DoubleFault {
+        /// Program counter at the second fault.
+        pc: u32,
+    },
+    /// A `halt` was executed in user mode with trap services disabled —
+    /// `halt` is a simulator construct, not a user instruction.
+    HaltInUserMode {
+        /// Program counter of the halt.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            SimError::StepLimit { limit } => write!(f, "step limit {limit} exhausted"),
+            SimError::DoubleFault { pc } => write!(f, "double fault at {pc}"),
+            SimError::HaltInUserMode { pc } => write!(f, "halt in user mode at {pc}"),
+        }
+    }
+}
+
+impl Error for SimError {}

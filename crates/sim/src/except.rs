@@ -1,0 +1,110 @@
+//! Exception causes.
+//!
+//! "By an *exception* we mean all synchronous and asynchronous events that
+//! disrupt the normal flow of control. These include interrupts, software
+//! traps, both internal and external faults, and unrecoverable errors such
+//! as reset." (paper §3.3)
+
+use std::fmt;
+
+/// Why the machine took an exception. Stored in the surprise register's
+/// cause field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cause {
+    /// Power-up / reset.
+    Reset = 0,
+    /// The external interrupt line was asserted while interrupts were
+    /// enabled.
+    Interrupt = 1,
+    /// Signed arithmetic overflow (or divide error) with overflow traps
+    /// enabled. The destination register write is inhibited.
+    Overflow = 2,
+    /// A data reference fell between the two valid segments or missed in
+    /// the page map. The detail field holds the low 16 bits of the
+    /// faulting virtual address; the full address is readable from the
+    /// map-unit port.
+    PageFault = 3,
+    /// A software trap instruction; detail = the 12-bit trap code.
+    Trap = 4,
+    /// A privileged operation (surprise/segmentation register access, or a
+    /// protected peripheral reference) was attempted in user mode.
+    Privilege = 5,
+    /// An instruction illegal on this configuration (e.g. a byte-width
+    /// access on the word-addressed machine).
+    Illegal = 6,
+    /// A misaligned word access on the byte-addressed machine variant.
+    AddressError = 7,
+}
+
+impl Cause {
+    /// All causes in code order.
+    pub const ALL: [Cause; 8] = [
+        Cause::Reset,
+        Cause::Interrupt,
+        Cause::Overflow,
+        Cause::PageFault,
+        Cause::Trap,
+        Cause::Privilege,
+        Cause::Illegal,
+        Cause::AddressError,
+    ];
+
+    /// The 4-bit cause code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a cause code; codes `>= 8` fall back to `Reset` only via
+    /// `None` (the surprise register masks to 4 bits but only 8 codes are
+    /// defined).
+    pub fn from_code(c: u8) -> Option<Cause> {
+        Cause::ALL.get(c as usize).copied()
+    }
+
+    /// Whether the exception restarts the *offending* instruction (faults)
+    /// rather than resuming after it (traps, interrupts).
+    pub fn restarts_offender(self) -> bool {
+        matches!(
+            self,
+            Cause::PageFault | Cause::Privilege | Cause::Illegal | Cause::AddressError
+        )
+    }
+}
+
+impl fmt::Display for Cause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cause::Reset => "reset",
+            Cause::Interrupt => "interrupt",
+            Cause::Overflow => "overflow",
+            Cause::PageFault => "page-fault",
+            Cause::Trap => "trap",
+            Cause::Privilege => "privilege",
+            Cause::Illegal => "illegal",
+            Cause::AddressError => "address-error",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for c in Cause::ALL {
+            assert_eq!(Cause::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cause::from_code(15), None);
+    }
+
+    #[test]
+    fn restart_classification() {
+        assert!(Cause::PageFault.restarts_offender());
+        assert!(!Cause::Trap.restarts_offender());
+        assert!(!Cause::Interrupt.restarts_offender());
+        assert!(!Cause::Overflow.restarts_offender()); // handler decides
+    }
+}

@@ -1,0 +1,55 @@
+//! Diagnostic hazard checking.
+//!
+//! The hardware has no interlocks, so nothing *stops* a program from
+//! reading a register in a load's delay slot — it simply reads the old
+//! value. When [`crate::MachineConfig::check_hazards`] is on, the machine
+//! records every such violation so tests can assert that reorganized code
+//! is hazard-free (and that deliberately broken code is not).
+
+use mips_core::Reg;
+use std::fmt;
+
+/// What kind of software-interlock violation occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardKind {
+    /// An instruction read a register whose load had not yet committed
+    /// (the value observed was stale).
+    LoadUse {
+        /// The register read too early.
+        reg: Reg,
+    },
+}
+
+/// A recorded violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hazard {
+    /// Address of the offending instruction.
+    pub pc: u32,
+    /// The violation.
+    pub kind: HazardKind,
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            HazardKind::LoadUse { reg } => {
+                write!(f, "load-use hazard at {}: {} read before load commits", self.pc, reg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_register() {
+        let h = Hazard {
+            pc: 7,
+            kind: HazardKind::LoadUse { reg: Reg::R3 },
+        };
+        assert!(h.to_string().contains("r3"));
+        assert!(h.to_string().contains("7"));
+    }
+}

@@ -1,0 +1,1360 @@
+//! The machine: an instruction-level simulator of the five-stage MIPS
+//! pipe with its architecturally visible (and software-managed) delays.
+//!
+//! ## Timing model
+//!
+//! One instruction issues per cycle. The pipeline's visible effects are:
+//!
+//! * **ALU forwarding** — an ALU / set-conditionally / move-immediate
+//!   result is visible to the very next instruction;
+//! * **load delay** — a load's destination register still holds its old
+//!   value for the next instruction ([`mips_core::delay::LOAD_DELAY`]);
+//! * **delayed branches** — one slot for branches/jumps/calls, two for
+//!   indirect jumps; delay-slot instructions always execute.
+//!
+//! There are **no interlocks**: reading a register too early yields the
+//! stale value (and is recorded when [`MachineConfig::check_hazards`] is
+//! on).
+//!
+//! ## Exceptions
+//!
+//! On any exception the machine completes the in-flight load ("an attempt
+//! is made to complete any unfinished instructions"), saves the next three
+//! execution addresses into `ret0..ret2` (enough to resume inside an
+//! indirect jump's shadow), swaps the surprise register state, and jumps
+//! to physical address zero where the resident dispatch code must live.
+//! [`mips_core::SpecialOp::Rfe`] inverts all of this exactly.
+
+use crate::error::SimError;
+use crate::except::Cause;
+use crate::hazard::{Hazard, HazardKind};
+use crate::mem::{IntCtrl, IntCtrlPort, MapUnitPort, Memory};
+use crate::mmu::{PageMap, Segmentation};
+use crate::profile::Profile;
+use crate::surprise::Surprise;
+use mips_core::delay::{BRANCH_DELAY, INDIRECT_DELAY};
+use mips_core::word::MEM_WORDS;
+use mips_core::{
+    AluPiece, Instr, MemPiece, Operand, Program, RefClass, Reg, SpecialOp, SpecialReg, Width,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Native trap-service codes (the "firmware" services used when
+/// [`MachineConfig::native_traps`] is on; with it off these are ordinary
+/// trap codes for the OS to interpret).
+pub mod traps {
+    /// Stop the program.
+    pub const HALT: u16 = 0;
+    /// Write the low byte of `r1` to the output stream.
+    pub const PUTC: u16 = 1;
+    /// Write `r1` as a signed decimal to the output stream.
+    pub const PUTINT: u16 = 2;
+}
+
+/// Physical address of the interrupt-controller port (one word).
+pub const INTCTRL_ADDR: u32 = MEM_WORDS - 16;
+/// Physical base address of the page-map-unit port (three words).
+pub const MAPUNIT_ADDR: u32 = MEM_WORDS - 8;
+/// Physical address of the console output port (one word).
+pub const CONSOLE_ADDR: u32 = MEM_WORDS - 4;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Model the §4.1 byte-addressed variant: effective addresses are byte
+    /// addresses, byte-width accesses are legal, word accesses must be
+    /// aligned.
+    pub byte_addressed: bool,
+    /// Service traps natively (firmware services) instead of dispatching
+    /// them to the exception vector.
+    pub native_traps: bool,
+    /// Record load-use hazards.
+    pub check_hazards: bool,
+    /// Abort after this many instructions (runaway guard).
+    pub step_limit: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            byte_addressed: false,
+            native_traps: true,
+            check_hazards: false,
+            step_limit: 200_000_000,
+        }
+    }
+}
+
+/// Why `run` returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` instruction (or the HALT trap service) executed.
+    Halt,
+}
+
+/// A pending delayed branch: fires when `slots` reaches zero.
+#[derive(Debug, Clone, Copy)]
+struct PendingBranch {
+    slots: u32,
+    target: u32,
+}
+
+/// The MIPS machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    program: Program,
+    refclass: Vec<Option<RefClass>>,
+    regs: [u32; Reg::COUNT],
+    lo: u32,
+    pc: u32,
+    surprise: Surprise,
+    seg: Segmentation,
+    ret: [u32; 3],
+    load_in_flight: Option<(Reg, u32)>,
+    pending: Vec<PendingBranch>,
+    mem: Memory,
+    page_map: Option<Rc<RefCell<PageMap>>>,
+    fault_addr: Rc<RefCell<u32>>,
+    int_ctrl: Option<Rc<RefCell<IntCtrl>>>,
+    irq_line: bool,
+    halted: bool,
+    profile: Profile,
+    hazards: Vec<Hazard>,
+    output: Vec<u8>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.pc)
+            .field("halted", &self.halted)
+            .field("surprise", &self.surprise)
+            .field("instructions", &self.profile.instructions)
+            .finish()
+    }
+}
+
+/// What instruction execution asked the control unit to do.
+enum Flow {
+    Next,
+    Branch { delay: u32, target: u32 },
+    JumpNow { pc: u32, pending: Vec<PendingBranch> },
+    Exception { cause: Cause, detail: u16 },
+    Halt,
+}
+
+impl Machine {
+    /// Creates a machine with default configuration running `program`.
+    pub fn new(program: Program) -> Machine {
+        Machine::with_config(program, MachineConfig::default())
+    }
+
+    /// Creates a machine with explicit configuration.
+    pub fn with_config(program: Program, cfg: MachineConfig) -> Machine {
+        Machine {
+            cfg,
+            program,
+            refclass: Vec::new(),
+            regs: [0; Reg::COUNT],
+            lo: 0,
+            pc: 0,
+            surprise: Surprise::reset(),
+            seg: Segmentation::default(),
+            ret: [0; 3],
+            load_in_flight: None,
+            pending: Vec::new(),
+            mem: Memory::new(),
+            page_map: None,
+            fault_addr: Rc::new(RefCell::new(0)),
+            int_ctrl: None,
+            irq_line: false,
+            halted: false,
+            profile: Profile::default(),
+            hazards: Vec::new(),
+            output: Vec::new(),
+        }
+    }
+
+    /// Attaches the per-instruction data-reference classification sidecar
+    /// (usually produced by the reorganizer) for Tables 7–8 profiling.
+    pub fn set_refclass_map(&mut self, map: Vec<Option<RefClass>>) {
+        self.refclass = map;
+    }
+
+    /// Installs the off-chip page-map unit and its MMIO port. Mapping
+    /// takes effect when the surprise register's map-enable bit is set.
+    pub fn attach_page_map(&mut self, map: PageMap) -> Rc<RefCell<PageMap>> {
+        let shared = Rc::new(RefCell::new(map));
+        self.mem.add_device(
+            MAPUNIT_ADDR,
+            3,
+            Box::new(MapUnitPort::new(shared.clone(), self.fault_addr.clone())),
+        );
+        self.page_map = Some(shared.clone());
+        shared
+    }
+
+    /// Installs the external interrupt controller and its MMIO port.
+    pub fn attach_int_ctrl(&mut self) -> Rc<RefCell<IntCtrl>> {
+        let ctrl = IntCtrl::new();
+        self.mem
+            .add_device(INTCTRL_ADDR, 1, Box::new(IntCtrlPort(ctrl.clone())));
+        self.int_ctrl = Some(ctrl.clone());
+        ctrl
+    }
+
+    /// Installs the console output peripheral; returns the shared byte
+    /// buffer it writes into.
+    pub fn attach_console(&mut self) -> Rc<RefCell<Vec<u8>>> {
+        let (port, buf) = crate::mem::ConsolePort::new();
+        self.mem.add_device(CONSOLE_ADDR, 1, Box::new(port));
+        buf
+    }
+
+    /// Asserts/deasserts the raw interrupt line (alternative to a
+    /// controller).
+    pub fn set_irq_line(&mut self, on: bool) {
+        self.irq_line = on;
+    }
+
+    /// Reads a general register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a general register.
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r.index()] = v;
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Redirects execution (clears pending pipeline state; a test/loader
+    /// convenience, not an instruction).
+    pub fn jump_to(&mut self, pc: u32) {
+        self.pc = pc;
+        self.pending.clear();
+        self.load_in_flight = None;
+    }
+
+    /// The surprise register.
+    pub fn surprise(&self) -> Surprise {
+        self.surprise
+    }
+
+    /// Mutable surprise-register access (test/OS setup).
+    pub fn surprise_mut(&mut self) -> &mut Surprise {
+        &mut self.surprise
+    }
+
+    /// The segmentation registers.
+    pub fn segmentation(&self) -> Segmentation {
+        self.seg
+    }
+
+    /// Mutable segmentation access (test/OS setup).
+    pub fn segmentation_mut(&mut self) -> &mut Segmentation {
+        &mut self.seg
+    }
+
+    /// Data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable data memory (loader).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Execution statistics.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Recorded hazards (only populated with
+    /// [`MachineConfig::check_hazards`]).
+    pub fn hazards(&self) -> &[Hazard] {
+        &self.hazards
+    }
+
+    /// Bytes written by the PUTC/PUTINT trap services.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Output as (lossy) UTF-8.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// True once a halt has been executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn operand(&self, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Small(v) => v as u32,
+        }
+    }
+
+    fn interrupt_line(&self) -> bool {
+        self.irq_line
+            || self
+                .int_ctrl
+                .as_ref()
+                .is_some_and(|c| c.borrow().line_asserted())
+    }
+
+    /// Translates a data address to a physical word address.
+    fn translate(&self, va: u32) -> Result<u32, (Cause, u16)> {
+        if !self.surprise.map_enable() {
+            return Ok(va & (MEM_WORDS - 1));
+        }
+        let mapped = match self.seg.translate(va) {
+            Some(m) => m,
+            None => {
+                *self.fault_addr.borrow_mut() = va;
+                return Err((Cause::PageFault, va as u16));
+            }
+        };
+        match &self.page_map {
+            Some(pm) => match pm.borrow().translate(mapped) {
+                Some(pa) => Ok(pa),
+                None => {
+                    *self.fault_addr.borrow_mut() = mapped;
+                    Err((Cause::PageFault, mapped as u16))
+                }
+            },
+            None => Ok(mapped),
+        }
+    }
+
+    /// Computes the next three execution addresses starting at `start`
+    /// with branch state `pending` (the saved return-address chain).
+    fn resume_chain(start: u32, pending: &[PendingBranch]) -> [u32; 3] {
+        let mut chain = [0u32; 3];
+        let mut pc = start;
+        let mut pend: Vec<PendingBranch> = pending.to_vec();
+        for slot in &mut chain {
+            *slot = pc;
+            let mut next = pc + 1;
+            for b in &mut pend {
+                b.slots -= 1;
+                if b.slots == 0 {
+                    next = b.target;
+                }
+            }
+            pend.retain(|b| b.slots > 0);
+            pc = next;
+        }
+        chain
+    }
+
+    /// One address-advance step: where does execution go after executing
+    /// the instruction at `pc` given `pending`, and what is the remaining
+    /// branch state?
+    fn advance(pc: u32, pending: &[PendingBranch]) -> (u32, Vec<PendingBranch>) {
+        let mut next = pc + 1;
+        let mut pend: Vec<PendingBranch> = pending.to_vec();
+        for b in &mut pend {
+            b.slots -= 1;
+            if b.slots == 0 {
+                next = b.target;
+            }
+        }
+        pend.retain(|b| b.slots > 0);
+        (next, pend)
+    }
+
+    /// Dispatches an exception: completes the in-flight load, saves the
+    /// resume chain, swaps the surprise register, and vectors to address
+    /// zero.
+    fn dispatch_exception(
+        &mut self,
+        cause: Cause,
+        detail: u16,
+        resume_at_offender: bool,
+    ) -> Result<(), SimError> {
+        // Complete unfinished instructions: the in-flight load commits.
+        if let Some((r, v)) = self.load_in_flight.take() {
+            self.regs[r.index()] = v;
+        }
+        let chain_start = if resume_at_offender {
+            self.pc
+        } else {
+            // Resume after the current instruction.
+            let (next, pend) = Self::advance(self.pc, &self.pending);
+            self.pending = pend;
+            next
+        };
+        self.ret = Self::resume_chain(chain_start, &self.pending);
+        self.pending.clear();
+        self.surprise.enter_exception(cause, detail);
+        self.profile.exceptions += 1;
+        if self.program.fetch(0).is_none() {
+            return Err(SimError::DoubleFault { pc: self.pc });
+        }
+        self.pc = 0;
+        Ok(())
+    }
+
+    fn check_read_hazards(&mut self, instr: &Instr) {
+        if !self.cfg.check_hazards {
+            return;
+        }
+        if let Some((r, _)) = self.load_in_flight {
+            if instr.reads().contains(&r) {
+                self.hazards.push(Hazard {
+                    pc: self.pc,
+                    kind: HazardKind::LoadUse { reg: r },
+                });
+            }
+        }
+    }
+
+    /// Performs a memory piece. Returns the load commit (if any) or the
+    /// fault. Stores and the "extra read" of byte stores are performed
+    /// here.
+    fn exec_mem(&mut self, m: &MemPiece) -> Result<Option<(Reg, u32)>, (Cause, u16)> {
+        match m {
+            MemPiece::LoadImm { value, dst } => {
+                self.profile.long_immediates += 1;
+                // Long immediates behave like ALU results: no load delay.
+                // Returning them as immediate writes is handled by caller.
+                Ok(Some((*dst, *value)))
+            }
+            MemPiece::Load { mode, dst, width } => {
+                let ea = mode.effective(|r| self.regs[r.index()]);
+                let v = self.mem_load(ea, *width)?;
+                Ok(Some((*dst, v)))
+            }
+            MemPiece::Store { mode, src, width } => {
+                let ea = mode.effective(|r| self.regs[r.index()]);
+                let v = self.regs[src.index()];
+                self.mem_store(ea, v, *width)?;
+                Ok(None)
+            }
+        }
+    }
+
+    fn device_guard(&self, pa: u32) -> Result<(), (Cause, u16)> {
+        if self.mem.is_device(pa) && !self.surprise.supervisor() {
+            return Err((Cause::Privilege, pa as u16));
+        }
+        Ok(())
+    }
+
+    fn mem_load(&mut self, ea: u32, width: Width) -> Result<u32, (Cause, u16)> {
+        if self.cfg.byte_addressed {
+            match width {
+                Width::Word => {
+                    if ea & 3 != 0 {
+                        return Err((Cause::AddressError, ea as u16));
+                    }
+                    let pa = self.translate(ea >> 2)?;
+                    self.device_guard(pa)?;
+                    Ok(self.mem.read(pa))
+                }
+                Width::Byte => {
+                    let pa = self.translate(ea >> 2)?;
+                    self.device_guard(pa)?;
+                    let w = self.mem.read(pa);
+                    Ok(mips_core::word::extract_byte(w, ea & 3))
+                }
+            }
+        } else {
+            if width == Width::Byte {
+                return Err((Cause::Illegal, 0));
+            }
+            let pa = self.translate(ea)?;
+            self.device_guard(pa)?;
+            Ok(self.mem.read(pa))
+        }
+    }
+
+    fn mem_store(&mut self, ea: u32, v: u32, width: Width) -> Result<(), (Cause, u16)> {
+        if self.cfg.byte_addressed {
+            match width {
+                Width::Word => {
+                    if ea & 3 != 0 {
+                        return Err((Cause::AddressError, ea as u16));
+                    }
+                    let pa = self.translate(ea >> 2)?;
+                    self.device_guard(pa)?;
+                    self.mem.write(pa, v);
+                }
+                Width::Byte => {
+                    // Byte stores need the extra read the paper charges
+                    // against byte addressing: read-modify-write the word.
+                    let pa = self.translate(ea >> 2)?;
+                    self.device_guard(pa)?;
+                    let w = self.mem.read(pa);
+                    self.mem
+                        .write(pa, mips_core::word::insert_byte(w, ea & 3, v));
+                }
+            }
+        } else {
+            if width == Width::Byte {
+                return Err((Cause::Illegal, 0));
+            }
+            let pa = self.translate(ea)?;
+            self.device_guard(pa)?;
+            self.mem.write(pa, v);
+        }
+        Ok(())
+    }
+
+    fn read_special(&self, sr: SpecialReg) -> u32 {
+        match sr {
+            SpecialReg::Surprise => self.surprise.raw(),
+            SpecialReg::Lo => self.lo,
+            SpecialReg::Pid => self.seg.pid,
+            SpecialReg::PidBits => self.seg.pid_bits,
+            SpecialReg::LowLimit => self.seg.low_limit,
+            SpecialReg::HighBase => self.seg.high_base,
+            SpecialReg::Ret0 => self.ret[0],
+            SpecialReg::Ret1 => self.ret[1],
+            SpecialReg::Ret2 => self.ret[2],
+        }
+    }
+
+    fn write_special(&mut self, sr: SpecialReg, v: u32) {
+        match sr {
+            SpecialReg::Surprise => self.surprise = Surprise::from_raw(v),
+            SpecialReg::Lo => self.lo = v,
+            SpecialReg::Pid => self.seg.pid = v,
+            SpecialReg::PidBits => self.seg.pid_bits = v.min(Segmentation::MAX_PID_BITS),
+            SpecialReg::LowLimit => self.seg.low_limit = v,
+            SpecialReg::HighBase => self.seg.high_base = v,
+            SpecialReg::Ret0 => self.ret[0] = v,
+            SpecialReg::Ret1 => self.ret[1] = v,
+            SpecialReg::Ret2 => self.ret[2] = v,
+        }
+    }
+
+    fn service_trap(&mut self, code: u16) -> Flow {
+        match code {
+            traps::HALT => Flow::Halt,
+            traps::PUTC => {
+                self.output.push(self.regs[Reg::R1.index()] as u8);
+                Flow::Next
+            }
+            traps::PUTINT => {
+                let s = (self.regs[Reg::R1.index()] as i32).to_string();
+                self.output.extend_from_slice(s.as_bytes());
+                Flow::Next
+            }
+            _ => Flow::Next,
+        }
+    }
+
+    /// Executes one instruction. Returns `Ok(true)` to continue,
+    /// `Ok(false)` on halt.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if self.halted {
+            return Ok(false);
+        }
+        if self.profile.instructions >= self.cfg.step_limit {
+            return Err(SimError::StepLimit {
+                limit: self.cfg.step_limit,
+            });
+        }
+
+        // Interrupts are sampled at instruction boundaries.
+        if self.surprise.int_enable() && self.interrupt_line() {
+            self.dispatch_exception(Cause::Interrupt, 0, true)?;
+        }
+
+        let Some(&instr) = self.program.fetch(self.pc) else {
+            return Err(SimError::PcOutOfRange { pc: self.pc });
+        };
+
+        self.check_read_hazards(&instr);
+
+        // Execute. Immediate writes commit at end of step; a load's write
+        // is held one extra step.
+        let mut writes_now: Vec<(Reg, u32)> = Vec::new();
+        let mut new_load: Option<(Reg, u32)> = None;
+        let mut flow = Flow::Next;
+
+        match &instr {
+            Instr::Op { alu, mem } => {
+                if instr.is_nop() {
+                    self.profile.nops += 1;
+                }
+                if instr.is_packed_pair() {
+                    self.profile.packed += 1;
+                }
+                // Evaluate the ALU piece on pre-instruction state.
+                let alu_result: Option<(Reg, u32, bool)> = alu.as_ref().map(
+                    |AluPiece { op, a, b, dst }| {
+                        let (v, ovf) = op.eval(self.operand(*a), self.operand(*b), self.lo);
+                        (*dst, v, ovf)
+                    },
+                );
+                // The memory reference commits before any register write.
+                let mut fault: Option<(Cause, u16)> = None;
+                if let Some(m) = mem {
+                    match self.exec_mem(m) {
+                        Ok(Some((dst, v))) => {
+                            if m.is_delayed_load() {
+                                new_load = Some((dst, v));
+                            } else {
+                                writes_now.push((dst, v));
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(e) => fault = Some(e),
+                    }
+                    if m.references_memory() && fault.is_none() {
+                        self.profile
+                            .record_ref(self.refclass.get(self.pc as usize).copied().flatten(),
+                                matches!(m, MemPiece::Store { .. }));
+                    }
+                }
+                match fault {
+                    Some((cause, detail)) => {
+                        // Register writes suppressed; instruction restarts.
+                        new_load = None;
+                        flow = Flow::Exception { cause, detail };
+                    }
+                    None => {
+                        if let Some((dst, v, ovf)) = alu_result {
+                            if ovf && self.surprise.ovf_enable() {
+                                // Result write inhibited; overflow trap.
+                                flow = Flow::Exception {
+                                    cause: Cause::Overflow,
+                                    detail: 0,
+                                };
+                            } else {
+                                writes_now.push((dst, v));
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::SetCond(p) => {
+                let v = p.cond.eval(self.operand(p.a), self.operand(p.b)) as u32;
+                writes_now.push((p.dst, v));
+            }
+            Instr::Mvi(p) => writes_now.push((p.dst, p.imm as u32)),
+            Instr::CmpBranch(p) => {
+                self.profile.branches += 1;
+                if p.cond.eval(self.operand(p.a), self.operand(p.b)) {
+                    self.profile.branches_taken += 1;
+                    flow = Flow::Branch {
+                        delay: BRANCH_DELAY,
+                        target: p.target.abs().expect("resolved program"),
+                    };
+                }
+            }
+            Instr::Jump(p) => {
+                self.profile.branches += 1;
+                self.profile.branches_taken += 1;
+                flow = Flow::Branch {
+                    delay: BRANCH_DELAY,
+                    target: p.target.abs().expect("resolved program"),
+                };
+            }
+            Instr::Call(p) => {
+                self.profile.branches += 1;
+                self.profile.branches_taken += 1;
+                writes_now.push((p.link, self.pc + 1 + BRANCH_DELAY));
+                flow = Flow::Branch {
+                    delay: BRANCH_DELAY,
+                    target: p.target.abs().expect("resolved program"),
+                };
+            }
+            Instr::JumpInd(p) => {
+                self.profile.branches += 1;
+                self.profile.branches_taken += 1;
+                let target = self.regs[p.base.index()].wrapping_add(p.disp as u32);
+                flow = Flow::Branch {
+                    delay: INDIRECT_DELAY,
+                    target,
+                };
+            }
+            Instr::Lea { target, dst } => {
+                writes_now.push((*dst, target.abs().expect("resolved program")));
+            }
+            Instr::Trap(p) => {
+                self.profile.traps += 1;
+                if self.cfg.native_traps {
+                    // A real trap drains the pipe before the handler runs:
+                    // the service observes post-commit register state.
+                    if let Some((r, v)) = self.load_in_flight.take() {
+                        self.regs[r.index()] = v;
+                    }
+                    flow = self.service_trap(p.code);
+                } else {
+                    flow = Flow::Exception {
+                        cause: Cause::Trap,
+                        detail: p.code,
+                    };
+                }
+            }
+            Instr::Special(op) => match op {
+                SpecialOp::Read { sr, dst } => {
+                    if sr.privileged() && !self.surprise.supervisor() {
+                        flow = Flow::Exception {
+                            cause: Cause::Privilege,
+                            detail: sr.code() as u16,
+                        };
+                    } else {
+                        writes_now.push((*dst, self.read_special(*sr)));
+                    }
+                }
+                SpecialOp::Write { sr, src } => {
+                    if sr.privileged() && !self.surprise.supervisor() {
+                        flow = Flow::Exception {
+                            cause: Cause::Privilege,
+                            detail: sr.code() as u16,
+                        };
+                    } else {
+                        let v = self.operand(*src);
+                        self.write_special(*sr, v);
+                    }
+                }
+                SpecialOp::Rfe => {
+                    if !self.surprise.supervisor() {
+                        flow = Flow::Exception {
+                            cause: Cause::Privilege,
+                            detail: 0,
+                        };
+                    } else {
+                        self.surprise.leave_exception();
+                        // Rebuild the pipeline branch state from the chain.
+                        let mut pend = Vec::new();
+                        if self.ret[1] != self.ret[0] + 1 {
+                            pend.push(PendingBranch {
+                                slots: 1,
+                                target: self.ret[1],
+                            });
+                        }
+                        if self.ret[2] != self.ret[1] + 1 {
+                            pend.push(PendingBranch {
+                                slots: 2,
+                                target: self.ret[2],
+                            });
+                        }
+                        flow = Flow::JumpNow {
+                            pc: self.ret[0],
+                            pending: pend,
+                        };
+                    }
+                }
+            },
+            Instr::Halt => {
+                if self.surprise.supervisor() || self.cfg.native_traps {
+                    flow = Flow::Halt;
+                } else {
+                    return Err(SimError::HaltInUserMode { pc: self.pc });
+                }
+            }
+        }
+
+        // Memory-cycle accounting (every issue slot has a data cycle).
+        self.profile.instructions += 1;
+        if instr.references_memory() {
+            self.profile.mem_cycles_used += 1;
+        } else {
+            self.profile.mem_cycles_free += 1;
+            if self.mem.service_dma() {
+                self.profile.dma_serviced += 1;
+            }
+        }
+
+        // Commit: previous load first, then this instruction's writes
+        // (a later instruction's write to the same register wins).
+        match &flow {
+            Flow::Exception { .. } => {
+                // dispatch_exception commits the in-flight load itself and
+                // suppresses this instruction's writes.
+            }
+            _ => {
+                if let Some((r, v)) = self.load_in_flight.take() {
+                    self.regs[r.index()] = v;
+                }
+                for (r, v) in writes_now {
+                    self.regs[r.index()] = v;
+                }
+                self.load_in_flight = new_load;
+            }
+        }
+
+        // Control.
+        match flow {
+            Flow::Next => {
+                let (next, pend) = Self::advance(self.pc, &self.pending);
+                self.pending = pend;
+                self.pc = next;
+            }
+            Flow::Branch { delay, target } => {
+                let (next, mut pend) = Self::advance(self.pc, &self.pending);
+                pend.push(PendingBranch {
+                    slots: delay,
+                    target,
+                });
+                self.pending = pend;
+                self.pc = next;
+            }
+            Flow::JumpNow { pc, pending } => {
+                self.pc = pc;
+                self.pending = pending;
+            }
+            Flow::Exception { cause, detail } => {
+                let restart = cause.restarts_offender() || cause == Cause::Overflow;
+                self.dispatch_exception(cause, detail, restart)?;
+            }
+            Flow::Halt => {
+                self.halted = true;
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs until halt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from [`Machine::step`].
+    pub fn run(&mut self) -> Result<StopReason, SimError> {
+        while self.step()? {}
+        Ok(StopReason::Halt)
+    }
+
+    /// Calls a named procedure with the software calling convention
+    /// (arguments in `r1..`, result in `r1`, return via `r15`): requires
+    /// the program to define `name` and a `__halt` symbol pointing at a
+    /// halt instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on simulation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` or `__halt` is undefined, or more than 4 arguments
+    /// are passed.
+    pub fn run_fn(&mut self, name: &str, args: &[u32]) -> Result<u32, SimError> {
+        assert!(args.len() <= 4, "at most 4 register arguments");
+        let entry = self
+            .program
+            .symbol(name)
+            .unwrap_or_else(|| panic!("undefined procedure {name}"));
+        let halt = self
+            .program
+            .symbol("__halt")
+            .expect("program must define __halt");
+        for (i, &a) in args.iter().enumerate() {
+            self.regs[1 + i] = a;
+        }
+        self.set_reg(Reg::RA, halt);
+        self.jump_to(entry);
+        self.halted = false;
+        self.run()?;
+        Ok(self.reg(Reg::R1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_core::{
+        AluOp, Cond, CmpBranchPiece, Instr, JumpIndPiece, JumpPiece, MemMode, MviPiece,
+        ProgramBuilder, SetCondPiece, Target, TrapPiece, WordAddr,
+    };
+
+    fn prog(instrs: Vec<Instr>) -> Program {
+        let mut b = ProgramBuilder::new();
+        for i in instrs {
+            b.push(i);
+        }
+        b.finish().unwrap()
+    }
+
+    fn mvi(v: u8, d: Reg) -> Instr {
+        Instr::Mvi(MviPiece { imm: v, dst: d })
+    }
+
+    fn add(a: Operand, b: Operand, d: Reg) -> Instr {
+        Instr::alu(AluPiece::new(AluOp::Add, a, b, d))
+    }
+
+    fn ld_abs(addr: u32, d: Reg) -> Instr {
+        Instr::mem(MemPiece::load(MemMode::Absolute(WordAddr::new(addr)), d))
+    }
+
+    fn st_abs(s: Reg, addr: u32) -> Instr {
+        Instr::mem(MemPiece::store(MemMode::Absolute(WordAddr::new(addr)), s))
+    }
+
+    #[test]
+    fn alu_results_forward_to_next_instruction() {
+        let p = prog(vec![
+            mvi(5, Reg::R1),
+            add(Reg::R1.into(), Operand::Small(3), Reg::R2),
+            add(Reg::R2.into(), Reg::R2.into(), Reg::R3),
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(p);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R2), 8);
+        assert_eq!(m.reg(Reg::R3), 16);
+    }
+
+    #[test]
+    fn load_delay_exposes_stale_value() {
+        // r1 = 7 (old); load r1 from mem (42); the NEXT instruction still
+        // sees 7; the one after sees 42.
+        let p = prog(vec![
+            ld_abs(100, Reg::R1),
+            add(Reg::R1.into(), Operand::Small(0), Reg::R2), // stale: 7
+            add(Reg::R1.into(), Operand::Small(0), Reg::R3), // fresh: 42
+            Instr::Halt,
+        ]);
+        let mut m = Machine::with_config(
+            p,
+            MachineConfig {
+                check_hazards: true,
+                ..MachineConfig::default()
+            },
+        );
+        m.set_reg(Reg::R1, 7);
+        m.mem_mut().poke(100, 42);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R2), 7, "delay slot reads the old value");
+        assert_eq!(m.reg(Reg::R3), 42);
+        assert_eq!(m.hazards().len(), 1);
+        assert_eq!(m.hazards()[0].pc, 1);
+    }
+
+    #[test]
+    fn alu_write_in_delay_slot_beats_load_commit() {
+        // load r1; next instruction writes r1 itself: the program order
+        // write (later instruction) must win.
+        let p = prog(vec![
+            ld_abs(100, Reg::R1),
+            mvi(9, Reg::R1),
+            add(Reg::R1.into(), Operand::Small(0), Reg::R2),
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(p);
+        m.mem_mut().poke(100, 42);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R2), 9);
+        assert_eq!(m.reg(Reg::R1), 9);
+    }
+
+    #[test]
+    fn delayed_branch_executes_slot() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label();
+        b.push(mvi(0, Reg::R1));
+        b.push(Instr::Jump(JumpPiece {
+            target: Target::Label(l),
+        }));
+        b.push(mvi(1, Reg::R2)); // delay slot: executes
+        b.push(mvi(1, Reg::R3)); // skipped
+        b.define(l).unwrap();
+        b.push(Instr::Halt);
+        let mut m = Machine::new(b.finish().unwrap());
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R2), 1);
+        assert_eq!(m.reg(Reg::R3), 0);
+    }
+
+    #[test]
+    fn untaken_branch_falls_through() {
+        let p = prog(vec![
+            Instr::CmpBranch(CmpBranchPiece::new(
+                Cond::Eq,
+                Operand::Small(1),
+                Operand::Small(2),
+                Target::Abs(3),
+            )),
+            mvi(7, Reg::R1),
+            Instr::Halt,
+            mvi(9, Reg::R1),
+        ]);
+        let mut m = Machine::new(p);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R1), 7);
+        assert_eq!(m.profile().branches, 1);
+        assert_eq!(m.profile().branches_taken, 0);
+    }
+
+    #[test]
+    fn indirect_jump_has_two_delay_slots() {
+        let p = prog(vec![
+            mvi(6, Reg::R4),
+            Instr::JumpInd(JumpIndPiece {
+                base: Reg::R4,
+                disp: 0,
+            }),
+            mvi(1, Reg::R1), // slot 1: executes
+            mvi(2, Reg::R2), // slot 2: executes
+            mvi(3, Reg::R3), // skipped
+            mvi(9, Reg::R5), // skipped
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(p);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R1), 1);
+        assert_eq!(m.reg(Reg::R2), 2);
+        assert_eq!(m.reg(Reg::R3), 0);
+        assert_eq!(m.reg(Reg::R5), 0);
+    }
+
+    #[test]
+    fn call_links_past_delay_slot() {
+        let mut b = ProgramBuilder::new();
+        let f = b.fresh_label();
+        b.push(Instr::Call(mips_core::CallPiece {
+            target: Target::Label(f),
+            link: Reg::RA,
+        }));
+        b.push(mvi(1, Reg::R2)); // delay slot
+        b.push(mvi(3, Reg::R3)); // return lands here
+        b.push(Instr::Halt);
+        b.define(f).unwrap();
+        b.push(Instr::JumpInd(JumpIndPiece {
+            base: Reg::RA,
+            disp: 0,
+        }));
+        b.push(Instr::NOP);
+        b.push(Instr::NOP);
+        let mut m = Machine::new(b.finish().unwrap());
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::RA), 2);
+        assert_eq!(m.reg(Reg::R2), 1);
+        assert_eq!(m.reg(Reg::R3), 3);
+    }
+
+    #[test]
+    fn set_conditionally() {
+        let p = prog(vec![
+            mvi(13, Reg::R1),
+            Instr::SetCond(SetCondPiece::new(
+                Cond::Eq,
+                Reg::R1.into(),
+                Operand::Small(13),
+                Reg::R2,
+            )),
+            Instr::SetCond(SetCondPiece::new(
+                Cond::Lt,
+                Reg::R1.into(),
+                Operand::Small(13),
+                Reg::R3,
+            )),
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(p);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R2), 1);
+        assert_eq!(m.reg(Reg::R3), 0);
+    }
+
+    #[test]
+    fn store_and_load_round_trip_memory() {
+        let p = prog(vec![
+            mvi(77, Reg::R1),
+            st_abs(Reg::R1, 500),
+            ld_abs(500, Reg::R2),
+            Instr::NOP, // load delay
+            add(Reg::R2.into(), Operand::Small(1), Reg::R3),
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(p);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R3), 78);
+        assert_eq!(m.mem().peek(500), 77);
+    }
+
+    #[test]
+    fn free_cycle_accounting_and_dma() {
+        let p = prog(vec![
+            mvi(1, Reg::R1),   // free
+            st_abs(Reg::R1, 10), // used
+            mvi(2, Reg::R2),   // free
+            Instr::Halt,       // free
+        ]);
+        let mut m = Machine::new(p);
+        m.mem_mut().queue_dma(crate::mem::Dma::Write { addr: 9, value: 99 });
+        m.run().unwrap();
+        assert_eq!(m.profile().mem_cycles_used, 1);
+        assert_eq!(m.profile().mem_cycles_free, 3);
+        assert_eq!(m.profile().dma_serviced, 1);
+        assert_eq!(m.mem().peek(9), 99);
+    }
+
+    #[test]
+    fn native_trap_services() {
+        let p = prog(vec![
+            mvi(b'h', Reg::R1),
+            Instr::Trap(TrapPiece { code: traps::PUTC }),
+            mvi(42, Reg::R1),
+            Instr::Trap(TrapPiece {
+                code: traps::PUTINT,
+            }),
+            Instr::Trap(TrapPiece { code: traps::HALT }),
+        ]);
+        let mut m = Machine::new(p);
+        m.run().unwrap();
+        assert_eq!(m.output_string(), "h42");
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn overflow_trap_disabled_wraps() {
+        let p = prog(vec![
+            Instr::mem(MemPiece::LoadImm {
+                value: 0xffffff,
+                dst: Reg::R1,
+            }),
+            Instr::alu(AluPiece::new(
+                AluOp::Mul,
+                Reg::R1.into(),
+                Reg::R1.into(),
+                Reg::R2,
+            )),
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(p);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R2), 0xffffffu32.wrapping_mul(0xffffff));
+    }
+
+    #[test]
+    fn step_limit_catches_runaway() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label();
+        b.define(l).unwrap();
+        b.push(Instr::Jump(JumpPiece {
+            target: Target::Label(l),
+        }));
+        b.push(Instr::NOP);
+        let mut m = Machine::with_config(
+            b.finish().unwrap(),
+            MachineConfig {
+                step_limit: 100,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(m.run(), Err(SimError::StepLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn pc_out_of_range_detected() {
+        let p = prog(vec![mvi(1, Reg::R1)]);
+        let mut m = Machine::new(p);
+        assert_eq!(m.run(), Err(SimError::PcOutOfRange { pc: 1 }));
+    }
+
+    #[test]
+    fn long_immediate_has_no_load_delay() {
+        let p = prog(vec![
+            Instr::mem(MemPiece::LoadImm {
+                value: 300,
+                dst: Reg::R1,
+            }),
+            add(Reg::R1.into(), Operand::Small(1), Reg::R2), // no delay
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(p);
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R2), 301);
+        assert_eq!(m.profile().long_immediates, 1);
+        // long immediate leaves its memory cycle free
+        assert_eq!(m.profile().mem_cycles_used, 0);
+    }
+
+    #[test]
+    fn byte_access_illegal_on_word_machine() {
+        let p = prog(vec![
+            Instr::mem(MemPiece::Load {
+                mode: MemMode::Absolute(WordAddr::new(4)),
+                dst: Reg::R1,
+                width: Width::Byte,
+            }),
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(p);
+        // No handler at 0 — the illegal access double-faults.
+        m.jump_to(0);
+        // instruction 0 IS the bad one; dispatch finds code at 0 (itself)
+        // so it would loop; but fetch(0) exists so no DoubleFault. Use a
+        // program whose vector is absent instead: easier to just observe
+        // the exception counter after one step.
+        m.step().unwrap();
+        assert_eq!(m.profile().exceptions, 1);
+        assert_eq!(m.surprise().cause(), Cause::Illegal);
+    }
+
+    #[test]
+    fn byte_machine_byte_store_costs_extra_read() {
+        let p = prog(vec![
+            mvi(0xAB, Reg::R1),
+            mvi(6, Reg::R2), // byte address 6 = word 1, byte 2
+            Instr::mem(MemPiece::Store {
+                mode: MemMode::Based {
+                    base: Reg::R2,
+                    disp: 0,
+                },
+                src: Reg::R1,
+                width: Width::Byte,
+            }),
+            Instr::mem(MemPiece::Load {
+                mode: MemMode::Based {
+                    base: Reg::R2,
+                    disp: 0,
+                },
+                dst: Reg::R3,
+                width: Width::Byte,
+            }),
+            Instr::NOP,
+            Instr::Halt,
+        ]);
+        let mut m = Machine::with_config(
+            p,
+            MachineConfig {
+                byte_addressed: true,
+                ..MachineConfig::default()
+            },
+        );
+        m.run().unwrap();
+        assert_eq!(m.reg(Reg::R3), 0xAB);
+        assert_eq!(m.mem().peek(1), 0x00AB_0000);
+        // byte store = read + write; byte load = read
+        assert_eq!(m.mem().reads, 2);
+        assert_eq!(m.mem().writes, 1);
+    }
+
+    #[test]
+    fn misaligned_word_access_faults_on_byte_machine() {
+        let p = prog(vec![
+            mvi(5, Reg::R2),
+            Instr::mem(MemPiece::Load {
+                mode: MemMode::Based {
+                    base: Reg::R2,
+                    disp: 0,
+                },
+                dst: Reg::R1,
+                width: Width::Word,
+            }),
+            Instr::Halt,
+        ]);
+        let mut m = Machine::with_config(
+            p,
+            MachineConfig {
+                byte_addressed: true,
+                ..MachineConfig::default()
+            },
+        );
+        let _ = m.step();
+        let _ = m.step();
+        assert_eq!(m.surprise().cause(), Cause::AddressError);
+    }
+
+    #[test]
+    fn run_fn_calling_convention() {
+        // double:  r1 = r1 + r1; return
+        let mut b = ProgramBuilder::new();
+        b.define_symbol("double");
+        b.push(add(Reg::R1.into(), Reg::R1.into(), Reg::R1));
+        b.push(Instr::JumpInd(JumpIndPiece {
+            base: Reg::RA,
+            disp: 0,
+        }));
+        b.push(Instr::NOP);
+        b.push(Instr::NOP);
+        b.define_symbol("__halt");
+        b.push(Instr::Halt);
+        let mut m = Machine::new(b.finish().unwrap());
+        assert_eq!(m.run_fn("double", &[21]).unwrap(), 42);
+    }
+}
+
+#[cfg(test)]
+mod lea_tests {
+    use super::*;
+    use mips_core::{Instr, ProgramBuilder, Target};
+
+    #[test]
+    fn lea_loads_the_code_address_and_feeds_jmpi() {
+        // A two-entry branch table dispatched through lea + jmpi.
+        let mut b = ProgramBuilder::new();
+        let table = b.fresh_label();
+        let arm0 = b.fresh_label();
+        let arm1 = b.fresh_label();
+        // r2 = index (set below), r3 = table base
+        b.push(Instr::Lea {
+            target: Target::Label(table),
+            dst: Reg::R3,
+        });
+        b.push(Instr::alu(mips_core::AluPiece::new(
+            mips_core::AluOp::Sll,
+            Reg::R2.into(),
+            mips_core::Operand::Small(1),
+            Reg::R2,
+        )));
+        b.push(Instr::alu(mips_core::AluPiece::new(
+            mips_core::AluOp::Add,
+            Reg::R2.into(),
+            Reg::R3.into(),
+            Reg::R2,
+        )));
+        b.push(Instr::JumpInd(mips_core::JumpIndPiece {
+            base: Reg::R2,
+            disp: 0,
+        }));
+        b.push(Instr::NOP);
+        b.push(Instr::NOP);
+        b.define(table).unwrap();
+        b.push(Instr::Jump(mips_core::JumpPiece {
+            target: Target::Label(arm0),
+        }));
+        b.push(Instr::NOP);
+        b.push(Instr::Jump(mips_core::JumpPiece {
+            target: Target::Label(arm1),
+        }));
+        b.push(Instr::NOP);
+        b.define(arm0).unwrap();
+        b.push(Instr::Mvi(mips_core::MviPiece {
+            imm: 10,
+            dst: Reg::R5,
+        }));
+        b.push(Instr::Halt);
+        b.define(arm1).unwrap();
+        b.push(Instr::Mvi(mips_core::MviPiece {
+            imm: 20,
+            dst: Reg::R5,
+        }));
+        b.push(Instr::Halt);
+        let p = b.finish().unwrap();
+
+        for (idx, want) in [(0u32, 10u32), (1, 20)] {
+            let mut m = Machine::new(p.clone());
+            m.set_reg(Reg::R2, idx);
+            m.run().unwrap();
+            assert_eq!(m.reg(Reg::R5), want, "arm {idx}");
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Physical word-addressed memory, memory-mapped devices, and the DMA
+//! engine that consumes *free memory cycles*.
+//!
+//! "Since memory cycles are allocated to instructions, just as ALU or
+//! register access resources, an instruction that did not include a load
+//! or store piece would waste some of the memory bandwidth. … a status pin
+//! on the processor indicates the presence of an upcoming free memory
+//! cycle. Thus, these cycles can be used for DMA, I/O or cache
+//! write-backs." (paper §3.1)
+//!
+//! [`Memory`] is a sparse paged store of 32-bit words over the 24-bit
+//! physical space, with device windows ([`Mmio`]) overlaid on it and a DMA
+//! queue that the machine drains one transfer per free cycle.
+
+use crate::mmu::PageMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+const PAGE: u32 = 4096;
+
+/// A memory-mapped device occupying a window of physical addresses.
+///
+/// Reads and writes receive the word offset within the device's window.
+pub trait Mmio {
+    /// Reads the device register at `off`.
+    fn read(&mut self, off: u32) -> u32;
+    /// Writes the device register at `off`.
+    fn write(&mut self, off: u32, value: u32);
+}
+
+/// A queued DMA transfer, serviced by one free memory cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dma {
+    /// Write `value` to physical `addr`.
+    Write {
+        /// Physical word address.
+        addr: u32,
+        /// Word to store.
+        value: u32,
+    },
+    /// Read physical `addr` (the value is appended to
+    /// [`Memory::dma_read_log`]).
+    Read {
+        /// Physical word address.
+        addr: u32,
+    },
+}
+
+struct Device {
+    base: u32,
+    len: u32,
+    dev: Box<dyn Mmio>,
+}
+
+/// The physical memory system: sparse word storage, device windows, and
+/// the DMA queue.
+pub struct Memory {
+    pages: HashMap<u32, Box<[u32; PAGE as usize]>>,
+    devices: Vec<Device>,
+    dma_queue: VecDeque<Dma>,
+    dma_read_log: Vec<u32>,
+    /// Data-memory reads performed (excludes DMA).
+    pub reads: u64,
+    /// Data-memory writes performed (excludes DMA).
+    pub writes: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("resident_pages", &self.pages.len())
+            .field("devices", &self.devices.len())
+            .field("dma_queued", &self.dma_queue.len())
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Creates an empty memory (all words read as zero).
+    pub fn new() -> Memory {
+        Memory {
+            pages: HashMap::new(),
+            devices: Vec::new(),
+            dma_queue: VecDeque::new(),
+            dma_read_log: Vec::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    fn device_index(&self, pa: u32) -> Option<usize> {
+        self.devices
+            .iter()
+            .position(|d| pa >= d.base && pa < d.base + d.len)
+    }
+
+    /// Whether `pa` falls inside a device window (device windows are
+    /// supervisor-only; the machine enforces that).
+    pub fn is_device(&self, pa: u32) -> bool {
+        self.device_index(pa).is_some()
+    }
+
+    /// Maps a device window at `[base, base+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window overlaps an existing device.
+    pub fn add_device(&mut self, base: u32, len: u32, dev: Box<dyn Mmio>) {
+        for d in &self.devices {
+            assert!(
+                base + len <= d.base || base >= d.base + d.len,
+                "device window overlap at {base:#x}"
+            );
+        }
+        self.devices.push(Device { base, len, dev });
+    }
+
+    /// Reads the word at physical address `pa` (counted as a memory
+    /// cycle). Device windows dispatch to the device.
+    pub fn read(&mut self, pa: u32) -> u32 {
+        self.reads += 1;
+        if let Some(i) = self.device_index(pa) {
+            let off = pa - self.devices[i].base;
+            return self.devices[i].dev.read(off);
+        }
+        self.peek(pa)
+    }
+
+    /// Writes the word at physical address `pa` (counted as a memory
+    /// cycle).
+    pub fn write(&mut self, pa: u32, value: u32) {
+        self.writes += 1;
+        if let Some(i) = self.device_index(pa) {
+            let off = pa - self.devices[i].base;
+            self.devices[i].dev.write(off, value);
+            return;
+        }
+        self.poke(pa, value);
+    }
+
+    /// Reads without counting a cycle or touching devices (loader/tests).
+    pub fn peek(&self, pa: u32) -> u32 {
+        match self.pages.get(&(pa / PAGE)) {
+            Some(p) => p[(pa % PAGE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes without counting a cycle or touching devices (loader/tests).
+    pub fn poke(&mut self, pa: u32, value: u32) {
+        let page = self
+            .pages
+            .entry(pa / PAGE)
+            .or_insert_with(|| Box::new([0u32; PAGE as usize]));
+        page[(pa % PAGE) as usize] = value;
+    }
+
+    /// Queues a DMA transfer to be serviced by the next free memory cycle.
+    pub fn queue_dma(&mut self, t: Dma) {
+        self.dma_queue.push_back(t);
+    }
+
+    /// Number of DMA transfers still waiting.
+    pub fn dma_pending(&self) -> usize {
+        self.dma_queue.len()
+    }
+
+    /// Values captured by serviced DMA reads, in service order.
+    pub fn dma_read_log(&self) -> &[u32] {
+        &self.dma_read_log
+    }
+
+    /// Services one queued DMA transfer, if any. Called by the machine on
+    /// each free memory cycle. Returns true when a transfer was serviced.
+    pub fn service_dma(&mut self) -> bool {
+        match self.dma_queue.pop_front() {
+            Some(Dma::Write { addr, value }) => {
+                self.poke(addr, value);
+                true
+            }
+            Some(Dma::Read { addr }) => {
+                let v = self.peek(addr);
+                self.dma_read_log.push(v);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The external interrupt prioritization logic.
+///
+/// "There is a single interrupt line onto the chip; when the line is
+/// activated with interrupts enabled, a surprise sequence is initiated.
+/// After the first dispatch, the global interrupt handler queries any
+/// external prioritization logic to determine which device was requesting
+/// service." (paper §3.3)
+///
+/// Register window (one word):
+///
+/// * read `+0` — id of the highest-priority pending device **plus one**
+///   (0 = no device pending);
+/// * write `+0` — acknowledge (clear) the device with the written id.
+#[derive(Debug, Default)]
+pub struct IntCtrl {
+    pending: u32,
+}
+
+impl IntCtrl {
+    /// Creates a controller with no pending devices.
+    pub fn new() -> Rc<RefCell<IntCtrl>> {
+        Rc::new(RefCell::new(IntCtrl::default()))
+    }
+
+    /// A device (0–31) requests service; asserts the interrupt line.
+    pub fn raise(&mut self, device: u32) {
+        self.pending |= 1 << (device & 31);
+    }
+
+    /// Clears a device's request.
+    pub fn clear(&mut self, device: u32) {
+        self.pending &= !(1 << (device & 31));
+    }
+
+    /// The single interrupt line into the chip.
+    pub fn line_asserted(&self) -> bool {
+        self.pending != 0
+    }
+
+    /// Highest-priority (lowest-numbered) pending device.
+    pub fn highest_pending(&self) -> Option<u32> {
+        (self.pending != 0).then(|| self.pending.trailing_zeros())
+    }
+}
+
+/// MMIO adapter sharing an [`IntCtrl`].
+#[derive(Debug)]
+pub struct IntCtrlPort(pub Rc<RefCell<IntCtrl>>);
+
+impl Mmio for IntCtrlPort {
+    fn read(&mut self, _off: u32) -> u32 {
+        match self.0.borrow().highest_pending() {
+            Some(d) => d + 1,
+            None => 0,
+        }
+    }
+
+    fn write(&mut self, _off: u32, value: u32) {
+        self.0.borrow_mut().clear(value);
+    }
+}
+
+/// MMIO port of the off-chip page-map unit, letting the (supervisor-mode)
+/// page-fault handler manipulate the map from MIPS code.
+///
+/// Register window (three words):
+///
+/// * `+0` read — the mapped (24-bit) address of the last fault;
+///   `+0` write — select a virtual page number for a following map/unmap;
+/// * `+1` read — number of resident pages;
+///   `+1` write — map the selected page to the written frame number;
+/// * `+2` write — unmap the written virtual page number.
+#[derive(Debug)]
+pub struct MapUnitPort {
+    map: Rc<RefCell<PageMap>>,
+    fault_addr: Rc<RefCell<u32>>,
+    selected: u32,
+}
+
+impl MapUnitPort {
+    /// Creates a port over a shared page map and fault-address latch.
+    pub fn new(map: Rc<RefCell<PageMap>>, fault_addr: Rc<RefCell<u32>>) -> MapUnitPort {
+        MapUnitPort {
+            map,
+            fault_addr,
+            selected: 0,
+        }
+    }
+}
+
+impl Mmio for MapUnitPort {
+    fn read(&mut self, off: u32) -> u32 {
+        match off {
+            0 => *self.fault_addr.borrow(),
+            1 => self.map.borrow().len() as u32,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, off: u32, value: u32) {
+        match off {
+            0 => self.selected = value,
+            1 => {
+                self.map.borrow_mut().map(self.selected, value);
+            }
+            2 => {
+                self.map.borrow_mut().unmap(value);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_round_trip() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(100), 0);
+        m.write(100, 42);
+        assert_eq!(m.read(100), 42);
+        assert_eq!(m.reads, 2);
+        assert_eq!(m.writes, 1);
+        // peek/poke do not count cycles
+        m.poke(200, 7);
+        assert_eq!(m.peek(200), 7);
+        assert_eq!(m.reads, 2);
+        assert_eq!(m.writes, 1);
+    }
+
+    #[test]
+    fn pages_are_independent() {
+        let mut m = Memory::new();
+        m.poke(0, 1);
+        m.poke(PAGE, 2);
+        m.poke(PAGE * 1000 + 5, 3);
+        assert_eq!(m.peek(0), 1);
+        assert_eq!(m.peek(PAGE), 2);
+        assert_eq!(m.peek(PAGE * 1000 + 5), 3);
+    }
+
+    struct Echo(u32);
+    impl Mmio for Echo {
+        fn read(&mut self, off: u32) -> u32 {
+            self.0 + off
+        }
+        fn write(&mut self, _off: u32, value: u32) {
+            self.0 = value;
+        }
+    }
+
+    #[test]
+    fn devices_shadow_ram() {
+        let mut m = Memory::new();
+        m.poke(0x50, 99);
+        m.add_device(0x50, 2, Box::new(Echo(10)));
+        assert!(m.is_device(0x50));
+        assert!(m.is_device(0x51));
+        assert!(!m.is_device(0x52));
+        assert_eq!(m.read(0x50), 10);
+        assert_eq!(m.read(0x51), 11);
+        m.write(0x50, 77);
+        assert_eq!(m.read(0x50), 77);
+        // RAM behind the window is untouched
+        assert_eq!(m.peek(0x50), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_devices_rejected() {
+        let mut m = Memory::new();
+        m.add_device(0x50, 4, Box::new(Echo(0)));
+        m.add_device(0x52, 4, Box::new(Echo(0)));
+    }
+
+    #[test]
+    fn dma_queue_services_in_order() {
+        let mut m = Memory::new();
+        m.poke(7, 123);
+        m.queue_dma(Dma::Write { addr: 5, value: 50 });
+        m.queue_dma(Dma::Read { addr: 7 });
+        assert_eq!(m.dma_pending(), 2);
+        assert!(m.service_dma());
+        assert_eq!(m.peek(5), 50);
+        assert!(m.service_dma());
+        assert_eq!(m.dma_read_log(), &[123]);
+        assert!(!m.service_dma());
+    }
+
+    #[test]
+    fn int_ctrl_priority_and_ack() {
+        let c = IntCtrl::new();
+        assert!(!c.borrow().line_asserted());
+        c.borrow_mut().raise(5);
+        c.borrow_mut().raise(2);
+        assert!(c.borrow().line_asserted());
+        assert_eq!(c.borrow().highest_pending(), Some(2));
+        let mut port = IntCtrlPort(c.clone());
+        assert_eq!(port.read(0), 3); // device 2, plus one
+        port.write(0, 2); // ack device 2
+        assert_eq!(c.borrow().highest_pending(), Some(5));
+        port.write(0, 5);
+        assert!(!c.borrow().line_asserted());
+        assert_eq!(port.read(0), 0);
+    }
+
+    #[test]
+    fn map_unit_port_updates_shared_map() {
+        let map = Rc::new(RefCell::new(PageMap::new()));
+        let fault = Rc::new(RefCell::new(0xabcd_u32));
+        let mut port = MapUnitPort::new(map.clone(), fault.clone());
+        assert_eq!(port.read(0), 0xabcd);
+        assert_eq!(port.read(1), 0);
+        port.write(0, 3); // select vpage 3
+        port.write(1, 9); // map to frame 9
+        assert_eq!(port.read(1), 1);
+        assert_eq!(
+            map.borrow().translate(3 * crate::mmu::PAGE_WORDS),
+            Some(9 * crate::mmu::PAGE_WORDS)
+        );
+        port.write(2, 3); // unmap
+        assert!(map.borrow().is_empty());
+    }
+}
+
+/// A console output peripheral on the virtual address bus ("any
+/// peripherals on the virtual address bus must be protected from user
+/// level processes" — device windows are supervisor-only, so user code
+/// reaches the console through a monitor call).
+///
+/// Register window (one word): write `+0` — emit the low byte; read `+0`
+/// — number of bytes emitted so far.
+#[derive(Debug)]
+pub struct ConsolePort(pub Rc<RefCell<Vec<u8>>>);
+
+impl ConsolePort {
+    /// Creates the shared output buffer.
+    pub fn new() -> (ConsolePort, Rc<RefCell<Vec<u8>>>) {
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        (ConsolePort(buf.clone()), buf)
+    }
+}
+
+impl Mmio for ConsolePort {
+    fn read(&mut self, _off: u32) -> u32 {
+        self.0.borrow().len() as u32
+    }
+
+    fn write(&mut self, _off: u32, value: u32) {
+        self.0.borrow_mut().push(value as u8);
+    }
+}
+
+#[cfg(test)]
+mod console_tests {
+    use super::*;
+
+    #[test]
+    fn console_collects_bytes() {
+        let (mut port, buf) = ConsolePort::new();
+        port.write(0, b'h' as u32);
+        port.write(0, b'i' as u32);
+        assert_eq!(port.read(0), 2);
+        assert_eq!(buf.borrow().as_slice(), b"hi");
+    }
+}

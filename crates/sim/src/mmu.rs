@@ -1,0 +1,214 @@
+//! Memory mapping: on-chip segmentation and the off-chip page map.
+//!
+//! "In the MIPS architecture we attempt to achieve a good compromise by
+//! combining an optional page-level mapping unit off-chip with a simple
+//! yet elegant address space segmentation mechanism on-chip. … The on-chip
+//! segmentation is done by masking out the top n bits of every address and
+//! inserting an n-bit process identification number." (paper §3.1)
+//!
+//! A process's virtual space is "split into two halves: one residing at
+//! the top of the program's virtual 32-bit address space, and the other at
+//! the bottom. Any attempt to reference a word between the two valid
+//! regions is treated as a page fault."
+
+use mips_core::word::{ADDR_BITS, MEM_WORDS};
+use std::collections::HashMap;
+
+/// Words per page of the off-chip page map (4K words).
+pub const PAGE_WORDS: u32 = 1 << 12;
+
+/// The on-chip segmentation unit's register state.
+///
+/// `pid_bits` = the *n* of the paper: how many top bits of the 24-bit
+/// mapped address carry the process id. With `pid_bits = 8` a process
+/// space is 64K words; with `pid_bits = 0` it is the full 16M words —
+/// matching "a process virtual address space thus can range from 65K
+/// words to the full 16M words".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segmentation {
+    /// Process identifier inserted into the top `pid_bits` bits.
+    pub pid: u32,
+    /// Number of inserted id bits, `0..=8`.
+    pub pid_bits: u32,
+    /// Exclusive end of the valid *low* region of the 32-bit virtual
+    /// space.
+    pub low_limit: u32,
+    /// Inclusive start of the valid *high* region of the 32-bit virtual
+    /// space (addresses `>= high_base` are valid, modeling a stack at the
+    /// top of the space).
+    pub high_base: u32,
+}
+
+impl Default for Segmentation {
+    /// Power-on: the full space is one valid region for process 0.
+    fn default() -> Segmentation {
+        Segmentation {
+            pid: 0,
+            pid_bits: 0,
+            low_limit: u32::MAX,
+            high_base: u32::MAX,
+        }
+    }
+}
+
+impl Segmentation {
+    /// Maximum supported `pid_bits`.
+    pub const MAX_PID_BITS: u32 = 8;
+
+    /// Words in this process's virtual space.
+    pub fn space_words(&self) -> u32 {
+        MEM_WORDS >> self.pid_bits.min(Self::MAX_PID_BITS)
+    }
+
+    /// Translates a 32-bit virtual word address to a 24-bit mapped
+    /// address, or `None` when the reference lands between the two valid
+    /// regions (a segmentation page fault).
+    ///
+    /// The mapped address is `pid` in the top `pid_bits` bits and the
+    /// virtual address modulo the process-space size below — so high-half
+    /// (stack) addresses fold to the top of the process space.
+    pub fn translate(&self, va: u32) -> Option<u32> {
+        if va >= self.low_limit && va < self.high_base {
+            return None;
+        }
+        let space = self.space_words();
+        let local = va & (space - 1);
+        let bits = self.pid_bits.min(Self::MAX_PID_BITS);
+        let pid_field = (self.pid & ((1 << bits) - 1)) << (ADDR_BITS - bits);
+        Some(pid_field | local)
+    }
+}
+
+/// The off-chip page-level mapping unit: maps 24-bit mapped addresses to
+/// physical frames with presence bits. "An off-chip page map \[can\]
+/// simultaneously contain entries for many processes without a
+/// corresponding increase in the tag field size" — entries are keyed by
+/// the full mapped address (pid included).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageMap {
+    frames: HashMap<u32, u32>,
+}
+
+impl PageMap {
+    /// An empty map (every access faults).
+    pub fn new() -> PageMap {
+        PageMap::default()
+    }
+
+    /// Maps virtual page `vpage` (a mapped-address page number) to
+    /// physical frame `frame`. Returns the previous frame if present.
+    pub fn map(&mut self, vpage: u32, frame: u32) -> Option<u32> {
+        self.frames.insert(vpage, frame)
+    }
+
+    /// Removes the mapping for `vpage`.
+    pub fn unmap(&mut self, vpage: u32) -> Option<u32> {
+        self.frames.remove(&vpage)
+    }
+
+    /// Translates a 24-bit mapped address to a physical address, or `None`
+    /// on a missing page (page fault).
+    pub fn translate(&self, mapped: u32) -> Option<u32> {
+        let vpage = mapped / PAGE_WORDS;
+        let off = mapped % PAGE_WORDS;
+        self.frames
+            .get(&vpage)
+            .map(|f| f * PAGE_WORDS + off)
+    }
+
+    /// Identity-maps `n` pages starting at page 0 (a convenient kernel
+    /// setup).
+    pub fn identity(n: u32) -> PageMap {
+        let mut m = PageMap::new();
+        for p in 0..n {
+            m.map(p, p);
+        }
+        m
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_passes_everything() {
+        let s = Segmentation::default();
+        assert_eq!(s.translate(0), Some(0));
+        assert_eq!(s.translate(123456), Some(123456));
+        // top-of-space addresses fold into the 24-bit space
+        assert_eq!(s.translate(u32::MAX - 1), Some((u32::MAX - 1) & (MEM_WORDS - 1)));
+    }
+
+    #[test]
+    fn gap_faults() {
+        let s = Segmentation {
+            pid: 0,
+            pid_bits: 8,
+            low_limit: 0x1000,
+            high_base: 0xffff_0000,
+        };
+        assert!(s.translate(0xfff).is_some());
+        assert_eq!(s.translate(0x1000), None);
+        assert_eq!(s.translate(0x8000_0000), None);
+        assert!(s.translate(0xffff_0000).is_some());
+    }
+
+    #[test]
+    fn pid_insertion() {
+        let s = Segmentation {
+            pid: 3,
+            pid_bits: 8,
+            low_limit: 0x1000,
+            high_base: 0xffff_0000,
+        };
+        // Process space = 64K words; local address preserved below.
+        assert_eq!(s.space_words(), 1 << 16);
+        assert_eq!(s.translate(0x42), Some((3 << 16) | 0x42));
+        // High half folds to the top of the 64K space.
+        let top = s.translate(u32::MAX).unwrap();
+        assert_eq!(top, (3 << 16) | 0xffff);
+    }
+
+    #[test]
+    fn distinct_pids_map_disjointly() {
+        let a = Segmentation {
+            pid: 1,
+            pid_bits: 4,
+            low_limit: 0x100,
+            high_base: 0xffff_ff00,
+        };
+        let b = Segmentation { pid: 2, ..a };
+        assert_ne!(a.translate(0x42), b.translate(0x42));
+    }
+
+    #[test]
+    fn page_map_translate_and_fault() {
+        let mut m = PageMap::new();
+        m.map(2, 7);
+        assert_eq!(m.translate(2 * PAGE_WORDS + 5), Some(7 * PAGE_WORDS + 5));
+        assert_eq!(m.translate(3 * PAGE_WORDS), None);
+        assert_eq!(m.unmap(2), Some(7));
+        assert_eq!(m.translate(2 * PAGE_WORDS + 5), None);
+    }
+
+    #[test]
+    fn identity_map() {
+        let m = PageMap::identity(4);
+        assert_eq!(m.len(), 4);
+        for p in 0..4 {
+            assert_eq!(m.translate(p * PAGE_WORDS), Some(p * PAGE_WORDS));
+        }
+        assert_eq!(m.translate(4 * PAGE_WORDS), None);
+    }
+}

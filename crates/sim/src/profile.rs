@@ -1,0 +1,206 @@
+//! Execution profiles: the dynamic counts behind Tables 7, 8 and the
+//! free-memory-cycle claim of §3.1.
+
+use mips_core::RefClass;
+use std::fmt;
+
+/// Per-class load/store counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+}
+
+impl ClassCounts {
+    /// Loads + stores.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+/// Dynamic execution statistics collected by the machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Instructions executed (= cycles: every instruction is one issue
+    /// slot of the five-stage pipe).
+    pub instructions: u64,
+    /// Executed instruction words that were no-ops (software interlock
+    /// padding).
+    pub nops: u64,
+    /// Executed packed pairs (ALU + memory piece in one word).
+    pub packed: u64,
+    /// Instructions that made a data-memory reference.
+    pub mem_cycles_used: u64,
+    /// Instructions whose data-memory cycle was free (§3.1: the status pin
+    /// would assert; expected ≈40% on unpacked code).
+    pub mem_cycles_free: u64,
+    /// Free cycles actually consumed by a DMA transfer.
+    pub dma_serviced: u64,
+    /// Loads executed (all classes).
+    pub loads: u64,
+    /// Stores executed (all classes).
+    pub stores: u64,
+    /// Word-datum, non-character references.
+    pub word_data: ClassCounts,
+    /// Character data allocated in full words.
+    pub char_word: ClassCounts,
+    /// Character data allocated as bytes (packed).
+    pub char_byte: ClassCounts,
+    /// Non-character byte data (packed booleans etc.).
+    pub other_byte: ClassCounts,
+    /// References with no classification (runtime internals: saves,
+    /// spills, linkage).
+    pub unclassified: ClassCounts,
+    /// Branch/jump/call instructions executed.
+    pub branches: u64,
+    /// Of those, taken.
+    pub branches_taken: u64,
+    /// Software traps executed.
+    pub traps: u64,
+    /// Exceptions dispatched (all causes, traps included when they
+    /// dispatch rather than being served natively).
+    pub exceptions: u64,
+    /// Long-immediate loads executed.
+    pub long_immediates: u64,
+}
+
+impl Profile {
+    /// Records a classified data reference.
+    pub(crate) fn record_ref(&mut self, rc: Option<RefClass>, is_store: bool) {
+        let slot = match rc {
+            Some(RefClass {
+                byte_sized: false,
+                character: false,
+            }) => &mut self.word_data,
+            Some(RefClass {
+                byte_sized: false,
+                character: true,
+            }) => &mut self.char_word,
+            Some(RefClass {
+                byte_sized: true,
+                character: true,
+            }) => &mut self.char_byte,
+            Some(RefClass {
+                byte_sized: true,
+                character: false,
+            }) => &mut self.other_byte,
+            None => &mut self.unclassified,
+        };
+        if is_store {
+            slot.stores += 1;
+            self.stores += 1;
+        } else {
+            slot.loads += 1;
+            self.loads += 1;
+        }
+    }
+
+    /// Fraction of memory cycles that were free, `0..=1`.
+    pub fn free_cycle_fraction(&self) -> f64 {
+        let total = self.mem_cycles_used + self.mem_cycles_free;
+        if total == 0 {
+            0.0
+        } else {
+            self.mem_cycles_free as f64 / total as f64
+        }
+    }
+
+    /// Fraction of data references that were loads.
+    pub fn load_fraction(&self) -> f64 {
+        let total = self.loads + self.stores;
+        if total == 0 {
+            0.0
+        } else {
+            self.loads as f64 / total as f64
+        }
+    }
+
+    /// Fraction of executed branches that were taken.
+    pub fn taken_fraction(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branches_taken as f64 / self.branches as f64
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions      {}", self.instructions)?;
+        writeln!(
+            f,
+            "  no-ops          {} ({:.1}%)",
+            self.nops,
+            100.0 * self.nops as f64 / self.instructions.max(1) as f64
+        )?;
+        writeln!(f, "  packed pairs    {}", self.packed)?;
+        writeln!(
+            f,
+            "memory cycles     used {} / free {} ({:.1}% free)",
+            self.mem_cycles_used,
+            self.mem_cycles_free,
+            100.0 * self.free_cycle_fraction()
+        )?;
+        writeln!(f, "  dma serviced    {}", self.dma_serviced)?;
+        writeln!(
+            f,
+            "loads/stores      {} / {} ({:.1}% loads)",
+            self.loads,
+            self.stores,
+            100.0 * self.load_fraction()
+        )?;
+        writeln!(
+            f,
+            "branches          {} ({:.1}% taken)",
+            self.branches,
+            100.0 * self.taken_fraction()
+        )?;
+        writeln!(f, "traps/exceptions  {} / {}", self.traps, self.exceptions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_ref_routes_to_class() {
+        let mut p = Profile::default();
+        p.record_ref(Some(RefClass::WORD), false);
+        p.record_ref(Some(RefClass::CHAR_WORD), true);
+        p.record_ref(Some(RefClass::CHAR_BYTE), false);
+        p.record_ref(Some(RefClass::BYTE), true);
+        p.record_ref(None, false);
+        assert_eq!(p.word_data.loads, 1);
+        assert_eq!(p.char_word.stores, 1);
+        assert_eq!(p.char_byte.loads, 1);
+        assert_eq!(p.other_byte.stores, 1);
+        assert_eq!(p.unclassified.loads, 1);
+        assert_eq!(p.loads, 3);
+        assert_eq!(p.stores, 2);
+        assert!((p.load_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_handle_zero() {
+        let p = Profile::default();
+        assert_eq!(p.free_cycle_fraction(), 0.0);
+        assert_eq!(p.load_fraction(), 0.0);
+        assert_eq!(p.taken_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let p = Profile {
+            instructions: 10,
+            nops: 2,
+            ..Profile::default()
+        };
+        let s = p.to_string();
+        assert!(s.contains("no-ops"));
+        assert!(s.contains("20.0%"));
+    }
+}

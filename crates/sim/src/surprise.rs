@@ -1,0 +1,264 @@
+//! The surprise register.
+//!
+//! "All the miscellaneous state of the processor is encapsulated into a
+//! single *surprise register* — the MIPS equivalent of a processor status
+//! word. The surprise register includes the current and previous privilege
+//! levels, and enable bits for interrupts, overflow traps and memory
+//! mapping. Finally, there are two fields that specify the exact nature of
+//! the last exception." (paper §3.2)
+//!
+//! Bit layout (our reproduction's choice; the paper does not publish one):
+//!
+//! | bits | field |
+//! |---|---|
+//! | 0 | current privilege (1 = supervisor) |
+//! | 1 | previous privilege |
+//! | 2 | interrupt enable |
+//! | 3 | previous interrupt enable |
+//! | 4 | overflow-trap enable |
+//! | 5 | previous overflow-trap enable |
+//! | 6 | memory-mapping enable |
+//! | 7 | previous memory-mapping enable |
+//! | 8–11 | exception cause code ([`Cause`]) |
+//! | 12–27 | exception detail (trap code / fault-address low bits) |
+
+use crate::except::Cause;
+use std::fmt;
+
+/// The surprise register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Surprise(u32);
+
+const SUP: u32 = 1 << 0;
+const PREV_SUP: u32 = 1 << 1;
+const INT_EN: u32 = 1 << 2;
+const PREV_INT_EN: u32 = 1 << 3;
+const OVF_EN: u32 = 1 << 4;
+const PREV_OVF_EN: u32 = 1 << 5;
+const MAP_EN: u32 = 1 << 6;
+const PREV_MAP_EN: u32 = 1 << 7;
+const CURRENT_MASK: u32 = SUP | INT_EN | OVF_EN | MAP_EN;
+const CAUSE_SHIFT: u32 = 8;
+const CAUSE_MASK: u32 = 0xf << CAUSE_SHIFT;
+const DETAIL_SHIFT: u32 = 12;
+const DETAIL_MASK: u32 = 0xffff << DETAIL_SHIFT;
+
+impl Surprise {
+    /// The power-on value: supervisor mode, everything disabled, cause =
+    /// reset.
+    pub fn reset() -> Surprise {
+        let mut s = Surprise(SUP);
+        s.set_cause(Cause::Reset, 0);
+        s
+    }
+
+    /// Builds from a raw register value (what `wsp` writes).
+    pub fn from_raw(v: u32) -> Surprise {
+        Surprise(v)
+    }
+
+    /// The raw register value (what `rsp` reads).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Current privilege: true = supervisor.
+    pub fn supervisor(self) -> bool {
+        self.0 & SUP != 0
+    }
+
+    /// Interrupts enabled?
+    pub fn int_enable(self) -> bool {
+        self.0 & INT_EN != 0
+    }
+
+    /// Overflow traps enabled?
+    pub fn ovf_enable(self) -> bool {
+        self.0 & OVF_EN != 0
+    }
+
+    /// Memory mapping (segmentation + page map) enabled?
+    pub fn map_enable(self) -> bool {
+        self.0 & MAP_EN != 0
+    }
+
+    /// Sets the current privilege level.
+    pub fn set_supervisor(&mut self, on: bool) {
+        self.set_bit(SUP, on);
+    }
+
+    /// Sets the interrupt-enable bit.
+    pub fn set_int_enable(&mut self, on: bool) {
+        self.set_bit(INT_EN, on);
+    }
+
+    /// Sets the overflow-trap-enable bit.
+    pub fn set_ovf_enable(&mut self, on: bool) {
+        self.set_bit(OVF_EN, on);
+    }
+
+    /// Sets the mapping-enable bit.
+    pub fn set_map_enable(&mut self, on: bool) {
+        self.set_bit(MAP_EN, on);
+    }
+
+    fn set_bit(&mut self, bit: u32, on: bool) {
+        if on {
+            self.0 |= bit;
+        } else {
+            self.0 &= !bit;
+        }
+    }
+
+    /// The cause code of the last exception. Undefined 4-bit codes (which
+    /// can only arise from software writing a raw value) read as `Reset`.
+    pub fn cause(self) -> Cause {
+        Cause::from_code(((self.0 & CAUSE_MASK) >> CAUSE_SHIFT) as u8).unwrap_or(Cause::Reset)
+    }
+
+    /// The 16-bit detail field of the last exception (trap code, or the
+    /// low bits of a faulting address).
+    pub fn detail(self) -> u16 {
+        ((self.0 & DETAIL_MASK) >> DETAIL_SHIFT) as u16
+    }
+
+    /// Records an exception cause.
+    pub fn set_cause(&mut self, cause: Cause, detail: u16) {
+        self.0 = (self.0 & !(CAUSE_MASK | DETAIL_MASK))
+            | ((cause.code() as u32) << CAUSE_SHIFT)
+            | ((detail as u32) << DETAIL_SHIFT);
+    }
+
+    /// Exception entry: the current privilege/enable bits slide into the
+    /// *previous* fields, the machine enters supervisor mode with
+    /// interrupts, overflow traps and mapping disabled, and the cause
+    /// fields are written.
+    pub fn enter_exception(&mut self, cause: Cause, detail: u16) {
+        let current = self.0 & CURRENT_MASK;
+        self.0 &= !(CURRENT_MASK << 1); // clear previous fields
+        self.0 |= current << 1; // save current into previous
+        self.0 = (self.0 & !CURRENT_MASK) | SUP; // supervisor, all disabled
+        self.set_cause(cause, detail);
+    }
+
+    /// Return from exception: the previous fields slide back into the
+    /// current fields (the previous fields are left in place).
+    pub fn leave_exception(&mut self) {
+        let prev = (self.0 >> 1) & CURRENT_MASK;
+        self.0 = (self.0 & !CURRENT_MASK) | prev;
+    }
+
+    /// Reads the saved (previous) privilege level.
+    pub fn prev_supervisor(self) -> bool {
+        self.0 & PREV_SUP != 0
+    }
+
+    /// Reads the saved interrupt-enable bit.
+    pub fn prev_int_enable(self) -> bool {
+        self.0 & PREV_INT_EN != 0
+    }
+
+    /// Reads the saved overflow-enable bit.
+    pub fn prev_ovf_enable(self) -> bool {
+        self.0 & PREV_OVF_EN != 0
+    }
+
+    /// Reads the saved mapping-enable bit.
+    pub fn prev_map_enable(self) -> bool {
+        self.0 & PREV_MAP_EN != 0
+    }
+}
+
+impl fmt::Display for Surprise {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{} cause={} detail={:#x}]",
+            if self.supervisor() { 's' } else { 'u' },
+            if self.int_enable() { 'i' } else { '-' },
+            if self.ovf_enable() { 'o' } else { '-' },
+            if self.map_enable() { 'm' } else { '-' },
+            self.cause(),
+            self.detail()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state() {
+        let s = Surprise::reset();
+        assert!(s.supervisor());
+        assert!(!s.int_enable());
+        assert!(!s.ovf_enable());
+        assert!(!s.map_enable());
+        assert_eq!(s.cause(), Cause::Reset);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let mut s = Surprise::reset();
+        s.set_int_enable(true);
+        s.set_cause(Cause::Trap, 1234);
+        let t = Surprise::from_raw(s.raw());
+        assert_eq!(t, s);
+        assert_eq!(t.detail(), 1234);
+    }
+
+    #[test]
+    fn exception_entry_saves_and_disables() {
+        let mut s = Surprise::default();
+        s.set_supervisor(false);
+        s.set_int_enable(true);
+        s.set_map_enable(true);
+        s.set_ovf_enable(true);
+        s.enter_exception(Cause::PageFault, 0xbeef);
+        assert!(s.supervisor());
+        assert!(!s.int_enable());
+        assert!(!s.map_enable());
+        assert!(!s.ovf_enable());
+        assert!(!s.prev_supervisor());
+        assert!(s.prev_int_enable());
+        assert!(s.prev_map_enable());
+        assert!(s.prev_ovf_enable());
+        assert_eq!(s.cause(), Cause::PageFault);
+        assert_eq!(s.detail(), 0xbeef);
+    }
+
+    #[test]
+    fn leave_restores_previous() {
+        let mut s = Surprise::default();
+        s.set_supervisor(false);
+        s.set_int_enable(true);
+        s.set_map_enable(true);
+        s.enter_exception(Cause::Interrupt, 0);
+        s.leave_exception();
+        assert!(!s.supervisor());
+        assert!(s.int_enable());
+        assert!(s.map_enable());
+        assert!(!s.ovf_enable());
+    }
+
+    #[test]
+    fn nested_entry_overwrites_previous() {
+        let mut s = Surprise::default();
+        s.set_supervisor(false);
+        s.set_int_enable(true);
+        s.enter_exception(Cause::Trap, 1);
+        // second exception while in the handler: previous now = supervisor
+        s.enter_exception(Cause::PageFault, 2);
+        s.leave_exception();
+        assert!(s.supervisor(), "nested return lands back in the handler");
+        assert!(!s.int_enable());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Surprise::reset();
+        let shown = s.to_string();
+        assert!(shown.contains("cause=reset"), "{shown}");
+    }
+}

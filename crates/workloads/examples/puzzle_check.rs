@@ -1,0 +1,26 @@
+//! One-shot correctness check of the Puzzle workloads (slow; run in
+//! release): interpreter vs full MIPS pipeline.
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::Machine;
+
+fn main() {
+    for name in ["puzzle0", "puzzle1"] {
+        let w = mips_workloads::get(name).unwrap();
+        let t0 = std::time::Instant::now();
+        let want = mips_hll::run_program(w.source).unwrap();
+        println!("{name} interp: {want:?} in {:?}", t0.elapsed());
+        let lc = mips_hll::compile_mips(w.source, &mips_hll::CodegenOptions::standard()).unwrap();
+        let out = reorganize(&lc, ReorgOptions::FULL).unwrap();
+        let t0 = std::time::Instant::now();
+        let mut m = Machine::new(out.program);
+        m.run().unwrap();
+        println!(
+            "{name} mips:   {:?} in {:?} ({} instrs)",
+            m.output_string(),
+            t0.elapsed(),
+            m.profile().instructions
+        );
+        assert_eq!(m.output_string(), want);
+    }
+    println!("puzzle variants verified");
+}

@@ -1,0 +1,222 @@
+//! # mips-workloads — the benchmark corpus
+//!
+//! The paper's measurements come from "a collection of Pascal programs
+//! including compilers, optimizers, and VLSI design aid software; the
+//! programs are reasonably involved with text handling, and little or no
+//! compute intensive (e.g., floating point) tasks are included" (§4.1),
+//! plus the Table 11 inputs: "an implementation of computing Fibbonacci
+//! numbers and two implementations of the Puzzle benchmark".
+//!
+//! This crate is the stand-in corpus: eleven Pasqal programs spanning the
+//! same mix — the exact Table 11 workloads (Fibonacci, Puzzle 0
+//! subscripted, Puzzle 1 pointer-style) and a text-heavy/compiler-like
+//! set (scanner, word count, string operations, formatter) alongside
+//! integer kernels (sort, queens, matmul, hanoi, sieve).
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_workloads::{corpus, get};
+//! assert!(corpus().len() >= 11);
+//! let fib = get("fib").unwrap();
+//! let out = mips_hll::run_program(fib.source).unwrap();
+//! assert_eq!(out, "fib(16)=987\n");
+//! ```
+
+/// One corpus program.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name.
+    pub name: &'static str,
+    /// Pasqal source.
+    pub source: &'static str,
+    /// Part of the text-handling/compiler-like class (drives the
+    /// character-data mix of Tables 7–8).
+    pub text_heavy: bool,
+    /// One of the paper's Table 11 inputs.
+    pub table11: bool,
+}
+
+/// The corpus, in canonical order.
+pub fn corpus() -> &'static [Workload] {
+    &[
+        Workload {
+            name: "fib",
+            source: include_str!("programs/fib.pas"),
+            text_heavy: false,
+            table11: true,
+        },
+        Workload {
+            name: "puzzle0",
+            source: include_str!("programs/puzzle0.pas"),
+            text_heavy: false,
+            table11: true,
+        },
+        Workload {
+            name: "puzzle1",
+            source: include_str!("programs/puzzle1.pas"),
+            text_heavy: false,
+            table11: true,
+        },
+        Workload {
+            name: "scanner",
+            source: include_str!("programs/scanner.pas"),
+            text_heavy: true,
+            table11: false,
+        },
+        Workload {
+            name: "wordcount",
+            source: include_str!("programs/wordcount.pas"),
+            text_heavy: true,
+            table11: false,
+        },
+        Workload {
+            name: "strings",
+            source: include_str!("programs/strings.pas"),
+            text_heavy: true,
+            table11: false,
+        },
+        Workload {
+            name: "formatter",
+            source: include_str!("programs/formatter.pas"),
+            text_heavy: true,
+            table11: false,
+        },
+        Workload {
+            name: "dispatch",
+            source: include_str!("programs/dispatch.pas"),
+            text_heavy: true,
+            table11: false,
+        },
+        Workload {
+            name: "validate",
+            source: include_str!("programs/validate.pas"),
+            text_heavy: true,
+            table11: false,
+        },
+        Workload {
+            name: "sort",
+            source: include_str!("programs/sort.pas"),
+            text_heavy: false,
+            table11: false,
+        },
+        Workload {
+            name: "queens",
+            source: include_str!("programs/queens.pas"),
+            text_heavy: false,
+            table11: false,
+        },
+        Workload {
+            name: "matmul",
+            source: include_str!("programs/matmul.pas"),
+            text_heavy: false,
+            table11: false,
+        },
+        Workload {
+            name: "hanoi",
+            source: include_str!("programs/hanoi.pas"),
+            text_heavy: false,
+            table11: false,
+        },
+        Workload {
+            name: "sieve",
+            source: include_str!("programs/sieve.pas"),
+            text_heavy: false,
+            table11: false,
+        },
+    ]
+}
+
+/// Looks up a workload by name.
+pub fn get(name: &str) -> Option<&'static Workload> {
+    corpus().iter().find(|w| w.name == name)
+}
+
+/// The Table 11 inputs in the paper's column order.
+pub fn table11() -> Vec<&'static Workload> {
+    ["fib", "puzzle0", "puzzle1"]
+        .iter()
+        .map(|n| get(n).expect("table 11 workload"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_complete_and_named_uniquely() {
+        let c = corpus();
+        assert!(c.len() >= 12);
+        let mut names: Vec<_> = c.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+        assert!(c.iter().filter(|w| w.text_heavy).count() >= 4);
+    }
+
+    #[test]
+    fn table11_order() {
+        let t = table11();
+        assert_eq!(t[0].name, "fib");
+        assert_eq!(t[1].name, "puzzle0");
+        assert_eq!(t[2].name, "puzzle1");
+    }
+
+    #[test]
+    fn every_program_compiles() {
+        for w in corpus() {
+            mips_hll::front_end(w.source)
+                .unwrap_or_else(|e| panic!("{} does not compile: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn interpreter_outputs_are_sane() {
+        for w in corpus() {
+            let out = mips_hll::run_program(w.source)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            assert!(!out.is_empty(), "{} produced no output", w.name);
+        }
+    }
+
+    #[test]
+    fn fib_value() {
+        assert_eq!(
+            mips_hll::run_program(get("fib").unwrap().source).unwrap(),
+            "fib(16)=987\n"
+        );
+    }
+
+    #[test]
+    fn puzzle_solves_and_variants_agree() {
+        let p0 = mips_hll::run_program(get("puzzle0").unwrap().source).unwrap();
+        let p1 = mips_hll::run_program(get("puzzle1").unwrap().source).unwrap();
+        assert!(p0.contains("success"), "{p0}");
+        assert_eq!(p0, p1, "subscripted and pointer versions must agree");
+    }
+
+    #[test]
+    fn queens_finds_92() {
+        assert_eq!(
+            mips_hll::run_program(get("queens").unwrap().source).unwrap(),
+            "92\n"
+        );
+    }
+
+    #[test]
+    fn sieve_counts_primes_below_1000() {
+        assert_eq!(
+            mips_hll::run_program(get("sieve").unwrap().source).unwrap(),
+            "168 997\n"
+        );
+    }
+
+    #[test]
+    fn hanoi_moves() {
+        assert_eq!(
+            mips_hll::run_program(get("hanoi").unwrap().source).unwrap(),
+            "4095\n"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+program dispatch;
+{ A tiny stack-machine interpreter: opcode dispatch through a case
+  statement (which the MIPS compiler turns into a jump table reached via
+  the two-delay-slot indirect jump — the idiom of the paper's exception
+  dispatch). The most compiler-like of workloads. }
+const codecap = 120;
+      ophalt = 0;
+      oppush = 1;   { operand follows }
+      opadd = 2;
+      opsub = 3;
+      opmul = 4;
+      opdup = 5;
+      opswap = 6;
+      opneg = 7;
+      opprint = 8;
+      opjnz = 9;    { target follows; pops condition }
+
+var code: array [0..119] of integer;
+    stack: array [0..31] of integer;
+    pc, sp, n, steps: integer;
+    running: boolean;
+
+procedure emit(v: integer);
+begin
+  code[n] := v;
+  n := n + 1
+end;
+
+procedure build;
+var i, loopstart: integer;
+begin
+  n := 0;
+  { sum of squares 1..9, computed the hard way }
+  emit(oppush); emit(0);        { acc }
+  for i := 1 to 9 do
+  begin
+    emit(oppush); emit(i);
+    emit(opdup);
+    emit(opmul);
+    emit(opadd)
+  end;
+  emit(opprint);
+  { a count-down loop: prints 5 4 3 2 1 }
+  emit(oppush); emit(5);
+  loopstart := n;
+  emit(opdup);
+  emit(opprint);
+  emit(oppush); emit(1);
+  emit(opswap);                 { [v,1] -> [1,v] }
+  emit(opsub);                  { 1 - v }
+  emit(opneg);                  { v - 1 }
+  emit(opdup);
+  emit(opjnz); emit(loopstart);
+  emit(ophalt)
+end;
+
+procedure step;
+var op, a, b: integer;
+begin
+  op := code[pc];
+  pc := pc + 1;
+  case op of
+    ophalt:
+      running := false;
+    oppush:
+      begin
+        stack[sp] := code[pc];
+        pc := pc + 1;
+        sp := sp + 1
+      end;
+    opadd:
+      begin
+        sp := sp - 1;
+        stack[sp - 1] := stack[sp - 1] + stack[sp]
+      end;
+    opsub:
+      begin
+        sp := sp - 1;
+        stack[sp - 1] := stack[sp - 1] - stack[sp]
+      end;
+    opmul:
+      begin
+        sp := sp - 1;
+        stack[sp - 1] := stack[sp - 1] * stack[sp]
+      end;
+    opdup:
+      begin
+        stack[sp] := stack[sp - 1];
+        sp := sp + 1
+      end;
+    opswap:
+      begin
+        a := stack[sp - 1];
+        b := stack[sp - 2];
+        stack[sp - 1] := b;
+        stack[sp - 2] := a
+      end;
+    opneg:
+      stack[sp - 1] := -stack[sp - 1];
+    opprint:
+      begin
+        sp := sp - 1;
+        write(stack[sp], ' ')
+      end;
+    opjnz:
+      begin
+        a := code[pc];
+        pc := pc + 1;
+        sp := sp - 1;
+        if stack[sp] <> 0 then pc := a
+      end
+  else
+    running := false
+  end;
+  steps := steps + 1
+end;
+
+begin
+  build;
+  pc := 0; sp := 0; steps := 0;
+  running := true;
+  while running and (steps < 10000) do step;
+  writeln('steps=', steps, ' depth=', sp, ' cap=', codecap)
+end.

@@ -1,0 +1,16 @@
+program fibbonacci;
+{ The Fibonacci program of the paper's Table 11. }
+var result: integer;
+
+function fib(n: integer): integer;
+begin
+  if n < 2 then
+    fib := n
+  else
+    fib := fib(n - 1) + fib(n - 2)
+end;
+
+begin
+  result := fib(16);
+  writeln('fib(16)=', result)
+end.

@@ -1,0 +1,84 @@
+program formatter;
+{ A tiny text formatter: re-flows a synthetic paragraph to a fixed line
+  width, right-padding with blanks — heavy character movement between
+  packed buffers (the paper's text-handling workload class). }
+const srccap = 300;
+      width = 24;
+var src: packed array [0..299] of char;
+    line: packed array [0..23] of char;
+    n, pos, col, linesout, padded: integer;
+
+procedure build;
+var i, w, k: integer;
+begin
+  n := 0;
+  for i := 1 to 14 do
+  begin
+    for w := 0 to 2 + (i * 3) mod 5 do
+      if n < srccap then
+      begin
+        src[n] := chr(ord('a') + (i + w) mod 26);
+        n := n + 1
+      end;
+    if n < srccap then
+    begin
+      src[n] := ' ';
+      n := n + 1
+    end
+  end
+end;
+
+procedure flushline;
+var i: integer;
+begin
+  while col < width do
+  begin
+    line[col] := ' ';
+    col := col + 1;
+    padded := padded + 1
+  end;
+  for i := 0 to width - 1 do write(line[i]);
+  writeln;
+  linesout := linesout + 1;
+  col := 0
+end;
+
+function wordlen(start: integer): integer;
+var k: integer;
+begin
+  k := start;
+  while (k < n) and (src[k] <> ' ') do k := k + 1;
+  wordlen := k - start
+end;
+
+var i, wl: integer;
+
+begin
+  build;
+  col := 0; linesout := 0; padded := 0;
+  pos := 0;
+  while pos < n do
+  begin
+    if src[pos] = ' ' then
+      pos := pos + 1
+    else
+    begin
+      wl := wordlen(pos);
+      if (col + wl >= width) and (col > 0) then flushline;
+      if col > 0 then
+      begin
+        line[col] := ' ';
+        col := col + 1
+      end;
+      for i := 0 to wl - 1 do
+        if col < width then
+        begin
+          line[col] := src[pos + i];
+          col := col + 1
+        end;
+      pos := pos + wl
+    end
+  end;
+  if col > 0 then flushline;
+  writeln(linesout, ' ', padded)
+end.

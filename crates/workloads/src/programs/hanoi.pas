@@ -1,0 +1,19 @@
+program hanoi;
+{ Towers of Hanoi — deep recursion with tiny frames. }
+var moves: integer;
+
+procedure solve(n, from, onto, via: integer);
+begin
+  if n > 0 then
+  begin
+    solve(n - 1, from, via, onto);
+    moves := moves + 1;
+    solve(n - 1, via, onto, from)
+  end
+end;
+
+begin
+  moves := 0;
+  solve(12, 1, 3, 2);
+  writeln(moves)
+end.

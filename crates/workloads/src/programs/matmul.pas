@@ -1,0 +1,27 @@
+program matmul;
+{ Small integer matrix multiply — array-indexing and multiply-add
+  intensive. }
+const n = 12;
+var a, b, c: array [0..11] of array [0..11] of integer;
+    i, j, k, s, trace: integer;
+
+begin
+  for i := 0 to n - 1 do
+    for j := 0 to n - 1 do
+    begin
+      a[i][j] := (i + 2 * j) mod 9 - 4;
+      b[i][j] := (3 * i - j) mod 7 + 1
+    end;
+  for i := 0 to n - 1 do
+    for j := 0 to n - 1 do
+    begin
+      s := 0;
+      for k := 0 to n - 1 do
+        s := s + a[i][k] * b[k][j];
+      c[i][j] := s
+    end;
+  trace := 0;
+  for i := 0 to n - 1 do
+    trace := trace + c[i][i];
+  writeln(trace)
+end.

@@ -1,0 +1,132 @@
+program puzzle0;
+{ Baskett's Puzzle benchmark ("an informal compute bound benchmark,
+  widely circulated and run"), subscripted-array version: the "Puzzle 0"
+  input of the paper's Table 11. Packs thirteen pieces into a 5x5x5 cube
+  embedded in an 8x8x8 space. }
+const size = 511;
+      classmax = 3;
+      typemax = 12;
+      d = 8;
+
+var piececount: array [0..classmax] of integer;
+    pclass: array [0..typemax] of integer;
+    piecemax: array [0..typemax] of integer;
+    puzzle: array [0..size] of boolean;
+    p: array [0..typemax] of array [0..size] of boolean;
+    n, kount, m: integer;
+
+function fit(i, j: integer): boolean;
+var k: integer;
+    ok: boolean;
+begin
+  ok := true;
+  k := 0;
+  while ok and (k <= piecemax[i]) do
+  begin
+    if p[i][k] then
+      if puzzle[j + k] then ok := false;
+    k := k + 1
+  end;
+  fit := ok
+end;
+
+function place(i, j: integer): integer;
+var k, r: integer;
+begin
+  for k := 0 to piecemax[i] do
+    if p[i][k] then puzzle[j + k] := true;
+  piececount[pclass[i]] := piececount[pclass[i]] - 1;
+  r := 0;
+  k := j;
+  while (r = 0) and (k <= size) do
+  begin
+    if not puzzle[k] then r := k;
+    k := k + 1
+  end;
+  place := r
+end;
+
+procedure removep(i, j: integer);
+var k: integer;
+begin
+  for k := 0 to piecemax[i] do
+    if p[i][k] then puzzle[j + k] := false;
+  piececount[pclass[i]] := piececount[pclass[i]] + 1
+end;
+
+function trial(j: integer): boolean;
+var i, k: integer;
+    won: boolean;
+begin
+  kount := kount + 1;
+  won := false;
+  i := 0;
+  while (not won) and (i <= typemax) do
+  begin
+    if piececount[pclass[i]] <> 0 then
+      if fit(i, j) then
+      begin
+        k := place(i, j);
+        if trial(k) or (k = 0) then
+          won := true
+        else
+          removep(i, j)
+      end;
+    i := i + 1
+  end;
+  trial := won
+end;
+
+procedure definepiece(index, cls, x, y, z: integer);
+var i, j, k: integer;
+begin
+  for i := 0 to x do
+    for j := 0 to y do
+      for k := 0 to z do
+        p[index][i + d * (j + d * k)] := true;
+  pclass[index] := cls;
+  piecemax[index] := x + d * (y + d * z)
+end;
+
+var i, j, k: integer;
+
+begin
+  for m := 0 to size do puzzle[m] := true;
+  for i := 1 to 5 do
+    for j := 1 to 5 do
+      for k := 1 to 5 do
+        puzzle[i + d * (j + d * k)] := false;
+  for i := 0 to typemax do
+    for m := 0 to size do
+      p[i][m] := false;
+
+  definepiece(0, 0, 3, 1, 0);
+  definepiece(1, 0, 1, 0, 3);
+  definepiece(2, 0, 0, 3, 1);
+  definepiece(3, 0, 1, 3, 0);
+  definepiece(4, 0, 3, 0, 1);
+  definepiece(5, 0, 0, 1, 3);
+  definepiece(6, 1, 2, 0, 0);
+  definepiece(7, 1, 0, 2, 0);
+  definepiece(8, 1, 0, 0, 2);
+  definepiece(9, 2, 1, 1, 0);
+  definepiece(10, 2, 1, 0, 1);
+  definepiece(11, 2, 0, 1, 1);
+  definepiece(12, 3, 1, 1, 1);
+
+  piececount[0] := 13;
+  piececount[1] := 3;
+  piececount[2] := 1;
+  piececount[3] := 1;
+
+  m := 1 + d * (1 + d);
+  kount := 0;
+  if fit(0, m) then
+    n := place(0, m)
+  else
+    writeln('error 1');
+  if trial(n) then
+    writeln('success in ', kount, ' trials')
+  else
+    writeln('failure in ', kount, ' trials')
+end.

@@ -1,0 +1,147 @@
+program puzzle1;
+{ Baskett's Puzzle benchmark, "pointer" version: the "Puzzle 1" input of
+  the paper's Table 11. The piece membership table is a flat vector
+  walked with computed offsets (the Pascal rendition of the pointer-
+  chasing C variant). }
+const size = 511;
+      classmax = 3;
+      typemax = 12;
+      d = 8;
+      psize = 6655; { (typemax+1)*(size+1) - 1 }
+
+var piececount: array [0..classmax] of integer;
+    pclass: array [0..typemax] of integer;
+    piecemax: array [0..typemax] of integer;
+    puzzle: array [0..size] of boolean;
+    pflat: array [0..psize] of boolean;
+    pbase: array [0..typemax] of integer;
+    n, kount, m: integer;
+
+function fit(i, j: integer): boolean;
+var pp, last, off: integer;
+    ok: boolean;
+begin
+  ok := true;
+  pp := pbase[i];
+  last := pbase[i] + piecemax[i];
+  off := j - pbase[i];
+  while ok and (pp <= last) do
+  begin
+    if pflat[pp] then
+      if puzzle[pp + off] then ok := false;
+    pp := pp + 1
+  end;
+  fit := ok
+end;
+
+function place(i, j: integer): integer;
+var pp, last, off, k, r: integer;
+begin
+  pp := pbase[i];
+  last := pbase[i] + piecemax[i];
+  off := j - pbase[i];
+  while pp <= last do
+  begin
+    if pflat[pp] then puzzle[pp + off] := true;
+    pp := pp + 1
+  end;
+  piececount[pclass[i]] := piececount[pclass[i]] - 1;
+  r := 0;
+  k := j;
+  while (r = 0) and (k <= size) do
+  begin
+    if not puzzle[k] then r := k;
+    k := k + 1
+  end;
+  place := r
+end;
+
+procedure removep(i, j: integer);
+var pp, last, off: integer;
+begin
+  pp := pbase[i];
+  last := pbase[i] + piecemax[i];
+  off := j - pbase[i];
+  while pp <= last do
+  begin
+    if pflat[pp] then puzzle[pp + off] := false;
+    pp := pp + 1
+  end;
+  piececount[pclass[i]] := piececount[pclass[i]] + 1
+end;
+
+function trial(j: integer): boolean;
+var i, k: integer;
+    won: boolean;
+begin
+  kount := kount + 1;
+  won := false;
+  i := 0;
+  while (not won) and (i <= typemax) do
+  begin
+    if piececount[pclass[i]] <> 0 then
+      if fit(i, j) then
+      begin
+        k := place(i, j);
+        if trial(k) or (k = 0) then
+          won := true
+        else
+          removep(i, j)
+      end;
+    i := i + 1
+  end;
+  trial := won
+end;
+
+procedure definepiece(index, cls, x, y, z: integer);
+var i, j, k: integer;
+begin
+  for i := 0 to x do
+    for j := 0 to y do
+      for k := 0 to z do
+        pflat[pbase[index] + i + d * (j + d * k)] := true;
+  pclass[index] := cls;
+  piecemax[index] := x + d * (y + d * z)
+end;
+
+var i, j, k: integer;
+
+begin
+  for i := 0 to typemax do pbase[i] := i * (size + 1);
+  for m := 0 to size do puzzle[m] := true;
+  for i := 1 to 5 do
+    for j := 1 to 5 do
+      for k := 1 to 5 do
+        puzzle[i + d * (j + d * k)] := false;
+  for m := 0 to psize do pflat[m] := false;
+
+  definepiece(0, 0, 3, 1, 0);
+  definepiece(1, 0, 1, 0, 3);
+  definepiece(2, 0, 0, 3, 1);
+  definepiece(3, 0, 1, 3, 0);
+  definepiece(4, 0, 3, 0, 1);
+  definepiece(5, 0, 0, 1, 3);
+  definepiece(6, 1, 2, 0, 0);
+  definepiece(7, 1, 0, 2, 0);
+  definepiece(8, 1, 0, 0, 2);
+  definepiece(9, 2, 1, 1, 0);
+  definepiece(10, 2, 1, 0, 1);
+  definepiece(11, 2, 0, 1, 1);
+  definepiece(12, 3, 1, 1, 1);
+
+  piececount[0] := 13;
+  piececount[1] := 3;
+  piececount[2] := 1;
+  piececount[3] := 1;
+
+  m := 1 + d * (1 + d);
+  kount := 0;
+  if fit(0, m) then
+    n := place(0, m)
+  else
+    writeln('error 1');
+  if trial(n) then
+    writeln('success in ', kount, ' trials')
+  else
+    writeln('failure in ', kount, ' trials')
+end.

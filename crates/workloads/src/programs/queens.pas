@@ -1,0 +1,37 @@
+program queens;
+{ Eight queens, counting all solutions — boolean-expression and
+  recursion heavy. }
+var cols: array [1..8] of boolean;
+    diag1: array [2..16] of boolean;
+    diag2: array [0..14] of boolean;  { (r - c) + 7 in 0..14 }
+    solutions: integer;
+
+procedure place(row: integer);
+var c: integer;
+begin
+  if row > 8 then
+    solutions := solutions + 1
+  else
+    for c := 1 to 8 do
+      if cols[c] and diag1[row + c] and diag2[row - c + 7] then
+      begin
+        cols[c] := false;
+        diag1[row + c] := false;
+        diag2[row - c + 7] := false;
+        place(row + 1);
+        cols[c] := true;
+        diag1[row + c] := true;
+        diag2[row - c + 7] := true
+      end
+end;
+
+var i: integer;
+
+begin
+  for i := 1 to 8 do cols[i] := true;
+  for i := 2 to 16 do diag1[i] := true;
+  for i := 0 to 14 do diag2[i] := true;
+  solutions := 0;
+  place(1);
+  writeln(solutions)
+end.

@@ -1,0 +1,104 @@
+program scanner;
+{ A miniature lexical scanner over a synthetic source buffer — the
+  compiler-like, text-heavy workload class of the paper's corpus
+  ("compilers and VLSI design aid software; the programs are reasonably
+  involved with text handling"). Counts identifiers, numbers, operators
+  and skips blanks and comments. }
+const buflen = 400;
+var buf: packed array [0..399] of char;
+    len, pos: integer;
+    idents, numbers, operators, comments: integer;
+    ch: char;
+
+procedure emit(c: char);
+begin
+  if len < buflen then
+  begin
+    buf[len] := c;
+    len := len + 1
+  end
+end;
+
+procedure emitword(n: integer);
+var i: integer;
+begin
+  for i := 1 to n do emit(chr(ord('a') + (i * 3) mod 26));
+  emit(' ')
+end;
+
+procedure emitnum(v: integer);
+begin
+  while v > 0 do
+  begin
+    emit(chr(ord('0') + v mod 10));
+    v := v div 10
+  end;
+  emit(' ')
+end;
+
+procedure fill;
+var i: integer;
+begin
+  len := 0;
+  for i := 1 to 8 do
+  begin
+    emitword(3 + i mod 5);
+    emitnum(i * 137);
+    emit('+');
+    emit(' ');
+    emitword(2 + i mod 3);
+    if i mod 3 = 0 then
+    begin
+      emit('{');
+      emitword(4);
+      emit('}')
+    end;
+    emit(':');
+    emit('=');
+    emit(' ')
+  end
+end;
+
+function isletter(c: char): boolean;
+begin
+  isletter := (c >= 'a') and (c <= 'z')
+end;
+
+function isdigit(c: char): boolean;
+begin
+  isdigit := (c >= '0') and (c <= '9')
+end;
+
+begin
+  fill;
+  idents := 0; numbers := 0; operators := 0; comments := 0;
+  pos := 0;
+  while pos < len do
+  begin
+    ch := buf[pos];
+    if ch = ' ' then
+      pos := pos + 1
+    else if isletter(ch) then
+    begin
+      idents := idents + 1;
+      while (pos < len) and isletter(buf[pos]) do pos := pos + 1
+    end
+    else if isdigit(ch) then
+    begin
+      numbers := numbers + 1;
+      while (pos < len) and isdigit(buf[pos]) do pos := pos + 1
+    end
+    else if ch = '{' then
+    begin
+      comments := comments + 1;
+      while (pos < len) and (buf[pos] <> '}') do pos := pos + 1;
+      pos := pos + 1
+    end
+    else
+    begin
+      operators := operators + 1;
+      pos := pos + 1
+    end
+  end;
+  writeln(idents, ' ', numbers, ' ', operators, ' ', comments)
+end.

@@ -1,0 +1,32 @@
+program sieve;
+{ Sieve of Eratosthenes over a packed boolean array. }
+const limit = 1000;
+var composite: packed array [2..1000] of boolean;
+    i, j, count, last: integer;
+
+begin
+  for i := 2 to limit do composite[i] := false;
+  i := 2;
+  while i * i <= limit do
+  begin
+    if not composite[i] then
+    begin
+      j := i * i;
+      while j <= limit do
+      begin
+        composite[j] := true;
+        j := j + i
+      end
+    end;
+    i := i + 1
+  end;
+  count := 0;
+  last := 0;
+  for i := 2 to limit do
+    if not composite[i] then
+    begin
+      count := count + 1;
+      last := i
+    end;
+  writeln(count, ' ', last)
+end.

@@ -1,0 +1,52 @@
+program sortbench;
+{ Recursive quicksort plus an insertion-sort finish — compare- and
+  branch-heavy integer work. }
+const n = 200;
+var a: array [1..200] of integer;
+    i, seed, checksum: integer;
+    ordered: boolean;
+
+function nextrand: integer;
+begin
+  seed := (seed * 137 + 41) mod 10007;
+  nextrand := seed
+end;
+
+procedure quick(lo, hi: integer);
+var i, j, pivot, t: integer;
+begin
+  if lo < hi then
+  begin
+    pivot := a[(lo + hi) div 2];
+    i := lo;
+    j := hi;
+    repeat
+      while a[i] < pivot do i := i + 1;
+      while a[j] > pivot do j := j - 1;
+      if i <= j then
+      begin
+        t := a[i]; a[i] := a[j]; a[j] := t;
+        i := i + 1;
+        j := j - 1
+      end
+    until i > j;
+    quick(lo, j);
+    quick(i, hi)
+  end
+end;
+
+begin
+  seed := 7;
+  for i := 1 to n do a[i] := nextrand;
+  quick(1, n);
+  ordered := true;
+  checksum := 0;
+  for i := 1 to n do
+  begin
+    checksum := (checksum + a[i] * i) mod 100003;
+    if i > 1 then
+      if a[i] < a[i - 1] then ordered := false
+  end;
+  if ordered then write('sorted ') else write('broken ');
+  writeln(checksum)
+end.

@@ -1,0 +1,72 @@
+program strings;
+{ String copying, comparing, and searching over packed character
+  arrays — the byte-operation workload behind Tables 7-10. }
+const cap = 120;
+var a, b, pat: packed array [0..119] of char;
+    la, lpat, i, hits, cmps: integer;
+
+procedure build;
+var i: integer;
+begin
+  la := 96;
+  for i := 0 to la - 1 do
+    a[i] := chr(ord('a') + (i * 5 + i div 7) mod 26);
+  lpat := 3;
+  pat[0] := a[17];
+  pat[1] := a[18];
+  pat[2] := a[19]
+end;
+
+procedure copystr;
+var i: integer;
+begin
+  for i := 0 to la - 1 do b[i] := a[i]
+end;
+
+function equalstr: boolean;
+var i: integer;
+    ok: boolean;
+begin
+  ok := true;
+  i := 0;
+  while ok and (i < la) do
+  begin
+    if a[i] <> b[i] then ok := false;
+    i := i + 1
+  end;
+  equalstr := ok
+end;
+
+function search: integer;
+var i, j, found: integer;
+    match: boolean;
+begin
+  found := 0;
+  hits := 0;
+  for i := 0 to la - lpat do
+  begin
+    match := true;
+    j := 0;
+    while match and (j < lpat) do
+    begin
+      cmps := cmps + 1;
+      if a[i + j] <> pat[j] then match := false;
+      j := j + 1
+    end;
+    if match then
+    begin
+      hits := hits + 1;
+      if found = 0 then found := i + 1
+    end
+  end;
+  search := found
+end;
+
+begin
+  cmps := 0;
+  build;
+  copystr;
+  if equalstr then write('eq ') else write('ne ');
+  i := search;
+  writeln(i, ' ', hits, ' ', cmps, ' ', cap)
+end.

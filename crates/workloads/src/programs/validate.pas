@@ -1,0 +1,55 @@
+program validate;
+{ Record validation with compound boolean conditions — the
+  multi-operator boolean expressions of the paper's Table 4
+  (average 1.66 operators per expression). }
+const nrec = 60;
+var day, month, year, kind: array [1..60] of integer;
+    code: array [1..60] of char;
+    i, good, bad, leap, special: integer;
+    ok, found: boolean;
+    rec, key: integer;
+
+procedure fill;
+var i: integer;
+begin
+  for i := 1 to nrec do
+  begin
+    day[i] := (i * 11) mod 35;
+    month[i] := (i * 7) mod 15;
+    year[i] := 1900 + (i * 13) mod 130;
+    kind[i] := i mod 5;
+    code[i] := chr(ord('A') + (i * 3) mod 30)
+  end
+end;
+
+function isleap(y: integer): boolean;
+begin
+  isleap := ((y mod 4 = 0) and (y mod 100 <> 0)) or (y mod 400 = 0)
+end;
+
+begin
+  fill;
+  good := 0; bad := 0; leap := 0; special := 0;
+  for i := 1 to nrec do
+  begin
+    ok := (day[i] >= 1) and (day[i] <= 31)
+      and (month[i] >= 1) and (month[i] <= 12);
+    if ok and (year[i] >= 1901) and (year[i] <= 2000) then
+      good := good + 1
+    else
+      bad := bad + 1;
+    if isleap(year[i]) then leap := leap + 1;
+    if ((code[i] >= 'A') and (code[i] <= 'Z'))
+       or (kind[i] = 0) or (kind[i] = 4) then
+      special := special + 1
+  end;
+  rec := 5; key := 5; i := 13;
+  found := (rec = key) or (i = 13);
+  while found and (rec < 8) and (key < 9) do
+  begin
+    rec := rec + 1;
+    key := key + 1;
+    found := (rec <> key) or ((rec > 0) and (key mod 2 = 1))
+  end;
+  writeln(good, ' ', bad, ' ', leap, ' ', special, ' ', rec, ' ', key)
+end.

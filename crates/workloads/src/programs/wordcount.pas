@@ -1,0 +1,58 @@
+program wordcount;
+{ Counts characters, words, and lines in a synthetic text buffer —
+  classic character-at-a-time processing (paper §4.1: "many of the
+  operations that deal with characters concern copying and comparing
+  strings"). }
+const buflen = 600;
+var text: packed array [0..599] of char;
+    n, i, chars, words, lines: integer;
+    inword: boolean;
+    c: char;
+
+procedure build;
+var i, w, k: integer;
+begin
+  n := 0;
+  for i := 1 to 12 do
+  begin
+    for w := 1 to 1 + i mod 4 do
+    begin
+      for k := 0 to 2 + (i + w) mod 4 do
+        if n < buflen then
+        begin
+          text[n] := chr(ord('a') + (i + w + k) mod 26);
+          n := n + 1
+        end;
+      if n < buflen then
+      begin
+        text[n] := ' ';
+        n := n + 1
+      end
+    end;
+    if n < buflen then
+    begin
+      text[n] := chr(10);
+      n := n + 1
+    end
+  end
+end;
+
+begin
+  build;
+  chars := 0; words := 0; lines := 0;
+  inword := false;
+  for i := 0 to n - 1 do
+  begin
+    c := text[i];
+    chars := chars + 1;
+    if c = chr(10) then lines := lines + 1;
+    if (c = ' ') or (c = chr(10)) then
+      inword := false
+    else if not inword then
+    begin
+      inword := true;
+      words := words + 1
+    end
+  end;
+  writeln(chars, ' ', words, ' ', lines)
+end.

@@ -1,0 +1,26 @@
+//! The paper's condition-code argument, live: compiles
+//! `Found := (Rec = Key) or (I = 13)` under every architectural support
+//! level (Figures 1–3) and prints the code shapes plus the Table 5/6
+//! strategy costs.
+//!
+//! ```text
+//! cargo run --release --example boolean_strategies
+//! ```
+
+use mips_analysis::{bool_cost, booleans, figures};
+
+fn main() {
+    println!("{}", figures::figure1());
+    println!("{}", figures::figure2());
+    println!("{}", figures::figure3());
+
+    println!("{}", bool_cost::table5());
+
+    let stats = booleans::analyze_corpus();
+    println!("{stats}");
+    let t6 = bool_cost::table6(
+        stats.operators_per_compound().max(1.0),
+        stats.jump_pct() / 100.0,
+    );
+    println!("{t6}");
+}

@@ -1,0 +1,32 @@
+//! # mips — facade for the Hardware/Software Tradeoffs reproduction
+//!
+//! Re-exports every subsystem of the reproduction of *Hennessy et al.,
+//! "Hardware/Software Tradeoffs for Increased Performance"* (ASPLOS 1982)
+//! under one roof:
+//!
+//! * [`core`] — the MIPS instruction-set model (no condition codes,
+//!   word addressing, instruction pieces, delayed branches);
+//! * [`sim`] — the five-stage pipeline simulator with software-imposed
+//!   interlocks, segmentation, and the surprise-register exception system;
+//! * [`asm`] — the assembler;
+//! * [`reorg`] — the post-pass reorganizer (scheduling, packing, branch
+//!   delay);
+//! * [`ccm`] — condition-code baseline machines;
+//! * [`hll`] — the Pasqal compiler with selectable boolean-evaluation
+//!   strategies and data layouts;
+//! * [`analysis`] — the measurement tooling behind every table of the
+//!   paper;
+//! * [`workloads`] — the benchmark corpus (Fibonacci, Puzzle, text
+//!   processing).
+//!
+//! See the repository README for a tour and `examples/quickstart.rs` for
+//! the compile → reorganize → simulate pipeline in ten lines.
+
+pub use mips_analysis as analysis;
+pub use mips_asm as asm;
+pub use mips_ccm as ccm;
+pub use mips_core as core;
+pub use mips_hll as hll;
+pub use mips_reorg as reorg;
+pub use mips_sim as sim;
+pub use mips_workloads as workloads;

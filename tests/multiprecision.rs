@@ -1,0 +1,125 @@
+//! §2.3.3: MIPS has no carry bit — "carry bits are mainly used for
+//! multiprecision arithmetic … multiprecision arithmetic can be
+//! synthesized". The carry comes from an unsigned *Set Conditionally*
+//! comparison instead: after `sum := a + b` (wrapping), `carry := sum <u
+//! a`. This test implements 64-bit addition and a 32×32→64 shift-add
+//! multiply that way and checks them against Rust's arithmetic.
+
+use mips::asm::assemble;
+use mips::core::Program;
+use mips::sim::Machine;
+
+/// 64-bit add: operands at words 100 (lo) 101 (hi) and 102/103; result at
+/// 104/105. Carry synthesized with `sltu`.
+fn add64_program() -> Program {
+    assemble(
+        "
+        main:
+            ld @100,r1        ; a.lo
+            ld @101,r2        ; a.hi
+            ld @102,r3        ; b.lo
+            ld @103,r4        ; b.hi
+            add r1,r3,r5      ; lo sum (wrapping)
+            sltu r5,r1,r6     ; carry := lo-sum <u a.lo
+            add r2,r4,r7      ; hi sum
+            add r7,r6,r7      ; plus carry
+            st r5,@104
+            st r7,@105
+            halt
+        ",
+    )
+    .unwrap()
+}
+
+fn add64(m: &mut Machine, a: u64, b: u64) -> u64 {
+    m.mem_mut().poke(100, a as u32);
+    m.mem_mut().poke(101, (a >> 32) as u32);
+    m.mem_mut().poke(102, b as u32);
+    m.mem_mut().poke(103, (b >> 32) as u32);
+    m.jump_to(0);
+    m.run().unwrap();
+    (m.mem().peek(104) as u64) | ((m.mem().peek(105) as u64) << 32)
+}
+
+#[test]
+fn sixty_four_bit_addition_without_a_carry_bit() {
+    let cases = [
+        (0u64, 0u64),
+        (1, 1),
+        (u32::MAX as u64, 1),
+        (0xffff_ffff_ffff_ffff, 1),
+        (0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321),
+        (0x8000_0000_0000_0000, 0x8000_0000_0000_0000),
+        (0x0000_0001_ffff_ffff, 0x0000_0000_0000_0001),
+    ];
+    for (a, b) in cases {
+        // A fresh machine per case (fresh halt state).
+        let mut m = Machine::new(add64_program());
+        let got = add64(&mut m, a, b);
+        assert_eq!(got, a.wrapping_add(b), "{a:#x} + {b:#x}");
+    }
+}
+
+/// 32×32→64 multiply by shift-and-add over the synthesized 64-bit
+/// accumulator (no widening multiply, no carry bit).
+#[test]
+fn wide_multiply_by_shift_and_add() {
+    let p = assemble(
+        "
+        main:
+            ld @100,r1        ; multiplicand
+            ld @101,r2        ; multiplier
+            mvi #0,r3         ; acc.lo
+            mvi #0,r4         ; acc.hi
+            mvi #0,r5         ; shift count
+            mvi #32,r11       ; loop bound
+        loop:
+            ; if multiplier bit 0 set, acc += (multiplicand << shift) as 64-bit
+            bmz r2,#1,skip
+            nop
+            ; partial.lo = m << s ; partial.hi = (s == 0) ? 0 : m >> (32 - s)
+            sll r1,r5,r6
+            mvi #32,r7
+            sub r7,r5,r7
+            srl r1,r7,r8      ; m >> (32-s); when s = 0 this shifts by 32&31=0,
+                              ; giving m — fixed below
+            beq r5,#0,zfix
+            nop
+            bra accum
+            nop
+        zfix:
+            mvi #0,r8
+        accum:
+            add r3,r6,r9      ; acc.lo + partial.lo
+            sltu r9,r3,r10    ; carry
+            add r9,#0,r3
+            add r4,r8,r4
+            add r4,r10,r4
+        skip:
+            srl r2,#1,r2
+            add r5,#1,r5
+            bne r5,r11,loop
+            nop
+            st r3,@104
+            st r4,@105
+            halt
+        ",
+    )
+    .unwrap();
+    let cases: [(u32, u32); 6] = [
+        (0, 0),
+        (3, 5),
+        (u32::MAX, u32::MAX),
+        (0x8000_0001, 2),
+        (0x1234_5678, 0x9abc_def0),
+        (65537, 65521),
+    ];
+    for (a, b) in cases {
+        let mut m = Machine::new(p.clone());
+        m.mem_mut().poke(100, a);
+        m.mem_mut().poke(101, b);
+        m.run().unwrap();
+        let got = (m.mem().peek(104) as u64) | ((m.mem().peek(105) as u64) << 32);
+        assert_eq!(got, a as u64 * b as u64, "{a:#x} * {b:#x}");
+    }
+}

@@ -14,12 +14,10 @@
 //! time 4."
 
 use mips_ccm::{CcInstr, CcMachine, CcPolicy, CcProgram};
-use mips_hll::{
-    compile_cc, compile_mips, CcBoolStrategy, CcGenOptions, CodegenOptions,
-};
+use mips_core::Instr;
+use mips_hll::{compile_cc, compile_mips, CcBoolStrategy, CcGenOptions, CodegenOptions};
 use mips_reorg::{reorganize, ReorgOptions};
 use mips_sim::Machine;
-use mips_core::Instr;
 use std::fmt;
 
 /// Instruction-class counts (floating to allow dynamic averages).
@@ -149,9 +147,7 @@ fn test_source(terms: usize, truth: usize, store_ctx: bool, with_expr: bool) -> 
     } else {
         format!("  if {expr} then x := 1;\n")
     };
-    format!(
-        "program t;\nvar {vars}x: integer; found: boolean;\nbegin\n{inits}{body}end.\n"
-    )
+    format!("program t;\nvar {vars}x: integer; found: boolean;\nbegin\n{inits}{body}end.\n")
 }
 
 /// Classifies an instruction into the paper's Compare/Register/Branch
@@ -167,7 +163,10 @@ fn classify_mips(i: &Instr) -> Classes {
         }
         Instr::Trap(_) | Instr::Halt => {}
         Instr::Op { mem: Some(_), .. } => {}
-        Instr::Op { alu: None, mem: None } => {}
+        Instr::Op {
+            alu: None,
+            mem: None,
+        } => {}
         _ => c.reg_ops = 1.0,
     }
     c
@@ -177,11 +176,15 @@ fn classify_cc(i: &CcInstr) -> Classes {
     let mut c = Classes::default();
     match i {
         CcInstr::Compare { .. } => c.compares = 1.0,
-        CcInstr::CondBranch { .. } | CcInstr::Branch { .. } | CcInstr::Call { .. }
+        CcInstr::CondBranch { .. }
+        | CcInstr::Branch { .. }
+        | CcInstr::Call { .. }
         | CcInstr::Ret => c.branches = 1.0,
         CcInstr::Halt | CcInstr::PutC | CcInstr::PutInt => {}
         // Memory traffic excluded (memory-operand machines).
-        CcInstr::Load { .. } | CcInstr::Store { .. } | CcInstr::Push { .. }
+        CcInstr::Load { .. }
+        | CcInstr::Store { .. }
+        | CcInstr::Push { .. }
         | CcInstr::Pop { .. } => {}
         _ => c.reg_ops = 1.0,
     }
@@ -459,18 +462,16 @@ mod tests {
     #[test]
     fn table5_matches_paper_exactly_for_branchless_strategies() {
         let t5 = table5();
-        let row = |s: Strategy| {
-            t5.rows
-                .iter()
-                .find(|r| r.strategy == s)
-                .copied()
-                .unwrap()
-        };
+        let row = |s: Strategy| t5.rows.iter().find(|r| r.strategy == s).copied().unwrap();
         // MIPS set-conditionally: 2 compares, 1 register op, 0 branches
         // (the paper's Figure 3 / Table 5 row), static and dynamic.
         let m = row(Strategy::SetCond);
         assert_eq!(
-            (m.measured_static.compares, m.measured_static.reg_ops, m.measured_static.branches),
+            (
+                m.measured_static.compares,
+                m.measured_static.reg_ops,
+                m.measured_static.branches
+            ),
             (2.0, 1.0, 0.0),
             "{t5}"
         );
@@ -478,7 +479,11 @@ mod tests {
         // CC + conditional set: 2/3/0 (Figure 2).
         let c = row(Strategy::CcCondSet);
         assert_eq!(
-            (c.measured_static.compares, c.measured_static.reg_ops, c.measured_static.branches),
+            (
+                c.measured_static.compares,
+                c.measured_static.reg_ops,
+                c.measured_static.branches
+            ),
             (2.0, 3.0, 0.0),
             "{t5}"
         );
@@ -495,11 +500,12 @@ mod tests {
         let t6 = table6(1.66, 0.809);
         let total = |s: Strategy| t6.rows.iter().find(|r| r.strategy == s).unwrap().total;
         // The paper's headline: set-conditionally beats every CC scheme.
-        for s in [Strategy::CcCondSet, Strategy::CcFullEval, Strategy::CcEarlyOut] {
-            assert!(
-                total(Strategy::SetCond) < total(s),
-                "MIPS must win: {t6}"
-            );
+        for s in [
+            Strategy::CcCondSet,
+            Strategy::CcFullEval,
+            Strategy::CcEarlyOut,
+        ] {
+            assert!(total(Strategy::SetCond) < total(s), "MIPS must win: {t6}");
         }
         // Conditional set beats full evaluation (paper: 33.0%).
         assert!(t6.improvement_condset_pct.0 > 0.0, "{t6}");

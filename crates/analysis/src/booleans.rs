@@ -127,14 +127,12 @@ pub fn analyze(prog: &HProgram) -> BoolStats {
     let mut stats = BoolStats::default();
     fn stmt(s: &HStmt, stats: &mut BoolStats) {
         match s {
-            HStmt::Assign(lv, e)
-                if lv.ty == Ty::Bool => {
-                    record(stats, e, false);
-                }
-            HStmt::SetResult(e)
-                if e.ty() == Ty::Bool => {
-                    record(stats, e, false);
-                }
+            HStmt::Assign(lv, e) if lv.ty == Ty::Bool => {
+                record(stats, e, false);
+            }
+            HStmt::SetResult(e) if e.ty() == Ty::Bool => {
+                record(stats, e, false);
+            }
             HStmt::If { cond, then, els } => {
                 record(stats, cond, true);
                 for s in then.iter().chain(els) {

@@ -252,7 +252,10 @@ pub fn table10(t9: &Table9, word_mix: &RefPattern, byte_mix: &RefPattern) -> Tab
 
 impl fmt::Display for Table10 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 10: Cost of byte- and word-addressed architectures")?;
+        writeln!(
+            f,
+            "Table 10: Cost of byte- and word-addressed architectures"
+        )?;
         writeln!(
             f,
             "  word-allocated mix: word machine {:.3} vs byte machine {:.3}-{:.3} cycles/ref",

@@ -48,7 +48,11 @@ impl CcUsage {
 impl fmt::Display for CcUsage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 3: Use of condition codes")?;
-        writeln!(f, "  compares in compiled corpus          {:>8}", self.total_compares)?;
+        writeln!(
+            f,
+            "  compares in compiled corpus          {:>8}",
+            self.total_compares
+        )?;
         writeln!(
             f,
             "  saved, codes set by operations only  {:>8}  ({:.1}%; paper {PAPER_OPS_ONLY_PCT}%)",

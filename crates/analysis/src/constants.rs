@@ -77,14 +77,14 @@ impl ConstDist {
 impl fmt::Display for ConstDist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 1: Constant distribution in programs")?;
-        writeln!(f, "{:>12}  {:>10}  {:>10}", "magnitude", "measured", "paper")?;
+        writeln!(
+            f,
+            "{:>12}  {:>10}  {:>10}",
+            "magnitude", "measured", "paper"
+        )?;
         let p = self.percentages();
         for i in 0..6 {
-            writeln!(
-                f,
-                "{:>12}  {:>9.1}%  {:>9.1}%",
-                BUCKETS[i], p[i], PAPER[i]
-            )?;
+            writeln!(f, "{:>12}  {:>9.1}%  {:>9.1}%", BUCKETS[i], p[i], PAPER[i])?;
         }
         writeln!(
             f,
@@ -143,7 +143,11 @@ mod tests {
     #[test]
     fn corpus_distribution_matches_paper_shape() {
         let d = analyze_corpus();
-        assert!(d.total() > 200, "corpus should be constant-rich: {}", d.total());
+        assert!(
+            d.total() > 200,
+            "corpus should be constant-rich: {}",
+            d.total()
+        );
         // The headline claims, loosely banded:
         let four = d.four_bit_coverage();
         assert!(

@@ -4,9 +4,7 @@
 //! The canonical boolean example is the paper's
 //! `Found := (Rec = Key) OR (I = 13)`.
 
-use mips_hll::{
-    compile_cc, compile_mips, CcBoolStrategy, CcGenOptions, CodegenOptions,
-};
+use mips_hll::{compile_cc, compile_mips, CcBoolStrategy, CcGenOptions, CodegenOptions};
 use mips_reorg::{reorganize, ReorgOptions};
 use std::fmt;
 
@@ -35,7 +33,10 @@ impl fmt::Display for Figure {
         writeln!(f, "{}", self.title)?;
         writeln!(f, "  (paper: {})", self.paper_note)?;
         for (caption, text, instrs, branches) in &self.listings {
-            writeln!(f, "--- {caption} ({instrs} instructions, {branches} branches) ---")?;
+            writeln!(
+                f,
+                "--- {caption} ({instrs} instructions, {branches} branches) ---"
+            )?;
             for line in text.lines() {
                 writeln!(f, "    {line}")?;
             }
@@ -80,10 +81,7 @@ fn mips_listing(opts: ReorgOptions) -> (String, usize, usize) {
         .map(|(k, i)| format!("{:>3}  {i}", start + k))
         .collect::<Vec<_>>()
         .join("\n");
-    let branches = instrs
-        .iter()
-        .filter(|i| i.branch_delay() > 0)
-        .count();
+    let branches = instrs.iter().filter(|i| i.branch_delay() > 0).count();
     (text, instrs.len(), branches)
 }
 
@@ -117,7 +115,12 @@ pub fn figure3() -> Figure {
     Figure {
         title: "Figure 3: Boolean expression evaluation using set conditionally",
         paper_note: "3 static and dynamic instructions, no branches (seq/seq/or)",
-        listings: vec![("MIPS set-conditionally (main routine)".to_string(), text, i, b)],
+        listings: vec![(
+            "MIPS set-conditionally (main routine)".to_string(),
+            text,
+            i,
+            b,
+        )],
     }
 }
 

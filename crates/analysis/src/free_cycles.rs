@@ -30,10 +30,25 @@ pub struct FreeCycles {
 
 impl fmt::Display for FreeCycles {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Free memory bandwidth (paper §3.1: ≈{PAPER_FREE_PCT}% wasted)")?;
-        writeln!(f, "  unpacked code: {:.1}% of total bandwidth free", self.unpacked_pct)?;
-        writeln!(f, "  packed code:   {:.1}% of total bandwidth free", self.packed_pct)?;
-        writeln!(f, "  DMA transfers serviced from free cycles: {}", self.dma_serviced)
+        writeln!(
+            f,
+            "Free memory bandwidth (paper §3.1: ≈{PAPER_FREE_PCT}% wasted)"
+        )?;
+        writeln!(
+            f,
+            "  unpacked code: {:.1}% of total bandwidth free",
+            self.unpacked_pct
+        )?;
+        writeln!(
+            f,
+            "  packed code:   {:.1}% of total bandwidth free",
+            self.packed_pct
+        )?;
+        writeln!(
+            f,
+            "  DMA transfers serviced from free cycles: {}",
+            self.dma_serviced
+        )
     }
 }
 

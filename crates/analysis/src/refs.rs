@@ -38,7 +38,14 @@ impl RefPattern {
         let byte_stores = p.char_byte.stores + p.other_byte.stores;
         let word_loads = p.loads - byte_loads;
         let word_stores = p.stores - byte_stores;
-        (p.loads, p.stores, byte_loads, word_loads, byte_stores, word_stores)
+        (
+            p.loads,
+            p.stores,
+            byte_loads,
+            word_loads,
+            byte_stores,
+            word_stores,
+        )
     }
 
     /// The six headline percentages (same order as [`PAPER_WORD`]).
@@ -92,9 +99,15 @@ const LABELS: [&str; 6] = [
 impl fmt::Display for RefPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (table, paper) = if self.target_name == "word" {
-            ("Table 7: Data reference patterns in word-allocated programs", PAPER_WORD)
+            (
+                "Table 7: Data reference patterns in word-allocated programs",
+                PAPER_WORD,
+            )
         } else {
-            ("Table 8: Data reference patterns in byte-allocated programs", PAPER_BYTE)
+            (
+                "Table 8: Data reference patterns in byte-allocated programs",
+                PAPER_BYTE,
+            )
         };
         writeln!(f, "{table}")?;
         writeln!(f, "{:>16}  {:>9}  {:>9}", "class", "measured", "paper")?;
@@ -103,7 +116,11 @@ impl fmt::Display for RefPattern {
             writeln!(f, "{:>16}  {:>8.1}%  {:>8.1}%", LABELS[i], m[i], paper[i])?;
         }
         if self.target_name == "word" {
-            writeln!(f, "  character references ({:.1}% of all):", self.char_fraction())?;
+            writeln!(
+                f,
+                "  character references ({:.1}% of all):",
+                self.char_fraction()
+            )?;
             let c = self.char_percentages();
             for i in 0..6 {
                 writeln!(
@@ -193,7 +210,14 @@ mod tests {
     use super::*;
 
     const FAST: &[&str] = &[
-        "scanner", "wordcount", "strings", "formatter", "sieve", "matmul", "sort", "queens",
+        "scanner",
+        "wordcount",
+        "strings",
+        "formatter",
+        "sieve",
+        "matmul",
+        "sort",
+        "queens",
     ];
 
     #[test]
@@ -224,7 +248,10 @@ mod tests {
     fn char_stores_run_high_in_char_data() {
         // "Character reference patterns have a much higher percentage of
         // stores than do non-character reference patterns."
-        let pat = measure(MachineTarget::Word, Some(&["strings", "formatter", "wordcount"]));
+        let pat = measure(
+            MachineTarget::Word,
+            Some(&["strings", "formatter", "wordcount"]),
+        );
         let c = pat.char_percentages();
         let all = pat.percentages();
         assert!(

@@ -57,7 +57,11 @@ impl fmt::Display for Taxonomy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 2: Condition code operations (taxonomy)")?;
         for r in rows() {
-            writeln!(f, "  {:<58} | {:<20} | {}", r.feature, r.paper_examples, r.our_model)?;
+            writeln!(
+                f,
+                "  {:<58} | {:<20} | {}",
+                r.feature, r.paper_examples, r.our_model
+            )?;
         }
         Ok(())
     }

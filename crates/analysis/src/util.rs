@@ -13,8 +13,7 @@ pub fn corpus_hirs() -> Vec<(&'static str, HProgram)> {
         .map(|w| {
             (
                 w.name,
-                mips_hll::front_end(w.source)
-                    .unwrap_or_else(|e| panic!("{}: {e}", w.name)),
+                mips_hll::front_end(w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name)),
             )
         })
         .collect()
@@ -159,9 +158,7 @@ pub fn walk_stmts(prog: &HProgram, mut f: impl FnMut(&HStmt)) {
                     stmt(s, f);
                 }
             }
-            HStmt::While { body, .. }
-            | HStmt::Repeat { body, .. }
-            | HStmt::For { body, .. } => {
+            HStmt::While { body, .. } | HStmt::Repeat { body, .. } | HStmt::For { body, .. } => {
                 for s in body {
                     stmt(s, f);
                 }

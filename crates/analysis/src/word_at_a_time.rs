@@ -152,10 +152,7 @@ mod tests {
     #[test]
     fn wordwise_copy_is_several_times_faster() {
         let r = measure();
-        assert!(
-            r.speedup() > 3.0,
-            "expected a substantial (≈4x+) win: {r}"
-        );
+        assert!(r.speedup() > 3.0, "expected a substantial (≈4x+) win: {r}");
         assert!(r.wordwise_cycles > 0);
     }
 }

@@ -45,8 +45,8 @@ fn parse_operand(s: &str, line: usize) -> Result<Tok, AsmError> {
         return Ok(Tok::Reg(r));
     }
     if let Some(rest) = s.strip_prefix('#') {
-        let v = parse_int(rest)
-            .ok_or_else(|| AsmError::new(line, format!("bad constant `{s}`")))?;
+        let v =
+            parse_int(rest).ok_or_else(|| AsmError::new(line, format!("bad constant `{s}`")))?;
         return Ok(Tok::Imm(v));
     }
     if let Some(rest) = s.strip_prefix('@') {
@@ -77,7 +77,10 @@ fn parse_operand(s: &str, line: usize) -> Result<Tok, AsmError> {
                 .parse()
                 .map_err(|_| AsmError::new(line, format!("bad shift `{sh}`")))?;
             if disp != 0 {
-                return Err(AsmError::new(line, "base-shifted mode takes no displacement"));
+                return Err(AsmError::new(
+                    line,
+                    "base-shifted mode takes no displacement",
+                ));
             }
             if shift == 0 || shift > MemMode::SHIFT_MAX {
                 return Err(AsmError::new(line, "shift must be 1..=5"));
@@ -90,7 +93,10 @@ fn parse_operand(s: &str, line: usize) -> Result<Tok, AsmError> {
             let index = parse_reg(x.trim())
                 .ok_or_else(|| AsmError::new(line, format!("bad index register `{x}`")))?;
             if disp != 0 {
-                return Err(AsmError::new(line, "base-indexed mode takes no displacement"));
+                return Err(AsmError::new(
+                    line,
+                    "base-indexed mode takes no displacement",
+                ));
             }
             return Ok(Tok::Mem(MemMode::BasedIndexed { base, index }));
         }
@@ -167,10 +173,7 @@ fn to_mem(t: &Tok, line: usize) -> Result<MemMode, AsmError> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum PInstr {
     Ready(Instr),
-    Branch {
-        template: Instr,
-        target: String,
-    },
+    Branch { template: Instr, target: String },
 }
 
 fn arity(line: usize, toks: &[Tok], n: usize, mnem: &str) -> Result<(), AsmError> {
@@ -210,7 +213,11 @@ fn parse_instr(text: &str, line: usize) -> Result<PInstr, AsmError> {
     match mnem {
         "ld" | "ldb" => {
             arity(line, &toks, 2, mnem)?;
-            let width = if mnem == "ldb" { Width::Byte } else { Width::Word };
+            let width = if mnem == "ldb" {
+                Width::Byte
+            } else {
+                Width::Word
+            };
             return Ok(PInstr::Ready(Instr::mem(MemPiece::Load {
                 mode: to_mem(&toks[0], line)?,
                 dst: to_reg(&toks[1], line)?,
@@ -219,7 +226,11 @@ fn parse_instr(text: &str, line: usize) -> Result<PInstr, AsmError> {
         }
         "st" | "stb" => {
             arity(line, &toks, 2, mnem)?;
-            let width = if mnem == "stb" { Width::Byte } else { Width::Word };
+            let width = if mnem == "stb" {
+                Width::Byte
+            } else {
+                Width::Word
+            };
             return Ok(PInstr::Ready(Instr::mem(MemPiece::Store {
                 mode: to_mem(&toks[1], line)?,
                 src: to_reg(&toks[0], line)?,
@@ -231,7 +242,10 @@ fn parse_instr(text: &str, line: usize) -> Result<PInstr, AsmError> {
             let v = match toks[0] {
                 Tok::Imm(v) if (0..=MemPiece::LONG_IMM_MAX as i64).contains(&v) => v as u32,
                 Tok::Imm(v) => {
-                    return Err(AsmError::new(line, format!("{v} exceeds 24-bit long immediate")))
+                    return Err(AsmError::new(
+                        line,
+                        format!("{v} exceeds 24-bit long immediate"),
+                    ))
                 }
                 _ => return Err(AsmError::new(line, "lim takes #constant,reg")),
             };
@@ -427,7 +441,10 @@ fn parse_line(raw: &str, line: usize) -> Result<SrcLine, AsmError> {
         return Ok(SrcLine::Directive(name.to_string(), rest.to_string()));
     }
     if let Some((a, b)) = text.split_once('&') {
-        return Ok(SrcLine::Packed(parse_instr(a, line)?, parse_instr(b, line)?));
+        return Ok(SrcLine::Packed(
+            parse_instr(a, line)?,
+            parse_instr(b, line)?,
+        ));
     }
     Ok(SrcLine::Instr(parse_instr(text, line)?))
 }
@@ -468,8 +485,16 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 let (PInstr::Ready(a), PInstr::Ready(c)) = (pa, pb) else {
                     return Err(AsmError::new(line, "branches cannot be packed"));
                 };
-                let (Instr::Op { alu: Some(alu), mem: None }, Instr::Op { alu: None, mem: Some(mem) }) =
-                    (a, c)
+                let (
+                    Instr::Op {
+                        alu: Some(alu),
+                        mem: None,
+                    },
+                    Instr::Op {
+                        alu: None,
+                        mem: Some(mem),
+                    },
+                ) = (a, c)
                 else {
                     return Err(AsmError::new(
                         line,
@@ -655,7 +680,13 @@ mod tests {
         .unwrap();
         assert_eq!(p.len(), 16);
         assert_eq!(p.symbol("start"), Some(0));
-        assert_eq!(p[0], Instr::Mvi(MviPiece { imm: 5, dst: Reg::R1 }));
+        assert_eq!(
+            p[0],
+            Instr::Mvi(MviPiece {
+                imm: 5,
+                dst: Reg::R1
+            })
+        );
         assert_eq!(
             p[4],
             Instr::mem(MemPiece::load(
@@ -711,7 +742,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p[0].target(), Some(Target::Abs(3)));
-        assert_eq!(p[3], Instr::JumpInd(JumpIndPiece { base: Reg::RA, disp: 0 }));
+        assert_eq!(
+            p[3],
+            Instr::JumpInd(JumpIndPiece {
+                base: Reg::RA,
+                disp: 0
+            })
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Compiler pipeline speed: front end, MIPS backend, CC backend, and
 //! instruction encode/decode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mips_bench::harness::{BenchmarkId, Criterion};
+use mips_bench::{criterion_group, criterion_main};
 use mips_core::encode::{decode, encode};
 use mips_hll::{compile_cc, compile_mips, CcGenOptions, CodegenOptions};
 

@@ -2,7 +2,8 @@
 //! is part of every compilation, we must concentrate on solutions which
 //! have acceptable run-time performance") and per-level output quality.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mips_bench::harness::{BenchmarkId, Criterion};
+use mips_bench::{criterion_group, criterion_main};
 use mips_hll::{compile_mips, CodegenOptions};
 use mips_reorg::{reorganize, ReorgOptions};
 

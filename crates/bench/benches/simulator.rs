@@ -2,8 +2,9 @@
 //! kernels on the five-stage-machine model, plus the pipeline-feature
 //! overheads (hazard checking, byte addressing).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mips_bench::build;
+use mips_bench::harness::{BenchmarkId, Criterion, Throughput};
+use mips_bench::{criterion_group, criterion_main};
 use mips_hll::{compile_mips, CodegenOptions, MachineTarget};
 use mips_reorg::{reorganize, ReorgOptions};
 use mips_sim::{Machine, MachineConfig};

@@ -2,8 +2,9 @@
 //! regeneration (the `tables` binary prints the values; this tracks how
 //! long each experiment takes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mips_analysis as analysis;
+use mips_bench::harness::Criterion;
+use mips_bench::{criterion_group, criterion_main};
 use mips_hll::MachineTarget;
 
 fn per_table(c: &mut Criterion) {
@@ -20,7 +21,9 @@ fn per_table(c: &mut Criterion) {
     });
     g.bench_function("table5_strategies", |b| b.iter(analysis::bool_cost::table5));
     g.bench_function("table9_byte_costs", |b| b.iter(analysis::byte_cost::table9));
-    g.bench_function("table11_reorg_levels", |b| b.iter(analysis::table11::measure));
+    g.bench_function("table11_reorg_levels", |b| {
+        b.iter(analysis::table11::measure)
+    });
     let fast: &[&str] = &["scanner", "wordcount", "strings", "formatter", "sieve"];
     g.bench_function("table7_refs_word", |b| {
         b.iter(|| analysis::refs::measure(MachineTarget::Word, Some(fast)))

@@ -102,7 +102,14 @@ fn main() {
         section("Register allocation payoff (§2.2)");
         println!(
             "{}",
-            analysis::regalloc::sweep(&["sort", "queens", "strings", "formatter", "sieve", "matmul"])
+            analysis::regalloc::sweep(&[
+                "sort",
+                "queens",
+                "strings",
+                "formatter",
+                "sieve",
+                "matmul"
+            ])
         );
     }
 

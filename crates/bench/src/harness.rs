@@ -1,0 +1,156 @@
+//! A minimal, dependency-free stand-in for the slice of the Criterion
+//! API the bench targets use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `iter`, throughput reporting).
+//!
+//! Each benchmark warms up briefly, then runs timed batches for a fixed
+//! wall-clock budget and reports the median per-iteration time. The
+//! numbers are indicative, not statistically rigorous — good enough to
+//! catch order-of-magnitude regressions in CI logs without an external
+//! crates dependency.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget before measurement starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Top-level driver (Criterion's entry object).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        println!("group {name}");
+        Group { throughput: None }
+    }
+}
+
+/// Throughput annotation: per-iteration element count.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier helper (Criterion's `BenchmarkId`).
+#[derive(Debug)]
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    /// An id built from a single parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> String {
+        p.to_string()
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct Group {
+    throughput: Option<u64>,
+}
+
+impl Group {
+    /// Sets the per-iteration element count for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        let Throughput::Elements(n) = t;
+        self.throughput = Some(n);
+    }
+
+    /// Accepted for API compatibility; the harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.to_string(), self.throughput);
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&id.to_string(), self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing for one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    per_iter_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times the closure: warm-up, then batched measurement until the
+    /// budget is exhausted.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Batch size aiming for ~10 batches within the budget.
+        let per_iter = warm_start.elapsed().as_nanos() / warm_iters.max(1) as u128;
+        let batch = (MEASURE_BUDGET.as_nanos() / 10 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.per_iter_ns
+                .push(t0.elapsed().as_nanos() / batch as u128);
+        }
+    }
+
+    fn report(&mut self, id: &str, throughput: Option<u64>) {
+        if self.per_iter_ns.is_empty() {
+            println!("  {id}: no samples");
+            return;
+        }
+        self.per_iter_ns.sort_unstable();
+        let median = self.per_iter_ns[self.per_iter_ns.len() / 2];
+        match throughput {
+            Some(elems) if median > 0 => {
+                let per_sec = elems as f64 * 1e9 / median as f64;
+                println!("  {id}: {median} ns/iter ({per_sec:.0} elem/s)");
+            }
+            _ => println!("  {id}: {median} ns/iter"),
+        }
+    }
+}
+
+/// Declares the benchmark list (Criterion macro shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` (Criterion macro shape).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

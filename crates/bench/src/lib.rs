@@ -11,6 +11,8 @@
 //!
 //! The helpers here are shared between the two.
 
+pub mod harness;
+
 use mips_hll::{compile_mips, CodegenOptions};
 use mips_reorg::{reorganize, ReorgOptions};
 use mips_sim::{Machine, Profile};

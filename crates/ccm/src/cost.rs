@@ -82,7 +82,13 @@ mod tests {
             }),
             4
         );
-        assert_eq!(w.of(&CcInstr::CondSet { cond: CcCond::Eq, dst: 0 }), 1);
+        assert_eq!(
+            w.of(&CcInstr::CondSet {
+                cond: CcCond::Eq,
+                dst: 0
+            }),
+            1
+        );
         assert_eq!(w.of(&CcInstr::MoveImm { imm: 0, dst: 0 }), 1);
     }
 

@@ -340,7 +340,10 @@ impl CcInstr {
     pub fn is_branch(&self) -> bool {
         matches!(
             self,
-            CcInstr::CondBranch { .. } | CcInstr::Branch { .. } | CcInstr::Call { .. } | CcInstr::Ret
+            CcInstr::CondBranch { .. }
+                | CcInstr::Branch { .. }
+                | CcInstr::Call { .. }
+                | CcInstr::Ret
         )
     }
 
@@ -684,7 +687,14 @@ mod tests {
 
     #[test]
     fn cond_negate() {
-        for c in [CcCond::Eq, CcCond::Ne, CcCond::Lt, CcCond::Le, CcCond::Gt, CcCond::Ge] {
+        for c in [
+            CcCond::Eq,
+            CcCond::Ne,
+            CcCond::Lt,
+            CcCond::Le,
+            CcCond::Gt,
+            CcCond::Ge,
+        ] {
             assert_eq!(c.negate().negate(), c);
         }
     }

@@ -7,8 +7,7 @@
 
 use crate::cost::CostWeights;
 use crate::isa::{
-    CcAddr, CcAluOp, CcBase, CcCond, CcInstr, CcOperand, CcProgram, CcReg, CcTarget, CC_REGS,
-    CC_SP,
+    CcAddr, CcAluOp, CcBase, CcCond, CcInstr, CcOperand, CcProgram, CcReg, CcTarget, CC_REGS, CC_SP,
 };
 use crate::policy::CcPolicy;
 use std::collections::HashMap;
@@ -372,10 +371,7 @@ impl CcMachine {
             }
             CcInstr::Ret => {
                 self.stats.branches += 1;
-                next = self
-                    .call_stack
-                    .pop()
-                    .ok_or(CcRunError::EmptyCallStack)?;
+                next = self.call_stack.pop().ok_or(CcRunError::EmptyCallStack)?;
             }
             CcInstr::PutC => self.output.push(self.regs[0] as u8),
             CcInstr::PutInt => self
@@ -606,7 +602,7 @@ mod tests {
                 cond: CcCond::Ne,
                 target: CcTarget::Abs(0),
             }, // 4 (not taken)
-            CcInstr::Halt, // 0
+            CcInstr::Halt,                       // 0
         ]);
         let mut m = CcMachine::new(p, CcPolicy::S360);
         m.run().unwrap();

@@ -121,7 +121,12 @@ pub fn analyze_savings(p: &CcProgram) -> SavingsReport {
 
 /// Scans forward from the compare at `i` within its basic block: is the
 /// register `r` read again before being overwritten?
-fn value_reused(instrs: &[CcInstr], leaders: &HashSet<usize>, i: usize, r: crate::isa::CcReg) -> bool {
+fn value_reused(
+    instrs: &[CcInstr],
+    leaders: &HashSet<usize>,
+    i: usize,
+    r: crate::isa::CcReg,
+) -> bool {
     for (k, ins) in instrs.iter().enumerate().skip(i + 1) {
         if leaders.contains(&k) {
             return false;

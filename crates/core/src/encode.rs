@@ -347,8 +347,16 @@ pub fn decode(bits: u64) -> Result<Instr, DecodeError> {
         OPC_OP => {
             let has_alu = r.take(1) == 1;
             let has_mem = r.take(1) == 1;
-            let alu = if has_alu { Some(take_alu(&mut r)?) } else { None };
-            let mem = if has_mem { Some(take_mem(&mut r)?) } else { None };
+            let alu = if has_alu {
+                Some(take_alu(&mut r)?)
+            } else {
+                None
+            };
+            let mem = if has_mem {
+                Some(take_mem(&mut r)?)
+            } else {
+                None
+            };
             Ok(Instr::Op { alu, mem })
         }
         OPC_SETCOND => {
@@ -562,7 +570,10 @@ mod tests {
         w.put(2, 3); // BaseShifted
         w.put(4, 1); // base r1
         w.put(3, 0); // shift 0 — invalid
-        assert_eq!(decode(w.bits), Err(DecodeError::BadField("base shift amount")));
+        assert_eq!(
+            decode(w.bits),
+            Err(DecodeError::BadField("base shift amount"))
+        );
     }
 
     #[test]
@@ -654,8 +665,8 @@ pub fn decode_program(image: &[u64]) -> Result<crate::Program, DecodeError> {
         }
         pos += words;
         bytes.truncate(len);
-        let name = String::from_utf8(bytes)
-            .map_err(|_| DecodeError::BadField("symbol name encoding"))?;
+        let name =
+            String::from_utf8(bytes).map_err(|_| DecodeError::BadField("symbol name encoding"))?;
         p.define_symbol(name, addr);
     }
     Ok(p)

@@ -8,11 +8,11 @@
 //! so an operate word without a memory piece leaves its data-memory cycle
 //! *free* for DMA or cache write-backs.
 
+use crate::piece::CallPiece;
 use crate::piece::{
     AluPiece, CmpBranchPiece, JumpIndPiece, JumpPiece, MemPiece, MviPiece, Operand, SetCondPiece,
     TrapPiece,
 };
-use crate::piece::CallPiece;
 use crate::program::Label;
 use crate::reg::Reg;
 use std::fmt;
@@ -295,6 +295,36 @@ impl Instr {
             Instr::JumpInd(_) => crate::delay::INDIRECT_DELAY,
             _ => 0,
         }
+    }
+
+    /// Destination register of a *delayed* load piece: the register that
+    /// is architecturally stale for [`crate::delay::LOAD_DELAY`] slot(s)
+    /// after this instruction issues. `None` for stores, long immediates
+    /// (which forward like ALU results), and non-memory instructions.
+    pub fn delayed_load_dst(&self) -> Option<Reg> {
+        match self {
+            Instr::Op { mem: Some(m), .. } if m.is_delayed_load() => m.writes(),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction transfers control with delay slots — the
+    /// class the reorganizer must keep out of other transfers' shadows.
+    pub fn is_delayed_transfer(&self) -> bool {
+        self.branch_delay() > 0
+    }
+
+    /// Whether straight-line execution can continue past this instruction
+    /// (and past its delay shadow, for transfers): true for ordinary
+    /// instructions, conditional branches (fall-through path), calls
+    /// (return path re-enters after the shadow), and traps (native
+    /// services resume at the next word). False for unconditional jumps,
+    /// indirect jumps, `rfe`, and `halt`.
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self,
+            Instr::Jump(_) | Instr::JumpInd(_) | Instr::Special(SpecialOp::Rfe) | Instr::Halt
+        )
     }
 
     /// Whether this instruction is a control-flow break (branch, jump,

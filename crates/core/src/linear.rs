@@ -229,7 +229,10 @@ impl LinearCode {
 
     /// Number of operations (excludes labels/symbols).
     pub fn op_count(&self) -> usize {
-        self.items.iter().filter(|i| matches!(i, Item::Op(_))).count()
+        self.items
+            .iter()
+            .filter(|i| matches!(i, Item::Op(_)))
+            .count()
     }
 
     /// Mutable access to the most recently pushed op (used by assemblers

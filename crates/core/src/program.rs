@@ -122,6 +122,45 @@ impl Program {
         self.instrs.iter().filter(|i| i.is_packed_pair()).count()
     }
 
+    /// Addresses whose code location escapes into data — everywhere an
+    /// indirect jump could land. Conservatively: every [`Instr::Lea`]
+    /// target, every named symbol, and every call's return point (the
+    /// word after the call's delay shadow, where the callee's `jmpi`
+    /// resumes). Sorted and deduplicated.
+    pub fn address_taken(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.symbols.values().copied().collect();
+        for (i, ins) in self.instrs.iter().enumerate() {
+            match ins {
+                Instr::Lea { target, .. } => {
+                    if let Some(a) = target.abs() {
+                        v.push(a);
+                    }
+                }
+                Instr::Call(_) => {
+                    v.push(i as u32 + 1 + crate::delay::BRANCH_DELAY);
+                }
+                _ => {}
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v.retain(|&a| (a as usize) < self.instrs.len());
+        v
+    }
+
+    /// Static entry points: address 0 (the reset/exception vector) plus
+    /// every named symbol. Sorted and deduplicated.
+    pub fn entry_points(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.symbols.values().copied().collect();
+        if !self.instrs.is_empty() {
+            v.push(0);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v.retain(|&a| (a as usize) < self.instrs.len());
+        v
+    }
+
     /// A human-readable listing with addresses.
     pub fn listing(&self) -> String {
         use fmt::Write as _;
@@ -210,10 +249,7 @@ impl ProgramBuilder {
         for ins in self.instrs {
             let resolved = match ins.target() {
                 Some(Target::Label(l)) => {
-                    let addr = *self
-                        .defs
-                        .get(&l)
-                        .ok_or(ResolveError::UndefinedLabel(l))?;
+                    let addr = *self.defs.get(&l).ok_or(ResolveError::UndefinedLabel(l))?;
                     ins.with_target(Target::Abs(addr))
                 }
                 _ => ins,

@@ -7,112 +7,174 @@ use mips_core::{
     MemMode, MemPiece, MviPiece, Operand, Reg, SetCondPiece, SpecialOp, SpecialReg, Target,
     TrapPiece, Width, WordAddr,
 };
-use proptest::prelude::*;
+use mips_qc::{Qc, Rng};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0usize..16).prop_map(|i| Reg::from_index(i).unwrap())
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::from_index(rng.usize(0..16)).unwrap()
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        (0u8..=15).prop_map(Operand::Small),
-    ]
+fn arb_operand(rng: &mut Rng) -> Operand {
+    if rng.bool() {
+        Operand::Reg(arb_reg(rng))
+    } else {
+        Operand::Small(rng.u8(0..16))
+    }
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    (0u8..16).prop_map(|c| Cond::from_code(c).unwrap())
+fn arb_cond(rng: &mut Rng) -> Cond {
+    Cond::from_code(rng.u8(0..16)).unwrap()
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    (0u8..AluOp::ALL.len() as u8).prop_map(|c| AluOp::from_code(c).unwrap())
+fn arb_alu_op(rng: &mut Rng) -> AluOp {
+    AluOp::from_code(rng.u8(0..AluOp::ALL.len() as u8)).unwrap()
 }
 
-fn arb_alu() -> impl Strategy<Value = AluPiece> {
-    (arb_alu_op(), arb_operand(), arb_operand(), arb_reg())
-        .prop_map(|(op, a, b, dst)| AluPiece { op, a, b, dst })
+fn arb_alu(rng: &mut Rng) -> AluPiece {
+    AluPiece {
+        op: arb_alu_op(rng),
+        a: arb_operand(rng),
+        b: arb_operand(rng),
+        dst: arb_reg(rng),
+    }
 }
 
-fn arb_mode() -> impl Strategy<Value = MemMode> {
-    prop_oneof![
-        (0u32..(1 << 24)).prop_map(|a| MemMode::Absolute(WordAddr::new(a))),
-        (arb_reg(), -32768i32..=32767).prop_map(|(base, disp)| MemMode::Based { base, disp }),
-        (arb_reg(), arb_reg()).prop_map(|(base, index)| MemMode::BasedIndexed { base, index }),
-        (arb_reg(), 1u8..=5).prop_map(|(base, shift)| MemMode::BaseShifted { base, shift }),
-    ]
+fn arb_mode(rng: &mut Rng) -> MemMode {
+    match rng.u8(0..4) {
+        0 => MemMode::Absolute(WordAddr::new(rng.u32(0..1 << 24))),
+        1 => MemMode::Based {
+            base: arb_reg(rng),
+            disp: rng.i32(-32768..32768),
+        },
+        2 => MemMode::BasedIndexed {
+            base: arb_reg(rng),
+            index: arb_reg(rng),
+        },
+        _ => MemMode::BaseShifted {
+            base: arb_reg(rng),
+            shift: rng.u8(1..6),
+        },
+    }
 }
 
-fn arb_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::Word), Just(Width::Byte)]
+fn arb_width(rng: &mut Rng) -> Width {
+    if rng.bool() {
+        Width::Word
+    } else {
+        Width::Byte
+    }
 }
 
-fn arb_mem() -> impl Strategy<Value = MemPiece> {
-    prop_oneof![
-        (arb_mode(), arb_reg(), arb_width())
-            .prop_map(|(mode, dst, width)| MemPiece::Load { mode, dst, width }),
-        (arb_mode(), arb_reg(), arb_width())
-            .prop_map(|(mode, src, width)| MemPiece::Store { mode, src, width }),
-        (0u32..(1 << 24), arb_reg()).prop_map(|(value, dst)| MemPiece::LoadImm { value, dst }),
-    ]
+fn arb_mem(rng: &mut Rng) -> MemPiece {
+    match rng.u8(0..3) {
+        0 => MemPiece::Load {
+            mode: arb_mode(rng),
+            dst: arb_reg(rng),
+            width: arb_width(rng),
+        },
+        1 => MemPiece::Store {
+            mode: arb_mode(rng),
+            src: arb_reg(rng),
+            width: arb_width(rng),
+        },
+        _ => MemPiece::LoadImm {
+            value: rng.u32(0..1 << 24),
+            dst: arb_reg(rng),
+        },
+    }
 }
 
-fn arb_target() -> impl Strategy<Value = Target> {
-    prop_oneof![
-        (0u32..(1 << 25)).prop_map(Target::Abs),
-        (0u32..(1 << 25)).prop_map(|i| Target::Label(Label::new(i))),
-    ]
+fn arb_target(rng: &mut Rng) -> Target {
+    if rng.bool() {
+        Target::Abs(rng.u32(0..1 << 25))
+    } else {
+        Target::Label(Label::new(rng.u32(0..1 << 25)))
+    }
 }
 
-fn arb_special() -> impl Strategy<Value = SpecialReg> {
-    (0u8..SpecialReg::ALL.len() as u8).prop_map(|c| SpecialReg::from_code(c).unwrap())
+fn arb_special(rng: &mut Rng) -> SpecialReg {
+    SpecialReg::from_code(rng.u8(0..SpecialReg::ALL.len() as u8)).unwrap()
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (proptest::option::of(arb_alu()), proptest::option::of(arb_mem()))
-            .prop_map(|(alu, mem)| Instr::Op { alu, mem }),
-        (arb_cond(), arb_operand(), arb_operand(), arb_reg())
-            .prop_map(|(cond, a, b, dst)| Instr::SetCond(SetCondPiece { cond, a, b, dst })),
-        (any::<u8>(), arb_reg()).prop_map(|(imm, dst)| Instr::Mvi(MviPiece { imm, dst })),
-        (arb_cond(), arb_operand(), arb_operand(), arb_target())
-            .prop_map(|(cond, a, b, target)| Instr::CmpBranch(CmpBranchPiece { cond, a, b, target })),
-        arb_target().prop_map(|target| Instr::Jump(JumpPiece { target })),
-        (arb_target(), arb_reg()).prop_map(|(target, link)| Instr::Call(CallPiece { target, link })),
-        (arb_target(), arb_reg()).prop_map(|(target, dst)| Instr::Lea { target, dst }),
-        (arb_reg(), -32768i32..=32767)
-            .prop_map(|(base, disp)| Instr::JumpInd(JumpIndPiece { base, disp })),
-        (0u16..4096).prop_map(|code| Instr::Trap(TrapPiece { code })),
-        (arb_special(), arb_reg())
-            .prop_map(|(sr, dst)| Instr::Special(SpecialOp::Read { sr, dst })),
-        (arb_special(), arb_operand())
-            .prop_map(|(sr, src)| Instr::Special(SpecialOp::Write { sr, src })),
-        Just(Instr::Special(SpecialOp::Rfe)),
-        Just(Instr::Halt),
-    ]
+fn arb_instr(rng: &mut Rng) -> Instr {
+    match rng.u8(0..13) {
+        0 => Instr::Op {
+            alu: if rng.bool() { Some(arb_alu(rng)) } else { None },
+            mem: if rng.bool() { Some(arb_mem(rng)) } else { None },
+        },
+        1 => Instr::SetCond(SetCondPiece {
+            cond: arb_cond(rng),
+            a: arb_operand(rng),
+            b: arb_operand(rng),
+            dst: arb_reg(rng),
+        }),
+        2 => Instr::Mvi(MviPiece {
+            imm: rng.u32(0..256) as u8,
+            dst: arb_reg(rng),
+        }),
+        3 => Instr::CmpBranch(CmpBranchPiece {
+            cond: arb_cond(rng),
+            a: arb_operand(rng),
+            b: arb_operand(rng),
+            target: arb_target(rng),
+        }),
+        4 => Instr::Jump(JumpPiece {
+            target: arb_target(rng),
+        }),
+        5 => Instr::Call(CallPiece {
+            target: arb_target(rng),
+            link: arb_reg(rng),
+        }),
+        6 => Instr::Lea {
+            target: arb_target(rng),
+            dst: arb_reg(rng),
+        },
+        7 => Instr::JumpInd(JumpIndPiece {
+            base: arb_reg(rng),
+            disp: rng.i32(-32768..32768),
+        }),
+        8 => Instr::Trap(TrapPiece {
+            code: rng.u32(0..4096) as u16,
+        }),
+        9 => Instr::Special(SpecialOp::Read {
+            sr: arb_special(rng),
+            dst: arb_reg(rng),
+        }),
+        10 => Instr::Special(SpecialOp::Write {
+            sr: arb_special(rng),
+            src: arb_operand(rng),
+        }),
+        11 => Instr::Special(SpecialOp::Rfe),
+        _ => Instr::Halt,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    #[test]
-    fn encode_decode_round_trip(i in arb_instr()) {
+#[test]
+fn encode_decode_round_trip() {
+    Qc::new("encode_decode_round_trip").cases(2048).run(|rng| {
+        let i = arb_instr(rng);
         let word = encode(&i);
         let back = decode(word).expect("well-formed instruction must decode");
-        prop_assert_eq!(back, i);
-    }
+        assert_eq!(back, i);
+    });
+}
 
-    #[test]
-    fn encoding_is_injective(a in arb_instr(), b in arb_instr()) {
+#[test]
+fn encoding_is_injective() {
+    Qc::new("encoding_is_injective").cases(2048).run(|rng| {
+        let a = arb_instr(rng);
+        let b = arb_instr(rng);
         if a != b {
-            prop_assert_ne!(encode(&a), encode(&b));
+            assert_ne!(encode(&a), encode(&b), "{a} vs {b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn decode_never_panics(bits in any::<u64>()) {
-        // Arbitrary bit patterns either decode to something or error; they
-        // must never panic. (Re-encoding a decoded value need not round-trip
-        // bit-for-bit because unused high bits are ignored.)
-        let _ = decode(bits);
-    }
+#[test]
+fn decode_never_panics() {
+    // Arbitrary bit patterns either decode to something or error; they
+    // must never panic. (Re-encoding a decoded value need not round-trip
+    // bit-for-bit because unused high bits are ignored.)
+    Qc::new("decode_never_panics").cases(4096).run(|rng| {
+        let _ = decode(rng.next_u64());
+    });
 }

@@ -357,7 +357,11 @@ impl<'p> CcGen<'p> {
                     HBinOp::Div => CcAluOp::Div,
                     HBinOp::Mod => CcAluOp::Rem,
                 };
-                self.emit(CcInstr::Alu { op: cop, src, dst: va });
+                self.emit(CcInstr::Alu {
+                    op: cop,
+                    src,
+                    dst: va,
+                });
                 if let CcOperand::Reg(r) = src {
                     self.release(r);
                 }
@@ -575,7 +579,11 @@ impl<'p> CcGen<'p> {
                     self.release(r);
                 }
                 self.release(va);
-                let cond = if sense { rel_cc(*op) } else { rel_cc(*op).negate() };
+                let cond = if sense {
+                    rel_cc(*op)
+                } else {
+                    rel_cc(*op).negate()
+                };
                 self.emit(CcInstr::CondBranch {
                     cond,
                     target: mips_ccm::CcTarget::Label(target),
@@ -871,8 +879,7 @@ impl<'p> CcGen<'p> {
                 // also built tables, but the chain is the baseline shape).
                 let lend = self.b.fresh_label();
                 let ldef = self.b.fresh_label();
-                let arm_labels: Vec<CcLabel> =
-                    arms.iter().map(|_| self.b.fresh_label()).collect();
+                let arm_labels: Vec<CcLabel> = arms.iter().map(|_| self.b.fresh_label()).collect();
                 let v = self.eval(selector);
                 for (i, (labels, _)) in arms.iter().enumerate() {
                     for &val in labels {
@@ -1003,16 +1010,31 @@ mod tests {
                found := (rec = key) or (i = 13);
                writeln(found)
              end.";
-        assert_eq!(run_with(src, CcBoolStrategy::FullEval, CcPolicy::S360), "1\n");
-        assert_eq!(run_with(src, CcBoolStrategy::EarlyOut, CcPolicy::VAX), "1\n");
-        assert_eq!(run_with(src, CcBoolStrategy::CondSet, CcPolicy::M68000), "1\n");
+        assert_eq!(
+            run_with(src, CcBoolStrategy::FullEval, CcPolicy::S360),
+            "1\n"
+        );
+        assert_eq!(
+            run_with(src, CcBoolStrategy::EarlyOut, CcPolicy::VAX),
+            "1\n"
+        );
+        assert_eq!(
+            run_with(src, CcBoolStrategy::CondSet, CcPolicy::M68000),
+            "1\n"
+        );
     }
 
     #[test]
     fn cond_set_output_is_branch_free() {
         let src = "program t; var b: boolean; x: integer;
              begin x := 3; b := (x = 1) or (x = 3) end.";
-        let p = compile_cc(src, &CcGenOptions { strategy: CcBoolStrategy::CondSet }).unwrap();
+        let p = compile_cc(
+            src,
+            &CcGenOptions {
+                strategy: CcBoolStrategy::CondSet,
+            },
+        )
+        .unwrap();
         let main = p.symbol("main").unwrap() as usize;
         let body = &p.instrs()[main..];
         let cond_branches = body
@@ -1035,7 +1057,11 @@ mod tests {
             m.stats().compares
         };
         assert_eq!(count(CcBoolStrategy::FullEval), 2);
-        assert_eq!(count(CcBoolStrategy::EarlyOut), 1, "first term true: early out");
+        assert_eq!(
+            count(CcBoolStrategy::EarlyOut),
+            1,
+            "first term true: early out"
+        );
     }
 
     #[test]
@@ -1054,7 +1080,10 @@ mod tests {
                def(1, 1, 1, 1);
                if pflat[10 + 1 + 8 * 9] then writeln('ok')
              end.";
-        assert_eq!(run_with(src, CcBoolStrategy::EarlyOut, CcPolicy::VAX), "ok\n");
+        assert_eq!(
+            run_with(src, CcBoolStrategy::EarlyOut, CcPolicy::VAX),
+            "ok\n"
+        );
     }
 
     #[test]
@@ -1065,6 +1094,9 @@ mod tests {
                if n <= 1 then fact := 1 else fact := n * fact(n - 1)
              end;
              begin writeln(fact(6)) end.";
-        assert_eq!(run_with(src, CcBoolStrategy::EarlyOut, CcPolicy::S360), "720\n");
+        assert_eq!(
+            run_with(src, CcBoolStrategy::EarlyOut, CcPolicy::S360),
+            "720\n"
+        );
     }
 }

@@ -574,10 +574,9 @@ mod tests {
 
     #[test]
     fn infinite_loop_hits_step_limit() {
-        let prog = crate::front_end(
-            "program t; var x: integer; begin while true do x := x + 1 end.",
-        )
-        .unwrap();
+        let prog =
+            crate::front_end("program t; var x: integer; begin while true do x := x + 1 end.")
+                .unwrap();
         let mut i = Interp::new(&prog);
         i.limit = 10_000;
         assert_eq!(i.run(), Err(InterpError::StepLimit));

@@ -167,9 +167,17 @@ mod tests {
         assert_eq!(size_units(t, &Ty::Int), 1);
         assert_eq!(size_units(t, &Ty::Char), 1, "unpacked chars take a word");
         assert_eq!(size_units(t, &arr(Ty::Char, 80, false)), 80);
-        assert_eq!(size_units(t, &arr(Ty::Char, 80, true)), 20, "packed: 4/word");
+        assert_eq!(
+            size_units(t, &arr(Ty::Char, 80, true)),
+            20,
+            "packed: 4/word"
+        );
         assert_eq!(size_units(t, &arr(Ty::Char, 81, true)), 21);
-        assert_eq!(size_units(t, &arr(Ty::Int, 10, true)), 10, "packed ints stay words");
+        assert_eq!(
+            size_units(t, &arr(Ty::Int, 10, true)),
+            10,
+            "packed ints stay words"
+        );
     }
 
     #[test]
@@ -177,7 +185,11 @@ mod tests {
         let t = MachineTarget::Byte;
         assert_eq!(size_units(t, &Ty::Int), 4);
         assert_eq!(size_units(t, &Ty::Char), 1, "byte-allocated chars");
-        assert_eq!(size_units(t, &arr(Ty::Char, 80, false)), 80, "bytes even unpacked");
+        assert_eq!(
+            size_units(t, &arr(Ty::Char, 80, false)),
+            80,
+            "bytes even unpacked"
+        );
         assert_eq!(size_units(t, &arr(Ty::Int, 10, false)), 40);
     }
 
@@ -189,7 +201,7 @@ mod tests {
         let b = size_units(MachineTarget::Byte, &arr(Ty::Char, 100, false));
         assert_eq!(w, 100);
         assert_eq!(b, 100); // bytes
-        // compare in bytes:
+                            // compare in bytes:
         assert_eq!(w * 4, 400);
     }
 

@@ -107,9 +107,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let s = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = src[s..i].to_ascii_lowercase();

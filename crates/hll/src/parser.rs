@@ -141,31 +141,30 @@ impl<'a> Parser<'a> {
         let is_func = matches!(self.bump(), Tok::Function);
         let name = self.ident()?;
         let mut params = Vec::new();
-        if self.eat(&Tok::LParen)
-            && !self.eat(&Tok::RParen) {
-                loop {
-                    let by_ref = self.eat(&Tok::Var);
-                    let pline = self.line();
-                    let mut names = vec![self.ident()?];
-                    while self.eat(&Tok::Comma) {
-                        names.push(self.ident()?);
-                    }
-                    self.expect(&Tok::Colon)?;
-                    let ty = self.type_expr()?;
-                    for n in names {
-                        params.push(Param {
-                            name: n,
-                            ty: ty.clone(),
-                            by_ref,
-                            line: pline,
-                        });
-                    }
-                    if !self.eat(&Tok::Semi) {
-                        break;
-                    }
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                let by_ref = self.eat(&Tok::Var);
+                let pline = self.line();
+                let mut names = vec![self.ident()?];
+                while self.eat(&Tok::Comma) {
+                    names.push(self.ident()?);
                 }
-                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.type_expr()?;
+                for n in names {
+                    params.push(Param {
+                        name: n,
+                        ty: ty.clone(),
+                        by_ref,
+                        line: pline,
+                    });
+                }
+                if !self.eat(&Tok::Semi) {
+                    break;
+                }
             }
+            self.expect(&Tok::RParen)?;
+        }
         let ret = if is_func {
             self.expect(&Tok::Colon)?;
             Some(self.type_expr()?)
@@ -300,7 +299,10 @@ impl<'a> Parser<'a> {
                     if !matches!(self.peek(), Tok::Semi | Tok::Else | Tok::End) {
                         return Err(CompileError::new(
                             self.line(),
-                            format!("expected `;`, `else`, or `end` in case, found {}", self.peek()),
+                            format!(
+                                "expected `;`, `else`, or `end` in case, found {}",
+                                self.peek()
+                            ),
                         ));
                     }
                 }
@@ -656,7 +658,10 @@ mod tests {
         let Stmt::Assign { e, .. } = &p.main[0] else {
             panic!()
         };
-        let Expr::Bin { op: BinOp::Add, b, .. } = e else {
+        let Expr::Bin {
+            op: BinOp::Add, b, ..
+        } = e
+        else {
             panic!("expected + at top: {e:?}")
         };
         assert!(matches!(**b, Expr::Bin { op: BinOp::Mul, .. }));
@@ -664,8 +669,7 @@ mod tests {
 
     #[test]
     fn relational_binds_loosest() {
-        let p =
-            parse_src("program p; var b: boolean; begin b := (1 = 2) or (3 = 4) end.").unwrap();
+        let p = parse_src("program p; var b: boolean; begin b := (1 = 2) or (3 = 4) end.").unwrap();
         let Stmt::Assign { e, .. } = &p.main[0] else {
             panic!()
         };

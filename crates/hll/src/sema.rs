@@ -98,10 +98,7 @@ pub fn check(ast: &ast::Program) -> CResult<HProgram> {
                     if !p.by_ref && !ty.is_scalar() {
                         return Err(CompileError::new(
                             p.line,
-                            format!(
-                                "array parameter `{}` must be a var parameter",
-                                p.name
-                            ),
+                            format!("array parameter `{}` must be a var parameter", p.name),
                         ));
                     }
                     params.push(HParam {
@@ -176,7 +173,10 @@ impl Checker {
             || name == "write"
             || name == "writeln"
         {
-            return Err(CompileError::new(line, format!("`{name}` already declared")));
+            return Err(CompileError::new(
+                line,
+                format!("`{name}` already declared"),
+            ));
         }
         Ok(())
     }
@@ -241,7 +241,10 @@ impl Checker {
                 .ok_or_else(|| CompileError::new(line, format!("`{n}` is not a constant"))),
             ast::Expr::Neg(inner, _) => match self.eval_const(inner)? {
                 ConstVal::Int(v) => Ok(ConstVal::Int(-v)),
-                _ => Err(CompileError::new(line, "cannot negate non-integer constant")),
+                _ => Err(CompileError::new(
+                    line,
+                    "cannot negate non-integer constant",
+                )),
             },
             ast::Expr::Bin { op, a, b, .. } => {
                 let (ConstVal::Int(x), ConstVal::Int(y)) =
@@ -294,7 +297,10 @@ impl Checker {
                     }
                 }
                 ast::Decl::Type { line, .. } => {
-                    return Err(CompileError::new(*line, "local type declarations unsupported"))
+                    return Err(CompileError::new(
+                        *line,
+                        "local type declarations unsupported",
+                    ))
                 }
                 ast::Decl::Routine(nested) => {
                     return Err(CompileError::new(
@@ -341,9 +347,9 @@ impl<'a> Scope<'a> {
     fn declare_local_unique(&self, name: &str, line: usize) -> CResult<()> {
         if self.local_idx.contains_key(name)
             || self.local_consts.contains_key(name)
-            || self.sig().is_some_and(|s| {
-                s.params.iter().any(|p| p.name == name) || s.name == name
-            })
+            || self
+                .sig()
+                .is_some_and(|s| s.params.iter().any(|p| p.name == name) || s.name == name)
         {
             return Err(CompileError::new(
                 line,
@@ -407,11 +413,7 @@ impl<'a> Scope<'a> {
                     Some(e) => vec![self.stmt(e)?],
                     None => Vec::new(),
                 };
-                Ok(HStmt::If {
-                    cond: c,
-                    then,
-                    els,
-                })
+                Ok(HStmt::If { cond: c, then, els })
             }
             ast::Stmt::While { cond, body, line } => {
                 let c = self.expr(cond)?;
@@ -521,10 +523,7 @@ impl<'a> Scope<'a> {
                                 Ty::Int | Ty::Bool => out.push(HWriteArg::Int(he)),
                                 Ty::Char => out.push(HWriteArg::Char(he)),
                                 Ty::Array(_) => {
-                                    return Err(CompileError::new(
-                                        *line,
-                                        "cannot write an array",
-                                    ))
+                                    return Err(CompileError::new(*line, "cannot write an array"))
                                 }
                             }
                         }
@@ -562,7 +561,10 @@ impl<'a> Scope<'a> {
         if let Some(&i) = self.ck.global_idx.get(name) {
             return Ok((VarRef::Global(i), self.ck.globals[i].ty.clone(), false));
         }
-        Err(CompileError::new(line, format!("unknown variable `{name}`")))
+        Err(CompileError::new(
+            line,
+            format!("unknown variable `{name}`"),
+        ))
     }
 
     fn lvalue(&mut self, d: &ast::Designator) -> CResult<HLValue> {
@@ -694,7 +696,10 @@ impl<'a> Scope<'a> {
             ast::Expr::Index(d) => {
                 let lv = self.lvalue(d)?;
                 if !lv.ty.is_scalar() {
-                    return Err(CompileError::new(line, "partial array indexing in expression"));
+                    return Err(CompileError::new(
+                        line,
+                        "partial array indexing in expression",
+                    ));
                 }
                 Ok(HExpr::Load(Box::new(lv)))
             }
@@ -843,7 +848,13 @@ mod tests {
         let HStmt::Assign(_, ref e) = main.body[2] else {
             panic!()
         };
-        assert!(matches!(e, HExpr::BoolBin { op: HBoolOp::Or, .. }));
+        assert!(matches!(
+            e,
+            HExpr::BoolBin {
+                op: HBoolOp::Or,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -956,18 +967,17 @@ mod tests {
     #[test]
     fn duplicate_declarations_rejected() {
         assert!(hir_of("program t; var x: integer; var x: char; begin end.").is_err());
-        assert!(hir_of(
-            "program t; procedure p; begin end; procedure p; begin end; begin end."
-        )
-        .is_err());
+        assert!(
+            hir_of("program t; procedure p; begin end; procedure p; begin end; begin end.")
+                .is_err()
+        );
     }
 
     #[test]
     fn for_variable_must_be_integer() {
-        assert!(hir_of(
-            "program t; var c: char; begin for c := 1 to 3 do writeln(1) end."
-        )
-        .is_err());
+        assert!(
+            hir_of("program t; var c: char; begin for c := 1 to 3 do writeln(1) end.").is_err()
+        );
     }
 }
 

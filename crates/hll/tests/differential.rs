@@ -321,11 +321,7 @@ fn reorganized_code_is_hazard_free_and_smaller() {
         };
         let mut m = Machine::with_config(full.program, cfg);
         m.run().unwrap();
-        assert!(
-            m.hazards().is_empty(),
-            "{name}: hazards {:?}",
-            m.hazards()
-        );
+        assert!(m.hazards().is_empty(), "{name}: hazards {:?}", m.hazards());
     }
 }
 

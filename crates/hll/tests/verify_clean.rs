@@ -1,0 +1,48 @@
+//! Compiled code, after reorganization, passes the static verifier for
+//! every codegen style the compiler offers — the backend may emit
+//! whatever unscheduled pieces it likes, but the reorganizer + verifier
+//! pair must agree the final program respects every pipeline constraint.
+
+use mips_hll::{compile_mips, BoolValueStrategy, CodegenOptions};
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_verify::verify;
+use mips_workloads::corpus;
+
+fn codegen_styles() -> Vec<(&'static str, CodegenOptions)> {
+    vec![
+        ("standard", CodegenOptions::standard()),
+        ("pcc", CodegenOptions::pcc()),
+        (
+            "branching-bools",
+            CodegenOptions {
+                bool_value: BoolValueStrategy::Branching,
+                ..CodegenOptions::standard()
+            },
+        ),
+        (
+            "no-promotion",
+            CodegenOptions {
+                promote_locals: 0,
+                ..CodegenOptions::standard()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn compiled_workloads_are_verifier_clean_at_every_level() {
+    for w in corpus() {
+        for (style, cg) in codegen_styles() {
+            let lc = compile_mips(w.source, &cg).expect("compiles");
+            for (level, opts) in ReorgOptions::LEVELS {
+                let out = reorganize(&lc, opts).expect("reorganizes");
+                let report = verify(&out.program);
+                assert!(
+                    !report.has_errors(),
+                    "{} ({style}) at level '{level}' fails verification:\n{report}",
+                    w.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! # mips-qc — deterministic property-testing support
+//!
+//! A tiny, dependency-free stand-in for the parts of `proptest`/`rand`
+//! that the workspace test suites need: a fast deterministic PRNG
+//! ([`Rng`], SplitMix64) and a case runner ([`Qc`]) that reports the
+//! failing seed so a shrunk repro can be pinned as a regression test.
+//!
+//! The harness is deliberately small: generators are plain closures over
+//! `&mut Rng`, and "shrinking" is replaced by determinism — every failure
+//! message names the seed and case index, and [`Qc::replay`] re-runs a
+//! single case exactly.
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_qc::Qc;
+//!
+//! Qc::new("addition commutes").cases(256).run(|rng| {
+//!     let a = rng.u32(0..1000);
+//!     let b = rng.u32(0..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// SplitMix64: tiny, fast, and statistically solid for test-case
+/// generation (it seeds xoshiro in the reference implementations).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Multiply-shift bounded generation; bias is negligible for
+        // test-sized spans (< 2^32).
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi
+    }
+
+    /// Uniform `u32` in `[range.start, range.end)`.
+    pub fn u32(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.u64(range.start as u64..range.end as u64) as u32
+    }
+
+    /// Uniform `u8` in `[range.start, range.end)`.
+    pub fn u8(&mut self, range: std::ops::Range<u8>) -> u8 {
+        self.u64(range.start as u64..range.end as u64) as u8
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    pub fn usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform `i32` in `[range.start, range.end)`.
+    pub fn i32(&mut self, range: std::ops::Range<i32>) -> i32 {
+        let span = (range.end as i64 - range.start as i64) as u64;
+        assert!(span > 0, "empty range");
+        (range.start as i64 + self.u64(0..span) as i64) as i32
+    }
+
+    /// A uniformly random `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `num / den`.
+    pub fn ratio(&mut self, num: u64, den: u64) -> bool {
+        self.u64(0..den) < num
+    }
+
+    /// Picks an element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.usize(0..xs.len())]
+    }
+
+    /// Picks an index according to integer weights (proptest's
+    /// `prop_oneof![w => …]` analogue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weights must not all be zero");
+        let mut roll = self.u64(0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w as u64 {
+                return i;
+            }
+            roll -= w as u64;
+        }
+        unreachable!("roll exhausted weights")
+    }
+
+    /// Generates a vector with a length drawn from `len` and elements
+    /// from `gen`.
+    pub fn vec<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut gen: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| gen(self)).collect()
+    }
+}
+
+/// Deterministic property-test runner.
+///
+/// Each case derives its own PRNG from `(base_seed, case_index)`, so a
+/// failure is reproducible in isolation with [`Qc::replay`].
+#[derive(Debug, Clone)]
+pub struct Qc {
+    name: &'static str,
+    cases: u64,
+    base_seed: u64,
+}
+
+impl Qc {
+    /// Default number of cases per property.
+    pub const DEFAULT_CASES: u64 = 256;
+
+    /// Creates a runner for the named property.
+    pub fn new(name: &'static str) -> Qc {
+        // Per-property seed: properties exercise different cases, and the
+        // whole run stays reproducible because the hash is deterministic.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Qc {
+            name,
+            cases: Qc::DEFAULT_CASES,
+            base_seed: h,
+        }
+    }
+
+    /// Sets the number of generated cases.
+    pub fn cases(mut self, n: u64) -> Qc {
+        self.cases = n;
+        self
+    }
+
+    /// Overrides the base seed (for pinning regressions).
+    pub fn seed(mut self, seed: u64) -> Qc {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Derives the per-case PRNG.
+    fn case_rng(&self, case: u64) -> Rng {
+        Rng::new(self.base_seed ^ case.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Runs the property over every case; panics (with seed and case
+    /// index) on the first failure.
+    pub fn run(&self, mut property: impl FnMut(&mut Rng)) {
+        for case in 0..self.cases {
+            let mut rng = self.case_rng(case);
+            let result = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+            if let Err(payload) = result {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!(
+                    "property '{}' failed at case {case}/{} (seed {:#x}): {msg}\n\
+                     replay with Qc::new({:?}).seed({:#x}).replay({case}, …)",
+                    self.name, self.cases, self.base_seed, self.name, self.base_seed,
+                );
+            }
+        }
+    }
+
+    /// Re-runs exactly one case (for debugging a reported failure).
+    pub fn replay(&self, case: u64, mut property: impl FnMut(&mut Rng)) {
+        let mut rng = self.case_rng(case);
+        property(&mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.u32(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.i32(-5..6);
+            assert!((-5..6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn weighted_covers_all_arms_and_skips_zero() {
+        let mut rng = Rng::new(11);
+        let mut hits = [0u32; 3];
+        for _ in 0..10_000 {
+            hits[rng.weighted(&[4, 0, 1])] += 1;
+        }
+        assert!(hits[0] > hits[2]);
+        assert_eq!(hits[1], 0);
+        assert!(hits[2] > 0);
+    }
+
+    #[test]
+    fn runner_reports_seed_on_failure() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            Qc::new("always fails").cases(3).run(|_| panic!("boom"));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always fails"));
+        assert!(msg.contains("boom"));
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = Rng::new(3);
+        for _ in 0..100 {
+            let v = rng.vec(1..8, |r| r.bool());
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+}

@@ -115,10 +115,7 @@ impl FInstr {
 /// shadow hazards.
 pub fn reorganize(lc: &LinearCode, opts: ReorgOptions) -> Result<ReorgOutput, ReorgError> {
     let blocks = split_blocks(lc);
-    let scheduled: Vec<ScheduledBlock> = blocks
-        .iter()
-        .map(|b| schedule_block(b, opts))
-        .collect();
+    let scheduled: Vec<ScheduledBlock> = blocks.iter().map(|b| schedule_block(b, opts)).collect();
 
     let mut stats = ReorgStats {
         input_ops: lc.op_count(),
@@ -142,10 +139,7 @@ pub fn reorganize(lc: &LinearCode, opts: ReorgOptions) -> Result<ReorgOutput, Re
                 refclass: slot_refclass(&sb.body, slot),
                 delay_nop: false,
                 dead_after: Vec::new(),
-                no_touch: slot
-                    .ops
-                    .iter()
-                    .any(|&i| sb.body[i].meta.no_touch),
+                no_touch: slot.ops.iter().any(|&i| sb.body[i].meta.no_touch),
             })));
         }
         if let Some(t) = &sb.term {
@@ -195,9 +189,7 @@ pub fn reorganize(lc: &LinearCode, opts: ReorgOptions) -> Result<ReorgOutput, Re
     let mut refclass: Vec<Option<RefClass>> = Vec::new();
     for item in &items {
         match item {
-            FItem::Label(l) => b
-                .define(*l)
-                .map_err(ReorgError::Resolve)?,
+            FItem::Label(l) => b.define(*l).map_err(ReorgError::Resolve)?,
             FItem::Symbol(s) => symbols.push((s.clone(), b.here())),
             FItem::I(fi) => {
                 refclass.push(fi.refclass);
@@ -292,8 +284,7 @@ fn scheme3_hoist_fall_through(items: &mut Vec<FItem>, stats: &mut ReorgStats) {
                     && hoistable(&cand.instr)
                     && cand.instr.writes().iter().all(|w| {
                         branch.dead_after.contains(w)
-                            || target_idx
-                                .is_some_and(|t| crate::liveness::is_dead(&live, t, *w))
+                            || target_idx.is_some_and(|t| crate::liveness::is_dead(&live, t, *w))
                     })
             };
             if applies {
@@ -364,7 +355,9 @@ fn scheme2_duplicate_loop_head(
     let mut i = 0;
     while i + 1 < items.len() {
         let action: Option<(usize, Label)> = (|| {
-            let FItem::I(jump) = &items[i] else { return None };
+            let FItem::I(jump) = &items[i] else {
+                return None;
+            };
             let conditional = match &jump.instr {
                 Instr::Jump(_) => false,
                 Instr::CmpBranch(_) => true,
@@ -475,7 +468,10 @@ fn global_load_delay_fixup(items: &mut Vec<FItem>) -> Result<(), ReorgError> {
             Insert(usize),
             /// Swap a filled delay-slot load back out of the shadow
             /// (items indices of the branch and the load).
-            Unfill { branch_item: usize, load_item: usize },
+            Unfill {
+                branch_item: usize,
+                load_item: usize,
+            },
         }
         let mut fix: Option<Fix> = None;
         'scan: for (k, &p) in instr_positions.iter().enumerate() {
@@ -488,16 +484,16 @@ fn global_load_delay_fixup(items: &mut Vec<FItem>) -> Result<(), ReorgError> {
             //    unconditional jump — then the next item never follows).
             let prev = (k > 0).then(|| get(instr_positions[k - 1]));
             let prev2 = (k > 1).then(|| get(instr_positions[k - 2]));
-            let in_final_uncond_shadow = matches!(
-                prev.map(|f| &f.instr),
-                Some(Instr::Jump(_)) | Some(Instr::JumpInd(_))
-            ) && !matches!(prev.map(|f| &f.instr), Some(Instr::JumpInd(_)))
-                || matches!(prev2.map(|f| &f.instr), Some(Instr::JumpInd(_)));
+            let in_final_uncond_shadow =
+                matches!(
+                    prev.map(|f| &f.instr),
+                    Some(Instr::Jump(_)) | Some(Instr::JumpInd(_))
+                ) && !matches!(prev.map(|f| &f.instr), Some(Instr::JumpInd(_)))
+                    || matches!(prev2.map(|f| &f.instr), Some(Instr::JumpInd(_)));
             // Note: for a conditional branch shadow, fall-through is
             // still possible, so the check below applies.
-            let uncond_jump_shadow =
-                matches!(prev.map(|f| &f.instr), Some(Instr::Jump(_)))
-                    || matches!(prev2.map(|f| &f.instr), Some(Instr::JumpInd(_)));
+            let uncond_jump_shadow = matches!(prev.map(|f| &f.instr), Some(Instr::Jump(_)))
+                || matches!(prev2.map(|f| &f.instr), Some(Instr::JumpInd(_)));
             // Is this load sitting in the single delay slot of a direct
             // branch? If its value is read on any next path, the cheapest
             // correct repair is to move it back out of the shadow (the

@@ -31,7 +31,9 @@ impl Block {
     }
 
     fn is_trivial(&self) -> bool {
-        self.labels.is_empty() && self.symbols.is_empty() && self.body.is_empty()
+        self.labels.is_empty()
+            && self.symbols.is_empty()
+            && self.body.is_empty()
             && self.term.is_none()
     }
 

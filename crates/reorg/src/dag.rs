@@ -88,16 +88,9 @@ fn may_alias(a: &MemPiece, b: &MemPiece, stable: &dyn Fn(mips_core::Reg) -> bool
     };
     match (ma, mb) {
         (Absolute(x), Absolute(y)) => x == y,
-        (
-            Based {
-                base: b1,
-                disp: d1,
-            },
-            Based {
-                base: b2,
-                disp: d2,
-            },
-        ) if b1 == b2 && stable(b1) => d1 == d2,
+        (Based { base: b1, disp: d1 }, Based { base: b2, disp: d2 }) if b1 == b2 && stable(b1) => {
+            d1 == d2
+        }
         _ => true,
     }
 }

@@ -41,7 +41,10 @@ fn writes_mask(i: &Instr) -> RegSet {
 ///
 /// `instrs` is the final program order; branch targets must be
 /// [`Target::Abs`] or resolvable through `label_addr`.
-pub fn live_in(instrs: &[Instr], label_addr: impl Fn(mips_core::Label) -> Option<u32>) -> Vec<RegSet> {
+pub fn live_in(
+    instrs: &[Instr],
+    label_addr: impl Fn(mips_core::Label) -> Option<u32>,
+) -> Vec<RegSet> {
     let n = instrs.len();
     // Successor sets, following the delayed-branch shadow: the branch's
     // redirect applies after its delay slots, i.e. the *last shadow slot*

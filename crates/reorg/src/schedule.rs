@@ -269,8 +269,7 @@ fn fill_delay_from_body(sched: &mut ScheduledBlock, dag: &Dag) {
             // already provides the spacing.
             // (Only safe when the no-op was not needed for the
             // terminator's own latency — verify below by re-checking.)
-            let candidate_slots: Vec<SlotOps> =
-                sched.slots[..sched.slots.len() - 1].to_vec();
+            let candidate_slots: Vec<SlotOps> = sched.slots[..sched.slots.len() - 1].to_vec();
             let candidate_delay = sched.delay.clone();
             if verify_arrangement(sched, dag, &candidate_slots, &candidate_delay) {
                 sched.slots.pop();
@@ -288,8 +287,7 @@ fn fill_delay_from_body(sched: &mut ScheduledBlock, dag: &Dag) {
         if filled_list.len() > sched.delay.len() {
             break;
         }
-        let mut candidate_delay: Vec<Option<SlotOps>> =
-            filled_list.into_iter().map(Some).collect();
+        let mut candidate_delay: Vec<Option<SlotOps>> = filled_list.into_iter().map(Some).collect();
         candidate_delay.resize(sched.delay.len(), None);
 
         // A delayed load may not end up in the statically-untargetable
@@ -384,10 +382,7 @@ mod tests {
     #[test]
     fn packing_merges_alu_and_mem() {
         // Independent ALU and store pieces pack into one word.
-        let bs = sched(
-            "add r4,#1,r5\nst r2,2(r13)\nhalt\n",
-            ReorgOptions::PACK,
-        );
+        let bs = sched("add r4,#1,r5\nst r2,2(r13)\nhalt\n", ReorgOptions::PACK);
         assert_eq!(bs[0].slots.len(), 1);
         assert_eq!(bs[0].slots[0].ops.len(), 2);
         let i = slot_instr(&bs[0].body, &bs[0].slots[0]);
@@ -398,19 +393,13 @@ mod tests {
     #[test]
     fn packing_respects_dependences() {
         // The store stores the ALU result: cannot share its slot.
-        let bs = sched(
-            "add r4,#1,r2\nst r2,2(r13)\nhalt\n",
-            ReorgOptions::PACK,
-        );
+        let bs = sched("add r4,#1,r2\nst r2,2(r13)\nhalt\n", ReorgOptions::PACK);
         assert_eq!(bs[0].slots.len(), 2);
     }
 
     #[test]
     fn long_displacement_blocks_packing() {
-        let bs = sched(
-            "add r4,#1,r5\nst r2,500(r13)\nhalt\n",
-            ReorgOptions::PACK,
-        );
+        let bs = sched("add r4,#1,r5\nst r2,500(r13)\nhalt\n", ReorgOptions::PACK);
         assert_eq!(bs[0].slots.len(), 2, "500 exceeds the packed disp field");
     }
 
@@ -449,7 +438,10 @@ mod tests {
 
     #[test]
     fn load_feeding_branch_needs_distance_two() {
-        let bs = sched("ld 2(r13),r0\nbeq r0,#1,out\nout:\nhalt\n", ReorgOptions::FULL);
+        let bs = sched(
+            "ld 2(r13),r0\nbeq r0,#1,out\nout:\nhalt\n",
+            ReorgOptions::FULL,
+        );
         // load, nop, branch (+delay)
         assert_eq!(bs[0].slots.len(), 2);
         assert!(bs[0].slots[1].ops.is_empty());
@@ -522,11 +514,7 @@ mod tests {
             ",
             ReorgOptions::FULL,
         );
-        let order: Vec<usize> = bs[0]
-            .slots
-            .iter()
-            .flat_map(|s| s.ops.clone())
-            .collect();
+        let order: Vec<usize> = bs[0].slots.iter().flat_map(|s| s.ops.clone()).collect();
         assert_eq!(order, vec![0, 1, 2]);
     }
 

@@ -5,6 +5,11 @@
 //! value. When [`crate::MachineConfig::check_hazards`] is on, the machine
 //! records every such violation so tests can assert that reorganized code
 //! is hazard-free (and that deliberately broken code is not).
+//!
+//! The kinds mirror the static verifier's error rules (`mips-verify`
+//! V001–V003) one for one: a violation the simulator records on an
+//! executed path is the same violation the verifier proves absent on
+//! every static path.
 
 use mips_core::Reg;
 use std::fmt;
@@ -18,6 +23,13 @@ pub enum HazardKind {
         /// The register read too early.
         reg: Reg,
     },
+    /// A control transfer executed inside another transfer's delay
+    /// shadow (the pipeline has one branch-target slot; the second
+    /// transfer's behavior is undefined on real hardware).
+    BranchInShadow,
+    /// A control transfer executed inside an indirect jump's two-slot
+    /// shadow.
+    IndirectShadow,
 }
 
 /// A recorded violation.
@@ -33,7 +45,25 @@ impl fmt::Display for Hazard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             HazardKind::LoadUse { reg } => {
-                write!(f, "load-use hazard at {}: {} read before load commits", self.pc, reg)
+                write!(
+                    f,
+                    "load-use hazard at {}: {} read before load commits",
+                    self.pc, reg
+                )
+            }
+            HazardKind::BranchInShadow => {
+                write!(
+                    f,
+                    "control transfer at {} executed in a branch delay shadow",
+                    self.pc
+                )
+            }
+            HazardKind::IndirectShadow => {
+                write!(
+                    f,
+                    "control transfer at {} executed in an indirect jump's shadow",
+                    self.pc
+                )
             }
         }
     }
@@ -51,5 +81,19 @@ mod tests {
         };
         assert!(h.to_string().contains("r3"));
         assert!(h.to_string().contains("7"));
+    }
+
+    #[test]
+    fn display_names_shadow_kinds() {
+        let b = Hazard {
+            pc: 3,
+            kind: HazardKind::BranchInShadow,
+        };
+        assert!(b.to_string().contains("branch delay shadow"));
+        let i = Hazard {
+            pc: 4,
+            kind: HazardKind::IndirectShadow,
+        };
+        assert!(i.to_string().contains("indirect"));
     }
 }

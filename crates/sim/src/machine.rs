@@ -69,7 +69,8 @@ pub struct MachineConfig {
     /// Service traps natively (firmware services) instead of dispatching
     /// them to the exception vector.
     pub native_traps: bool,
-    /// Record load-use hazards.
+    /// Record software-interlock violations (load-use reads, control
+    /// transfers inside another transfer's delay shadow).
     pub check_hazards: bool,
     /// Abort after this many instructions (runaway guard).
     pub step_limit: u64,
@@ -98,6 +99,9 @@ pub enum StopReason {
 struct PendingBranch {
     slots: u32,
     target: u32,
+    /// Came from an indirect jump (two-slot shadow) — distinguishes
+    /// [`HazardKind::IndirectShadow`] from [`HazardKind::BranchInShadow`].
+    indirect: bool,
 }
 
 /// The MIPS machine.
@@ -138,9 +142,18 @@ impl std::fmt::Debug for Machine {
 /// What instruction execution asked the control unit to do.
 enum Flow {
     Next,
-    Branch { delay: u32, target: u32 },
-    JumpNow { pc: u32, pending: Vec<PendingBranch> },
-    Exception { cause: Cause, detail: u16 },
+    Branch {
+        delay: u32,
+        target: u32,
+    },
+    JumpNow {
+        pc: u32,
+        pending: Vec<PendingBranch>,
+    },
+    Exception {
+        cause: Cause,
+        detail: u16,
+    },
     Halt,
 }
 
@@ -424,6 +437,24 @@ impl Machine {
         }
     }
 
+    /// Records a control transfer issuing inside a pending transfer's
+    /// delay shadow (same predicate as `mips-verify` V002/V003: any
+    /// delayed transfer or non-falling-through instruction in a shadow
+    /// slot).
+    fn check_control_hazards(&mut self, instr: &Instr) {
+        if !self.cfg.check_hazards || self.pending.is_empty() {
+            return;
+        }
+        if instr.is_delayed_transfer() || !instr.falls_through() {
+            let kind = if self.pending.iter().any(|b| b.indirect) {
+                HazardKind::IndirectShadow
+            } else {
+                HazardKind::BranchInShadow
+            };
+            self.hazards.push(Hazard { pc: self.pc, kind });
+        }
+    }
+
     /// Performs a memory piece. Returns the load commit (if any) or the
     /// fault. Stores and the "extra read" of byte stores are performed
     /// here.
@@ -586,6 +617,7 @@ impl Machine {
         };
 
         self.check_read_hazards(&instr);
+        self.check_control_hazards(&instr);
 
         // Execute. Immediate writes commit at end of step; a load's write
         // is held one extra step.
@@ -602,12 +634,11 @@ impl Machine {
                     self.profile.packed += 1;
                 }
                 // Evaluate the ALU piece on pre-instruction state.
-                let alu_result: Option<(Reg, u32, bool)> = alu.as_ref().map(
-                    |AluPiece { op, a, b, dst }| {
+                let alu_result: Option<(Reg, u32, bool)> =
+                    alu.as_ref().map(|AluPiece { op, a, b, dst }| {
                         let (v, ovf) = op.eval(self.operand(*a), self.operand(*b), self.lo);
                         (*dst, v, ovf)
-                    },
-                );
+                    });
                 // The memory reference commits before any register write.
                 let mut fault: Option<(Cause, u16)> = None;
                 if let Some(m) = mem {
@@ -623,9 +654,10 @@ impl Machine {
                         Err(e) => fault = Some(e),
                     }
                     if m.references_memory() && fault.is_none() {
-                        self.profile
-                            .record_ref(self.refclass.get(self.pc as usize).copied().flatten(),
-                                matches!(m, MemPiece::Store { .. }));
+                        self.profile.record_ref(
+                            self.refclass.get(self.pc as usize).copied().flatten(),
+                            matches!(m, MemPiece::Store { .. }),
+                        );
                     }
                 }
                 match fault {
@@ -745,12 +777,15 @@ impl Machine {
                             pend.push(PendingBranch {
                                 slots: 1,
                                 target: self.ret[1],
+                                indirect: false,
                             });
                         }
                         if self.ret[2] != self.ret[1] + 1 {
+                            // Only an indirect jump reaches two slots deep.
                             pend.push(PendingBranch {
                                 slots: 2,
                                 target: self.ret[2],
+                                indirect: true,
                             });
                         }
                         flow = Flow::JumpNow {
@@ -810,6 +845,7 @@ impl Machine {
                 pend.push(PendingBranch {
                     slots: delay,
                     target,
+                    indirect: delay == INDIRECT_DELAY,
                 });
                 self.pending = pend;
                 self.pc = next;
@@ -878,7 +914,7 @@ impl Machine {
 mod tests {
     use super::*;
     use mips_core::{
-        AluOp, Cond, CmpBranchPiece, Instr, JumpIndPiece, JumpPiece, MemMode, MviPiece,
+        AluOp, CmpBranchPiece, Cond, Instr, JumpIndPiece, JumpPiece, MemMode, MviPiece,
         ProgramBuilder, SetCondPiece, Target, TrapPiece, WordAddr,
     };
 
@@ -944,6 +980,88 @@ mod tests {
         assert_eq!(m.reg(Reg::R3), 42);
         assert_eq!(m.hazards().len(), 1);
         assert_eq!(m.hazards()[0].pc, 1);
+    }
+
+    #[test]
+    fn jump_in_branch_delay_slot_records_hazard() {
+        let p = prog(vec![
+            Instr::Jump(JumpPiece {
+                target: Target::Abs(3),
+            }),
+            Instr::Jump(JumpPiece {
+                target: Target::Abs(4),
+            }), // in the first jump's shadow
+            Instr::NOP,
+            mvi(1, Reg::R1), // first target; second fires after it
+            Instr::Halt,
+        ]);
+        let mut m = Machine::with_config(
+            p,
+            MachineConfig {
+                check_hazards: true,
+                ..MachineConfig::default()
+            },
+        );
+        m.run().unwrap();
+        assert_eq!(
+            m.hazards(),
+            &[Hazard {
+                pc: 1,
+                kind: HazardKind::BranchInShadow
+            }]
+        );
+    }
+
+    #[test]
+    fn branch_in_indirect_shadow_records_hazard() {
+        let p = prog(vec![
+            mvi(5, Reg::R4),
+            Instr::JumpInd(JumpIndPiece {
+                base: Reg::R4,
+                disp: 0,
+            }),
+            Instr::Jump(JumpPiece {
+                target: Target::Abs(5),
+            }), // first indirect shadow slot
+            Instr::NOP,
+            Instr::NOP,
+            Instr::Halt,
+        ]);
+        let mut m = Machine::with_config(
+            p,
+            MachineConfig {
+                check_hazards: true,
+                ..MachineConfig::default()
+            },
+        );
+        m.run().unwrap();
+        assert_eq!(
+            m.hazards(),
+            &[Hazard {
+                pc: 2,
+                kind: HazardKind::IndirectShadow
+            }]
+        );
+    }
+
+    #[test]
+    fn clean_delay_slots_record_no_control_hazard() {
+        let p = prog(vec![
+            Instr::Jump(JumpPiece {
+                target: Target::Abs(2),
+            }),
+            mvi(1, Reg::R1), // ordinary delay-slot instruction
+            Instr::Halt,
+        ]);
+        let mut m = Machine::with_config(
+            p,
+            MachineConfig {
+                check_hazards: true,
+                ..MachineConfig::default()
+            },
+        );
+        m.run().unwrap();
+        assert!(m.hazards().is_empty());
     }
 
     #[test]
@@ -1091,13 +1209,14 @@ mod tests {
     #[test]
     fn free_cycle_accounting_and_dma() {
         let p = prog(vec![
-            mvi(1, Reg::R1),   // free
+            mvi(1, Reg::R1),     // free
             st_abs(Reg::R1, 10), // used
-            mvi(2, Reg::R2),   // free
-            Instr::Halt,       // free
+            mvi(2, Reg::R2),     // free
+            Instr::Halt,         // free
         ]);
         let mut m = Machine::new(p);
-        m.mem_mut().queue_dma(crate::mem::Dma::Write { addr: 9, value: 99 });
+        m.mem_mut()
+            .queue_dma(crate::mem::Dma::Write { addr: 9, value: 99 });
         m.run().unwrap();
         assert_eq!(m.profile().mem_cycles_used, 1);
         assert_eq!(m.profile().mem_cycles_free, 3);

@@ -111,9 +111,7 @@ impl PageMap {
     pub fn translate(&self, mapped: u32) -> Option<u32> {
         let vpage = mapped / PAGE_WORDS;
         let off = mapped % PAGE_WORDS;
-        self.frames
-            .get(&vpage)
-            .map(|f| f * PAGE_WORDS + off)
+        self.frames.get(&vpage).map(|f| f * PAGE_WORDS + off)
     }
 
     /// Identity-maps `n` pages starting at page 0 (a convenient kernel
@@ -147,7 +145,10 @@ mod tests {
         assert_eq!(s.translate(0), Some(0));
         assert_eq!(s.translate(123456), Some(123456));
         // top-of-space addresses fold into the 24-bit space
-        assert_eq!(s.translate(u32::MAX - 1), Some((u32::MAX - 1) & (MEM_WORDS - 1)));
+        assert_eq!(
+            s.translate(u32::MAX - 1),
+            Some((u32::MAX - 1) & (MEM_WORDS - 1))
+        );
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! `mips-lint` — static machine-code lint over `.s` assembly files.
+//!
+//! ```text
+//! usage: mips-lint [--strict] [--quiet] FILE.s [FILE.s ...]
+//!
+//!   --strict   treat warnings as failures (info never fails)
+//!   --quiet    print nothing for clean files
+//! ```
+//!
+//! Exit status: 0 when every file is acceptable, 1 when any file has an
+//! error (or, with `--strict`, a warning), 2 on usage or I/O problems.
+
+use mips_verify::{verify_source, Severity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut quiet = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: mips-lint [--strict] [--quiet] FILE.s [FILE.s ...]");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("mips-lint: unknown option '{arg}'");
+                return ExitCode::from(2);
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: mips-lint [--strict] [--quiet] FILE.s [FILE.s ...]");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mips-lint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = match verify_source(&source) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{file}: assembly error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let bad = report.has_errors() || (strict && report.warnings().next().is_some());
+        failed |= bad;
+        if report.is_clean() {
+            if !quiet {
+                println!("{file}: clean");
+            }
+            continue;
+        }
+        for d in report.diagnostics() {
+            // Skip info-level notes under --quiet.
+            if quiet && d.severity() == Severity::Info {
+                continue;
+            }
+            println!("{file}:{d}");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

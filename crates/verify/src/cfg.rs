@@ -1,0 +1,238 @@
+//! Instruction-level control-flow graph honoring delayed-transfer
+//! semantics.
+//!
+//! An edge `p → q` means "`q` can execute in the very next issue slot
+//! after `p`" — exactly the relation the pipeline's one-slot load delay
+//! cares about. Delayed branches make this different from the naive
+//! textbook CFG: a transfer at `i` with delay `d` does **not** branch at
+//! `i`; its shadow `i+1 ‥ i+d` executes first, and the transfer edge
+//! leaves the *last shadow slot* `i+d`:
+//!
+//! ```text
+//!   i   : beq r1,r2,T      edges: i → i+1
+//!   i+1 : (delay slot)            i+1 → T        (taken)
+//!   i+2 : …                       i+1 → i+2      (fall-through)
+//! ```
+//!
+//! Indirect jumps (`jmpi`, delay 2) transfer out of slot `i+2`, to every
+//! *address-taken* location: `lea` targets, named symbols, and call
+//! return points ([`mips_core::Program::address_taken`]). That
+//! over-approximation is what makes the dataflow sound across procedure
+//! returns — a load sitting in the last slot of a return's shadow is
+//! still in flight at every possible return point.
+//!
+//! Structural violations discovered while building (a transfer inside
+//! another's shadow, shadows running off the program, bad targets) are
+//! reported as diagnostics; construction still completes with
+//! conservative edges so later analyses run on best-effort flow.
+
+use crate::diag::{Diagnostic, Rule};
+use mips_core::{Instr, Program, Target};
+
+/// The control-flow graph: successor/predecessor lists per instruction
+/// address, plus reachability from the program's entry points.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG for a resolved program. Returns the graph and any
+    /// structural diagnostics found along the way.
+    pub fn build(program: &Program) -> (Cfg, Vec<Diagnostic>) {
+        let n = program.len();
+        let mut diags = Vec::new();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        // Transfer obligations deferred to the last shadow slot:
+        // (slot_pc, targets, unconditional).
+        struct Deferred {
+            targets: Vec<u32>,
+            unconditional: bool,
+        }
+        let mut deferred: Vec<Vec<Deferred>> = (0..n).map(|_| Vec::new()).collect();
+
+        let address_taken = program.address_taken();
+
+        // First pass: classify each instruction, collect shadow structure.
+        for (i, ins) in program.instrs().iter().enumerate() {
+            let delay = ins.branch_delay() as usize;
+            if delay == 0 {
+                continue;
+            }
+            // The shadow i+1 ..= i+delay must exist …
+            if i + delay >= n {
+                diags.push(Diagnostic::new(
+                    Rule::ShadowTruncated,
+                    i as u32,
+                    format!(
+                        "`{ins}` needs {delay} delay slot(s) but the program ends at {}",
+                        n as u32
+                    ),
+                ));
+                continue;
+            }
+            // … and hold no other control transfer.
+            let indirect = matches!(ins, Instr::JumpInd(_));
+            for s in i + 1..=i + delay {
+                let slot = &program[s];
+                if slot.is_delayed_transfer() || !slot.falls_through() {
+                    let rule = if indirect {
+                        Rule::IndirectShadow
+                    } else {
+                        Rule::BranchInShadow
+                    };
+                    diags.push(Diagnostic::new(
+                        rule,
+                        s as u32,
+                        format!(
+                            "`{slot}` sits in the delay shadow of `{ins}` at {i}; \
+                             delay slots must hold plain instructions"
+                        ),
+                    ));
+                }
+            }
+            // Record where the transfer actually leaves from.
+            let (targets, unconditional) = match ins {
+                Instr::CmpBranch(p) => (resolve(p.target, i, n, &mut diags), false),
+                Instr::Jump(p) => (resolve(p.target, i, n, &mut diags), true),
+                // The return path re-enters at i + 1 + delay via the
+                // callee's indirect jump; no direct fall-through edge.
+                Instr::Call(p) => (resolve(p.target, i, n, &mut diags), true),
+                Instr::JumpInd(_) => (address_taken.clone(), true),
+                _ => unreachable!("branch_delay > 0 covers exactly the transfers"),
+            };
+            deferred[i + delay].push(Deferred {
+                targets,
+                unconditional,
+            });
+        }
+
+        // Second pass: emit edges.
+        for (i, ins) in program.instrs().iter().enumerate() {
+            let here = &deferred[i];
+            let transfers_out = here.iter().any(|d| d.unconditional);
+            for d in here {
+                for &t in &d.targets {
+                    push_edge(&mut succs[i], t);
+                }
+            }
+            // Straight-line successor: suppressed when an unconditional
+            // transfer leaves this slot, or the instruction itself ends
+            // the line (jump/jmpi handled via deferred; halt/rfe end it
+            // here).
+            let line_continues = if ins.is_delayed_transfer() {
+                // The transfer's own slot always falls into its shadow.
+                true
+            } else {
+                ins.falls_through()
+            };
+            if line_continues && !transfers_out {
+                if i + 1 < n {
+                    push_edge(&mut succs[i], (i + 1) as u32);
+                } else {
+                    diags.push(Diagnostic::new(
+                        Rule::FallsOffEnd,
+                        i as u32,
+                        format!("execution continues past `{ins}` into the end of the program"),
+                    ));
+                }
+            }
+        }
+
+        // Predecessors + reachability.
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s as usize].push(i as u32);
+            }
+        }
+        let mut reachable = vec![false; n];
+        let mut work: Vec<u32> = program.entry_points();
+        for &e in &work {
+            reachable[e as usize] = true;
+        }
+        while let Some(pc) = work.pop() {
+            for &s in &succs[pc as usize] {
+                if !reachable[s as usize] {
+                    reachable[s as usize] = true;
+                    work.push(s);
+                }
+            }
+        }
+
+        (
+            Cfg {
+                succs,
+                preds,
+                reachable,
+            },
+            diags,
+        )
+    }
+
+    /// Successor addresses of `pc`.
+    pub fn succs(&self, pc: u32) -> &[u32] {
+        &self.succs[pc as usize]
+    }
+
+    /// Predecessor addresses of `pc`.
+    pub fn preds(&self, pc: u32) -> &[u32] {
+        &self.preds[pc as usize]
+    }
+
+    /// Whether any static path from an entry point reaches `pc`.
+    pub fn is_reachable(&self, pc: u32) -> bool {
+        self.reachable[pc as usize]
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Iterates `(pc, successor)` edge pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ss)| ss.iter().map(move |&s| (i as u32, s)))
+    }
+}
+
+fn push_edge(v: &mut Vec<u32>, t: u32) {
+    if !v.contains(&t) {
+        v.push(t);
+    }
+}
+
+/// Resolves a direct target to an in-range address list (empty + a
+/// diagnostic otherwise).
+fn resolve(t: Target, pc: usize, n: usize, diags: &mut Vec<Diagnostic>) -> Vec<u32> {
+    match t {
+        Target::Abs(a) if (a as usize) < n => vec![a],
+        Target::Abs(a) => {
+            diags.push(Diagnostic::new(
+                Rule::BadTarget,
+                pc as u32,
+                format!("branch target {a} is outside the program (len {n})"),
+            ));
+            Vec::new()
+        }
+        Target::Label(l) => {
+            diags.push(Diagnostic::new(
+                Rule::BadTarget,
+                pc as u32,
+                format!("unresolved label {l} in a supposedly resolved program"),
+            ));
+            Vec::new()
+        }
+    }
+}

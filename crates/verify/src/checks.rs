@@ -1,0 +1,176 @@
+//! The individual verification passes run over the [`Cfg`].
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Rule};
+use mips_core::{Instr, Operand, Program, SpecialOp};
+
+/// Structural legality of every instruction word: packed-pair rules
+/// (distinct destinations, packable pieces) and operand constants that
+/// fit their 4-bit encoding field.
+pub fn illegal_instrs(program: &Program, diags: &mut Vec<Diagnostic>) {
+    for (i, ins) in program.instrs().iter().enumerate() {
+        if !ins.is_valid() {
+            diags.push(Diagnostic::new(
+                Rule::IllegalInstr,
+                i as u32,
+                format!("`{ins}` violates packed-word structure (destination clash or unpackable piece)"),
+            ));
+        }
+        for op in operands(ins) {
+            if let Operand::Small(v) = op {
+                if v > Operand::SMALL_MAX {
+                    diags.push(Diagnostic::new(
+                        Rule::IllegalInstr,
+                        i as u32,
+                        format!(
+                            "small constant #{v} exceeds the 4-bit operand field (max {})",
+                            Operand::SMALL_MAX
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Every operand field of an instruction (for range checks).
+fn operands(ins: &Instr) -> Vec<Operand> {
+    match ins {
+        Instr::Op { alu, .. } => alu.iter().flat_map(|a| [a.a, a.b]).collect(),
+        Instr::SetCond(p) => vec![p.a, p.b],
+        Instr::CmpBranch(p) => vec![p.a, p.b],
+        Instr::Special(SpecialOp::Write { src, .. }) => vec![*src],
+        _ => Vec::new(),
+    }
+}
+
+/// The load-delay theorem: on **no** edge `p → q` may `q` read the
+/// register that `p`'s delayed load is still carrying. With
+/// `LOAD_DELAY = 1` the shadow is exactly the set of immediate CFG
+/// successors, so no fixpoint is needed — but unlike the simulator's
+/// dynamic check, *every* static edge is covered, including branch
+/// targets the test input never takes.
+pub fn load_use(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    for (p, q) in cfg.edges() {
+        let Some(r) = program[p as usize].delayed_load_dst() else {
+            continue;
+        };
+        let reader = &program[q as usize];
+        if reader.reads().contains(&r) {
+            diags.push(Diagnostic::new(
+                Rule::LoadUse,
+                q,
+                format!(
+                    "`{reader}` reads {r} inside the delay shadow of the load at {p} \
+                     (`{}`); the stale value is observed",
+                    program[p as usize]
+                ),
+            ));
+        }
+    }
+}
+
+/// Must-initialized forward dataflow. A register counts as initialized
+/// once any instruction on every path wrote it; reads outside that set
+/// are flagged. Named entry points are assumed to receive a fully
+/// initialized register file (calling convention), so the lint targets
+/// the cold path from the reset vector and hand-written fragments.
+pub fn uninit_reads(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let n = program.len();
+    if n == 0 {
+        return;
+    }
+    const TOP: u16 = u16::MAX;
+    let symbol_entries: Vec<u32> = program.symbols().map(|(_, a)| a).collect();
+    // in-state per pc; ⊤ (all bits) = "not yet visited".
+    let mut input: Vec<u16> = vec![TOP; n];
+    let mut work: Vec<u32> = Vec::new();
+    for e in program.entry_points() {
+        // Reset vector: nothing initialized. Named entries: everything
+        // (the caller set up arguments, stack, and link).
+        input[e as usize] = if symbol_entries.contains(&e) { TOP } else { 0 };
+        work.push(e);
+    }
+    let write_mask = |pc: u32| -> u16 {
+        program[pc as usize]
+            .writes()
+            .iter()
+            .fold(0u16, |m, r| m | 1 << r.index())
+    };
+    while let Some(p) = work.pop() {
+        let out = input[p as usize] | write_mask(p);
+        for &q in cfg.succs(p) {
+            let merged = input[q as usize] & out;
+            if merged != input[q as usize] {
+                input[q as usize] = merged;
+                work.push(q);
+            }
+        }
+    }
+    for (i, ins) in program.instrs().iter().enumerate() {
+        if !cfg.is_reachable(i as u32) {
+            continue;
+        }
+        for r in ins.reads() {
+            if input[i] != TOP && input[i] & (1 << r.index()) == 0 {
+                diags.push(Diagnostic::new(
+                    Rule::UninitRead,
+                    i as u32,
+                    format!("`{ins}` reads {r}, which no path from the entry has written"),
+                ));
+            }
+        }
+    }
+}
+
+/// Dead code: maximal runs of instructions no static path reaches.
+pub fn unreachable(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < program.len() {
+        if cfg.is_reachable(i as u32) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < program.len() && !cfg.is_reachable(i as u32) {
+            i += 1;
+        }
+        diags.push(Diagnostic::new(
+            Rule::Unreachable,
+            start as u32,
+            if i - start == 1 {
+                format!("instruction {start} is unreachable from every entry point")
+            } else {
+                format!(
+                    "instructions {start}..{} are unreachable from every entry point",
+                    i - 1
+                )
+            },
+        ));
+    }
+}
+
+/// Privilege-sensitive instructions: `rfe` and supervisor special
+/// registers fault when reached in user mode (paper §3.2). Informational
+/// — legitimate in OS code, suspicious in user programs.
+pub fn privileged(program: &Program, diags: &mut Vec<Diagnostic>) {
+    for (i, ins) in program.instrs().iter().enumerate() {
+        let finding = match ins {
+            Instr::Special(SpecialOp::Rfe) => Some("rfe".to_string()),
+            Instr::Special(SpecialOp::Read { sr, .. }) if sr.privileged() => {
+                Some(format!("read of supervisor register {sr}"))
+            }
+            Instr::Special(SpecialOp::Write { sr, .. }) if sr.privileged() => {
+                Some(format!("write of supervisor register {sr}"))
+            }
+            _ => None,
+        };
+        if let Some(what) = finding {
+            diags.push(Diagnostic::new(
+                Rule::Privileged,
+                i as u32,
+                format!("{what} requires supervisor privilege; faults in user mode"),
+            ));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Structured diagnostics: rules, severities, and the report.
+//!
+//! Every finding carries a stable machine-readable rule id (`V0xx` for
+//! correctness errors, `V1xx` for warnings, `V2xx` for informational
+//! lints), the program counter it anchors to, and a human-readable
+//! message. Tests assert on `(rule, pc)` pairs; humans read the
+//! `Display` form.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: legal code that deserves a second look (e.g. privileged
+    /// instructions that fault in user mode).
+    Info,
+    /// Suspicious but not provably wrong (possibly-uninitialized reads,
+    /// unreachable code).
+    Warning,
+    /// A violated pipeline or encoding invariant: the program computes
+    /// wrong values on some static path, on hardware with no interlocks.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// The verifier's rule taxonomy. The first three mirror the simulator's
+/// dynamic `HazardKind`s exactly, so a program the dynamic checker
+/// convicts on an executed path is convicted statically under the same
+/// name — and vice versa, on paths the test input never reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A register is read inside its load's delay shadow on some static
+    /// path: the read observes the stale value.
+    LoadUse,
+    /// A control transfer sits in a branch/jump/call delay slot.
+    BranchInShadow,
+    /// A control transfer sits inside an indirect jump's two-slot shadow.
+    IndirectShadow,
+    /// A transfer's delay shadow extends past the end of the program.
+    ShadowTruncated,
+    /// Straight-line execution can run off the end of the program.
+    FallsOffEnd,
+    /// A structurally illegal instruction word (packed-pair destination
+    /// clash, unpackable piece, operand constant out of encoding range).
+    IllegalInstr,
+    /// A branch target outside the program.
+    BadTarget,
+    /// A register may be read before any instruction wrote it.
+    UninitRead,
+    /// Instructions no static path reaches.
+    Unreachable,
+    /// A privilege-sensitive instruction (`rfe`, supervisor special
+    /// registers); faults if reached in user mode.
+    Privileged,
+}
+
+impl Rule {
+    /// All rules, in id order.
+    pub const ALL: [Rule; 10] = [
+        Rule::LoadUse,
+        Rule::BranchInShadow,
+        Rule::IndirectShadow,
+        Rule::ShadowTruncated,
+        Rule::FallsOffEnd,
+        Rule::IllegalInstr,
+        Rule::BadTarget,
+        Rule::UninitRead,
+        Rule::Unreachable,
+        Rule::Privileged,
+    ];
+
+    /// Stable machine-readable id.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::LoadUse => "V001",
+            Rule::BranchInShadow => "V002",
+            Rule::IndirectShadow => "V003",
+            Rule::ShadowTruncated => "V004",
+            Rule::FallsOffEnd => "V005",
+            Rule::IllegalInstr => "V006",
+            Rule::BadTarget => "V007",
+            Rule::UninitRead => "V101",
+            Rule::Unreachable => "V102",
+            Rule::Privileged => "V201",
+        }
+    }
+
+    /// The rule's fixed severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::LoadUse
+            | Rule::BranchInShadow
+            | Rule::IndirectShadow
+            | Rule::ShadowTruncated
+            | Rule::FallsOffEnd
+            | Rule::IllegalInstr
+            | Rule::BadTarget => Severity::Error,
+            Rule::UninitRead | Rule::Unreachable => Severity::Warning,
+            Rule::Privileged => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Instruction address the finding anchors to.
+    pub pc: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(rule: Rule, pc: u32, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            pc,
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// Severity (fixed per rule).
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}] at {}: {}",
+            self.severity(),
+            self.rule.id(),
+            rule_name(self.rule),
+            self.pc,
+            self.message
+        )
+    }
+}
+
+fn rule_name(r: Rule) -> &'static str {
+    match r {
+        Rule::LoadUse => "load-use",
+        Rule::BranchInShadow => "branch-in-shadow",
+        Rule::IndirectShadow => "indirect-shadow",
+        Rule::ShadowTruncated => "shadow-truncated",
+        Rule::FallsOffEnd => "falls-off-end",
+        Rule::IllegalInstr => "illegal-instr",
+        Rule::BadTarget => "bad-target",
+        Rule::UninitRead => "uninit-read",
+        Rule::Unreachable => "unreachable",
+        Rule::Privileged => "privileged",
+    }
+}
+
+/// The verifier's full output: all findings, sorted by address then rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wraps and sorts a finding list.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Report {
+        diagnostics.sort_by_key(|d| (d.pc, d.rule));
+        diagnostics.dedup();
+        Report { diagnostics }
+    }
+
+    /// All findings.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Error-severity findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// Warning-severity findings only.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// True when any error-severity finding exists: the program violates
+    /// a pipeline invariant on some static path.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// True when nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings for one rule (test convenience).
+    pub fn by_rule(&self, rule: Rule) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "clean: no findings");
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        let infos = self.diagnostics.len() - errors - warnings;
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{errors} error(s), {warnings} warning(s), {infos} note(s)"
+        )
+    }
+}

@@ -1,0 +1,403 @@
+//! # mips-verify — static pipeline-interlock verifier
+//!
+//! MIPS has **no hardware interlocks** (paper §4.2.1): a program is
+//! correct only if the reorganizer respected every software-enforced
+//! delay — one slot after loads ([`mips_core::delay::LOAD_DELAY`]), one
+//! after branches, two after indirect jumps. The simulator's dynamic
+//! hazard checker (`mips_sim::HazardKind`) convicts violations on the
+//! *executed* path; this crate proves their absence on **every static
+//! path** without running the program:
+//!
+//! 1. build an instruction-level CFG honoring delayed-transfer semantics
+//!    (the transfer edge leaves the last shadow slot; indirect jumps
+//!    conservatively reach every address-taken location) — [`Cfg`];
+//! 2. check, per CFG edge, that no instruction reads a register inside
+//!    its load's delay shadow ([`Rule::LoadUse`]);
+//! 3. check that no control transfer sits in another transfer's shadow
+//!    ([`Rule::BranchInShadow`], [`Rule::IndirectShadow`]) and that
+//!    shadows stay inside the program ([`Rule::ShadowTruncated`]);
+//! 4. check packed-word structural legality ([`Rule::IllegalInstr`]);
+//! 5. lint possibly-uninitialized reads, unreachable code, and
+//!    privilege-sensitive instructions.
+//!
+//! The static and dynamic checkers share one taxonomy: the first three
+//! rules are the same names `mips_sim`'s hazard recorder uses, so a
+//! simulator conviction always has a static counterpart (and the static
+//! checker also covers the paths the test input never took).
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_asm::assemble;
+//! use mips_verify::{verify, Rule};
+//!
+//! // The branch-taken path hides a load-use hazard: the load issues in
+//! // the delay slot, so on the taken path `target` reads `r1` while the
+//! // load is still in flight. A test input that falls through never
+//! // trips the dynamic checker; the verifier convicts the path anyway.
+//! let p = assemble("
+//!     beq r2,r3,target
+//!     ld @100,r1        ; delay slot: issues on both paths
+//!     halt
+//! target:
+//!     add r1,#1,r4      ; reads r1 one slot after the load
+//!     halt
+//! ").unwrap();
+//! let report = verify(&p);
+//! assert!(report.has_errors());
+//! assert!(report.by_rule(Rule::LoadUse).any(|d| d.pc == 3));
+//! ```
+//!
+//! The `mips-lint` binary wraps [`verify_source`] for `.s` files:
+//! `mips-lint prog.s` exits nonzero if any error-severity rule fires.
+
+mod cfg;
+mod checks;
+mod diag;
+
+pub use cfg::Cfg;
+pub use diag::{Diagnostic, Report, Rule, Severity};
+
+use mips_core::Program;
+
+/// Statically verifies a resolved program against every software-enforced
+/// pipeline constraint; returns all findings.
+pub fn verify(program: &Program) -> Report {
+    let (cfg, mut diags) = Cfg::build(program);
+    // Falling off the end is only an error where execution can actually
+    // arrive; a dead trailing fragment is already covered by V102.
+    diags.retain(|d| d.rule != Rule::FallsOffEnd || cfg.is_reachable(d.pc));
+    checks::illegal_instrs(program, &mut diags);
+    checks::load_use(program, &cfg, &mut diags);
+    checks::uninit_reads(program, &cfg, &mut diags);
+    checks::unreachable(program, &cfg, &mut diags);
+    checks::privileged(program, &mut diags);
+    Report::new(diags)
+}
+
+/// Assembles `.s` source text and verifies the result (the `mips-lint`
+/// entry point).
+///
+/// # Errors
+///
+/// Returns the assembler's error if the source does not assemble.
+pub fn verify_source(source: &str) -> Result<Report, mips_asm::AsmError> {
+    Ok(verify(&mips_asm::assemble(source)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+
+    fn rules(report: &Report) -> Vec<(Rule, u32)> {
+        report
+            .diagnostics()
+            .iter()
+            .map(|d| (d.rule, d.pc))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_hazard_is_flagged() {
+        let p = assemble(
+            "
+            ld @100,r1
+            add r1,#1,r2
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::LoadUse, 1)));
+    }
+
+    #[test]
+    fn interlock_nop_clears_the_hazard() {
+        let p = assemble(
+            "
+            ld @100,r1
+            nop
+            add r1,#1,r2
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(!r.has_errors(), "{r}");
+    }
+
+    #[test]
+    fn load_into_branch_target_is_a_cross_block_hazard() {
+        // Taken path: ld(slot) → target reads r1 immediately.
+        let p = assemble(
+            "
+            beq r2,r3,target
+            ld @100,r1
+            halt
+        target:
+            add r1,#1,r4
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::LoadUse, 3)));
+    }
+
+    #[test]
+    fn branch_in_delay_slot_is_flagged() {
+        let p = assemble(
+            "
+            bra a
+            bra b
+            nop
+        a:
+            halt
+        b:
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::BranchInShadow, 1)));
+    }
+
+    #[test]
+    fn control_in_indirect_shadow_is_flagged() {
+        let p = assemble(
+            "
+            mvi #6,r15
+            jmpi (r15)
+            nop
+            bra out
+            nop
+        out:
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::IndirectShadow, 3)), "{r}");
+    }
+
+    #[test]
+    fn truncated_shadow_is_flagged() {
+        use mips_core::{Instr, JumpPiece, Target};
+        let p = Program::new(vec![
+            Instr::NOP,
+            Instr::Jump(JumpPiece {
+                target: Target::Abs(0),
+            }),
+        ]);
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::ShadowTruncated, 1)));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_flagged() {
+        let p = assemble(
+            "
+            nop
+            nop
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::FallsOffEnd, 1)));
+    }
+
+    #[test]
+    fn unreachable_trailing_code_does_not_fall_off_the_end() {
+        // The dead no-op after halt can never be executed, so only the
+        // unreachability warning fires, not V005.
+        let p = assemble(
+            "
+            halt
+            nop
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(!r.has_errors(), "{r}");
+        assert!(rules(&r).contains(&(Rule::Unreachable, 1)));
+    }
+
+    #[test]
+    fn bad_target_is_flagged() {
+        use mips_core::{Instr, JumpPiece, Target};
+        let p = Program::new(vec![
+            Instr::Jump(JumpPiece {
+                target: Target::Abs(99),
+            }),
+            Instr::NOP,
+            Instr::Halt,
+        ]);
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::BadTarget, 0)));
+    }
+
+    #[test]
+    fn unreachable_code_is_a_warning_not_an_error() {
+        let p = assemble(
+            "
+            halt
+            add r1,#1,r2
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(!r.has_errors(), "{r}");
+        assert!(rules(&r).contains(&(Rule::Unreachable, 1)));
+    }
+
+    #[test]
+    fn privileged_instructions_are_noted() {
+        let p = assemble(
+            "
+            rsp surprise,r1
+            nop
+            rfe
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert_eq!(r.by_rule(Rule::Privileged).count(), 2);
+        assert!(!r.has_errors(), "{r}");
+    }
+
+    #[test]
+    fn uninit_read_from_reset_vector_is_flagged() {
+        let p = assemble(
+            "
+            add r1,#1,r2
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::UninitRead, 0)));
+    }
+
+    #[test]
+    fn initialized_read_is_clean() {
+        let p = assemble(
+            "
+            mvi #5,r1
+            add r1,#1,r2
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert_eq!(r.by_rule(Rule::UninitRead).count(), 0, "{r}");
+    }
+
+    #[test]
+    fn jump_shadow_executes_then_leaves() {
+        // The delay slot of an unconditional jump executes, then control
+        // leaves: the instruction after the slot is unreachable and the
+        // slot's load shadows the jump target.
+        let p = assemble(
+            "
+            bra target
+            ld @100,r1
+            nop
+        target:
+            add r1,#1,r2
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::LoadUse, 3)));
+        assert!(rules(&r).contains(&(Rule::Unreachable, 2)));
+    }
+
+    #[test]
+    fn conditional_fall_through_is_covered_too() {
+        // Not-taken path: slot load shadows the fall-through instruction.
+        let p = assemble(
+            "
+            beq r2,r3,target
+            ld @100,r1
+            add r1,#1,r4
+            halt
+        target:
+            halt
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::LoadUse, 2)));
+    }
+
+    #[test]
+    fn indirect_jump_reaches_address_taken_targets() {
+        // The load in the second shadow slot of the return jump is still
+        // in flight at the (address-taken) return point.
+        let p = assemble(
+            "
+            call f,r15
+            nop
+            add r1,#1,r2    ; return point: reads r1
+            halt
+        f:
+            jmpi (r15)
+            nop
+            ld @100,r1      ; second shadow slot: load lands here
+        ",
+        )
+        .unwrap();
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::LoadUse, 2)), "{r}");
+    }
+
+    #[test]
+    fn packed_destination_clash_is_flagged() {
+        use mips_core::{AluOp, AluPiece, Instr, MemMode, MemPiece, Reg};
+        let p = Program::new(vec![
+            Instr::Op {
+                alu: Some(AluPiece::new(
+                    AluOp::Add,
+                    Reg::R1.into(),
+                    Reg::R2.into(),
+                    Reg::R3,
+                )),
+                mem: Some(MemPiece::load(
+                    MemMode::Based {
+                        base: Reg::SP,
+                        disp: 1,
+                    },
+                    Reg::R3,
+                )),
+            },
+            Instr::Halt,
+        ]);
+        let r = verify(&p);
+        assert!(rules(&r).contains(&(Rule::IllegalInstr, 0)));
+    }
+
+    #[test]
+    fn empty_program_is_clean() {
+        let p = Program::new(Vec::new());
+        assert!(verify(&p).is_clean());
+    }
+
+    #[test]
+    fn report_display_is_structured() {
+        let p = assemble(
+            "
+            ld @100,r1
+            add r1,#1,r2
+            halt
+        ",
+        )
+        .unwrap();
+        let text = verify(&p).to_string();
+        assert!(text.contains("V001"), "{text}");
+        assert!(text.contains("error"), "{text}");
+        assert!(text.contains("at 1"), "{text}");
+    }
+}

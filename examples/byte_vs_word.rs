@@ -34,9 +34,7 @@ fn main() {
 
     let (lo, hi) = t10.penalty_word_alloc();
     if lo > 0.0 {
-        println!(
-            "→ word addressing wins by {lo:.1}–{hi:.1}% on this mix, as the paper argues."
-        );
+        println!("→ word addressing wins by {lo:.1}–{hi:.1}% on this mix, as the paper argues.");
     } else {
         println!("→ byte addressing won on this mix — an interesting deviation!");
     }

@@ -154,7 +154,10 @@ fn main() {
     println!("page faults serviced     = {faults}");
     println!("interrupts serviced      = {interrupts}");
     println!("system calls serviced    = {syscalls}");
-    println!("exceptions dispatched    = {}", machine.profile().exceptions);
+    println!(
+        "exceptions dispatched    = {}",
+        machine.profile().exceptions
+    );
     println!("---\n{}", machine.profile());
     assert_eq!(machine.reg(Reg::R6), 1 + 2 + 3 + 4 + 5);
     assert_eq!(faults, 6, "one fault per fresh page");

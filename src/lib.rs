@@ -14,6 +14,8 @@
 //! * [`ccm`] — condition-code baseline machines;
 //! * [`hll`] — the Pasqal compiler with selectable boolean-evaluation
 //!   strategies and data layouts;
+//! * [`verify`] — the static pipeline-interlock verifier and lint pass
+//!   (the `mips-lint` binary);
 //! * [`analysis`] — the measurement tooling behind every table of the
 //!   paper;
 //! * [`workloads`] — the benchmark corpus (Fibonacci, Puzzle, text
@@ -29,4 +31,5 @@ pub use mips_core as core;
 pub use mips_hll as hll;
 pub use mips_reorg as reorg;
 pub use mips_sim as sim;
+pub use mips_verify as verify;
 pub use mips_workloads as workloads;

@@ -90,7 +90,10 @@ fn static_counts_shrink_on_the_whole_corpus() {
         let full = reorganize(&lc, ReorgOptions::FULL).unwrap().program.len();
         assert!(full < none, "{name}: {full} !< {none}");
         let imp = 100.0 * (none - full) as f64 / none as f64;
-        assert!(imp > 3.0, "{name}: improvement {imp:.1}% suspiciously small");
+        assert!(
+            imp > 3.0,
+            "{name}: improvement {imp:.1}% suspiciously small"
+        );
     }
 }
 
@@ -104,7 +107,10 @@ fn profile_sanity_on_text_workload() {
     m.run().unwrap();
     let p = m.profile();
     assert!(p.loads > 0 && p.stores > 0);
-    assert!(p.char_byte.total() > 0, "packed char traffic expected: {p:?}");
+    assert!(
+        p.char_byte.total() > 0,
+        "packed char traffic expected: {p:?}"
+    );
     assert!(p.branches_taken <= p.branches);
     assert_eq!(
         p.mem_cycles_used + p.mem_cycles_free,

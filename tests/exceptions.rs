@@ -41,7 +41,11 @@ fn trap_dispatches_to_vector_and_rfe_resumes() {
     assert_eq!(m.reg(Reg::R2), 8, "execution resumed after the trap");
     let saved = mips::sim::Surprise::from_raw(m.mem().peek(100));
     assert_eq!(saved.cause(), Cause::Trap);
-    assert_eq!(saved.detail(), 42, "the 12-bit trap code reaches the handler");
+    assert_eq!(
+        saved.detail(),
+        42,
+        "the 12-bit trap code reaches the handler"
+    );
     assert_eq!(m.profile().exceptions, 1);
 }
 
@@ -223,7 +227,11 @@ fn exception_in_indirect_jump_shadow_resumes_via_three_addresses() {
     m.jump_to(main);
     m.run().unwrap();
     assert_eq!(m.reg(Reg::R5), 1, "second shadow slot executed after rfe");
-    assert_eq!(m.reg(Reg::R7), 1, "indirect target reached after the shadow");
+    assert_eq!(
+        m.reg(Reg::R7),
+        1,
+        "indirect target reached after the shadow"
+    );
     assert_eq!(m.reg(Reg::R6), 0, "fall-through after shadow was skipped");
 }
 

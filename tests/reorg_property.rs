@@ -7,14 +7,19 @@
 //! register file and touched memory must be identical across levels, and
 //! the fully reorganized program must execute without a single load-use
 //! hazard.
+//!
+//! The static verifier (`mips-verify`) is held to the same standard: every
+//! level's output must verify clean on **all** static paths, and removing
+//! an interlock no-op from naive output must be flagged.
 
 use mips::core::{
-    AluOp, AluPiece, CmpBranchPiece, Cond, Instr, LinearCode, MemMode, MemPiece, MviPiece,
-    Operand, Reg, SetCondPiece, Target, WordAddr,
+    AluOp, AluPiece, CmpBranchPiece, Cond, Instr, LinearCode, MemMode, MemPiece, MviPiece, Operand,
+    Reg, SetCondPiece, Target, WordAddr,
 };
 use mips::reorg::{reorganize, ReorgOptions};
 use mips::sim::{Machine, MachineConfig};
-use proptest::prelude::*;
+use mips::verify::{verify, Rule};
+use mips_qc::{Qc, Rng};
 
 /// One generated operation seed.
 #[derive(Debug, Clone)]
@@ -28,18 +33,43 @@ enum OpSeed {
     Branch { cond: u8, a: u8, b: u8, skip: u8 },
 }
 
-fn arb_seed() -> impl Strategy<Value = OpSeed> {
-    prop_oneof![
-        4 => (0u8..8, 0u8..12, 0u8..12, 0u8..8)
-            .prop_map(|(op, a, b, dst)| OpSeed::Alu { op, a, b, dst }),
-        2 => (any::<u8>(), 0u8..8).prop_map(|(imm, dst)| OpSeed::Mvi { imm, dst }),
-        1 => (0u8..16, 0u8..12, 0u8..12, 0u8..8)
-            .prop_map(|(cond, a, b, dst)| OpSeed::SetCond { cond, a, b, dst }),
-        2 => (0u8..8, 0u8..8).prop_map(|(slot, dst)| OpSeed::Load { slot, dst }),
-        2 => (0u8..8, 0u8..8).prop_map(|(slot, src)| OpSeed::Store { slot, src }),
-        1 => (0u8..16, 0u8..12, 0u8..12, 1u8..5)
-            .prop_map(|(cond, a, b, skip)| OpSeed::Branch { cond, a, b, skip }),
-    ]
+fn arb_seed(rng: &mut Rng) -> OpSeed {
+    match rng.weighted(&[4, 2, 1, 2, 2, 1]) {
+        0 => OpSeed::Alu {
+            op: rng.u8(0..8),
+            a: rng.u8(0..12),
+            b: rng.u8(0..12),
+            dst: rng.u8(0..8),
+        },
+        1 => OpSeed::Mvi {
+            imm: rng.u32(0..256) as u8,
+            dst: rng.u8(0..8),
+        },
+        2 => OpSeed::SetCond {
+            cond: rng.u8(0..16),
+            a: rng.u8(0..12),
+            b: rng.u8(0..12),
+            dst: rng.u8(0..8),
+        },
+        3 => OpSeed::Load {
+            slot: rng.u8(0..8),
+            dst: rng.u8(0..8),
+        },
+        4 => OpSeed::Store {
+            slot: rng.u8(0..8),
+            src: rng.u8(0..8),
+        },
+        _ => OpSeed::Branch {
+            cond: rng.u8(0..16),
+            a: rng.u8(0..12),
+            b: rng.u8(0..12),
+            skip: rng.u8(1..5),
+        },
+    }
+}
+
+fn arb_seeds(rng: &mut Rng, len: std::ops::Range<usize>) -> Vec<OpSeed> {
+    rng.vec(len, arb_seed)
 }
 
 /// The registers the generator uses (r13–r15 stay untouched so nothing
@@ -160,43 +190,134 @@ fn run(program: mips::core::Program, check_hazards: bool) -> (Vec<u32>, Vec<u32>
         m.mem_mut().poke(MEM_BASE + k, 1000 + k);
     }
     m.run().unwrap();
-    let regs = (0..8)
-        .map(|k| m.mem().peek(MEM_BASE + 8 + k))
-        .collect();
+    let regs = (0..8).map(|k| m.mem().peek(MEM_BASE + 8 + k)).collect();
     let mem = (0..8).map(|k| m.mem().peek(MEM_BASE + k)).collect();
     (regs, mem, m.hazards().len())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+#[test]
+fn all_levels_compute_identically() {
+    Qc::new("all_levels_compute_identically")
+        .cases(192)
+        .run(|rng| {
+            let seeds = arb_seeds(rng, 1..60);
+            let lc = build(&seeds);
+            let reference = reorganize(&lc, ReorgOptions::NONE).unwrap();
+            let (ref_regs, ref_mem, _) = run(reference.program, false);
+            for (name, opts) in ReorgOptions::LEVELS.iter().skip(1) {
+                let out = reorganize(&lc, *opts).unwrap();
+                let (regs, mem, hazards) = run(out.program, true);
+                assert_eq!(&regs, &ref_regs, "registers differ at {name}");
+                assert_eq!(&mem, &ref_mem, "memory differs at {name}");
+                assert_eq!(hazards, 0, "hazards at {name}");
+            }
+        });
+}
 
-    #[test]
-    fn all_levels_compute_identically(seeds in proptest::collection::vec(arb_seed(), 1..60)) {
-        let lc = build(&seeds);
-        let reference = reorganize(&lc, ReorgOptions::NONE).unwrap();
-        let (ref_regs, ref_mem, _) = run(reference.program, false);
-        for (name, opts) in ReorgOptions::LEVELS.iter().skip(1) {
-            let out = reorganize(&lc, *opts).unwrap();
-            let (regs, mem, hazards) = run(out.program, true);
-            prop_assert_eq!(&regs, &ref_regs, "registers differ at {}", name);
-            prop_assert_eq!(&mem, &ref_mem, "memory differs at {}", name);
-            prop_assert_eq!(hazards, 0, "hazards at {}", name);
-        }
-    }
+#[test]
+fn none_level_is_hazard_free_too() {
+    Qc::new("none_level_is_hazard_free_too")
+        .cases(128)
+        .run(|rng| {
+            let seeds = arb_seeds(rng, 1..40);
+            let lc = build(&seeds);
+            let out = reorganize(&lc, ReorgOptions::NONE).unwrap();
+            let (_, _, hazards) = run(out.program, true);
+            assert_eq!(hazards, 0);
+        });
+}
 
-    #[test]
-    fn none_level_is_hazard_free_too(seeds in proptest::collection::vec(arb_seed(), 1..40)) {
-        let lc = build(&seeds);
-        let out = reorganize(&lc, ReorgOptions::NONE).unwrap();
-        let (_, _, hazards) = run(out.program, true);
-        prop_assert_eq!(hazards, 0);
-    }
-
-    #[test]
-    fn full_level_never_grows(seeds in proptest::collection::vec(arb_seed(), 1..60)) {
+#[test]
+fn full_level_never_grows() {
+    Qc::new("full_level_never_grows").cases(192).run(|rng| {
+        let seeds = arb_seeds(rng, 1..60);
         let lc = build(&seeds);
         let none = reorganize(&lc, ReorgOptions::NONE).unwrap();
         let full = reorganize(&lc, ReorgOptions::FULL).unwrap();
-        prop_assert!(full.program.len() <= none.program.len());
-    }
+        assert!(full.program.len() <= none.program.len());
+    });
+}
+
+/// Static companion to the dynamic hazard checks above: every level's
+/// output must be verifier-clean on **all** static paths, not just the
+/// single path the simulator happens to execute.
+#[test]
+fn all_levels_verify_statically_clean() {
+    Qc::new("all_levels_verify_statically_clean")
+        .cases(128)
+        .run(|rng| {
+            let seeds = arb_seeds(rng, 1..60);
+            let lc = build(&seeds);
+            for (name, opts) in ReorgOptions::LEVELS.iter() {
+                let out = reorganize(&lc, *opts).unwrap();
+                let report = verify(&out.program);
+                assert!(
+                    !report.has_errors(),
+                    "verifier errors at {name}:\n{report}\n{}",
+                    out.program.listing()
+                );
+            }
+        });
+}
+
+/// Deletes instruction `at` from a resolved program, retargeting every
+/// absolute branch past the removal point (a "reorganizer bug" injector).
+fn delete_instr(p: &mips::core::Program, at: usize) -> mips::core::Program {
+    let instrs: Vec<Instr> = p
+        .instrs()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != at)
+        .map(|(_, ins)| match ins.target() {
+            Some(Target::Abs(a)) if a as usize > at => ins.with_target(Target::Abs(a - 1)),
+            _ => *ins,
+        })
+        .collect();
+    mips::core::Program::new(instrs)
+}
+
+/// Corrupting naive output by deleting the no-op that separates a load
+/// from a dependent read must be caught statically.
+#[test]
+fn removing_interlock_nop_is_flagged() {
+    let mut found_corruptible = false;
+    Qc::new("removing_interlock_nop_is_flagged")
+        .cases(64)
+        .run(|rng| {
+            let seeds = arb_seeds(rng, 4..40);
+            let lc = build(&seeds);
+            let out = reorganize(&lc, ReorgOptions::NONE).unwrap();
+            let p = &out.program;
+            assert!(!verify(p).has_errors());
+            for i in 1..p.len().saturating_sub(1) {
+                // A no-op covering a load's delay slot, where the next
+                // instruction reads the loaded register: deleting it must
+                // re-expose the load-use hazard.
+                let loaded = match p[i - 1] {
+                    Instr::Op { mem: Some(m), .. } if m.is_delayed_load() => m.writes(),
+                    _ => None,
+                };
+                let (Some(r), true) = (loaded, p[i].is_nop()) else {
+                    continue;
+                };
+                if !p[i + 1].reads().contains(&r) {
+                    continue;
+                }
+                found_corruptible = true;
+                let corrupted = delete_instr(p, i);
+                let report = verify(&corrupted);
+                assert!(
+                    report
+                        .diagnostics()
+                        .iter()
+                        .any(|d| matches!(d.rule, Rule::LoadUse)),
+                    "deleting interlock no-op at {i} went unflagged:\n{}",
+                    corrupted.listing()
+                );
+            }
+        });
+    assert!(
+        found_corruptible,
+        "generator never produced a load/no-op/use triple; property is vacuous"
+    );
 }

@@ -449,15 +449,108 @@ fn parse_line(raw: &str, line: usize) -> Result<SrcLine, AsmError> {
     Ok(SrcLine::Instr(parse_instr(text, line)?))
 }
 
+/// Collects `.equ NAME value` constant definitions (a prepass, so order
+/// of definition and use does not matter).
+fn collect_equs(src: &str) -> Result<HashMap<String, i64>, AsmError> {
+    let mut equs = HashMap::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        // Textual scan only: instruction lines cannot be parsed yet —
+        // their operands may reference the constants being collected.
+        let text = match raw.find(';') {
+            Some(c) => &raw[..c],
+            None => raw,
+        };
+        let Some(rest) = text.trim().strip_prefix(".equ") else {
+            continue;
+        };
+        if !rest.is_empty() && !rest.starts_with(char::is_whitespace) {
+            continue; // a different directive, e.g. `.equities`
+        }
+        let rest = rest.trim();
+        let (sym, val) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| AsmError::new(line, "usage: .equ NAME value"))?;
+        if sym.is_empty() || !sym.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(AsmError::new(line, format!("bad .equ name `{sym}`")));
+        }
+        let v = parse_int(val.trim())
+            .ok_or_else(|| AsmError::new(line, format!("bad .equ value `{val}`")))?;
+        if equs.insert(sym.to_string(), v).is_some() {
+            return Err(AsmError::new(line, format!("duplicate .equ `{sym}`")));
+        }
+    }
+    Ok(equs)
+}
+
+/// Substitutes `#NAME`/`@NAME` operand references (with an optional
+/// `+n`/`-n` literal offset) by their `.equ` values before parsing.
+fn expand_equs(raw: &str, equs: &HashMap<String, i64>) -> String {
+    if equs.is_empty() {
+        return raw.to_string();
+    }
+    // Never rewrite comment text.
+    let (code, comment) = match raw.find(';') {
+        Some(i) => raw.split_at(i),
+        None => (raw, ""),
+    };
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let starts_name =
+            i + 1 < chars.len() && (chars[i + 1].is_ascii_alphabetic() || chars[i + 1] == '_');
+        if (c == '#' || c == '@') && starts_name {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let name: String = chars[start..j].iter().collect();
+            if let Some(&base) = equs.get(&name) {
+                let mut val = base;
+                // Optional literal offset: `@SAVE+3`.
+                if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                    let sign: i64 = if chars[j] == '-' { -1 } else { 1 };
+                    let ds = j + 1;
+                    let mut k = ds;
+                    while k < chars.len() && chars[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    if k > ds {
+                        let lit: String = chars[ds..k].iter().collect();
+                        val += sign * lit.parse::<i64>().unwrap_or(0);
+                        j = k;
+                    }
+                }
+                out.push(c);
+                out.push_str(&val.to_string());
+                i = j;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.push_str(comment);
+    out
+}
+
 /// Assembles text into an executable [`Program`].
 ///
-/// Every label is also exported as a program symbol.
+/// Every label is also exported as a program symbol. The `.equ NAME
+/// value` directive defines a symbolic constant usable in `#NAME` and
+/// `@NAME` operands (optionally with a `+n`/`-n` literal offset, e.g.
+/// `st r1,@SAVE+1`); definitions are collected in a prepass, so use may
+/// precede definition.
 ///
 /// # Errors
 ///
 /// Returns the first [`AsmError`] encountered (syntax, range, unknown
 /// label, invalid packing).
 pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let equs = collect_equs(src)?;
     let mut b = ProgramBuilder::new();
     let mut names: HashMap<String, Label> = HashMap::new();
     let mut intern = |b: &mut ProgramBuilder, n: &str| -> Label {
@@ -469,7 +562,8 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
 
     for (i, raw) in src.lines().enumerate() {
         let line = i + 1;
-        match parse_line(raw, line)? {
+        let raw = expand_equs(raw, &equs);
+        match parse_line(&raw, line)? {
             SrcLine::Nothing => {}
             SrcLine::Label(name) => {
                 let l = intern(&mut b, &name);
@@ -510,6 +604,7 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 }
                 b.push(packed);
             }
+            SrcLine::Directive(name, _) if name == "equ" => {} // prepassed
             SrcLine::Directive(name, _) => {
                 return Err(AsmError::new(
                     line,
@@ -876,6 +971,72 @@ mod tests {
         let d = disassemble(&p);
         assert!(d.contains("main:"));
         assert!(d.contains("no-op"));
+    }
+
+    #[test]
+    fn equ_substitutes_constants_and_addresses() {
+        let p = assemble(
+            "
+            .equ SAVE 0x100
+            .equ TEN 10
+                mvi #TEN,r1
+                st r1,@SAVE
+                st r1,@SAVE+2   ; literal offset on an equ
+                ld @SAVE-1,r2
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p[0],
+            Instr::Mvi(MviPiece {
+                imm: 10,
+                dst: Reg::R1
+            })
+        );
+        let abs = |i: usize| match &p[i] {
+            Instr::Op {
+                mem: Some(MemPiece::Store { mode, .. }),
+                ..
+            }
+            | Instr::Op {
+                mem: Some(MemPiece::Load { mode, .. }),
+                ..
+            } => match mode {
+                MemMode::Absolute(w) => w.value(),
+                _ => panic!("expected absolute mode"),
+            },
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(abs(1), 0x100);
+        assert_eq!(abs(2), 0x102);
+        assert_eq!(abs(3), 0x0ff);
+    }
+
+    #[test]
+    fn equ_may_be_used_before_definition() {
+        let p = assemble(" mvi #K,r1\n halt\n.equ K 7\n").unwrap();
+        assert_eq!(
+            p[0],
+            Instr::Mvi(MviPiece {
+                imm: 7,
+                dst: Reg::R1
+            })
+        );
+    }
+
+    #[test]
+    fn equ_leaves_comments_and_unknown_names_alone() {
+        // `#what` is not defined: the operand error mentions it verbatim.
+        let e = assemble(".equ K 1\n mvi #what,r1\n halt\n").unwrap_err();
+        assert!(e.to_string().contains("what"), "{e}");
+    }
+
+    #[test]
+    fn equ_rejects_duplicates_and_junk() {
+        assert!(assemble(".equ K 1\n.equ K 2\n halt\n").is_err());
+        assert!(assemble(".equ K\n halt\n").is_err());
+        assert!(assemble(".equ K nonsense\n halt\n").is_err());
     }
 }
 

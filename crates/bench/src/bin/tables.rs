@@ -7,7 +7,8 @@
 //! cargo run --release -p mips-bench --bin tables table11    # one experiment
 //! ```
 //!
-//! Experiments: `table1` … `table11`, `figure1` … `figure4`, `free`.
+//! Experiments: `table1` … `table11`, `figure1` … `figure4`, `free`,
+//! `wordwise`, `regalloc`, `systems`.
 
 use mips_analysis as analysis;
 use mips_hll::MachineTarget;
@@ -113,6 +114,11 @@ fn main() {
         );
     }
 
+    if want("systems") {
+        section("Systems overhead under mips-os (§3.1/§3.3)");
+        systems_table();
+    }
+
     if want("free") {
         section("Free memory cycles (§3.1)");
         let names: Vec<&str> = mips_workloads::corpus().iter().map(|w| w.name).collect();
@@ -120,6 +126,42 @@ fn main() {
     }
 
     eprintln!("[tables: completed in {:?}]", t0.elapsed());
+}
+
+/// Per-workload systems overhead: each corpus program runs alone under
+/// the `mips-os` kernel (demand-paged, segmented, preempted) and the
+/// kernel-mode cycles are attributed to their sections. The overhead
+/// column is the price of multiprogramming relative to bare metal.
+fn systems_table() {
+    use mips_os::{Kernel, ProcStatus};
+    println!(
+        "{:<12} {:>10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>8}",
+        "workload", "user", "save/rst", "dispatch", "syscall", "tick", "sched", "paging", "ovhd%"
+    );
+    for w in mips_workloads::corpus() {
+        let built = mips_bench::build(w.source);
+        let mut k = Kernel::boot();
+        k.spawn(w.name, built.program).expect("spawns");
+        let r = k.run_until_idle().expect("runs under the kernel");
+        assert!(
+            matches!(r.procs[0].status, ProcStatus::Exited(_)),
+            "{} exits under the kernel",
+            w.name
+        );
+        let c = r.cost;
+        println!(
+            "{:<12} {:>10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>8.2}",
+            w.name,
+            c.user,
+            c.save_restore,
+            c.dispatch,
+            c.syscall,
+            c.tick,
+            c.sched,
+            c.paging,
+            c.overhead_percent()
+        );
+    }
 }
 
 fn section(name: &str) {

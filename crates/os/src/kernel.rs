@@ -1,0 +1,522 @@
+//! Host side of the OS: boot the guest kernel, load processes, run.
+//!
+//! The host never executes kernel logic itself — scheduling, paging,
+//! and syscalls all happen in the guest assembly. What the host does
+//! is linker-and-firmware work: assemble `kernel.s`, relocate each
+//! user program into the shared instruction space behind it, seed the
+//! process control blocks the way real firmware seeds boot state, and
+//! read the results back out of kernel memory afterwards.
+
+use crate::layout::{self, pcb, sys};
+use mips_asm::assemble;
+use mips_core::{Instr, Program, Target, TrapPiece};
+use mips_sim::machine::CONSOLE_ADDR;
+use mips_sim::{Cause, Machine, MachineConfig, Mmio, PageMap, SimError, Surprise};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The guest kernel's source, assembled at [`kernel_program`].
+pub const KERNEL_SRC: &str = include_str!("asm/kernel.s");
+
+/// Assembles the guest kernel.
+///
+/// # Panics
+///
+/// Panics if the checked-in kernel source does not assemble — a build
+/// invariant, covered by tests.
+pub fn kernel_program() -> Program {
+    assemble(KERNEL_SRC).expect("kernel.s assembles")
+}
+
+/// Errors from the OS runtime.
+#[derive(Debug)]
+pub enum OsError {
+    /// Too many processes for the pid field / PCB table.
+    TooManyProcs,
+    /// A spawned program was empty.
+    EmptyProgram,
+    /// The underlying machine faulted in a way the kernel cannot see
+    /// (step limit, double fault).
+    Sim(SimError),
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::TooManyProcs => {
+                write!(f, "at most {} processes", layout::MAX_PROCS)
+            }
+            OsError::EmptyProgram => write!(f, "cannot spawn an empty program"),
+            OsError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+/// Tunable knobs for a kernel run.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Instructions between timer ticks. Must comfortably exceed the
+    /// kernel's tick path (~150 instructions) or the system livelocks
+    /// servicing its own timer.
+    pub time_slice: u64,
+    /// Resident page frames shared by all processes (demand-paging
+    /// budget), `2..=`[`layout::MAX_FRAMES`].
+    pub frames: u32,
+    /// Machine step limit (runaway guard).
+    pub step_limit: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            time_slice: 20_000,
+            frames: 64,
+            step_limit: 400_000_000,
+        }
+    }
+}
+
+/// How a process ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcStatus {
+    /// Still runnable when the run stopped (only on error paths).
+    Running,
+    /// Called `exit`; the status word it passed.
+    Exited(u32),
+    /// Killed by a fatal exception of this cause.
+    Killed(Cause),
+}
+
+/// Per-process outcome.
+#[derive(Debug, Clone)]
+pub struct ProcReport {
+    /// Pid (1-based).
+    pub pid: u32,
+    /// Name given at `spawn`.
+    pub name: String,
+    /// Final state.
+    pub status: ProcStatus,
+    /// Everything the process wrote through the console syscalls, in
+    /// its own order (demultiplexed by pid).
+    pub output: Vec<u8>,
+}
+
+/// The kernel's own event counters, read back from kernel memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Timer interrupts taken.
+    pub ticks: u64,
+    /// Demand (hard) page faults.
+    pub faults: u64,
+    /// Soft faults: swept pages remapped on re-touch.
+    pub soft_faults: u64,
+    /// Frames evicted by the second-chance sweep.
+    pub evictions: u64,
+    /// Traps serviced.
+    pub syscalls: u64,
+    /// Process switch-ins.
+    pub switches: u64,
+}
+
+/// Instruction-cycle attribution by kernel section — the measured
+/// price of running under an operating system instead of on bare
+/// metal. Buckets follow the kernel's section labels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemsCost {
+    /// User-mode instructions.
+    pub user: u64,
+    /// Register save on entry, PCB copies, restore before `rfe`.
+    pub save_restore: u64,
+    /// Cause decode and the fatal-exception path.
+    pub dispatch: u64,
+    /// System-call service bodies.
+    pub syscall: u64,
+    /// Timer acknowledge and clock bookkeeping.
+    pub tick: u64,
+    /// Scheduler scan.
+    pub sched: u64,
+    /// Page-fault handling: scan, map, sweep, evict.
+    pub paging: u64,
+}
+
+impl SystemsCost {
+    /// Total kernel-mode instructions.
+    pub fn kernel_total(&self) -> u64 {
+        self.save_restore + self.dispatch + self.syscall + self.tick + self.sched + self.paging
+    }
+
+    /// Kernel instructions per hundred total, i.e. the multiprogramming
+    /// overhead.
+    pub fn overhead_percent(&self) -> f64 {
+        let total = self.user + self.kernel_total();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.kernel_total() as f64 / total as f64
+    }
+}
+
+/// A finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-process outcomes, in spawn (pid) order.
+    pub procs: Vec<ProcReport>,
+    /// Kernel event counters.
+    pub counters: Counters,
+    /// Cycle attribution across kernel sections.
+    pub cost: SystemsCost,
+    /// Total instructions executed (user + kernel).
+    pub instructions: u64,
+    /// The chronological console stream as `(pid, byte)` pairs — the
+    /// interleaving evidence (per-process bytes are in
+    /// [`ProcReport::output`]).
+    pub console: Vec<(u32, u8)>,
+}
+
+struct Proc {
+    name: String,
+    program: Program,
+}
+
+/// The multiprogramming runtime: spawn programs, run them all
+/// concurrently under the guest kernel.
+pub struct Kernel {
+    config: KernelConfig,
+    procs: Vec<Proc>,
+}
+
+/// Console device shared with the machine: the kernel writes
+/// `(pid << 8) | byte` words, the host demultiplexes afterwards.
+struct MuxConsole(Rc<RefCell<Vec<u32>>>);
+
+impl Mmio for MuxConsole {
+    fn read(&mut self, _off: u32) -> u32 {
+        0
+    }
+    fn write(&mut self, _off: u32, value: u32) {
+        self.0.borrow_mut().push(value);
+    }
+}
+
+/// Which cost bucket a kernel section label belongs to.
+const SECTIONS: [(&str, Bucket); 11] = [
+    ("dispatch", Bucket::SaveRestore),
+    ("decode", Bucket::Dispatch),
+    ("svc", Bucket::Syscall),
+    ("tick", Bucket::Tick),
+    ("fault", Bucket::Paging),
+    ("kill", Bucket::Dispatch),
+    ("preempt", Bucket::SaveRestore),
+    ("sched", Bucket::Sched),
+    ("found", Bucket::SaveRestore),
+    ("boot", Bucket::Sched),
+    ("resume", Bucket::SaveRestore),
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    User,
+    SaveRestore,
+    Dispatch,
+    Syscall,
+    Tick,
+    Sched,
+    Paging,
+}
+
+impl Kernel {
+    /// A kernel with default configuration and no processes.
+    pub fn boot() -> Kernel {
+        Kernel::with_config(KernelConfig::default())
+    }
+
+    /// A kernel with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is unrunnable: a time slice too
+    /// short for the kernel's own tick path, or a frame budget that
+    /// cannot hold a working set.
+    pub fn with_config(config: KernelConfig) -> Kernel {
+        assert!(config.time_slice >= 512, "time slice livelocks the kernel");
+        assert!(
+            (2..=layout::MAX_FRAMES).contains(&config.frames),
+            "frame budget out of range"
+        );
+        Kernel {
+            config,
+            procs: Vec::new(),
+        }
+    }
+
+    /// Registers a program as a process. Returns its pid (1-based).
+    ///
+    /// The program runs exactly as compiled for bare metal: `Halt`
+    /// instructions are rewritten to `trap #0` (exit) at load, and the
+    /// native trap services become kernel syscalls with the same codes.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::TooManyProcs`] past [`layout::MAX_PROCS`];
+    /// [`OsError::EmptyProgram`] for an empty program.
+    pub fn spawn(&mut self, name: &str, program: Program) -> Result<u32, OsError> {
+        if self.procs.len() as u32 >= layout::MAX_PROCS {
+            return Err(OsError::TooManyProcs);
+        }
+        if program.is_empty() {
+            return Err(OsError::EmptyProgram);
+        }
+        self.procs.push(Proc {
+            name: name.to_string(),
+            program,
+        });
+        Ok(self.procs.len() as u32)
+    }
+
+    /// Builds the combined image, boots the machine, and runs until
+    /// the kernel halts with nothing left to schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Sim`] if the machine stops for a reason the kernel
+    /// cannot handle (step limit exceeded, double fault).
+    pub fn run_until_idle(&mut self) -> Result<RunReport, OsError> {
+        let kernel = kernel_program();
+        let klen = kernel.len() as u32;
+
+        // Link: kernel at 0, then each process image, entry recorded.
+        let mut image: Vec<Instr> = kernel.instrs().to_vec();
+        let mut entries = Vec::with_capacity(self.procs.len());
+        for p in &self.procs {
+            let off = image.len() as u32;
+            entries.push(off);
+            image.extend(relocate(&p.program, off));
+        }
+        let mut program = Program::new(image);
+        for (name, addr) in kernel.symbols() {
+            program.define_symbol(name, addr);
+        }
+
+        let mut m = Machine::with_config(
+            program,
+            MachineConfig {
+                native_traps: false, // traps vector to the kernel
+                step_limit: self.config.step_limit,
+                ..MachineConfig::default()
+            },
+        );
+        m.attach_page_map(PageMap::new());
+        m.attach_timer(self.config.time_slice, 0);
+        let console: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        m.mem_mut()
+            .add_device(CONSOLE_ADDR, 1, Box::new(MuxConsole(console.clone())));
+
+        // Segmentation geometry is global; the kernel switches spaces
+        // by rewriting only the pid register.
+        {
+            let seg = m.segmentation_mut();
+            seg.pid = 0;
+            seg.pid_bits = layout::PID_BITS;
+            seg.low_limit = layout::LOW_LIMIT;
+            seg.high_base = layout::HIGH_BASE;
+        }
+
+        // Seed kernel globals and one PCB per process.
+        let mem = m.mem_mut();
+        mem.poke(layout::NPROCS, self.procs.len() as u32);
+        mem.poke(layout::NFRAMES, self.config.frames);
+        for (i, entry) in entries.iter().enumerate() {
+            let base = layout::PCB_BASE + (i as u32 + 1) * layout::PCB_STRIDE;
+            mem.poke(base + pcb::STATE, pcb::STATE_RUNNABLE);
+            mem.poke(base + pcb::ENTRY, *entry);
+            mem.poke(base + pcb::RET0, *entry);
+            mem.poke(base + pcb::RET0 + 1, *entry + 1);
+            mem.poke(base + pcb::RET0 + 2, *entry + 2);
+            mem.poke(base + pcb::SURPRISE, layout::USER_SURPRISE);
+            mem.poke(base + pcb::BRK, layout::INITIAL_BRK);
+            // r0..r15 start at zero; the compiled prologue sets its
+            // own stack pointer.
+        }
+
+        // Map kernel section starts to cost buckets for attribution.
+        let mut sections: Vec<(u32, Bucket)> = SECTIONS
+            .iter()
+            .map(|&(name, b)| (m.program().symbol(name).expect("kernel section"), b))
+            .collect();
+        sections.sort_by_key(|&(a, _)| a);
+        let bucket_of = |pc: u32| -> Bucket {
+            if pc >= klen {
+                return Bucket::User;
+            }
+            match sections.binary_search_by_key(&pc, |&(a, _)| a) {
+                Ok(i) => sections[i].1,
+                Err(0) => Bucket::SaveRestore, // address 0 is `dispatch`
+                Err(i) => sections[i - 1].1,
+            }
+        };
+
+        // Run, attributing each executed instruction to a section.
+        // An interrupt dispatches before fetch, so the instruction a
+        // step actually executes is the kernel's entry word, not the
+        // one at the sampled pc; traps and faults dispatch *after*
+        // executing (or suppressing) the instruction at the sampled pc.
+        let mut cost = SystemsCost::default();
+        loop {
+            let pc = m.pc();
+            let exceptions = m.profile().exceptions;
+            let more = m.step().map_err(OsError::Sim)?;
+            let dispatched_first = m.profile().exceptions > exceptions && m.pc() == 1;
+            let executed = if dispatched_first { 0 } else { pc };
+            match bucket_of(executed) {
+                Bucket::User => cost.user += 1,
+                Bucket::SaveRestore => cost.save_restore += 1,
+                Bucket::Dispatch => cost.dispatch += 1,
+                Bucket::Syscall => cost.syscall += 1,
+                Bucket::Tick => cost.tick += 1,
+                Bucket::Sched => cost.sched += 1,
+                Bucket::Paging => cost.paging += 1,
+            }
+            if !more {
+                break;
+            }
+        }
+
+        // Read the results back out of kernel memory.
+        let mem = m.mem();
+        let counters = Counters {
+            ticks: mem.peek(layout::KTICKS) as u64,
+            faults: mem.peek(layout::KFAULTS) as u64,
+            soft_faults: mem.peek(layout::KSOFT) as u64,
+            evictions: mem.peek(layout::KEVICTS) as u64,
+            syscalls: mem.peek(layout::KSYSCALLS) as u64,
+            switches: mem.peek(layout::KSWITCHES) as u64,
+        };
+        let mut outputs: Vec<Vec<u8>> = vec![Vec::new(); self.procs.len() + 1];
+        let mut stream = Vec::with_capacity(console.borrow().len());
+        for &word in console.borrow().iter() {
+            let pid = (word >> 8) as usize;
+            let byte = (word & 0xff) as u8;
+            stream.push((pid as u32, byte));
+            if pid < outputs.len() {
+                outputs[pid].push(byte);
+            }
+        }
+        let procs = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let pid = i as u32 + 1;
+                let base = layout::PCB_BASE + pid * layout::PCB_STRIDE;
+                let code = mem.peek(base + pcb::CODE);
+                let status = match mem.peek(base + pcb::STATE) {
+                    pcb::STATE_EXITED => ProcStatus::Exited(code),
+                    pcb::STATE_KILLED => ProcStatus::Killed(Surprise::from_raw(code).cause()),
+                    _ => ProcStatus::Running,
+                };
+                ProcReport {
+                    pid,
+                    name: p.name.clone(),
+                    status,
+                    output: std::mem::take(&mut outputs[pid as usize]),
+                }
+            })
+            .collect();
+        Ok(RunReport {
+            procs,
+            counters,
+            cost,
+            instructions: m.profile().instructions,
+            console: stream,
+        })
+    }
+}
+
+/// Relocates a bare-metal program to load offset `off`: every resolved
+/// absolute control-flow target shifts, and `halt` (a bare-metal
+/// simulator convenience that would fault in user mode) becomes the
+/// exit syscall.
+fn relocate(p: &Program, off: u32) -> Vec<Instr> {
+    p.instrs()
+        .iter()
+        .map(|&i| {
+            if matches!(i, Instr::Halt) {
+                return Instr::Trap(TrapPiece::new(sys::EXIT).expect("exit code fits"));
+            }
+            match i.target() {
+                Some(Target::Abs(a)) => i.with_target(Target::Abs(a + off)),
+                _ => i,
+            }
+        })
+        .collect()
+}
+
+// Re-exported device addresses, for tests and documentation.
+pub use mips_sim::machine::{
+    CONSOLE_ADDR as CONSOLE, INTCTRL_ADDR as INTCTRL, MAPUNIT_ADDR as MAPUNIT,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_assembles_and_names_every_section() {
+        let k = kernel_program();
+        assert_eq!(k.symbol("dispatch"), Some(0), "exception vector at zero");
+        for (name, _) in SECTIONS {
+            assert!(k.symbol(name).is_some(), "kernel.s defines `{name}:`");
+        }
+    }
+
+    #[test]
+    fn kernel_equ_device_addresses_match_the_machine() {
+        // The `.equ` device constants in kernel.s must match the
+        // simulator's MMIO map.
+        for (name, addr) in [
+            ("INTCTRL", INTCTRL),
+            ("MAPUNIT", MAPUNIT),
+            ("CONSOLE", CONSOLE),
+        ] {
+            let line = KERNEL_SRC
+                .lines()
+                .find(|l| l.trim_start().starts_with(&format!(".equ {name}")))
+                .unwrap_or_else(|| panic!("kernel.s defines .equ {name}"));
+            let got: u32 = line
+                .split(';')
+                .next()
+                .unwrap()
+                .split_whitespace()
+                .nth(2)
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(got, addr, ".equ {name} drifted from the machine");
+        }
+    }
+
+    #[test]
+    fn spawn_rejects_overflow_and_empty() {
+        let mut k = Kernel::boot();
+        assert!(matches!(
+            k.spawn("empty", Program::new(vec![])),
+            Err(OsError::EmptyProgram)
+        ));
+        let p = assemble("halt").unwrap();
+        for i in 0..layout::MAX_PROCS {
+            assert_eq!(k.spawn("p", p.clone()).unwrap(), i + 1);
+        }
+        assert!(matches!(k.spawn("p", p), Err(OsError::TooManyProcs)));
+    }
+
+    #[test]
+    fn relocation_shifts_targets_and_rewrites_halt() {
+        let p = assemble("main:\n bra main\n nop\n halt").unwrap();
+        let r = relocate(&p, 100);
+        assert_eq!(r[0].target(), Some(Target::Abs(100)));
+        assert!(matches!(r[2], Instr::Trap(t) if t.code == sys::EXIT));
+    }
+}

@@ -1,0 +1,59 @@
+//! # mips-os — a software kernel on the simulated MIPS machine
+//!
+//! The paper's core argument is that work traditionally done by
+//! hardware — interlocks, condition codes, microcoded exception
+//! machinery, hardware page tables — can move into software without
+//! losing correctness. This crate carries that argument to its systems
+//! conclusion: a complete **guest kernel written in MIPS assembly**
+//! (assembled by `mips-asm`, checked in at `src/asm/kernel.s`) running
+//! user processes under **preemptive multiprogramming** with
+//! **per-process segmentation** and **demand paging**, on exactly the
+//! hardware the simulator models:
+//!
+//! * every exception vectors to address zero with the cause packed in
+//!   the *surprise* register (§3.3) — the kernel's `dispatch` decodes
+//!   it and saves all sixteen registers by hand;
+//! * the three saved return addresses (`ret0..ret2`) carry the
+//!   interrupted pipeline's delay-slot state across the switch, so a
+//!   process preempted mid-shadow resumes exactly (§3.3's "three
+//!   addresses are required");
+//! * the on-chip segmentation unit isolates processes by pid insertion
+//!   (§3.1) — the kernel switches spaces with one `wsp pid` write;
+//! * the off-chip page map takes demand faults; the kernel's handler
+//!   implements FIFO fill with second-chance replacement through the
+//!   map unit's three MMIO registers;
+//! * system calls are `trap` instructions; the timer interrupt drives
+//!   round-robin time slicing.
+//!
+//! The host side ([`Kernel`]) assembles the guest kernel, relocates
+//! user [`Program`](mips_core::Program)s behind it, seeds process
+//! control blocks, and runs the machine until the kernel halts idle —
+//! then reads back per-process console output, exit statuses, and the
+//! kernel's own counters, plus a per-section cycle attribution
+//! ([`SystemsCost`]) measuring what multiprogramming costs over bare
+//! metal.
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_os::{Kernel, ProcStatus};
+//!
+//! // Two tiny processes, each printing via the putchar syscall.
+//! let a = mips_asm::assemble("mvi #65,r1\n trap #1\n trap #0\n halt").unwrap();
+//! let b = mips_asm::assemble("mvi #66,r1\n trap #1\n trap #0\n halt").unwrap();
+//! let mut k = Kernel::boot();
+//! k.spawn("a", a).unwrap();
+//! k.spawn("b", b).unwrap();
+//! let report = k.run_until_idle().unwrap();
+//! assert_eq!(report.procs[0].output, b"A");
+//! assert_eq!(report.procs[1].output, b"B");
+//! assert!(matches!(report.procs[0].status, ProcStatus::Exited(_)));
+//! ```
+
+pub mod kernel;
+pub mod layout;
+
+pub use kernel::{
+    kernel_program, Counters, Kernel, KernelConfig, OsError, ProcReport, ProcStatus, RunReport,
+    SystemsCost, KERNEL_SRC,
+};

@@ -1,0 +1,295 @@
+//! Syscall ABI, fault isolation, and the paging policy, exercised by
+//! hand-written user programs (assembled with `mips-asm`), plus the
+//! static-verification gate on the kernel itself.
+
+use mips_asm::assemble;
+use mips_core::Program;
+use mips_os::{kernel_program, Kernel, KernelConfig, ProcStatus, KERNEL_SRC};
+use mips_sim::Cause;
+
+fn run_one(src: &str, cfg: KernelConfig) -> (mips_os::RunReport, ProcStatus, Vec<u8>) {
+    let p = assemble(src).unwrap();
+    let mut k = Kernel::with_config(cfg);
+    k.spawn("t", p).unwrap();
+    let r = k.run_until_idle().unwrap();
+    let status = r.procs[0].status;
+    let out = r.procs[0].output.clone();
+    (r, status, out)
+}
+
+/// The kernel must satisfy its own static verifier: zero errors, zero
+/// warnings. (Privileged-instruction notes are expected — it *is* the
+/// kernel.)
+#[test]
+fn kernel_passes_mips_verify_clean() {
+    let report = mips_verify::verify(&kernel_program());
+    let errors: Vec<_> = report.errors().collect();
+    assert!(errors.is_empty(), "kernel verify errors: {errors:?}");
+    let warnings: Vec<_> = report.warnings().collect();
+    assert!(warnings.is_empty(), "kernel verify warnings: {warnings:?}");
+}
+
+/// `mips-lint --strict` over the checked-in source agrees with the
+/// in-process verifier (the CI gate runs the binary form).
+#[test]
+fn kernel_source_lints_strict() {
+    let report = mips_verify::verify_source(KERNEL_SRC).unwrap();
+    assert!(!report.has_errors());
+    assert_eq!(report.warnings().count(), 0);
+}
+
+#[test]
+fn getpid_and_exit_status() {
+    let src = "
+    start:
+        trap #5          ; r1 := pid
+        mvi #48,r2
+        add r1,r2,r1
+        trap #1          ; print it
+        mvi #7,r1
+        trap #0          ; exit(7)
+        halt
+    ";
+    let (_, status, out) = run_one(src, KernelConfig::default());
+    assert_eq!(status, ProcStatus::Exited(7));
+    assert_eq!(out, b"1");
+}
+
+#[test]
+fn brk_returns_the_previous_break() {
+    let src = "
+    start:
+        lim #16384,r1
+        trap #4          ; r1 := old break (the initial one)
+        trap #2          ; print it
+        mvi #10,r1
+        trap #1
+        mvi #0,r1
+        trap #4          ; r1 := the break we just set
+        trap #2
+        mvi #0,r1
+        trap #0
+        halt
+    ";
+    let (_, status, out) = run_one(src, KernelConfig::default());
+    assert_eq!(status, ProcStatus::Exited(0));
+    assert_eq!(
+        out,
+        format!("{}\n16384", mips_os::layout::INITIAL_BRK).as_bytes()
+    );
+}
+
+#[test]
+fn time_advances_across_a_busy_loop() {
+    let src = "
+    start:
+        trap #6          ; r1 := ticks now
+        mov r1,r2
+        lim #3000,r4
+    loop:
+        sub r4,#1,r4
+        bne r4,#0,loop
+        nop
+        trap #6
+        sub r1,r2,r1     ; elapsed ticks
+        trap #2
+        mvi #0,r1
+        trap #0
+        halt
+    ";
+    let (_, status, out) = run_one(
+        src,
+        KernelConfig {
+            time_slice: 1_000,
+            ..KernelConfig::default()
+        },
+    );
+    assert_eq!(status, ProcStatus::Exited(0));
+    let elapsed: i64 = String::from_utf8(out).unwrap().parse().unwrap();
+    assert!(elapsed >= 3, "a ~9000-instruction loop spans ticks of 1000");
+}
+
+#[test]
+fn yield_round_robins_exactly() {
+    // Three processes each print their letter three times, yielding in
+    // between: the global stream must be a strict round-robin.
+    let src = |c: u8| {
+        format!(
+            "
+    start:
+        mvi #3,r4
+    loop:
+        mvi #{c},r1
+        trap #1
+        trap #3          ; yield
+        sub r4,#1,r4
+        bne r4,#0,loop
+        nop
+        trap #0
+        halt
+    "
+        )
+    };
+    let mut k = Kernel::with_config(KernelConfig {
+        time_slice: 100_000, // no timer interference: pure yields
+        ..KernelConfig::default()
+    });
+    for c in [b'A', b'B', b'C'] {
+        k.spawn(&format!("{}", c as char), assemble(&src(c)).unwrap())
+            .unwrap();
+    }
+    let r = k.run_until_idle().unwrap();
+    let stream: Vec<u8> = r.console.iter().map(|&(_, b)| b).collect();
+    assert_eq!(stream, b"ABCABCABC");
+    assert!(r.counters.syscalls >= 9 + 9); // putc + yield per letter
+}
+
+#[test]
+fn a_wild_pointer_kills_only_the_offender() {
+    let wild = "
+    start:
+        lim #16777215,r2
+        add r2,#1,r2     ; 2^24: inside the segmentation gap
+        ld 0(r2),r3      ; fatal
+        nop
+        trap #0
+        halt
+    ";
+    let good = "
+    start:
+        mvi #71,r1       ; 'G'
+        trap #1
+        mvi #0,r1
+        trap #0
+        halt
+    ";
+    let mut k = Kernel::boot();
+    k.spawn("wild", assemble(wild).unwrap()).unwrap();
+    k.spawn("good", assemble(good).unwrap()).unwrap();
+    let r = k.run_until_idle().unwrap();
+    assert_eq!(r.procs[0].status, ProcStatus::Killed(Cause::PageFault));
+    assert_eq!(r.procs[1].status, ProcStatus::Exited(0));
+    assert_eq!(r.procs[1].output, b"G");
+}
+
+#[test]
+fn privileged_instructions_kill_the_process() {
+    let src = "
+    start:
+        rsp ret0,r1      ; supervisor-only: the hardware faults
+        trap #0
+        halt
+    ";
+    let (_, status, _) = run_one(src, KernelConfig::default());
+    assert_eq!(status, ProcStatus::Killed(Cause::Privilege));
+}
+
+#[test]
+fn second_chance_paging_evicts_and_soft_faults() {
+    // Touch pages 1,2,3,4 then re-touch 2 each round, with only three
+    // frames: page 4's fault sweeps (unmaps) the resident set and
+    // evicts; the re-touch of page 2 is then a soft fault — still in
+    // the frame table, just unmapped by the sweep.
+    let src = "
+    start:
+        lim #4096,r2
+        lim #8192,r3
+        lim #12288,r4
+        lim #16384,r5
+        mvi #5,r6
+    loop:
+        ld 0(r2),r7
+        ld 0(r3),r7
+        ld 0(r4),r7
+        ld 0(r5),r7
+        ld 0(r3),r7
+        sub r6,#1,r6
+        bne r6,#0,loop
+        nop
+        mvi #75,r1       ; 'K'
+        trap #1
+        mvi #0,r1
+        trap #0
+        halt
+    ";
+    let (r, status, out) = run_one(
+        src,
+        KernelConfig {
+            frames: 3,
+            ..KernelConfig::default()
+        },
+    );
+    assert_eq!(status, ProcStatus::Exited(0));
+    assert_eq!(out, b"K");
+    assert!(r.counters.faults > 4, "hard faults: {:?}", r.counters);
+    assert!(r.counters.evictions > 0, "evictions: {:?}", r.counters);
+    assert!(r.counters.soft_faults > 0, "soft faults: {:?}", r.counters);
+    assert!(r.cost.paging > 0);
+}
+
+#[test]
+fn putint_handles_negative_values_and_zero() {
+    let src = "
+    start:
+        mvi #0,r1
+        trap #2
+        mvi #10,r1
+        trap #1
+        mvi #0,r1
+        sub r1,#1,r1     ; -1
+        lim #123456,r2
+        mul r1,r2,r1     ; -123456
+        trap #2
+        mvi #10,r1
+        trap #1
+        mvi #0,r1
+        trap #0
+        halt
+    ";
+    let (_, status, out) = run_one(src, KernelConfig::default());
+    assert_eq!(status, ProcStatus::Exited(0));
+    assert_eq!(out, b"0\n-123456\n");
+}
+
+/// Processes writing to the same virtual addresses do not see each
+/// other's data: pid insertion separates the spaces.
+#[test]
+fn address_spaces_are_disjoint() {
+    // Each process stores its pid at virtual word 0x1000, spins long
+    // enough to be preempted several times, then prints what it reads
+    // back.
+    let src = "
+    start:
+        trap #5          ; r1 := pid
+        lim #4096,r2
+        st r1,0(r2)
+        lim #20000,r4
+    loop:
+        sub r4,#1,r4
+        bne r4,#0,loop
+        nop
+        ld 0(r2),r1
+        nop
+        trap #2          ; print the word at 0x1000
+        trap #0
+        halt
+    ";
+    let p: Program = assemble(src).unwrap();
+    let mut k = Kernel::with_config(KernelConfig {
+        time_slice: 3_000,
+        ..KernelConfig::default()
+    });
+    for i in 0..4 {
+        k.spawn(&format!("p{i}"), p.clone()).unwrap();
+    }
+    let r = k.run_until_idle().unwrap();
+    assert!(r.counters.ticks > 0, "slices were long enough to preempt");
+    for (i, p) in r.procs.iter().enumerate() {
+        assert_eq!(
+            p.output,
+            format!("{}", i + 1).as_bytes(),
+            "process {} read another's store",
+            i + 1
+        );
+    }
+}

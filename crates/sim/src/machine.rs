@@ -94,6 +94,17 @@ pub enum StopReason {
     Halt,
 }
 
+/// A deterministic interval timer: raises a device on the interrupt
+/// controller every `period` executed instructions (the external timer
+/// tick an operating system schedules by, §3.2's single interrupt line
+/// with external prioritization).
+#[derive(Debug, Clone, Copy)]
+struct Timer {
+    period: u64,
+    device: u32,
+    next_fire: u64,
+}
+
 /// A pending delayed branch: fires when `slots` reaches zero.
 #[derive(Debug, Clone, Copy)]
 struct PendingBranch {
@@ -122,6 +133,7 @@ pub struct Machine {
     fault_addr: Rc<RefCell<u32>>,
     int_ctrl: Option<Rc<RefCell<IntCtrl>>>,
     irq_line: bool,
+    timer: Option<Timer>,
     halted: bool,
     profile: Profile,
     hazards: Vec<Hazard>,
@@ -182,6 +194,7 @@ impl Machine {
             fault_addr: Rc::new(RefCell::new(0)),
             int_ctrl: None,
             irq_line: false,
+            timer: None,
             halted: false,
             profile: Profile::default(),
             hazards: Vec::new(),
@@ -229,6 +242,34 @@ impl Machine {
     /// controller).
     pub fn set_irq_line(&mut self, on: bool) {
         self.irq_line = on;
+    }
+
+    /// Attaches a deterministic interval timer: `device` is raised on the
+    /// interrupt controller every `period` executed instructions
+    /// (installing the controller if absent). The raise is level-triggered
+    /// and sticky until software acknowledges it through the controller
+    /// port, so a tick that lands while interrupts are disabled is taken
+    /// at the next enabled instruction boundary. Periods shorter than the
+    /// software's dispatch-plus-handler path will starve user progress —
+    /// exactly as on the real machine.
+    pub fn attach_timer(&mut self, period: u64, device: u32) -> Rc<RefCell<IntCtrl>> {
+        let ctrl = match &self.int_ctrl {
+            Some(c) => c.clone(),
+            None => self.attach_int_ctrl(),
+        };
+        let period = period.max(1);
+        self.timer = Some(Timer {
+            period,
+            device,
+            next_fire: period,
+        });
+        ctrl
+    }
+
+    /// The three exception return addresses `ret0..ret2` (privileged
+    /// state; host-side introspection for tests and OS runtimes).
+    pub fn ret_addrs(&self) -> [u32; 3] {
+        self.ret
     }
 
     /// Reads a general register.
@@ -605,6 +646,16 @@ impl Machine {
             return Err(SimError::StepLimit {
                 limit: self.cfg.step_limit,
             });
+        }
+
+        // The timer is part of the instruction-boundary sample: its raise
+        // is visible to the very interrupt check below, keeping tick
+        // arrival a pure function of the executed-instruction count.
+        if let (Some(t), Some(ctrl)) = (&mut self.timer, &self.int_ctrl) {
+            if self.profile.instructions >= t.next_fire {
+                ctrl.borrow_mut().raise(t.device);
+                t.next_fire += t.period;
+            }
         }
 
         // Interrupts are sampled at instruction boundaries.

@@ -204,6 +204,71 @@ mod tests {
     }
 
     #[test]
+    fn boundaries_are_exact_at_low_limit_and_high_base() {
+        let s = Segmentation {
+            pid: 0,
+            pid_bits: 4,
+            low_limit: 0x1000,
+            high_base: 0xffff_0000,
+        };
+        // `low_limit` is the exclusive end of the low region …
+        assert!(s.translate(0x0fff).is_some());
+        assert_eq!(s.translate(0x1000), None);
+        assert_eq!(s.translate(0x1001), None);
+        // … and `high_base` is the inclusive start of the high region.
+        assert_eq!(s.translate(0xfffe_ffff), None);
+        assert!(s.translate(0xffff_0000).is_some());
+        assert!(s.translate(0xffff_0001).is_some());
+    }
+
+    #[test]
+    fn pid_bits_zero_is_the_full_space_and_insertion_free() {
+        let s = Segmentation {
+            pid: 0x5a, // ignored: no bits to insert
+            pid_bits: 0,
+            low_limit: u32::MAX,
+            high_base: u32::MAX,
+        };
+        assert_eq!(s.space_words(), MEM_WORDS);
+        // The mapped address is the virtual address folded to 24 bits,
+        // with no pid field regardless of the pid register's contents.
+        assert_eq!(s.translate(0), Some(0));
+        assert_eq!(s.translate(MEM_WORDS - 1), Some(MEM_WORDS - 1));
+        assert_eq!(s.translate(MEM_WORDS + 7), Some(7));
+    }
+
+    #[test]
+    fn pid_bits_eight_is_the_smallest_space() {
+        let s = Segmentation {
+            pid: 0xff,
+            pid_bits: 8,
+            low_limit: u32::MAX,
+            high_base: u32::MAX,
+        };
+        // 64K-word process space, pid in the top 8 of 24 bits.
+        assert_eq!(s.space_words(), 1 << 16);
+        assert_eq!(s.translate(0), Some(0xff << 16));
+        assert_eq!(s.translate(0xffff), Some((0xff << 16) | 0xffff));
+        // One past the space folds back to local 0.
+        assert_eq!(s.translate(0x1_0000), Some(0xff << 16));
+        // Oversized pid values are masked to the field width.
+        let wide = Segmentation { pid: 0x1ff, ..s };
+        assert_eq!(wide.translate(0), Some(0xff << 16));
+    }
+
+    #[test]
+    fn pid_bits_beyond_max_clamps() {
+        let s = Segmentation {
+            pid: 1,
+            pid_bits: 12, // out of range: behaves as MAX_PID_BITS
+            low_limit: u32::MAX,
+            high_base: u32::MAX,
+        };
+        assert_eq!(s.space_words(), MEM_WORDS >> Segmentation::MAX_PID_BITS);
+        assert_eq!(s.translate(0), Some(1 << 16));
+    }
+
+    #[test]
     fn identity_map() {
         let m = PageMap::identity(4);
         assert_eq!(m.len(), 4);

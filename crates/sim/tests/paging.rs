@@ -1,0 +1,96 @@
+//! Machine-level MMU edge cases: what a software fault handler actually
+//! observes on a page-map miss — the cause/detail fields of the surprise
+//! register and the full mapped address latched at the map-unit port.
+
+use mips_asm::assemble;
+use mips_sim::machine::MAPUNIT_ADDR;
+use mips_sim::{Cause, Machine, MachineConfig, PageMap, Segmentation, Surprise, PAGE_WORDS};
+
+/// The faulting store's surprise register and the map-unit latch are
+/// saved by the handler for the host to inspect.
+fn run_fault_probe(seg: Segmentation, va: u32) -> (Surprise, u32) {
+    let src = format!(
+        "
+        handler:
+            rsp surprise,r1
+            st r1,@100
+            lim #{mapu},r2
+            ld 0(r2),r3        ; latched faulting mapped address
+            nop
+            st r3,@101
+            halt
+        main:
+            mvi #7,r4
+            lim #{hi},r5
+            sll r5,#8,r5       ; 32-bit virtual addresses exceed lim's 24
+            or r5,#{lo},r5
+            st r4,(r5)         ; faults: page not resident
+            halt
+        ",
+        mapu = MAPUNIT_ADDR,
+        hi = va >> 8,
+        lo = va & 0xf
+    );
+    assert_eq!(va & 0xff, va & 0xf, "low byte must fit a small operand");
+    let p = assemble(&src).unwrap();
+    let mut m = Machine::with_config(
+        p,
+        MachineConfig {
+            native_traps: false,
+            ..MachineConfig::default()
+        },
+    );
+    m.attach_page_map(PageMap::new());
+    *m.segmentation_mut() = seg;
+    m.surprise_mut().set_map_enable(true);
+    let main = m.program().symbol("main").unwrap();
+    m.jump_to(main);
+    m.run().unwrap();
+    (Surprise::from_raw(m.mem().peek(100)), m.mem().peek(101))
+}
+
+#[test]
+fn page_map_miss_detail_is_the_low_mapped_bits() {
+    let seg = Segmentation {
+        pid: 3,
+        pid_bits: 4,
+        low_limit: u32::MAX,
+        high_base: u32::MAX,
+    };
+    let va = 5 * PAGE_WORDS + 0x105; // page 5 of the process space
+    let (saved, latched) = run_fault_probe(seg, va);
+    assert_eq!(saved.cause(), Cause::PageFault);
+    let mapped = seg.translate(va).unwrap();
+    assert_eq!(
+        saved.detail(),
+        (mapped & 0xffff) as u16,
+        "detail carries the low 16 bits of the mapped (pid-inserted) address"
+    );
+    assert_eq!(
+        latched, mapped,
+        "the map-unit port latches the full mapped address"
+    );
+    assert_eq!(
+        mapped >> 20,
+        3,
+        "pid field present in what the handler sees"
+    );
+}
+
+#[test]
+fn segmentation_gap_fault_latches_the_raw_virtual_address() {
+    // A reference between the two valid regions faults before pid
+    // insertion: the latch holds the raw 32-bit virtual address, which is
+    // how a kernel distinguishes a wild pointer from a demand-page miss.
+    let seg = Segmentation {
+        pid: 1,
+        pid_bits: 4,
+        low_limit: 0x0100_0000,
+        high_base: 0xffff_0000,
+    };
+    let va = 0x2000_0000; // inside the gap
+    let (saved, latched) = run_fault_probe(seg, va);
+    assert_eq!(saved.cause(), Cause::PageFault);
+    assert_eq!(latched, va, "raw virtual address, no pid field");
+    assert_eq!(saved.detail(), (va & 0xffff) as u16);
+}

@@ -1,10 +1,12 @@
 //! `mips-lint` — static machine-code lint over `.s` assembly files.
 //!
 //! ```text
-//! usage: mips-lint [--strict] [--quiet] FILE.s [FILE.s ...]
+//! usage: mips-lint [--strict] [--quiet] [--json] FILE.s [FILE.s ...]
 //!
 //!   --strict   treat warnings as failures (info never fails)
 //!   --quiet    print nothing for clean files
+//!   --json     one JSON object per diagnostic line (rule id, name,
+//!              severity, address, message, file) for CI and tooling
 //! ```
 //!
 //! Exit status: 0 when every file is acceptable, 1 when any file has an
@@ -13,16 +15,20 @@
 use mips_verify::{verify_source, Severity};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: mips-lint [--strict] [--quiet] [--json] FILE.s [FILE.s ...]";
+
 fn main() -> ExitCode {
     let mut strict = false;
     let mut quiet = false;
+    let mut json = false;
     let mut files = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--strict" => strict = true,
             "--quiet" => quiet = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: mips-lint [--strict] [--quiet] FILE.s [FILE.s ...]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ if arg.starts_with('-') => {
@@ -33,7 +39,7 @@ fn main() -> ExitCode {
         }
     }
     if files.is_empty() {
-        eprintln!("usage: mips-lint [--strict] [--quiet] FILE.s [FILE.s ...]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
@@ -57,7 +63,7 @@ fn main() -> ExitCode {
         let bad = report.has_errors() || (strict && report.warnings().next().is_some());
         failed |= bad;
         if report.is_clean() {
-            if !quiet {
+            if !quiet && !json {
                 println!("{file}: clean");
             }
             continue;
@@ -67,7 +73,16 @@ fn main() -> ExitCode {
             if quiet && d.severity() == Severity::Info {
                 continue;
             }
-            println!("{file}:{d}");
+            if json {
+                // One object per line; the file is appended as an extra
+                // key so multi-file runs stay self-describing.
+                let obj = d.to_json();
+                let body = obj.strip_suffix('}').unwrap_or(&obj);
+                let fname = file.replace('\\', "\\\\").replace('"', "\\\"");
+                println!("{body},\"file\":\"{fname}\"}}");
+            } else {
+                println!("{file}:{d}");
+            }
         }
     }
     if failed {

@@ -143,6 +143,39 @@ impl Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// One-line JSON object for machine consumers (`mips-lint --json`):
+    /// stable keys `rule`, `name`, `severity`, `pc`, `message`. No
+    /// external serializer is used; the message is escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"rule":"{}","name":"{}","severity":"{}","pc":{},"message":"{}"}}"#,
+            self.rule.id(),
+            rule_name(self.rule),
+            self.severity(),
+            self.pc,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -237,5 +270,24 @@ impl fmt::Display for Report {
             f,
             "{errors} error(s), {warnings} warning(s), {infos} note(s)"
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_json_shape() {
+        let d = Diagnostic::new(Rule::LoadUse, 7, "reads r1 in a \"shadow\"\n");
+        assert_eq!(
+            d.to_json(),
+            r#"{"rule":"V001","name":"load-use","severity":"error","pc":7,"message":"reads r1 in a \"shadow\"\n"}"#
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\u{1}b\\"), "a\\u0001b\\\\");
     }
 }

@@ -16,6 +16,9 @@
 //!   strategies and data layouts;
 //! * [`verify`] — the static pipeline-interlock verifier and lint pass
 //!   (the `mips-lint` binary);
+//! * [`os`] — the software kernel and multiprogramming runtime: exception
+//!   dispatch, syscalls, preemptive scheduling, and demand paging on the
+//!   simulated machine;
 //! * [`analysis`] — the measurement tooling behind every table of the
 //!   paper;
 //! * [`workloads`] — the benchmark corpus (Fibonacci, Puzzle, text
@@ -29,6 +32,7 @@ pub use mips_asm as asm;
 pub use mips_ccm as ccm;
 pub use mips_core as core;
 pub use mips_hll as hll;
+pub use mips_os as os;
 pub use mips_reorg as reorg;
 pub use mips_sim as sim;
 pub use mips_verify as verify;

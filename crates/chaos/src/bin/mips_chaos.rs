@@ -1,0 +1,117 @@
+//! `mips-chaos` — seeded fault-injection campaigns against the stack.
+//!
+//! ```text
+//! usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--json]
+//!
+//!   --seed N    campaign seed (decimal or 0x-hex; default 0xA5)
+//!   --cases N   chaos cases to run (default 200)
+//!   --faults N  maximum faults per case (default 3)
+//!   --fuzz N    also run N differential-fuzz cases per harness
+//!   --json      emit the byte-stable JSON report instead of the table
+//! ```
+//!
+//! Exit status: 0 when nothing escaped, 1 when any case escaped its
+//! victim (or the differential fuzz found a divergence or host panic),
+//! 2 on usage errors.
+//!
+//! The JSON artifact is deterministic for a given seed: CI replays the
+//! campaign and byte-compares the output.
+
+use mips_chaos::{fuzz_bare_faults, fuzz_static_dynamic, run_campaign, CampaignConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--json]";
+
+fn parse_num(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = CampaignConfig::default();
+    let mut json = false;
+    let mut fuzz: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> Result<u64, ExitCode> {
+            args.next().as_deref().and_then(parse_num).ok_or_else(|| {
+                eprintln!("mips-chaos: {name} needs a numeric argument\n{USAGE}");
+                ExitCode::from(2)
+            })
+        };
+        match arg.as_str() {
+            "--seed" => match num("--seed") {
+                Ok(v) => cfg.seed = v,
+                Err(c) => return c,
+            },
+            "--cases" => match num("--cases") {
+                Ok(v) => cfg.cases = v,
+                Err(c) => return c,
+            },
+            "--faults" => match num("--faults") {
+                Ok(v) => cfg.max_faults = v as usize,
+                Err(c) => return c,
+            },
+            "--fuzz" => match num("--fuzz") {
+                Ok(v) => fuzz = v,
+                Err(c) => return c,
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => {
+                eprintln!("mips-chaos: unknown argument '{arg}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = run_campaign(&cfg);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    let mut failed = !report.clean();
+
+    if fuzz > 0 {
+        let diff = fuzz_static_dynamic(cfg.seed, fuzz);
+        let bare = fuzz_bare_faults(cfg.seed, fuzz);
+        if !json {
+            println!(
+                "\ndifferential fuzz: {} static/dynamic cases, {} mismatches; \
+                 {} bare-fault cases, {} halted, {} typed errors, {} host panics",
+                diff.cases,
+                diff.mismatches.len(),
+                bare.cases,
+                bare.halted,
+                bare.typed_errors,
+                bare.host_panics
+            );
+        }
+        for m in &diff.mismatches {
+            eprintln!(
+                "mips-chaos: fuzz mismatch (case {}, {}): {}",
+                m.case, m.level, m.what
+            );
+        }
+        if bare.host_panics > 0 {
+            eprintln!(
+                "mips-chaos: {} host panic(s) under bare-machine faults",
+                bare.host_panics
+            );
+        }
+        failed |= !diff.mismatches.is_empty() || bare.host_panics > 0;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,272 @@
+//! Differential fuzzing: the static verifier vs. the running machine,
+//! and the machine's error surface vs. raw bit-flips.
+//!
+//! Two properties, both seed-replayable:
+//!
+//! 1. **Static/dynamic agreement** ([`fuzz_static_dynamic`]): a random
+//!    program that the reorganizer emitted and `mips-verify` passes
+//!    clean must execute without tripping the simulator's dynamic
+//!    hazard detector — at every optimization level. A divergence in
+//!    either direction is a bug in one of the two tools.
+//! 2. **No untyped failures** ([`fuzz_bare_faults`]): a bare machine
+//!    running a random program under random register/memory bit-flips
+//!    must end every run in a halt or a *typed* [`SimError`](mips_sim::SimError) — never a
+//!    host panic. This is the sim-layer half of the chaos campaign's
+//!    no-escape guarantee.
+
+use mips_core::{
+    AluOp, AluPiece, CmpBranchPiece, Cond, Instr, Label, LinearCode, MemMode, MemPiece, MviPiece,
+    Operand, Reg, SetCondPiece, Target, WordAddr,
+};
+use mips_qc::Rng;
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::{Machine, MachineConfig};
+use mips_verify::verify;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const MEM_BASE: u32 = 200;
+
+/// Generates a random, always-terminating straight-line-plus-forward-
+/// branches program in the shape the compiler emits (the same family
+/// the reorganizer's own property tests use).
+pub fn arb_linear_code(rng: &mut Rng, max_ops: usize) -> LinearCode {
+    let reg = |i: u8| Reg::from_index((i % 8) as usize + 1).expect("r1..r8");
+    let operand = |i: u8| {
+        if i < 8 {
+            Operand::Reg(reg(i))
+        } else {
+            Operand::Small(i)
+        }
+    };
+    let alu_ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Rsub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+    ];
+    let mut lc = LinearCode::new();
+    let mut pending: Vec<(u8, Label)> = Vec::new();
+    let n = rng.usize(1..max_ops.max(2));
+    for _ in 0..n {
+        let instr = match rng.weighted(&[4, 2, 1, 2, 2, 1]) {
+            0 => Instr::alu(AluPiece::new(
+                alu_ops[rng.usize(0..8)],
+                operand(rng.u8(0..12)),
+                operand(rng.u8(0..12)),
+                reg(rng.u8(0..8)),
+            )),
+            1 => Instr::Mvi(MviPiece {
+                imm: rng.u32(0..256) as u8,
+                dst: reg(rng.u8(0..8)),
+            }),
+            2 => Instr::SetCond(SetCondPiece::new(
+                Cond::from_code(rng.u8(0..16)).expect("cond codes 0..16"),
+                operand(rng.u8(0..12)),
+                operand(rng.u8(0..12)),
+                reg(rng.u8(0..8)),
+            )),
+            3 => Instr::mem(MemPiece::load(
+                MemMode::Absolute(WordAddr::new(MEM_BASE + u32::from(rng.u8(0..8)))),
+                reg(rng.u8(0..8)),
+            )),
+            4 => Instr::mem(MemPiece::store(
+                MemMode::Absolute(WordAddr::new(MEM_BASE + u32::from(rng.u8(0..8)))),
+                reg(rng.u8(0..8)),
+            )),
+            _ => {
+                let l = lc.fresh_label();
+                pending.push((rng.u8(1..5), l));
+                Instr::CmpBranch(CmpBranchPiece::new(
+                    Cond::from_code(rng.u8(0..16)).expect("cond codes 0..16"),
+                    operand(rng.u8(0..12)),
+                    operand(rng.u8(0..12)),
+                    Target::Label(l),
+                ))
+            }
+        };
+        lc.op(instr);
+        for p in &mut pending {
+            p.0 = p.0.saturating_sub(1);
+        }
+        let expired: Vec<Label> = pending
+            .iter()
+            .filter(|(c, _)| *c == 0)
+            .map(|(_, l)| *l)
+            .collect();
+        pending.retain(|(c, _)| *c > 0);
+        for l in expired {
+            lc.define(l);
+        }
+    }
+    for (_, l) in pending {
+        lc.define(l);
+    }
+    lc.op(Instr::Halt);
+    lc
+}
+
+/// One static/dynamic disagreement.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    pub case: u64,
+    pub level: &'static str,
+    /// What went wrong: static errors on reorganizer output, or a
+    /// dynamic hazard on verifier-clean code.
+    pub what: String,
+}
+
+/// Result of a [`fuzz_static_dynamic`] run.
+#[derive(Debug, Clone, Default)]
+pub struct DiffStats {
+    pub cases: u64,
+    /// Programs that verified clean (all of them should).
+    pub static_clean: u64,
+    pub mismatches: Vec<Mismatch>,
+}
+
+/// Fuzzes the static-verifier/dynamic-detector agreement.
+pub fn fuzz_static_dynamic(seed: u64, cases: u64) -> DiffStats {
+    let mut stats = DiffStats {
+        cases,
+        ..DiffStats::default()
+    };
+    for case in 0..cases {
+        let mut rng = Rng::new(seed ^ case.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let lc = arb_linear_code(&mut rng, 60);
+        for (name, opts) in [("none", ReorgOptions::NONE), ("full", ReorgOptions::FULL)] {
+            let out = reorganize(&lc, opts).expect("generated code reorganizes");
+            let report = verify(&out.program);
+            if report.has_errors() {
+                stats.mismatches.push(Mismatch {
+                    case,
+                    level: name,
+                    what: format!("reorganizer output fails static verify:\n{report}"),
+                });
+                continue;
+            }
+            stats.static_clean += 1;
+            let mut m = Machine::with_config(
+                out.program,
+                MachineConfig {
+                    check_hazards: true,
+                    step_limit: 1_000_000,
+                    ..MachineConfig::default()
+                },
+            );
+            m.run().expect("generated programs terminate");
+            if let Some(h) = m.hazards().first() {
+                stats.mismatches.push(Mismatch {
+                    case,
+                    level: name,
+                    what: format!("verifier-clean code trips dynamic detector: {h}"),
+                });
+            }
+        }
+    }
+    stats
+}
+
+/// Result of a [`fuzz_bare_faults`] run.
+#[derive(Debug, Clone, Default)]
+pub struct BareStats {
+    pub cases: u64,
+    /// Runs that still halted normally.
+    pub halted: u64,
+    /// Runs that ended in a typed [`mips_sim::SimError`].
+    pub typed_errors: u64,
+    /// Host panics that crossed the simulation boundary (must be 0).
+    pub host_panics: u64,
+}
+
+/// Fuzzes the bare machine's error surface under register and memory
+/// bit-flips: every run must end in a halt or a typed error.
+pub fn fuzz_bare_faults(seed: u64, cases: u64) -> BareStats {
+    let mut stats = BareStats {
+        cases,
+        ..BareStats::default()
+    };
+    for case in 0..cases {
+        let mut rng = Rng::new(seed ^ case.wrapping_add(1).wrapping_mul(0xD134_2543_DE82_EF95));
+        let lc = arb_linear_code(&mut rng, 40);
+        let out = reorganize(&lc, ReorgOptions::FULL).expect("generated code reorganizes");
+        // Schedule a few flips inside the program's short lifetime.
+        let nfaults = rng.usize(1..4);
+        let mut triggers: Vec<u64> = (0..nfaults).map(|_| rng.u64(0..200)).collect();
+        triggers.sort_unstable();
+        // Flip target: 0 = register, 1 = data memory, 2 = the program
+        // counter itself (a sequencer fault — the flip most likely to
+        // push execution somewhere illegal).
+        let flips: Vec<(u8, u8, u8)> = (0..nfaults)
+            .map(|_| (rng.u8(0..3), rng.u8(0..16), rng.u8(0..32)))
+            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut m = Machine::with_config(
+                out.program,
+                MachineConfig {
+                    step_limit: 100_000,
+                    ..MachineConfig::default()
+                },
+            );
+            let mut fired = 0;
+            loop {
+                while fired < triggers.len() && triggers[fired] <= m.profile().instructions {
+                    let (target, which, bit) = flips[fired];
+                    fired += 1;
+                    match target {
+                        0 => {
+                            let r = Reg::from_index(usize::from(which)).expect("0..16");
+                            m.set_reg(r, m.reg(r) ^ (1 << u32::from(bit)));
+                        }
+                        1 => {
+                            let pa = MEM_BASE + u32::from(which);
+                            let v = m.mem().peek(pa) ^ (1 << u32::from(bit));
+                            m.mem_mut().poke(pa, v);
+                        }
+                        _ => m.jump_to(m.pc() ^ (1 << (u32::from(bit) % 16))),
+                    }
+                }
+                match m.step() {
+                    Ok(true) => {}
+                    Ok(false) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+            }
+        }));
+        match result {
+            Ok(Ok(())) => stats.halted += 1,
+            Ok(Err(_)) => stats.typed_errors += 1,
+            Err(_) => stats.host_panics += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_dynamic_views_agree() {
+        let stats = fuzz_static_dynamic(0xFEED, 40);
+        assert!(
+            stats.mismatches.is_empty(),
+            "static/dynamic divergence: {:?}",
+            stats.mismatches
+        );
+        assert_eq!(stats.static_clean, stats.cases * 2);
+    }
+
+    #[test]
+    fn bit_flips_never_panic_the_host() {
+        let stats = fuzz_bare_faults(0xBEEF, 60);
+        assert_eq!(stats.host_panics, 0);
+        assert_eq!(stats.halted + stats.typed_errors, stats.cases);
+        // Flips must actually perturb some runs into the error path
+        // across this many cases, or the harness is vacuous.
+        assert!(stats.typed_errors > 0, "no run ever faulted: {stats:?}");
+    }
+}

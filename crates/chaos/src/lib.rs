@@ -1,0 +1,60 @@
+//! # mips-chaos — deterministic fault injection for the MIPS stack
+//!
+//! The paper moves hardware guarantees into software: interlocks into
+//! the reorganizer, exception machinery into one surprise register and
+//! a software handler, memory mapping into a kernel-managed page map.
+//! This crate asks the adversarial question that raises: **when the
+//! hardware itself misbehaves, does the software stack fail well?**
+//!
+//! Three pieces:
+//!
+//! * a **fault model** ([`FaultPlan`]) — register, memory, and
+//!   page-map bit flips, surprise-register corruption, spurious and
+//!   dropped interrupts, MMIO port garbage — drawn deterministically
+//!   from one seed and pinned to instruction-count triggers;
+//! * an **injector** ([`Injector`]) that fires a plan into a running
+//!   [`Machine`](mips_sim::Machine) through its public hook points,
+//!   plus a **campaign** ([`run_campaign`]) that replays real
+//!   multiprogrammed workloads under the guest kernel with faults
+//!   aimed at one victim process, grading each run
+//!   [`Masked`](Outcome::Masked) / [`Isolated`](Outcome::Isolated) /
+//!   [`Detected`](Outcome::Detected) / [`Escaped`](Outcome::Escaped);
+//! * a **differential fuzz harness** ([`fuzz_static_dynamic`],
+//!   [`fuzz_bare_faults`]) pitting the static pipeline verifier
+//!   against the dynamic hazard detector, and the simulator's typed
+//!   error surface against raw bit-flips.
+//!
+//! The campaign's pass criterion is *zero escapes*: every fault is
+//! either harmless, contained to its victim, or loudly reported by
+//! the kernel (kill, watchdog, or controlled panic) — never silent
+//! sibling corruption, never an untyped stop, never a host panic.
+//! [`ChaosReport::to_json`] is byte-stable per seed so CI can replay
+//! and diff the artifact.
+//!
+//! ## Example
+//!
+//! ```
+//! use mips_chaos::{run_campaign, CampaignConfig};
+//!
+//! let report = run_campaign(&CampaignConfig {
+//!     seed: 0xA5,
+//!     cases: 3,
+//!     max_faults: 2,
+//! });
+//! assert_eq!(report.cases.len(), 3);
+//! assert!(report.clean(), "no fault may escape its victim:\n{report}");
+//! ```
+
+pub mod campaign;
+pub mod differential;
+pub mod fault;
+pub mod inject;
+pub mod report;
+
+pub use campaign::{run_campaign, standard_pool, CampaignConfig, PoolEntry};
+pub use differential::{
+    arb_linear_code, fuzz_bare_faults, fuzz_static_dynamic, BareStats, DiffStats, Mismatch,
+};
+pub use fault::{FaultKind, FaultPlan, PageCorruption, PlannedFault, MIN_TRIGGER};
+pub use inject::{InjectionRecord, Injector};
+pub use report::{CaseResult, ChaosReport, FaultRecord, KindRow, Outcome, Summary};

@@ -1,0 +1,343 @@
+//! Campaign results: the outcome taxonomy and a byte-stable report.
+//!
+//! Every case lands in exactly one bucket:
+//!
+//! * [`Outcome::Masked`] — the faults changed nothing observable; every
+//!   process finished with its baseline status and output.
+//! * [`Outcome::Detected`] — the system *noticed*: the victim was
+//!   killed by an exception or the watchdog, or the kernel died in a
+//!   controlled panic with a machine-state dump. Siblings unaffected.
+//! * [`Outcome::Isolated`] — the victim silently diverged (wrong
+//!   output or exit status) but the blast radius held: every sibling
+//!   finished byte-identical to baseline.
+//! * [`Outcome::Escaped`] — the failure crossed an isolation boundary:
+//!   a sibling's output changed, the run died on an untyped simulator
+//!   error, or the *host* panicked. Escapes are campaign failures.
+//!
+//! [`ChaosReport::to_json`] is deliberately byte-stable: no
+//! timestamps, no hash-map iteration order, nothing non-deterministic
+//! — CI replays a seed and byte-compares the artifact.
+
+use std::fmt;
+
+/// Where a fault's consequences ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// No observable difference from baseline.
+    Masked,
+    /// Victim silently diverged; siblings byte-identical.
+    Isolated,
+    /// Victim killed / kernel panicked — the system reported the
+    /// damage itself.
+    Detected,
+    /// Damage crossed an isolation boundary (or the host panicked).
+    Escaped,
+}
+
+impl Outcome {
+    /// Stable identifier for JSON.
+    pub fn id(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Isolated => "isolated",
+            Outcome::Detected => "detected",
+            Outcome::Escaped => "escaped",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One planned fault as reported: its kind id and full description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// [`FaultKind::id`](crate::FaultKind::id).
+    pub kind: &'static str,
+    /// Human-readable description including the trigger.
+    pub desc: String,
+}
+
+/// One chaos case: workload set, fault plan, verdict.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case index within the campaign.
+    pub case: u64,
+    /// Workload names in spawn (pid) order.
+    pub workloads: Vec<&'static str>,
+    /// Pid the plan targeted.
+    pub victim: u32,
+    /// The planned faults.
+    pub faults: Vec<FaultRecord>,
+    /// Descriptions of faults that actually fired.
+    pub injected: Vec<String>,
+    pub outcome: Outcome,
+    /// Classifier's one-line explanation.
+    pub note: String,
+    /// The run ended in a controlled kernel panic.
+    pub kernel_panic: bool,
+    /// The watchdog fired on some process.
+    pub watchdog_fired: bool,
+}
+
+/// Aggregate counts over a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    pub masked: u64,
+    pub isolated: u64,
+    pub detected: u64,
+    pub escaped: u64,
+    pub kernel_panics: u64,
+    pub watchdog_fires: u64,
+}
+
+/// Per-fault-kind outcome counts (a case with two kinds counts once
+/// under each).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindRow {
+    pub kind: &'static str,
+    pub cases: u64,
+    pub masked: u64,
+    pub isolated: u64,
+    pub detected: u64,
+    pub escaped: u64,
+}
+
+/// A full campaign report.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Maximum faults per case.
+    pub max_faults: usize,
+    /// All cases in order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl ChaosReport {
+    /// Aggregate counts.
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::default();
+        for c in &self.cases {
+            match c.outcome {
+                Outcome::Masked => s.masked += 1,
+                Outcome::Isolated => s.isolated += 1,
+                Outcome::Detected => s.detected += 1,
+                Outcome::Escaped => s.escaped += 1,
+            }
+            s.kernel_panics += u64::from(c.kernel_panic);
+            s.watchdog_fires += u64::from(c.watchdog_fired);
+        }
+        s
+    }
+
+    /// True when nothing escaped — the campaign's pass criterion.
+    pub fn clean(&self) -> bool {
+        self.cases.iter().all(|c| c.outcome != Outcome::Escaped)
+    }
+
+    /// Outcome counts broken down by fault kind, in
+    /// [`FaultKind::IDS`](crate::FaultKind::IDS) order; kinds that
+    /// never appeared are omitted.
+    pub fn by_kind(&self) -> Vec<KindRow> {
+        crate::FaultKind::IDS
+            .iter()
+            .filter_map(|&kind| {
+                let mut row = KindRow {
+                    kind,
+                    cases: 0,
+                    masked: 0,
+                    isolated: 0,
+                    detected: 0,
+                    escaped: 0,
+                };
+                for c in &self.cases {
+                    if !c.faults.iter().any(|f| f.kind == kind) {
+                        continue;
+                    }
+                    row.cases += 1;
+                    match c.outcome {
+                        Outcome::Masked => row.masked += 1,
+                        Outcome::Isolated => row.isolated += 1,
+                        Outcome::Detected => row.detected += 1,
+                        Outcome::Escaped => row.escaped += 1,
+                    }
+                }
+                (row.cases > 0).then_some(row)
+            })
+            .collect()
+    }
+
+    /// The whole report as deterministic JSON (one object, newline
+    /// separated sections, byte-stable for a given seed).
+    pub fn to_json(&self) -> String {
+        let s = self.summary();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"tool\":\"mips-chaos\",\"seed\":{},\"cases\":{},\"max_faults\":{},\n",
+            self.seed,
+            self.cases.len(),
+            self.max_faults
+        ));
+        out.push_str(&format!(
+            "\"summary\":{{\"masked\":{},\"isolated\":{},\"detected\":{},\"escaped\":{},\"kernel_panics\":{},\"watchdog_fires\":{}}},\n",
+            s.masked, s.isolated, s.detected, s.escaped, s.kernel_panics, s.watchdog_fires
+        ));
+        out.push_str("\"by_kind\":[");
+        for (i, r) in self.by_kind().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"kind\":\"{}\",\"cases\":{},\"masked\":{},\"isolated\":{},\"detected\":{},\"escaped\":{}}}",
+                r.kind, r.cases, r.masked, r.isolated, r.detected, r.escaped
+            ));
+        }
+        out.push_str("],\n\"results\":[");
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"case\":{},\"workloads\":[{}],\"victim\":{},\"faults\":[{}],\"injected\":[{}],\"outcome\":\"{}\",\"note\":\"{}\"}}",
+                c.case,
+                c.workloads
+                    .iter()
+                    .map(|w| format!("\"{}\"", json_escape(w)))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                c.victim,
+                c.faults
+                    .iter()
+                    .map(|f| format!("\"{}\"", json_escape(&f.desc)))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                c.injected
+                    .iter()
+                    .map(|d| format!("\"{}\"", json_escape(d)))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                c.outcome.id(),
+                json_escape(&c.note),
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    /// Human-readable campaign table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.summary();
+        writeln!(
+            f,
+            "chaos campaign: seed {:#x}, {} cases, <= {} faults/case",
+            self.seed,
+            self.cases.len(),
+            self.max_faults
+        )?;
+        writeln!(
+            f,
+            "  masked {}  isolated {}  detected {}  escaped {}   (kernel panics {}, watchdog fires {})",
+            s.masked, s.isolated, s.detected, s.escaped, s.kernel_panics, s.watchdog_fires
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  {:<14} {:>5} {:>7} {:>9} {:>9} {:>8}",
+            "fault kind", "cases", "masked", "isolated", "detected", "escaped"
+        )?;
+        for r in self.by_kind() {
+            writeln!(
+                f,
+                "  {:<14} {:>5} {:>7} {:>9} {:>9} {:>8}",
+                r.kind, r.cases, r.masked, r.isolated, r.detected, r.escaped
+            )?;
+        }
+        for c in self.cases.iter().filter(|c| c.outcome == Outcome::Escaped) {
+            writeln!(
+                f,
+                "\n  ESCAPED case {}: workloads {:?}, victim {}, {}",
+                c.case, c.workloads, c.victim, c.note
+            )?;
+            for fr in &c.faults {
+                writeln!(f, "    fault: {}", fr.desc)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChaosReport {
+        ChaosReport {
+            seed: 0xA5,
+            max_faults: 3,
+            cases: vec![CaseResult {
+                case: 0,
+                workloads: vec!["fib", "sort"],
+                victim: 2,
+                faults: vec![FaultRecord {
+                    kind: "reg-flip",
+                    desc: "@600 reg-flip r3 bit 7".into(),
+                }],
+                injected: vec!["@612 reg-flip r3 bit 7".into()],
+                outcome: Outcome::Detected,
+                note: "victim killed".into(),
+                kernel_panic: false,
+                watchdog_fired: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn summary_counts_and_clean() {
+        let r = sample();
+        let s = r.summary();
+        assert_eq!(s.detected, 1);
+        assert_eq!(s.masked + s.isolated + s.escaped, 0);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn json_is_stable_and_valid_enough() {
+        let r = sample();
+        assert_eq!(r.to_json(), r.to_json());
+        let j = r.to_json();
+        assert!(j.contains("\"outcome\":\"detected\""));
+        assert!(j.contains("\"by_kind\":["));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn escapes_are_never_clean() {
+        let mut r = sample();
+        r.cases[0].outcome = Outcome::Escaped;
+        assert!(!r.clean());
+        assert!(r.to_string().contains("ESCAPED case 0"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Campaign-level guarantees: no fault escapes its victim, and the
+//! whole campaign — including the JSON artifact — replays
+//! byte-for-byte from its seed.
+
+use mips_chaos::{run_campaign, CampaignConfig, Outcome};
+
+#[test]
+fn no_fault_escapes_its_victim() {
+    let report = run_campaign(&CampaignConfig {
+        seed: 0xA5,
+        cases: 60,
+        max_faults: 3,
+    });
+    let escaped: Vec<_> = report
+        .cases
+        .iter()
+        .filter(|c| c.outcome == Outcome::Escaped)
+        .collect();
+    assert!(escaped.is_empty(), "escapes:\n{report}");
+    assert!(report.clean());
+    let s = report.summary();
+    assert_eq!(s.masked + s.isolated + s.detected + s.escaped, 60);
+    // The campaign must actually hurt something across 60 cases, or
+    // the fault model is vacuous.
+    assert!(s.isolated + s.detected > 0, "no case ever diverged: {s:?}");
+}
+
+#[test]
+fn campaigns_replay_byte_identically() {
+    let cfg = CampaignConfig {
+        seed: 0x5EED,
+        cases: 12,
+        max_faults: 3,
+    };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(a.to_json(), b.to_json());
+    // A different seed draws a different campaign.
+    let c = run_campaign(&CampaignConfig {
+        seed: 0x5EEE,
+        ..cfg
+    });
+    assert_ne!(a.to_json(), c.to_json());
+}
+
+#[test]
+fn detected_cases_name_a_kill_or_panic() {
+    let report = run_campaign(&CampaignConfig {
+        seed: 0xA5,
+        cases: 60,
+        max_faults: 3,
+    });
+    for c in report
+        .cases
+        .iter()
+        .filter(|c| c.outcome == Outcome::Detected)
+    {
+        assert!(
+            c.kernel_panic || c.note.contains("killed") || c.note.contains("panic"),
+            "detected case {} lacks a kill/panic note: {}",
+            c.case,
+            c.note
+        );
+    }
+}

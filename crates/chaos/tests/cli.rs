@@ -1,0 +1,62 @@
+//! `mips-chaos` CLI contract: exit codes, JSON determinism.
+
+use std::process::Command;
+
+fn chaos() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mips-chaos"))
+}
+
+#[test]
+fn clean_campaign_exits_zero_with_stable_json() {
+    let run = || {
+        chaos()
+            .args(["--seed", "0xA5", "--cases", "8", "--json"])
+            .output()
+            .expect("mips-chaos runs")
+    };
+    let a = run();
+    assert!(
+        a.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    let b = run();
+    assert_eq!(a.stdout, b.stdout, "JSON artifact must be byte-stable");
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.starts_with("{\"tool\":\"mips-chaos\",\"seed\":165,"));
+    assert!(text.contains("\"escaped\":0"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = chaos().arg("--bogus").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = chaos().args(["--seed"]).output().expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing argument is a usage error"
+    );
+    let out = chaos().args(["--seed", "zebra"]).output().expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "non-numeric seed is a usage error"
+    );
+}
+
+#[test]
+fn fuzz_flag_runs_both_harnesses() {
+    let out = chaos()
+        .args(["--seed", "7", "--cases", "2", "--fuzz", "5"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("differential fuzz:"), "got: {text}");
+    assert!(text.contains("0 host panics"), "got: {text}");
+}

@@ -9,7 +9,7 @@
 
 use crate::layout::{self, pcb, sys};
 use mips_asm::assemble;
-use mips_core::{Instr, Program, Target, TrapPiece};
+use mips_core::{Instr, Program, Reg, Target, TrapPiece};
 use mips_sim::machine::CONSOLE_ADDR;
 use mips_sim::{Cause, Machine, MachineConfig, Mmio, PageMap, SimError, Surprise};
 use std::cell::RefCell;
@@ -67,6 +67,12 @@ pub struct KernelConfig {
     pub frames: u32,
     /// Machine step limit (runaway guard).
     pub step_limit: u64,
+    /// Watchdog: cumulative user-mode instruction budget per process.
+    /// A process that exceeds it is presumed wedged and killed through
+    /// an injected illegal-instruction exception (detail
+    /// [`WATCHDOG_DETAIL`]); its pid lands in
+    /// [`RunReport::watchdog_kills`]. `None` disables the watchdog.
+    pub watchdog: Option<u64>,
 }
 
 impl Default for KernelConfig {
@@ -75,9 +81,15 @@ impl Default for KernelConfig {
             time_slice: 20_000,
             frames: 64,
             step_limit: 400_000_000,
+            watchdog: None,
         }
     }
 }
+
+/// Detail field of the watchdog's injected illegal-instruction
+/// exception, distinguishing a watchdog kill from a genuine illegal
+/// instruction in a machine-state dump.
+pub const WATCHDOG_DETAIL: u16 = 0xD06;
 
 /// How a process ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +171,61 @@ impl SystemsCost {
     }
 }
 
+/// A controlled kernel panic: an exception arrived while the machine
+/// was already executing kernel code — the software equivalent of a
+/// double fault. The hardware would silently re-enter `dispatch` and
+/// shred the save area; the host runtime instead stops the run and
+/// reports the full machine state, which is the honest failure mode
+/// for a kernel whose invariants hold *by construction* rather than by
+/// interlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelPanic {
+    /// Kernel-text pc the faulting step started at.
+    pub pc: u32,
+    /// Instructions executed when the fault hit.
+    pub instructions: u64,
+    /// Cause of the nested exception.
+    pub cause: Cause,
+    /// Detail field of the nested exception.
+    pub detail: u16,
+    /// Raw surprise register after the nested dispatch.
+    pub surprise: u32,
+    /// Saved return-address chain after the nested dispatch.
+    pub ret: [u32; 3],
+    /// General registers at the fault.
+    pub regs: [u32; 16],
+    /// Pid the kernel believed was current.
+    pub current_pid: u32,
+}
+
+impl fmt::Display for KernelPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel panic: {:?} (detail {:#x}) inside the exception handler at pc {}",
+            self.cause, self.detail, self.pc
+        )?;
+        writeln!(
+            f,
+            "  instructions={} current_pid={} surprise={:#010x}",
+            self.instructions, self.current_pid, self.surprise
+        )?;
+        writeln!(
+            f,
+            "  ret0={} ret1={} ret2={}",
+            self.ret[0], self.ret[1], self.ret[2]
+        )?;
+        for (i, chunk) in self.regs.chunks(4).enumerate() {
+            write!(f, " ")?;
+            for (j, v) in chunk.iter().enumerate() {
+                write!(f, " r{:<2}={v:#010x}", i * 4 + j)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
 /// A finished run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -174,6 +241,11 @@ pub struct RunReport {
     /// interleaving evidence (per-process bytes are in
     /// [`ProcReport::output`]).
     pub console: Vec<(u32, u8)>,
+    /// A controlled kernel panic that cut the run short, if any
+    /// (processes not yet finished report [`ProcStatus::Running`]).
+    pub panic: Option<KernelPanic>,
+    /// Pids killed by the watchdog, in kill order.
+    pub watchdog_kills: Vec<u32>,
 }
 
 struct Proc {
@@ -284,6 +356,27 @@ impl Kernel {
     /// [`OsError::Sim`] if the machine stops for a reason the kernel
     /// cannot handle (step limit exceeded, double fault).
     pub fn run_until_idle(&mut self) -> Result<RunReport, OsError> {
+        self.run_with_hook(|_| {})
+    }
+
+    /// Like [`Kernel::run_until_idle`], but calls `hook` with the live
+    /// machine before every step — the seam fault injectors (and other
+    /// instrumentation) attach to, mirroring the simulator's own
+    /// timer-injection hook. The hook may flip registers, corrupt
+    /// memory, raise or drop interrupt requests; the kernel hardening
+    /// below (double-fault panic, watchdog) is what stands between
+    /// those faults and a host panic.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Sim`] if the machine stops for a reason the kernel
+    /// cannot handle (step limit exceeded, double fault). A *controlled*
+    /// kernel panic is not an error: the run returns with
+    /// [`RunReport::panic`] set and the machine-state dump inside.
+    pub fn run_with_hook<F>(&mut self, mut hook: F) -> Result<RunReport, OsError>
+    where
+        F: FnMut(&mut Machine),
+    {
         let kernel = kernel_program();
         let klen = kernel.len() as u32;
 
@@ -363,21 +456,83 @@ impl Kernel {
         // step actually executes is the kernel's entry word, not the
         // one at the sampled pc; traps and faults dispatch *after*
         // executing (or suppressing) the instruction at the sampled pc.
+        // A fetch of an out-of-range pc dispatches without executing
+        // anything (the instruction count stands still).
         let mut cost = SystemsCost::default();
+        let mut panic: Option<KernelPanic> = None;
+        let mut watchdog_kills: Vec<u32> = Vec::new();
+        let mut user_spent: Vec<u64> = vec![0; self.procs.len() + 1];
+        let mut cur_pid: u32 = 0;
+        let mut pid_stale = true;
         loop {
+            hook(&mut m);
+            if pid_stale && m.pc() >= klen {
+                // The kernel just handed off to user code; re-read who.
+                cur_pid = m.mem().peek(layout::CURRENT);
+                pid_stale = false;
+            }
+            if let Some(budget) = self.config.watchdog {
+                if m.pc() >= klen
+                    && !m.surprise().supervisor()
+                    && (cur_pid as usize) < user_spent.len()
+                    && cur_pid > 0
+                    && user_spent[cur_pid as usize] >= budget
+                    && !watchdog_kills.contains(&cur_pid)
+                {
+                    // The process outlived its budget: squeeze the
+                    // machine with an exception the kernel's decode
+                    // treats as fatal — kill-and-continue, not a halt.
+                    watchdog_kills.push(cur_pid);
+                    m.raise_exception(Cause::Illegal, WATCHDOG_DETAIL)
+                        .map_err(OsError::Sim)?;
+                }
+            }
             let pc = m.pc();
+            let sup_before = m.surprise().supervisor();
             let exceptions = m.profile().exceptions;
+            let instructions = m.profile().instructions;
             let more = m.step().map_err(OsError::Sim)?;
-            let dispatched_first = m.profile().exceptions > exceptions && m.pc() == 1;
-            let executed = if dispatched_first { 0 } else { pc };
-            match bucket_of(executed) {
-                Bucket::User => cost.user += 1,
-                Bucket::SaveRestore => cost.save_restore += 1,
-                Bucket::Dispatch => cost.dispatch += 1,
-                Bucket::Syscall => cost.syscall += 1,
-                Bucket::Tick => cost.tick += 1,
-                Bucket::Sched => cost.sched += 1,
-                Bucket::Paging => cost.paging += 1,
+            let faulted = m.profile().exceptions > exceptions;
+            if m.profile().instructions > instructions {
+                let dispatched_first = faulted && m.pc() == 1;
+                let executed = if dispatched_first { 0 } else { pc };
+                match bucket_of(executed) {
+                    Bucket::User => {
+                        cost.user += 1;
+                        if (cur_pid as usize) < user_spent.len() {
+                            user_spent[cur_pid as usize] += 1;
+                        }
+                    }
+                    Bucket::SaveRestore => cost.save_restore += 1,
+                    Bucket::Dispatch => cost.dispatch += 1,
+                    Bucket::Syscall => cost.syscall += 1,
+                    Bucket::Tick => cost.tick += 1,
+                    Bucket::Sched => cost.sched += 1,
+                    Bucket::Paging => cost.paging += 1,
+                }
+                if executed < klen {
+                    pid_stale = true;
+                }
+            }
+            if faulted && sup_before && pc < klen {
+                // A fault *inside* the exception handler: the hardware
+                // would re-enter dispatch and shred the save area.
+                // Stop with a machine-state dump instead.
+                let mut regs = [0u32; 16];
+                for (i, slot) in regs.iter_mut().enumerate() {
+                    *slot = m.reg(Reg::from_index(i).expect("16 registers"));
+                }
+                panic = Some(KernelPanic {
+                    pc,
+                    instructions: m.profile().instructions,
+                    cause: m.surprise().cause(),
+                    detail: m.surprise().detail(),
+                    surprise: m.surprise().raw(),
+                    ret: m.ret_addrs(),
+                    regs,
+                    current_pid: m.mem().peek(layout::CURRENT),
+                });
+                break;
             }
             if !more {
                 break;
@@ -431,6 +586,8 @@ impl Kernel {
             cost,
             instructions: m.profile().instructions,
             console: stream,
+            panic,
+            watchdog_kills,
         })
     }
 }

@@ -54,6 +54,6 @@ pub mod kernel;
 pub mod layout;
 
 pub use kernel::{
-    kernel_program, Counters, Kernel, KernelConfig, OsError, ProcReport, ProcStatus, RunReport,
-    SystemsCost, KERNEL_SRC,
+    kernel_program, Counters, Kernel, KernelConfig, KernelPanic, OsError, ProcReport, ProcStatus,
+    RunReport, SystemsCost, KERNEL_SRC, WATCHDOG_DETAIL,
 };

@@ -1,0 +1,126 @@
+//! Kernel hardening under abuse: the watchdog, runaway processes, and
+//! the double-fault panic path. The common thread is *kill-and-continue
+//! isolation*: whatever one process (or an injected fault) does, its
+//! siblings finish with byte-identical output — and when the kernel
+//! itself is wounded, the run ends in a controlled panic with a
+//! machine-state dump, never a host panic.
+
+use mips_asm::assemble;
+use mips_os::{Kernel, KernelConfig, ProcStatus, WATCHDOG_DETAIL};
+use mips_sim::Cause;
+
+/// An honest worker: prints its letter and exits.
+fn printer(letter: u8) -> mips_core::Program {
+    assemble(&format!(
+        "mvi #{letter},r1\n trap #1\n mvi #0,r1\n trap #0\n halt"
+    ))
+    .unwrap()
+}
+
+/// A process that never finishes (and never syscalls).
+fn spinner() -> mips_core::Program {
+    assemble("spin:\n bra spin\n nop\n halt").unwrap()
+}
+
+#[test]
+fn watchdog_kills_the_wedged_process_and_siblings_finish() {
+    let mut k = Kernel::with_config(KernelConfig {
+        time_slice: 2_000,
+        watchdog: Some(200_000),
+        ..KernelConfig::default()
+    });
+    let wedged = k.spawn("spinner", spinner()).unwrap();
+    let fine = k.spawn("printer", printer(b'A')).unwrap();
+    let report = k.run_until_idle().unwrap();
+
+    assert_eq!(report.watchdog_kills, vec![wedged]);
+    assert_eq!(
+        report.procs[wedged as usize - 1].status,
+        ProcStatus::Killed(Cause::Illegal),
+        "watchdog kill surfaces as the injected illegal exception"
+    );
+    assert_eq!(
+        report.procs[fine as usize - 1].status,
+        ProcStatus::Exited(0)
+    );
+    assert_eq!(report.procs[fine as usize - 1].output, b"A");
+    assert!(report.panic.is_none());
+    // The killing surprise carries the watchdog's detail signature.
+    assert_eq!(WATCHDOG_DETAIL, 0xD06);
+}
+
+#[test]
+fn watchdog_off_by_default_preserves_old_behavior() {
+    assert!(KernelConfig::default().watchdog.is_none());
+    let mut k = Kernel::boot();
+    k.spawn("p", printer(b'P')).unwrap();
+    let report = k.run_until_idle().unwrap();
+    assert!(report.watchdog_kills.is_empty());
+    assert!(report.panic.is_none());
+    assert_eq!(report.procs[0].output, b"P");
+}
+
+#[test]
+fn runaway_pc_is_killed_not_a_host_error() {
+    // An indirect jump into nowhere: the fetch faults, the kernel
+    // kills the offender, and the machine keeps multiprogramming.
+    let runaway = assemble("lim #9999999,r1\n jmpi 0(r1)\n nop\n nop\n halt").unwrap();
+    let mut k = Kernel::boot();
+    let bad = k.spawn("runaway", runaway).unwrap();
+    let good = k.spawn("printer", printer(b'B')).unwrap();
+    let report = k.run_until_idle().unwrap();
+
+    assert_eq!(
+        report.procs[bad as usize - 1].status,
+        ProcStatus::Killed(Cause::AddressError)
+    );
+    assert_eq!(
+        report.procs[good as usize - 1].status,
+        ProcStatus::Exited(0)
+    );
+    assert_eq!(report.procs[good as usize - 1].output, b"B");
+}
+
+#[test]
+fn fault_inside_the_kernel_is_a_controlled_panic_with_a_dump() {
+    // Corrupt the surprise register's map-enable bit while the kernel
+    // is executing: its very next data reference translates through an
+    // empty page map and faults — a fault inside the exception
+    // handler. The run must stop with a dump, not wedge or host-panic.
+    let mut k = Kernel::boot();
+    k.spawn("p", printer(b'C')).unwrap();
+    let mut armed = true;
+    let report = k
+        .run_with_hook(|m| {
+            if armed && m.pc() == 0 && m.surprise().supervisor() {
+                let raw = m.surprise().raw();
+                *m.surprise_mut() = mips_sim::Surprise::from_raw(raw | 0x40);
+                armed = false;
+            }
+        })
+        .unwrap();
+
+    let panic = report.panic.expect("nested fault panics the kernel");
+    assert_eq!(panic.cause, Cause::PageFault);
+    assert!(panic.pc < 1000, "fault hit inside kernel text");
+    let dump = panic.to_string();
+    assert!(dump.contains("kernel panic"), "dump: {dump}");
+    assert!(dump.contains("r15"), "dump lists all registers: {dump}");
+}
+
+#[test]
+fn noop_hook_matches_run_until_idle_exactly() {
+    let spawn_all = |k: &mut Kernel| {
+        k.spawn("a", printer(b'a')).unwrap();
+        k.spawn("b", printer(b'b')).unwrap();
+    };
+    let mut k1 = Kernel::boot();
+    spawn_all(&mut k1);
+    let r1 = k1.run_until_idle().unwrap();
+    let mut k2 = Kernel::boot();
+    spawn_all(&mut k2);
+    let r2 = k2.run_with_hook(|_| {}).unwrap();
+    assert_eq!(r1.instructions, r2.instructions);
+    assert_eq!(r1.console, r2.console);
+    assert_eq!(r1.counters, r2.counters);
+}

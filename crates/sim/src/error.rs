@@ -29,6 +29,18 @@ pub enum SimError {
         /// Program counter of the halt.
         pc: u32,
     },
+    /// A control-flow instruction carried an unresolved (symbolic) target:
+    /// the program was never linked. Malformed input, not a machine fault.
+    UnresolvedTarget {
+        /// Program counter of the unlinked instruction.
+        pc: u32,
+    },
+    /// [`crate::Machine::run_fn`] was asked for a symbol the program does
+    /// not define.
+    UndefinedSymbol {
+        /// The missing symbol.
+        name: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +50,13 @@ impl fmt::Display for SimError {
             SimError::StepLimit { limit } => write!(f, "step limit {limit} exhausted"),
             SimError::DoubleFault { pc } => write!(f, "double fault at {pc}"),
             SimError::HaltInUserMode { pc } => write!(f, "halt in user mode at {pc}"),
+            SimError::UnresolvedTarget { pc } => {
+                write!(
+                    f,
+                    "unresolved control-flow target at {pc} (unlinked program)"
+                )
+            }
+            SimError::UndefinedSymbol { name } => write!(f, "undefined symbol `{name}`"),
         }
     }
 }

@@ -7,8 +7,8 @@
 //! is hazard-free (and that deliberately broken code is not).
 //!
 //! The kinds mirror the static verifier's error rules (`mips-verify`
-//! V001–V003) one for one: a violation the simulator records on an
-//! executed path is the same violation the verifier proves absent on
+//! V001–V003 and V006) one for one: a violation the simulator records on
+//! an executed path is the same violation the verifier proves absent on
 //! every static path.
 
 use mips_core::Reg;
@@ -30,6 +30,11 @@ pub enum HazardKind {
     /// A control transfer executed inside an indirect jump's two-slot
     /// shadow.
     IndirectShadow,
+    /// A structurally illegal instruction word issued (packed-pair
+    /// destination clash or unpackable pieces — `mips-verify` V006). The
+    /// machine still executes it with a defined commit order; real
+    /// hardware would compute garbage.
+    IllegalInstr,
 }
 
 /// A recorded violation.
@@ -64,6 +69,9 @@ impl fmt::Display for Hazard {
                     "control transfer at {} executed in an indirect jump's shadow",
                     self.pc
                 )
+            }
+            HazardKind::IllegalInstr => {
+                write!(f, "structurally illegal instruction issued at {}", self.pc)
             }
         }
     }

@@ -272,6 +272,35 @@ impl Machine {
         self.ret
     }
 
+    /// The attached interrupt controller, if any (shared handle; fault
+    /// injectors raise and drop device requests through it).
+    pub fn int_ctrl(&self) -> Option<Rc<RefCell<IntCtrl>>> {
+        self.int_ctrl.clone()
+    }
+
+    /// The attached page map, if any (shared handle; fault injectors
+    /// corrupt entries through it).
+    pub fn page_map(&self) -> Option<Rc<RefCell<PageMap>>> {
+        self.page_map.clone()
+    }
+
+    /// Raises an exception from outside the instruction stream, exactly
+    /// as the hardware would at the current instruction boundary: the
+    /// in-flight load commits, the resume chain is saved, the surprise
+    /// register slides, and execution vectors to address zero. Restart
+    /// semantics follow [`Cause::restarts_offender`]. This is the host's
+    /// fault-injection hook (a watchdog squeeze, a simulated machine
+    /// check) — guest code cannot reach it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DoubleFault`] when no handler code is loaded at
+    /// address zero.
+    pub fn raise_exception(&mut self, cause: Cause, detail: u16) -> Result<(), SimError> {
+        let restart = cause.restarts_offender() || cause == Cause::Overflow;
+        self.dispatch_exception(cause, detail, restart)
+    }
+
     /// Reads a general register.
     pub fn reg(&self, r: Reg) -> u32 {
         self.regs[r.index()]
@@ -385,8 +414,11 @@ impl Machine {
         };
         match &self.page_map {
             Some(pm) => match pm.borrow().translate(mapped) {
-                Some(pa) => Ok(pa),
-                None => {
+                // A corrupted map entry can point past physical memory;
+                // the bus has no word there, so the access faults like a
+                // missing page and the fault handler gets to re-map it.
+                Some(pa) if pa < MEM_WORDS => Ok(pa),
+                _ => {
                     *self.fault_addr.borrow_mut() = mapped;
                     Err((Cause::PageFault, mapped as u16))
                 }
@@ -493,6 +525,18 @@ impl Machine {
                 HazardKind::BranchInShadow
             };
             self.hazards.push(Hazard { pc: self.pc, kind });
+        }
+    }
+
+    /// Records the issue of a structurally illegal instruction word (the
+    /// dynamic twin of `mips-verify` V006): the machine executes it with
+    /// a defined commit order, real hardware would not.
+    fn check_structural_hazards(&mut self, instr: &Instr) {
+        if self.cfg.check_hazards && !instr.is_valid() {
+            self.hazards.push(Hazard {
+                pc: self.pc,
+                kind: HazardKind::IllegalInstr,
+            });
         }
     }
 
@@ -664,11 +708,20 @@ impl Machine {
         }
 
         let Some(&instr) = self.program.fetch(self.pc) else {
-            return Err(SimError::PcOutOfRange { pc: self.pc });
+            if self.cfg.native_traps {
+                return Err(SimError::PcOutOfRange { pc: self.pc });
+            }
+            // With resident dispatch code a runaway pc is the kernel's
+            // problem, not the host's: the fetch raises an address-error
+            // exception and the OS decides (typically: kill the process,
+            // keep the system up).
+            self.dispatch_exception(Cause::AddressError, self.pc as u16, true)?;
+            return Ok(true);
         };
 
         self.check_read_hazards(&instr);
         self.check_control_hazards(&instr);
+        self.check_structural_hazards(&instr);
 
         // Execute. Immediate writes commit at end of step; a load's write
         // is held one extra step.
@@ -741,27 +794,36 @@ impl Machine {
                 self.profile.branches += 1;
                 if p.cond.eval(self.operand(p.a), self.operand(p.b)) {
                     self.profile.branches_taken += 1;
+                    let Some(target) = p.target.abs() else {
+                        return Err(SimError::UnresolvedTarget { pc: self.pc });
+                    };
                     flow = Flow::Branch {
                         delay: BRANCH_DELAY,
-                        target: p.target.abs().expect("resolved program"),
+                        target,
                     };
                 }
             }
             Instr::Jump(p) => {
                 self.profile.branches += 1;
                 self.profile.branches_taken += 1;
+                let Some(target) = p.target.abs() else {
+                    return Err(SimError::UnresolvedTarget { pc: self.pc });
+                };
                 flow = Flow::Branch {
                     delay: BRANCH_DELAY,
-                    target: p.target.abs().expect("resolved program"),
+                    target,
                 };
             }
             Instr::Call(p) => {
                 self.profile.branches += 1;
                 self.profile.branches_taken += 1;
+                let Some(target) = p.target.abs() else {
+                    return Err(SimError::UnresolvedTarget { pc: self.pc });
+                };
                 writes_now.push((p.link, self.pc + 1 + BRANCH_DELAY));
                 flow = Flow::Branch {
                     delay: BRANCH_DELAY,
-                    target: p.target.abs().expect("resolved program"),
+                    target,
                 };
             }
             Instr::JumpInd(p) => {
@@ -774,7 +836,10 @@ impl Machine {
                 };
             }
             Instr::Lea { target, dst } => {
-                writes_now.push((*dst, target.abs().expect("resolved program")));
+                let Some(addr) = target.abs() else {
+                    return Err(SimError::UnresolvedTarget { pc: self.pc });
+                };
+                writes_now.push((*dst, addr));
             }
             Instr::Trap(p) => {
                 self.profile.traps += 1;
@@ -934,22 +999,27 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns a [`SimError`] on simulation failure.
+    /// [`SimError::UndefinedSymbol`] if `name` or `__halt` is not defined;
+    /// otherwise any [`SimError`] from the run itself.
     ///
     /// # Panics
     ///
-    /// Panics if `name` or `__halt` is undefined, or more than 4 arguments
-    /// are passed.
+    /// Panics if more than 4 arguments are passed (an API misuse, not a
+    /// program property).
     pub fn run_fn(&mut self, name: &str, args: &[u32]) -> Result<u32, SimError> {
         assert!(args.len() <= 4, "at most 4 register arguments");
         let entry = self
             .program
             .symbol(name)
-            .unwrap_or_else(|| panic!("undefined procedure {name}"));
+            .ok_or_else(|| SimError::UndefinedSymbol {
+                name: name.to_string(),
+            })?;
         let halt = self
             .program
             .symbol("__halt")
-            .expect("program must define __halt");
+            .ok_or_else(|| SimError::UndefinedSymbol {
+                name: "__halt".to_string(),
+            })?;
         for (i, &a) in args.iter().enumerate() {
             self.regs[1 + i] = a;
         }

@@ -124,6 +124,15 @@ impl PageMap {
         m
     }
 
+    /// Resident `(page, frame)` pairs in ascending page order — a
+    /// deterministic iteration view for hosts that must behave
+    /// reproducibly (the chaos engine replays campaigns from a seed).
+    pub fn resident_pages(&self) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self.frames.iter().map(|(&p, &f)| (p, f)).collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
     /// Number of resident pages.
     pub fn len(&self) -> usize {
         self.frames.len()

@@ -9,8 +9,11 @@
 //!              severity, address, message, file) for CI and tooling
 //! ```
 //!
-//! Exit status: 0 when every file is acceptable, 1 when any file has an
-//! error (or, with `--strict`, a warning), 2 on usage or I/O problems.
+//! Exit status: 0 when every file is acceptable, 1 when any file has
+//! findings at failing severity (an error, or with `--strict` a
+//! warning), 2 on usage, I/O, or parse problems — a file that does not
+//! assemble has no findings to report, which is a different failure
+//! than findings. The codes are a stable CI contract.
 
 use mips_verify::{verify_source, Severity};
 use std::process::ExitCode;
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    let mut broken = false;
     for file in &files {
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -55,8 +59,10 @@ fn main() -> ExitCode {
         let report = match verify_source(&source) {
             Ok(r) => r,
             Err(e) => {
+                // Unparseable input is a usage-class failure (exit 2),
+                // not a finding: there is no program to lint.
                 eprintln!("{file}: assembly error: {e}");
-                failed = true;
+                broken = true;
                 continue;
             }
         };
@@ -85,7 +91,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    if failed {
+    if broken {
+        ExitCode::from(2)
+    } else if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,158 @@
+//! Every error rule (V001–V007) has a **dynamic twin**: a program the
+//! static verifier flags must, when actually executed, trip the
+//! simulator's runtime detector for the same defect — a recorded
+//! hazard for the interlock rules, a typed error for the control-flow
+//! rules. This pins the two tools to one fault model: anything the
+//! linter calls an error is observable on the machine, not a style
+//! opinion.
+
+use mips_core::{
+    AluOp, AluPiece, Instr, JumpPiece, MemMode, MemPiece, Operand, Program, Reg, Target, WordAddr,
+};
+
+fn jump_abs(t: u32) -> Instr {
+    Instr::Jump(JumpPiece {
+        target: Target::Abs(t),
+    })
+}
+
+fn nop() -> Instr {
+    Instr::Op {
+        alu: None,
+        mem: None,
+    }
+}
+use mips_sim::{HazardKind, Machine, MachineConfig, SimError};
+use mips_verify::{verify, Rule};
+
+/// Runs with the dynamic hazard detector armed; the program is
+/// expected to terminate (hazards are recorded, not fatal).
+fn run_checked(p: Program) -> Machine {
+    let mut m = Machine::with_config(
+        p,
+        MachineConfig {
+            check_hazards: true,
+            step_limit: 10_000,
+            ..MachineConfig::default()
+        },
+    );
+    m.run().expect("program halts");
+    m
+}
+
+/// Runs expecting a typed error (control flow leaves the program).
+fn run_to_error(p: Program) -> SimError {
+    let mut m = Machine::with_config(
+        p,
+        MachineConfig {
+            check_hazards: true,
+            step_limit: 10_000,
+            ..MachineConfig::default()
+        },
+    );
+    m.run().expect_err("control flow leaves the program")
+}
+
+fn static_rules(p: &Program) -> Vec<(u32, Rule)> {
+    verify(p)
+        .diagnostics()
+        .iter()
+        .map(|d| (d.pc, d.rule))
+        .collect()
+}
+
+#[test]
+fn v001_load_use_has_a_runtime_twin() {
+    let p = mips_asm::assemble("ld @100,r1\n add r1,#1,r2\n halt").unwrap();
+    assert!(static_rules(&p).contains(&(1, Rule::LoadUse)));
+    let m = run_checked(p);
+    assert!(
+        m.hazards()
+            .iter()
+            .any(|h| h.pc == 1 && h.kind == HazardKind::LoadUse { reg: Reg::R1 }),
+        "dynamic detector silent: {:?}",
+        m.hazards()
+    );
+}
+
+#[test]
+fn v002_branch_in_shadow_has_a_runtime_twin() {
+    let p = mips_asm::assemble("bra a\n bra b\na:\n halt\nb:\n halt").unwrap();
+    assert!(static_rules(&p).contains(&(1, Rule::BranchInShadow)));
+    let m = run_checked(p);
+    assert!(
+        m.hazards()
+            .iter()
+            .any(|h| h.pc == 1 && h.kind == HazardKind::BranchInShadow),
+        "dynamic detector silent: {:?}",
+        m.hazards()
+    );
+}
+
+#[test]
+fn v003_indirect_shadow_has_a_runtime_twin() {
+    // A direct branch inside the two-slot shadow of an indirect jump.
+    let p = mips_asm::assemble("lea t,r1\n nop\n jmpi 0(r1)\n nop\n bra t\nt:\n halt").unwrap();
+    assert!(static_rules(&p).contains(&(4, Rule::IndirectShadow)));
+    let m = run_checked(p);
+    assert!(
+        m.hazards()
+            .iter()
+            .any(|h| h.pc == 4 && h.kind == HazardKind::IndirectShadow),
+        "dynamic detector silent: {:?}",
+        m.hazards()
+    );
+}
+
+#[test]
+fn v004_truncated_shadow_has_a_runtime_twin() {
+    // The branch is the last instruction: its delay slot is past the
+    // end. Statically ShadowTruncated; dynamically the fetch of the
+    // shadow slot leaves the program.
+    let p = Program::new(vec![jump_abs(0)]);
+    assert!(static_rules(&p).contains(&(0, Rule::ShadowTruncated)));
+    assert!(matches!(run_to_error(p), SimError::PcOutOfRange { .. }));
+}
+
+#[test]
+fn v005_falls_off_end_has_a_runtime_twin() {
+    let p = Program::new(vec![nop()]);
+    assert!(static_rules(&p).contains(&(0, Rule::FallsOffEnd)));
+    assert!(matches!(run_to_error(p), SimError::PcOutOfRange { .. }));
+}
+
+#[test]
+fn v006_illegal_instr_has_a_runtime_twin() {
+    // A packed pair whose load and ALU piece write the same register —
+    // unencodable on real hardware.
+    let clash = Instr::Op {
+        alu: Some(AluPiece::new(
+            AluOp::Add,
+            Operand::Reg(Reg::R1),
+            Operand::Small(1),
+            Reg::R2,
+        )),
+        mem: Some(MemPiece::load(
+            MemMode::Absolute(WordAddr::new(100)),
+            Reg::R2,
+        )),
+    };
+    assert!(!clash.is_valid());
+    let p = Program::new(vec![clash, nop(), Instr::Halt]);
+    assert!(static_rules(&p).contains(&(0, Rule::IllegalInstr)));
+    let m = run_checked(p);
+    assert!(
+        m.hazards()
+            .iter()
+            .any(|h| h.pc == 0 && h.kind == HazardKind::IllegalInstr),
+        "dynamic detector silent: {:?}",
+        m.hazards()
+    );
+}
+
+#[test]
+fn v007_bad_target_has_a_runtime_twin() {
+    let p = Program::new(vec![jump_abs(99), nop(), Instr::Halt]);
+    assert!(static_rules(&p).contains(&(0, Rule::BadTarget)));
+    assert!(matches!(run_to_error(p), SimError::PcOutOfRange { .. }));
+}

@@ -1,0 +1,89 @@
+//! `mips-lint` CLI contract: stable exit codes (0 clean / 1 findings /
+//! 2 usage-or-parse-error) and the `--json` line schema. CI scripts
+//! and editor integrations key off both; changes here are breaking.
+
+use std::io::Write;
+use std::process::Command;
+
+fn lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mips-lint"))
+}
+
+/// Writes a source file under a unique temp name; returns its path.
+fn temp_source(tag: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("mips-lint-test-{tag}-{}.s", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let path = temp_source("clean", "mvi #1,r1\n halt\n");
+    let out = lint().arg(&path).output().expect("runs");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn findings_exit_one() {
+    // A load-use violation: V001, the canonical finding.
+    let path = temp_source("dirty", "ld @100,r1\n add r1,#1,r2\n halt\n");
+    let out = lint().arg(&path).output().expect("runs");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("V001"));
+}
+
+#[test]
+fn parse_error_exits_two_not_one() {
+    let path = temp_source("broken", "bogus_mnemonic r1\n");
+    let out = lint().arg(&path).output().expect("runs");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a file that does not assemble is a usage-class failure"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("assembly error"));
+}
+
+#[test]
+fn usage_problems_exit_two() {
+    let out = lint().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "no files is a usage error");
+    let out = lint().arg("--bogus-flag").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = lint().arg("/nonexistent/file.s").output().expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unreadable file is a usage error"
+    );
+}
+
+#[test]
+fn json_lines_carry_the_pinned_schema() {
+    let path = temp_source("json", "ld @100,r1\n add r1,#1,r2\n halt\n");
+    let out = lint().args(["--json"]).arg(&path).output().expect("runs");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("\"rule\":\"V001\""))
+        .unwrap_or_else(|| panic!("no V001 JSON line in: {stdout}"));
+    // The pinned key set, in order.
+    for key in [
+        "\"rule\":\"V001\"",
+        "\"name\":\"load-use\"",
+        "\"severity\":\"error\"",
+        "\"pc\":1",
+        "\"message\":",
+        "\"file\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in: {line}");
+    }
+    assert!(line.starts_with('{') && line.ends_with('}'));
+}

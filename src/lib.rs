@@ -19,6 +19,10 @@
 //! * [`os`] — the software kernel and multiprogramming runtime: exception
 //!   dispatch, syscalls, preemptive scheduling, and demand paging on the
 //!   simulated machine;
+//! * [`chaos`] — deterministic fault injection and the differential
+//!   fuzz campaign (the `mips-chaos` binary): seed-replayable bit
+//!   flips, interrupt mischief, and page-map corruption with an
+//!   escape/isolation taxonomy over the hardened kernel;
 //! * [`analysis`] — the measurement tooling behind every table of the
 //!   paper;
 //! * [`workloads`] — the benchmark corpus (Fibonacci, Puzzle, text
@@ -30,6 +34,7 @@
 pub use mips_analysis as analysis;
 pub use mips_asm as asm;
 pub use mips_ccm as ccm;
+pub use mips_chaos as chaos;
 pub use mips_core as core;
 pub use mips_hll as hll;
 pub use mips_os as os;

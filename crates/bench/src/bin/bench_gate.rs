@@ -1,0 +1,67 @@
+//! CI throughput regression gate.
+//!
+//! ```text
+//! bench_gate BASELINE.json            # measure now, compare, write CURRENT next to it
+//! bench_gate --compare BASE CURRENT   # pure file comparison, no measurement
+//! ```
+//!
+//! Compares the **geomean fast-engine speedup** (a mostly
+//! host-independent ratio) against the checked-in baseline artifact.
+//!
+//! Exit codes: `0` pass, `1` regression, `2` usage or parse error.
+
+use mips_bench::throughput::{self, GATE_TOLERANCE};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: bench_gate BASELINE.json | bench_gate --compare BASELINE.json CURRENT.json";
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn verdict(baseline: &str, current: &str) -> ExitCode {
+    match throughput::gate(baseline, current, GATE_TOLERANCE) {
+        Ok(v) => {
+            println!("{v}");
+            if v.pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, base, current] if flag == "--compare" => {
+            let (b, c) = match (read(base), read(current)) {
+                (Ok(b), Ok(c)) => (b, c),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            verdict(&b, &c)
+        }
+        [base] if base != "--compare" => {
+            let b = match read(base) {
+                Ok(b) => b,
+                Err(e) => return e,
+            };
+            let report = throughput::measure();
+            println!("{report}");
+            verdict(&b, &report.to_json())
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

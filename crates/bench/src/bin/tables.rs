@@ -8,7 +8,9 @@
 //! ```
 //!
 //! Experiments: `table1` … `table11`, `figure1` … `figure4`, `free`,
-//! `wordwise`, `regalloc`, `systems`, `chaos`.
+//! `wordwise`, `regalloc`, `systems`, `chaos`, `throughput` (which
+//! also writes the `BENCH_throughput.json` artifact the CI regression
+//! gate compares against).
 
 use mips_analysis as analysis;
 use mips_hll::MachineTarget;
@@ -130,6 +132,15 @@ fn main() {
         println!("{}", analysis::free_cycles::measure(&names));
     }
 
+    if want("throughput") {
+        section("Host throughput: fast engine vs reference interpreter");
+        let report = mips_bench::throughput::measure();
+        println!("{report}");
+        let path = "BENCH_throughput.json";
+        std::fs::write(path, report.to_json()).expect("write throughput artifact");
+        println!("[wrote {path}]");
+    }
+
     eprintln!("[tables: completed in {:?}]", t0.elapsed());
 }
 
@@ -178,6 +189,7 @@ fn chaos_table() {
         seed: 0xA5,
         cases: 60,
         max_faults: 3,
+        ..mips_chaos::CampaignConfig::default()
     });
     println!("{report}");
     assert!(report.clean(), "chaos campaign must not have escapes");

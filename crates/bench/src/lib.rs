@@ -12,6 +12,7 @@
 //! The helpers here are shared between the two.
 
 pub mod harness;
+pub mod throughput;
 
 use mips_hll::{compile_mips, CodegenOptions};
 use mips_reorg::{reorganize, ReorgOptions};

@@ -1,0 +1,326 @@
+//! Host-throughput measurement: simulated instructions per host second
+//! on each engine, per workload, plus the fast-engine speedup and its
+//! geometric mean.
+//!
+//! Two consumers:
+//!
+//! * the `tables` binary's `throughput` section renders the table and
+//!   writes `BENCH_throughput.json` (schema below);
+//! * the `bench_gate` binary re-measures and compares the **speedup
+//!   ratio** against a checked-in baseline artifact, failing CI on a
+//!   regression. The gate compares ratios rather than absolute MIPS
+//!   because the ratio divides out most of the host-speed variance
+//!   between CI machines.
+//!
+//! The JSON schema is pinned by tests: field names, order, and number
+//! formatting are part of the contract (`schema` identifies revisions).
+//! Serialization is deterministic — byte-identical output for equal
+//! measured values.
+
+use mips_sim::{Engine, Machine};
+use std::fmt;
+use std::time::Instant;
+
+/// Gate tolerance: the measured geomean speedup may fall at most this
+/// fraction below the baseline's before CI fails.
+pub const GATE_TOLERANCE: f64 = 0.10;
+
+/// One workload's timing on both engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadThroughput {
+    /// Corpus name.
+    pub name: String,
+    /// Simulated instructions executed (identical on both engines — a
+    /// divergence is a conformance bug and `measure` panics).
+    pub instructions: u64,
+    /// Host nanoseconds for the reference interpreter run.
+    pub reference_ns: u64,
+    /// Host nanoseconds for the fast-engine run.
+    pub fast_ns: u64,
+}
+
+impl WorkloadThroughput {
+    /// Simulated million-instructions-per-second, reference engine.
+    pub fn reference_mips(&self) -> f64 {
+        self.instructions as f64 * 1e3 / self.reference_ns.max(1) as f64
+    }
+
+    /// Simulated million-instructions-per-second, fast engine.
+    pub fn fast_mips(&self) -> f64 {
+        self.instructions as f64 * 1e3 / self.fast_ns.max(1) as f64
+    }
+
+    /// Fast-engine speedup over the reference interpreter.
+    pub fn speedup(&self) -> f64 {
+        self.reference_ns.max(1) as f64 / self.fast_ns.max(1) as f64
+    }
+}
+
+/// A full throughput run over the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    pub workloads: Vec<WorkloadThroughput>,
+}
+
+impl ThroughputReport {
+    /// Geometric mean of the per-workload speedups.
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.workloads.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.workloads.iter().map(|w| w.speedup().ln()).sum();
+        (log_sum / self.workloads.len() as f64).exp()
+    }
+
+    /// Serializes to the pinned `mips-bench/throughput/v1` schema.
+    /// Deterministic: equal reports produce byte-identical JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"mips-bench/throughput/v1\",\n");
+        s.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+            s.push_str(&format!("      \"instructions\": {},\n", w.instructions));
+            s.push_str(&format!("      \"reference_ns\": {},\n", w.reference_ns));
+            s.push_str(&format!("      \"fast_ns\": {},\n", w.fast_ns));
+            s.push_str(&format!("      \"speedup\": {:.4}\n", w.speedup()));
+            s.push_str(if i + 1 == self.workloads.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"geomean_speedup\": {:.4}\n",
+            self.geomean_speedup()
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>12} {:>10} {:>10} {:>8}",
+            "workload", "instrs", "ref MIPS", "fast MIPS", "speedup"
+        )?;
+        for w in &self.workloads {
+            writeln!(
+                f,
+                "{:<12} {:>12} {:>10.1} {:>10.1} {:>7.2}x",
+                w.name,
+                w.instructions,
+                w.reference_mips(),
+                w.fast_mips(),
+                w.speedup()
+            )?;
+        }
+        write!(f, "geometric-mean speedup: {:.2}x", self.geomean_speedup())
+    }
+}
+
+/// Timing repetitions per engine per workload; the minimum is kept.
+/// Host scheduling noise only ever *adds* time, so min-of-N converges
+/// on the true cost and keeps the gate ratio stable across runs.
+const TIMING_REPS: u32 = 5;
+
+/// Runs a built workload to completion on one engine `TIMING_REPS`
+/// times, returning the last machine and the fastest wall time.
+fn timed_run(out: &mips_reorg::ReorgOutput, engine: Engine) -> (Machine, u64) {
+    let mut best = u64::MAX;
+    let mut last = None;
+    for _ in 0..TIMING_REPS {
+        let mut m = Machine::new(out.program.clone());
+        m.set_refclass_map(out.refclass.clone());
+        m.set_engine(engine);
+        let t = Instant::now();
+        m.run().expect("corpus workloads run clean");
+        best = best.min(t.elapsed().as_nanos() as u64);
+        last = Some(m);
+    }
+    (last.expect("at least one rep"), best)
+}
+
+/// Measures the whole corpus on both engines.
+///
+/// Doubles as a full-run conformance anchor: the two engines must
+/// agree on final profile and output for every workload.
+///
+/// # Panics
+///
+/// Panics if a workload fails to run or the engines diverge.
+pub fn measure() -> ThroughputReport {
+    let workloads = mips_workloads::corpus()
+        .iter()
+        .map(|w| {
+            let out = crate::build(w.source);
+            let (ref_m, reference_ns) = timed_run(&out, Engine::Reference);
+            let (fast_m, fast_ns) = timed_run(&out, Engine::Fast);
+            assert_eq!(
+                fast_m.profile(),
+                ref_m.profile(),
+                "{}: engine profiles diverge",
+                w.name
+            );
+            assert_eq!(
+                fast_m.output(),
+                ref_m.output(),
+                "{}: engine outputs diverge",
+                w.name
+            );
+            WorkloadThroughput {
+                name: w.name.to_string(),
+                instructions: fast_m.profile().instructions,
+                reference_ns,
+                fast_ns,
+            }
+        })
+        .collect();
+    ThroughputReport { workloads }
+}
+
+/// Extracts the `geomean_speedup` field from a `v1` artifact.
+///
+/// # Errors
+///
+/// A message naming what is missing or malformed.
+pub fn parse_geomean(json: &str) -> Result<f64, String> {
+    if !json.contains("\"schema\": \"mips-bench/throughput/v1\"") {
+        return Err("not a mips-bench/throughput/v1 artifact".into());
+    }
+    let key = "\"geomean_speedup\":";
+    let at = json
+        .find(key)
+        .ok_or_else(|| "missing geomean_speedup field".to_string())?;
+    let rest = json[at + key.len()..]
+        .trim_start()
+        .split([',', '\n', '}'])
+        .next()
+        .unwrap_or("");
+    rest.trim()
+        .parse::<f64>()
+        .map_err(|e| format!("malformed geomean_speedup {rest:?}: {e}"))
+}
+
+/// Gate verdict: how the current speedup compares to the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateVerdict {
+    pub baseline: f64,
+    pub current: f64,
+    /// Smallest acceptable current speedup:
+    /// `max(baseline * (1 - tolerance), 1.0)` — a fast path slower
+    /// than the reference interpreter is a regression no matter what
+    /// the baseline says.
+    pub floor: f64,
+    pub pass: bool,
+}
+
+impl fmt::Display for GateVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "geomean speedup {:.2}x vs baseline {:.2}x (floor {:.2}x): {}",
+            self.current,
+            self.baseline,
+            self.floor,
+            if self.pass { "PASS" } else { "REGRESSION" }
+        )
+    }
+}
+
+/// Compares two artifacts' geomean speedups.
+///
+/// # Errors
+///
+/// A message if either artifact fails to parse.
+pub fn gate(
+    baseline_json: &str,
+    current_json: &str,
+    tolerance: f64,
+) -> Result<GateVerdict, String> {
+    let baseline = parse_geomean(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let current = parse_geomean(current_json).map_err(|e| format!("current: {e}"))?;
+    let floor = (baseline * (1.0 - tolerance)).max(1.0);
+    Ok(GateVerdict {
+        baseline,
+        current,
+        floor,
+        pass: current >= floor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ThroughputReport {
+        ThroughputReport {
+            workloads: vec![
+                WorkloadThroughput {
+                    name: "fib".into(),
+                    instructions: 78_262,
+                    reference_ns: 4_000_000,
+                    fast_ns: 1_000_000,
+                },
+                WorkloadThroughput {
+                    name: "sort".into(),
+                    instructions: 1_000_000,
+                    reference_ns: 9_000_000,
+                    fast_ns: 4_000_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn geomean_is_the_geometric_mean() {
+        let r = sample();
+        assert!((r.geomean_speedup() - (4.0f64 * 2.25).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_gate_parser() {
+        let json = sample().to_json();
+        let g = parse_geomean(&json).unwrap();
+        assert!((g - sample().geomean_speedup()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_past_it() {
+        let base = sample().to_json();
+        // Identical artifact: pass.
+        assert!(gate(&base, &base, GATE_TOLERANCE).unwrap().pass);
+        // 30% slower than baseline: regression.
+        let slow = ThroughputReport {
+            workloads: sample()
+                .workloads
+                .into_iter()
+                .map(|w| WorkloadThroughput {
+                    fast_ns: w.fast_ns * 10 / 7,
+                    ..w
+                })
+                .collect(),
+        };
+        assert!(!gate(&base, &slow.to_json(), GATE_TOLERANCE).unwrap().pass);
+        // Parse errors are errors, not verdicts.
+        assert!(gate(&base, "{}", GATE_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn the_floor_is_never_below_parity() {
+        // Baseline claims 0.8x (slower than reference); the floor must
+        // still demand parity from the current run.
+        let mut r = sample();
+        for w in &mut r.workloads {
+            w.fast_ns = w.reference_ns * 5 / 4;
+        }
+        let v = gate(&r.to_json(), &r.to_json(), GATE_TOLERANCE).unwrap();
+        assert_eq!(v.floor, 1.0);
+        assert!(!v.pass);
+    }
+}

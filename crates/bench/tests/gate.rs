@@ -1,0 +1,129 @@
+//! The throughput artifact schema and the CI gate's exit-code contract.
+//!
+//! `BENCH_throughput.json` is a checked-in baseline that CI diffs
+//! against, so its *serialization* is part of the interface: field
+//! names, field order, and number formatting are pinned byte-for-byte
+//! here. The `bench_gate` binary's exit codes are likewise contractual
+//! (CI branches on them): `0` pass, `1` regression, `2` usage/parse
+//! error — one test per code.
+
+use mips_bench::throughput::{ThroughputReport, WorkloadThroughput};
+use std::process::Command;
+
+fn sample(fast_ns: u64) -> ThroughputReport {
+    ThroughputReport {
+        workloads: vec![
+            WorkloadThroughput {
+                name: "fib".into(),
+                instructions: 78_262,
+                reference_ns: 4_000_000,
+                fast_ns,
+            },
+            WorkloadThroughput {
+                name: "sort".into(),
+                instructions: 1_000_000,
+                reference_ns: 9_000_000,
+                fast_ns: fast_ns * 4,
+            },
+        ],
+    }
+}
+
+/// The exact serialized form, byte for byte. A diff here is a schema
+/// change: bump the `schema` string and regenerate the baseline.
+#[test]
+fn json_schema_is_pinned_byte_for_byte() {
+    let expected = "\
+{
+  \"schema\": \"mips-bench/throughput/v1\",
+  \"workloads\": [
+    {
+      \"name\": \"fib\",
+      \"instructions\": 78262,
+      \"reference_ns\": 4000000,
+      \"fast_ns\": 1000000,
+      \"speedup\": 4.0000
+    },
+    {
+      \"name\": \"sort\",
+      \"instructions\": 1000000,
+      \"reference_ns\": 9000000,
+      \"fast_ns\": 4000000,
+      \"speedup\": 2.2500
+    }
+  ],
+  \"geomean_speedup\": 3.0000
+}
+";
+    assert_eq!(sample(1_000_000).to_json(), expected);
+}
+
+/// Serialization is deterministic: equal reports, identical bytes.
+#[test]
+fn equal_reports_serialize_identically() {
+    assert_eq!(sample(1_000_000).to_json(), sample(1_000_000).to_json());
+}
+
+/// The checked-in repository baseline parses under the current schema
+/// and claims the acceptance-floor speedup.
+#[test]
+fn repository_baseline_is_valid_and_fast() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let json = std::fs::read_to_string(path).expect("checked-in BENCH_throughput.json");
+    let g = mips_bench::throughput::parse_geomean(&json).expect("baseline parses");
+    assert!(g >= 2.0, "baseline geomean speedup {g} below the 2x floor");
+}
+
+fn run_gate(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .args(args)
+        .output()
+        .expect("bench_gate spawns");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("mips_gate_{}_{name}", std::process::id()));
+    std::fs::write(&p, contents).unwrap();
+    p
+}
+
+#[test]
+fn exit_0_when_within_tolerance() {
+    let base = write_tmp("pass_base.json", &sample(1_000_000).to_json());
+    // 5% slower: inside the 10% tolerance band.
+    let cur = write_tmp("pass_cur.json", &sample(1_050_000).to_json());
+    let (code, stdout, _) = run_gate(&["--compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("PASS"), "stdout: {stdout}");
+}
+
+#[test]
+fn exit_1_on_regression() {
+    let base = write_tmp("reg_base.json", &sample(1_000_000).to_json());
+    // 30% slower: past the tolerance band.
+    let cur = write_tmp("reg_cur.json", &sample(1_430_000).to_json());
+    let (code, stdout, _) = run_gate(&["--compare", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("REGRESSION"), "stdout: {stdout}");
+}
+
+#[test]
+fn exit_2_on_usage_and_parse_errors() {
+    // No arguments: usage.
+    let (code, _, stderr) = run_gate(&[]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("usage"), "stderr: {stderr}");
+    // Unreadable file: parse/read error.
+    let (code, _, _) = run_gate(&["--compare", "/nonexistent.json", "/nonexistent.json"]);
+    assert_eq!(code, Some(2));
+    // Readable but not a v1 artifact.
+    let base = write_tmp("bad_base.json", &sample(1_000_000).to_json());
+    let bad = write_tmp("bad_cur.json", "{\"schema\": \"something-else\"}\n");
+    let (code, _, stderr) = run_gate(&["--compare", base.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+}

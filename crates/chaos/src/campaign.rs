@@ -14,7 +14,7 @@ use crate::inject::Injector;
 use crate::report::{CaseResult, ChaosReport, FaultRecord, Outcome};
 use mips_core::Program;
 use mips_hll::{compile_mips, CodegenOptions};
-use mips_os::{kernel_program, Kernel, KernelConfig, OsError, ProcStatus, RunReport};
+use mips_os::{kernel_program, Engine, Kernel, KernelConfig, OsError, ProcStatus, RunReport};
 use mips_qc::Rng;
 use mips_reorg::{reorganize, ReorgOptions};
 use std::collections::HashMap;
@@ -29,6 +29,13 @@ pub struct CampaignConfig {
     pub cases: u64,
     /// Maximum faults per case.
     pub max_faults: usize,
+    /// Execution engine for the clean **baseline** runs. Injected runs
+    /// always attach the fault-injection hook, which forces the
+    /// per-step reference path regardless of this knob. The knob is a
+    /// host-side tunable, not part of the campaign identity, so it is
+    /// *not* serialized into the [`ChaosReport`] — and the report must
+    /// be byte-identical either way (covered by tests).
+    pub engine: Engine,
 }
 
 impl Default for CampaignConfig {
@@ -37,6 +44,7 @@ impl Default for CampaignConfig {
             seed: 0xA5,
             cases: 200,
             max_faults: 3,
+            engine: Engine::Reference,
         }
     }
 }
@@ -175,7 +183,8 @@ fn run_set<F>(
     chosen: &[usize],
     watchdog: Option<u64>,
     step_limit: u64,
-    hook: F,
+    engine: Engine,
+    hook: Option<F>,
 ) -> Result<RunReport, OsError>
 where
     F: FnMut(&mut mips_sim::Machine),
@@ -185,12 +194,19 @@ where
         frames: FRAMES,
         step_limit,
         watchdog,
+        engine,
     });
     for &i in chosen {
         k.spawn(pool[i].name, pool[i].program.clone())?;
     }
-    k.run_with_hook(hook)
+    match hook {
+        Some(h) => k.run_with_hook(h),
+        None => k.run_until_idle(),
+    }
 }
+
+/// `None` hook with a concrete type, for clean runs.
+const NO_HOOK: Option<fn(&mut mips_sim::Machine)> = None;
 
 /// Per-case rng: decorrelated from the campaign seed by case index.
 fn case_rng(seed: u64, case: u64) -> Rng {
@@ -233,7 +249,7 @@ fn run_case(
     let base = baselines
         .entry(chosen.clone())
         .or_insert_with(|| {
-            let r = run_set(pool, &chosen, None, BASE_STEP_LIMIT, |_| {})
+            let r = run_set(pool, &chosen, None, BASE_STEP_LIMIT, cfg.engine, NO_HOOK)
                 .expect("baseline run of honest workloads succeeds");
             assert!(r.panic.is_none(), "baseline run must not panic");
             Baseline {
@@ -266,9 +282,14 @@ fn run_case(
 
     let mut injector = Injector::new(plan, klen);
     let run = catch_unwind(AssertUnwindSafe(|| {
-        run_set(pool, &chosen, Some(watchdog), step_limit, |m| {
-            injector.hook(m);
-        })
+        run_set(
+            pool,
+            &chosen,
+            Some(watchdog),
+            step_limit,
+            cfg.engine,
+            Some(|m: &mut mips_sim::Machine| injector.hook(m)),
+        )
     }));
     let injected: Vec<String> = injector
         .log()
@@ -378,7 +399,15 @@ mod tests {
         assert!(pool.len() >= 10);
         // The synthetic victims produce their expected output clean.
         let idx: Vec<usize> = (0..3).collect();
-        let r = run_set(&pool, &idx, None, BASE_STEP_LIMIT, |_| {}).unwrap();
+        let r = run_set(
+            &pool,
+            &idx,
+            None,
+            BASE_STEP_LIMIT,
+            Engine::Reference,
+            NO_HOOK,
+        )
+        .unwrap();
         assert_eq!(r.procs[0].output, b"ABCDEFGHIJKLMNOPQRSTUVWXYZ");
         assert_eq!(r.procs[1].output, b"0123456789");
         assert_eq!(r.procs[2].output, b"15");
@@ -393,6 +422,7 @@ mod tests {
             seed: 7,
             cases: 4,
             max_faults: 2,
+            ..CampaignConfig::default()
         };
         let a = run_campaign(&cfg);
         let b = run_campaign(&cfg);

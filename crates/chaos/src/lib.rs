@@ -40,6 +40,7 @@
 //!     seed: 0xA5,
 //!     cases: 3,
 //!     max_faults: 2,
+//!     ..CampaignConfig::default()
 //! });
 //! assert_eq!(report.cases.len(), 3);
 //! assert!(report.clean(), "no fault may escape its victim:\n{report}");

@@ -10,6 +10,7 @@ fn no_fault_escapes_its_victim() {
         seed: 0xA5,
         cases: 60,
         max_faults: 3,
+        ..CampaignConfig::default()
     });
     let escaped: Vec<_> = report
         .cases
@@ -31,6 +32,7 @@ fn campaigns_replay_byte_identically() {
         seed: 0x5EED,
         cases: 12,
         max_faults: 3,
+        ..CampaignConfig::default()
     };
     let a = run_campaign(&cfg);
     let b = run_campaign(&cfg);
@@ -49,6 +51,7 @@ fn detected_cases_name_a_kill_or_panic() {
         seed: 0xA5,
         cases: 60,
         max_faults: 3,
+        ..CampaignConfig::default()
     });
     for c in report
         .cases
@@ -62,4 +65,29 @@ fn detected_cases_name_a_kill_or_panic() {
             c.note
         );
     }
+}
+
+/// The execution engine is a host-side tunable, not part of the
+/// campaign identity: a campaign whose clean baselines run on the fast
+/// engine must serialize to the byte-identical JSON artifact (fault
+/// arming always forces the per-step reference path for injected runs,
+/// and the baselines themselves are lock-step conformant).
+#[test]
+fn reports_are_byte_identical_on_either_engine() {
+    let cfg = CampaignConfig {
+        seed: 0xE6,
+        cases: 12,
+        max_faults: 3,
+        engine: mips_os::Engine::Reference,
+    };
+    let reference = run_campaign(&cfg);
+    let fast = run_campaign(&CampaignConfig {
+        engine: mips_os::Engine::Fast,
+        ..cfg
+    });
+    assert_eq!(reference.to_json(), fast.to_json());
+    assert!(
+        !reference.to_json().contains("engine"),
+        "the engine knob must not leak into the artifact"
+    );
 }

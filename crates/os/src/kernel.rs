@@ -11,7 +11,7 @@ use crate::layout::{self, pcb, sys};
 use mips_asm::assemble;
 use mips_core::{Instr, Program, Reg, Target, TrapPiece};
 use mips_sim::machine::CONSOLE_ADDR;
-use mips_sim::{Cause, Machine, MachineConfig, Mmio, PageMap, SimError, Surprise};
+use mips_sim::{Cause, Engine, Machine, MachineConfig, Mmio, PageMap, SimError, Surprise};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -73,6 +73,14 @@ pub struct KernelConfig {
     /// [`WATCHDOG_DETAIL`]); its pid lands in
     /// [`RunReport::watchdog_kills`]. `None` disables the watchdog.
     pub watchdog: Option<u64>,
+    /// Execution engine for the underlying machine. With
+    /// [`Engine::Fast`], hook-free runs ([`Kernel::run_until_idle`])
+    /// burst through user-mode stretches on the fast path and fall back
+    /// to per-step execution inside kernel text; runs with a hook
+    /// attached always step the reference interpreter so the hook's
+    /// pre-step observation point is preserved. The [`RunReport`] is
+    /// identical either way.
+    pub engine: Engine,
 }
 
 impl Default for KernelConfig {
@@ -82,6 +90,7 @@ impl Default for KernelConfig {
             frames: 64,
             step_limit: 400_000_000,
             watchdog: None,
+            engine: Engine::Reference,
         }
     }
 }
@@ -103,7 +112,7 @@ pub enum ProcStatus {
 }
 
 /// Per-process outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcReport {
     /// Pid (1-based).
     pub pid: u32,
@@ -227,7 +236,7 @@ impl fmt::Display for KernelPanic {
 }
 
 /// A finished run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// Per-process outcomes, in spawn (pid) order.
     pub procs: Vec<ProcReport>,
@@ -356,7 +365,7 @@ impl Kernel {
     /// [`OsError::Sim`] if the machine stops for a reason the kernel
     /// cannot handle (step limit exceeded, double fault).
     pub fn run_until_idle(&mut self) -> Result<RunReport, OsError> {
-        self.run_with_hook(|_| {})
+        self.run_inner(None)
     }
 
     /// Like [`Kernel::run_until_idle`], but calls `hook` with the live
@@ -377,6 +386,16 @@ impl Kernel {
     where
         F: FnMut(&mut Machine),
     {
+        self.run_inner(Some(&mut hook))
+    }
+
+    /// The shared run loop. `hook` is `None` for plain runs — the only
+    /// shape eligible for fast user-mode bursts, since a hook demands a
+    /// per-step observation point.
+    fn run_inner(
+        &mut self,
+        mut hook: Option<&mut dyn FnMut(&mut Machine)>,
+    ) -> Result<RunReport, OsError> {
         let kernel = kernel_program();
         let klen = kernel.len() as u32;
 
@@ -401,6 +420,7 @@ impl Kernel {
                 ..MachineConfig::default()
             },
         );
+        m.set_engine(self.config.engine);
         m.attach_page_map(PageMap::new());
         m.attach_timer(self.config.time_slice, 0);
         let console: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
@@ -465,7 +485,9 @@ impl Kernel {
         let mut cur_pid: u32 = 0;
         let mut pid_stale = true;
         loop {
-            hook(&mut m);
+            if let Some(h) = hook.as_deref_mut() {
+                h(&mut m);
+            }
             if pid_stale && m.pc() >= klen {
                 // The kernel just handed off to user code; re-read who.
                 cur_pid = m.mem().peek(layout::CURRENT);
@@ -486,6 +508,53 @@ impl Kernel {
                     m.raise_exception(Cause::Illegal, WATCHDOG_DETAIL)
                         .map_err(OsError::Sim)?;
                 }
+            }
+            // Hook-free user-mode stretches burst on the fast path:
+            // the burst is fenced at the kernel-text boundary, capped
+            // by the watchdog budget, and stops at the first exception
+            // dispatch — so every instruction it executes was fetched
+            // from user space, except a possible trailing kernel entry
+            // word when an interrupt dispatched (the same
+            // dispatched-first shape the per-step attribution handles).
+            if hook.is_none()
+                && self.config.engine == Engine::Fast
+                && m.pc() >= klen
+                && !m.surprise().supervisor()
+            {
+                let mut cap = u64::MAX;
+                if let Some(budget) = self.config.watchdog {
+                    if cur_pid > 0 && (cur_pid as usize) < user_spent.len() {
+                        cap = budget.saturating_sub(user_spent[cur_pid as usize]).max(1);
+                    }
+                }
+                let exceptions = m.profile().exceptions;
+                let k = m.run_burst(cap, klen).map_err(OsError::Sim)?;
+                if k > 0 {
+                    let dispatched_first = m.profile().exceptions > exceptions && m.pc() == 1;
+                    let user = if dispatched_first { k - 1 } else { k };
+                    cost.user += user;
+                    if (cur_pid as usize) < user_spent.len() {
+                        user_spent[cur_pid as usize] += user;
+                    }
+                    if dispatched_first {
+                        // The burst's final step dispatched an interrupt
+                        // and executed kernel word 0 in the same breath.
+                        match bucket_of(0) {
+                            Bucket::User => cost.user += 1,
+                            Bucket::SaveRestore => cost.save_restore += 1,
+                            Bucket::Dispatch => cost.dispatch += 1,
+                            Bucket::Syscall => cost.syscall += 1,
+                            Bucket::Tick => cost.tick += 1,
+                            Bucket::Sched => cost.sched += 1,
+                            Bucket::Paging => cost.paging += 1,
+                        }
+                        pid_stale = true;
+                    }
+                }
+                if m.halted() {
+                    break;
+                }
+                continue;
             }
             let pc = m.pc();
             let sup_before = m.surprise().supervisor();

@@ -57,3 +57,7 @@ pub use kernel::{
     kernel_program, Counters, Kernel, KernelConfig, KernelPanic, OsError, ProcReport, ProcStatus,
     RunReport, SystemsCost, KERNEL_SRC, WATCHDOG_DETAIL,
 };
+
+// The engine knob [`KernelConfig::engine`] takes, re-exported so OS
+// users need not depend on `mips-sim` directly.
+pub use mips_sim::Engine;

@@ -1,0 +1,605 @@
+//! The host fast path: a predecoded, chunked execution engine.
+//!
+//! The paper's discipline — make the frequent case cheap, fall back to
+//! software for the rare one — applied to the simulator itself. The
+//! reference interpreter ([`Machine::step`]) re-decodes the [`Instr`]
+//! tree, samples the timer and the interrupt line, and consults the
+//! hazard checkers on **every** instruction. The fast engine instead:
+//!
+//! * **predecodes** the program once into a dense array of
+//!   execute-ready ops with branch targets resolved, the packed ALU
+//!   piece inlined, and the per-pc [`RefClass`] sidecar baked in;
+//! * **hoists the boundary sample**: the next armed event (timer tick,
+//!   step limit, caller budget) bounds a chunk, and the in-chunk loop
+//!   executes with no timer, interrupt, or limit checks at all;
+//! * uses **fixed scratch** — the in-flight load, the two-slot pending
+//!   branch set, and direct profile-counter increments; nothing
+//!   allocates per instruction.
+//!
+//! Anything outside the common case **bails to the reference
+//! interpreter** *before* performing any side effect, so one
+//! `step()` replays the instruction with full fidelity and the
+//! trajectory is bit-identical to a pure reference run. Bail triggers:
+//!
+//! * slow opcodes: `trap`, the special-register file, `rfe`, `halt`,
+//!   unresolved (unlinked) targets;
+//! * any exception-raising condition: translation fault, misalignment,
+//!   byte access on the word machine, ALU overflow with the trap
+//!   enabled, a runaway pc;
+//! * any access that lands in a device window (MMIO has side effects);
+//! * whole-run fallbacks: [`crate::MachineConfig::check_hazards`]
+//!   (hazard recording is per-step by definition), pending DMA
+//!   transfers, and a timer tick due at the current boundary.
+//!
+//! The conformance contract — identical registers, memory, output,
+//! profile counters, and [`SimError`]s at every instruction-count
+//! observation point — is enforced by the differential lock-step suite
+//! (`tests/fast_conformance.rs`, `tests/chunk_edges.rs`, and the os-
+//! and chaos-level suites).
+
+use crate::error::SimError;
+use crate::except::Cause;
+use crate::machine::{Machine, PendingBranch};
+use mips_core::delay::{BRANCH_DELAY, INDIRECT_DELAY};
+use mips_core::word::{extract_byte, insert_byte};
+use mips_core::{AluPiece, Cond, Instr, MemMode, MemPiece, Operand, Program, RefClass, Reg, Width};
+use std::rc::Rc;
+
+/// Which execution engine drives [`Machine::run`] and the batched
+/// entry points. The per-step [`Machine::step`] is always the
+/// reference interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The per-step reference interpreter: full fidelity, hooks and
+    /// hazard recording at every instruction boundary.
+    #[default]
+    Reference,
+    /// The predecoded chunked loop; falls back to the reference
+    /// interpreter wherever fidelity demands it.
+    Fast,
+}
+
+/// Upper bound on instructions per chunk; boundary work (timer fire,
+/// interrupt sample, budget arithmetic) is amortized over this many
+/// instructions in the best case.
+const FAST_CHUNK: u64 = 1 << 16;
+
+/// One predecoded instruction. Everything the hot loop needs is inline:
+/// resolved targets, the packed ALU piece, the refclass sidecar entry.
+#[derive(Debug, Clone, Copy)]
+enum FastOp {
+    /// Needs the reference interpreter (trap/special/rfe/halt/unlinked).
+    Slow,
+    Nop,
+    Alu(AluPiece),
+    LoadImm {
+        value: u32,
+        dst: Reg,
+    },
+    Load {
+        mode: MemMode,
+        dst: Reg,
+        width: Width,
+        alu: Option<AluPiece>,
+        refclass: Option<RefClass>,
+    },
+    Store {
+        mode: MemMode,
+        src: Reg,
+        width: Width,
+        alu: Option<AluPiece>,
+        refclass: Option<RefClass>,
+    },
+    SetCond {
+        cond: Cond,
+        a: Operand,
+        b: Operand,
+        dst: Reg,
+    },
+    Mvi {
+        imm: u8,
+        dst: Reg,
+    },
+    CmpBranch {
+        cond: Cond,
+        a: Operand,
+        b: Operand,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    Call {
+        target: u32,
+        link: Reg,
+    },
+    JumpInd {
+        base: Reg,
+        disp: i32,
+    },
+    Lea {
+        addr: u32,
+        dst: Reg,
+    },
+}
+
+/// The predecoded image of a [`Program`] plus its refclass sidecar.
+#[derive(Debug)]
+pub struct FastProgram {
+    ops: Vec<FastOp>,
+}
+
+impl FastProgram {
+    /// Predecodes `program`; instructions the fast loop cannot execute
+    /// exactly become [`FastOp::Slow`].
+    pub(crate) fn predecode(program: &Program, refclass: &[Option<RefClass>]) -> FastProgram {
+        let ops = program
+            .instrs()
+            .iter()
+            .enumerate()
+            .map(|(pc, ins)| Self::decode_one(ins, refclass.get(pc).copied().flatten()))
+            .collect();
+        FastProgram { ops }
+    }
+
+    fn decode_one(ins: &Instr, refclass: Option<RefClass>) -> FastOp {
+        match *ins {
+            Instr::Op {
+                alu: None,
+                mem: None,
+            } => FastOp::Nop,
+            Instr::Op {
+                alu: Some(a),
+                mem: None,
+            } => FastOp::Alu(a),
+            Instr::Op {
+                alu,
+                mem: Some(mem),
+            } => match mem {
+                // A packed ALU piece beside a long immediate is not a
+                // valid encoding; the reference path defines its commit
+                // order, so defer to it.
+                MemPiece::LoadImm { value, dst } => {
+                    if alu.is_some() {
+                        FastOp::Slow
+                    } else {
+                        FastOp::LoadImm { value, dst }
+                    }
+                }
+                MemPiece::Load { mode, dst, width } => FastOp::Load {
+                    mode,
+                    dst,
+                    width,
+                    alu,
+                    refclass,
+                },
+                MemPiece::Store { mode, src, width } => FastOp::Store {
+                    mode,
+                    src,
+                    width,
+                    alu,
+                    refclass,
+                },
+            },
+            Instr::SetCond(p) => FastOp::SetCond {
+                cond: p.cond,
+                a: p.a,
+                b: p.b,
+                dst: p.dst,
+            },
+            Instr::Mvi(p) => FastOp::Mvi {
+                imm: p.imm,
+                dst: p.dst,
+            },
+            Instr::CmpBranch(p) => match p.target.abs() {
+                Some(target) => FastOp::CmpBranch {
+                    cond: p.cond,
+                    a: p.a,
+                    b: p.b,
+                    target,
+                },
+                None => FastOp::Slow,
+            },
+            Instr::Jump(p) => match p.target.abs() {
+                Some(target) => FastOp::Jump { target },
+                None => FastOp::Slow,
+            },
+            Instr::Call(p) => match p.target.abs() {
+                Some(target) => FastOp::Call {
+                    target,
+                    link: p.link,
+                },
+                None => FastOp::Slow,
+            },
+            Instr::JumpInd(p) => FastOp::JumpInd {
+                base: p.base,
+                disp: p.disp,
+            },
+            Instr::Lea { target, dst } => match target.abs() {
+                Some(addr) => FastOp::Lea { addr, dst },
+                None => FastOp::Slow,
+            },
+            Instr::Trap(_) | Instr::Special(_) | Instr::Halt => FastOp::Slow,
+        }
+    }
+}
+
+impl Machine {
+    /// Runs until `n` more instructions have executed (by the
+    /// [`crate::Profile::instructions`] counter), the machine halts, or
+    /// an error stops it — continuing straight through exception
+    /// dispatches. Uses the selected [`Engine`]; on
+    /// [`Engine::Reference`] this is exactly a counted `step()` loop.
+    /// Returns the number of instructions executed. Note that a
+    /// dispatch-only boundary (interrupt taken, runaway-pc address
+    /// error) executes zero instructions and does not count toward `n`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_steps(&mut self, n: u64) -> Result<u64, SimError> {
+        let start = self.profile.instructions;
+        let goal = start.saturating_add(n);
+        while !self.halted && self.profile.instructions < goal {
+            self.run_burst(goal - self.profile.instructions, 0)?;
+        }
+        Ok(self.profile.instructions - start)
+    }
+
+    /// Runs up to `n` more instructions, stopping early at the first
+    /// exception dispatch or as soon as control reaches a pc below
+    /// `fence` (pass 0 for no fence). This is the OS-runtime entry
+    /// point: a kernel can batch a user process's time slice and still
+    /// observe every kernel entry at an instruction boundary. Returns
+    /// the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_burst(&mut self, n: u64, fence: u32) -> Result<u64, SimError> {
+        let start = self.profile.instructions;
+        let goal = start.saturating_add(n);
+        let exc0 = self.profile.exceptions;
+        while !self.halted
+            && self.profile.instructions < goal
+            && self.profile.exceptions == exc0
+            && self.pc >= fence
+        {
+            // Per-step fidelity cases: the reference engine was asked
+            // for; hazard recording wants every boundary; DMA can steal
+            // any free cycle; a due timer tick must fire inside
+            // `step()`'s own boundary sample (also covers catch-up when
+            // the counter has run past `next_fire`).
+            let timer_due = self
+                .timer
+                .as_ref()
+                .is_some_and(|t| t.next_fire <= self.profile.instructions);
+            if self.engine == Engine::Reference
+                || self.cfg.check_hazards
+                || self.mem.dma_pending() > 0
+                || timer_due
+            {
+                self.step()?;
+                continue;
+            }
+            if self.profile.instructions >= self.cfg.step_limit {
+                return Err(SimError::StepLimit {
+                    limit: self.cfg.step_limit,
+                });
+            }
+            // Interrupts are sampled here, once per chunk boundary: the
+            // line only changes through device/MMIO traffic, `rfe`, or
+            // a timer tick — all of which end a chunk.
+            if self.surprise.int_enable() && self.interrupt_line() {
+                self.dispatch_exception(Cause::Interrupt, 0, true)?;
+                break;
+            }
+            let image = match &self.fast {
+                Some(f) => Rc::clone(f),
+                None => {
+                    let f = Rc::new(FastProgram::predecode(&self.program, &self.refclass));
+                    self.fast = Some(Rc::clone(&f));
+                    f
+                }
+            };
+            // The chunk ends at the next armed event, so the hot loop
+            // never needs to sample the timer or the step limit.
+            let mut chunk = (goal - self.profile.instructions)
+                .min(self.cfg.step_limit - self.profile.instructions)
+                .min(FAST_CHUNK);
+            if let Some(t) = &self.timer {
+                chunk = chunk.min(t.next_fire - self.profile.instructions);
+            }
+            if self.run_chunk(&image, chunk, fence) {
+                // The next instruction needs full fidelity: a slow
+                // opcode, a fault, a device access, or a runaway pc.
+                // Nothing was committed for it yet, so one reference
+                // step replays it exactly.
+                self.step()?;
+            }
+        }
+        Ok(self.profile.instructions - start)
+    }
+
+    /// Executes up to `n` predecoded instructions with no boundary
+    /// checks. Returns true when it stopped on an instruction that
+    /// needs the reference interpreter (machine state is still at the
+    /// boundary *before* that instruction).
+    fn run_chunk(&mut self, image: &FastProgram, n: u64, fence: u32) -> bool {
+        let ovf_on = self.surprise.ovf_enable();
+        let dev_floor = self.mem.device_floor();
+        for _ in 0..n {
+            if self.pc < fence {
+                return false;
+            }
+            let Some(&op) = image.ops.get(self.pc as usize) else {
+                return true;
+            };
+            match op {
+                FastOp::Slow => return true,
+                FastOp::Nop => {
+                    self.profile.nops += 1;
+                    self.account_free();
+                    self.commit_inflight();
+                    self.advance_pc();
+                }
+                FastOp::Alu(p) => {
+                    let (v, ovf) = p.op.eval(self.operand(p.a), self.operand(p.b), self.lo);
+                    if ovf && ovf_on {
+                        return true;
+                    }
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[p.dst.index()] = v;
+                    self.advance_pc();
+                }
+                FastOp::LoadImm { value, dst } => {
+                    self.profile.long_immediates += 1;
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[dst.index()] = value;
+                    self.advance_pc();
+                }
+                FastOp::Load {
+                    mode,
+                    dst,
+                    width,
+                    alu,
+                    refclass,
+                } => {
+                    // The ALU piece evaluates on pre-instruction state;
+                    // an enabled overflow bails *before* the memory
+                    // reference so the replay performs it exactly once.
+                    let alu_result = alu.map(|p| {
+                        let (v, ovf) = p.op.eval(self.operand(p.a), self.operand(p.b), self.lo);
+                        (p.dst, v, ovf)
+                    });
+                    if ovf_on && matches!(alu_result, Some((_, _, true))) {
+                        return true;
+                    }
+                    let ea = mode.effective(|r| self.regs[r.index()]);
+                    let Some(v) = self.fast_load(ea, width, dev_floor) else {
+                        return true;
+                    };
+                    self.profile.record_ref(refclass, false);
+                    if alu.is_some() {
+                        self.profile.packed += 1;
+                    }
+                    self.account_mem();
+                    self.commit_inflight();
+                    if let Some((d, w, _)) = alu_result {
+                        self.regs[d.index()] = w;
+                    }
+                    self.load_in_flight = Some((dst, v));
+                    self.advance_pc();
+                }
+                FastOp::Store {
+                    mode,
+                    src,
+                    width,
+                    alu,
+                    refclass,
+                } => {
+                    let alu_result = alu.map(|p| {
+                        let (v, ovf) = p.op.eval(self.operand(p.a), self.operand(p.b), self.lo);
+                        (p.dst, v, ovf)
+                    });
+                    if ovf_on && matches!(alu_result, Some((_, _, true))) {
+                        return true;
+                    }
+                    let ea = mode.effective(|r| self.regs[r.index()]);
+                    let v = self.regs[src.index()];
+                    if !self.fast_store(ea, v, width, dev_floor) {
+                        return true;
+                    }
+                    self.profile.record_ref(refclass, true);
+                    if alu.is_some() {
+                        self.profile.packed += 1;
+                    }
+                    self.account_mem();
+                    self.commit_inflight();
+                    if let Some((d, w, _)) = alu_result {
+                        self.regs[d.index()] = w;
+                    }
+                    self.advance_pc();
+                }
+                FastOp::SetCond { cond, a, b, dst } => {
+                    let v = cond.eval(self.operand(a), self.operand(b)) as u32;
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[dst.index()] = v;
+                    self.advance_pc();
+                }
+                FastOp::Mvi { imm, dst } => {
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[dst.index()] = imm as u32;
+                    self.advance_pc();
+                }
+                FastOp::CmpBranch { cond, a, b, target } => {
+                    self.profile.branches += 1;
+                    let taken = cond.eval(self.operand(a), self.operand(b));
+                    self.account_free();
+                    self.commit_inflight();
+                    if taken {
+                        self.profile.branches_taken += 1;
+                        self.branch_to(target, BRANCH_DELAY, false);
+                    } else {
+                        self.advance_pc();
+                    }
+                }
+                FastOp::Jump { target } => {
+                    self.profile.branches += 1;
+                    self.profile.branches_taken += 1;
+                    self.account_free();
+                    self.commit_inflight();
+                    self.branch_to(target, BRANCH_DELAY, false);
+                }
+                FastOp::Call { target, link } => {
+                    self.profile.branches += 1;
+                    self.profile.branches_taken += 1;
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[link.index()] = self.pc + 1 + BRANCH_DELAY;
+                    self.branch_to(target, BRANCH_DELAY, false);
+                }
+                FastOp::JumpInd { base, disp } => {
+                    self.profile.branches += 1;
+                    self.profile.branches_taken += 1;
+                    // The target reads pre-commit register state.
+                    let target = self.regs[base.index()].wrapping_add(disp as u32);
+                    self.account_free();
+                    self.commit_inflight();
+                    self.branch_to(target, INDIRECT_DELAY, true);
+                }
+                FastOp::Lea { addr, dst } => {
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[dst.index()] = addr;
+                    self.advance_pc();
+                }
+            }
+        }
+        false
+    }
+
+    /// Issue-slot accounting for a non-memory instruction. Chunks run
+    /// with no DMA pending (a precondition checked at the boundary), so
+    /// the free cycle has nothing to service.
+    #[inline(always)]
+    fn account_free(&mut self) {
+        self.profile.instructions += 1;
+        self.profile.mem_cycles_free += 1;
+    }
+
+    #[inline(always)]
+    fn account_mem(&mut self) {
+        self.profile.instructions += 1;
+        self.profile.mem_cycles_used += 1;
+    }
+
+    /// Commits the previous instruction's in-flight load (writes from
+    /// the current instruction come after and win ties).
+    #[inline(always)]
+    fn commit_inflight(&mut self) {
+        if let Some((r, v)) = self.load_in_flight.take() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    #[inline(always)]
+    fn advance_pc(&mut self) {
+        if self.pending.is_empty() {
+            self.pc += 1;
+        } else {
+            self.pc = self.pending.tick().unwrap_or(self.pc + 1);
+        }
+    }
+
+    #[inline(always)]
+    fn branch_to(&mut self, target: u32, delay: u32, indirect: bool) {
+        let next = if self.pending.is_empty() {
+            self.pc + 1
+        } else {
+            self.pending.tick().unwrap_or(self.pc + 1)
+        };
+        self.pending.push(PendingBranch {
+            slots: delay,
+            target,
+            indirect,
+        });
+        self.pc = next;
+    }
+
+    /// Translate + device-window check with no side effects beyond the
+    /// (idempotent) fault-address latch. `None` means bail.
+    #[inline(always)]
+    fn fast_pa(&self, va: u32, dev_floor: u32) -> Option<u32> {
+        let pa = self.translate(va).ok()?;
+        if pa >= dev_floor && self.mem.is_device(pa) {
+            return None;
+        }
+        Some(pa)
+    }
+
+    #[inline(always)]
+    fn fast_load(&mut self, ea: u32, width: Width, dev_floor: u32) -> Option<u32> {
+        if self.cfg.byte_addressed {
+            match width {
+                Width::Word => {
+                    if ea & 3 != 0 {
+                        return None;
+                    }
+                    let pa = self.fast_pa(ea >> 2, dev_floor)?;
+                    Some(self.mem.read(pa))
+                }
+                Width::Byte => {
+                    let pa = self.fast_pa(ea >> 2, dev_floor)?;
+                    let w = self.mem.read(pa);
+                    Some(extract_byte(w, ea & 3))
+                }
+            }
+        } else {
+            if width == Width::Byte {
+                return None;
+            }
+            let pa = self.fast_pa(ea, dev_floor)?;
+            Some(self.mem.read(pa))
+        }
+    }
+
+    #[inline(always)]
+    fn fast_store(&mut self, ea: u32, v: u32, width: Width, dev_floor: u32) -> bool {
+        if self.cfg.byte_addressed {
+            match width {
+                Width::Word => {
+                    if ea & 3 != 0 {
+                        return false;
+                    }
+                    let Some(pa) = self.fast_pa(ea >> 2, dev_floor) else {
+                        return false;
+                    };
+                    self.mem.write(pa, v);
+                }
+                Width::Byte => {
+                    // Read-modify-write, as on the reference path.
+                    let Some(pa) = self.fast_pa(ea >> 2, dev_floor) else {
+                        return false;
+                    };
+                    let w = self.mem.read(pa);
+                    self.mem.write(pa, insert_byte(w, ea & 3, v));
+                }
+            }
+            true
+        } else {
+            if width == Width::Byte {
+                return false;
+            }
+            let Some(pa) = self.fast_pa(ea, dev_floor) else {
+                return false;
+            };
+            self.mem.write(pa, v);
+            true
+        }
+    }
+}

@@ -26,6 +26,14 @@
 //!   zero with three saved return addresses; `rfe` restores the pipeline
 //!   state exactly, even inside an indirect jump's two-slot shadow.
 //!
+//! Two execution engines drive the same machine state: the per-step
+//! reference interpreter ([`Machine::step`]) and a predecoded, chunked
+//! fast path ([`Engine::Fast`], module [`fast`]) that batches
+//! instructions between armed events and bails to the reference
+//! interpreter whenever fidelity demands it. The two are lock-step
+//! conformant: same registers, memory, output, profile counters, and
+//! errors at every observation point.
+//!
 //! ## Example
 //!
 //! ```
@@ -45,6 +53,7 @@
 
 pub mod error;
 pub mod except;
+pub mod fast;
 pub mod hazard;
 pub mod machine;
 pub mod mem;
@@ -54,6 +63,7 @@ pub mod surprise;
 
 pub use error::SimError;
 pub use except::Cause;
+pub use fast::Engine;
 pub use hazard::{Hazard, HazardKind};
 pub use machine::{Machine, MachineConfig, StopReason};
 pub use mem::{ConsolePort, IntCtrl, MapUnitPort, Memory, Mmio};

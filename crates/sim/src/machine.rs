@@ -27,6 +27,7 @@
 
 use crate::error::SimError;
 use crate::except::Cause;
+use crate::fast::{Engine, FastProgram};
 use crate::hazard::{Hazard, HazardKind};
 use crate::mem::{IntCtrl, IntCtrlPort, MapUnitPort, Memory};
 use crate::mmu::{PageMap, Segmentation};
@@ -99,45 +100,126 @@ pub enum StopReason {
 /// tick an operating system schedules by, §3.2's single interrupt line
 /// with external prioritization).
 #[derive(Debug, Clone, Copy)]
-struct Timer {
-    period: u64,
-    device: u32,
-    next_fire: u64,
+pub(crate) struct Timer {
+    pub(crate) period: u64,
+    pub(crate) device: u32,
+    pub(crate) next_fire: u64,
 }
 
 /// A pending delayed branch: fires when `slots` reaches zero.
-#[derive(Debug, Clone, Copy)]
-struct PendingBranch {
-    slots: u32,
-    target: u32,
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PendingBranch {
+    pub(crate) slots: u32,
+    pub(crate) target: u32,
     /// Came from an indirect jump (two-slot shadow) — distinguishes
     /// [`HazardKind::IndirectShadow`] from [`HazardKind::BranchInShadow`].
-    indirect: bool,
+    pub(crate) indirect: bool,
+}
+
+/// The in-flight delayed-transfer state, held in two inline slots.
+///
+/// Two entries suffice: every transfer lands in slot 1 or 2, the set is
+/// ticked before each push, and one push happens per step — so at most
+/// one live entry can survive a tick. Keeping the set inline (rather
+/// than in a `Vec`) makes `step()` allocation-free.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PendingSet {
+    len: u8,
+    slots: [PendingBranch; 2],
+}
+
+impl PendingSet {
+    pub(crate) fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn push(&mut self, b: PendingBranch) {
+        debug_assert!(self.len < 2, "the pipe holds at most two pending transfers");
+        if (self.len as usize) < 2 {
+            self.slots[self.len as usize] = b;
+            self.len += 1;
+        }
+    }
+
+    pub(crate) fn any_indirect(&self) -> bool {
+        self.slots[..self.len as usize].iter().any(|b| b.indirect)
+    }
+
+    /// Decrements every entry and drops those that reach zero. When an
+    /// entry expires it *fires*; if two expire on the same tick the one
+    /// pushed later wins (insertion order), matching the old `Vec` scan.
+    /// Returns the winning redirect target, if any fired.
+    pub(crate) fn tick(&mut self) -> Option<u32> {
+        let mut fired = None;
+        let mut kept = 0usize;
+        for i in 0..self.len as usize {
+            let mut b = self.slots[i];
+            b.slots -= 1;
+            if b.slots == 0 {
+                fired = Some(b.target);
+            } else {
+                self.slots[kept] = b;
+                kept += 1;
+            }
+        }
+        self.len = kept as u8;
+        fired
+    }
+}
+
+/// One step's immediate register writes: at most a non-delayed memory
+/// result plus one ALU-class result — two fixed slots, no per-step heap.
+#[derive(Clone, Copy, Default)]
+struct WriteSet {
+    len: u8,
+    slots: [(usize, u32); 2],
+}
+
+impl WriteSet {
+    fn push(&mut self, (r, v): (Reg, u32)) {
+        debug_assert!(self.len < 2, "an instruction commits at most two writes");
+        if (self.len as usize) < 2 {
+            self.slots[self.len as usize] = (r.index(), v);
+            self.len += 1;
+        }
+    }
+
+    fn as_slice(&self) -> &[(usize, u32)] {
+        &self.slots[..self.len as usize]
+    }
 }
 
 /// The MIPS machine.
 pub struct Machine {
-    cfg: MachineConfig,
-    program: Program,
-    refclass: Vec<Option<RefClass>>,
-    regs: [u32; Reg::COUNT],
-    lo: u32,
-    pc: u32,
-    surprise: Surprise,
-    seg: Segmentation,
-    ret: [u32; 3],
-    load_in_flight: Option<(Reg, u32)>,
-    pending: Vec<PendingBranch>,
-    mem: Memory,
-    page_map: Option<Rc<RefCell<PageMap>>>,
-    fault_addr: Rc<RefCell<u32>>,
-    int_ctrl: Option<Rc<RefCell<IntCtrl>>>,
-    irq_line: bool,
-    timer: Option<Timer>,
-    halted: bool,
-    profile: Profile,
-    hazards: Vec<Hazard>,
-    output: Vec<u8>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) program: Program,
+    pub(crate) refclass: Vec<Option<RefClass>>,
+    pub(crate) regs: [u32; Reg::COUNT],
+    pub(crate) lo: u32,
+    pub(crate) pc: u32,
+    pub(crate) surprise: Surprise,
+    pub(crate) seg: Segmentation,
+    pub(crate) ret: [u32; 3],
+    pub(crate) load_in_flight: Option<(Reg, u32)>,
+    pub(crate) pending: PendingSet,
+    pub(crate) mem: Memory,
+    pub(crate) page_map: Option<Rc<RefCell<PageMap>>>,
+    pub(crate) fault_addr: Rc<RefCell<u32>>,
+    pub(crate) int_ctrl: Option<Rc<RefCell<IntCtrl>>>,
+    pub(crate) irq_line: bool,
+    pub(crate) timer: Option<Timer>,
+    pub(crate) halted: bool,
+    pub(crate) profile: Profile,
+    pub(crate) hazards: Vec<Hazard>,
+    pub(crate) output: Vec<u8>,
+    pub(crate) engine: Engine,
+    /// Predecoded fast-path image, built lazily and invalidated when the
+    /// refclass sidecar changes (the program itself is immutable).
+    pub(crate) fast: Option<Rc<FastProgram>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -154,18 +236,9 @@ impl std::fmt::Debug for Machine {
 /// What instruction execution asked the control unit to do.
 enum Flow {
     Next,
-    Branch {
-        delay: u32,
-        target: u32,
-    },
-    JumpNow {
-        pc: u32,
-        pending: Vec<PendingBranch>,
-    },
-    Exception {
-        cause: Cause,
-        detail: u16,
-    },
+    Branch { delay: u32, target: u32 },
+    JumpNow { pc: u32, pending: PendingSet },
+    Exception { cause: Cause, detail: u16 },
     Halt,
 }
 
@@ -188,7 +261,7 @@ impl Machine {
             seg: Segmentation::default(),
             ret: [0; 3],
             load_in_flight: None,
-            pending: Vec::new(),
+            pending: PendingSet::default(),
             mem: Memory::new(),
             page_map: None,
             fault_addr: Rc::new(RefCell::new(0)),
@@ -199,6 +272,8 @@ impl Machine {
             profile: Profile::default(),
             hazards: Vec::new(),
             output: Vec::new(),
+            engine: Engine::Reference,
+            fast: None,
         }
     }
 
@@ -206,6 +281,20 @@ impl Machine {
     /// (usually produced by the reorganizer) for Tables 7–8 profiling.
     pub fn set_refclass_map(&mut self, map: Vec<Option<RefClass>>) {
         self.refclass = map;
+        // The sidecar is baked into the predecoded image.
+        self.fast = None;
+    }
+
+    /// Selects the execution engine used by [`Machine::run`],
+    /// [`Machine::run_steps`], and [`Machine::run_burst`]. The per-step
+    /// [`Machine::step`] is always the reference interpreter.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Installs the off-chip page-map unit and its MMIO port. Mapping
@@ -385,14 +474,15 @@ impl Machine {
         self.halted
     }
 
-    fn operand(&self, o: Operand) -> u32 {
+    #[inline(always)]
+    pub(crate) fn operand(&self, o: Operand) -> u32 {
         match o {
             Operand::Reg(r) => self.regs[r.index()],
             Operand::Small(v) => v as u32,
         }
     }
 
-    fn interrupt_line(&self) -> bool {
+    pub(crate) fn interrupt_line(&self) -> bool {
         self.irq_line
             || self
                 .int_ctrl
@@ -401,7 +491,7 @@ impl Machine {
     }
 
     /// Translates a data address to a physical word address.
-    fn translate(&self, va: u32) -> Result<u32, (Cause, u16)> {
+    pub(crate) fn translate(&self, va: u32) -> Result<u32, (Cause, u16)> {
         if !self.surprise.map_enable() {
             return Ok(va & (MEM_WORDS - 1));
         }
@@ -429,21 +519,13 @@ impl Machine {
 
     /// Computes the next three execution addresses starting at `start`
     /// with branch state `pending` (the saved return-address chain).
-    fn resume_chain(start: u32, pending: &[PendingBranch]) -> [u32; 3] {
+    fn resume_chain(start: u32, pending: PendingSet) -> [u32; 3] {
         let mut chain = [0u32; 3];
         let mut pc = start;
-        let mut pend: Vec<PendingBranch> = pending.to_vec();
+        let mut pend = pending;
         for slot in &mut chain {
             *slot = pc;
-            let mut next = pc + 1;
-            for b in &mut pend {
-                b.slots -= 1;
-                if b.slots == 0 {
-                    next = b.target;
-                }
-            }
-            pend.retain(|b| b.slots > 0);
-            pc = next;
+            pc = pend.tick().unwrap_or(pc + 1);
         }
         chain
     }
@@ -451,23 +533,16 @@ impl Machine {
     /// One address-advance step: where does execution go after executing
     /// the instruction at `pc` given `pending`, and what is the remaining
     /// branch state?
-    fn advance(pc: u32, pending: &[PendingBranch]) -> (u32, Vec<PendingBranch>) {
-        let mut next = pc + 1;
-        let mut pend: Vec<PendingBranch> = pending.to_vec();
-        for b in &mut pend {
-            b.slots -= 1;
-            if b.slots == 0 {
-                next = b.target;
-            }
-        }
-        pend.retain(|b| b.slots > 0);
+    fn advance(pc: u32, pending: PendingSet) -> (u32, PendingSet) {
+        let mut pend = pending;
+        let next = pend.tick().unwrap_or(pc + 1);
         (next, pend)
     }
 
     /// Dispatches an exception: completes the in-flight load, saves the
     /// resume chain, swaps the surprise register, and vectors to address
     /// zero.
-    fn dispatch_exception(
+    pub(crate) fn dispatch_exception(
         &mut self,
         cause: Cause,
         detail: u16,
@@ -481,11 +556,11 @@ impl Machine {
             self.pc
         } else {
             // Resume after the current instruction.
-            let (next, pend) = Self::advance(self.pc, &self.pending);
+            let (next, pend) = Self::advance(self.pc, self.pending);
             self.pending = pend;
             next
         };
-        self.ret = Self::resume_chain(chain_start, &self.pending);
+        self.ret = Self::resume_chain(chain_start, self.pending);
         self.pending.clear();
         self.surprise.enter_exception(cause, detail);
         self.profile.exceptions += 1;
@@ -519,7 +594,7 @@ impl Machine {
             return;
         }
         if instr.is_delayed_transfer() || !instr.falls_through() {
-            let kind = if self.pending.iter().any(|b| b.indirect) {
+            let kind = if self.pending.any_indirect() {
                 HazardKind::IndirectShadow
             } else {
                 HazardKind::BranchInShadow
@@ -725,7 +800,7 @@ impl Machine {
 
         // Execute. Immediate writes commit at end of step; a load's write
         // is held one extra step.
-        let mut writes_now: Vec<(Reg, u32)> = Vec::new();
+        let mut writes_now = WriteSet::default();
         let mut new_load: Option<(Reg, u32)> = None;
         let mut flow = Flow::Next;
 
@@ -888,7 +963,7 @@ impl Machine {
                     } else {
                         self.surprise.leave_exception();
                         // Rebuild the pipeline branch state from the chain.
-                        let mut pend = Vec::new();
+                        let mut pend = PendingSet::default();
                         if self.ret[1] != self.ret[0] + 1 {
                             pend.push(PendingBranch {
                                 slots: 1,
@@ -942,8 +1017,8 @@ impl Machine {
                 if let Some((r, v)) = self.load_in_flight.take() {
                     self.regs[r.index()] = v;
                 }
-                for (r, v) in writes_now {
-                    self.regs[r.index()] = v;
+                for &(r, v) in writes_now.as_slice() {
+                    self.regs[r] = v;
                 }
                 self.load_in_flight = new_load;
             }
@@ -952,12 +1027,12 @@ impl Machine {
         // Control.
         match flow {
             Flow::Next => {
-                let (next, pend) = Self::advance(self.pc, &self.pending);
+                let (next, pend) = Self::advance(self.pc, self.pending);
                 self.pending = pend;
                 self.pc = next;
             }
             Flow::Branch { delay, target } => {
-                let (next, mut pend) = Self::advance(self.pc, &self.pending);
+                let (next, mut pend) = Self::advance(self.pc, self.pending);
                 pend.push(PendingBranch {
                     slots: delay,
                     target,
@@ -982,13 +1057,20 @@ impl Machine {
         Ok(true)
     }
 
-    /// Runs until halt.
+    /// Runs until halt, on the selected [`Engine`].
     ///
     /// # Errors
     ///
     /// Propagates any [`SimError`] from [`Machine::step`].
     pub fn run(&mut self) -> Result<StopReason, SimError> {
-        while self.step()? {}
+        match self.engine {
+            Engine::Reference => while self.step()? {},
+            Engine::Fast => {
+                while !self.halted {
+                    self.run_steps(u64::MAX)?;
+                }
+            }
+        }
         Ok(StopReason::Halt)
     }
 

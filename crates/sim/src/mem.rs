@@ -109,6 +109,36 @@ impl Memory {
         self.device_index(pa).is_some()
     }
 
+    /// The lowest address of any device window (`u32::MAX` with no
+    /// devices): addresses below it can skip the window scan entirely.
+    /// Devices sit at the top of physical memory in every standard
+    /// configuration, so this one compare filters nearly all traffic.
+    pub fn device_floor(&self) -> u32 {
+        self.devices
+            .iter()
+            .map(|d| d.base)
+            .min()
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Every nonzero word as sorted `(address, value)` pairs — a cheap
+    /// whole-memory observation for differential tests (zero words and
+    /// device windows are excluded; devices have no stored words).
+    pub fn snapshot(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut pages: Vec<&u32> = self.pages.keys().collect();
+        pages.sort_unstable();
+        for &page in pages {
+            let words = &self.pages[&page];
+            for (i, &w) in words.iter().enumerate() {
+                if w != 0 {
+                    out.push((page * PAGE + i as u32, w));
+                }
+            }
+        }
+        out
+    }
+
     /// Maps a device window at `[base, base+len)`.
     ///
     /// # Panics

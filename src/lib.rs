@@ -7,7 +7,10 @@
 //! * [`core`] — the MIPS instruction-set model (no condition codes,
 //!   word addressing, instruction pieces, delayed branches);
 //! * [`sim`] — the five-stage pipeline simulator with software-imposed
-//!   interlocks, segmentation, and the surprise-register exception system;
+//!   interlocks, segmentation, and the surprise-register exception
+//!   system, driven by either of two lock-step-conformant engines (the
+//!   per-step reference interpreter and a predecoded, chunked fast
+//!   path — `sim::Engine`);
 //! * [`asm`] — the assembler;
 //! * [`reorg`] — the post-pass reorganizer (scheduling, packing, branch
 //!   delay);

@@ -1,0 +1,122 @@
+//! Lock-step conformance: the fast execution engine vs. the reference
+//! interpreter, over the full workload corpus and a seeded swarm of
+//! random programs.
+//!
+//! The contract ([`mips_sim::fast`]) is that the two engines are
+//! indistinguishable at every observation point: identical registers,
+//! memory image, output bytes, profile counters, and `SimError`s. The
+//! corpus half drives each compiled-and-reorganized workload in strided
+//! lock-step (comparing complete machine state at every stride
+//! boundary); the swarm half runs 200 seeded `mips-qc` random programs
+//! on both engines to completion and compares everything at the end.
+
+use mips::chaos::arb_linear_code;
+use mips::hll::{compile_mips, CodegenOptions};
+use mips::reorg::{reorganize, ReorgOptions};
+use mips::sim::{Engine, Machine, MachineConfig};
+use mips_qc::Rng;
+
+/// Full architecturally visible state comparison.
+fn assert_agree(fast: &Machine, reference: &Machine, what: &str) {
+    for r in mips::core::Reg::ALL {
+        assert_eq!(fast.reg(r), reference.reg(r), "{what}: register {r:?}");
+    }
+    assert_eq!(fast.pc(), reference.pc(), "{what}: pc");
+    assert_eq!(
+        fast.surprise().raw(),
+        reference.surprise().raw(),
+        "{what}: surprise register"
+    );
+    assert_eq!(fast.ret_addrs(), reference.ret_addrs(), "{what}: ret chain");
+    assert_eq!(fast.halted(), reference.halted(), "{what}: halted");
+    assert_eq!(fast.output(), reference.output(), "{what}: output bytes");
+    assert_eq!(fast.profile(), reference.profile(), "{what}: profile");
+    assert_eq!(
+        fast.mem().snapshot(),
+        reference.mem().snapshot(),
+        "{what}: memory image"
+    );
+    assert_eq!(
+        (fast.mem().reads, fast.mem().writes),
+        (reference.mem().reads, reference.mem().writes),
+        "{what}: memory cycle counters"
+    );
+}
+
+/// Drives both engines over the same program in strides, comparing the
+/// complete machine state at every stride boundary, until both halt,
+/// both error identically, or the instruction budget runs out.
+fn lockstep(make: impl Fn() -> Machine, what: &str, stride: u64, budget: u64) {
+    let mut fast = make();
+    fast.set_engine(Engine::Fast);
+    let mut reference = make();
+    reference.set_engine(Engine::Reference);
+    let mut spent = 0u64;
+    loop {
+        let f = fast.run_steps(stride);
+        let r = reference.run_steps(stride);
+        assert_eq!(f, r, "{what}: run_steps result at instruction {spent}");
+        assert_agree(&fast, &reference, &format!("{what} @ {spent}"));
+        if f.is_err() || fast.halted() {
+            break;
+        }
+        spent += f.unwrap();
+        if spent >= budget {
+            break;
+        }
+    }
+}
+
+/// Every corpus workload, compiled and fully reorganized, behaves
+/// identically on both engines at every stride boundary (bounded per
+/// workload so the suite stays fast in debug builds).
+#[test]
+fn corpus_runs_identically_on_both_engines() {
+    for w in mips::workloads::corpus() {
+        let lc = compile_mips(w.source, &CodegenOptions::standard()).expect("corpus compiles");
+        let out = reorganize(&lc, ReorgOptions::FULL).expect("reorganizes");
+        lockstep(
+            || {
+                let mut m = Machine::new(out.program.clone());
+                m.set_refclass_map(out.refclass.clone());
+                m
+            },
+            w.name,
+            50_000,
+            250_000,
+        );
+    }
+}
+
+/// 200 seeded random programs (the same always-terminating family the
+/// chaos differential fuzzer uses), reorganized at both optimization
+/// levels, run to completion on both engines with identical results.
+#[test]
+fn random_program_swarm_is_conformant() {
+    let seed = 0x5EED_FA57u64;
+    for case in 0..200u64 {
+        let mut rng = Rng::new(seed ^ case.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let lc = arb_linear_code(&mut rng, 60);
+        for (level, opts) in [("none", ReorgOptions::NONE), ("full", ReorgOptions::FULL)] {
+            let out = reorganize(&lc, opts).expect("generated code reorganizes");
+            let what = format!("case {case}/{level}");
+            let run = |engine: Engine| {
+                let mut m = Machine::with_config(
+                    out.program.clone(),
+                    MachineConfig {
+                        step_limit: 100_000,
+                        ..MachineConfig::default()
+                    },
+                );
+                m.set_refclass_map(out.refclass.clone());
+                m.set_engine(engine);
+                let res = m.run();
+                (m, res)
+            };
+            let (fast, f) = run(Engine::Fast);
+            let (reference, r) = run(Engine::Reference);
+            assert_eq!(f, r, "{what}: run result");
+            assert_agree(&fast, &reference, &what);
+        }
+    }
+}

@@ -8,9 +8,9 @@
 //! ```
 //!
 //! Experiments: `table1` … `table11`, `figure1` … `figure4`, `free`,
-//! `wordwise`, `regalloc`, `systems`, `chaos`, `throughput` (which
-//! also writes the `BENCH_throughput.json` artifact the CI regression
-//! gate compares against).
+//! `wordwise`, `regalloc`, `systems`, `chaos`, `recovery`,
+//! `throughput` (which also writes the `BENCH_throughput.json`
+//! artifact the CI regression gate compares against).
 
 use mips_analysis as analysis;
 use mips_hll::MachineTarget;
@@ -126,6 +126,11 @@ fn main() {
         chaos_table();
     }
 
+    if want("recovery") {
+        section("Fault recovery under supervision (chaos campaign, checkpoint/restart)");
+        recovery_table();
+    }
+
     if want("free") {
         section("Free memory cycles (§3.1)");
         let names: Vec<&str> = mips_workloads::corpus().iter().map(|w| w.name).collect();
@@ -193,6 +198,36 @@ fn chaos_table() {
     });
     println!("{report}");
     assert!(report.clean(), "chaos campaign must not have escapes");
+}
+
+/// The same fixed-seed campaign, supervised: detected kills roll the
+/// victim back to its last checkpoint and replay. The survival table
+/// shows how many previously-detected cases now finish byte-identical
+/// to baseline (`recovered`), and what stays honestly detected
+/// (deterministic wedges, quarantined victims).
+fn recovery_table() {
+    let cfg = mips_chaos::CampaignConfig {
+        seed: 0xA5,
+        cases: 60,
+        max_faults: 3,
+        ..mips_chaos::CampaignConfig::default()
+    };
+    let plain = mips_chaos::run_campaign(&cfg);
+    let rec = mips_chaos::run_campaign(&mips_chaos::CampaignConfig {
+        recover: true,
+        ..cfg
+    });
+    println!("{rec}");
+    let (p, r) = (plain.summary(), rec.summary());
+    println!(
+        "recovery reclassified {} of {} detected cases ({} still detected)",
+        r.recovered, p.detected, r.detected
+    );
+    assert!(rec.clean(), "recovery campaign must not have escapes");
+    assert!(
+        r.recovered * 4 >= p.detected,
+        "fewer than a quarter of detected cases recovered"
+    );
 }
 
 fn section(name: &str) {

@@ -1,13 +1,18 @@
 //! `mips-chaos` — seeded fault-injection campaigns against the stack.
 //!
 //! ```text
-//! usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--json]
+//! usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N]
+//!                   [--recover | --no-recover] [--json]
 //!
-//!   --seed N    campaign seed (decimal or 0x-hex; default 0xA5)
-//!   --cases N   chaos cases to run (default 200)
-//!   --faults N  maximum faults per case (default 3)
-//!   --fuzz N    also run N differential-fuzz cases per harness
-//!   --json      emit the byte-stable JSON report instead of the table
+//!   --seed N      campaign seed (decimal or 0x-hex; default 0xA5)
+//!   --cases N     chaos cases to run (default 200)
+//!   --faults N    maximum faults per case (default 3)
+//!   --fuzz N      also run N differential-fuzz cases per harness
+//!   --recover     supervise injected runs: detected kills roll back to
+//!                 a checkpoint and replay; byte-identical survivors
+//!                 grade `recovered` (default off)
+//!   --no-recover  force supervision off (the default, spelled out)
+//!   --json        emit the byte-stable JSON report instead of the table
 //! ```
 //!
 //! Exit status: 0 when nothing escaped, 1 when any case escaped its
@@ -20,7 +25,7 @@
 use mips_chaos::{fuzz_bare_faults, fuzz_static_dynamic, run_campaign, CampaignConfig};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--json]";
+const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--recover | --no-recover] [--json]";
 
 fn parse_num(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -59,6 +64,8 @@ fn main() -> ExitCode {
                 Ok(v) => fuzz = v,
                 Err(c) => return c,
             },
+            "--recover" => cfg.recover = true,
+            "--no-recover" => cfg.recover = false,
             "--json" => json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");

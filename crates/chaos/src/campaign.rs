@@ -14,7 +14,10 @@ use crate::inject::Injector;
 use crate::report::{CaseResult, ChaosReport, FaultRecord, Outcome};
 use mips_core::Program;
 use mips_hll::{compile_mips, CodegenOptions};
-use mips_os::{kernel_program, Engine, Kernel, KernelConfig, OsError, ProcStatus, RunReport};
+use mips_os::{
+    kernel_program, Engine, Kernel, KernelConfig, OsError, ProcStatus, RestartPolicy, RunReport,
+    SupervisorConfig,
+};
 use mips_qc::Rng;
 use mips_reorg::{reorganize, ReorgOptions};
 use std::collections::HashMap;
@@ -36,6 +39,14 @@ pub struct CampaignConfig {
     /// *not* serialized into the [`ChaosReport`] — and the report must
     /// be byte-identical either way (covered by tests).
     pub engine: Engine,
+    /// Run injected cases under checkpoint/restart supervision
+    /// ([`SUPERVISOR`]): detected kills roll the victim back and
+    /// replay, and a case whose outputs still match baseline grades
+    /// [`Outcome::Recovered`] instead of staying a kill. Part of the
+    /// campaign identity, so it *is* serialized into the report.
+    /// Baselines always run unsupervised (they are fault-free, so
+    /// supervision would change nothing but the cache key).
+    pub recover: bool,
 }
 
 impl Default for CampaignConfig {
@@ -45,6 +56,7 @@ impl Default for CampaignConfig {
             cases: 200,
             max_faults: 3,
             engine: Engine::Reference,
+            recover: false,
         }
     }
 }
@@ -57,6 +69,18 @@ const TIME_SLICE: u64 = 2_000;
 const FRAMES: u32 = 32;
 /// Step limit for baseline runs (honest workloads finish way under).
 const BASE_STEP_LIMIT: u64 = 50_000_000;
+/// Supervision knobs for recovery campaigns: checkpoints frequent
+/// enough that most of a victim's progress survives a kill, a short
+/// backoff (faults are instruction-count-triggered, not recurring),
+/// and the default restart/rollback budgets.
+pub const SUPERVISOR: SupervisorConfig = SupervisorConfig {
+    checkpoint_every: 50_000,
+    policy: RestartPolicy {
+        max_restarts: 3,
+        backoff: 2_000,
+        max_panic_rollbacks: 2,
+    },
+};
 
 /// A named, pre-built program for the campaign pool.
 pub struct PoolEntry {
@@ -184,6 +208,7 @@ fn run_set<F>(
     watchdog: Option<u64>,
     step_limit: u64,
     engine: Engine,
+    supervisor: Option<SupervisorConfig>,
     hook: Option<F>,
 ) -> Result<RunReport, OsError>
 where
@@ -195,6 +220,7 @@ where
         step_limit,
         watchdog,
         engine,
+        supervisor,
     });
     for &i in chosen {
         k.spawn(pool[i].name, pool[i].program.clone())?;
@@ -224,6 +250,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> ChaosReport {
     ChaosReport {
         seed: cfg.seed,
         max_faults: cfg.max_faults,
+        recover: cfg.recover,
         cases,
     }
 }
@@ -249,8 +276,16 @@ fn run_case(
     let base = baselines
         .entry(chosen.clone())
         .or_insert_with(|| {
-            let r = run_set(pool, &chosen, None, BASE_STEP_LIMIT, cfg.engine, NO_HOOK)
-                .expect("baseline run of honest workloads succeeds");
+            let r = run_set(
+                pool,
+                &chosen,
+                None,
+                BASE_STEP_LIMIT,
+                cfg.engine,
+                None,
+                NO_HOOK,
+            )
+            .expect("baseline run of honest workloads succeeds");
             assert!(r.panic.is_none(), "baseline run must not panic");
             Baseline {
                 instructions: r.instructions,
@@ -276,9 +311,15 @@ fn run_case(
 
     // Budgets scale off the baseline: generous enough that fault-free
     // slowdowns (extra page faults, lost ticks) never trip them,
-    // tight enough that a wedged victim is caught quickly.
+    // tight enough that a wedged victim is caught quickly. Recovery
+    // runs get more headroom — a restarted victim replays work.
     let watchdog = base.instructions * 2 + 200_000;
-    let step_limit = base.instructions * 6 + 2_000_000;
+    let step_limit = if cfg.recover {
+        base.instructions * 10 + 4_000_000
+    } else {
+        base.instructions * 6 + 2_000_000
+    };
+    let supervisor = cfg.recover.then_some(SUPERVISOR);
 
     let mut injector = Injector::new(plan, klen);
     let run = catch_unwind(AssertUnwindSafe(|| {
@@ -288,6 +329,7 @@ fn run_case(
             Some(watchdog),
             step_limit,
             cfg.engine,
+            supervisor,
             Some(|m: &mut mips_sim::Machine| injector.hook(m)),
         )
     }));
@@ -297,7 +339,7 @@ fn run_case(
         .map(|(at, desc)| format!("@{at} {desc}"))
         .collect();
 
-    let (outcome, note, kernel_panic, watchdog_fired) = classify(&run, &base, victim);
+    let (outcome, note, kernel_panic, watchdog_fired, restarts) = classify(&run, &base, victim);
     CaseResult {
         case,
         workloads,
@@ -308,12 +350,13 @@ fn run_case(
         note,
         kernel_panic,
         watchdog_fired,
+        restarts,
     }
 }
 
 type RunOutcome = Result<Result<RunReport, OsError>, Box<dyn std::any::Any + Send>>;
 
-fn classify(run: &RunOutcome, base: &Baseline, victim: u32) -> (Outcome, String, bool, bool) {
+fn classify(run: &RunOutcome, base: &Baseline, victim: u32) -> (Outcome, String, bool, bool, u64) {
     let report = match run {
         Err(_) => {
             return (
@@ -321,6 +364,7 @@ fn classify(run: &RunOutcome, base: &Baseline, victim: u32) -> (Outcome, String,
                 "host panic crossed the simulation boundary".into(),
                 false,
                 false,
+                0,
             )
         }
         Ok(Err(e)) => {
@@ -329,11 +373,13 @@ fn classify(run: &RunOutcome, base: &Baseline, victim: u32) -> (Outcome, String,
                 format!("untyped simulator stop: {e}"),
                 false,
                 false,
+                0,
             )
         }
         Ok(Ok(r)) => r,
     };
     let watchdog_fired = !report.watchdog_kills.is_empty();
+    let restarts = report.recoveries.len() as u64;
     if let Some(p) = &report.panic {
         return (
             Outcome::Detected,
@@ -343,6 +389,7 @@ fn classify(run: &RunOutcome, base: &Baseline, victim: u32) -> (Outcome, String,
             ),
             true,
             watchdog_fired,
+            restarts,
         );
     }
     let diffs: Vec<u32> = report
@@ -353,22 +400,49 @@ fn classify(run: &RunOutcome, base: &Baseline, victim: u32) -> (Outcome, String,
         .map(|(p, _)| p.pid)
         .collect();
     if diffs.is_empty() {
+        if restarts > 0 {
+            // The kernel *detected* the fault (kill or panic) and the
+            // supervisor rolled it back; baseline-identical output is
+            // recovery, not masking.
+            return (
+                Outcome::Recovered,
+                format!(
+                    "detected and rolled back ({restarts} recovery events); \
+                     all outputs byte-identical to baseline"
+                ),
+                false,
+                watchdog_fired,
+                restarts,
+            );
+        }
         return (
             Outcome::Masked,
             "all outputs byte-identical to baseline".into(),
             false,
             watchdog_fired,
+            restarts,
         );
     }
     if diffs == [victim] {
         let v = &report.procs[victim as usize - 1];
         let killed = matches!(v.status, ProcStatus::Killed(_));
         if killed || report.watchdog_kills.contains(&victim) {
+            let quarantined = report.quarantined.contains(&victim);
             return (
                 Outcome::Detected,
-                format!("victim killed ({:?}); siblings byte-identical", v.status),
+                if quarantined {
+                    format!(
+                        "victim killed ({:?}) and quarantined after {} restarts; \
+                         siblings byte-identical",
+                        v.status,
+                        restarts.saturating_sub(1)
+                    )
+                } else {
+                    format!("victim killed ({:?}); siblings byte-identical", v.status)
+                },
                 false,
                 watchdog_fired,
+                restarts,
             );
         }
         return (
@@ -379,6 +453,7 @@ fn classify(run: &RunOutcome, base: &Baseline, victim: u32) -> (Outcome, String,
             ),
             false,
             watchdog_fired,
+            restarts,
         );
     }
     (
@@ -386,6 +461,7 @@ fn classify(run: &RunOutcome, base: &Baseline, victim: u32) -> (Outcome, String,
         format!("divergence beyond the victim: pids {diffs:?} (victim {victim})"),
         false,
         watchdog_fired,
+        restarts,
     )
 }
 
@@ -405,6 +481,7 @@ mod tests {
             None,
             BASE_STEP_LIMIT,
             Engine::Reference,
+            None,
             NO_HOOK,
         )
         .unwrap();

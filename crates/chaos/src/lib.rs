@@ -52,7 +52,7 @@ pub mod fault;
 pub mod inject;
 pub mod report;
 
-pub use campaign::{run_campaign, standard_pool, CampaignConfig, PoolEntry};
+pub use campaign::{run_campaign, standard_pool, CampaignConfig, PoolEntry, SUPERVISOR};
 pub use differential::{
     arb_linear_code, fuzz_bare_faults, fuzz_static_dynamic, BareStats, DiffStats, Mismatch,
 };

@@ -4,6 +4,11 @@
 //!
 //! * [`Outcome::Masked`] — the faults changed nothing observable; every
 //!   process finished with its baseline status and output.
+//! * [`Outcome::Recovered`] — the system noticed **and came back**: a
+//!   fault was detected (kill or kernel panic), the supervisor rolled
+//!   the victim (or the whole machine) back to a checkpoint, and every
+//!   process still finished byte-identical to baseline. Only possible
+//!   with [`CampaignConfig::recover`](crate::CampaignConfig::recover).
 //! * [`Outcome::Detected`] — the system *noticed*: the victim was
 //!   killed by an exception or the watchdog, or the kernel died in a
 //!   controlled panic with a machine-state dump. Siblings unaffected.
@@ -25,6 +30,9 @@ use std::fmt;
 pub enum Outcome {
     /// No observable difference from baseline.
     Masked,
+    /// A detected fault was rolled back by the supervisor and every
+    /// output still matched baseline byte-for-byte.
+    Recovered,
     /// Victim silently diverged; siblings byte-identical.
     Isolated,
     /// Victim killed / kernel panicked — the system reported the
@@ -39,6 +47,7 @@ impl Outcome {
     pub fn id(self) -> &'static str {
         match self {
             Outcome::Masked => "masked",
+            Outcome::Recovered => "recovered",
             Outcome::Isolated => "isolated",
             Outcome::Detected => "detected",
             Outcome::Escaped => "escaped",
@@ -81,12 +90,16 @@ pub struct CaseResult {
     pub kernel_panic: bool,
     /// The watchdog fired on some process.
     pub watchdog_fired: bool,
+    /// Supervisor recovery actions during the run (restarts plus
+    /// whole-machine rollbacks); zero without recovery.
+    pub restarts: u64,
 }
 
 /// Aggregate counts over a campaign.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Summary {
     pub masked: u64,
+    pub recovered: u64,
     pub isolated: u64,
     pub detected: u64,
     pub escaped: u64,
@@ -101,6 +114,7 @@ pub struct KindRow {
     pub kind: &'static str,
     pub cases: u64,
     pub masked: u64,
+    pub recovered: u64,
     pub isolated: u64,
     pub detected: u64,
     pub escaped: u64,
@@ -113,6 +127,8 @@ pub struct ChaosReport {
     pub seed: u64,
     /// Maximum faults per case.
     pub max_faults: usize,
+    /// Injected runs were supervised (checkpoint/restart enabled).
+    pub recover: bool,
     /// All cases in order.
     pub cases: Vec<CaseResult>,
 }
@@ -124,6 +140,7 @@ impl ChaosReport {
         for c in &self.cases {
             match c.outcome {
                 Outcome::Masked => s.masked += 1,
+                Outcome::Recovered => s.recovered += 1,
                 Outcome::Isolated => s.isolated += 1,
                 Outcome::Detected => s.detected += 1,
                 Outcome::Escaped => s.escaped += 1,
@@ -150,6 +167,7 @@ impl ChaosReport {
                     kind,
                     cases: 0,
                     masked: 0,
+                    recovered: 0,
                     isolated: 0,
                     detected: 0,
                     escaped: 0,
@@ -161,6 +179,7 @@ impl ChaosReport {
                     row.cases += 1;
                     match c.outcome {
                         Outcome::Masked => row.masked += 1,
+                        Outcome::Recovered => row.recovered += 1,
                         Outcome::Isolated => row.isolated += 1,
                         Outcome::Detected => row.detected += 1,
                         Outcome::Escaped => row.escaped += 1,
@@ -172,19 +191,22 @@ impl ChaosReport {
     }
 
     /// The whole report as deterministic JSON (one object, newline
-    /// separated sections, byte-stable for a given seed).
+    /// separated sections, byte-stable for a given seed). Schema 2:
+    /// adds the `schema` and `recover` header fields, `recovered`
+    /// counts in `summary` and `by_kind`, and per-case `restarts`.
     pub fn to_json(&self) -> String {
         let s = self.summary();
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"tool\":\"mips-chaos\",\"seed\":{},\"cases\":{},\"max_faults\":{},\n",
+            "{{\"tool\":\"mips-chaos\",\"seed\":{},\"cases\":{},\"max_faults\":{},\"schema\":2,\"recover\":{},\n",
             self.seed,
             self.cases.len(),
-            self.max_faults
+            self.max_faults,
+            self.recover
         ));
         out.push_str(&format!(
-            "\"summary\":{{\"masked\":{},\"isolated\":{},\"detected\":{},\"escaped\":{},\"kernel_panics\":{},\"watchdog_fires\":{}}},\n",
-            s.masked, s.isolated, s.detected, s.escaped, s.kernel_panics, s.watchdog_fires
+            "\"summary\":{{\"masked\":{},\"recovered\":{},\"isolated\":{},\"detected\":{},\"escaped\":{},\"kernel_panics\":{},\"watchdog_fires\":{}}},\n",
+            s.masked, s.recovered, s.isolated, s.detected, s.escaped, s.kernel_panics, s.watchdog_fires
         ));
         out.push_str("\"by_kind\":[");
         for (i, r) in self.by_kind().iter().enumerate() {
@@ -192,8 +214,8 @@ impl ChaosReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n{{\"kind\":\"{}\",\"cases\":{},\"masked\":{},\"isolated\":{},\"detected\":{},\"escaped\":{}}}",
-                r.kind, r.cases, r.masked, r.isolated, r.detected, r.escaped
+                "\n{{\"kind\":\"{}\",\"cases\":{},\"masked\":{},\"recovered\":{},\"isolated\":{},\"detected\":{},\"escaped\":{}}}",
+                r.kind, r.cases, r.masked, r.recovered, r.isolated, r.detected, r.escaped
             ));
         }
         out.push_str("],\n\"results\":[");
@@ -202,7 +224,7 @@ impl ChaosReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n{{\"case\":{},\"workloads\":[{}],\"victim\":{},\"faults\":[{}],\"injected\":[{}],\"outcome\":\"{}\",\"note\":\"{}\"}}",
+                "\n{{\"case\":{},\"workloads\":[{}],\"victim\":{},\"faults\":[{}],\"injected\":[{}],\"outcome\":\"{}\",\"restarts\":{},\"note\":\"{}\"}}",
                 c.case,
                 c.workloads
                     .iter()
@@ -221,6 +243,7 @@ impl ChaosReport {
                     .collect::<Vec<_>>()
                     .join(","),
                 c.outcome.id(),
+                c.restarts,
                 json_escape(&c.note),
             ));
         }
@@ -235,27 +258,28 @@ impl fmt::Display for ChaosReport {
         let s = self.summary();
         writeln!(
             f,
-            "chaos campaign: seed {:#x}, {} cases, <= {} faults/case",
+            "chaos campaign: seed {:#x}, {} cases, <= {} faults/case, recovery {}",
             self.seed,
             self.cases.len(),
-            self.max_faults
+            self.max_faults,
+            if self.recover { "on" } else { "off" }
         )?;
         writeln!(
             f,
-            "  masked {}  isolated {}  detected {}  escaped {}   (kernel panics {}, watchdog fires {})",
-            s.masked, s.isolated, s.detected, s.escaped, s.kernel_panics, s.watchdog_fires
+            "  masked {}  recovered {}  isolated {}  detected {}  escaped {}   (kernel panics {}, watchdog fires {})",
+            s.masked, s.recovered, s.isolated, s.detected, s.escaped, s.kernel_panics, s.watchdog_fires
         )?;
         writeln!(f)?;
         writeln!(
             f,
-            "  {:<14} {:>5} {:>7} {:>9} {:>9} {:>8}",
-            "fault kind", "cases", "masked", "isolated", "detected", "escaped"
+            "  {:<14} {:>5} {:>7} {:>9} {:>9} {:>9} {:>8}",
+            "fault kind", "cases", "masked", "recovered", "isolated", "detected", "escaped"
         )?;
         for r in self.by_kind() {
             writeln!(
                 f,
-                "  {:<14} {:>5} {:>7} {:>9} {:>9} {:>8}",
-                r.kind, r.cases, r.masked, r.isolated, r.detected, r.escaped
+                "  {:<14} {:>5} {:>7} {:>9} {:>9} {:>9} {:>8}",
+                r.kind, r.cases, r.masked, r.recovered, r.isolated, r.detected, r.escaped
             )?;
         }
         for c in self.cases.iter().filter(|c| c.outcome == Outcome::Escaped) {
@@ -297,6 +321,7 @@ mod tests {
         ChaosReport {
             seed: 0xA5,
             max_faults: 3,
+            recover: false,
             cases: vec![CaseResult {
                 case: 0,
                 workloads: vec!["fib", "sort"],
@@ -310,6 +335,7 @@ mod tests {
                 note: "victim killed".into(),
                 kernel_panic: false,
                 watchdog_fired: false,
+                restarts: 0,
             }],
         }
     }

@@ -20,7 +20,11 @@ fn no_fault_escapes_its_victim() {
     assert!(escaped.is_empty(), "escapes:\n{report}");
     assert!(report.clean());
     let s = report.summary();
-    assert_eq!(s.masked + s.isolated + s.detected + s.escaped, 60);
+    assert_eq!(
+        s.masked + s.recovered + s.isolated + s.detected + s.escaped,
+        60
+    );
+    assert_eq!(s.recovered, 0, "recovery off: nothing may grade recovered");
     // The campaign must actually hurt something across 60 cases, or
     // the fault model is vacuous.
     assert!(s.isolated + s.detected > 0, "no case ever diverged: {s:?}");
@@ -79,6 +83,7 @@ fn reports_are_byte_identical_on_either_engine() {
         cases: 12,
         max_faults: 3,
         engine: mips_os::Engine::Reference,
+        recover: false,
     };
     let reference = run_campaign(&cfg);
     let fast = run_campaign(&CampaignConfig {
@@ -90,4 +95,70 @@ fn reports_are_byte_identical_on_either_engine() {
         !reference.to_json().contains("engine"),
         "the engine knob must not leak into the artifact"
     );
+}
+
+/// Recovery turns detected kills into recovered runs: the same
+/// campaign, supervised, reclassifies most previously-detected cases
+/// as `recovered` (victim output byte-identical despite the kill) and
+/// leaves every other bucket honest.
+#[test]
+fn recovery_reclassifies_detected_cases_without_new_escapes() {
+    let cfg = CampaignConfig {
+        seed: 0xA5,
+        cases: 60,
+        max_faults: 3,
+        ..CampaignConfig::default()
+    };
+    let plain = run_campaign(&cfg);
+    let rec = run_campaign(&CampaignConfig {
+        recover: true,
+        ..cfg
+    });
+    assert!(rec.clean(), "recovery introduced an escape:\n{rec}");
+    let (p, r) = (plain.summary(), rec.summary());
+    assert_eq!(r.escaped, 0);
+    // Masked cases had no kill, so supervision cannot touch them.
+    assert_eq!(r.masked, p.masked, "masking changed under supervision");
+    // Every case still lands in exactly one bucket.
+    assert_eq!(r.masked + r.recovered + r.isolated + r.detected, 60);
+    // At least a quarter of the previously-detected cases come back
+    // byte-identical (empirically 4 of 5 at this seed).
+    assert!(
+        r.recovered * 4 >= p.detected,
+        "too few recoveries: {} of {} detected",
+        r.recovered,
+        p.detected
+    );
+    assert!(r.recovered > 0, "recovery never fired");
+    // Recovered cases carry their restart evidence.
+    for c in rec.cases.iter().filter(|c| c.outcome == Outcome::Recovered) {
+        assert!(
+            c.restarts > 0,
+            "case {} recovered without a restart",
+            c.case
+        );
+        assert!(
+            c.note.contains("rolled back"),
+            "case {}: {}",
+            c.case,
+            c.note
+        );
+    }
+}
+
+/// Supervised campaigns replay byte-for-byte too — checkpoint points,
+/// backoff, and restarts are all pinned to the instruction counter.
+#[test]
+fn recovery_campaigns_replay_byte_identically() {
+    let cfg = CampaignConfig {
+        seed: 0x5EED,
+        cases: 12,
+        max_faults: 3,
+        recover: true,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(a.to_json(), b.to_json());
+    assert!(a.to_json().contains("\"recover\":true"));
 }

@@ -24,7 +24,39 @@ fn clean_campaign_exits_zero_with_stable_json() {
     assert_eq!(a.stdout, b.stdout, "JSON artifact must be byte-stable");
     let text = String::from_utf8(a.stdout).unwrap();
     assert!(text.starts_with("{\"tool\":\"mips-chaos\",\"seed\":165,"));
+    assert!(text.contains("\"schema\":2,\"recover\":false,"));
     assert!(text.contains("\"escaped\":0"));
+}
+
+#[test]
+fn recover_flag_is_in_the_artifact_and_still_exits_on_merit() {
+    let run = |flag: &str| {
+        chaos()
+            .args(["--seed", "0xA5", "--cases", "8", flag, "--json"])
+            .output()
+            .expect("mips-chaos runs")
+    };
+    let on = run("--recover");
+    assert!(
+        on.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&on.stderr)
+    );
+    let text = String::from_utf8(on.stdout).unwrap();
+    assert!(
+        text.contains("\"schema\":2,\"recover\":true,"),
+        "got: {text}"
+    );
+    assert!(text.contains("\"recovered\":"), "got: {text}");
+    assert!(text.contains("\"escaped\":0"));
+    // --no-recover spells out the default and replays the plain run.
+    let off = run("--no-recover");
+    assert!(off.status.success());
+    let plain = chaos()
+        .args(["--seed", "0xA5", "--cases", "8", "--json"])
+        .output()
+        .expect("runs");
+    assert_eq!(off.stdout, plain.stdout);
 }
 
 #[test]

@@ -8,6 +8,7 @@
 //! read the results back out of kernel memory afterwards.
 
 use crate::layout::{self, pcb, sys};
+use crate::supervise::{LoopState, RecoveryEvent, Supervisor, SupervisorConfig};
 use mips_asm::assemble;
 use mips_core::{Instr, Program, Reg, Target, TrapPiece};
 use mips_sim::machine::CONSOLE_ADDR;
@@ -81,6 +82,12 @@ pub struct KernelConfig {
     /// pre-step observation point is preserved. The [`RunReport`] is
     /// identical either way.
     pub engine: Engine,
+    /// Checkpoint/restart supervision. When set, the host periodically
+    /// checkpoints every process at a safe boundary and rolls a killed
+    /// process back to its last checkpoint instead of leaving it dead —
+    /// see [`crate::supervise`]. `None` (the default) keeps the PR 3
+    /// behaviour: detected faults stay kills.
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for KernelConfig {
@@ -91,6 +98,7 @@ impl Default for KernelConfig {
             step_limit: 400_000_000,
             watchdog: None,
             engine: Engine::Reference,
+            supervisor: None,
         }
     }
 }
@@ -161,6 +169,14 @@ pub struct SystemsCost {
     pub sched: u64,
     /// Page-fault handling: scan, map, sweep, evict.
     pub paging: u64,
+    /// Discarded work reclaimed by the supervisor: victim cycles
+    /// between checkpoint and kill, plus everything unwound by a
+    /// whole-machine rollback. Not part of [`SystemsCost::kernel_total`]
+    /// — it is the price of *recovery*, not of running the kernel, and
+    /// after a rollback the bucket sum can legitimately exceed
+    /// [`RunReport::instructions`] (the machine's counter rewinds; the
+    /// waste does not un-happen).
+    pub recovery: u64,
 }
 
 impl SystemsCost {
@@ -253,8 +269,14 @@ pub struct RunReport {
     /// A controlled kernel panic that cut the run short, if any
     /// (processes not yet finished report [`ProcStatus::Running`]).
     pub panic: Option<KernelPanic>,
-    /// Pids killed by the watchdog, in kill order.
+    /// Pids killed by the watchdog, in kill order. Under supervision a
+    /// restarted process can be killed again, so a pid may repeat.
     pub watchdog_kills: Vec<u32>,
+    /// Recovery actions the supervisor took, in event order (empty
+    /// without [`KernelConfig::supervisor`]).
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Pids that exhausted their restart budget and stay killed.
+    pub quarantined: Vec<u32>,
 }
 
 struct Proc {
@@ -478,33 +500,47 @@ impl Kernel {
         // executing (or suppressing) the instruction at the sampled pc.
         // A fetch of an out-of-range pc dispatches without executing
         // anything (the instruction count stands still).
-        let mut cost = SystemsCost::default();
+        let mut st = LoopState {
+            cost: SystemsCost::default(),
+            user_spent: vec![0; self.procs.len() + 1],
+            watchdog_kills: Vec::new(),
+            watchdog_fired: vec![false; self.procs.len() + 1],
+            cur_pid: 0,
+            pid_stale: true,
+        };
         let mut panic: Option<KernelPanic> = None;
-        let mut watchdog_kills: Vec<u32> = Vec::new();
-        let mut user_spent: Vec<u64> = vec![0; self.procs.len() + 1];
-        let mut cur_pid: u32 = 0;
-        let mut pid_stale = true;
+        let mut sup = self
+            .config
+            .supervisor
+            .map(|cfg| Supervisor::new(cfg, self.procs.len(), klen, console.clone()));
         loop {
             if let Some(h) = hook.as_deref_mut() {
                 h(&mut m);
             }
-            if pid_stale && m.pc() >= klen {
+            if let Some(s) = sup.as_mut() {
+                s.observe(&mut m, &mut st);
+            }
+            if st.pid_stale && m.pc() >= klen {
                 // The kernel just handed off to user code; re-read who.
-                cur_pid = m.mem().peek(layout::CURRENT);
-                pid_stale = false;
+                st.cur_pid = m.mem().peek(layout::CURRENT);
+                st.pid_stale = false;
             }
             if let Some(budget) = self.config.watchdog {
                 if m.pc() >= klen
                     && !m.surprise().supervisor()
-                    && (cur_pid as usize) < user_spent.len()
-                    && cur_pid > 0
-                    && user_spent[cur_pid as usize] >= budget
-                    && !watchdog_kills.contains(&cur_pid)
+                    && (st.cur_pid as usize) < st.user_spent.len()
+                    && st.cur_pid > 0
+                    && st.user_spent[st.cur_pid as usize] >= budget
+                    && !st.watchdog_fired[st.cur_pid as usize]
                 {
                     // The process outlived its budget: squeeze the
                     // machine with an exception the kernel's decode
                     // treats as fatal — kill-and-continue, not a halt.
-                    watchdog_kills.push(cur_pid);
+                    // The fired latch (cleared by a supervised restart,
+                    // which also refunds the budget) keeps the squeeze
+                    // from repeating while the kill is in flight.
+                    st.watchdog_fired[st.cur_pid as usize] = true;
+                    st.watchdog_kills.push(st.cur_pid);
                     m.raise_exception(Cause::Illegal, WATCHDOG_DETAIL)
                         .map_err(OsError::Sim)?;
                 }
@@ -516,15 +552,21 @@ impl Kernel {
             // from user space, except a possible trailing kernel entry
             // word when an interrupt dispatched (the same
             // dispatched-first shape the per-step attribution handles).
+            // A due-but-deferred snapshot point (non-quiescent pipeline,
+            // or a restart waiting out its backoff) pins execution to
+            // the per-step path until the supervisor clears it.
             if hook.is_none()
                 && self.config.engine == Engine::Fast
                 && m.pc() >= klen
                 && !m.surprise().supervisor()
+                && !m.snapshot_due()
             {
                 let mut cap = u64::MAX;
                 if let Some(budget) = self.config.watchdog {
-                    if cur_pid > 0 && (cur_pid as usize) < user_spent.len() {
-                        cap = budget.saturating_sub(user_spent[cur_pid as usize]).max(1);
+                    if st.cur_pid > 0 && (st.cur_pid as usize) < st.user_spent.len() {
+                        cap = budget
+                            .saturating_sub(st.user_spent[st.cur_pid as usize])
+                            .max(1);
                     }
                 }
                 let exceptions = m.profile().exceptions;
@@ -532,26 +574,29 @@ impl Kernel {
                 if k > 0 {
                     let dispatched_first = m.profile().exceptions > exceptions && m.pc() == 1;
                     let user = if dispatched_first { k - 1 } else { k };
-                    cost.user += user;
-                    if (cur_pid as usize) < user_spent.len() {
-                        user_spent[cur_pid as usize] += user;
+                    st.cost.user += user;
+                    if (st.cur_pid as usize) < st.user_spent.len() {
+                        st.user_spent[st.cur_pid as usize] += user;
                     }
                     if dispatched_first {
                         // The burst's final step dispatched an interrupt
                         // and executed kernel word 0 in the same breath.
                         match bucket_of(0) {
-                            Bucket::User => cost.user += 1,
-                            Bucket::SaveRestore => cost.save_restore += 1,
-                            Bucket::Dispatch => cost.dispatch += 1,
-                            Bucket::Syscall => cost.syscall += 1,
-                            Bucket::Tick => cost.tick += 1,
-                            Bucket::Sched => cost.sched += 1,
-                            Bucket::Paging => cost.paging += 1,
+                            Bucket::User => st.cost.user += 1,
+                            Bucket::SaveRestore => st.cost.save_restore += 1,
+                            Bucket::Dispatch => st.cost.dispatch += 1,
+                            Bucket::Syscall => st.cost.syscall += 1,
+                            Bucket::Tick => st.cost.tick += 1,
+                            Bucket::Sched => st.cost.sched += 1,
+                            Bucket::Paging => st.cost.paging += 1,
                         }
-                        pid_stale = true;
+                        st.pid_stale = true;
                     }
                 }
                 if m.halted() {
+                    if sup.as_mut().is_some_and(|s| s.on_halt(&mut m, &mut st)) {
+                        continue;
+                    }
                     break;
                 }
                 continue;
@@ -567,26 +612,33 @@ impl Kernel {
                 let executed = if dispatched_first { 0 } else { pc };
                 match bucket_of(executed) {
                     Bucket::User => {
-                        cost.user += 1;
-                        if (cur_pid as usize) < user_spent.len() {
-                            user_spent[cur_pid as usize] += 1;
+                        st.cost.user += 1;
+                        if (st.cur_pid as usize) < st.user_spent.len() {
+                            st.user_spent[st.cur_pid as usize] += 1;
                         }
                     }
-                    Bucket::SaveRestore => cost.save_restore += 1,
-                    Bucket::Dispatch => cost.dispatch += 1,
-                    Bucket::Syscall => cost.syscall += 1,
-                    Bucket::Tick => cost.tick += 1,
-                    Bucket::Sched => cost.sched += 1,
-                    Bucket::Paging => cost.paging += 1,
+                    Bucket::SaveRestore => st.cost.save_restore += 1,
+                    Bucket::Dispatch => st.cost.dispatch += 1,
+                    Bucket::Syscall => st.cost.syscall += 1,
+                    Bucket::Tick => st.cost.tick += 1,
+                    Bucket::Sched => st.cost.sched += 1,
+                    Bucket::Paging => st.cost.paging += 1,
                 }
                 if executed < klen {
-                    pid_stale = true;
+                    st.pid_stale = true;
                 }
             }
             if faulted && sup_before && pc < klen {
                 // A fault *inside* the exception handler: the hardware
-                // would re-enter dispatch and shred the save area.
-                // Stop with a machine-state dump instead.
+                // would re-enter dispatch and shred the save area. With
+                // supervision, roll the whole machine back to the last
+                // global snapshot and replay; otherwise (or past the
+                // rollback budget) stop with a machine-state dump.
+                if let Some(s) = sup.as_mut() {
+                    if s.on_panic(&mut m, &mut st).map_err(OsError::Sim)? {
+                        continue;
+                    }
+                }
                 let mut regs = [0u32; 16];
                 for (i, slot) in regs.iter_mut().enumerate() {
                     *slot = m.reg(Reg::from_index(i).expect("16 registers"));
@@ -604,9 +656,17 @@ impl Kernel {
                 break;
             }
             if !more {
+                if sup.as_mut().is_some_and(|s| s.on_halt(&mut m, &mut st)) {
+                    continue;
+                }
                 break;
             }
         }
+        let (recoveries, quarantined, discarded) = match sup {
+            Some(s) => s.finish(),
+            None => (Vec::new(), Vec::new(), 0),
+        };
+        st.cost.recovery = discarded;
 
         // Read the results back out of kernel memory.
         let mem = m.mem();
@@ -652,11 +712,13 @@ impl Kernel {
         Ok(RunReport {
             procs,
             counters,
-            cost,
+            cost: st.cost,
             instructions: m.profile().instructions,
             console: stream,
             panic,
-            watchdog_kills,
+            watchdog_kills: st.watchdog_kills,
+            recoveries,
+            quarantined,
         })
     }
 }

@@ -33,6 +33,17 @@
 //! ([`SystemsCost`]) measuring what multiprogramming costs over bare
 //! metal.
 //!
+//! Arm [`KernelConfig::supervisor`] and the run is **supervised**
+//! ([`supervise`]): each process is checkpointed at safe boundaries
+//! every `checkpoint_every` instructions, a kill rolls the victim back
+//! to its last checkpoint and re-schedules it under an exponential
+//! backoff / quarantine policy ([`RestartPolicy`]), and a controlled
+//! kernel panic becomes a bounded whole-machine rollback. Recovery is
+//! deterministic — checkpoint and restart instants are pure functions
+//! of the instruction counter — so supervised runs replay identically
+//! on either engine; the cycles discarded by rollbacks are metered in
+//! [`SystemsCost::recovery`].
+//!
 //! ## Example
 //!
 //! ```
@@ -52,11 +63,13 @@
 
 pub mod kernel;
 pub mod layout;
+pub mod supervise;
 
 pub use kernel::{
     kernel_program, Counters, Kernel, KernelConfig, KernelPanic, OsError, ProcReport, ProcStatus,
     RunReport, SystemsCost, KERNEL_SRC, WATCHDOG_DETAIL,
 };
+pub use supervise::{RecoveryEvent, RestartPolicy, SupervisorConfig};
 
 // The engine knob [`KernelConfig::engine`] takes, re-exported so OS
 // users need not depend on `mips-sim` directly.

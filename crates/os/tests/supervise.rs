@@ -1,0 +1,245 @@
+//! Supervised checkpoint/restart: detected faults become recovered
+//! runs. The hardening suite proved kills are *contained*; this suite
+//! proves they are *survivable* — a transiently-faulted process rolls
+//! back to its checkpoint and finishes with byte-identical output, a
+//! deterministically-wedged one is quarantined after its restart
+//! budget, and the whole machinery reports identically on either
+//! engine.
+
+use mips_asm::assemble;
+use mips_os::supervise::RecoveryEvent;
+use mips_os::{
+    layout, Engine, Kernel, KernelConfig, ProcStatus, RestartPolicy, RunReport, SupervisorConfig,
+};
+use mips_sim::Cause;
+
+/// A worker that prints `count` consecutive letters starting at
+/// `first`, burning a short delay loop between prints so timer
+/// preemptions (and therefore checkpoints) land mid-run.
+fn worker(first: u8, count: u32) -> mips_core::Program {
+    assemble(&format!(
+        "
+ mvi #0,r4          ; printed so far
+ mvi #{count},r5
+ mvi #200,r7        ; delay iterations per letter
+outer:
+ mvi #0,r6
+delay:
+ add r6,#1,r6
+ bne r6,r7,delay
+ nop
+ mvi #{first},r1
+ add r1,r4,r1
+ trap #1            ; putchar
+ add r4,#1,r4
+ bne r4,r5,outer
+ nop
+ mvi #0,r1
+ trap #0            ; exit
+ halt"
+    ))
+    .unwrap()
+}
+
+/// A process that never finishes (and never syscalls).
+fn spinner() -> mips_core::Program {
+    assemble("spin:\n bra spin\n nop\n halt").unwrap()
+}
+
+fn supervised(checkpoint_every: u64) -> Option<SupervisorConfig> {
+    Some(SupervisorConfig {
+        checkpoint_every,
+        policy: RestartPolicy {
+            max_restarts: 3,
+            backoff: 500,
+            max_panic_rollbacks: 2,
+        },
+    })
+}
+
+fn config(supervisor: Option<SupervisorConfig>) -> KernelConfig {
+    KernelConfig {
+        time_slice: 2_000,
+        supervisor,
+        ..KernelConfig::default()
+    }
+}
+
+fn spawn_workers(k: &mut Kernel) {
+    k.spawn("alpha", worker(b'A', 8)).unwrap();
+    k.spawn("nums", worker(b'0', 8)).unwrap();
+}
+
+fn baseline() -> RunReport {
+    let mut k = Kernel::with_config(config(None));
+    spawn_workers(&mut k);
+    k.run_until_idle().unwrap()
+}
+
+#[test]
+fn supervision_without_faults_changes_nothing() {
+    let base = baseline();
+    let mut k = Kernel::with_config(config(supervised(1_000)));
+    spawn_workers(&mut k);
+    let sup = k.run_until_idle().unwrap();
+    assert_eq!(sup.console, base.console);
+    assert_eq!(sup.counters, base.counters);
+    assert_eq!(sup.instructions, base.instructions);
+    assert!(sup.recoveries.is_empty());
+    assert!(sup.quarantined.is_empty());
+    assert_eq!(sup.cost.recovery, 0);
+    // Other buckets match the unsupervised run exactly.
+    assert_eq!(sup.cost, base.cost);
+}
+
+#[test]
+fn transient_fault_is_recovered_with_byte_identical_output() {
+    let base = baseline();
+    let mut k = Kernel::with_config(config(supervised(1_000)));
+    spawn_workers(&mut k);
+    let mut armed = true;
+    let report = k
+        .run_with_hook(|m| {
+            if armed && !m.surprise().supervisor() && m.profile().instructions > 8_000 {
+                armed = false;
+                m.raise_exception(Cause::Illegal, 0x123).unwrap();
+            }
+        })
+        .unwrap();
+    assert!(!armed, "fault fired");
+    assert!(report.panic.is_none());
+    assert!(
+        report
+            .recoveries
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Restart { .. })),
+        "the kill was rolled back: {:?}",
+        report.recoveries
+    );
+    assert!(report.quarantined.is_empty());
+    assert!(report.cost.recovery > 0, "discarded work is attributed");
+    for (got, want) in report.procs.iter().zip(base.procs.iter()) {
+        assert_eq!(got.status, ProcStatus::Exited(0), "{} recovered", got.name);
+        assert_eq!(
+            got.output, want.output,
+            "{} output byte-identical",
+            got.name
+        );
+    }
+}
+
+#[test]
+fn fault_on_the_first_post_restore_instruction_quarantines() {
+    // Kill pid 1 on its very first user-mode instruction, every time
+    // it is scheduled — including immediately after each restore. The
+    // supervisor must burn its restart budget without a host panic and
+    // quarantine the victim; the sibling finishes untouched.
+    let victim = 1u32;
+    let mut k = Kernel::with_config(config(supervised(1_000)));
+    spawn_workers(&mut k);
+    let report = k
+        .run_with_hook(|m| {
+            if !m.surprise().supervisor() && m.mem().peek(layout::CURRENT) == victim {
+                m.raise_exception(Cause::Illegal, 0x666).unwrap();
+            }
+        })
+        .unwrap();
+    assert!(report.panic.is_none());
+    assert_eq!(report.quarantined, vec![victim]);
+    assert_eq!(
+        report.procs[victim as usize - 1].status,
+        ProcStatus::Killed(Cause::Illegal)
+    );
+    let restarts = report
+        .recoveries
+        .iter()
+        .filter(|e| matches!(e, RecoveryEvent::Restart { pid, .. } if *pid == victim))
+        .count();
+    assert_eq!(
+        restarts, 3,
+        "full restart budget spent: {:?}",
+        report.recoveries
+    );
+    assert!(report
+        .recoveries
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::Quarantine { pid, .. } if *pid == victim)));
+    // The sibling never noticed.
+    assert_eq!(report.procs[1].status, ProcStatus::Exited(0));
+    assert_eq!(report.procs[1].output, b"01234567");
+}
+
+#[test]
+fn every_boundary_checkpoint_cadence_still_recovers_exactly() {
+    // checkpoint_every = 1 forces a checkpoint attempt at every
+    // observation point, so mid-shadow deferral (a preemption that
+    // bent the saved return chain) is exercised constantly; recovery
+    // must still replay to byte-identical output.
+    let base = baseline();
+    let mut k = Kernel::with_config(config(supervised(1)));
+    spawn_workers(&mut k);
+    let mut armed = true;
+    let report = k
+        .run_with_hook(|m| {
+            if armed && !m.surprise().supervisor() && m.profile().instructions > 6_000 {
+                armed = false;
+                m.raise_exception(Cause::Overflow, 0).unwrap();
+            }
+        })
+        .unwrap();
+    assert!(report.panic.is_none());
+    assert!(!report.recoveries.is_empty());
+    for (got, want) in report.procs.iter().zip(base.procs.iter()) {
+        assert_eq!(got.status, ProcStatus::Exited(0));
+        assert_eq!(got.output, want.output);
+    }
+}
+
+#[test]
+fn watchdog_rekills_a_restarted_spinner_until_quarantine_on_both_engines() {
+    // The watchdog budget is refunded by a restore, so a restarted
+    // spinner burns it again and is re-killed — deterministically, on
+    // either engine, with identical reports throughout.
+    let run = |engine: Engine| {
+        let mut k = Kernel::with_config(KernelConfig {
+            time_slice: 2_000,
+            watchdog: Some(20_000),
+            engine,
+            supervisor: supervised(5_000),
+            ..KernelConfig::default()
+        });
+        let wedged = k.spawn("spinner", spinner()).unwrap();
+        k.spawn("printer", worker(b'X', 3)).unwrap();
+        (wedged, k.run_until_idle().unwrap())
+    };
+    let (wedged, reference) = run(Engine::Reference);
+    let (_, fast) = run(Engine::Fast);
+    assert_eq!(reference, fast, "supervised runs are engine-conformant");
+
+    // Initial kill + one per restart: the fired latch is cleared and
+    // the budget refunded by each restore.
+    assert_eq!(reference.watchdog_kills, vec![wedged; 4]);
+    assert_eq!(reference.quarantined, vec![wedged]);
+    assert_eq!(
+        reference.procs[wedged as usize - 1].status,
+        ProcStatus::Killed(Cause::Illegal)
+    );
+    assert_eq!(reference.procs[1].status, ProcStatus::Exited(0));
+    assert_eq!(reference.procs[1].output, b"XYZ");
+    assert!(reference.cost.recovery > 0);
+}
+
+#[test]
+fn hook_free_supervised_runs_match_across_engines() {
+    let run = |engine: Engine| {
+        let mut k = Kernel::with_config(KernelConfig {
+            time_slice: 2_000,
+            engine,
+            supervisor: supervised(1_000),
+            ..KernelConfig::default()
+        });
+        spawn_workers(&mut k);
+        k.run_until_idle().unwrap()
+    };
+    assert_eq!(run(Engine::Reference), run(Engine::Fast));
+}

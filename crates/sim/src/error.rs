@@ -41,6 +41,14 @@ pub enum SimError {
         /// The missing symbol.
         name: String,
     },
+    /// A snapshot image could not be decoded or restored: corrupted
+    /// header, truncation, checksum mismatch, or a machine whose shape
+    /// (program, attached devices) does not match the captured one.
+    /// Always a typed error — a hostile image must never panic the host.
+    BadSnapshot {
+        /// What was wrong with the image.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +65,7 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::UndefinedSymbol { name } => write!(f, "undefined symbol `{name}`"),
+            SimError::BadSnapshot { reason } => write!(f, "bad snapshot: {reason}"),
         }
     }
 }

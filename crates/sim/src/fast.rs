@@ -240,7 +240,7 @@ impl Machine {
     pub fn run_steps(&mut self, n: u64) -> Result<u64, SimError> {
         let start = self.profile.instructions;
         let goal = start.saturating_add(n);
-        while !self.halted && self.profile.instructions < goal {
+        while !self.halted && self.profile.instructions < goal && !self.snapshot_due() {
             self.run_burst(goal - self.profile.instructions, 0)?;
         }
         Ok(self.profile.instructions - start)
@@ -264,6 +264,7 @@ impl Machine {
             && self.profile.instructions < goal
             && self.profile.exceptions == exc0
             && self.pc >= fence
+            && !self.snapshot_due()
         {
             // Per-step fidelity cases: the reference engine was asked
             // for; hazard recording wants every boundary; DMA can steal
@@ -309,6 +310,11 @@ impl Machine {
                 .min(FAST_CHUNK);
             if let Some(t) = &self.timer {
                 chunk = chunk.min(t.next_fire - self.profile.instructions);
+            }
+            // An armed snapshot point bounds the chunk the same way:
+            // the boundary lands exactly on `at`, never inside a chunk.
+            if let Some(at) = self.snap_request {
+                chunk = chunk.min(at - self.profile.instructions);
             }
             if self.run_chunk(&image, chunk, fence) {
                 // The next instruction needs full fidelity: a slow

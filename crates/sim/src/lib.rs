@@ -34,6 +34,12 @@
 //! conformant: same registers, memory, output, profile counters, and
 //! errors at every observation point.
 //!
+//! The complete architectural state checkpoints into a byte-stable,
+//! versioned [`Snapshot`] (module [`snap`], format `mips-snap/v1`) and
+//! restores with a lock-step-identical subsequent trajectory on either
+//! engine — the substrate for the OS layer's supervised
+//! checkpoint/restart.
+//!
 //! ## Example
 //!
 //! ```
@@ -59,6 +65,7 @@ pub mod machine;
 pub mod mem;
 pub mod mmu;
 pub mod profile;
+pub mod snap;
 pub mod surprise;
 
 pub use error::SimError;
@@ -69,4 +76,5 @@ pub use machine::{Machine, MachineConfig, StopReason};
 pub use mem::{ConsolePort, IntCtrl, MapUnitPort, Memory, Mmio};
 pub use mmu::{PageMap, Segmentation, PAGE_WORDS};
 pub use profile::Profile;
+pub use snap::{Snapshot, SNAP_MAGIC};
 pub use surprise::Surprise;

@@ -149,6 +149,11 @@ impl PendingSet {
         self.slots[..self.len as usize].iter().any(|b| b.indirect)
     }
 
+    /// Live entries in push order (for snapshot capture).
+    pub(crate) fn entries(&self) -> &[PendingBranch] {
+        &self.slots[..self.len as usize]
+    }
+
     /// Decrements every entry and drops those that reach zero. When an
     /// entry expires it *fires*; if two expire on the same tick the one
     /// pushed later wins (insertion order), matching the old `Vec` scan.
@@ -220,6 +225,11 @@ pub struct Machine {
     /// Predecoded fast-path image, built lazily and invalidated when the
     /// refclass sidecar changes (the program itself is immutable).
     pub(crate) fast: Option<Rc<FastProgram>>,
+    /// Armed snapshot point (absolute instruction count): the batched
+    /// entry points stop here so the host can capture a [`crate::Snapshot`]
+    /// at a chunk boundary. Host-side control state, not architectural —
+    /// excluded from snapshots.
+    pub(crate) snap_request: Option<u64>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -274,7 +284,47 @@ impl Machine {
             output: Vec::new(),
             engine: Engine::Reference,
             fast: None,
+            snap_request: None,
         }
+    }
+
+    /// True when no delayed transfer is in flight and no load is pending
+    /// its delay slot — the pipeline has no shadow state, so the machine
+    /// is at a *safe boundary* for checkpoint policies that refuse to
+    /// capture mid-shadow state (see [`crate::Snapshot`]; the snapshot
+    /// format itself captures shadow state exactly, this predicate only
+    /// serves policies that want boundary-aligned checkpoints).
+    pub fn pipeline_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.load_in_flight.is_none()
+    }
+
+    /// Clears the halted latch so a host runtime can resume a machine
+    /// that executed `halt` (pair with [`Machine::jump_to`] to re-enter
+    /// at a chosen entry point). Architectural state is untouched.
+    pub fn clear_halt(&mut self) {
+        self.halted = false;
+    }
+
+    /// Arms a snapshot point at absolute instruction count `at`: the
+    /// batched entry points ([`Machine::run_steps`] / `run_burst`) stop
+    /// at that boundary, and the fast engine caps its chunks so the
+    /// boundary lands exactly (bailing to reference steps once due, the
+    /// same pattern as a due timer tick). The per-step [`Machine::step`]
+    /// is unaffected. Call [`Machine::snapshot`] at the boundary, then
+    /// re-arm or [`Machine::disarm_snapshot`].
+    pub fn arm_snapshot(&mut self, at: u64) {
+        self.snap_request = Some(at);
+    }
+
+    /// Removes an armed snapshot point.
+    pub fn disarm_snapshot(&mut self) {
+        self.snap_request = None;
+    }
+
+    /// True when an armed snapshot point has been reached.
+    pub fn snapshot_due(&self) -> bool {
+        self.snap_request
+            .is_some_and(|at| self.profile.instructions >= at)
     }
 
     /// Attaches the per-instruction data-reference classification sidecar

@@ -209,6 +209,23 @@ impl Memory {
         &self.dma_read_log
     }
 
+    /// Queued DMA transfers in service order (for snapshot capture).
+    pub(crate) fn dma_queue_entries(&self) -> Vec<Dma> {
+        self.dma_queue.iter().copied().collect()
+    }
+
+    /// Replaces the DMA queue and read log (snapshot restore).
+    pub(crate) fn restore_dma(&mut self, queue: Vec<Dma>, read_log: Vec<u32>) {
+        self.dma_queue = queue.into();
+        self.dma_read_log = read_log;
+    }
+
+    /// Drops every stored RAM word (device windows stay attached). Used
+    /// by snapshot restore before re-poking the captured image.
+    pub(crate) fn clear_ram(&mut self) {
+        self.pages.clear();
+    }
+
     /// Services one queued DMA transfer, if any. Called by the machine on
     /// each free memory cycle. Returns true when a transfer was serviced.
     pub fn service_dma(&mut self) -> bool {
@@ -269,6 +286,17 @@ impl IntCtrl {
     /// Highest-priority (lowest-numbered) pending device.
     pub fn highest_pending(&self) -> Option<u32> {
         (self.pending != 0).then(|| self.pending.trailing_zeros())
+    }
+
+    /// The raw pending bitmask (bit *n* = device *n* requesting service).
+    /// Exposed so checkpoints can capture controller state exactly.
+    pub fn pending_raw(&self) -> u32 {
+        self.pending
+    }
+
+    /// Overwrites the pending bitmask (snapshot restore).
+    pub fn set_pending_raw(&mut self, raw: u32) {
+        self.pending = raw;
     }
 }
 

@@ -142,6 +142,12 @@ impl PageMap {
     pub fn is_empty(&self) -> bool {
         self.frames.is_empty()
     }
+
+    /// Removes every mapping (snapshot restore, supervised process
+    /// rollback — the kernel's soft-fault path remaps on demand).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 //!   interlocks, segmentation, and the surprise-register exception
 //!   system, driven by either of two lock-step-conformant engines (the
 //!   per-step reference interpreter and a predecoded, chunked fast
-//!   path — `sim::Engine`);
+//!   path — `sim::Engine`), with byte-stable whole-machine snapshots
+//!   (`sim::Snapshot`, the `mips-snap/v1` format);
 //! * [`asm`] — the assembler;
 //! * [`reorg`] — the post-pass reorganizer (scheduling, packing, branch
 //!   delay);
@@ -21,11 +22,15 @@
 //!   (the `mips-lint` binary);
 //! * [`os`] — the software kernel and multiprogramming runtime: exception
 //!   dispatch, syscalls, preemptive scheduling, and demand paging on the
-//!   simulated machine;
+//!   simulated machine, plus checkpoint/restart supervision
+//!   (`os::SupervisorConfig`) that rolls killed processes back to
+//!   their last safe-boundary checkpoint under a backoff/quarantine
+//!   policy;
 //! * [`chaos`] — deterministic fault injection and the differential
 //!   fuzz campaign (the `mips-chaos` binary): seed-replayable bit
-//!   flips, interrupt mischief, and page-map corruption with an
-//!   escape/isolation taxonomy over the hardened kernel;
+//!   flips, interrupt mischief, and page-map corruption with a
+//!   masked/recovered/isolated/detected/escaped taxonomy over the
+//!   hardened, supervised kernel;
 //! * [`analysis`] — the measurement tooling behind every table of the
 //!   paper;
 //! * [`workloads`] — the benchmark corpus (Fibonacci, Puzzle, text

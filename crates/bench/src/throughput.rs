@@ -37,6 +37,9 @@ pub struct WorkloadThroughput {
     pub reference_ns: u64,
     /// Host nanoseconds for the fast-engine run.
     pub fast_ns: u64,
+    /// Instructions the fast engine retired under a block certificate
+    /// (per-instruction safety checks statically elided).
+    pub cert_elided: u64,
 }
 
 impl WorkloadThroughput {
@@ -53,6 +56,11 @@ impl WorkloadThroughput {
     /// Fast-engine speedup over the reference interpreter.
     pub fn speedup(&self) -> f64 {
         self.reference_ns.max(1) as f64 / self.fast_ns.max(1) as f64
+    }
+
+    /// Fraction of retired instructions executed under a certificate.
+    pub fn cert_elision(&self) -> f64 {
+        self.cert_elided as f64 / self.instructions.max(1) as f64
     }
 }
 
@@ -72,12 +80,13 @@ impl ThroughputReport {
         (log_sum / self.workloads.len() as f64).exp()
     }
 
-    /// Serializes to the pinned `mips-bench/throughput/v1` schema.
+    /// Serializes to the pinned `mips-bench/throughput/v2` schema
+    /// (`v2` added the certificate-elision columns).
     /// Deterministic: equal reports produce byte-identical JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mips-bench/throughput/v1\",\n");
+        s.push_str("  \"schema\": \"mips-bench/throughput/v2\",\n");
         s.push_str("  \"workloads\": [\n");
         for (i, w) in self.workloads.iter().enumerate() {
             s.push_str("    {\n");
@@ -85,6 +94,11 @@ impl ThroughputReport {
             s.push_str(&format!("      \"instructions\": {},\n", w.instructions));
             s.push_str(&format!("      \"reference_ns\": {},\n", w.reference_ns));
             s.push_str(&format!("      \"fast_ns\": {},\n", w.fast_ns));
+            s.push_str(&format!("      \"cert_elided\": {},\n", w.cert_elided));
+            s.push_str(&format!(
+                "      \"cert_elision\": {:.4},\n",
+                w.cert_elision()
+            ));
             s.push_str(&format!("      \"speedup\": {:.4}\n", w.speedup()));
             s.push_str(if i + 1 == self.workloads.len() {
                 "    }\n"
@@ -106,18 +120,19 @@ impl fmt::Display for ThroughputReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<12} {:>12} {:>10} {:>10} {:>8}",
-            "workload", "instrs", "ref MIPS", "fast MIPS", "speedup"
+            "{:<12} {:>12} {:>10} {:>10} {:>8} {:>7}",
+            "workload", "instrs", "ref MIPS", "fast MIPS", "speedup", "elide%"
         )?;
         for w in &self.workloads {
             writeln!(
                 f,
-                "{:<12} {:>12} {:>10.1} {:>10.1} {:>7.2}x",
+                "{:<12} {:>12} {:>10.1} {:>10.1} {:>7.2}x {:>6.1}%",
                 w.name,
                 w.instructions,
                 w.reference_mips(),
                 w.fast_mips(),
-                w.speedup()
+                w.speedup(),
+                w.cert_elision() * 100.0
             )?;
         }
         write!(f, "geometric-mean speedup: {:.2}x", self.geomean_speedup())
@@ -178,20 +193,21 @@ pub fn measure() -> ThroughputReport {
                 instructions: fast_m.profile().instructions,
                 reference_ns,
                 fast_ns,
+                cert_elided: fast_m.cert_elided(),
             }
         })
         .collect();
     ThroughputReport { workloads }
 }
 
-/// Extracts the `geomean_speedup` field from a `v1` artifact.
+/// Extracts the `geomean_speedup` field from a `v2` artifact.
 ///
 /// # Errors
 ///
 /// A message naming what is missing or malformed.
 pub fn parse_geomean(json: &str) -> Result<f64, String> {
-    if !json.contains("\"schema\": \"mips-bench/throughput/v1\"") {
-        return Err("not a mips-bench/throughput/v1 artifact".into());
+    if !json.contains("\"schema\": \"mips-bench/throughput/v2\"") {
+        return Err("not a mips-bench/throughput/v2 artifact".into());
     }
     let key = "\"geomean_speedup\":";
     let at = json
@@ -266,12 +282,14 @@ mod tests {
                     instructions: 78_262,
                     reference_ns: 4_000_000,
                     fast_ns: 1_000_000,
+                    cert_elided: 39_131,
                 },
                 WorkloadThroughput {
                     name: "sort".into(),
                     instructions: 1_000_000,
                     reference_ns: 9_000_000,
                     fast_ns: 4_000_000,
+                    cert_elided: 250_000,
                 },
             ],
         }

@@ -18,12 +18,14 @@ fn sample(fast_ns: u64) -> ThroughputReport {
                 instructions: 78_262,
                 reference_ns: 4_000_000,
                 fast_ns,
+                cert_elided: 39_131,
             },
             WorkloadThroughput {
                 name: "sort".into(),
                 instructions: 1_000_000,
                 reference_ns: 9_000_000,
                 fast_ns: fast_ns * 4,
+                cert_elided: 250_000,
             },
         ],
     }
@@ -35,13 +37,15 @@ fn sample(fast_ns: u64) -> ThroughputReport {
 fn json_schema_is_pinned_byte_for_byte() {
     let expected = "\
 {
-  \"schema\": \"mips-bench/throughput/v1\",
+  \"schema\": \"mips-bench/throughput/v2\",
   \"workloads\": [
     {
       \"name\": \"fib\",
       \"instructions\": 78262,
       \"reference_ns\": 4000000,
       \"fast_ns\": 1000000,
+      \"cert_elided\": 39131,
+      \"cert_elision\": 0.5000,
       \"speedup\": 4.0000
     },
     {
@@ -49,6 +53,8 @@ fn json_schema_is_pinned_byte_for_byte() {
       \"instructions\": 1000000,
       \"reference_ns\": 9000000,
       \"fast_ns\": 4000000,
+      \"cert_elided\": 250000,
+      \"cert_elision\": 0.2500,
       \"speedup\": 2.2500
     }
   ],
@@ -121,7 +127,7 @@ fn exit_2_on_usage_and_parse_errors() {
     // Unreadable file: parse/read error.
     let (code, _, _) = run_gate(&["--compare", "/nonexistent.json", "/nonexistent.json"]);
     assert_eq!(code, Some(2));
-    // Readable but not a v1 artifact.
+    // Readable but not a v2 artifact.
     let base = write_tmp("bad_base.json", &sample(1_000_000).to_json());
     let bad = write_tmp("bad_cur.json", "{\"schema\": \"something-else\"}\n");
     let (code, _, stderr) = run_gate(&["--compare", base.to_str().unwrap(), bad.to_str().unwrap()]);

@@ -12,30 +12,22 @@
 //! Conservatisms: indirect jumps and `rfe` have unknown targets — all
 //! registers are live-out there; traps likewise (the handler may read
 //! anything).
+//!
+//! This module only builds the **successor relation** (the part that is
+//! specific to scheduling over possibly-unresolved label targets); the
+//! fixpoint itself is `mips-verify`'s shared dataflow engine,
+//! instantiated with the same [`mips_verify::dataflow::liveness`]
+//! problem the verifier solves over its `Cfg`.
 
 use mips_core::{Instr, SpecialOp, Target};
+use mips_verify::dataflow::liveness::{reads_mask, writes_mask, Liveness};
+use mips_verify::dataflow::{solve, VecGraph};
 
 /// A register set as a 16-bit mask.
 pub type RegSet = u16;
 
 /// All registers.
 pub const ALL: RegSet = 0xffff;
-
-fn reads_mask(i: &Instr) -> RegSet {
-    let mut m = 0;
-    for r in i.reads() {
-        m |= 1 << r.index();
-    }
-    m
-}
-
-fn writes_mask(i: &Instr) -> RegSet {
-    let mut m = 0;
-    for r in i.writes() {
-        m |= 1 << r.index();
-    }
-    m
-}
 
 /// Computes `live_in` for every instruction of a resolved sequence.
 ///
@@ -49,13 +41,13 @@ pub fn live_in(
     // Successor sets, following the delayed-branch shadow: the branch's
     // redirect applies after its delay slots, i.e. the *last shadow slot*
     // has the branch's target among its successors.
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut conservative: Vec<bool> = vec![false; n];
 
-    let target_of = |i: &Instr| -> Option<usize> {
+    let target_of = |i: &Instr| -> Option<u32> {
         match i.target()? {
-            Target::Abs(a) => Some(a as usize),
-            Target::Label(l) => label_addr(l).map(|a| a as usize),
+            Target::Abs(a) => Some(a),
+            Target::Label(l) => label_addr(l),
         }
     };
 
@@ -73,12 +65,12 @@ pub fn live_in(
                 // The handler may read anything.
                 conservative[k] = true;
                 if k + 1 < n {
-                    succs[k].push(k + 1);
+                    succs[k].push((k + 1) as u32);
                 }
             }
             _ => {
                 if k + 1 < n {
-                    succs[k].push(k + 1);
+                    succs[k].push((k + 1) as u32);
                 }
             }
         }
@@ -103,7 +95,7 @@ pub fn live_in(
                     if last_slot < n {
                         // The fall-through edge out of the shadow does not
                         // exist for unconditional jumps.
-                        succs[last_slot].retain(|&s| s != last_slot + 1);
+                        succs[last_slot].retain(|&s| s != (last_slot + 1) as u32);
                         if let Some(t) = target_of(&instrs[k]) {
                             succs[last_slot].push(t);
                         } else {
@@ -124,29 +116,19 @@ pub fn live_in(
         }
     }
 
-    let reads: Vec<RegSet> = instrs.iter().map(reads_mask).collect();
-    let writes: Vec<RegSet> = instrs.iter().map(writes_mask).collect();
-    let mut live: Vec<RegSet> = vec![0; n];
-    // Fixpoint (programs are small; simple iteration suffices).
-    loop {
-        let mut changed = false;
-        for k in (0..n).rev() {
-            let mut out: RegSet = if conservative[k] { ALL } else { 0 };
-            for &s in &succs[k] {
-                if s < n {
-                    out |= live[s];
-                }
-            }
-            let inn = reads[k] | (out & !writes[k]);
-            if inn != live[k] {
-                live[k] = inn;
-                changed = true;
-            }
-        }
-        if !changed {
-            return live;
-        }
-    }
+    // The fixpoint is the shared engine: same lattice, same transfer,
+    // over this scheduler-specific successor relation. Conservatisms
+    // become boundary live-out facts; out-of-range successors (targets
+    // past the end) are dropped by the graph, as before.
+    let problem = Liveness::new(
+        instrs.iter().map(reads_mask).collect(),
+        instrs.iter().map(writes_mask).collect(),
+        conservative
+            .iter()
+            .map(|&c| if c { ALL } else { 0 })
+            .collect(),
+    );
+    solve(&problem, &VecGraph::from_succs(succs)).output
 }
 
 /// True when `reg` is dead (not live-in) at instruction `at`.

@@ -16,6 +16,17 @@
 //!   branch set, and direct profile-counter increments; nothing
 //!   allocates per instruction.
 //!
+//! On top of the chunked loop sit the verifier's **block
+//! certificates** ([`mips_verify::dataflow::cert`]): a static proof
+//! that a straight-line block cannot fault, overflow-trap, or touch a
+//! device, given a short list of preconditions re-checked against the
+//! live register file at block entry. Certified blocks execute with the
+//! per-instruction bailout tests removed entirely
+//! (`Machine::run_cert_block`); everything observable — registers,
+//! memory, profile counters, the load-shadow commit order — is
+//! replicated bit for bit, and the elision is visible only through the
+//! host-side [`Machine::cert_elided`] statistic.
+//!
 //! Anything outside the common case **bails to the reference
 //! interpreter** *before* performing any side effect, so one
 //! `step()` replays the instruction with full fidelity and the
@@ -42,7 +53,9 @@ use crate::except::Cause;
 use crate::machine::{Machine, PendingBranch};
 use mips_core::delay::{BRANCH_DELAY, INDIRECT_DELAY};
 use mips_core::word::{extract_byte, insert_byte};
-use mips_core::{AluPiece, Cond, Instr, MemMode, MemPiece, Operand, Program, RefClass, Reg, Width};
+use mips_core::{
+    AluPiece, Cond, Instr, MemMode, MemPiece, Operand, Program, RefClass, Reg, Width, MEM_WORDS,
+};
 use std::rc::Rc;
 
 /// Which execution engine drives [`Machine::run`] and the batched
@@ -123,23 +136,124 @@ enum FastOp {
     },
 }
 
-/// The predecoded image of a [`Program`] plus its refclass sidecar.
+/// An entry-relative address window a certificate must check at block
+/// entry: every certified reference through `reg` lands in
+/// `[entry(reg) + dmin, entry(reg) + dmax]`, evaluated in 64-bit
+/// arithmetic (see [`mips_verify::dataflow::cert`] for the soundness
+/// argument).
+#[derive(Debug, Clone, Copy)]
+struct FastWindow {
+    reg: Reg,
+    dmin: i64,
+    dmax: i64,
+}
+
+/// A predecoded block certificate: the runtime-checkable preconditions
+/// of a [`mips_verify::BlockCert`], flattened for the gate.
+#[derive(Debug)]
+struct FastCert {
+    /// Instructions covered, starting at the pc this cert is indexed by.
+    len: u32,
+    /// Block contains an overflow-capable ALU op: certified only while
+    /// the overflow trap is disabled.
+    can_ovf: bool,
+    /// Block references data memory: certified only on the word machine
+    /// with mapping off, and only when every address check passes.
+    has_mem: bool,
+    /// Highest constant physical address referenced (pre-masked exactly
+    /// as the unmapped `translate` masks); 0 when there are none, which
+    /// passes the device-floor comparison vacuously.
+    const_hi: u32,
+    /// Entry-relative windows, one per anchoring register.
+    windows: Box<[FastWindow]>,
+}
+
+/// The predecoded image of a [`Program`] plus its refclass sidecar and
+/// the block certificates proved by `mips-verify`.
 #[derive(Debug)]
 pub struct FastProgram {
     ops: Vec<FastOp>,
+    /// Certificates, referenced by `cert_index`.
+    certs: Vec<FastCert>,
+    /// Per-pc certificate handle: `index + 1` into `certs` for a block
+    /// starting at that pc, 0 for none.
+    cert_index: Vec<u32>,
 }
 
 impl FastProgram {
     /// Predecodes `program`; instructions the fast loop cannot execute
-    /// exactly become [`FastOp::Slow`].
+    /// exactly become [`FastOp::Slow`]. Block certificates from the
+    /// verifier are attached to their start pcs; as a defensive measure
+    /// the decoder re-checks that every covered op is one the certified
+    /// executor handles, so a drifting analysis can only lose speed,
+    /// never soundness.
     pub(crate) fn predecode(program: &Program, refclass: &[Option<RefClass>]) -> FastProgram {
-        let ops = program
+        let ops: Vec<FastOp> = program
             .instrs()
             .iter()
             .enumerate()
             .map(|(pc, ins)| Self::decode_one(ins, refclass.get(pc).copied().flatten()))
             .collect();
-        FastProgram { ops }
+        let mut certs = Vec::new();
+        let mut cert_index = vec![0u32; ops.len()];
+        for c in mips_verify::certify(program) {
+            let start = c.start as usize;
+            let end = start + c.len as usize;
+            if end > ops.len() || !ops[start..end].iter().all(Self::cert_op_ok) {
+                continue;
+            }
+            cert_index[start] = certs.len() as u32 + 1;
+            certs.push(FastCert {
+                len: c.len,
+                can_ovf: c.can_ovf,
+                has_mem: c.has_mem,
+                const_hi: c.const_hi.unwrap_or(0),
+                windows: c
+                    .windows
+                    .iter()
+                    .map(|w| FastWindow {
+                        reg: w.reg,
+                        dmin: w.dmin,
+                        dmax: w.dmax,
+                    })
+                    .collect(),
+            });
+        }
+        FastProgram {
+            ops,
+            certs,
+            cert_index,
+        }
+    }
+
+    /// The ops the certified executor ([`Machine::run_cert_block`]) can
+    /// run without bailout tests.
+    fn cert_op_ok(op: &FastOp) -> bool {
+        match *op {
+            FastOp::Nop
+            | FastOp::Alu(_)
+            | FastOp::LoadImm { .. }
+            | FastOp::SetCond { .. }
+            | FastOp::Mvi { .. }
+            | FastOp::Lea { .. } => true,
+            FastOp::Load { mode, width, .. } | FastOp::Store { mode, width, .. } => {
+                width == Width::Word && matches!(mode, MemMode::Absolute(_) | MemMode::Based { .. })
+            }
+            FastOp::Slow
+            | FastOp::CmpBranch { .. }
+            | FastOp::Jump { .. }
+            | FastOp::Call { .. }
+            | FastOp::JumpInd { .. } => false,
+        }
+    }
+
+    /// The certificate for a block starting exactly at `pc`, if any.
+    #[inline(always)]
+    fn cert_at(&self, pc: u32) -> Option<&FastCert> {
+        match self.cert_index.get(pc as usize) {
+            Some(&i) if i != 0 => Some(&self.certs[i as usize - 1]),
+            _ => None,
+        }
     }
 
     fn decode_one(ins: &Instr, refclass: Option<RefClass>) -> FastOp {
@@ -332,12 +446,36 @@ impl Machine {
     /// needs the reference interpreter (machine state is still at the
     /// boundary *before* that instruction).
     fn run_chunk(&mut self, image: &FastProgram, n: u64, fence: u32) -> bool {
+        // Hoisted once per chunk: every instruction that can change
+        // these (special-register writes, `rfe`, MMIO attach) is a slow
+        // op or a device access, both of which end the chunk.
         let ovf_on = self.surprise.ovf_enable();
         let dev_floor = self.mem.device_floor();
-        for _ in 0..n {
+        let map_on = self.surprise.map_enable();
+        let mut left = n;
+        while left > 0 {
             if self.pc < fence {
                 return false;
             }
+            // A certificate at this pc whose preconditions hold lets the
+            // whole block run with no per-instruction bailout tests. The
+            // pipeline must be empty of shadow state: a pending branch
+            // would redirect mid-block, and an in-flight load would make
+            // the first instruction observe pre-commit state the proof
+            // did not model.
+            if self.pending.is_empty() && self.load_in_flight.is_none() {
+                if let Some(cert) = image.cert_at(self.pc) {
+                    if cert.len as u64 <= left
+                        && (!cert.can_ovf || !ovf_on)
+                        && (!cert.has_mem || self.cert_mem_ok(cert, dev_floor, map_on))
+                    {
+                        left -= cert.len as u64;
+                        self.run_cert_block(&image.ops, cert);
+                        continue;
+                    }
+                }
+            }
+            left -= 1;
             let Some(&op) = image.ops.get(self.pc as usize) else {
                 return true;
             };
@@ -487,6 +625,145 @@ impl Machine {
             }
         }
         false
+    }
+
+    /// The memory half of the certificate gate: with mapping off on the
+    /// word machine, `translate` is exactly `ea & (MEM_WORDS - 1)` and
+    /// cannot fault, so the only remaining hazard is a device window.
+    /// When the device floor is at or past the top of the word space,
+    /// no masked physical address can reach a device and nothing else
+    /// needs checking; otherwise every constant address and every
+    /// entry-relative window (evaluated in 64-bit arithmetic, so the
+    /// in-range conclusion transfers through the mod-2³² wrap) must sit
+    /// strictly below the floor.
+    #[inline(always)]
+    fn cert_mem_ok(&self, cert: &FastCert, dev_floor: u32, map_on: bool) -> bool {
+        if self.cfg.byte_addressed || map_on {
+            return false;
+        }
+        if dev_floor >= MEM_WORDS {
+            return true;
+        }
+        if cert.const_hi >= dev_floor {
+            return false;
+        }
+        cert.windows.iter().all(|w| {
+            let entry = self.regs[w.reg.index()] as i64;
+            entry + w.dmin >= 0 && entry + w.dmax < dev_floor as i64
+        })
+    }
+
+    /// Executes one certified block with **no** per-instruction bailout
+    /// tests: no overflow bail, no translate/device probe, no alignment
+    /// or width check — the certificate plus the gate already proved
+    /// none can fire. Profile accounting, load-shadow commit order, and
+    /// memory masking replicate the checked path bit for bit, so every
+    /// observation point stays identical to the reference interpreter.
+    fn run_cert_block(&mut self, ops: &[FastOp], cert: &FastCert) {
+        let end = self.pc + cert.len;
+        while self.pc < end {
+            match ops[self.pc as usize] {
+                FastOp::Nop => {
+                    self.profile.nops += 1;
+                    self.account_free();
+                    self.commit_inflight();
+                    self.pc += 1;
+                }
+                FastOp::Alu(p) => {
+                    let (v, _) = p.op.eval(self.operand(p.a), self.operand(p.b), self.lo);
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[p.dst.index()] = v;
+                    self.pc += 1;
+                }
+                FastOp::LoadImm { value, dst } => {
+                    self.profile.long_immediates += 1;
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[dst.index()] = value;
+                    self.pc += 1;
+                }
+                FastOp::Load {
+                    mode,
+                    dst,
+                    alu,
+                    refclass,
+                    ..
+                } => {
+                    let alu_result = alu.map(|p| {
+                        let (v, _) = p.op.eval(self.operand(p.a), self.operand(p.b), self.lo);
+                        (p.dst, v)
+                    });
+                    let ea = mode.effective(|r| self.regs[r.index()]);
+                    let v = self.mem.read(ea & (MEM_WORDS - 1));
+                    self.profile.record_ref(refclass, false);
+                    if alu.is_some() {
+                        self.profile.packed += 1;
+                    }
+                    self.account_mem();
+                    self.commit_inflight();
+                    if let Some((d, w)) = alu_result {
+                        self.regs[d.index()] = w;
+                    }
+                    self.load_in_flight = Some((dst, v));
+                    self.pc += 1;
+                }
+                FastOp::Store {
+                    mode,
+                    src,
+                    alu,
+                    refclass,
+                    ..
+                } => {
+                    let alu_result = alu.map(|p| {
+                        let (v, _) = p.op.eval(self.operand(p.a), self.operand(p.b), self.lo);
+                        (p.dst, v)
+                    });
+                    let ea = mode.effective(|r| self.regs[r.index()]);
+                    let v = self.regs[src.index()];
+                    self.mem.write(ea & (MEM_WORDS - 1), v);
+                    self.profile.record_ref(refclass, true);
+                    if alu.is_some() {
+                        self.profile.packed += 1;
+                    }
+                    self.account_mem();
+                    self.commit_inflight();
+                    if let Some((d, w)) = alu_result {
+                        self.regs[d.index()] = w;
+                    }
+                    self.pc += 1;
+                }
+                FastOp::SetCond { cond, a, b, dst } => {
+                    let v = cond.eval(self.operand(a), self.operand(b)) as u32;
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[dst.index()] = v;
+                    self.pc += 1;
+                }
+                FastOp::Mvi { imm, dst } => {
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[dst.index()] = imm as u32;
+                    self.pc += 1;
+                }
+                FastOp::Lea { addr, dst } => {
+                    self.account_free();
+                    self.commit_inflight();
+                    self.regs[dst.index()] = addr;
+                    self.pc += 1;
+                }
+                // `predecode` refuses certificates covering anything
+                // else, so this arm is statically dead.
+                FastOp::Slow
+                | FastOp::CmpBranch { .. }
+                | FastOp::Jump { .. }
+                | FastOp::Call { .. }
+                | FastOp::JumpInd { .. } => {
+                    unreachable!("uncertified op inside a certified block")
+                }
+            }
+        }
+        self.cert_elided += cert.len as u64;
     }
 
     /// Issue-slot accounting for a non-memory instruction. Chunks run

@@ -230,6 +230,11 @@ pub struct Machine {
     /// at a chunk boundary. Host-side control state, not architectural —
     /// excluded from snapshots.
     pub(crate) snap_request: Option<u64>,
+    /// Instructions executed under a block certificate with the
+    /// per-instruction bailout tests elided. A host statistic about the
+    /// fast engine, not architectural state — excluded from [`Profile`]
+    /// (which is a conformance observation point) and from snapshots.
+    pub(crate) cert_elided: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -285,6 +290,7 @@ impl Machine {
             engine: Engine::Reference,
             fast: None,
             snap_request: None,
+            cert_elided: 0,
         }
     }
 
@@ -345,6 +351,15 @@ impl Machine {
     /// The selected execution engine.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Instructions the fast engine executed under a block certificate,
+    /// i.e. with every per-instruction safety check (overflow bail,
+    /// translation, device-window probe, alignment) statically elided.
+    /// Always zero on the reference engine. A host-side statistic: it is
+    /// not part of [`crate::Profile`] and does not survive snapshots.
+    pub fn cert_elided(&self) -> u64 {
+        self.cert_elided
     }
 
     /// Installs the off-chip page-map unit and its MMIO port. Mapping

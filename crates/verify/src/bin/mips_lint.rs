@@ -1,12 +1,16 @@
 //! `mips-lint` — static machine-code lint over `.s` assembly files.
 //!
 //! ```text
-//! usage: mips-lint [--strict] [--quiet] [--json] FILE.s [FILE.s ...]
+//! usage: mips-lint [--strict] [--quiet] [--json] [--dataflow] FILE.s [FILE.s ...]
 //!
-//!   --strict   treat warnings as failures (info never fails)
-//!   --quiet    print nothing for clean files
-//!   --json     one JSON object per diagnostic line (rule id, name,
-//!              severity, address, message, file) for CI and tooling
+//!   --strict    treat warnings as failures (info never fails)
+//!   --quiet     print nothing for clean files
+//!   --json      one JSON object per diagnostic line (rule id, name,
+//!               severity, address, message, file) for CI and tooling
+//!   --dataflow  also run the whole-program dataflow lints (the V3xx
+//!               family: dead writes, provably out-of-range or
+//!               misaligned memory accesses, statically decided
+//!               branches, dataflow-unreachable code)
 //! ```
 //!
 //! Exit status: 0 when every file is acceptable, 1 when any file has
@@ -15,21 +19,24 @@
 //! assemble has no findings to report, which is a different failure
 //! than findings. The codes are a stable CI contract.
 
-use mips_verify::{verify_source, Severity};
+use mips_verify::{verify_dataflow_source, verify_source, Severity};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mips-lint [--strict] [--quiet] [--json] FILE.s [FILE.s ...]";
+const USAGE: &str =
+    "usage: mips-lint [--strict] [--quiet] [--json] [--dataflow] FILE.s [FILE.s ...]";
 
 fn main() -> ExitCode {
     let mut strict = false;
     let mut quiet = false;
     let mut json = false;
+    let mut dataflow = false;
     let mut files = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--strict" => strict = true,
             "--quiet" => quiet = true,
             "--json" => json = true,
+            "--dataflow" => dataflow = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -56,7 +63,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = match verify_source(&source) {
+        let run = if dataflow {
+            verify_dataflow_source
+        } else {
+            verify_source
+        };
+        let report = match run(&source) {
             Ok(r) => r,
             Err(e) => {
                 // Unparseable input is a usage-class failure (exit 2),

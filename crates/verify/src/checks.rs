@@ -1,6 +1,7 @@
 //! The individual verification passes run over the [`Cfg`].
 
 use crate::cfg::Cfg;
+use crate::dataflow::{self, Analysis, Direction};
 use crate::diag::{Diagnostic, Rule};
 use mips_core::{Instr, Operand, Program, SpecialOp};
 
@@ -70,49 +71,85 @@ pub fn load_use(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Must-initialized registers as an intersection-lattice instantiation
+/// of the dataflow engine: ⊤ (all bits) means "every register written,
+/// or not yet visited"; transfer ORs in an instruction's writes; join
+/// is AND over incoming paths.
+struct MustInit<'p> {
+    program: &'p Program,
+    /// Entry points that start with *nothing* initialized — the reset
+    /// vector, unless a named symbol also sits there.
+    cold_entries: Vec<u32>,
+}
+
+impl MustInit<'_> {
+    const TOP: u16 = u16::MAX;
+}
+
+impl Analysis for MustInit<'_> {
+    type Fact = u16;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn start(&self) -> u16 {
+        Self::TOP
+    }
+
+    fn boundary(&self, pc: u32) -> Option<u16> {
+        // Named entries contribute ⊤ (the caller set up arguments,
+        // stack, and link), which is the join identity — only the cold
+        // reset path needs an explicit boundary fact.
+        self.cold_entries.contains(&pc).then_some(0)
+    }
+
+    fn transfer(&self, pc: u32, fact: &u16) -> u16 {
+        self.program[pc as usize]
+            .writes()
+            .iter()
+            .fold(*fact, |m, r| m | 1 << r.index())
+    }
+
+    fn join(&self, into: &mut u16, from: &u16) -> bool {
+        let old = *into;
+        *into &= from;
+        *into != old
+    }
+}
+
 /// Must-initialized forward dataflow. A register counts as initialized
 /// once any instruction on every path wrote it; reads outside that set
 /// are flagged. Named entry points are assumed to receive a fully
 /// initialized register file (calling convention), so the lint targets
 /// the cold path from the reset vector and hand-written fragments.
 pub fn uninit_reads(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
-    let n = program.len();
-    if n == 0 {
+    if program.is_empty() {
         return;
     }
-    const TOP: u16 = u16::MAX;
     let symbol_entries: Vec<u32> = program.symbols().map(|(_, a)| a).collect();
-    // in-state per pc; ⊤ (all bits) = "not yet visited".
-    let mut input: Vec<u16> = vec![TOP; n];
-    let mut work: Vec<u32> = Vec::new();
-    for e in program.entry_points() {
-        // Reset vector: nothing initialized. Named entries: everything
-        // (the caller set up arguments, stack, and link).
-        input[e as usize] = if symbol_entries.contains(&e) { TOP } else { 0 };
-        work.push(e);
-    }
-    let write_mask = |pc: u32| -> u16 {
-        program[pc as usize]
-            .writes()
-            .iter()
-            .fold(0u16, |m, r| m | 1 << r.index())
-    };
-    while let Some(p) = work.pop() {
-        let out = input[p as usize] | write_mask(p);
-        for &q in cfg.succs(p) {
-            let merged = input[q as usize] & out;
-            if merged != input[q as usize] {
-                input[q as usize] = merged;
-                work.push(q);
-            }
-        }
-    }
+    let cold_entries = program
+        .entry_points()
+        .into_iter()
+        .filter(|e| !symbol_entries.contains(e))
+        .collect();
+    let sol = dataflow::solve(
+        &MustInit {
+            program,
+            cold_entries,
+        },
+        cfg,
+    );
     for (i, ins) in program.instrs().iter().enumerate() {
         if !cfg.is_reachable(i as u32) {
             continue;
         }
+        // ⊤ input = only ⊤ paths lead here (a named entry): no finding.
+        if sol.input[i] == MustInit::TOP {
+            continue;
+        }
         for r in ins.reads() {
-            if input[i] != TOP && input[i] & (1 << r.index()) == 0 {
+            if sol.input[i] & (1 << r.index()) == 0 {
                 diags.push(Diagnostic::new(
                     Rule::UninitRead,
                     i as u32,

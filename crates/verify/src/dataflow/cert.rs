@@ -1,0 +1,427 @@
+//! Per-basic-block safety certificates for the simulator's fast engine.
+//!
+//! A [`BlockCert`] is a static proof about a run of straight-line
+//! instructions: *if* a short list of runtime preconditions holds when
+//! the block is entered, then executing the whole block cannot raise an
+//! exception, touch a device window, or perform a privileged operation —
+//! so the fast engine may execute it without its per-instruction
+//! bailout tests, and the result is bit-identical to the reference
+//! interpreter at every observation point.
+//!
+//! The proof tracks each register **symbolically within the block** as
+//! `entry value of rⱼ + offset` or a constant; every memory reference
+//! then reduces to either a constant physical address (folded into
+//! [`BlockCert::const_hi`]) or an entry-relative window
+//! ([`RegWindow`]). Because the machine's address arithmetic is mod
+//! 2³², the true effective address equals `(entry + offset) mod 2³²`
+//! no matter how intermediate sums wrapped; the runtime gate evaluates
+//! `entry + offset` in 64-bit arithmetic, and when it lands inside
+//! `[0, device_floor)` the mod is the identity — the proof transfers
+//! exactly to the concrete run.
+//!
+//! Certificates carry **no whole-program assumptions**: an `rfe` may
+//! resume anywhere with handler-rewritten registers, but a certificate
+//! only fires when the simulator's pc sits exactly on the block start,
+//! and every register-dependent fact is re-checked against the live
+//! register file at that moment. Unsound entry is therefore impossible
+//! by construction, not by analysis.
+
+use mips_core::{AluOp, Instr, MemMode, MemPiece, Operand, Program, Reg, Width, MEM_WORDS};
+
+/// Minimum block length worth a certificate: below this the gate costs
+/// as much as the checks it elides.
+pub const MIN_LEN: u32 = 2;
+
+/// An entry-relative effective-address window: every certified
+/// reference through `reg` lands in `[entry(reg) + dmin, entry(reg) + dmax]`
+/// (evaluated without wrap; the runtime gate checks the whole window
+/// stays inside addressable non-device memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegWindow {
+    /// The register whose *entry* value anchors the window.
+    pub reg: Reg,
+    /// Smallest offset from the entry value (words; may be negative).
+    pub dmin: i64,
+    /// Largest offset from the entry value.
+    pub dmax: i64,
+}
+
+/// A proof about the block `[start, start + len)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCert {
+    /// First instruction address of the block.
+    pub start: u32,
+    /// Number of instructions covered.
+    pub len: u32,
+    /// Whether any instruction can set the overflow flag (the block is
+    /// then only certified while the overflow trap is disabled).
+    pub can_ovf: bool,
+    /// Whether the block references data memory at all.
+    pub has_mem: bool,
+    /// Highest constant physical address referenced (already masked to
+    /// the word space exactly as `translate` masks it), if any.
+    pub const_hi: Option<u32>,
+    /// Entry-relative address windows, one per anchoring register,
+    /// ordered by register index.
+    pub windows: Vec<RegWindow>,
+}
+
+/// What the block knows about a register while scanning it.
+#[derive(Clone, Copy)]
+enum RegVal {
+    /// Exactly this value.
+    Const(u32),
+    /// The block-entry value of `reg`, plus `off` (mod 2³²).
+    Entry { reg: Reg, off: i64 },
+    /// Anything (e.g. a loaded value).
+    Unknown,
+}
+
+struct Builder {
+    regs: [RegVal; 16],
+    can_ovf: bool,
+    has_mem: bool,
+    const_hi: Option<u32>,
+    /// Per-anchor-register offset windows (`None` = no refs through it).
+    win: [Option<(i64, i64)>; 16],
+}
+
+impl Builder {
+    fn new() -> Builder {
+        let mut regs = [RegVal::Unknown; 16];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = RegVal::Entry {
+                reg: Reg::from_index(i).expect("16 registers"),
+                off: 0,
+            };
+        }
+        Builder {
+            regs,
+            can_ovf: false,
+            has_mem: false,
+            const_hi: None,
+            win: [None; 16],
+        }
+    }
+
+    fn operand(&self, o: Operand) -> RegVal {
+        match o {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Small(v) => RegVal::Const(v as u32),
+        }
+    }
+
+    /// Records a reference `off` words from the entry value of `anchor`.
+    fn touch_window(&mut self, anchor: Reg, off: i64) {
+        let w = &mut self.win[anchor.index()];
+        *w = Some(match *w {
+            None => (off, off),
+            Some((lo, hi)) => (lo.min(off), hi.max(off)),
+        });
+    }
+
+    /// Records a constant effective address, masked exactly as the
+    /// unmapped `translate` masks it.
+    fn touch_const(&mut self, ea: u32) {
+        let pa = ea & (MEM_WORDS - 1);
+        self.const_hi = Some(self.const_hi.map_or(pa, |h| h.max(pa)));
+    }
+
+    /// Folds one memory mode; returns false when the address cannot be
+    /// reduced to a constant or an entry-relative window.
+    fn fold_ref(&mut self, mode: &MemMode) -> bool {
+        self.has_mem = true;
+        match *mode {
+            MemMode::Absolute(a) => {
+                self.touch_const(a.value());
+                true
+            }
+            MemMode::Based { base, disp } => match self.regs[base.index()] {
+                RegVal::Const(c) => {
+                    self.touch_const(c.wrapping_add(disp as u32));
+                    true
+                }
+                RegVal::Entry { reg, off } => {
+                    self.touch_window(reg, off + disp as i64);
+                    true
+                }
+                RegVal::Unknown => false,
+            },
+            // Two-register and shifted modes would need relational
+            // facts; the block ends instead.
+            MemMode::BasedIndexed { .. } | MemMode::BaseShifted { .. } => false,
+        }
+    }
+
+    /// Abstract ALU evaluation over block-symbolic values.
+    fn eval_alu(&mut self, op: AluOp, a: Operand, b: Operand) -> RegVal {
+        if matches!(
+            op,
+            AluOp::Add | AluOp::Sub | AluOp::Rsub | AluOp::Mul | AluOp::Div | AluOp::Rem
+        ) {
+            self.can_ovf = true;
+        }
+        let (va, vb) = (self.operand(a), self.operand(b));
+        if let (RegVal::Const(ca), RegVal::Const(cb)) = (va, vb) {
+            if !op.reads_lo() {
+                // With the overflow trap excluded by `can_ovf`, the
+                // continue-path value is the plain wrapped result.
+                return RegVal::Const(op.eval(ca, cb, 0).0);
+            }
+        }
+        match (op, va, vb) {
+            (AluOp::Add, RegVal::Entry { reg, off }, RegVal::Const(c))
+            | (AluOp::Add, RegVal::Const(c), RegVal::Entry { reg, off }) => RegVal::Entry {
+                reg,
+                off: off + c as i64,
+            },
+            (AluOp::Sub, RegVal::Entry { reg, off }, RegVal::Const(c))
+            | (AluOp::Rsub, RegVal::Const(c), RegVal::Entry { reg, off }) => RegVal::Entry {
+                reg,
+                off: off - c as i64,
+            },
+            _ => RegVal::Unknown,
+        }
+    }
+
+    /// Applies one certified instruction to the symbolic state.
+    fn step(&mut self, pc: u32, instr: &Instr) {
+        match instr {
+            Instr::Op { alu, mem } => {
+                let alu_out = alu.map(|p| (p.dst, self.eval_alu(p.op, p.a, p.b)));
+                let mem_out = match mem {
+                    Some(MemPiece::LoadImm { value, dst }) => Some((*dst, RegVal::Const(*value))),
+                    Some(MemPiece::Load { mode, dst, .. }) => {
+                        self.fold_ref(mode);
+                        Some((*dst, RegVal::Unknown))
+                    }
+                    Some(MemPiece::Store { mode, .. }) => {
+                        self.fold_ref(mode);
+                        None
+                    }
+                    None => None,
+                };
+                if let Some((dst, v)) = alu_out {
+                    self.regs[dst.index()] = v;
+                }
+                // The load's write lands after the ALU's on a (packed,
+                // invalid) destination clash.
+                if let Some((dst, v)) = mem_out {
+                    self.regs[dst.index()] = v;
+                }
+            }
+            Instr::SetCond(p) => self.regs[p.dst.index()] = RegVal::Unknown,
+            Instr::Mvi(p) => self.regs[p.dst.index()] = RegVal::Const(p.imm as u32),
+            Instr::Lea { target, dst } => {
+                self.regs[dst.index()] = match target.abs() {
+                    Some(a) => RegVal::Const(a),
+                    None => RegVal::Unknown,
+                };
+            }
+            // `certifiable` admits nothing else.
+            _ => debug_assert!(false, "uncertifiable instruction at {pc}"),
+        }
+        let _ = pc;
+    }
+
+    fn finish(self, start: u32, len: u32) -> BlockCert {
+        let windows = self
+            .win
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| {
+                w.map(|(dmin, dmax)| RegWindow {
+                    reg: Reg::from_index(i).expect("16 registers"),
+                    dmin,
+                    dmax,
+                })
+            })
+            .collect();
+        BlockCert {
+            start,
+            len,
+            can_ovf: self.can_ovf,
+            has_mem: self.has_mem,
+            const_hi: self.const_hi,
+            windows,
+        }
+    }
+}
+
+/// Whether one instruction can live inside a certified block.
+///
+/// Mirrors what the fast engine can execute without bailing out:
+/// straight-line register/word-memory work through the absolute and
+/// `disp(base)` modes. Control transfers, traps, privileged/special
+/// ops, byte accesses, the two-register address modes, and the
+/// long-immediate+ALU packing (which the fast decoder also refuses)
+/// all end the block.
+fn certifiable(instr: &Instr, after: Option<&Builder>) -> bool {
+    let ok = match instr {
+        Instr::Op { alu, mem } => match mem {
+            None => true,
+            Some(MemPiece::LoadImm { .. }) => alu.is_none(),
+            Some(MemPiece::Load { mode, width, .. })
+            | Some(MemPiece::Store { mode, width, .. }) => {
+                *width == Width::Word
+                    && matches!(mode, MemMode::Absolute(_) | MemMode::Based { .. })
+            }
+        },
+        Instr::SetCond(_) | Instr::Mvi(_) => true,
+        Instr::Lea { target, .. } => target.abs().is_some(),
+        _ => false,
+    };
+    if !ok || !instr.is_valid() {
+        return false;
+    }
+    // A based reference through a register the block has lost track of
+    // has no provable window: end the block before it.
+    if let (
+        Some(b),
+        Instr::Op {
+            mem:
+                Some(
+                    MemPiece::Load {
+                        mode: MemMode::Based { base, .. },
+                        ..
+                    }
+                    | MemPiece::Store {
+                        mode: MemMode::Based { base, .. },
+                        ..
+                    },
+                ),
+            ..
+        },
+    ) = (after, instr)
+    {
+        if matches!(b.regs[base.index()], RegVal::Unknown) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Computes every block certificate for a program.
+///
+/// Blocks are split at **leaders** — entry points, address-taken
+/// locations, and static branch targets — so a loop body entered every
+/// iteration gets its own certificate rather than being buried
+/// mid-block. Blocks never start inside a transfer's delay shadow
+/// (the engine's pending queue is non-empty there, so the gate could
+/// never pass). Deterministic: one linear scan in address order.
+pub fn certify(program: &Program) -> Vec<BlockCert> {
+    let n = program.len();
+    let mut leader = vec![false; n];
+    for e in program.entry_points() {
+        leader[e as usize] = true;
+    }
+    for a in program.address_taken() {
+        leader[a as usize] = true;
+    }
+    for instr in program.instrs() {
+        if instr.is_delayed_transfer() {
+            if let Some(t) = instr.target().and_then(|t| t.abs()) {
+                if (t as usize) < n {
+                    leader[t as usize] = true;
+                }
+            }
+        }
+    }
+
+    let mut certs = Vec::new();
+    let mut pc = 0usize;
+    while pc < n {
+        let instr = &program[pc];
+        if !certifiable(instr, None) {
+            // Skip the instruction and, for a transfer, its shadow: a
+            // block starting inside it could never pass the gate.
+            pc += 1 + instr.branch_delay() as usize;
+            continue;
+        }
+        let start = pc;
+        let mut b = Builder::new();
+        while pc < n && (pc == start || !leader[pc]) && certifiable(&program[pc], Some(&b)) {
+            b.step(pc as u32, &program[pc]);
+            pc += 1;
+        }
+        let len = (pc - start) as u32;
+        if len >= MIN_LEN {
+            certs.push(b.finish(start as u32, len));
+        }
+    }
+    certs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+
+    fn certs(src: &str) -> (Program, Vec<BlockCert>) {
+        let p = assemble(src).unwrap();
+        let cs = certify(&p);
+        (p, cs)
+    }
+
+    #[test]
+    fn straight_line_block_certifies_whole_run() {
+        let (_, cs) = certs("mvi #1,r1\n add r1,#2,r2\n add r2,r2,r3\n halt\n");
+        assert_eq!(cs.len(), 1);
+        let c = &cs[0];
+        assert_eq!((c.start, c.len), (0, 3));
+        assert!(c.can_ovf && !c.has_mem);
+        assert!(c.windows.is_empty() && c.const_hi.is_none());
+    }
+
+    #[test]
+    fn based_refs_become_entry_windows() {
+        let (_, cs) = certs("ld 2(r1),r2\n add r1,#4,r1\n st r3,3(r1)\n st r3,@100\n halt\n");
+        assert_eq!(cs.len(), 1);
+        let c = &cs[0];
+        assert_eq!(c.len, 4);
+        assert!(c.has_mem);
+        assert_eq!(c.const_hi, Some(100));
+        // Refs at entry(r1)+2 and entry(r1)+4+3.
+        assert_eq!(c.windows.len(), 1);
+        let w = c.windows[0];
+        assert_eq!((w.reg, w.dmin, w.dmax), (Reg::R1, 2, 7));
+    }
+
+    #[test]
+    fn blocks_split_at_loop_heads() {
+        let (p, cs) =
+            certs("mvi #0,r1\ntop:\n add r1,#1,r1\n add r1,#0,r2\n bne r1,#9,top\n nop\n halt\n");
+        // The loop head (pc 1) is a branch target: it must start its
+        // own block so the cert fires every iteration.
+        assert!(
+            cs.iter().any(|c| c.start == 1 && c.len == 2),
+            "{cs:?} {}",
+            p.listing()
+        );
+    }
+
+    #[test]
+    fn untracked_base_and_byte_access_break_blocks() {
+        let (_, cs) = certs("ld @100,r1\n nop\n st r2,(r1)\n halt\n");
+        // r1 is loaded: the based store through it is uncertifiable.
+        assert!(
+            cs.iter().all(|c| !(c.start..c.start + c.len).contains(&2)),
+            "{cs:?}"
+        );
+    }
+
+    #[test]
+    fn no_block_starts_in_a_delay_shadow() {
+        let (_, cs) = certs("bra out\n mvi #1,r1\n mvi #2,r2\n mvi #3,r3\nout:\n halt\n");
+        assert!(cs.iter().all(|c| c.start != 1), "{cs:?}");
+    }
+
+    #[test]
+    fn lost_constant_address_still_masks_like_translate() {
+        // lim #0xffffff then +1 displacement wraps to pa 0 exactly as
+        // the unmapped translate does.
+        let (_, cs) = certs("lim #0xffffff,r1\n st r2,1(r1)\n halt\n");
+        let c = cs.iter().find(|c| c.start == 0).expect("cert");
+        assert_eq!(c.const_hi, Some(0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Machine-checkable claims: the bridge between the static solutions
+//! and the reference interpreter.
+//!
+//! Every lint and certificate ultimately rests on a small set of
+//! per-instruction facts. This module exports those facts in a form a
+//! fuzz harness can replay: step the reference machine, and at each
+//! claimed pc compare what the analysis promised against what the
+//! machine actually does. The soundness suite does exactly that over
+//! hundreds of random programs — see `tests/soundness_fuzz.rs`.
+//!
+//! Claims are emitted only for programs that contain **no `rfe`**: an
+//! `rfe` resumes execution at a dynamic address with handler-modified
+//! registers, an edge no static graph models. (Exception *entry* needs
+//! no guard — the vector is address 0, which every forward analysis
+//! already treats as an all-⊤ entry point; without an `rfe` there is no
+//! way back.) Claims about dead writes additionally hold only on
+//! exception-free executions, since a handler may observe any register;
+//! the harness runs with traps that never fire and asserts as much.
+
+use super::liveness;
+use super::memory::ea_range;
+use super::reaching;
+#[cfg(test)]
+use super::reaching::ENTRY_DEF;
+use super::value::{self, cond_outcome, Interval};
+use crate::cfg::Cfg;
+use mips_core::{Instr, MemPiece, Program, Reg, SpecialOp};
+
+/// One verifiable promise about one instruction address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Claim {
+    /// The value written to `reg` at `pc` is never read afterwards
+    /// (exception-free executions).
+    DeadWrite {
+        /// Writing instruction.
+        pc: u32,
+        /// Destination register.
+        reg: Reg,
+    },
+    /// Whenever `pc` issues, the register it **reads** holds exactly
+    /// `value`.
+    ConstReg {
+        /// Reading instruction.
+        pc: u32,
+        /// Source register.
+        reg: Reg,
+        /// Its only possible value at issue.
+        value: u32,
+    },
+    /// The conditional branch at `pc` always resolves the same way.
+    BranchOutcome {
+        /// Branch address.
+        pc: u32,
+        /// Whether it is always (`true`) or never (`false`) taken.
+        taken: bool,
+    },
+    /// The effective address of the reference at `pc` always lies in
+    /// `lo..=hi`.
+    MemBound {
+        /// Referencing instruction.
+        pc: u32,
+        /// Lowest possible effective address.
+        lo: u32,
+        /// Highest possible effective address.
+        hi: u32,
+    },
+    /// Whenever `pc` issues, the last writer of the register it reads
+    /// is one of `defs` ([`reaching::ENTRY_DEF`] = "nothing in the
+    /// program yet").
+    DefOrigin {
+        /// Reading instruction.
+        pc: u32,
+        /// Source register.
+        reg: Reg,
+        /// Possible definition sites, sorted.
+        defs: Vec<u32>,
+    },
+}
+
+/// Emits every claim the dataflow solutions support for `program`, in
+/// address order. Returns an empty list for programs containing `rfe`.
+pub fn claims(program: &Program, cfg: &Cfg) -> Vec<Claim> {
+    if program
+        .instrs()
+        .iter()
+        .any(|i| matches!(i, Instr::Special(SpecialOp::Rfe)))
+    {
+        return Vec::new();
+    }
+    let live = liveness::live(program, cfg);
+    let vals = value::values(program, cfg);
+    let reach = reaching::reaching(program, cfg);
+    let mut out = Vec::new();
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        if !cfg.is_reachable(pc as u32) {
+            continue;
+        }
+        let upc = pc as u32;
+        // Dead writes: same shape as the V301 lint.
+        let pure = match instr {
+            Instr::Op { mem, .. } => !matches!(mem, Some(m) if m.references_memory()),
+            Instr::SetCond(_) | Instr::Mvi(_) | Instr::Lea { .. } => true,
+            _ => false,
+        };
+        if pure {
+            for r in instr.writes() {
+                if live.input[pc] & (1 << r.index()) == 0 {
+                    out.push(Claim::DeadWrite { pc: upc, reg: r });
+                }
+            }
+        }
+        // Constant reads and definition origins, per source register.
+        for r in instr.reads() {
+            if let Some(v) = vals.input[pc].of(r).as_singleton() {
+                out.push(Claim::ConstReg {
+                    pc: upc,
+                    reg: r,
+                    value: v,
+                });
+            }
+            let defs = reach.input[pc].of(r);
+            // An empty set would claim the pc is unreachable; the
+            // harness cannot refute that by arriving (it would just
+            // never check), so only emit populated sets.
+            if !defs.is_empty() {
+                out.push(Claim::DefOrigin {
+                    pc: upc,
+                    reg: r,
+                    defs: defs.to_vec(),
+                });
+            }
+        }
+        // Decided branches.
+        if let Instr::CmpBranch(p) = instr {
+            let v = &vals.input[pc];
+            if let Some(taken) = cond_outcome(p.cond, v.operand(p.a), v.operand(p.b)) {
+                out.push(Claim::BranchOutcome { pc: upc, taken });
+            }
+        }
+        // Non-trivial effective-address bounds.
+        if let Instr::Op { mem: Some(m), .. } = instr {
+            let mode = match m {
+                MemPiece::Load { mode, .. } | MemPiece::Store { mode, .. } => Some(mode),
+                MemPiece::LoadImm { .. } => None,
+            };
+            if let Some(mode) = mode {
+                let r = ea_range(mode, &vals.input[pc]);
+                if r != Interval::TOP {
+                    out.push(Claim::MemBound {
+                        pc: upc,
+                        lo: r.lo,
+                        hi: r.hi,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+
+    fn of(src: &str) -> Vec<Claim> {
+        let p = assemble(src).unwrap();
+        let (cfg, _) = Cfg::build(&p);
+        claims(&p, &cfg)
+    }
+
+    #[test]
+    fn straight_line_program_yields_every_kind() {
+        let cs = of("mvi #7,r1\n add r1,#1,r2\n st r2,2(r1)\n mvi #9,r3\n halt\n");
+        assert!(cs.contains(&Claim::ConstReg {
+            pc: 1,
+            reg: Reg::R1,
+            value: 7
+        }));
+        assert!(cs.contains(&Claim::DeadWrite {
+            pc: 3,
+            reg: Reg::R3
+        }));
+        assert!(cs.contains(&Claim::MemBound {
+            pc: 2,
+            lo: 9,
+            hi: 9
+        }));
+        assert!(cs.contains(&Claim::DefOrigin {
+            pc: 1,
+            reg: Reg::R1,
+            defs: vec![0]
+        }));
+    }
+
+    #[test]
+    fn entry_reads_trace_to_the_entry_def() {
+        let cs = of("add r1,#1,r2\n st r2,(r1)\n halt\n");
+        assert!(cs.contains(&Claim::DefOrigin {
+            pc: 0,
+            reg: Reg::R1,
+            defs: vec![ENTRY_DEF],
+        }));
+    }
+
+    #[test]
+    fn rfe_suppresses_all_claims() {
+        assert!(of("mvi #7,r1\n add r1,#1,r2\n nop\n rfe\n").is_empty());
+    }
+
+    #[test]
+    fn decided_branch_is_claimed() {
+        let cs = of("mvi #1,r1\n beq r1,#1,t\n nop\n mvi #2,r9\nt:\n halt\n");
+        assert!(cs.contains(&Claim::BranchOutcome { pc: 1, taken: true }));
+    }
+}

@@ -1,0 +1,318 @@
+//! The `V3xx` lint family: findings derived from dataflow solutions
+//! rather than from single-instruction pattern matching.
+//!
+//! * `V301` dead register write — a pure register-producing instruction
+//!   whose result no path ever reads;
+//! * `V302` memory range/alignment — an access whose effective address
+//!   provably exceeds the 24-bit space (it would wrap unmapped, fault
+//!   mapped) or, on byte-addressed programs, is provably word-misaligned;
+//! * `V303` constant branch condition — a conditional branch the value
+//!   analysis decides statically (always or never taken);
+//! * `V304` dataflow-unreachable code — instructions only reachable
+//!   through branch edges the value analysis proves never taken.
+//!
+//! Everything here is advisory (warnings): the code still executes
+//! correctly, it just does provably useless or provably suspicious
+//! work. All reports derive from deterministic solutions and iterate
+//! in address order, so output is byte-stable.
+
+use super::liveness::{self, RegSet};
+use super::memory::{self, ea_align, ea_range};
+use super::value::{self, cond_outcome};
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Rule};
+use mips_core::{Instr, MemPiece, Program, Width, MEM_WORDS};
+
+/// Runs every dataflow lint over one program. The caller is expected to
+/// have already run the structural passes (`V0xx`–`V2xx`); these lints
+/// assume a well-formed program but do not require one.
+pub fn dataflow_lints(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let live = liveness::live(program, cfg);
+    let vals = value::values(program, cfg);
+    let als = memory::aligns(program, cfg);
+    dead_writes(program, cfg, &live.input, &mut out);
+    mem_ranges(program, cfg, &vals.input, &als.input, &mut out);
+    let decided = const_branches(program, cfg, &vals.input, &mut out);
+    dataflow_unreachable(program, cfg, &decided, &mut out);
+    out
+}
+
+/// `V301`: writes by pure register-producing instructions whose
+/// destination is dead on every outgoing path.
+///
+/// Loads, calls and special reads are excluded: a load also observes
+/// memory (and a device read has side effects), a call's link register
+/// is conventionally written whether or not the callee uses it.
+fn dead_writes(program: &Program, cfg: &Cfg, live_out: &[RegSet], out: &mut Vec<Diagnostic>) {
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        if !cfg.is_reachable(pc as u32) {
+            continue;
+        }
+        let pure = match instr {
+            Instr::Op { mem, .. } => !matches!(mem, Some(m) if m.references_memory()),
+            Instr::SetCond(_) | Instr::Mvi(_) | Instr::Lea { .. } => true,
+            _ => false,
+        };
+        if !pure {
+            continue;
+        }
+        for r in instr.writes() {
+            if live_out[pc] & (1 << r.index()) == 0 {
+                out.push(Diagnostic::new(
+                    Rule::DeadWrite,
+                    pc as u32,
+                    format!("result in {r} is overwritten or unused on every path"),
+                ));
+            }
+        }
+    }
+}
+
+/// `V302`: effective addresses provably outside the 24-bit word space,
+/// and — only on programs that use byte accesses, where register
+/// addresses are byte-granular — word accesses provably not ≡ 0 (mod 4).
+fn mem_ranges(
+    program: &Program,
+    cfg: &Cfg,
+    vals: &[value::RegVals],
+    als: &[memory::RegAligns],
+    out: &mut Vec<Diagnostic>,
+) {
+    let byte_addressed = program.instrs().iter().any(|i| {
+        matches!(
+            i,
+            Instr::Op {
+                mem: Some(MemPiece::Load {
+                    width: Width::Byte,
+                    ..
+                }) | Some(MemPiece::Store {
+                    width: Width::Byte,
+                    ..
+                }),
+                ..
+            }
+        )
+    });
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        if !cfg.is_reachable(pc as u32) {
+            continue;
+        }
+        let Instr::Op { mem: Some(m), .. } = instr else {
+            continue;
+        };
+        let (mode, width) = match m {
+            MemPiece::Load { mode, width, .. } | MemPiece::Store { mode, width, .. } => {
+                (mode, *width)
+            }
+            MemPiece::LoadImm { .. } => continue,
+        };
+        let range = ea_range(mode, &vals[pc]);
+        if range.lo >= MEM_WORDS {
+            out.push(Diagnostic::new(
+                Rule::BadMemRange,
+                pc as u32,
+                format!(
+                    "effective address is provably >= {MEM_WORDS:#x} \
+                     (lo {:#x}): wraps unmapped, faults mapped",
+                    range.lo
+                ),
+            ));
+        }
+        if byte_addressed && width == Width::Word {
+            let a = ea_align(mode, &als[pc]);
+            if a.not_multiple_of(2) {
+                out.push(Diagnostic::new(
+                    Rule::BadMemRange,
+                    pc as u32,
+                    format!(
+                        "word access on a byte-addressed program is provably \
+                         misaligned (address ≡ {} mod 4)",
+                        a.rem & 3
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `V303`: conditional branches whose outcome the value analysis
+/// decides. Returns the decided `(pc, taken)` pairs for edge pruning.
+fn const_branches(
+    program: &Program,
+    cfg: &Cfg,
+    vals: &[value::RegVals],
+    out: &mut Vec<Diagnostic>,
+) -> Vec<(u32, bool)> {
+    let mut decided = Vec::new();
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        if !cfg.is_reachable(pc as u32) {
+            continue;
+        }
+        let Instr::CmpBranch(p) = instr else {
+            continue;
+        };
+        let v = &vals[pc];
+        if let Some(taken) = cond_outcome(p.cond, v.operand(p.a), v.operand(p.b)) {
+            decided.push((pc as u32, taken));
+            out.push(Diagnostic::new(
+                Rule::ConstBranch,
+                pc as u32,
+                format!(
+                    "branch is {} taken: `{}` decided by value analysis",
+                    if taken { "always" } else { "never" },
+                    p.cond,
+                ),
+            ));
+        }
+    }
+    decided
+}
+
+/// `V304`: code the `Cfg` considers reachable but that no path survives
+/// once provably one-sided branch edges are removed.
+///
+/// An edge can only be pruned at the branch's shadow end, and only when
+/// that slot carries exactly **one** deferred transfer — with two
+/// overlapping shadows (itself a `V00x` error) attribution of the
+/// outgoing edges is ambiguous and nothing is pruned.
+fn dataflow_unreachable(
+    program: &Program,
+    cfg: &Cfg,
+    decided: &[(u32, bool)],
+    out: &mut Vec<Diagnostic>,
+) {
+    if decided.is_empty() {
+        return;
+    }
+    let n = program.len();
+    // How many transfer shadows end at each slot.
+    let mut enders = vec![0u8; n];
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        if instr.is_delayed_transfer() {
+            let end = pc as u32 + instr.branch_delay();
+            if (end as usize) < n {
+                enders[end as usize] = enders[end as usize].saturating_add(1);
+            }
+        }
+    }
+    let mut succs: Vec<Vec<u32>> = (0..n as u32).map(|pc| cfg.succs(pc).to_vec()).collect();
+    let mut pruned = false;
+    for &(bpc, taken) in decided {
+        let instr = &program[bpc as usize];
+        let end = bpc + instr.branch_delay();
+        if (end as usize) >= n || enders[end as usize] != 1 {
+            continue;
+        }
+        let target = instr.target().and_then(|t| t.abs());
+        let replacement = if taken {
+            target
+                .map(|t| vec![t])
+                .unwrap_or_else(|| succs[end as usize].clone())
+        } else {
+            let fall = end + 1;
+            if (fall as usize) < n {
+                vec![fall]
+            } else {
+                Vec::new()
+            }
+        };
+        succs[end as usize] = replacement;
+        pruned = true;
+    }
+    if !pruned {
+        return;
+    }
+    let mut seen = vec![false; n];
+    let mut work: Vec<u32> = program.entry_points();
+    for &e in &work {
+        if (e as usize) < n {
+            seen[e as usize] = true;
+        }
+    }
+    while let Some(pc) = work.pop() {
+        if (pc as usize) >= n {
+            continue;
+        }
+        for &s in &succs[pc as usize] {
+            if (s as usize) < n && !seen[s as usize] {
+                seen[s as usize] = true;
+                work.push(s);
+            }
+        }
+    }
+    for (pc, &was_seen) in seen.iter().enumerate() {
+        if cfg.is_reachable(pc as u32) && !was_seen {
+            out.push(Diagnostic::new(
+                Rule::DataflowUnreachable,
+                pc as u32,
+                "reachable only through a branch direction the value \
+                 analysis proves is never taken",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+
+    fn lints(src: &str) -> Vec<Diagnostic> {
+        let p = assemble(src).unwrap();
+        let (cfg, _) = Cfg::build(&p);
+        dataflow_lints(&p, &cfg)
+    }
+
+    fn pcs(ds: &[Diagnostic], rule: Rule) -> Vec<u32> {
+        ds.iter().filter(|d| d.rule == rule).map(|d| d.pc).collect()
+    }
+
+    #[test]
+    fn dead_write_is_flagged_and_live_write_is_not() {
+        let ds = lints("mvi #1,r1\n mvi #2,r1\n st r1,(r3)\n halt\n");
+        assert_eq!(pcs(&ds, Rule::DeadWrite), vec![0]);
+    }
+
+    #[test]
+    fn loads_and_calls_are_never_dead_writes() {
+        let ds = lints("ld @100,r1\n nop\n halt\n");
+        assert!(pcs(&ds, Rule::DeadWrite).is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn out_of_range_address_is_flagged() {
+        // The largest long immediate plus a displacement walks off the
+        // end of the 24-bit space.
+        let ds = lints("lim #0xffffff,r1\n nop\n st r2,1(r1)\n halt\n");
+        assert_eq!(pcs(&ds, Rule::BadMemRange), vec![2]);
+    }
+
+    #[test]
+    fn misalignment_needs_a_byte_addressed_program() {
+        // Same word store to an odd register value: silent on the
+        // word-addressed program...
+        let word = "sll r1,#2,r2\n add r2,#1,r3\n st r4,(r3)\n halt\n";
+        assert!(pcs(&lints(word), Rule::BadMemRange).is_empty());
+        // ...flagged once a byte access marks the program byte-addressed.
+        let byt = "sll r1,#2,r2\n add r2,#1,r3\n st r4,(r3)\n ldb (r2),r5\n nop\n halt\n";
+        assert_eq!(pcs(&lints(byt), Rule::BadMemRange), vec![2]);
+    }
+
+    #[test]
+    fn constant_branch_and_pruned_code_are_flagged() {
+        let src = "mvi #1,r1\n beq r1,#1,tgt\n nop\n mvi #9,r9\n st r9,(r2)\n\
+                   tgt:\n halt\n";
+        let ds = lints(src);
+        assert_eq!(pcs(&ds, Rule::ConstBranch), vec![1]);
+        // pcs 3 and 4 sit on the never-taken fall-through.
+        assert_eq!(pcs(&ds, Rule::DataflowUnreachable), vec![3, 4]);
+    }
+
+    #[test]
+    fn undecidable_branch_is_silent() {
+        let ds = lints("beq r1,#0,t\n nop\n mvi #1,r2\nt:\n st r2,(r3)\n halt\n");
+        assert!(pcs(&ds, Rule::ConstBranch).is_empty());
+        assert!(pcs(&ds, Rule::DataflowUnreachable).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Backward register liveness on the dataflow engine.
+//!
+//! The fact is a 16-bit register mask; join is union; transfer is the
+//! textbook `live_in = reads ∪ (live_out ∖ writes)` — but over the
+//! delayed-branch-aware edge relation, where a transfer's redirect
+//! leaves the *last shadow slot*, so a result computed in a delay slot
+//! is correctly live on both the taken and fall-through paths.
+//!
+//! Conservatisms are expressed as boundary facts rather than special
+//! cases in the solver: at an `rfe` (resumes at a location the graph
+//! cannot see) and at a `trap` (the handler may read anything) all
+//! registers are live-out. `mips-reorg`'s scheduler instantiates this
+//! same analysis over its own successor relation (via
+//! [`super::VecGraph`]); the verifier instantiates it over the [`Cfg`],
+//! where indirect jumps resolve to the address-taken set instead of
+//! "everything".
+
+use super::{Analysis, Direction, Solution};
+use crate::cfg::Cfg;
+use mips_core::{Instr, Program, SpecialOp};
+
+/// A register set as a 16-bit mask.
+pub type RegSet = u16;
+
+/// All sixteen registers.
+pub const ALL_REGS: RegSet = 0xffff;
+
+/// The registers an instruction reads, as a mask.
+pub fn reads_mask(i: &Instr) -> RegSet {
+    i.reads().iter().fold(0, |m, r| m | 1 << r.index())
+}
+
+/// The registers an instruction writes, as a mask.
+pub fn writes_mask(i: &Instr) -> RegSet {
+    i.writes().iter().fold(0, |m, r| m | 1 << r.index())
+}
+
+/// The liveness problem: per-pc read/write masks plus a conservative
+/// live-out boundary mask (0 for "no external contribution").
+pub struct Liveness {
+    reads: Vec<RegSet>,
+    writes: Vec<RegSet>,
+    boundary: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Builds the problem from explicit masks. All three slices must
+    /// have one entry per graph node.
+    pub fn new(reads: Vec<RegSet>, writes: Vec<RegSet>, boundary: Vec<RegSet>) -> Liveness {
+        debug_assert_eq!(reads.len(), writes.len());
+        debug_assert_eq!(reads.len(), boundary.len());
+        Liveness {
+            reads,
+            writes,
+            boundary,
+        }
+    }
+
+    /// The standard instantiation for a resolved program: masks from
+    /// [`Instr::reads`]/[`Instr::writes`], everything live-out at `rfe`
+    /// and `trap`.
+    pub fn of_program(program: &Program) -> Liveness {
+        let instrs = program.instrs();
+        Liveness {
+            reads: instrs.iter().map(reads_mask).collect(),
+            writes: instrs.iter().map(writes_mask).collect(),
+            boundary: instrs
+                .iter()
+                .map(|i| match i {
+                    Instr::Special(SpecialOp::Rfe) | Instr::Trap(_) => ALL_REGS,
+                    _ => 0,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Analysis for Liveness {
+    type Fact = RegSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn start(&self) -> RegSet {
+        0
+    }
+
+    fn boundary(&self, pc: u32) -> Option<RegSet> {
+        let m = self.boundary[pc as usize];
+        (m != 0).then_some(m)
+    }
+
+    fn transfer(&self, pc: u32, live_out: &RegSet) -> RegSet {
+        self.reads[pc as usize] | (live_out & !self.writes[pc as usize])
+    }
+
+    fn join(&self, into: &mut RegSet, from: &RegSet) -> bool {
+        let old = *into;
+        *into |= from;
+        *into != old
+    }
+}
+
+/// Solves liveness for a program over its [`Cfg`]. In the returned
+/// [`Solution`], `input[pc]` is live-**out** and `output[pc]` is
+/// live-**in**.
+pub fn live(program: &Program, cfg: &Cfg) -> Solution<RegSet> {
+    super::solve(&Liveness::of_program(program), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+    use mips_core::Reg;
+
+    fn live_of(src: &str) -> Solution<RegSet> {
+        let p = assemble(src).unwrap();
+        let (cfg, _) = Cfg::build(&p);
+        live(&p, &cfg)
+    }
+
+    fn has(m: RegSet, r: Reg) -> bool {
+        m & (1 << r.index()) != 0
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let s = live_of("mvi #1,r1\n add r1,#2,r2\n st r2,(r3)\n halt\n");
+        assert!(!has(s.output[0], Reg::R1), "r1 defined at 0");
+        assert!(has(s.output[1], Reg::R1));
+        assert!(has(s.output[2], Reg::R2));
+        assert!(has(s.output[0], Reg::R3), "r3 live from entry");
+        assert!(!has(s.output[3], Reg::R2), "dead after last use");
+    }
+
+    #[test]
+    fn branch_target_liveness_flows_through_the_shadow() {
+        let s = live_of("beq r1,#0,tgt\n nop\n mvi #1,r4\n halt\ntgt:\n add r5,#1,r6\n halt\n");
+        // r5 is read at the target; the shadow end (pc 1) carries it.
+        assert!(has(s.output[1], Reg::R5));
+        assert!(has(s.output[0], Reg::R5));
+        assert!(!has(s.output[0], Reg::R4), "killed by its def");
+    }
+
+    #[test]
+    fn trap_and_rfe_are_conservative() {
+        let s = live_of("mvi #1,r9\n trap #1\n halt\n");
+        assert!(has(s.output[1], Reg::R9), "handler may read anything");
+        let s = live_of("mvi #1,r9\n nop\n rfe\n");
+        assert!(has(s.input[2], Reg::R9), "rfe resumes anywhere");
+    }
+
+    #[test]
+    fn dead_write_is_not_live_anywhere() {
+        let s = live_of("mvi #1,r1\n mvi #2,r1\n st r1,(r3)\n halt\n");
+        // The first write's value is never read: r1 not live-out at 0.
+        assert!(!has(s.input[0], Reg::R1));
+        assert!(has(s.input[1], Reg::R1));
+    }
+}

@@ -1,0 +1,375 @@
+//! Forward address congruence (alignment) analysis, plus the
+//! effective-address helpers the `V302` lint and the certificate
+//! builder share.
+//!
+//! The fact tracks, per register, a congruence `value ≡ rem (mod 2^bits)`
+//! — `bits = 32` is a known constant, `bits = 0` knows nothing. Only
+//! power-of-two moduli are used, so every fact survives the machine's
+//! mod-2³² wraparound arithmetic unchanged (`2^bits` divides `2^32`),
+//! and joins have a closed form: keep the bits on which both sides
+//! agree. Low bits flow *exactly* through add, subtract, multiply and
+//! the bitwise operations — the low `k` bits of a sum depend only on
+//! the low `k` bits of the addends — which is what makes the lattice
+//! cheap and still strong enough to prove word-alignment of based
+//! references on byte-addressed programs.
+
+use super::value::{interval_op, Interval, RegVals};
+use super::{Analysis, Direction, Solution};
+use crate::cfg::Cfg;
+use mips_core::delay::BRANCH_DELAY;
+use mips_core::{AluOp, AluPiece, Instr, MemMode, MemPiece, Operand, Program, Reg, SpecialOp};
+
+/// A power-of-two congruence: the value is `≡ rem (mod 2^bits)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Align {
+    /// How many low bits are known (0 = nothing, 32 = constant).
+    pub bits: u8,
+    /// The known low bits (always `< 2^bits`).
+    pub rem: u32,
+}
+
+fn mask(bits: u8) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+impl Align {
+    /// Nothing known.
+    pub const TOP: Align = Align { bits: 0, rem: 0 };
+
+    /// A fully known constant.
+    pub fn constant(v: u32) -> Align {
+        Align { bits: 32, rem: v }
+    }
+
+    /// The constant value, when all 32 bits are known.
+    pub fn as_constant(self) -> Option<u32> {
+        (self.bits == 32).then_some(self.rem)
+    }
+
+    /// True when the value is provably a multiple of `2^k`.
+    pub fn multiple_of(self, k: u8) -> bool {
+        self.bits >= k && self.rem & mask(k) == 0
+    }
+
+    /// True when the value provably is *not* a multiple of `2^k`.
+    pub fn not_multiple_of(self, k: u8) -> bool {
+        self.bits >= k && self.rem & mask(k) != 0
+    }
+
+    fn normalized(bits: u8, rem: u32) -> Align {
+        Align {
+            bits,
+            rem: rem & mask(bits),
+        }
+    }
+
+    /// The weakest congruence implied by both sides: agreement on the
+    /// low bits where the remainders match.
+    pub fn common(a: Align, b: Align) -> Align {
+        let agree = (a.rem ^ b.rem).trailing_zeros().min(32) as u8;
+        let bits = a.bits.min(b.bits).min(agree);
+        Align::normalized(bits, a.rem)
+    }
+}
+
+/// Congruence of `a op b` (exact low-bit transfer where sound, constant
+/// folding through [`AluOp::eval`] when both sides are fully known).
+pub fn align_op(op: AluOp, a: Align, b: Align) -> Align {
+    if let (Some(ca), Some(cb)) = (a.as_constant(), b.as_constant()) {
+        if !op.reads_lo() {
+            return Align::constant(op.eval(ca, cb, 0).0);
+        }
+    }
+    let low = a.bits.min(b.bits);
+    match op {
+        // The low k bits of these depend only on the low k bits of the
+        // operands — exact through mod-2³² wrap.
+        AluOp::Add => Align::normalized(low, a.rem.wrapping_add(b.rem)),
+        AluOp::Sub => Align::normalized(low, a.rem.wrapping_sub(b.rem)),
+        AluOp::Rsub => Align::normalized(low, b.rem.wrapping_sub(a.rem)),
+        AluOp::Mul => Align::normalized(low, a.rem.wrapping_mul(b.rem)),
+        AluOp::And => Align::normalized(low, a.rem & b.rem),
+        AluOp::Or => Align::normalized(low, a.rem | b.rem),
+        AluOp::Xor => Align::normalized(low, a.rem ^ b.rem),
+        AluOp::Bic => Align::normalized(low, a.rem & !b.rem),
+        // Shifts by a known amount move the known-bit window.
+        AluOp::Sll => shl_align(a, b),
+        AluOp::Rsll => shl_align(b, a),
+        AluOp::Srl | AluOp::Sra => shr_align(a, b),
+        AluOp::Rsrl | AluOp::Rsra => shr_align(b, a),
+        // Division, remainder and byte inserts/extracts give no cheap
+        // congruence (their constant cases folded above).
+        AluOp::Div | AluOp::Rem | AluOp::Xc | AluOp::Ic => Align::TOP,
+    }
+}
+
+fn shl_align(a: Align, by: Align) -> Align {
+    match by.as_constant() {
+        Some(c) => {
+            let c = (c & 31) as u8;
+            Align::normalized((a.bits + c).min(32), a.rem << (c & 31))
+        }
+        None => Align::TOP,
+    }
+}
+
+fn shr_align(a: Align, by: Align) -> Align {
+    match by.as_constant() {
+        // Arithmetic and logical right shift agree on the surviving low
+        // bits, so one rule covers `srl` and `sra`.
+        Some(c) => {
+            let c = (c & 31) as u8;
+            Align::normalized(a.bits.saturating_sub(c), a.rem >> (c & 31))
+        }
+        None => Align::TOP,
+    }
+}
+
+/// One congruence per register, or `None` while unreached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegAligns(pub Option<[Align; 16]>);
+
+impl RegAligns {
+    /// The congruence for `reg` (⊤ at unreached nodes).
+    pub fn of(&self, reg: Reg) -> Align {
+        match &self.0 {
+            Some(rs) => rs[reg.index()],
+            None => Align::TOP,
+        }
+    }
+
+    /// The congruence an operand evaluates into.
+    pub fn operand(&self, o: Operand) -> Align {
+        match o {
+            Operand::Reg(r) => self.of(r),
+            Operand::Small(v) => Align::constant(v as u32),
+        }
+    }
+}
+
+fn eval_alu(p: &AluPiece, vals: &RegAligns) -> Align {
+    align_op(p.op, vals.operand(p.a), vals.operand(p.b))
+}
+
+/// Congruence of a memory reference's effective address under `vals`.
+pub fn ea_align(mode: &MemMode, vals: &RegAligns) -> Align {
+    match *mode {
+        MemMode::Absolute(a) => Align::constant(a.value()),
+        MemMode::Based { base, disp } => {
+            align_op(AluOp::Add, vals.of(base), Align::constant(disp as u32))
+        }
+        MemMode::BasedIndexed { base, index } => {
+            align_op(AluOp::Add, vals.of(base), vals.of(index))
+        }
+        MemMode::BaseShifted { base, shift } => {
+            align_op(AluOp::Srl, vals.of(base), Align::constant(shift as u32))
+        }
+    }
+}
+
+/// Value range of a memory reference's effective address under `vals`
+/// (from the [`super::value`] solution). `disp(base)` with a negative
+/// displacement is a subtraction, so the bound survives only when the
+/// base provably clears it.
+pub fn ea_range(mode: &MemMode, vals: &RegVals) -> Interval {
+    match *mode {
+        MemMode::Absolute(a) => Interval::singleton(a.value()),
+        MemMode::Based { base, disp } => {
+            let b = vals.of(base);
+            if disp >= 0 {
+                interval_op(AluOp::Add, b, Interval::singleton(disp as u32))
+            } else {
+                interval_op(
+                    AluOp::Sub,
+                    b,
+                    Interval::singleton((disp as u32).wrapping_neg()),
+                )
+            }
+        }
+        MemMode::BasedIndexed { base, index } => {
+            interval_op(AluOp::Add, vals.of(base), vals.of(index))
+        }
+        MemMode::BaseShifted { base, shift } => {
+            interval_op(AluOp::Srl, vals.of(base), Interval::singleton(shift as u32))
+        }
+    }
+}
+
+/// The congruence-propagation problem for one program.
+pub struct Aligns<'p> {
+    program: &'p Program,
+    entries: Vec<u32>,
+}
+
+impl<'p> Aligns<'p> {
+    /// Builds the problem; entry points know nothing about any register.
+    pub fn new(program: &'p Program) -> Aligns<'p> {
+        Aligns {
+            program,
+            entries: program.entry_points(),
+        }
+    }
+}
+
+impl Analysis for Aligns<'_> {
+    type Fact = RegAligns;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn start(&self) -> RegAligns {
+        RegAligns(None)
+    }
+
+    fn boundary(&self, pc: u32) -> Option<RegAligns> {
+        self.entries
+            .contains(&pc)
+            .then_some(RegAligns(Some([Align::TOP; 16])))
+    }
+
+    fn transfer(&self, pc: u32, fact: &RegAligns) -> RegAligns {
+        let Some(pre) = fact.0 else {
+            return RegAligns(None);
+        };
+        let mut regs = pre;
+        match &self.program[pc as usize] {
+            Instr::Op { alu, mem } => {
+                if let Some(m) = mem {
+                    match *m {
+                        MemPiece::LoadImm { value, dst } => {
+                            regs[dst.index()] = Align::constant(value);
+                        }
+                        MemPiece::Load { dst, .. } => regs[dst.index()] = Align::TOP,
+                        MemPiece::Store { .. } => {}
+                    }
+                }
+                if let Some(a) = alu {
+                    regs[a.dst.index()] = eval_alu(a, fact);
+                }
+                if let (Some(a), Some(m)) = (alu, mem) {
+                    if m.is_delayed_load() && m.writes() == Some(a.dst) {
+                        regs[a.dst.index()] = Align::TOP;
+                    }
+                }
+            }
+            Instr::SetCond(p) => regs[p.dst.index()] = Align::TOP,
+            Instr::Mvi(p) => regs[p.dst.index()] = Align::constant(p.imm as u32),
+            Instr::Call(p) => {
+                regs[p.link.index()] = Align::constant(pc + 1 + BRANCH_DELAY);
+            }
+            Instr::Lea { target, dst } => {
+                regs[dst.index()] = match target.abs() {
+                    Some(a) => Align::constant(a),
+                    None => Align::TOP,
+                };
+            }
+            Instr::Special(SpecialOp::Read { dst, .. }) => {
+                regs[dst.index()] = Align::TOP;
+            }
+            Instr::CmpBranch(_)
+            | Instr::Jump(_)
+            | Instr::JumpInd(_)
+            | Instr::Trap(_)
+            | Instr::Special(_)
+            | Instr::Halt => {}
+        }
+        RegAligns(Some(regs))
+    }
+
+    fn join(&self, into: &mut RegAligns, from: &RegAligns) -> bool {
+        let Some(fr) = &from.0 else {
+            return false;
+        };
+        match &mut into.0 {
+            None => {
+                into.0 = Some(*fr);
+                true
+            }
+            Some(to) => {
+                let mut changed = false;
+                for (t, f) in to.iter_mut().zip(fr.iter()) {
+                    let j = Align::common(*t, *f);
+                    if j != *t {
+                        *t = j;
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
+    }
+}
+
+/// Solves congruence propagation over the [`Cfg`]: `input[pc]` holds
+/// the register congruences just before `pc` issues.
+pub fn aligns(program: &Program, cfg: &Cfg) -> Solution<RegAligns> {
+    super::solve(&Aligns::new(program), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+
+    fn solved(src: &str) -> (Program, Solution<RegAligns>) {
+        let p = assemble(src).unwrap();
+        let (cfg, _) = Cfg::build(&p);
+        let s = aligns(&p, &cfg);
+        (p, s)
+    }
+
+    #[test]
+    fn shifted_index_stays_word_aligned() {
+        // r1 unknown; r1 << 2 is a multiple of 4; +8 preserves it.
+        let (_, s) = solved("sll r1,#2,r2\n add r2,#8,r3\n st r3,(r4)\n halt\n");
+        assert!(s.input[1].of(Reg::R2).multiple_of(2));
+        assert!(s.input[2].of(Reg::R3).multiple_of(2));
+    }
+
+    #[test]
+    fn odd_offset_is_provably_misaligned() {
+        let (_, s) = solved("sll r1,#2,r2\n add r2,#5,r3\n st r3,(r4)\n halt\n");
+        let a = s.input[2].of(Reg::R3);
+        assert!(a.not_multiple_of(2), "≡1 (mod 4): {a:?}");
+    }
+
+    #[test]
+    fn constants_fold_and_join_keeps_agreement() {
+        // Built without the assembler so the merge point is not a
+        // symbol (symbols are all-⊤ entry points).
+        let p = crate::dataflow::testutil::diamond(4, 12);
+        let (cfg, _) = Cfg::build(&p);
+        let s = aligns(&p, &cfg);
+        let merge = p.len() - 2;
+        let a = s.input[merge].of(Reg::R1);
+        // 4 and 12 agree on the low 3 bits (≡ 4 mod 8).
+        assert!(a.bits >= 3 && a.rem & 7 == 4, "{a:?}");
+        assert!(a.multiple_of(2));
+    }
+
+    #[test]
+    fn loads_clear_knowledge() {
+        let (_, s) = solved("mvi #8,r1\n ld (r1),r1\n nop\n st r2,(r1)\n halt\n");
+        assert_eq!(s.input[3].of(Reg::R1), Align::TOP);
+    }
+
+    #[test]
+    fn ea_helpers_combine_base_and_displacement() {
+        let (_, s) = solved("sll r1,#2,r2\n st r3,4(r2)\n halt\n");
+        let m = MemMode::Based {
+            base: Reg::R2,
+            disp: 4,
+        };
+        assert!(ea_align(&m, &s.input[1]).multiple_of(2));
+        let odd = MemMode::Based {
+            base: Reg::R2,
+            disp: 3,
+        };
+        assert!(ea_align(&odd, &s.input[1]).not_multiple_of(2));
+    }
+}

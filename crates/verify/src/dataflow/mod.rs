@@ -1,0 +1,346 @@
+//! A generic worklist dataflow framework over the delayed-branch-aware
+//! [`Cfg`].
+//!
+//! The paper's discipline — do the work once, ahead of time, in
+//! software — applied to the analysis layer itself: one deterministic
+//! fixpoint engine, many lattice instantiations. An [`Analysis`] supplies
+//! the lattice (a starting fact that is the identity of [`Analysis::join`],
+//! per-node boundary facts injected from outside the graph, a transfer
+//! function) and the engine computes the unique fixpoint by round-robin
+//! sweeps in a **fixed iteration order** (ascending pc forward, descending
+//! pc backward), so every solution — and every report derived from one —
+//! is byte-stable across runs.
+//!
+//! Instantiations in this module family:
+//!
+//! * [`liveness`] — backward register liveness (union lattice); also
+//!   reused by `mips-reorg`'s scheduler through [`VecGraph`];
+//! * [`reaching`] — forward reaching definitions (union of def sites);
+//! * [`value`] — forward unsigned value-range propagation (interval
+//!   lattice with widening);
+//! * [`memory`] — forward address alignment/congruence analysis
+//!   (power-of-two congruence lattice);
+//! * the must-initialized-registers pass behind `V101` (intersection
+//!   lattice) is the same engine, instantiated in `checks.rs`.
+//!
+//! On top of the solutions sit the `V3xx` lint family ([`lints`]), the
+//! per-basic-block safety certificates consumed by the simulator's fast
+//! engine ([`cert`]), and the machine-checkable claim stream the
+//! soundness fuzzer replays against the reference interpreter
+//! ([`claims`]).
+
+pub mod cert;
+pub mod claims;
+pub mod lints;
+pub mod liveness;
+pub mod memory;
+pub mod reaching;
+pub mod value;
+
+use crate::cfg::Cfg;
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// The graph a dataflow problem runs over: one node per instruction
+/// address. [`Cfg`] implements it directly; [`VecGraph`] adapts any
+/// externally built successor relation (the reorganizer's scheduler
+/// uses that to reuse the engine without constructing a full `Cfg`).
+pub trait FlowGraph {
+    /// Number of nodes (instruction count).
+    fn len(&self) -> usize;
+    /// True for an empty graph.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Successor addresses of `pc`.
+    fn succs(&self, pc: u32) -> &[u32];
+    /// Predecessor addresses of `pc`.
+    fn preds(&self, pc: u32) -> &[u32];
+}
+
+impl FlowGraph for Cfg {
+    fn len(&self) -> usize {
+        Cfg::len(self)
+    }
+    fn succs(&self, pc: u32) -> &[u32] {
+        Cfg::succs(self, pc)
+    }
+    fn preds(&self, pc: u32) -> &[u32] {
+        Cfg::preds(self, pc)
+    }
+}
+
+/// A [`FlowGraph`] built from an explicit successor relation.
+/// Out-of-range successors are dropped at construction (an edge to a
+/// node the graph does not contain carries no facts).
+#[derive(Debug, Clone)]
+pub struct VecGraph {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+}
+
+impl VecGraph {
+    /// Builds the graph (and the inverse relation) from successor lists.
+    pub fn from_succs(mut succs: Vec<Vec<u32>>) -> VecGraph {
+        let n = succs.len();
+        for ss in &mut succs {
+            ss.retain(|&s| (s as usize) < n);
+        }
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s as usize].push(i as u32);
+            }
+        }
+        VecGraph { succs, preds }
+    }
+}
+
+impl FlowGraph for VecGraph {
+    fn len(&self) -> usize {
+        self.succs.len()
+    }
+    fn succs(&self, pc: u32) -> &[u32] {
+        &self.succs[pc as usize]
+    }
+    fn preds(&self, pc: u32) -> &[u32] {
+        &self.preds[pc as usize]
+    }
+}
+
+/// One dataflow problem: a join-semilattice of facts plus a transfer
+/// function per instruction.
+///
+/// The engine maintains, per node, the fact on the *incoming* side of
+/// the flow (program-entry side for forward problems, program-exit side
+/// — "live-out" — for backward ones) and the transferred fact on the
+/// outgoing side.
+pub trait Analysis {
+    /// The lattice element.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// The neutral starting fact: the identity of [`Analysis::join`]
+    /// (`∅` for union lattices, the full set for intersection lattices,
+    /// an unreachable marker for value lattices).
+    fn start(&self) -> Self::Fact;
+
+    /// A fact injected at `pc` from outside the graph — entry-point
+    /// assumptions for forward problems, conservative live-out (an
+    /// `rfe` or trap whose continuation the graph cannot see) for
+    /// backward ones. Joined into the node's incoming fact.
+    fn boundary(&self, pc: u32) -> Option<Self::Fact>;
+
+    /// The effect of executing the instruction at `pc` on a fact.
+    fn transfer(&self, pc: u32, fact: &Self::Fact) -> Self::Fact;
+
+    /// Joins `from` into `into`; returns true when `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+}
+
+/// A solved dataflow problem.
+///
+/// `input[pc]` is the join of all facts flowing into `pc` (boundary
+/// included): the program-point *before* the instruction for forward
+/// problems, the live-out point *after* it for backward ones.
+/// `output[pc] = transfer(pc, input[pc])`.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Incoming fact per node, in flow direction.
+    pub input: Vec<F>,
+    /// Transferred (outgoing) fact per node.
+    pub output: Vec<F>,
+}
+
+/// Runs `analysis` to its fixpoint over `graph`.
+///
+/// Deterministic by construction: nodes are swept in a fixed order
+/// (ascending pc for forward problems, descending for backward), edge
+/// contributions join in the graph's stored edge order, and iteration
+/// stops at the first full sweep that changes nothing. Monotone
+/// transfer functions over finite-height lattices terminate; the
+/// interval lattice keeps its height finite by widening inside
+/// [`Analysis::join`].
+pub fn solve<A: Analysis>(analysis: &A, graph: &impl FlowGraph) -> Solution<A::Fact> {
+    let n = graph.len();
+    let mut input: Vec<A::Fact> = (0..n as u32)
+        .map(|pc| {
+            let mut f = analysis.start();
+            if let Some(b) = analysis.boundary(pc) {
+                analysis.join(&mut f, &b);
+            }
+            f
+        })
+        .collect();
+    let mut output: Vec<A::Fact> = input
+        .iter()
+        .enumerate()
+        .map(|(pc, f)| analysis.transfer(pc as u32, f))
+        .collect();
+    if n == 0 {
+        return Solution { input, output };
+    }
+    let backward = analysis.direction() == Direction::Backward;
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let pc = if backward {
+                (n - 1 - i) as u32
+            } else {
+                i as u32
+            };
+            let incoming: &[u32] = if backward {
+                graph.succs(pc)
+            } else {
+                graph.preds(pc)
+            };
+            let mut grew = false;
+            for &q in incoming {
+                let from = output[q as usize].clone();
+                grew |= analysis.join(&mut input[pc as usize], &from);
+            }
+            if grew {
+                let out = analysis.transfer(pc, &input[pc as usize]);
+                if out != output[pc as usize] {
+                    output[pc as usize] = out;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Solution { input, output };
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use mips_core::{
+        CmpBranchPiece, Cond, Instr, JumpPiece, MemMode, MemPiece, MviPiece, Program,
+        ProgramBuilder, Reg, Target, Width, WordAddr,
+    };
+
+    /// A symbol-free diamond: both arms write `r1` (with `v1` on the
+    /// fall-through arm, `v2` on the taken arm), merging into a store
+    /// of `r1` then `halt`. Labels deliberately stay anonymous —
+    /// assembler labels become symbols, and symbols are entry points
+    /// with all-⊤ boundary facts.
+    ///
+    /// ```text
+    /// 0: beq r9,#0 → 5    3: bra → 6       5: mvi v2,r1
+    /// 1: nop (shadow)     4: nop (shadow)  6: st r1,@100
+    /// 2: mvi v1,r1                         7: halt
+    /// ```
+    pub fn diamond(v1: u8, v2: u8) -> Program {
+        let mut b = ProgramBuilder::new();
+        let taken = b.fresh_label();
+        let merge = b.fresh_label();
+        b.push(Instr::CmpBranch(CmpBranchPiece::new(
+            Cond::Eq,
+            Reg::R9.into(),
+            mips_core::Operand::Small(0),
+            Target::Label(taken),
+        )));
+        b.push(Instr::NOP);
+        b.push(Instr::Mvi(MviPiece {
+            imm: v1,
+            dst: Reg::R1,
+        }));
+        b.push(Instr::Jump(JumpPiece {
+            target: Target::Label(merge),
+        }));
+        b.push(Instr::NOP);
+        b.define(taken).unwrap();
+        b.push(Instr::Mvi(MviPiece {
+            imm: v2,
+            dst: Reg::R1,
+        }));
+        b.define(merge).unwrap();
+        b.push(Instr::Op {
+            alu: None,
+            mem: Some(MemPiece::Store {
+                mode: MemMode::Absolute(WordAddr::new(100)),
+                src: Reg::R1,
+                width: Width::Word,
+            }),
+        });
+        b.push(Instr::Halt);
+        b.finish().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Forward "reachable node count mod nothing" toy analysis: the
+    /// fact is the set of entry nodes that reach a pc, as a bitmask.
+    struct Reach {
+        entries: Vec<u32>,
+    }
+
+    impl Analysis for Reach {
+        type Fact = u32;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn start(&self) -> u32 {
+            0
+        }
+        fn boundary(&self, pc: u32) -> Option<u32> {
+            self.entries.iter().position(|&e| e == pc).map(|i| 1 << i)
+        }
+        fn transfer(&self, _pc: u32, f: &u32) -> u32 {
+            *f
+        }
+        fn join(&self, into: &mut u32, from: &u32) -> bool {
+            let old = *into;
+            *into |= from;
+            *into != old
+        }
+    }
+
+    #[test]
+    fn forward_facts_propagate_and_merge() {
+        // 0 → 1 → 3, 2 → 3; entries 0 and 2.
+        let g = VecGraph::from_succs(vec![vec![1], vec![3], vec![3], vec![]]);
+        let s = solve(
+            &Reach {
+                entries: vec![0, 2],
+            },
+            &g,
+        );
+        assert_eq!(s.input, vec![0b01, 0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn out_of_range_edges_are_dropped() {
+        let g = VecGraph::from_succs(vec![vec![9], vec![0]]);
+        assert!(g.succs(0).is_empty());
+        assert_eq!(g.preds(0), &[1]);
+    }
+
+    #[test]
+    fn empty_graph_solves() {
+        let g = VecGraph::from_succs(Vec::new());
+        let s = solve(&Reach { entries: vec![] }, &g);
+        assert!(s.input.is_empty() && s.output.is_empty());
+    }
+
+    #[test]
+    fn cyclic_graph_reaches_fixpoint() {
+        // 0 ⇄ 1 loop, entry at 0.
+        let g = VecGraph::from_succs(vec![vec![1], vec![0]]);
+        let s = solve(&Reach { entries: vec![0] }, &g);
+        assert_eq!(s.input, vec![1, 1]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Forward reaching definitions on the dataflow engine.
+//!
+//! The fact maps each register to the sorted set of instruction
+//! addresses whose write may be the one observed (plus the sentinel
+//! [`ENTRY_DEF`] for "defined before the program, or by a caller").
+//! Join is per-register set union; an instruction's transfer replaces
+//! the sets of everything it writes with its own address.
+//!
+//! A delayed load's definition is attributed to the **load's own
+//! address** even though the machine commits it one slot later; on a
+//! hazard-free program (no `V001`) the difference is unobservable — no
+//! instruction reads the register inside the delay shadow — and the
+//! soundness fuzzer checks exactly this attribution against a shadow
+//! last-writer trace on the reference interpreter.
+
+use super::{Analysis, Direction, Solution};
+use crate::cfg::Cfg;
+use mips_core::{Program, Reg};
+
+/// Definition-site sentinel: the value was produced outside the program
+/// (initial register file, or a caller at a named entry point).
+pub const ENTRY_DEF: u32 = u32::MAX;
+
+/// Per-register sorted definition sites.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Defs {
+    sites: [Vec<u32>; 16],
+}
+
+impl Defs {
+    /// Definition sites that may reach for `reg` (sorted, deduplicated).
+    pub fn of(&self, reg: Reg) -> &[u32] {
+        &self.sites[reg.index()]
+    }
+
+    fn insert(&mut self, reg: usize, site: u32) -> bool {
+        match self.sites[reg].binary_search(&site) {
+            Ok(_) => false,
+            Err(at) => {
+                self.sites[reg].insert(at, site);
+                true
+            }
+        }
+    }
+}
+
+/// The reaching-definitions problem for one program.
+pub struct Reaching<'p> {
+    program: &'p Program,
+    entries: Vec<u32>,
+}
+
+impl<'p> Reaching<'p> {
+    /// Builds the problem; every entry point gets [`ENTRY_DEF`] for all
+    /// registers (exception dispatch makes the reset vector reachable
+    /// with arbitrary register state, and named entries trust callers).
+    pub fn new(program: &'p Program) -> Reaching<'p> {
+        Reaching {
+            program,
+            entries: program.entry_points(),
+        }
+    }
+}
+
+impl Analysis for Reaching<'_> {
+    type Fact = Defs;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn start(&self) -> Defs {
+        Defs::default()
+    }
+
+    fn boundary(&self, pc: u32) -> Option<Defs> {
+        if !self.entries.contains(&pc) {
+            return None;
+        }
+        let mut d = Defs::default();
+        for r in 0..16 {
+            d.sites[r].push(ENTRY_DEF);
+        }
+        Some(d)
+    }
+
+    fn transfer(&self, pc: u32, fact: &Defs) -> Defs {
+        let mut out = fact.clone();
+        for r in self.program[pc as usize].writes() {
+            out.sites[r.index()] = vec![pc];
+        }
+        out
+    }
+
+    fn join(&self, into: &mut Defs, from: &Defs) -> bool {
+        let mut changed = false;
+        for r in 0..16 {
+            for &site in &from.sites[r] {
+                changed |= into.insert(r, site);
+            }
+        }
+        changed
+    }
+}
+
+/// Solves reaching definitions over the [`Cfg`]: `input[pc]` holds the
+/// definitions visible just before `pc` executes.
+pub fn reaching(program: &Program, cfg: &Cfg) -> Solution<Defs> {
+    super::solve(&Reaching::new(program), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+
+    fn solved(src: &str) -> Solution<Defs> {
+        let p = assemble(src).unwrap();
+        let (cfg, _) = Cfg::build(&p);
+        reaching(&p, &cfg)
+    }
+
+    #[test]
+    fn straight_line_defs_replace() {
+        let s = solved("mvi #1,r1\n mvi #2,r1\n add r1,#1,r2\n halt\n");
+        assert_eq!(s.input[1].of(mips_core::Reg::R1), &[0]);
+        assert_eq!(s.input[2].of(mips_core::Reg::R1), &[1]);
+        assert_eq!(s.input[0].of(mips_core::Reg::R1), &[ENTRY_DEF]);
+    }
+
+    #[test]
+    fn merge_point_unions_both_defs() {
+        // Built without the assembler: a labeled merge point would be a
+        // symbol, i.e. an entry point contributing ENTRY_DEF as well.
+        let p = crate::dataflow::testutil::diamond(1, 2);
+        let (cfg, _) = Cfg::build(&p);
+        let s = reaching(&p, &cfg);
+        let merge = p.len() - 2;
+        let defs = s.input[merge].of(mips_core::Reg::R1);
+        assert_eq!(defs.len(), 2, "both arms reach: {defs:?}");
+    }
+}

@@ -1,0 +1,558 @@
+//! Forward constant / value-range propagation on the dataflow engine.
+//!
+//! The fact is one unsigned interval per register (`None` marks a node
+//! no entry fact has reached yet — the lattice bottom). Joins take the
+//! interval hull, then snap any bound that *grew* to a power-of-two
+//! ladder (`2^k − 1` upward, `2^k` downward): diamond merges of nearby
+//! constants stay tight, while loop-carried growth reaches a fixpoint
+//! in at most 33 snaps per bound instead of one sweep per loop
+//! iteration. Constants fold through [`mips_core::AluOp::eval`] itself,
+//! so the abstract and concrete semantics cannot drift apart.
+//!
+//! Every entry point starts with all registers at ⊤ — exception
+//! dispatch can reach the reset vector from *any* machine state, and
+//! named entries trust their callers. An `rfe` can additionally resume
+//! anywhere with handler-modified registers; program-wide facts are
+//! therefore only **claims** (checked dynamically, or re-checked at
+//! runtime by the certificate gate) on programs containing `rfe` —
+//! see [`super::claims`] and [`super::cert`] for where that line is
+//! drawn.
+
+use super::{Analysis, Direction, Solution};
+use crate::cfg::Cfg;
+use mips_core::delay::BRANCH_DELAY;
+use mips_core::{AluOp, AluPiece, Cond, Instr, MemPiece, Operand, Program, Reg, SpecialOp};
+
+/// An unsigned interval `lo ..= hi` of possible register values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u32,
+    /// Largest possible value (inclusive).
+    pub hi: u32,
+}
+
+impl Interval {
+    /// The full range: nothing known.
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u32::MAX,
+    };
+
+    /// A single known value.
+    pub fn singleton(v: u32) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The value, when exactly one is possible.
+    pub fn as_singleton(self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// True when every possible value is a non-negative `i32`.
+    pub fn non_negative(self) -> bool {
+        self.hi <= i32::MAX as u32
+    }
+
+    /// True when every possible value has the sign bit set.
+    pub fn negative(self) -> bool {
+        self.lo > i32::MAX as u32
+    }
+}
+
+/// Smallest `2^k − 1` that is `≥ x` (all-ones smear of the MSB).
+fn snap_up(x: u32) -> u32 {
+    let mut v = x;
+    v |= v >> 1;
+    v |= v >> 2;
+    v |= v >> 4;
+    v |= v >> 8;
+    v |= v >> 16;
+    v
+}
+
+/// Largest power of two `≤ x` (0 for 0).
+fn snap_down(x: u32) -> u32 {
+    if x == 0 {
+        0
+    } else {
+        1 << (31 - x.leading_zeros())
+    }
+}
+
+/// Hull join with ladder snapping; returns true when `into` changed.
+fn join_interval(into: &mut Interval, from: Interval) -> bool {
+    let mut changed = false;
+    if from.lo < into.lo {
+        into.lo = snap_down(from.lo);
+        changed = true;
+    }
+    if from.hi > into.hi {
+        into.hi = snap_up(from.hi);
+        changed = true;
+    }
+    changed
+}
+
+/// One interval per register, or `None` while no path has reached the
+/// node (the join identity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegVals(pub Option<[Interval; 16]>);
+
+impl RegVals {
+    /// The interval for `reg` (⊤ at unreached nodes: no claim is ever
+    /// derived from them, and ⊤ is sound everywhere).
+    pub fn of(&self, reg: Reg) -> Interval {
+        match &self.0 {
+            Some(rs) => rs[reg.index()],
+            None => Interval::TOP,
+        }
+    }
+
+    /// The interval an operand evaluates into.
+    pub fn operand(&self, o: Operand) -> Interval {
+        match o {
+            Operand::Reg(r) => self.of(r),
+            Operand::Small(v) => Interval::singleton(v as u32),
+        }
+    }
+}
+
+/// Abstract evaluation of an ALU piece over operand intervals.
+pub fn eval_alu(p: &AluPiece, vals: &RegVals) -> Interval {
+    let a = vals.operand(p.a);
+    let b = vals.operand(p.b);
+    // `ic` reads the untracked `lo` byte selector: never a constant.
+    if !p.op.reads_lo() {
+        if let (Some(ca), Some(cb)) = (a.as_singleton(), b.as_singleton()) {
+            // Fold through the concrete data path. On the trap-enabled
+            // overflow path control leaves the node, so the successor
+            // fact only describes the wrap-and-continue outcome — which
+            // is exactly what `eval` returns.
+            return Interval::singleton(p.op.eval(ca, cb, 0).0);
+        }
+    }
+    interval_op(p.op, a, b)
+}
+
+/// Abstract interval arithmetic for one ALU operation (falls back to
+/// [`Interval::TOP`] wherever wrap or sign makes bounds unsound).
+pub fn interval_op(op: AluOp, a: Interval, b: Interval) -> Interval {
+    match op {
+        AluOp::Add => add_iv(a, b),
+        AluOp::Sub => sub_iv(a, b),
+        AluOp::Rsub => sub_iv(b, a),
+        AluOp::And => Interval {
+            lo: 0,
+            hi: a.hi.min(b.hi),
+        },
+        AluOp::Or => Interval {
+            lo: a.lo.max(b.lo),
+            hi: snap_up(a.hi | b.hi),
+        },
+        AluOp::Xor => Interval {
+            lo: 0,
+            hi: snap_up(a.hi | b.hi),
+        },
+        AluOp::Bic => Interval { lo: 0, hi: a.hi },
+        AluOp::Sll => shl_iv(a, b),
+        AluOp::Rsll => shl_iv(b, a),
+        AluOp::Srl => shr_iv(a, b),
+        AluOp::Rsrl => shr_iv(b, a),
+        AluOp::Sra => {
+            if a.non_negative() {
+                shr_iv(a, b)
+            } else {
+                Interval::TOP
+            }
+        }
+        AluOp::Rsra => {
+            if b.non_negative() {
+                shr_iv(b, a)
+            } else {
+                Interval::TOP
+            }
+        }
+        AluOp::Xc => Interval { lo: 0, hi: 0xff },
+        AluOp::Ic => Interval::TOP,
+        AluOp::Mul => {
+            if let Some(hi) = a.hi.checked_mul(b.hi) {
+                Interval {
+                    lo: a.lo.wrapping_mul(b.lo),
+                    hi,
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+        AluOp::Div => {
+            if a.non_negative() && b.non_negative() && b.lo >= 1 {
+                Interval {
+                    lo: a.lo / b.hi,
+                    hi: a.hi / b.lo,
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+        AluOp::Rem => {
+            if a.non_negative() && b.non_negative() && b.lo >= 1 {
+                Interval {
+                    lo: 0,
+                    hi: b.hi - 1,
+                }
+            } else {
+                Interval::TOP
+            }
+        }
+    }
+}
+
+/// Unsigned interval add, ⊤ on possible 32-bit wrap. (Signed overflow
+/// with the trap enabled diverts control instead of continuing, so the
+/// continuation value is still the plain sum.)
+fn add_iv(a: Interval, b: Interval) -> Interval {
+    match a.hi.checked_add(b.hi) {
+        Some(hi) => Interval {
+            lo: a.lo + b.lo,
+            hi,
+        },
+        None => Interval::TOP,
+    }
+}
+
+fn sub_iv(a: Interval, b: Interval) -> Interval {
+    if a.lo >= b.hi {
+        Interval {
+            lo: a.lo - b.hi,
+            hi: a.hi - b.lo,
+        }
+    } else {
+        Interval::TOP
+    }
+}
+
+fn shl_iv(a: Interval, by: Interval) -> Interval {
+    match by.as_singleton() {
+        Some(c) => {
+            let c = c & 31;
+            match a.hi.checked_shl(c) {
+                // A left shift can discard high bits even without
+                // u32::checked_shl failing; demand the value round-trips.
+                Some(hi) if (hi >> c) == a.hi => Interval { lo: a.lo << c, hi },
+                _ => Interval::TOP,
+            }
+        }
+        None => Interval::TOP,
+    }
+}
+
+fn shr_iv(a: Interval, by: Interval) -> Interval {
+    match by.as_singleton() {
+        Some(c) => {
+            let c = c & 31;
+            Interval {
+                lo: a.lo >> c,
+                hi: a.hi >> c,
+            }
+        }
+        None => Interval { lo: 0, hi: a.hi },
+    }
+}
+
+/// Decides a comparison over intervals: `Some(outcome)` when every
+/// possible operand pair agrees, `None` otherwise.
+pub fn cond_outcome(cond: Cond, a: Interval, b: Interval) -> Option<bool> {
+    let disjoint = a.hi < b.lo || b.hi < a.lo;
+    match cond {
+        Cond::Never => Some(false),
+        Cond::Always => Some(true),
+        Cond::Eq => {
+            if let (Some(ca), Some(cb)) = (a.as_singleton(), b.as_singleton()) {
+                Some(ca == cb)
+            } else if disjoint {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Cond::Ne => cond_outcome(Cond::Eq, a, b).map(|t| !t),
+        Cond::Ltu => {
+            if a.hi < b.lo {
+                Some(true)
+            } else if a.lo >= b.hi {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Cond::Leu => {
+            if a.hi <= b.lo {
+                Some(true)
+            } else if a.lo > b.hi {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Cond::Gtu => cond_outcome(Cond::Leu, a, b).map(|t| !t),
+        Cond::Geu => cond_outcome(Cond::Ltu, a, b).map(|t| !t),
+        // Signed orders decide only when both sides stay on one side of
+        // the sign boundary; non-negative × non-negative reduces to the
+        // unsigned order.
+        Cond::Lt => signed_order(a, b).map(|o| o == std::cmp::Ordering::Less),
+        Cond::Ge => signed_order(a, b).map(|o| o != std::cmp::Ordering::Less),
+        Cond::Gt => signed_order(a, b).map(|o| o == std::cmp::Ordering::Greater),
+        Cond::Le => signed_order(a, b).map(|o| o != std::cmp::Ordering::Greater),
+        Cond::Neg => {
+            if a.non_negative() {
+                Some(false)
+            } else if a.negative() {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        Cond::NotNeg => {
+            if a.non_negative() {
+                Some(true)
+            } else if a.negative() {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Cond::MaskZero => {
+            if a.hi == 0 || b.hi == 0 {
+                Some(true)
+            } else if let (Some(ca), Some(cb)) = (a.as_singleton(), b.as_singleton()) {
+                Some(ca & cb == 0)
+            } else {
+                None
+            }
+        }
+        Cond::MaskNonZero => cond_outcome(Cond::MaskZero, a, b).map(|t| !t),
+    }
+}
+
+/// Decides the strict signed order of two intervals when possible.
+fn signed_order(a: Interval, b: Interval) -> Option<std::cmp::Ordering> {
+    if !(a.non_negative() || a.negative()) || !(b.non_negative() || b.negative()) {
+        return None;
+    }
+    // Map to a signed key space where comparison is the unsigned order.
+    let key = |v: u32| v as i32 as i64;
+    let (alo, ahi) = (key(a.lo), key(a.hi));
+    let (blo, bhi) = (key(b.lo), key(b.hi));
+    if ahi < blo {
+        Some(std::cmp::Ordering::Less)
+    } else if alo > bhi {
+        Some(std::cmp::Ordering::Greater)
+    } else if ahi == blo && alo == bhi {
+        Some(std::cmp::Ordering::Equal)
+    } else {
+        None
+    }
+}
+
+/// The value-propagation problem for one program.
+pub struct Values<'p> {
+    program: &'p Program,
+    entries: Vec<u32>,
+}
+
+impl<'p> Values<'p> {
+    /// Builds the problem; every entry point receives all-⊤ registers.
+    pub fn new(program: &'p Program) -> Values<'p> {
+        Values {
+            program,
+            entries: program.entry_points(),
+        }
+    }
+}
+
+impl Analysis for Values<'_> {
+    type Fact = RegVals;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn start(&self) -> RegVals {
+        RegVals(None)
+    }
+
+    fn boundary(&self, pc: u32) -> Option<RegVals> {
+        self.entries
+            .contains(&pc)
+            .then_some(RegVals(Some([Interval::TOP; 16])))
+    }
+
+    fn transfer(&self, pc: u32, fact: &RegVals) -> RegVals {
+        let Some(pre) = fact.0 else {
+            return RegVals(None);
+        };
+        let mut regs = pre;
+        match &self.program[pc as usize] {
+            Instr::Op { alu, mem } => {
+                if let Some(m) = mem {
+                    match *m {
+                        MemPiece::LoadImm { value, dst } => {
+                            regs[dst.index()] = Interval::singleton(value);
+                        }
+                        // A delayed load's destination goes to ⊤ at the
+                        // load itself: ⊤ covers both the incoming value
+                        // (observable for one more slot) and the loaded
+                        // one, so the early kill is sound on any program.
+                        MemPiece::Load { dst, .. } => regs[dst.index()] = Interval::TOP,
+                        MemPiece::Store { .. } => {}
+                    }
+                }
+                if let Some(a) = alu {
+                    regs[a.dst.index()] = eval_alu(a, fact);
+                }
+                // An (illegal, V006) destination clash resolves in the
+                // load's favor on the reference machine: keep ⊤ there.
+                if let (Some(a), Some(m)) = (alu, mem) {
+                    if m.is_delayed_load() && m.writes() == Some(a.dst) {
+                        regs[a.dst.index()] = Interval::TOP;
+                    }
+                }
+            }
+            Instr::SetCond(p) => {
+                let out = cond_outcome(p.cond, fact.operand(p.a), fact.operand(p.b));
+                regs[p.dst.index()] = match out {
+                    Some(t) => Interval::singleton(t as u32),
+                    None => Interval { lo: 0, hi: 1 },
+                };
+            }
+            Instr::Mvi(p) => regs[p.dst.index()] = Interval::singleton(p.imm as u32),
+            Instr::Call(p) => {
+                regs[p.link.index()] = Interval::singleton(pc + 1 + BRANCH_DELAY);
+            }
+            Instr::Lea { target, dst } => {
+                regs[dst.index()] = match target.abs() {
+                    Some(a) => Interval::singleton(a),
+                    None => Interval::TOP,
+                };
+            }
+            Instr::Special(SpecialOp::Read { dst, .. }) => {
+                regs[dst.index()] = Interval::TOP;
+            }
+            // Branches, stores, traps (native services only touch the
+            // output stream), rfe, and halt write no general register.
+            Instr::CmpBranch(_)
+            | Instr::Jump(_)
+            | Instr::JumpInd(_)
+            | Instr::Trap(_)
+            | Instr::Special(_)
+            | Instr::Halt => {}
+        }
+        RegVals(Some(regs))
+    }
+
+    fn join(&self, into: &mut RegVals, from: &RegVals) -> bool {
+        let Some(fr) = &from.0 else {
+            return false;
+        };
+        match &mut into.0 {
+            None => {
+                into.0 = Some(*fr);
+                true
+            }
+            Some(to) => {
+                let mut changed = false;
+                for (t, f) in to.iter_mut().zip(fr.iter()) {
+                    changed |= join_interval(t, *f);
+                }
+                changed
+            }
+        }
+    }
+}
+
+/// Solves value propagation over the [`Cfg`]: `input[pc]` describes the
+/// register file just before `pc` issues.
+pub fn values(program: &Program, cfg: &Cfg) -> Solution<RegVals> {
+    super::solve(&Values::new(program), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_asm::assemble;
+
+    fn solved(src: &str) -> (Program, Solution<RegVals>) {
+        let p = assemble(src).unwrap();
+        let (cfg, _) = Cfg::build(&p);
+        let s = values(&p, &cfg);
+        (p, s)
+    }
+
+    #[test]
+    fn constants_fold_through_alu() {
+        let (_, s) = solved("mvi #5,r1\n add r1,#3,r2\n halt\n");
+        assert_eq!(s.input[1].of(Reg::R1).as_singleton(), Some(5));
+        assert_eq!(s.input[2].of(Reg::R2).as_singleton(), Some(8));
+    }
+
+    #[test]
+    fn loads_are_top_and_entry_is_top() {
+        let (_, s) = solved("ld @100,r1\n nop\n add r1,#0,r2\n halt\n");
+        assert_eq!(s.input[2].of(Reg::R1), Interval::TOP);
+        assert_eq!(s.input[0].of(Reg::R5), Interval::TOP);
+    }
+
+    #[test]
+    fn diamond_merge_stays_tight() {
+        // Built without the assembler: labels would become symbols,
+        // i.e. entry points with all-⊤ boundaries at the merge.
+        let p = crate::dataflow::testutil::diamond(1, 2);
+        let (cfg, _) = Cfg::build(&p);
+        let s = values(&p, &cfg);
+        let merge = p.len() - 2;
+        let iv = s.input[merge].of(Reg::R1);
+        assert!(iv.lo >= 1 && iv.hi <= 3, "snapped hull of {{1,2}}: {iv:?}");
+    }
+
+    #[test]
+    fn loop_counter_converges_to_a_fixpoint() {
+        let (_, s) = solved("mvi #0,r1\ntop:\n add r1,#1,r1\n bne r1,#9,top\n nop\n halt\n");
+        // Terminates (ladder widening) and stays sound (0 ∈ interval at
+        // the loop head's entry).
+        let iv = s.input[1].of(Reg::R1);
+        assert!(iv.lo == 0 && iv.hi >= 9, "{iv:?}");
+    }
+
+    #[test]
+    fn cond_outcomes_decide_constants() {
+        let one = Interval::singleton(1);
+        let two = Interval::singleton(2);
+        assert_eq!(cond_outcome(Cond::Eq, one, one), Some(true));
+        assert_eq!(cond_outcome(Cond::Eq, one, two), Some(false));
+        assert_eq!(cond_outcome(Cond::Ltu, one, two), Some(true));
+        assert_eq!(cond_outcome(Cond::Lt, two, one), Some(false));
+        assert_eq!(
+            cond_outcome(Cond::Never, Interval::TOP, Interval::TOP),
+            Some(false)
+        );
+        assert_eq!(
+            cond_outcome(Cond::Always, Interval::TOP, Interval::TOP),
+            Some(true)
+        );
+        assert_eq!(cond_outcome(Cond::Eq, Interval::TOP, one), None);
+        let neg = Interval::singleton(u32::MAX);
+        assert_eq!(cond_outcome(Cond::Neg, neg, one), Some(true));
+        assert_eq!(
+            cond_outcome(Cond::Lt, neg, one),
+            Some(true),
+            "-1 < 1 signed"
+        );
+    }
+
+    #[test]
+    fn setcond_becomes_constant_when_decidable() {
+        let (_, s) = solved("mvi #1,r1\n seq r1,#1,r2\n st r2,@100\n halt\n");
+        assert_eq!(s.input[2].of(Reg::R2).as_singleton(), Some(1));
+    }
+}

@@ -61,11 +61,24 @@ pub enum Rule {
     /// A privilege-sensitive instruction (`rfe`, supervisor special
     /// registers); faults if reached in user mode.
     Privileged,
+    /// A pure register write whose result no path ever reads
+    /// (dataflow lint).
+    DeadWrite,
+    /// A memory reference whose effective address is provably outside
+    /// the 24-bit space, or provably misaligned on a byte-addressed
+    /// program (dataflow lint).
+    BadMemRange,
+    /// A conditional branch whose outcome the value analysis decides
+    /// statically (dataflow lint).
+    ConstBranch,
+    /// Code reachable only through a branch direction proven never
+    /// taken (dataflow lint).
+    DataflowUnreachable,
 }
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 14] = [
         Rule::LoadUse,
         Rule::BranchInShadow,
         Rule::IndirectShadow,
@@ -76,6 +89,10 @@ impl Rule {
         Rule::UninitRead,
         Rule::Unreachable,
         Rule::Privileged,
+        Rule::DeadWrite,
+        Rule::BadMemRange,
+        Rule::ConstBranch,
+        Rule::DataflowUnreachable,
     ];
 
     /// Stable machine-readable id.
@@ -91,6 +108,10 @@ impl Rule {
             Rule::UninitRead => "V101",
             Rule::Unreachable => "V102",
             Rule::Privileged => "V201",
+            Rule::DeadWrite => "V301",
+            Rule::BadMemRange => "V302",
+            Rule::ConstBranch => "V303",
+            Rule::DataflowUnreachable => "V304",
         }
     }
 
@@ -104,8 +125,17 @@ impl Rule {
             | Rule::FallsOffEnd
             | Rule::IllegalInstr
             | Rule::BadTarget => Severity::Error,
-            Rule::UninitRead | Rule::Unreachable => Severity::Warning,
-            Rule::Privileged => Severity::Info,
+            Rule::UninitRead
+            | Rule::Unreachable
+            | Rule::BadMemRange
+            | Rule::ConstBranch
+            | Rule::DataflowUnreachable => Severity::Warning,
+            // Dead writes are an optimization observation, not a
+            // defect: compiled code legitimately carries them (the
+            // calling convention's stack-pointer pop before an epilogue
+            // that reloads the pointer from the frame), so the rule
+            // informs without failing `--strict`.
+            Rule::Privileged | Rule::DeadWrite => Severity::Info,
         }
     }
 }
@@ -202,6 +232,10 @@ fn rule_name(r: Rule) -> &'static str {
         Rule::UninitRead => "uninit-read",
         Rule::Unreachable => "unreachable",
         Rule::Privileged => "privileged",
+        Rule::DeadWrite => "dead-write",
+        Rule::BadMemRange => "mem-out-of-range",
+        Rule::ConstBranch => "const-branch",
+        Rule::DataflowUnreachable => "dataflow-unreachable",
     }
 }
 

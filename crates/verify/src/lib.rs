@@ -53,9 +53,11 @@
 
 mod cfg;
 mod checks;
+pub mod dataflow;
 mod diag;
 
 pub use cfg::Cfg;
+pub use dataflow::cert::{certify, BlockCert, RegWindow};
 pub use diag::{Diagnostic, Report, Rule, Severity};
 
 use mips_core::Program;
@@ -75,6 +77,21 @@ pub fn verify(program: &Program) -> Report {
     Report::new(diags)
 }
 
+/// Like [`verify`], plus the whole-program dataflow lints (`V3xx`):
+/// dead register writes, provably bad memory addresses, statically
+/// decided branches, and dataflow-unreachable code.
+pub fn verify_dataflow(program: &Program) -> Report {
+    let (cfg, mut diags) = Cfg::build(program);
+    diags.retain(|d| d.rule != Rule::FallsOffEnd || cfg.is_reachable(d.pc));
+    checks::illegal_instrs(program, &mut diags);
+    checks::load_use(program, &cfg, &mut diags);
+    checks::uninit_reads(program, &cfg, &mut diags);
+    checks::unreachable(program, &cfg, &mut diags);
+    checks::privileged(program, &mut diags);
+    diags.extend(dataflow::lints::dataflow_lints(program, &cfg));
+    Report::new(diags)
+}
+
 /// Assembles `.s` source text and verifies the result (the `mips-lint`
 /// entry point).
 ///
@@ -83,6 +100,16 @@ pub fn verify(program: &Program) -> Report {
 /// Returns the assembler's error if the source does not assemble.
 pub fn verify_source(source: &str) -> Result<Report, mips_asm::AsmError> {
     Ok(verify(&mips_asm::assemble(source)?))
+}
+
+/// Assembles `.s` source text and runs [`verify_dataflow`] on the
+/// result (the `mips-lint --dataflow` entry point).
+///
+/// # Errors
+///
+/// Returns the assembler's error if the source does not assemble.
+pub fn verify_dataflow_source(source: &str) -> Result<Report, mips_asm::AsmError> {
+    Ok(verify_dataflow(&mips_asm::assemble(source)?))
 }
 
 #[cfg(test)]

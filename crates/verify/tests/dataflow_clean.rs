@@ -1,0 +1,52 @@
+//! The dataflow lints hold the codebase's own artifacts to the bar CI
+//! enforces: the OS kernel and every compiled corpus workload must be
+//! free of V3xx findings at failing severity — including warnings,
+//! since the CI job runs `mips-lint --dataflow --strict`. A V3xx
+//! warning on real generated code is either a compiler bug worth
+//! fixing or a lint miscalibration worth demoting; both should fail
+//! here first. (Pre-existing rule families are outside this gate:
+//! their calibration on compiled code is whatever it was before
+//! `--dataflow` existed, and enabling the flag must not change it.)
+
+use mips_hll::{compile_mips, CodegenOptions};
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_verify::{verify_dataflow, Severity};
+
+/// V3xx findings that `--strict` would fail on: errors and warnings.
+fn strict_failures(program: &mips_core::Program) -> Vec<String> {
+    verify_dataflow(program)
+        .diagnostics()
+        .iter()
+        .filter(|d| d.rule.id().starts_with("V3") && d.severity() >= Severity::Warning)
+        .map(|d| format!("{d}"))
+        .collect()
+}
+
+#[test]
+fn kernel_is_dataflow_clean() {
+    let src = include_str!("../../os/src/asm/kernel.s");
+    let p = mips_asm::assemble(src).expect("kernel assembles");
+    let bad = strict_failures(&p);
+    assert!(
+        bad.is_empty(),
+        "kernel V3xx/strict findings:\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn corpus_is_dataflow_clean_at_every_reorg_level() {
+    for w in mips_workloads::corpus() {
+        let lc = compile_mips(w.source, &CodegenOptions::standard()).expect("corpus compiles");
+        for (level, opts) in [("none", ReorgOptions::NONE), ("full", ReorgOptions::FULL)] {
+            let out = reorganize(&lc, opts).expect("reorganizes");
+            let bad = strict_failures(&out.program);
+            assert!(
+                bad.is_empty(),
+                "{}/{level} V3xx/strict findings:\n{}",
+                w.name,
+                bad.join("\n")
+            );
+        }
+    }
+}

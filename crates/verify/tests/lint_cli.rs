@@ -63,6 +63,66 @@ fn usage_problems_exit_two() {
     );
 }
 
+/// `--dataflow` turns on the V3xx family; without it the same file is
+/// clean, so existing CI invocations see no new findings. A provably
+/// out-of-range store (V302, warning) fails only under `--strict`.
+#[test]
+fn dataflow_flag_gates_the_v3xx_family() {
+    // r1 = 0xffffff (the top of the 24-bit word space); +1 walks past
+    // it, so the store's whole address interval is out of range.
+    let src = "mvi #0,r2\n lim #0xffffff,r1\n st r2,1(r1)\n halt\n";
+    let path = temp_source("dataflow-gate", src);
+    let out = lint().arg(&path).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "V3xx must be off by default");
+
+    let out = lint().arg("--dataflow").arg(&path).output().expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "V3xx findings are at most warnings: they fail only under --strict"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("V302"));
+
+    let out = lint()
+        .args(["--dataflow", "--strict"])
+        .arg(&path)
+        .output()
+        .expect("runs");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+/// The `--dataflow --json` lines use the same pinned schema as every
+/// other rule; dead writes surface at info severity (an optimization
+/// observation, not a defect).
+#[test]
+fn dataflow_json_lines_carry_the_pinned_schema() {
+    // The write to r1 is dead: nothing reads it before `halt`.
+    let path = temp_source("dataflow-json", "mvi #1,r1\n halt\n");
+    let out = lint()
+        .args(["--dataflow", "--json"])
+        .arg(&path)
+        .output()
+        .expect("runs");
+    std::fs::remove_file(&path).ok();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("\"rule\":\"V301\""))
+        .unwrap_or_else(|| panic!("no V301 JSON line in: {stdout}"));
+    for key in [
+        "\"rule\":\"V301\"",
+        "\"name\":\"dead-write\"",
+        "\"severity\":\"info\"",
+        "\"pc\":0",
+        "\"message\":",
+        "\"file\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in: {line}");
+    }
+    assert!(line.starts_with('{') && line.ends_with('}'));
+}
+
 #[test]
 fn json_lines_carry_the_pinned_schema() {
     let path = temp_source("json", "ld @100,r1\n add r1,#1,r2\n halt\n");

@@ -10,7 +10,9 @@
 //! Experiments: `table1` … `table11`, `figure1` … `figure4`, `free`,
 //! `wordwise`, `regalloc`, `systems`, `chaos`, `recovery`,
 //! `throughput` (which also writes the `BENCH_throughput.json`
-//! artifact the CI regression gate compares against).
+//! artifact the CI regression gate compares against), and `fleet`
+//! (which writes `BENCH_fleet.json`, the fleet scaling artifact its
+//! own gate compares against).
 
 use mips_analysis as analysis;
 use mips_hll::MachineTarget;
@@ -143,6 +145,15 @@ fn main() {
         println!("{report}");
         let path = "BENCH_throughput.json";
         std::fs::write(path, report.to_json()).expect("write throughput artifact");
+        println!("[wrote {path}]");
+    }
+
+    if want("fleet") {
+        section("Fleet serving: scaling curve and measured throughput");
+        let bench = mips_serve::measure_fleet(mips_serve::BENCH_SEED, mips_serve::BENCH_JOBS, 0);
+        println!("{bench}");
+        let path = "BENCH_fleet.json";
+        std::fs::write(path, bench.to_json()).expect("write fleet artifact");
         println!("[wrote {path}]");
     }
 

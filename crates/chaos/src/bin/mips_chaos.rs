@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N]
-//!                   [--recover | --no-recover] [--json]
+//!                   [--threads N] [--recover | --no-recover] [--json]
 //!
 //!   --seed N      campaign seed (decimal or 0x-hex; default 0xA5)
 //!   --cases N     chaos cases to run (default 200)
 //!   --faults N    maximum faults per case (default 3)
 //!   --fuzz N      also run N differential-fuzz cases per harness
+//!   --threads N   fan cases out over N fleet workers (0 = host
+//!                 parallelism, the default; 1 = sequential). The
+//!                 report is byte-identical at every thread count.
 //!   --recover     supervise injected runs: detected kills roll back to
 //!                 a checkpoint and replay; byte-identical survivors
 //!                 grade `recovered` (default off)
@@ -22,10 +25,10 @@
 //! The JSON artifact is deterministic for a given seed: CI replays the
 //! campaign and byte-compares the output.
 
-use mips_chaos::{fuzz_bare_faults, fuzz_static_dynamic, run_campaign, CampaignConfig};
+use mips_chaos::{fuzz_bare_faults, fuzz_static_dynamic, run_campaign_threaded, CampaignConfig};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--recover | --no-recover] [--json]";
+const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--threads N] [--recover | --no-recover] [--json]";
 
 fn parse_num(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -39,6 +42,7 @@ fn main() -> ExitCode {
     let mut cfg = CampaignConfig::default();
     let mut json = false;
     let mut fuzz: u64 = 0;
+    let mut threads: usize = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut num = |name: &str| -> Result<u64, ExitCode> {
@@ -64,6 +68,10 @@ fn main() -> ExitCode {
                 Ok(v) => fuzz = v,
                 Err(c) => return c,
             },
+            "--threads" => match num("--threads") {
+                Ok(v) => threads = v as usize,
+                Err(c) => return c,
+            },
             "--recover" => cfg.recover = true,
             "--no-recover" => cfg.recover = false,
             "--json" => json = true,
@@ -78,7 +86,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = run_campaign(&cfg);
+    let report = run_campaign_threaded(&cfg, threads);
     if json {
         print!("{}", report.to_json());
     } else {

@@ -197,9 +197,49 @@ pub fn standard_pool() -> Vec<PoolEntry> {
 
 /// A clean-run reference: total instructions and per-pid outcomes.
 #[derive(Debug, Clone)]
-struct Baseline {
+pub(crate) struct Baseline {
     instructions: u64,
     procs: Vec<(ProcStatus, Vec<u8>)>,
+}
+
+/// The seed-derived identity of one case: its workload set and the
+/// mid-state rng (advanced past the workload draw, about to generate
+/// the fault plan). Splitting the draw from the run is what lets the
+/// fleet executor run cases in any order while every random decision
+/// stays pinned to `(seed, case)` exactly as in the sequential path.
+#[derive(Debug, Clone)]
+pub(crate) struct CasePlan {
+    pub(crate) case: u64,
+    pub(crate) chosen: Vec<usize>,
+    rng: Rng,
+}
+
+/// Draws case `case`'s workload set (order fixes pid assignment),
+/// leaving the rng where `FaultPlan::generate` expects it.
+pub(crate) fn plan_case(cfg: &CampaignConfig, case: u64, pool_len: usize) -> CasePlan {
+    let mut rng = case_rng(cfg.seed, case);
+    let count = rng.usize(2..4);
+    let mut avail: Vec<usize> = (0..pool_len).collect();
+    let mut chosen = Vec::with_capacity(count);
+    for _ in 0..count {
+        chosen.push(avail.remove(rng.usize(0..avail.len())));
+    }
+    CasePlan { case, chosen, rng }
+}
+
+/// Runs a workload set clean and records the reference outcome.
+pub(crate) fn compute_baseline(pool: &[PoolEntry], chosen: &[usize], engine: Engine) -> Baseline {
+    let r = run_set(pool, chosen, None, BASE_STEP_LIMIT, engine, None, NO_HOOK)
+        .expect("baseline run of honest workloads succeeds");
+    assert!(r.panic.is_none(), "baseline run must not panic");
+    Baseline {
+        instructions: r.instructions,
+        procs: r
+            .procs
+            .iter()
+            .map(|p| (p.status, p.output.clone()))
+            .collect(),
+    }
 }
 
 fn run_set<F>(
@@ -239,13 +279,23 @@ fn case_rng(seed: u64, case: u64) -> Rng {
     Rng::new(seed ^ case.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Runs a full campaign.
+/// Runs a full campaign sequentially. The fleet-backed path
+/// ([`crate::parallel::run_campaign_threaded`]) emits byte-identical
+/// reports because both share `plan_case`, `compute_baseline`, and
+/// `run_planned_case`; only the schedule differs.
 pub fn run_campaign(cfg: &CampaignConfig) -> ChaosReport {
     let pool = standard_pool();
     let klen = kernel_program().len() as u32;
     let mut baselines: HashMap<Vec<usize>, Baseline> = HashMap::new();
     let cases = (0..cfg.cases)
-        .map(|i| run_case(cfg, i, &pool, klen, &mut baselines))
+        .map(|i| {
+            let plan = plan_case(cfg, i, pool.len());
+            let base = baselines
+                .entry(plan.chosen.clone())
+                .or_insert_with(|| compute_baseline(&pool, &plan.chosen, cfg.engine))
+                .clone();
+            run_planned_case(cfg, plan, &pool, klen, &base)
+        })
         .collect();
     ChaosReport {
         seed: cfg.seed,
@@ -255,48 +305,23 @@ pub fn run_campaign(cfg: &CampaignConfig) -> ChaosReport {
     }
 }
 
-fn run_case(
+/// Runs one planned case against its precomputed baseline — the
+/// self-contained unit both the sequential loop and the fleet
+/// executor schedule.
+pub(crate) fn run_planned_case(
     cfg: &CampaignConfig,
-    case: u64,
+    plan_state: CasePlan,
     pool: &[PoolEntry],
     klen: u32,
-    baselines: &mut HashMap<Vec<usize>, Baseline>,
+    base: &Baseline,
 ) -> CaseResult {
-    let mut rng = case_rng(cfg.seed, case);
-
-    // Draw 2–3 distinct workloads; order fixes pid assignment.
-    let count = rng.usize(2..4);
-    let mut avail: Vec<usize> = (0..pool.len()).collect();
-    let mut chosen = Vec::with_capacity(count);
-    for _ in 0..count {
-        chosen.push(avail.remove(rng.usize(0..avail.len())));
-    }
+    let CasePlan {
+        case,
+        chosen,
+        mut rng,
+    } = plan_state;
+    let count = chosen.len();
     let workloads: Vec<&'static str> = chosen.iter().map(|&i| pool[i].name).collect();
-
-    let base = baselines
-        .entry(chosen.clone())
-        .or_insert_with(|| {
-            let r = run_set(
-                pool,
-                &chosen,
-                None,
-                BASE_STEP_LIMIT,
-                cfg.engine,
-                None,
-                NO_HOOK,
-            )
-            .expect("baseline run of honest workloads succeeds");
-            assert!(r.panic.is_none(), "baseline run must not panic");
-            Baseline {
-                instructions: r.instructions,
-                procs: r
-                    .procs
-                    .iter()
-                    .map(|p| (p.status, p.output.clone()))
-                    .collect(),
-            }
-        })
-        .clone();
 
     let plan = FaultPlan::generate(&mut rng, count as u32, base.instructions, cfg.max_faults);
     let victim = plan.victim;
@@ -339,7 +364,7 @@ fn run_case(
         .map(|(at, desc)| format!("@{at} {desc}"))
         .collect();
 
-    let (outcome, note, kernel_panic, watchdog_fired, restarts) = classify(&run, &base, victim);
+    let (outcome, note, kernel_panic, watchdog_fired, restarts) = classify(&run, base, victim);
     CaseResult {
         case,
         workloads,

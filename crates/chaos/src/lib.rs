@@ -50,6 +50,7 @@ pub mod campaign;
 pub mod differential;
 pub mod fault;
 pub mod inject;
+pub mod parallel;
 pub mod report;
 
 pub use campaign::{run_campaign, standard_pool, CampaignConfig, PoolEntry, SUPERVISOR};
@@ -58,4 +59,5 @@ pub use differential::{
 };
 pub use fault::{FaultKind, FaultPlan, PageCorruption, PlannedFault, MIN_TRIGGER};
 pub use inject::{InjectionRecord, Injector};
+pub use parallel::run_campaign_threaded;
 pub use report::{CaseResult, ChaosReport, FaultRecord, KindRow, Outcome, Summary};

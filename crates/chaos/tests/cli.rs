@@ -75,6 +75,50 @@ fn usage_errors_exit_two() {
         Some(2),
         "non-numeric seed is a usage error"
     );
+    let out = chaos().args(["--threads", "many"]).output().expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "non-numeric thread count is a usage error"
+    );
+}
+
+#[test]
+fn thread_count_never_changes_the_artifact() {
+    let run = |threads: &str| {
+        chaos()
+            .args([
+                "--seed",
+                "0xA5",
+                "--cases",
+                "8",
+                "--threads",
+                threads,
+                "--json",
+            ])
+            .output()
+            .expect("mips-chaos runs")
+    };
+    let one = run("1");
+    assert!(
+        one.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&one.stderr)
+    );
+    for threads in ["8", "0"] {
+        let n = run(threads);
+        assert!(n.status.success());
+        assert_eq!(
+            n.stdout, one.stdout,
+            "--threads {threads} diverged from --threads 1"
+        );
+    }
+    // The flag changes scheduling only; the default path matches too.
+    let plain = chaos()
+        .args(["--seed", "0xA5", "--cases", "8", "--json"])
+        .output()
+        .expect("runs");
+    assert_eq!(plain.stdout, one.stdout);
 }
 
 #[test]

@@ -1,0 +1,281 @@
+//! The standard fleet job: one self-contained machine run.
+//!
+//! A [`FleetJob`] owns everything its run needs — the program(s), the
+//! engine choice, the kernel configuration including supervision — so
+//! a worker can execute it with zero shared state. The retired
+//! [`FleetResult`] captures only *simulation-visible* facts (statuses,
+//! outputs, instruction counts); host timing deliberately never
+//! appears, which is what makes results byte-stable across schedules
+//! ([`FleetResult::to_bytes`] is the canonical encoding the
+//! serial-vs-parallel diffs compare).
+
+use crate::pool::FleetWork;
+use mips_core::Program;
+use mips_os::{Kernel, KernelConfig, ProcStatus};
+use mips_sim::{Engine, Machine, MachineConfig};
+
+/// What a job runs.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// One program on the bare machine (native traps, no kernel).
+    Bare {
+        program: Program,
+        engine: Engine,
+        /// Runaway guard for the machine.
+        step_limit: u64,
+    },
+    /// A multiprogrammed set under the guest kernel. `config` carries
+    /// the engine and the optional recovery (supervision) policy.
+    Kernel {
+        /// `(name, program)` in spawn (pid) order.
+        procs: Vec<(String, Program)>,
+        config: KernelConfig,
+    },
+}
+
+/// A self-contained unit of fleet work.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// Label echoed into the result (workload name, case id, …).
+    pub name: String,
+    /// The run description.
+    pub spec: JobSpec,
+}
+
+impl FleetJob {
+    /// A bare-metal run with the default step limit.
+    pub fn bare(name: &str, program: Program, engine: Engine) -> FleetJob {
+        FleetJob {
+            name: name.to_string(),
+            spec: JobSpec::Bare {
+                program,
+                engine,
+                step_limit: MachineConfig::default().step_limit,
+            },
+        }
+    }
+
+    /// A kernel-hosted run of `procs` under `config`.
+    pub fn kernel(name: &str, procs: Vec<(String, Program)>, config: KernelConfig) -> FleetJob {
+        FleetJob {
+            name: name.to_string(),
+            spec: JobSpec::Kernel { procs, config },
+        }
+    }
+}
+
+/// The byte-stable outcome of one job. Every field is a pure function
+/// of the job description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetResult {
+    /// The job's label.
+    pub name: String,
+    /// One-line outcome: `halt`, `idle`, `panic(...)`, `error: ...`.
+    pub status: String,
+    /// Simulated instructions executed (user + kernel).
+    pub instructions: u64,
+    /// Observable output: the bare machine's stream, or every
+    /// process's demultiplexed bytes concatenated in pid order.
+    pub output: Vec<u8>,
+    /// Structured detail — kernel jobs record per-process verdicts and
+    /// the kernel counters; deterministic text, no host state.
+    pub detail: String,
+}
+
+impl FleetResult {
+    /// Canonical encoding for byte-diffs: length-prefixed fields, no
+    /// host-dependent content anywhere.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            self.name.len() + self.status.len() + self.output.len() + self.detail.len() + 40,
+        );
+        let mut field = |bytes: &[u8]| {
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(bytes);
+        };
+        field(self.name.as_bytes());
+        field(self.status.as_bytes());
+        field(&self.instructions.to_le_bytes());
+        field(&self.output);
+        field(self.detail.as_bytes());
+        out
+    }
+}
+
+/// Renders a process status deterministically.
+fn status_str(s: &ProcStatus) -> String {
+    match s {
+        ProcStatus::Running => "running".into(),
+        ProcStatus::Exited(code) => format!("exit({code})"),
+        ProcStatus::Killed(cause) => format!("killed({cause:?})"),
+    }
+}
+
+/// Executes a job to completion. Every failure mode lands in the
+/// result's `status`; this function never panics on simulator errors,
+/// so a poisoned job cannot take its worker down.
+pub fn run_job(job: FleetJob) -> FleetResult {
+    match job.spec {
+        JobSpec::Bare {
+            program,
+            engine,
+            step_limit,
+        } => {
+            let mut m = Machine::with_config(
+                program,
+                MachineConfig {
+                    step_limit,
+                    ..MachineConfig::default()
+                },
+            );
+            m.set_engine(engine);
+            let status = match m.run() {
+                Ok(_) => "halt".to_string(),
+                Err(e) => format!("error: {e}"),
+            };
+            FleetResult {
+                name: job.name,
+                status,
+                instructions: m.profile().instructions,
+                output: m.output().to_vec(),
+                detail: String::new(),
+            }
+        }
+        JobSpec::Kernel { procs, config } => {
+            let mut k = Kernel::with_config(config);
+            for (name, program) in &procs {
+                if let Err(e) = k.spawn(name, program.clone()) {
+                    return FleetResult {
+                        name: job.name,
+                        status: format!("error: spawn {name}: {e}"),
+                        instructions: 0,
+                        output: Vec::new(),
+                        detail: String::new(),
+                    };
+                }
+            }
+            match k.run_until_idle() {
+                Ok(r) => {
+                    let status = match &r.panic {
+                        Some(p) => format!("panic({:?}@{:#x})", p.cause, p.pc),
+                        None => "idle".to_string(),
+                    };
+                    let mut output = Vec::new();
+                    let mut detail = String::new();
+                    for p in &r.procs {
+                        output.extend_from_slice(&p.output);
+                        detail.push_str(&format!(
+                            "{}:{}:{};",
+                            p.pid,
+                            status_str(&p.status),
+                            p.output.len()
+                        ));
+                    }
+                    let c = r.counters;
+                    detail.push_str(&format!(
+                        "ticks={} faults={} soft={} evict={} sys={} switch={} restarts={}",
+                        c.ticks,
+                        c.faults,
+                        c.soft_faults,
+                        c.evictions,
+                        c.syscalls,
+                        c.switches,
+                        r.recoveries.len()
+                    ));
+                    FleetResult {
+                        name: job.name,
+                        status,
+                        instructions: r.instructions,
+                        output,
+                        detail,
+                    }
+                }
+                Err(e) => FleetResult {
+                    name: job.name,
+                    status: format!("error: {e}"),
+                    instructions: 0,
+                    output: Vec::new(),
+                    detail: String::new(),
+                },
+            }
+        }
+    }
+}
+
+impl FleetWork for FleetJob {
+    type Out = FleetResult;
+    fn execute(self) -> FleetResult {
+        run_job(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{run_ordered, run_serial};
+
+    const COUNT_S: &str = "\
+        mvi #48,r2
+        mvi #58,r3
+    loop:
+        mov r2,r1
+        trap #1
+        add r2,#1,r2
+        blt r2,r3,loop
+        nop
+        mvi #0,r1
+        trap #0
+        halt
+    ";
+
+    fn counting_job(engine: Engine) -> FleetJob {
+        let program = mips_asm::assemble(COUNT_S).expect("assembles");
+        FleetJob::bare("count", program, engine)
+    }
+
+    #[test]
+    fn a_bare_job_retires_its_output() {
+        let r = run_job(counting_job(Engine::Reference));
+        assert_eq!(r.status, "halt");
+        assert_eq!(r.output, b"0123456789");
+        assert!(r.instructions > 10);
+    }
+
+    #[test]
+    fn engines_retire_identical_results() {
+        let a = run_job(counting_job(Engine::Reference));
+        let b = run_job(counting_job(Engine::Fast));
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn a_kernel_job_reports_per_process_outcomes() {
+        let program = mips_asm::assemble(COUNT_S).expect("assembles");
+        let job = FleetJob::kernel(
+            "pair",
+            vec![
+                ("a".to_string(), program.clone()),
+                ("b".to_string(), program),
+            ],
+            KernelConfig::default(),
+        );
+        let r = run_job(job);
+        assert_eq!(r.status, "idle");
+        assert_eq!(r.output, b"01234567890123456789");
+        assert!(r.detail.starts_with("1:exit(0):10;2:exit(0):10;"));
+    }
+
+    #[test]
+    fn fleet_results_are_schedule_independent() {
+        let jobs: Vec<FleetJob> = (0..24).map(|_| counting_job(Engine::Fast)).collect();
+        let serial: Vec<Vec<u8>> = run_serial(jobs.clone())
+            .iter()
+            .map(FleetResult::to_bytes)
+            .collect();
+        let parallel: Vec<Vec<u8>> = run_ordered(jobs, 4)
+            .iter()
+            .map(FleetResult::to_bytes)
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+}

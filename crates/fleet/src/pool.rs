@@ -1,0 +1,318 @@
+//! The work-stealing executor: per-worker deques, a shared injector,
+//! and a bounded result channel.
+//!
+//! ## Scheduling discipline
+//!
+//! Submitted jobs enter the **injector** (FIFO). An idle worker pulls a
+//! small batch from the injector into its own deque, then works that
+//! deque LIFO (the classic owner-end discipline — freshly pulled work
+//! is cache-warm). A worker whose deque and the injector are both
+//! empty **steals** from a sibling's deque FIFO — the oldest entries,
+//! the ones the owner is furthest from reaching — taking up to half of
+//! what it finds. Workers with nothing to do park on a condition
+//! variable with a short timeout so a late steal opportunity (one
+//! worker stuck on a long job with a loaded deque) is never missed for
+//! long.
+//!
+//! ## Why results stay deterministic
+//!
+//! The executor never shares mutable state between jobs; it only moves
+//! whole jobs. Retire *order* is scheduling-dependent, so every result
+//! travels with the job id assigned at submission, and batch consumers
+//! ([`run_ordered`]) place results by id — making the collected output
+//! a pure function of the submitted jobs. The bounded channel provides
+//! backpressure: when the consumer lags, workers block in `send`
+//! rather than buffering unboundedly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// A unit of fleet work: moved whole onto a worker, executed exactly
+/// once. `execute` must be a **pure function of `self`** (no ambient
+/// state, no host timing in the output) for the fleet's determinism
+/// contract to hold, and should catch its own failure modes into
+/// `Out` rather than panicking.
+pub trait FleetWork: Send + 'static {
+    /// The retired result.
+    type Out: Send + 'static;
+    /// Runs the job to completion.
+    fn execute(self) -> Self::Out;
+}
+
+/// How long an idle worker parks before re-scanning for steals.
+const PARK: Duration = Duration::from_micros(500);
+/// Most jobs an idle worker pulls from the injector in one batch.
+const INJECTOR_BATCH: usize = 8;
+
+struct Core<W: FleetWork> {
+    injector: Mutex<VecDeque<(u64, W)>>,
+    deques: Vec<Mutex<VecDeque<(u64, W)>>>,
+    wake: Condvar,
+    closed: AtomicBool,
+    /// Jobs submitted and not yet retired (in a deque, the injector,
+    /// or executing). Workers exit when this hits zero after `close`.
+    in_flight: AtomicUsize,
+}
+
+/// A running fleet: submit jobs, read results from the receiver
+/// returned by [`Fleet::new`], then [`Fleet::close`] and
+/// [`Fleet::join`].
+pub struct Fleet<W: FleetWork> {
+    core: Arc<Core<W>>,
+    next_id: AtomicU64,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl<W: FleetWork> Fleet<W> {
+    /// Spawns `threads` workers (0 = the host's available parallelism)
+    /// and returns the fleet plus the result stream. `capacity` bounds
+    /// the result channel: a consumer that stops reading stalls the
+    /// workers after `capacity` undelivered results (backpressure),
+    /// it never grows memory without bound.
+    pub fn new(threads: usize, capacity: usize) -> (Fleet<W>, Receiver<(u64, W::Out)>) {
+        let threads = if threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let (tx, rx) = sync_channel(capacity.max(1));
+        let core = Arc::new(Core {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            wake: Condvar::new(),
+            closed: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|me| {
+                let core = Arc::clone(&core);
+                let tx = tx.clone();
+                thread::Builder::new()
+                    .name(format!("fleet-worker-{me}"))
+                    .spawn(move || worker_loop(&core, me, &tx))
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        (
+            Fleet {
+                core,
+                next_id: AtomicU64::new(0),
+                workers,
+            },
+            rx,
+        )
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.core.deques.len()
+    }
+
+    /// Submits a job; returns the id its result will carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Fleet::close`].
+    pub fn submit(&self, work: W) -> u64 {
+        assert!(
+            !self.core.closed.load(Ordering::SeqCst),
+            "submit after close"
+        );
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.core.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.core.injector.lock().unwrap().push_back((id, work));
+        self.core.wake.notify_one();
+        id
+    }
+
+    /// Declares the job stream complete; workers exit once everything
+    /// in flight has retired.
+    pub fn close(&self) {
+        self.core.closed.store(true, Ordering::SeqCst);
+        self.core.wake.notify_all();
+    }
+
+    /// Closes (idempotently) and joins the workers. Drain the result
+    /// receiver **before** joining — with a full channel the workers
+    /// are blocked on `send` until the consumer reads or drops it.
+    pub fn join(mut self) {
+        self.close();
+        for h in self.workers.drain(..) {
+            h.join().expect("fleet worker panicked");
+        }
+    }
+}
+
+fn worker_loop<W: FleetWork>(core: &Core<W>, me: usize, tx: &SyncSender<(u64, W::Out)>) {
+    loop {
+        let job = pop_local(core, me)
+            .or_else(|| pull_injector(core, me))
+            .or_else(|| steal(core, me));
+        match job {
+            Some((id, work)) => {
+                let out = work.execute();
+                // A dropped receiver means the consumer gave up on the
+                // batch; keep draining so `join` terminates.
+                let _ = tx.send((id, out));
+                if core.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    core.wake.notify_all();
+                }
+            }
+            None => {
+                if core.closed.load(Ordering::SeqCst) && core.in_flight.load(Ordering::SeqCst) == 0
+                {
+                    return;
+                }
+                let guard = core.injector.lock().unwrap();
+                if guard.is_empty() {
+                    // Re-check under the lock, then park briefly; the
+                    // timeout bounds how stale a steal scan can get.
+                    let _ = core.wake.wait_timeout(guard, PARK);
+                }
+            }
+        }
+    }
+}
+
+/// Owner end of the local deque (LIFO).
+fn pop_local<W: FleetWork>(core: &Core<W>, me: usize) -> Option<(u64, W)> {
+    core.deques[me].lock().unwrap().pop_back()
+}
+
+/// Pulls up to [`INJECTOR_BATCH`] jobs; the first is returned, the
+/// rest land in the local deque (stealable by siblings).
+fn pull_injector<W: FleetWork>(core: &Core<W>, me: usize) -> Option<(u64, W)> {
+    let mut injector = core.injector.lock().unwrap();
+    let first = injector.pop_front()?;
+    let extra: Vec<_> = (1..INJECTOR_BATCH)
+        .map_while(|_| injector.pop_front())
+        .collect();
+    drop(injector);
+    if !extra.is_empty() {
+        core.deques[me].lock().unwrap().extend(extra);
+        core.wake.notify_one();
+    }
+    Some(first)
+}
+
+/// Steals up to half of a sibling's deque from the FIFO end; the
+/// first stolen job is returned, the rest join the local deque.
+fn steal<W: FleetWork>(core: &Core<W>, me: usize) -> Option<(u64, W)> {
+    let n = core.deques.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        let mut taken: Vec<(u64, W)> = {
+            let mut d = core.deques[victim].lock().unwrap();
+            let count = d.len().div_ceil(2);
+            d.drain(..count).collect()
+        };
+        if taken.is_empty() {
+            continue;
+        }
+        let first = taken.remove(0);
+        if !taken.is_empty() {
+            core.deques[me].lock().unwrap().extend(taken);
+        }
+        return Some(first);
+    }
+    None
+}
+
+/// Runs every job on the fleet and returns results **in submission
+/// order** — byte-identical to [`run_serial`] for deterministic work,
+/// whatever `threads` or the steal schedule did.
+pub fn run_ordered<W: FleetWork>(works: Vec<W>, threads: usize) -> Vec<W::Out> {
+    let n = works.len();
+    // Capacity n: collection keeps up by construction, so the channel
+    // never stalls a worker in the batch path.
+    let (fleet, rx) = Fleet::new(threads, n.max(1));
+    for w in works {
+        fleet.submit(w);
+    }
+    fleet.close();
+    let mut out: Vec<Option<W::Out>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (id, result) in rx.iter().take(n) {
+        out[id as usize] = Some(result);
+    }
+    fleet.join();
+    out.into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never retired")))
+        .collect()
+}
+
+/// The reference schedule: every job in submission order on the
+/// calling thread. The byte-diff baseline for [`run_ordered`].
+pub fn run_serial<W: FleetWork>(works: Vec<W>) -> Vec<W::Out> {
+    works.into_iter().map(W::execute).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Square(u64);
+    impl FleetWork for Square {
+        type Out = u64;
+        fn execute(self) -> u64 {
+            self.0 * self.0
+        }
+    }
+
+    #[test]
+    fn ordered_results_match_serial_at_any_worker_count() {
+        let serial = run_serial((0..500).map(Square).collect());
+        for threads in [1, 2, 4, 8] {
+            let parallel = run_ordered((0..500).map(Square).collect(), threads);
+            assert_eq!(parallel, serial, "{threads} workers");
+        }
+    }
+
+    #[test]
+    fn streaming_delivers_every_id_exactly_once() {
+        let (fleet, rx) = Fleet::new(3, 4);
+        for i in 0..64 {
+            fleet.submit(Square(i));
+        }
+        fleet.close();
+        let mut seen = [false; 64];
+        for (id, out) in rx.iter().take(64) {
+            assert_eq!(out, id * id);
+            assert!(!seen[id as usize], "id {id} retired twice");
+            seen[id as usize] = true;
+        }
+        fleet.join();
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn a_bounded_channel_applies_backpressure_without_deadlock() {
+        // Capacity 1 with a slow consumer: workers must block in
+        // send, then drain once the consumer catches up.
+        let (fleet, rx) = Fleet::new(4, 1);
+        for i in 0..32 {
+            fleet.submit(Square(i));
+        }
+        fleet.close();
+        let mut got = 0;
+        for _ in 0..32 {
+            std::thread::sleep(Duration::from_millis(1));
+            let _ = rx.recv().unwrap();
+            got += 1;
+        }
+        fleet.join();
+        assert_eq!(got, 32);
+    }
+
+    #[test]
+    fn an_empty_fleet_joins_cleanly() {
+        let (fleet, rx) = Fleet::<Square>::new(2, 1);
+        fleet.close();
+        assert!(rx.recv().is_err());
+        fleet.join();
+    }
+}

@@ -1,0 +1,175 @@
+//! Virtual-time replay of the fleet schedule — the host-independent
+//! scaling model.
+//!
+//! Wall-clock scaling numbers depend on how many cores the measuring
+//! host happens to have (a 1-core CI container shows a flat curve no
+//! matter how good the scheduler is). The pinned half of
+//! `BENCH_fleet.json` therefore comes from here: a **deterministic
+//! discrete-event replay** of the fleet discipline in which a job's
+//! cost is its *simulated instruction count* — a quantity that is
+//! itself byte-stable — and worker count is a model parameter. The
+//! replay produces identical bytes on every host, which is what lets
+//! CI byte-compare the scaling curve instead of chasing wall-clock
+//! noise.
+//!
+//! The model is list scheduling over the injector order: each job, in
+//! submission order (gated by its arrival time for open-loop mixes),
+//! goes to the earliest-free worker, ties to the lowest index. For
+//! independent jobs this is exactly the schedule an idealized
+//! work-stealing pool converges to — stealing exists to *reach* the
+//! list schedule despite deques, not to beat it — so makespan and
+//! latency quantiles from the replay are the scheduler's capacity, not
+//! an optimistic bound. (Greedy list scheduling is within 2x of
+//! optimal makespan in the worst case, and within `max_job/total` of
+//! ideal speedup on real mixes — the skew term the curve makes
+//! visible.)
+
+/// One job in the model: a cost in virtual units (simulated
+/// instructions) and an arrival offset in the same units (0 for
+/// closed batches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualJob {
+    pub cost: u64,
+    pub arrival: u64,
+}
+
+impl VirtualJob {
+    /// A batch job present from time zero.
+    pub fn batch(cost: u64) -> VirtualJob {
+        VirtualJob { cost, arrival: 0 }
+    }
+}
+
+/// The replayed schedule at one worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualSchedule {
+    /// Modeled worker count.
+    pub workers: usize,
+    /// Virtual time the last job retires.
+    pub makespan: u64,
+    /// Per-job `completion - arrival`, in job order.
+    pub latencies: Vec<u64>,
+    /// Sum of all job costs (the serial makespan for batch arrivals).
+    pub total_cost: u64,
+}
+
+impl VirtualSchedule {
+    /// Replays `jobs` on `workers` modeled workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn replay(jobs: &[VirtualJob], workers: usize) -> VirtualSchedule {
+        assert!(workers > 0, "a schedule needs at least one worker");
+        let mut free_at = vec![0u64; workers];
+        let mut latencies = Vec::with_capacity(jobs.len());
+        let mut makespan = 0u64;
+        let mut total_cost = 0u64;
+        for job in jobs {
+            // Earliest-free worker, lowest index on ties: the list
+            // schedule over injector (submission) order.
+            let (w, _) = free_at
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &t)| (t, i))
+                .expect("workers > 0");
+            let start = free_at[w].max(job.arrival);
+            let done = start + job.cost;
+            free_at[w] = done;
+            latencies.push(done - job.arrival);
+            makespan = makespan.max(done);
+            total_cost += job.cost;
+        }
+        VirtualSchedule {
+            workers,
+            makespan,
+            latencies,
+            total_cost,
+        }
+    }
+
+    /// Speedup over the serial schedule of the same jobs (for batch
+    /// arrivals the serial makespan is the total cost).
+    pub fn speedup(&self, serial_makespan: u64) -> f64 {
+        serial_makespan as f64 / self.makespan.max(1) as f64
+    }
+
+    /// Latency quantile `q` in [0, 1] (nearest-rank, deterministic).
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        percentile(&self.latencies, q)
+    }
+}
+
+/// Nearest-rank percentile over an unsorted slice; 0 for empty input.
+pub fn percentile(values: &[u64], q: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_uniform_batch_scales_linearly() {
+        let jobs: Vec<VirtualJob> = (0..40).map(|_| VirtualJob::batch(100)).collect();
+        let serial = VirtualSchedule::replay(&jobs, 1);
+        assert_eq!(serial.makespan, 4000);
+        let four = VirtualSchedule::replay(&jobs, 4);
+        assert_eq!(four.makespan, 1000);
+        assert!((four.speedup(serial.makespan) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_bounds_the_speedup_by_the_longest_job() {
+        // One 1000-unit job plus forty 10-unit jobs: the long job is
+        // the critical path at any worker count.
+        let mut jobs = vec![VirtualJob::batch(1000)];
+        jobs.extend((0..40).map(|_| VirtualJob::batch(10)));
+        let s = VirtualSchedule::replay(&jobs, 8);
+        assert_eq!(s.makespan, 1000);
+        assert_eq!(s.total_cost, 1400);
+    }
+
+    #[test]
+    fn arrivals_gate_start_times() {
+        let jobs = vec![
+            VirtualJob {
+                cost: 50,
+                arrival: 0,
+            },
+            VirtualJob {
+                cost: 50,
+                arrival: 200,
+            },
+        ];
+        let s = VirtualSchedule::replay(&jobs, 4);
+        assert_eq!(s.makespan, 250);
+        assert_eq!(s.latencies, vec![50, 50]);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn the_replay_is_deterministic() {
+        let jobs: Vec<VirtualJob> = (0..64)
+            .map(|i| VirtualJob::batch(1 + (i * 37) % 501))
+            .collect();
+        assert_eq!(
+            VirtualSchedule::replay(&jobs, 4),
+            VirtualSchedule::replay(&jobs, 4)
+        );
+    }
+}

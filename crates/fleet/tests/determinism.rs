@@ -1,0 +1,174 @@
+//! The fleet's central promise, stress-tested: results are
+//! byte-identical to serial execution at every worker count, for every
+//! job kind the stack can produce, under schedules engineered to
+//! maximize stealing and skew.
+
+use mips_chaos::{run_campaign, standard_pool, CampaignConfig, PoolEntry};
+use mips_fleet::{run_job, run_ordered, run_serial, FleetJob, FleetResult, FleetWork};
+use mips_os::KernelConfig;
+use mips_qc::Rng;
+use mips_sim::Engine;
+
+/// One unit of mixed work: everything the stack serves, reduced to a
+/// common byte-stable output for cross-schedule diffing.
+enum MixedWork {
+    Machine(Box<FleetJob>),
+    Chaos(CampaignConfig),
+}
+
+impl FleetWork for MixedWork {
+    type Out = Vec<u8>;
+    fn execute(self) -> Vec<u8> {
+        match self {
+            MixedWork::Machine(job) => run_job(*job).to_bytes(),
+            MixedWork::Chaos(cfg) => run_campaign(&cfg).to_json().into_bytes(),
+        }
+    }
+}
+
+fn engine(rng: &mut Rng) -> Engine {
+    if rng.bool() {
+        Engine::Fast
+    } else {
+        Engine::Reference
+    }
+}
+
+/// Draws one job from the mixed distribution. Chaos and recover
+/// campaigns are kept tiny (one case) so the 200-job suite stays
+/// affordable, but they exercise the full campaign machinery —
+/// injection, grading, and for recover the checkpoint/replay path.
+fn draw(rng: &mut Rng, pool: &[PoolEntry]) -> MixedWork {
+    match rng.weighted(&[10, 5, 2, 1]) {
+        0 => {
+            let entry = rng.pick(pool);
+            MixedWork::Machine(Box::new(FleetJob::bare(
+                entry.name,
+                entry.program.clone(),
+                engine(rng),
+            )))
+        }
+        1 => {
+            let count = rng.usize(2..4);
+            let procs: Vec<(String, mips_core::Program)> = (0..count)
+                .map(|_| {
+                    let entry = rng.pick(pool);
+                    (entry.name.to_string(), entry.program.clone())
+                })
+                .collect();
+            let config = KernelConfig {
+                time_slice: *rng.pick(&[10_000, 20_000, 40_000]),
+                engine: engine(rng),
+                ..KernelConfig::default()
+            };
+            MixedWork::Machine(Box::new(FleetJob::kernel("mix", procs, config)))
+        }
+        2 => MixedWork::Chaos(CampaignConfig {
+            seed: rng.next_u64(),
+            cases: 1,
+            max_faults: rng.usize(1..3),
+            ..CampaignConfig::default()
+        }),
+        _ => MixedWork::Chaos(CampaignConfig {
+            seed: rng.next_u64(),
+            cases: 1,
+            max_faults: 1,
+            recover: true,
+            ..CampaignConfig::default()
+        }),
+    }
+}
+
+fn mixed_jobs(seed: u64, count: usize) -> Vec<MixedWork> {
+    let pool = standard_pool();
+    let mut rng = Rng::new(seed);
+    (0..count).map(|_| draw(&mut rng, &pool)).collect()
+}
+
+#[test]
+fn two_hundred_mixed_jobs_are_schedule_independent() {
+    let serial: Vec<Vec<u8>> = run_serial(mixed_jobs(0xF1EE7, 200));
+    for workers in [2, 4, 8] {
+        let parallel = run_ordered(mixed_jobs(0xF1EE7, 200), workers);
+        assert_eq!(
+            parallel.len(),
+            serial.len(),
+            "{workers} workers lost results"
+        );
+        for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+            assert_eq!(p, s, "job {i} diverged at {workers} workers");
+        }
+    }
+}
+
+/// Steal storm: far more tiny jobs than workers, so every worker's
+/// deque drains constantly and the injector and steal paths are
+/// exercised thousands of times. Each job is distinct (its own
+/// iteration count) so a mis-routed result cannot hide.
+#[test]
+fn a_steal_storm_of_tiny_jobs_keeps_every_result_in_place() {
+    let tiny = |i: usize| {
+        let n = 1 + (i % 7);
+        let src = format!(
+            "    mvi #{n},r2\n\
+             loop:\n\
+            \x20    mvi #{},r1\n\
+            \x20    trap #1\n\
+            \x20    sub r2,#1,r2\n\
+            \x20    bgt r2,#0,loop\n\
+            \x20    nop\n\
+            \x20    halt\n",
+            48 + (i % 10)
+        );
+        let program = mips_asm::assemble(&src).expect("tiny program assembles");
+        FleetJob::bare("tiny", program, Engine::Reference)
+    };
+    let jobs: Vec<FleetJob> = (0..600).map(tiny).collect();
+    let serial: Vec<FleetResult> = run_serial(jobs.clone());
+    for (i, r) in serial.iter().enumerate() {
+        assert_eq!(r.output.len(), 1 + (i % 7), "tiny job shape");
+    }
+    let stormed = run_ordered(jobs, 8);
+    assert_eq!(stormed, serial);
+}
+
+/// Skew: one job orders of magnitude longer than the rest. The long
+/// job pins a worker while the others race through the short tail —
+/// the schedule that most tempts a pool to reorder or drop results.
+#[test]
+fn one_long_job_among_many_short_ones_changes_nothing() {
+    let pool = standard_pool();
+    let long = {
+        // Nested 200x200 busy loops: ~200k instructions before halting
+        // (mvi immediates are 8-bit, so the count is built by nesting).
+        let src = "    mvi #200,r2\n\
+                   outer:\n\
+                   \x20    mvi #200,r3\n\
+                   inner:\n\
+                   \x20    sub r3,#1,r3\n\
+                   \x20    bgt r3,#0,inner\n\
+                   \x20    nop\n\
+                   \x20    sub r2,#1,r2\n\
+                   \x20    bgt r2,#0,outer\n\
+                   \x20    nop\n\
+                   \x20    mvi #33,r1\n\
+                   \x20    trap #1\n\
+                   \x20    halt\n";
+        let program = mips_asm::assemble(src).expect("long program assembles");
+        FleetJob::bare("long", program, Engine::Reference)
+    };
+    let mut jobs = vec![long];
+    for i in 0..80 {
+        let entry = &pool[i % pool.len()];
+        jobs.push(FleetJob::bare(
+            entry.name,
+            entry.program.clone(),
+            Engine::Fast,
+        ));
+    }
+    let serial = run_serial(jobs.clone());
+    assert!(serial[0].instructions > 100_000, "the long job is long");
+    for workers in [2, 8] {
+        assert_eq!(run_ordered(jobs.clone(), workers), serial);
+    }
+}

@@ -12,10 +12,8 @@ use crate::supervise::{LoopState, RecoveryEvent, Supervisor, SupervisorConfig};
 use mips_asm::assemble;
 use mips_core::{Instr, Program, Reg, Target, TrapPiece};
 use mips_sim::machine::CONSOLE_ADDR;
-use mips_sim::{Cause, Engine, Machine, MachineConfig, Mmio, PageMap, SimError, Surprise};
-use std::cell::RefCell;
+use mips_sim::{Cause, Engine, Machine, MachineConfig, Mmio, PageMap, Shared, SimError, Surprise};
 use std::fmt;
-use std::rc::Rc;
 
 /// The guest kernel's source, assembled at [`kernel_program`].
 pub const KERNEL_SRC: &str = include_str!("asm/kernel.s");
@@ -293,7 +291,7 @@ pub struct Kernel {
 
 /// Console device shared with the machine: the kernel writes
 /// `(pid << 8) | byte` words, the host demultiplexes afterwards.
-struct MuxConsole(Rc<RefCell<Vec<u32>>>);
+struct MuxConsole(Shared<Vec<u32>>);
 
 impl Mmio for MuxConsole {
     fn read(&mut self, _off: u32) -> u32 {
@@ -445,7 +443,7 @@ impl Kernel {
         m.set_engine(self.config.engine);
         m.attach_page_map(PageMap::new());
         m.attach_timer(self.config.time_slice, 0);
-        let console: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        let console: Shared<Vec<u32>> = Shared::new(Vec::new());
         m.mem_mut()
             .add_device(CONSOLE_ADDR, 1, Box::new(MuxConsole(console.clone())));
 

@@ -42,9 +42,7 @@
 use crate::kernel::SystemsCost;
 use crate::layout::{self, pcb};
 use mips_core::word::ADDR_BITS;
-use mips_sim::{Machine, SimError, Snapshot, PAGE_WORDS};
-use std::cell::RefCell;
-use std::rc::Rc;
+use mips_sim::{Machine, Shared, SimError, Snapshot, PAGE_WORDS};
 
 /// When and how often a killed process comes back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,7 +188,7 @@ pub(crate) struct Supervisor {
     cfg: SupervisorConfig,
     nprocs: usize,
     klen: u32,
-    console: Rc<RefCell<Vec<u32>>>,
+    console: Shared<Vec<u32>>,
     booted: bool,
     next_ckpt: u64,
     ckpt: Vec<Option<ProcCheckpoint>>,
@@ -210,7 +208,7 @@ impl Supervisor {
         cfg: SupervisorConfig,
         nprocs: usize,
         klen: u32,
-        console: Rc<RefCell<Vec<u32>>>,
+        console: Shared<Vec<u32>>,
     ) -> Supervisor {
         Supervisor {
             cfg,

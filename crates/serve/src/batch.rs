@@ -1,0 +1,169 @@
+//! The batch front-end: accept a job list, shard it across the fleet,
+//! stream results back as they retire, and account for latency.
+//!
+//! Two entry points:
+//!
+//! * [`run_batch`] — closed-loop: every job is present at time zero
+//!   (the throughput shape; wall clock measures capacity);
+//! * [`run_open_loop`] — each job arrives at its own offset and is
+//!   submitted no earlier (the serving shape; latency measures
+//!   queueing on top of service time).
+//!
+//! Both stream results off the fleet's **bounded** channel — a slow
+//! consumer stalls the workers after `capacity` undelivered results
+//! instead of growing memory — and both return results **in
+//! submission order**, so the report's byte content is independent of
+//! worker count and steal schedule. Only the timing numbers are
+//! host-dependent, and they are kept in separate fields the
+//! deterministic artifact never reads.
+
+use mips_fleet::{percentile, Fleet, FleetJob, FleetResult};
+use std::time::{Duration, Instant};
+
+/// Default result-channel bound for the serving paths.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// One batch run: deterministic results plus host-side timing.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job results in submission order — byte-stable.
+    pub results: Vec<FleetResult>,
+    /// Per-job `completion - arrival` in host nanoseconds, submission
+    /// order — host-dependent, never part of a pinned artifact.
+    pub latencies_ns: Vec<u64>,
+    /// Wall time from first submission to last retirement.
+    pub wall_ns: u64,
+    /// Worker threads the fleet ran.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Retired jobs per host second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.results.len() as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+
+    /// Simulated instructions retired across the batch.
+    pub fn total_instructions(&self) -> u64 {
+        self.results.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Host-latency quantile `q` in [0, 1] (nearest rank).
+    pub fn latency_ns(&self, q: f64) -> u64 {
+        percentile(&self.latencies_ns, q)
+    }
+}
+
+/// Runs `jobs` closed-loop on `threads` fleet workers.
+pub fn run_batch(jobs: Vec<FleetJob>, threads: usize, capacity: usize) -> BatchReport {
+    let arrivals = vec![0u64; jobs.len()];
+    run_open_loop(jobs, &arrivals, threads, capacity)
+}
+
+/// Runs `jobs` with open-loop arrivals: job `i` is submitted once
+/// `arrivals_ns[i]` host nanoseconds have elapsed (missing entries
+/// mean time zero). Arrivals must be non-decreasing — the feeder
+/// submits in order.
+///
+/// # Panics
+///
+/// Panics if a fleet worker panics (the job layer converts simulator
+/// failures into result statuses, so this indicates a harness bug).
+pub fn run_open_loop(
+    jobs: Vec<FleetJob>,
+    arrivals_ns: &[u64],
+    threads: usize,
+    capacity: usize,
+) -> BatchReport {
+    let n = jobs.len();
+    let (fleet, rx) = Fleet::new(threads, capacity.max(1));
+    let threads = fleet.workers();
+    let mut results: Vec<Option<FleetResult>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut latencies_ns = vec![0u64; n];
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        // Feeder: paces submissions against the arrival schedule.
+        s.spawn(|| {
+            for (i, job) in jobs.into_iter().enumerate() {
+                let due = arrivals_ns.get(i).copied().unwrap_or(0);
+                loop {
+                    let now = start.elapsed().as_nanos() as u64;
+                    if now >= due {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_nanos((due - now).min(200_000)));
+                }
+                fleet.submit(job);
+            }
+            fleet.close();
+        });
+        // Consumer: drains the bounded channel as results retire.
+        for (id, result) in rx {
+            let done = start.elapsed().as_nanos() as u64;
+            let i = id as usize;
+            let arrival = arrivals_ns.get(i).copied().unwrap_or(0);
+            latencies_ns[i] = done.saturating_sub(arrival);
+            results[i] = Some(result);
+        }
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    fleet.join();
+    BatchReport {
+        results: results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never retired")))
+            .collect(),
+        latencies_ns,
+        wall_ns,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips_sim::Engine;
+
+    fn count_job() -> FleetJob {
+        let src = "\
+            mvi #48,r2
+            mvi #53,r3
+        loop:
+            mov r2,r1
+            trap #1
+            add r2,#1,r2
+            blt r2,r3,loop
+            nop
+            halt
+        ";
+        FleetJob::bare(
+            "count5",
+            mips_asm::assemble(src).expect("assembles"),
+            Engine::Fast,
+        )
+    }
+
+    #[test]
+    fn batch_results_are_in_submission_order_and_schedule_independent() {
+        let jobs: Vec<FleetJob> = (0..30).map(|_| count_job()).collect();
+        let one = run_batch(jobs.clone(), 1, DEFAULT_CAPACITY);
+        let four = run_batch(jobs, 4, DEFAULT_CAPACITY);
+        assert_eq!(one.results, four.results);
+        assert_eq!(four.results.len(), 30);
+        assert!(four.results.iter().all(|r| r.output == b"01234"));
+        assert!(four.jobs_per_sec() > 0.0);
+        assert_eq!(four.threads, 4);
+    }
+
+    #[test]
+    fn open_loop_arrivals_space_out_latency_accounting() {
+        let jobs: Vec<FleetJob> = (0..4).map(|_| count_job()).collect();
+        // 2ms apart: the last job cannot complete before it arrives.
+        let arrivals: Vec<u64> = (0..4).map(|i| i * 2_000_000).collect();
+        let r = run_open_loop(jobs, &arrivals, 2, DEFAULT_CAPACITY);
+        assert!(r.wall_ns >= 6_000_000, "open loop respects arrivals");
+        assert_eq!(r.latencies_ns.len(), 4);
+        assert!(r.latency_ns(0.5) > 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! `fleet_load` — the open-loop load generator.
+//!
+//! ```text
+//! usage: fleet_load [--seed N] [--jobs N] [--threads N] [--rate R] [--write PATH]
+//!
+//!   --seed N     mix seed (decimal or 0x-hex; default 0xF1EE)
+//!   --jobs N     jobs to generate (default 96)
+//!   --threads N  fleet workers (0 = host parallelism, the default)
+//!   --rate R     open-loop arrival rate in jobs/sec; 0 (the default)
+//!                submits the whole batch at time zero (closed loop)
+//!   --write PATH regenerate the artifact (BENCH_fleet.json layout)
+//!                at PATH after the run
+//! ```
+//!
+//! Prints the `tables fleet` section: the deterministic virtual-time
+//! scaling curve, then the measured wall-clock line for *this* host
+//! and run. Exit status: 0 on success, 1 if any job retired with an
+//! error status, 2 on usage errors.
+
+use mips_serve::{
+    bench_from_batch, run_open_loop, standard_mix, BENCH_JOBS, BENCH_SEED, DEFAULT_CAPACITY,
+};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: fleet_load [--seed N] [--jobs N] [--threads N] [--rate R] [--write PATH]";
+
+fn parse_num(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut seed = BENCH_SEED;
+    let mut jobs = BENCH_JOBS;
+    let mut threads = 0usize;
+    let mut rate = 0f64;
+    let mut write: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |name: &str| -> Result<String, ExitCode> {
+            args.next().ok_or_else(|| {
+                eprintln!("fleet_load: {name} needs an argument\n{USAGE}");
+                ExitCode::from(2)
+            })
+        };
+        let bad = |name: &str| -> ExitCode {
+            eprintln!("fleet_load: {name} needs a numeric argument\n{USAGE}");
+            ExitCode::from(2)
+        };
+        match arg.as_str() {
+            "--seed" => match next("--seed").map(|s| parse_num(&s)) {
+                Ok(Some(v)) => seed = v,
+                Ok(None) => return bad("--seed"),
+                Err(c) => return c,
+            },
+            "--jobs" => match next("--jobs").map(|s| parse_num(&s)) {
+                Ok(Some(v)) => jobs = v as usize,
+                Ok(None) => return bad("--jobs"),
+                Err(c) => return c,
+            },
+            "--threads" => match next("--threads").map(|s| parse_num(&s)) {
+                Ok(Some(v)) => threads = v as usize,
+                Ok(None) => return bad("--threads"),
+                Err(c) => return c,
+            },
+            "--rate" => match next("--rate") {
+                Ok(s) => match s.parse::<f64>() {
+                    Ok(v) if v >= 0.0 => rate = v,
+                    _ => return bad("--rate"),
+                },
+                Err(c) => return c,
+            },
+            "--write" => match next("--write") {
+                Ok(p) => write = Some(p),
+                Err(c) => return c,
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => {
+                eprintln!("fleet_load: unknown argument '{arg}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mix = standard_mix(seed, jobs);
+    let arrivals: Vec<u64> = if rate > 0.0 {
+        (0..jobs).map(|i| (i as f64 * 1e9 / rate) as u64).collect()
+    } else {
+        vec![0; jobs]
+    };
+    let report = run_open_loop(mix, &arrivals, threads, DEFAULT_CAPACITY);
+    let bench = bench_from_batch(seed, &report);
+    println!("{bench}");
+
+    let failures: Vec<&str> = report
+        .results
+        .iter()
+        .filter(|r| r.status.starts_with("error"))
+        .map(|r| r.name.as_str())
+        .collect();
+    if !failures.is_empty() {
+        eprintln!(
+            "fleet_load: {} job(s) failed: {:?}",
+            failures.len(),
+            failures
+        );
+    }
+
+    if let Some(path) = write {
+        if let Err(e) = std::fs::write(&path, bench.to_json()) {
+            eprintln!("fleet_load: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

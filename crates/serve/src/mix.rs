@@ -1,0 +1,115 @@
+//! The standard serving mix: a deterministic, seeded stream of
+//! [`FleetJob`]s drawn from the compiled workload corpus.
+//!
+//! The mix is the unit every serving number is quoted against — the
+//! load generator replays it, `BENCH_fleet.json` pins its virtual-time
+//! scaling curve, and the gate's serial-vs-parallel byte-diff replays
+//! it. Determinism is therefore load-bearing: `standard_mix(seed, n)`
+//! must return the same jobs in the same order on every host and
+//! every call, which it does because the only entropy is the seeded
+//! [`Rng`] and the corpus is compiled by the in-tree pipeline.
+
+use mips_core::Program;
+use mips_fleet::FleetJob;
+use mips_hll::{compile_mips, CodegenOptions};
+use mips_os::KernelConfig;
+use mips_qc::Rng;
+use mips_reorg::{reorganize, ReorgOptions};
+use mips_sim::Engine;
+
+/// Corpus programs small enough to serve by the hundred (the puzzle
+/// and queens workloads run tens of millions of instructions each and
+/// would drown the mix).
+pub const MIX_WORKLOADS: [&str; 7] = [
+    "fib",
+    "strings",
+    "wordcount",
+    "formatter",
+    "dispatch",
+    "validate",
+    "sort",
+];
+
+/// Compiles the mix pool: `(name, program)` for each entry of
+/// [`MIX_WORKLOADS`], through the full compile → reorganize pipeline.
+///
+/// # Panics
+///
+/// Panics if an in-tree workload stops compiling — a build-time
+/// invariant, not a runtime condition.
+pub fn mix_pool() -> Vec<(String, Program)> {
+    MIX_WORKLOADS
+        .iter()
+        .map(|name| {
+            let w = mips_workloads::get(name).expect("mix workload exists");
+            let lc = compile_mips(w.source, &CodegenOptions::standard()).expect("mix compiles");
+            let out = reorganize(&lc, ReorgOptions::FULL).expect("mix reorganizes");
+            (name.to_string(), out.program)
+        })
+        .collect()
+}
+
+/// Draws one job: mostly bare-metal runs on either engine, with a
+/// steady fraction of multiprogrammed kernel jobs to keep the paging
+/// and scheduling paths in the serving profile.
+fn draw(rng: &mut Rng, pool: &[(String, Program)]) -> FleetJob {
+    let engine = if rng.ratio(3, 4) {
+        Engine::Fast
+    } else {
+        Engine::Reference
+    };
+    if rng.ratio(4, 5) {
+        let (name, program) = rng.pick(pool);
+        FleetJob::bare(name, program.clone(), engine)
+    } else {
+        let count = rng.usize(2..4);
+        let procs: Vec<(String, Program)> = (0..count)
+            .map(|_| {
+                let (name, program) = rng.pick(pool);
+                (name.clone(), program.clone())
+            })
+            .collect();
+        let config = KernelConfig {
+            time_slice: *rng.pick(&[10_000u64, 20_000, 40_000]),
+            engine,
+            ..KernelConfig::default()
+        };
+        FleetJob::kernel("kmix", procs, config)
+    }
+}
+
+/// The standard mix: `count` jobs drawn deterministically from `seed`
+/// over a freshly compiled pool.
+pub fn standard_mix(seed: u64, count: usize) -> Vec<FleetJob> {
+    let pool = mix_pool();
+    let mut rng = Rng::new(seed);
+    (0..count).map(|_| draw(&mut rng, &pool)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_mix_is_deterministic() {
+        // Two independent draws must produce the same jobs — compared
+        // by executing them, the strongest equality the contract needs.
+        let a = mips_fleet::run_serial(standard_mix(7, 6));
+        let b = mips_fleet::run_serial(standard_mix(7, 6));
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bytes(), y.to_bytes());
+        }
+    }
+
+    #[test]
+    fn the_mix_contains_both_job_kinds() {
+        let jobs = standard_mix(1, 40);
+        let kernels = jobs
+            .iter()
+            .filter(|j| matches!(j.spec, mips_fleet::JobSpec::Kernel { .. }))
+            .count();
+        assert!(kernels > 0, "no kernel jobs in 40 draws");
+        assert!(kernels < 40, "no bare jobs in 40 draws");
+    }
+}

@@ -1,0 +1,46 @@
+//! The committed `BENCH_fleet.json` is live: its deterministic block
+//! must be exactly what the current code regenerates from the same
+//! seed, and the curve it pins must clear the acceptance floors.
+
+use mips_serve::{deterministic_part, measure_fleet, BENCH_JOBS, BENCH_SEED, SPEEDUP_FLOOR_AT_4};
+
+fn committed() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::read_to_string(path).expect("BENCH_fleet.json is committed at the repo root")
+}
+
+#[test]
+fn the_committed_artifact_matches_a_fresh_regeneration_byte_for_byte() {
+    let committed = committed();
+    // Worker count is a host detail; the deterministic block is not
+    // allowed to depend on it.
+    let fresh = measure_fleet(BENCH_SEED, BENCH_JOBS, 2).to_json();
+    assert_eq!(
+        deterministic_part(&committed).expect("committed artifact has a measured block"),
+        deterministic_part(&fresh).expect("fresh artifact has a measured block"),
+        "BENCH_fleet.json is stale: regenerate with \
+         `cargo run --release -p mips-serve --bin fleet_load -- --write BENCH_fleet.json`"
+    );
+}
+
+#[test]
+fn the_pinned_curve_clears_the_acceptance_floors() {
+    let committed = committed();
+    // At least three worker counts on the curve.
+    let points = committed.matches("{\"workers\":").count();
+    assert!(points >= 3, "only {points} scaling points");
+    // The 4-worker speedup floor, read from the pinned text itself.
+    let at = committed.find("\"speedup_at_4\":").expect("field present");
+    let v: f64 = committed[at + 15..]
+        .trim_start()
+        .split([',', '\n'])
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .expect("speedup_at_4 parses");
+    assert!(
+        v >= SPEEDUP_FLOOR_AT_4,
+        "speedup@4 {v} below the {SPEEDUP_FLOOR_AT_4}x floor"
+    );
+}

@@ -1,0 +1,111 @@
+//! `fleet_gate` / `fleet_load` CLI contracts: exit codes 0/1/2 and
+//! the replay byte-diff.
+
+use std::process::Command;
+
+fn gate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fleet_gate"))
+}
+
+fn load() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fleet_load"))
+}
+
+fn artifact_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json")
+}
+
+#[test]
+fn comparing_the_artifact_to_itself_passes() {
+    let out = gate()
+        .args(["--compare", artifact_path(), artifact_path()])
+        .output()
+        .expect("fleet_gate runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("byte-identical"), "got: {text}");
+    assert!(text.contains("PASS"), "got: {text}");
+}
+
+#[test]
+fn a_tampered_scaling_block_is_a_regression() {
+    let base = std::fs::read_to_string(artifact_path()).expect("artifact committed");
+    let tampered = base.replace("\"total_cost\": ", "\"total_cost\": 1");
+    assert_ne!(base, tampered, "tamper must change the text");
+    let dir = std::env::temp_dir();
+    let path = dir.join("fleet_gate_tampered.json");
+    std::fs::write(&path, tampered).unwrap();
+    let out = gate()
+        .args(["--compare", artifact_path(), path.to_str().unwrap()])
+        .output()
+        .expect("fleet_gate runs");
+    assert_eq!(out.status.code(), Some(1), "divergence must exit 1");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("DIVERGED"), "got: {text}");
+}
+
+#[test]
+fn usage_and_parse_errors_exit_two() {
+    let out = gate().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "no arguments is a usage error");
+    let out = gate()
+        .arg("/nonexistent/artifact.json")
+        .output()
+        .expect("runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unreadable file is a usage error"
+    );
+    let dir = std::env::temp_dir();
+    let path = dir.join("fleet_gate_not_an_artifact.json");
+    std::fs::write(&path, "{}\n").unwrap();
+    let out = gate()
+        .args(["--compare", path.to_str().unwrap(), path.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "wrong schema is a parse error");
+    let out = load().args(["--rate", "fast"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "bad rate is a usage error");
+    let out = load().args(["--bogus"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+}
+
+#[test]
+fn the_replay_byte_diff_passes() {
+    let out = gate().arg("--replay").output().expect("fleet_gate runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("byte-identical: PASS"), "got: {text}");
+}
+
+#[test]
+fn the_load_generator_prints_the_fleet_table() {
+    let out = load()
+        .args(["--jobs", "8", "--threads", "2", "--rate", "400"])
+        .output()
+        .expect("fleet_load runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("fleet mix: seed 0xf1ee, 8 jobs"),
+        "got: {text}"
+    );
+    assert!(text.contains("workers"), "got: {text}");
+    assert!(text.contains("measured: 2 threads"), "got: {text}");
+}

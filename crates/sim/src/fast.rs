@@ -56,7 +56,7 @@ use mips_core::word::{extract_byte, insert_byte};
 use mips_core::{
     AluPiece, Cond, Instr, MemMode, MemPiece, Operand, Program, RefClass, Reg, Width, MEM_WORDS,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which execution engine drives [`Machine::run`] and the batched
 /// entry points. The per-step [`Machine::step`] is always the
@@ -410,10 +410,10 @@ impl Machine {
                 break;
             }
             let image = match &self.fast {
-                Some(f) => Rc::clone(f),
+                Some(f) => Arc::clone(f),
                 None => {
-                    let f = Rc::new(FastProgram::predecode(&self.program, &self.refclass));
-                    self.fast = Some(Rc::clone(&f));
+                    let f = Arc::new(FastProgram::predecode(&self.program, &self.refclass));
+                    self.fast = Some(Arc::clone(&f));
                     f
                 }
             };

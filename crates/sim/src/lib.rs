@@ -65,6 +65,7 @@ pub mod machine;
 pub mod mem;
 pub mod mmu;
 pub mod profile;
+pub mod shared;
 pub mod snap;
 pub mod surprise;
 
@@ -76,5 +77,6 @@ pub use machine::{Machine, MachineConfig, StopReason};
 pub use mem::{ConsolePort, IntCtrl, MapUnitPort, Memory, Mmio};
 pub use mmu::{PageMap, Segmentation, PAGE_WORDS};
 pub use profile::Profile;
+pub use shared::Shared;
 pub use snap::{Snapshot, SNAP_MAGIC};
 pub use surprise::Surprise;

@@ -32,14 +32,14 @@ use crate::hazard::{Hazard, HazardKind};
 use crate::mem::{IntCtrl, IntCtrlPort, MapUnitPort, Memory};
 use crate::mmu::{PageMap, Segmentation};
 use crate::profile::Profile;
+use crate::shared::Shared;
 use crate::surprise::Surprise;
 use mips_core::delay::{BRANCH_DELAY, INDIRECT_DELAY};
 use mips_core::word::MEM_WORDS;
 use mips_core::{
     AluPiece, Instr, MemPiece, Operand, Program, RefClass, Reg, SpecialOp, SpecialReg, Width,
 };
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Native trap-service codes (the "firmware" services used when
 /// [`MachineConfig::native_traps`] is on; with it off these are ordinary
@@ -212,9 +212,9 @@ pub struct Machine {
     pub(crate) load_in_flight: Option<(Reg, u32)>,
     pub(crate) pending: PendingSet,
     pub(crate) mem: Memory,
-    pub(crate) page_map: Option<Rc<RefCell<PageMap>>>,
-    pub(crate) fault_addr: Rc<RefCell<u32>>,
-    pub(crate) int_ctrl: Option<Rc<RefCell<IntCtrl>>>,
+    pub(crate) page_map: Option<Shared<PageMap>>,
+    pub(crate) fault_addr: Shared<u32>,
+    pub(crate) int_ctrl: Option<Shared<IntCtrl>>,
     pub(crate) irq_line: bool,
     pub(crate) timer: Option<Timer>,
     pub(crate) halted: bool,
@@ -224,7 +224,7 @@ pub struct Machine {
     pub(crate) engine: Engine,
     /// Predecoded fast-path image, built lazily and invalidated when the
     /// refclass sidecar changes (the program itself is immutable).
-    pub(crate) fast: Option<Rc<FastProgram>>,
+    pub(crate) fast: Option<Arc<FastProgram>>,
     /// Armed snapshot point (absolute instruction count): the batched
     /// entry points stop here so the host can capture a [`crate::Snapshot`]
     /// at a chunk boundary. Host-side control state, not architectural —
@@ -279,7 +279,7 @@ impl Machine {
             pending: PendingSet::default(),
             mem: Memory::new(),
             page_map: None,
-            fault_addr: Rc::new(RefCell::new(0)),
+            fault_addr: Shared::new(0),
             int_ctrl: None,
             irq_line: false,
             timer: None,
@@ -364,8 +364,8 @@ impl Machine {
 
     /// Installs the off-chip page-map unit and its MMIO port. Mapping
     /// takes effect when the surprise register's map-enable bit is set.
-    pub fn attach_page_map(&mut self, map: PageMap) -> Rc<RefCell<PageMap>> {
-        let shared = Rc::new(RefCell::new(map));
+    pub fn attach_page_map(&mut self, map: PageMap) -> Shared<PageMap> {
+        let shared = Shared::new(map);
         self.mem.add_device(
             MAPUNIT_ADDR,
             3,
@@ -376,7 +376,7 @@ impl Machine {
     }
 
     /// Installs the external interrupt controller and its MMIO port.
-    pub fn attach_int_ctrl(&mut self) -> Rc<RefCell<IntCtrl>> {
+    pub fn attach_int_ctrl(&mut self) -> Shared<IntCtrl> {
         let ctrl = IntCtrl::new();
         self.mem
             .add_device(INTCTRL_ADDR, 1, Box::new(IntCtrlPort(ctrl.clone())));
@@ -386,7 +386,7 @@ impl Machine {
 
     /// Installs the console output peripheral; returns the shared byte
     /// buffer it writes into.
-    pub fn attach_console(&mut self) -> Rc<RefCell<Vec<u8>>> {
+    pub fn attach_console(&mut self) -> Shared<Vec<u8>> {
         let (port, buf) = crate::mem::ConsolePort::new();
         self.mem.add_device(CONSOLE_ADDR, 1, Box::new(port));
         buf
@@ -406,7 +406,7 @@ impl Machine {
     /// at the next enabled instruction boundary. Periods shorter than the
     /// software's dispatch-plus-handler path will starve user progress —
     /// exactly as on the real machine.
-    pub fn attach_timer(&mut self, period: u64, device: u32) -> Rc<RefCell<IntCtrl>> {
+    pub fn attach_timer(&mut self, period: u64, device: u32) -> Shared<IntCtrl> {
         let ctrl = match &self.int_ctrl {
             Some(c) => c.clone(),
             None => self.attach_int_ctrl(),
@@ -428,13 +428,13 @@ impl Machine {
 
     /// The attached interrupt controller, if any (shared handle; fault
     /// injectors raise and drop device requests through it).
-    pub fn int_ctrl(&self) -> Option<Rc<RefCell<IntCtrl>>> {
+    pub fn int_ctrl(&self) -> Option<Shared<IntCtrl>> {
         self.int_ctrl.clone()
     }
 
     /// The attached page map, if any (shared handle; fault injectors
     /// corrupt entries through it).
-    pub fn page_map(&self) -> Option<Rc<RefCell<PageMap>>> {
+    pub fn page_map(&self) -> Option<Shared<PageMap>> {
         self.page_map.clone()
     }
 

@@ -13,9 +13,8 @@
 //! queue that the machine drains one transfer per free cycle.
 
 use crate::mmu::PageMap;
-use std::cell::RefCell;
+use crate::shared::Shared;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
 
 const PAGE: u32 = 4096;
 
@@ -50,7 +49,7 @@ pub enum Dma {
 struct Device {
     base: u32,
     len: u32,
-    dev: Box<dyn Mmio>,
+    dev: Box<dyn Mmio + Send>,
 }
 
 /// The physical memory system: sparse word storage, device windows, and
@@ -144,7 +143,7 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if the window overlaps an existing device.
-    pub fn add_device(&mut self, base: u32, len: u32, dev: Box<dyn Mmio>) {
+    pub fn add_device(&mut self, base: u32, len: u32, dev: Box<dyn Mmio + Send>) {
         for d in &self.devices {
             assert!(
                 base + len <= d.base || base >= d.base + d.len,
@@ -264,8 +263,8 @@ pub struct IntCtrl {
 
 impl IntCtrl {
     /// Creates a controller with no pending devices.
-    pub fn new() -> Rc<RefCell<IntCtrl>> {
-        Rc::new(RefCell::new(IntCtrl::default()))
+    pub fn new() -> Shared<IntCtrl> {
+        Shared::new(IntCtrl::default())
     }
 
     /// A device (0–31) requests service; asserts the interrupt line.
@@ -302,7 +301,7 @@ impl IntCtrl {
 
 /// MMIO adapter sharing an [`IntCtrl`].
 #[derive(Debug)]
-pub struct IntCtrlPort(pub Rc<RefCell<IntCtrl>>);
+pub struct IntCtrlPort(pub Shared<IntCtrl>);
 
 impl Mmio for IntCtrlPort {
     fn read(&mut self, _off: u32) -> u32 {
@@ -329,14 +328,14 @@ impl Mmio for IntCtrlPort {
 /// * `+2` write — unmap the written virtual page number.
 #[derive(Debug)]
 pub struct MapUnitPort {
-    map: Rc<RefCell<PageMap>>,
-    fault_addr: Rc<RefCell<u32>>,
+    map: Shared<PageMap>,
+    fault_addr: Shared<u32>,
     selected: u32,
 }
 
 impl MapUnitPort {
     /// Creates a port over a shared page map and fault-address latch.
-    pub fn new(map: Rc<RefCell<PageMap>>, fault_addr: Rc<RefCell<u32>>) -> MapUnitPort {
+    pub fn new(map: Shared<PageMap>, fault_addr: Shared<u32>) -> MapUnitPort {
         MapUnitPort {
             map,
             fault_addr,
@@ -465,8 +464,8 @@ mod tests {
 
     #[test]
     fn map_unit_port_updates_shared_map() {
-        let map = Rc::new(RefCell::new(PageMap::new()));
-        let fault = Rc::new(RefCell::new(0xabcd_u32));
+        let map = Shared::new(PageMap::new());
+        let fault = Shared::new(0xabcd_u32);
         let mut port = MapUnitPort::new(map.clone(), fault.clone());
         assert_eq!(port.read(0), 0xabcd);
         assert_eq!(port.read(1), 0);
@@ -490,12 +489,12 @@ mod tests {
 /// Register window (one word): write `+0` — emit the low byte; read `+0`
 /// — number of bytes emitted so far.
 #[derive(Debug)]
-pub struct ConsolePort(pub Rc<RefCell<Vec<u8>>>);
+pub struct ConsolePort(pub Shared<Vec<u8>>);
 
 impl ConsolePort {
     /// Creates the shared output buffer.
-    pub fn new() -> (ConsolePort, Rc<RefCell<Vec<u8>>>) {
-        let buf = Rc::new(RefCell::new(Vec::new()));
+    pub fn new() -> (ConsolePort, Shared<Vec<u8>>) {
+        let buf = Shared::new(Vec::new());
         (ConsolePort(buf.clone()), buf)
     }
 }

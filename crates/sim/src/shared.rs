@@ -1,0 +1,128 @@
+//! [`Shared<T>`] — the send-safe shared-device cell.
+//!
+//! The machine and its host share device state through handles: the
+//! kernel holds the console buffer the guest's MMIO console port
+//! writes into, the fault injector reaches the same page map the map
+//! unit translates through, the snapshotter drains the same interrupt
+//! controller the timer raises. Those handles were `Rc<RefCell<T>>`,
+//! which pins a whole `Machine`+`Kernel` pair to the thread that
+//! created it — a fleet executor that migrates machines across
+//! work-stealing workers needs the pair to be [`Send`].
+//!
+//! `Shared<T>` is the same single-owner-at-a-time cell with an atomic
+//! spine: `Arc<Mutex<T>>` behind the familiar `borrow`/`borrow_mut`
+//! API. A machine is still driven by exactly one thread at a time (the
+//! fleet moves whole jobs, it never shares one machine between
+//! workers), so every lock is uncontended and short-lived; the mutex
+//! buys `Send + Sync`, not concurrency. Poisoning is deliberately
+//! ignored: a panic that unwinds through a borrow (the chaos
+//! campaign's `catch_unwind` boundary) must not cascade into every
+//! later observer of the same device — the guarded state itself is
+//! plain data that remains structurally valid.
+//!
+//! All borrows in the tree are short and non-reentrant (audited when
+//! this replaced `RefCell`); holding a guard across a second borrow of
+//! the *same* handle would deadlock where `RefCell` panicked, which is
+//! the same bug surfaced differently.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cloneable, [`Send`]-safe shared cell for device state that a
+/// machine and its host both hold handles to.
+pub struct Shared<T: ?Sized>(Arc<Mutex<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps `value` in a fresh shared cell.
+    pub fn new(value: T) -> Shared<T> {
+        Shared(Arc::new(Mutex::new(value)))
+    }
+}
+
+impl<T: ?Sized> Shared<T> {
+    /// Locks the cell for reading. The guard also permits writing —
+    /// `Mutex` has no shared-read mode — but call sites use `borrow`
+    /// to document read-only intent.
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.lock()
+    }
+
+    /// Locks the cell for writing.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.lock()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, T> {
+        // A poisoned cell holds plain device data that is still
+        // structurally valid; recover it instead of cascading panics
+        // across the chaos campaign's unwind boundary.
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// True when two handles refer to the same cell.
+    pub fn ptr_eq(a: &Shared<T>, b: &Shared<T>) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl<T: ?Sized> Clone for Shared<T> {
+    fn clone(&self) -> Shared<T> {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Default> Default for Shared<T> {
+    fn default() -> Shared<T> {
+        Shared::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `try_lock` so a Debug format while a guard is live (e.g. a
+        // panic message built inside a borrow) cannot deadlock.
+        match self.0.try_lock() {
+            Ok(g) => f.debug_tuple("Shared").field(&&*g).finish(),
+            Err(_) => f.write_str("Shared(<locked>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state_and_compare_by_pointer() {
+        let a = Shared::new(vec![1u32]);
+        let b = a.clone();
+        b.borrow_mut().push(2);
+        assert_eq!(*a.borrow(), vec![1, 2]);
+        assert!(Shared::ptr_eq(&a, &b));
+        assert!(!Shared::ptr_eq(&a, &Shared::new(vec![1, 2])));
+    }
+
+    #[test]
+    fn a_shared_handle_crosses_threads() {
+        let cell = Shared::new(0u64);
+        let moved = cell.clone();
+        std::thread::spawn(move || *moved.borrow_mut() += 41)
+            .join()
+            .unwrap();
+        *cell.borrow_mut() += 1;
+        assert_eq!(*cell.borrow(), 42);
+    }
+
+    #[test]
+    fn poisoning_is_recovered_not_cascaded() {
+        let cell = Shared::new(7u32);
+        let moved = cell.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _g = moved.borrow_mut();
+            panic!("unwind through a borrow");
+        });
+        assert_eq!(*cell.borrow(), 7);
+    }
+}

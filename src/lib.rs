@@ -34,7 +34,14 @@
 //! * [`analysis`] — the measurement tooling behind every table of the
 //!   paper;
 //! * [`workloads`] — the benchmark corpus (Fibonacci, Puzzle, text
-//!   processing).
+//!   processing);
+//! * [`fleet`] — the work-stealing executor that runs thousands of
+//!   independent simulated machines on one host with byte-identical
+//!   results at any worker count (`fleet::Fleet`, `fleet::FleetJob`);
+//! * [`serve`] — the batch/open-loop serving front-end over the fleet:
+//!   sharding, bounded-channel streaming, latency accounting, and the
+//!   pinned `BENCH_fleet.json` scaling artifact with its `fleet_gate`
+//!   CI gate.
 //!
 //! See the repository README for a tour and `examples/quickstart.rs` for
 //! the compile → reorganize → simulate pipeline in ten lines.
@@ -44,9 +51,11 @@ pub use mips_asm as asm;
 pub use mips_ccm as ccm;
 pub use mips_chaos as chaos;
 pub use mips_core as core;
+pub use mips_fleet as fleet;
 pub use mips_hll as hll;
 pub use mips_os as os;
 pub use mips_reorg as reorg;
+pub use mips_serve as serve;
 pub use mips_sim as sim;
 pub use mips_verify as verify;
 pub use mips_workloads as workloads;

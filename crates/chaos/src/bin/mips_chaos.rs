@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N]
-//!                   [--threads N] [--recover | --no-recover] [--json]
+//!                   [--threads N] [--recover | --no-recover]
+//!                   [--net [--replicas N]] [--json]
 //!
 //!   --seed N      campaign seed (decimal or 0x-hex; default 0xA5)
-//!   --cases N     chaos cases to run (default 200)
+//!   --cases N     chaos cases to run (default 200; 120 with --net)
 //!   --faults N    maximum faults per case (default 3)
 //!   --fuzz N      also run N differential-fuzz cases per harness
 //!   --threads N   fan cases out over N fleet workers (0 = host
@@ -15,20 +16,29 @@
 //!                 a checkpoint and replay; byte-identical survivors
 //!                 grade `recovered` (default off)
 //!   --no-recover  force supervision off (the default, spelled out)
+//!   --net         run the *distributed* campaign instead: guest
+//!                 clusters on the deterministic fabric under frame
+//!                 faults, partitions, and node kills. Fails unless
+//!                 nothing escaped AND every net-kill case graded
+//!                 `recovered`. (--faults/--fuzz/--recover don't apply)
+//!   --replicas N  counter-cluster replicas for --net (default 2)
 //!   --json        emit the byte-stable JSON report instead of the table
 //! ```
 //!
-//! Exit status: 0 when nothing escaped, 1 when any case escaped its
-//! victim (or the differential fuzz found a divergence or host panic),
-//! 2 on usage errors.
+//! Exit status: 0 when nothing escaped (and, with --net, every kill
+//! recovered), 1 when any case escaped its victim (or the differential
+//! fuzz found a divergence or host panic), 2 on usage errors.
 //!
 //! The JSON artifact is deterministic for a given seed: CI replays the
 //! campaign and byte-compares the output.
 
-use mips_chaos::{fuzz_bare_faults, fuzz_static_dynamic, run_campaign_threaded, CampaignConfig};
+use mips_chaos::{
+    fuzz_bare_faults, fuzz_static_dynamic, kills_all_recovered, run_campaign_threaded,
+    run_net_campaign_threaded, CampaignConfig, NetCampaignConfig,
+};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--threads N] [--recover | --no-recover] [--json]";
+const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--threads N] [--recover | --no-recover] [--net [--replicas N]] [--json]";
 
 fn parse_num(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -43,6 +53,9 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut fuzz: u64 = 0;
     let mut threads: usize = 0;
+    let mut net = false;
+    let mut cases_given = false;
+    let mut replicas: u32 = 2;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut num = |name: &str| -> Result<u64, ExitCode> {
@@ -57,7 +70,10 @@ fn main() -> ExitCode {
                 Err(c) => return c,
             },
             "--cases" => match num("--cases") {
-                Ok(v) => cfg.cases = v,
+                Ok(v) => {
+                    cfg.cases = v;
+                    cases_given = true;
+                }
                 Err(c) => return c,
             },
             "--faults" => match num("--faults") {
@@ -74,6 +90,11 @@ fn main() -> ExitCode {
             },
             "--recover" => cfg.recover = true,
             "--no-recover" => cfg.recover = false,
+            "--net" => net = true,
+            "--replicas" => match num("--replicas") {
+                Ok(v) => replicas = v as u32,
+                Err(c) => return c,
+            },
             "--json" => json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -84,6 +105,34 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if net {
+        let ncfg = NetCampaignConfig {
+            seed: cfg.seed,
+            cases: if cases_given {
+                cfg.cases
+            } else {
+                NetCampaignConfig::default().cases
+            },
+            replicas,
+            ..NetCampaignConfig::default()
+        };
+        let report = run_net_campaign_threaded(&ncfg, threads);
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{report}");
+        }
+        let recovered_floor = kills_all_recovered(&report);
+        if !recovered_floor {
+            eprintln!("mips-chaos: a net-kill case did not grade `recovered`");
+        }
+        return if report.clean() && recovered_floor {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let report = run_campaign_threaded(&cfg, threads);

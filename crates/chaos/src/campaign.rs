@@ -261,6 +261,7 @@ where
         watchdog,
         engine,
         supervisor,
+        nic: None,
     });
     for &i in chosen {
         k.spawn(pool[i].name, pool[i].program.clone())?;
@@ -301,6 +302,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> ChaosReport {
         seed: cfg.seed,
         max_faults: cfg.max_faults,
         recover: cfg.recover,
+        net: None,
         cases,
     }
 }

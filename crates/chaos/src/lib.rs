@@ -22,7 +22,13 @@
 //! * a **differential fuzz harness** ([`fuzz_static_dynamic`],
 //!   [`fuzz_bare_faults`]) pitting the static pipeline verifier
 //!   against the dynamic hazard detector, and the simulator's typed
-//!   error surface against raw bit-flips.
+//!   error surface against raw bit-flips;
+//! * a **distributed campaign** ([`run_net_campaign`]) that aims
+//!   network faults ([`NetFaultPlan`] — frame drop/duplicate/
+//!   reorder/corrupt, partitions, node kills) at guest clusters on
+//!   the deterministic fabric (`mips-net`), restores killed nodes
+//!   from cluster checkpoints, and demands the cluster's output stay
+//!   byte-identical to the fault-free baseline.
 //!
 //! The campaign's pass criterion is *zero escapes*: every fault is
 //! either harmless, contained to its victim, or loudly reported by
@@ -50,6 +56,8 @@ pub mod campaign;
 pub mod differential;
 pub mod fault;
 pub mod inject;
+pub mod netcampaign;
+pub mod netfault;
 pub mod parallel;
 pub mod report;
 
@@ -59,5 +67,11 @@ pub use differential::{
 };
 pub use fault::{FaultKind, FaultPlan, PageCorruption, PlannedFault, MIN_TRIGGER};
 pub use inject::{InjectionRecord, Injector};
+pub use netcampaign::{
+    kills_all_recovered, run_net_campaign, run_net_campaign_threaded, NetCampaignConfig,
+};
+pub use netfault::{FrameFault, NetFaultKind, NetFaultPlan, NodeKill, PartitionWindow};
 pub use parallel::run_campaign_threaded;
-pub use report::{CaseResult, ChaosReport, FaultRecord, KindRow, Outcome, Summary};
+pub use report::{
+    CaseResult, ChaosReport, FaultRecord, KindRow, NetNodeRow, NetSummary, Outcome, Summary,
+};

@@ -1,0 +1,337 @@
+//! Network fault plans: the distributed half of the fault model.
+//!
+//! A [`NetFaultPlan`] is drawn deterministically from a seed, like
+//! [`FaultPlan`](crate::FaultPlan), but its triggers live in *fabric*
+//! coordinates: frame indices (the Nth frame any node hands the
+//! fabric) and cluster rounds. Three families:
+//!
+//! * **frame faults** — drop, duplicate, reorder (extra latency), or
+//!   corrupt (single bit flip) one specific frame;
+//! * **partition windows** — block a node pair for a span of rounds,
+//!   then heal (plans always heal: an unhealed partition tests
+//!   nothing but the round budget);
+//! * **node kills** — roll one node back to its last checkpoint at a
+//!   chosen round, the crash-and-restart model.
+//!
+//! Kills are confined to an **early window**: after the boot
+//! checkpoint but well before the workloads' finish phase. A node
+//! killed *after* its last interaction with its peers has no incoming
+//! traffic left to re-synchronise it — no protocol can recover state
+//! nobody will ever send again — so late kills measure the calendar,
+//! not the protocols. [`KILL_WINDOW`] encodes the honest version of
+//! the experiment.
+
+use mips_qc::Rng;
+use std::fmt;
+
+/// Rounds in which a kill may fire: past the first periodic
+/// checkpoint refresh (so rollback distance is exercised, not just
+/// the boot snapshot) but strictly before any workload's finish
+/// phase — the replicated counter's `FIN` exchanges start around
+/// round 34, and a replica killed after its `FIN` has no future peer
+/// traffic left to re-synchronise it.
+pub const KILL_WINDOW: std::ops::Range<u64> = 17..30;
+
+/// Rounds in which a partition may open. Windows close (heal) early
+/// enough that guest idle timeouts never mistake one for the end of
+/// the run.
+pub const PARTITION_OPEN: std::ops::Range<u64> = 5..41;
+
+/// Maximum rounds a partition stays open.
+pub const PARTITION_SPAN: std::ops::Range<u64> = 5..21;
+
+/// Frame indices eligible for frame faults (early traffic; a planned
+/// fault on an index the run never reaches simply does not fire).
+pub const FRAME_WINDOW: std::ops::Range<u64> = 0..48;
+
+/// The distributed fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Lose one frame.
+    Drop,
+    /// Deliver one frame twice.
+    Duplicate,
+    /// Hold one frame back for extra rounds (reordering).
+    Reorder,
+    /// Flip one payload bit of one frame.
+    Corrupt,
+    /// Block a node pair for a window of rounds, then heal.
+    Partition,
+    /// Roll one node back to its last checkpoint.
+    Kill,
+}
+
+impl NetFaultKind {
+    /// Stable identifiers, report order. Extends
+    /// [`FaultKind::IDS`](crate::FaultKind::IDS) in the `by_kind`
+    /// table.
+    pub const IDS: [&'static str; 6] = [
+        "net-drop",
+        "net-dup",
+        "net-reorder",
+        "net-corrupt",
+        "net-partition",
+        "net-kill",
+    ];
+
+    /// This kind's stable identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            NetFaultKind::Drop => "net-drop",
+            NetFaultKind::Duplicate => "net-dup",
+            NetFaultKind::Reorder => "net-reorder",
+            NetFaultKind::Corrupt => "net-corrupt",
+            NetFaultKind::Partition => "net-partition",
+            NetFaultKind::Kill => "net-kill",
+        }
+    }
+}
+
+impl fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One planned frame fault: fires on the `frame`-th frame the cluster
+/// hands the fabric (counted across all nodes, in the deterministic
+/// collection order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameFault {
+    /// Global frame index the fault triggers on.
+    pub frame: u64,
+    /// Drop, Duplicate, Reorder, or Corrupt (never Partition/Kill).
+    pub kind: NetFaultKind,
+    /// Payload word to corrupt (Corrupt only).
+    pub word: usize,
+    /// Bit to flip (Corrupt only).
+    pub bit: u32,
+    /// Extra rounds of latency (Reorder only).
+    pub delay: u64,
+}
+
+impl fmt::Display for FrameFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            NetFaultKind::Corrupt => {
+                write!(
+                    f,
+                    "frame {}: net-corrupt word {} bit {}",
+                    self.frame, self.word, self.bit
+                )
+            }
+            NetFaultKind::Reorder => {
+                write!(
+                    f,
+                    "frame {}: net-reorder +{} rounds",
+                    self.frame, self.delay
+                )
+            }
+            kind => write!(f, "frame {}: {kind}", self.frame),
+        }
+    }
+}
+
+/// A partition window on one node pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// One side of the blocked pair.
+    pub a: u32,
+    /// The other side.
+    pub b: u32,
+    /// Round the partition opens (before the round's exchange).
+    pub from: u64,
+    /// Round it heals. Always greater than `from`.
+    pub heal: u64,
+}
+
+impl fmt::Display for PartitionWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds {}..{}: net-partition {{{}, {}}}",
+            self.from, self.heal, self.a, self.b
+        )
+    }
+}
+
+/// A scheduled node kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeKill {
+    /// Node rolled back.
+    pub node: u32,
+    /// Round the kill fires (before the round's exchange).
+    pub round: u64,
+}
+
+impl fmt::Display for NodeKill {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "round {}: net-kill node {} (restore last checkpoint)",
+            self.round, self.node
+        )
+    }
+}
+
+/// A complete distributed fault plan for one chaos case.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetFaultPlan {
+    /// Frame faults, ascending by frame index.
+    pub frames: Vec<FrameFault>,
+    /// At most one partition window.
+    pub partition: Option<PartitionWindow>,
+    /// At most one node kill.
+    pub kill: Option<NodeKill>,
+}
+
+impl NetFaultPlan {
+    /// Draws a plan whose *primary* fault is `primary`, for a cluster
+    /// of `nodes` nodes, plus up to two secondary frame faults — every
+    /// case exercises its headline kind, most cases mix in more. Pure
+    /// function of the generator state.
+    pub fn draw(rng: &mut Rng, nodes: u32, primary: NetFaultKind) -> NetFaultPlan {
+        let mut plan = NetFaultPlan::default();
+        match primary {
+            NetFaultKind::Partition => {
+                let a = rng.u32(0..nodes);
+                let b = (a + rng.u32(1..nodes)) % nodes;
+                let from = rng.u64(PARTITION_OPEN);
+                plan.partition = Some(PartitionWindow {
+                    a,
+                    b,
+                    from,
+                    heal: from + rng.u64(PARTITION_SPAN),
+                });
+            }
+            NetFaultKind::Kill => {
+                plan.kill = Some(NodeKill {
+                    node: rng.u32(0..nodes),
+                    round: rng.u64(KILL_WINDOW),
+                });
+            }
+            kind => plan.frames.push(Self::draw_frame(rng, kind)),
+        }
+        for _ in 0..rng.usize(0..3) {
+            let kind = *rng.pick(&[
+                NetFaultKind::Drop,
+                NetFaultKind::Duplicate,
+                NetFaultKind::Reorder,
+                NetFaultKind::Corrupt,
+            ]);
+            plan.frames.push(Self::draw_frame(rng, kind));
+        }
+        plan.frames.sort_by_key(|f| f.frame);
+        plan
+    }
+
+    fn draw_frame(rng: &mut Rng, kind: NetFaultKind) -> FrameFault {
+        FrameFault {
+            frame: rng.u64(FRAME_WINDOW),
+            kind,
+            word: rng.usize(0..4),
+            bit: rng.u32(0..32),
+            delay: rng.u64(1..7),
+        }
+    }
+
+    /// The node this plan aims at: the killed node, else one side of
+    /// the partition, else node 0 (frame faults hit traffic, not a
+    /// node — the client/coordinator is the observable party).
+    pub fn victim(&self) -> u32 {
+        if let Some(k) = self.kill {
+            k.node
+        } else if let Some(p) = self.partition {
+            p.a
+        } else {
+            0
+        }
+    }
+
+    /// Every kind this plan contains, in [`NetFaultKind::IDS`] order,
+    /// deduplicated.
+    pub fn kinds(&self) -> Vec<NetFaultKind> {
+        let mut kinds: Vec<NetFaultKind> = Vec::new();
+        let all = [
+            NetFaultKind::Drop,
+            NetFaultKind::Duplicate,
+            NetFaultKind::Reorder,
+            NetFaultKind::Corrupt,
+            NetFaultKind::Partition,
+            NetFaultKind::Kill,
+        ];
+        for k in all {
+            let present = match k {
+                NetFaultKind::Partition => self.partition.is_some(),
+                NetFaultKind::Kill => self.kill.is_some(),
+                k => self.frames.iter().any(|f| f.kind == k),
+            };
+            if present {
+                kinds.push(k);
+            }
+        }
+        kinds
+    }
+
+    /// Human-readable description of every planned fault, report
+    /// order: frame faults first, then the partition, then the kill.
+    pub fn describe(&self) -> Vec<(NetFaultKind, String)> {
+        let mut out: Vec<(NetFaultKind, String)> = self
+            .frames
+            .iter()
+            .map(|f| (f.kind, f.to_string()))
+            .collect();
+        if let Some(p) = self.partition {
+            out.push((NetFaultKind::Partition, p.to_string()));
+        }
+        if let Some(k) = self.kill {
+            out.push((NetFaultKind::Kill, k.to_string()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_is_deterministic_and_honours_the_primary_kind() {
+        let draw = |seed| {
+            let mut rng = Rng::new(seed);
+            NetFaultPlan::draw(&mut rng, 3, NetFaultKind::Kill)
+        };
+        assert_eq!(draw(9), draw(9));
+        let plan = draw(9);
+        let kill = plan.kill.expect("primary kind present");
+        assert!(KILL_WINDOW.contains(&kill.round));
+        assert!(kill.node < 3);
+        assert!(plan.kinds().contains(&NetFaultKind::Kill));
+    }
+
+    #[test]
+    fn partitions_always_heal_and_never_self_block() {
+        for seed in 0..64 {
+            let mut rng = Rng::new(seed);
+            let plan = NetFaultPlan::draw(&mut rng, 3, NetFaultKind::Partition);
+            let p = plan.partition.unwrap();
+            assert!(p.heal > p.from, "unhealed partition in {plan:?}");
+            assert_ne!(p.a, p.b, "self-partition in {plan:?}");
+            assert!(p.a < 3 && p.b < 3);
+        }
+    }
+
+    #[test]
+    fn descriptions_cover_every_planned_fault() {
+        let mut rng = Rng::new(4);
+        let plan = NetFaultPlan::draw(&mut rng, 2, NetFaultKind::Corrupt);
+        let descs = plan.describe();
+        assert_eq!(
+            descs.len(),
+            plan.frames.len()
+                + usize::from(plan.partition.is_some())
+                + usize::from(plan.kill.is_some())
+        );
+        assert!(descs.iter().any(|(k, _)| *k == NetFaultKind::Corrupt));
+    }
+}

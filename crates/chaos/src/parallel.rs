@@ -116,6 +116,7 @@ pub fn run_campaign_threaded(cfg: &CampaignConfig, threads: usize) -> ChaosRepor
         seed: cfg.seed,
         max_faults: cfg.max_faults,
         recover: cfg.recover,
+        net: None,
         cases,
     }
 }

@@ -120,6 +120,33 @@ pub struct KindRow {
     pub escaped: u64,
 }
 
+/// Per-node outcome counts in a distributed campaign. A node's row
+/// counts every case whose cluster contained it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetNodeRow {
+    /// Node id within the cluster.
+    pub node: u32,
+    /// Cases this node participated in.
+    pub cases: u64,
+    pub masked: u64,
+    pub recovered: u64,
+    pub isolated: u64,
+    pub detected: u64,
+    pub escaped: u64,
+}
+
+/// The distributed (`net`) section of a schema-3 report: fabric
+/// identity plus the per-node outcome breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Seed the fabric's deterministic schedule derives from.
+    pub fabric_seed: u64,
+    /// Human-readable cluster shapes, e.g. `"ping-echo/2 + counter/3"`.
+    pub topology: String,
+    /// One row per node id, ascending.
+    pub nodes: Vec<NetNodeRow>,
+}
+
 /// A full campaign report.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -129,6 +156,9 @@ pub struct ChaosReport {
     pub max_faults: usize,
     /// Injected runs were supervised (checkpoint/restart enabled).
     pub recover: bool,
+    /// Distributed campaigns carry the fabric identity and per-node
+    /// outcome counts; single-machine campaigns report `null`.
+    pub net: Option<NetSummary>,
     /// All cases in order.
     pub cases: Vec<CaseResult>,
 }
@@ -157,11 +187,13 @@ impl ChaosReport {
     }
 
     /// Outcome counts broken down by fault kind, in
-    /// [`FaultKind::IDS`](crate::FaultKind::IDS) order; kinds that
+    /// [`FaultKind::IDS`](crate::FaultKind::IDS) order followed by
+    /// [`NetFaultKind::IDS`](crate::NetFaultKind::IDS); kinds that
     /// never appeared are omitted.
     pub fn by_kind(&self) -> Vec<KindRow> {
         crate::FaultKind::IDS
             .iter()
+            .chain(crate::NetFaultKind::IDS.iter())
             .filter_map(|&kind| {
                 let mut row = KindRow {
                     kind,
@@ -191,14 +223,16 @@ impl ChaosReport {
     }
 
     /// The whole report as deterministic JSON (one object, newline
-    /// separated sections, byte-stable for a given seed). Schema 2:
-    /// adds the `schema` and `recover` header fields, `recovered`
-    /// counts in `summary` and `by_kind`, and per-case `restarts`.
+    /// separated sections, byte-stable for a given seed). Schema 3:
+    /// adds the `net` section (fabric seed, topology, and per-node
+    /// outcome counts for distributed campaigns; `null` otherwise) on
+    /// top of schema 2's `schema`/`recover` header fields, `recovered`
+    /// counts, and per-case `restarts`.
     pub fn to_json(&self) -> String {
         let s = self.summary();
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"tool\":\"mips-chaos\",\"seed\":{},\"cases\":{},\"max_faults\":{},\"schema\":2,\"recover\":{},\n",
+            "{{\"tool\":\"mips-chaos\",\"seed\":{},\"cases\":{},\"max_faults\":{},\"schema\":3,\"recover\":{},\n",
             self.seed,
             self.cases.len(),
             self.max_faults,
@@ -208,6 +242,26 @@ impl ChaosReport {
             "\"summary\":{{\"masked\":{},\"recovered\":{},\"isolated\":{},\"detected\":{},\"escaped\":{},\"kernel_panics\":{},\"watchdog_fires\":{}}},\n",
             s.masked, s.recovered, s.isolated, s.detected, s.escaped, s.kernel_panics, s.watchdog_fires
         ));
+        match &self.net {
+            None => out.push_str("\"net\":null,\n"),
+            Some(n) => {
+                out.push_str(&format!(
+                    "\"net\":{{\"fabric_seed\":{},\"topology\":\"{}\",\"nodes\":[",
+                    n.fabric_seed,
+                    json_escape(&n.topology)
+                ));
+                for (i, r) in n.nodes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n{{\"node\":{},\"cases\":{},\"masked\":{},\"recovered\":{},\"isolated\":{},\"detected\":{},\"escaped\":{}}}",
+                        r.node, r.cases, r.masked, r.recovered, r.isolated, r.detected, r.escaped
+                    ));
+                }
+                out.push_str("]},\n");
+            }
+        }
         out.push_str("\"by_kind\":[");
         for (i, r) in self.by_kind().iter().enumerate() {
             if i > 0 {
@@ -269,6 +323,25 @@ impl fmt::Display for ChaosReport {
             "  masked {}  recovered {}  isolated {}  detected {}  escaped {}   (kernel panics {}, watchdog fires {})",
             s.masked, s.recovered, s.isolated, s.detected, s.escaped, s.kernel_panics, s.watchdog_fires
         )?;
+        if let Some(n) = &self.net {
+            writeln!(
+                f,
+                "  fabric: seed {:#x}, topology {}",
+                n.fabric_seed, n.topology
+            )?;
+            writeln!(
+                f,
+                "  {:<6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>8}",
+                "node", "cases", "masked", "recovered", "isolated", "detected", "escaped"
+            )?;
+            for r in &n.nodes {
+                writeln!(
+                    f,
+                    "  {:<6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>8}",
+                    r.node, r.cases, r.masked, r.recovered, r.isolated, r.detected, r.escaped
+                )?;
+            }
+        }
         writeln!(f)?;
         writeln!(
             f,
@@ -322,6 +395,7 @@ mod tests {
             seed: 0xA5,
             max_faults: 3,
             recover: false,
+            net: None,
             cases: vec![CaseResult {
                 case: 0,
                 workloads: vec!["fib", "sort"],

@@ -24,7 +24,11 @@ fn clean_campaign_exits_zero_with_stable_json() {
     assert_eq!(a.stdout, b.stdout, "JSON artifact must be byte-stable");
     let text = String::from_utf8(a.stdout).unwrap();
     assert!(text.starts_with("{\"tool\":\"mips-chaos\",\"seed\":165,"));
-    assert!(text.contains("\"schema\":2,\"recover\":false,"));
+    assert!(text.contains("\"schema\":3,\"recover\":false,"));
+    assert!(
+        text.contains("\"net\":null,"),
+        "single-machine campaigns report a null net section"
+    );
     assert!(text.contains("\"escaped\":0"));
 }
 
@@ -44,7 +48,7 @@ fn recover_flag_is_in_the_artifact_and_still_exits_on_merit() {
     );
     let text = String::from_utf8(on.stdout).unwrap();
     assert!(
-        text.contains("\"schema\":2,\"recover\":true,"),
+        text.contains("\"schema\":3,\"recover\":true,"),
         "got: {text}"
     );
     assert!(text.contains("\"recovered\":"), "got: {text}");
@@ -119,6 +123,43 @@ fn thread_count_never_changes_the_artifact() {
         .output()
         .expect("runs");
     assert_eq!(plain.stdout, one.stdout);
+}
+
+#[test]
+fn net_campaign_has_a_stable_artifact_and_a_recovered_floor() {
+    let run = |threads: &str| {
+        chaos()
+            .args([
+                "--net",
+                "--seed",
+                "0xBEEF",
+                "--cases",
+                "12",
+                "--threads",
+                threads,
+                "--json",
+            ])
+            .output()
+            .expect("mips-chaos runs")
+    };
+    let a = run("0");
+    assert!(
+        a.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    let text = String::from_utf8(a.stdout.clone()).unwrap();
+    assert!(text.contains("\"schema\":3,"), "got: {text}");
+    assert!(
+        text.contains("\"net\":{\"fabric_seed\":48879,\"topology\":\"ping-echo/2 + counter/3\","),
+        "got: {text}"
+    );
+    assert!(text.contains("\"kind\":\"net-kill\""), "got: {text}");
+    assert!(text.contains("\"escaped\":0"));
+    // Replay at another worker count: byte-identical artifact.
+    let b = run("2");
+    assert!(b.status.success());
+    assert_eq!(a.stdout, b.stdout, "net artifact must be byte-stable");
 }
 
 #[test]

@@ -1,0 +1,130 @@
+//! `net_gate` — the distributed-determinism CI gate.
+//!
+//! Runs both distributed workloads (ping/echo RPC and the replicated
+//! counter) as cluster jobs on the fleet executor at several worker
+//! counts, on both engines, and demands:
+//!
+//! 1. every cluster's observable output equals the workload's
+//!    expected constant (the protocols actually finish, with the
+//!    right answers);
+//! 2. outputs are **byte-identical across every fleet worker count**
+//!    — host-side parallelism must never leak into guest-visible
+//!    behaviour;
+//! 3. the fast engine's outputs equal the reference engine's.
+//!
+//! Exit status: 0 when every check holds, 1 otherwise. The companion
+//! distributed-chaos replay (`mips-chaos --net`) is a separate gate in
+//! the same CI job.
+
+use mips_net::workloads::{
+    ping_echo_expected, ping_echo_kernels, replicated_counter_expected, replicated_counter_kernels,
+};
+use mips_net::{Cluster, ClusterConfig};
+use mips_sim::Engine;
+use std::process::ExitCode;
+
+#[derive(Clone, Copy)]
+struct Job {
+    engine: Engine,
+    /// 0 = ping/echo; otherwise the counter cluster's replica count.
+    replicas: u32,
+}
+
+impl Job {
+    fn expected(self) -> Vec<u8> {
+        if self.replicas == 0 {
+            ping_echo_expected()
+        } else {
+            replicated_counter_expected(self.replicas)
+        }
+    }
+
+    fn name(self) -> String {
+        let engine = match self.engine {
+            Engine::Reference => "reference",
+            Engine::Fast => "fast",
+        };
+        if self.replicas == 0 {
+            format!("ping-echo/{engine}")
+        } else {
+            format!("counter-{}/{engine}", self.replicas)
+        }
+    }
+}
+
+impl mips_fleet::FleetWork for Job {
+    type Out = Vec<u8>;
+    fn execute(self) -> Vec<u8> {
+        let kernels = if self.replicas == 0 {
+            ping_echo_kernels(self.engine)
+        } else {
+            replicated_counter_kernels(self.engine, self.replicas)
+        }
+        .expect("workloads boot");
+        let mut c = Cluster::new(&kernels, ClusterConfig::default()).expect("cluster boots");
+        let report = c.run_clean().expect("cluster runs");
+        assert!(report.completed, "round budget exhausted");
+        report.output()
+    }
+}
+
+fn jobs() -> Vec<Job> {
+    let mut out = Vec::new();
+    for engine in [Engine::Reference, Engine::Fast] {
+        for replicas in [0, 1, 2, 3] {
+            out.push(Job { engine, replicas });
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut failures = 0u32;
+    let serial: Vec<Vec<u8>> = mips_fleet::run_ordered(jobs(), 1);
+
+    for (job, out) in jobs().iter().zip(&serial) {
+        if *out == job.expected() {
+            println!(
+                "net_gate: {:<22} output ok ({} bytes)",
+                job.name(),
+                out.len()
+            );
+        } else {
+            failures += 1;
+            eprintln!(
+                "net_gate: FAIL {} expected {:?} got {:?}",
+                job.name(),
+                String::from_utf8_lossy(&job.expected()),
+                String::from_utf8_lossy(out)
+            );
+        }
+    }
+
+    for threads in [2, 4, 8] {
+        let fleet: Vec<Vec<u8>> = mips_fleet::run_ordered(jobs(), threads);
+        if fleet == serial {
+            println!("net_gate: {threads} fleet workers byte-identical to serial");
+        } else {
+            failures += 1;
+            eprintln!("net_gate: FAIL {threads} fleet workers diverged from serial");
+        }
+    }
+
+    // Engine conformance: the job list is reference-first then fast,
+    // same shapes in the same order.
+    let half = serial.len() / 2;
+    if serial[..half] == serial[half..] {
+        println!("net_gate: fast engine byte-identical to reference");
+    } else {
+        failures += 1;
+        eprintln!("net_gate: FAIL fast engine diverged from reference");
+    }
+
+    if failures == 0 {
+        println!("net_gate: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("net_gate: {failures} check(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,311 @@
+//! The deterministic fabric: a virtual-time list schedule for frames.
+//!
+//! The fabric is the host-side "network" between guest machines. It
+//! owns no randomness of its own beyond a seeded latency jitter: every
+//! frame handed to [`Fabric::send`] is stamped with a due round and a
+//! global sequence number, and [`Fabric::exchange`] delivers due
+//! frames in `(due, seq)` order. Delivery order is therefore a pure
+//! function of `(topology, seed, send order)` — two runs that post the
+//! same frames in the same rounds observe byte-identical delivery
+//! schedules, which is what makes distributed chaos campaigns
+//! replayable.
+//!
+//! Three behaviours are modelled explicitly rather than emergently:
+//!
+//! * **Latency**: a frame sent in round `r` is due in round
+//!   `r + latency (+ jitter)`, never earlier. Jitter, when enabled, is
+//!   a deterministic hash of `(seed, seq)` — reordering without
+//!   randomness.
+//! * **Partitions**: a blocked `{a, b}` pair drops frames *at delivery
+//!   time*, so frames in flight when the partition closes are lost
+//!   too — the harsher and more realistic semantics.
+//! * **Backpressure**: a delivery refused by a full RX ring is
+//!   *retained* (due bumped one round, original sequence number kept),
+//!   never dropped — mirroring the NIC's own no-silent-drop contract.
+
+use mips_sim::Frame;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fabric shape and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Number of nodes; valid destinations are `0..nodes`.
+    pub nodes: u32,
+    /// Base delivery latency in rounds (minimum 1 is enforced — a
+    /// frame is never delivered in the round it was sent).
+    pub latency: u64,
+    /// Seed for the deterministic latency jitter (unused when
+    /// `jitter == 0`).
+    pub seed: u64,
+    /// Maximum extra rounds of seeded jitter per frame. Zero means
+    /// fixed latency; larger values reorder deliveries determin-
+    /// istically.
+    pub jitter: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> FabricConfig {
+        FabricConfig {
+            nodes: 2,
+            latency: 1,
+            seed: 0,
+            jitter: 0,
+        }
+    }
+}
+
+/// What to do with one frame — the seam fault injectors attach to.
+/// The clean fabric treats every frame as [`FaultAction::Deliver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Forward unharmed.
+    Deliver,
+    /// Lose the frame entirely.
+    Drop,
+    /// Forward the frame twice (both copies fault-free).
+    Duplicate,
+    /// Flip one bit of one payload word, then forward.
+    Corrupt {
+        /// Payload word index (reduced modulo the payload length).
+        word: usize,
+        /// Bit to flip (reduced modulo 32).
+        bit: u32,
+    },
+    /// Forward after this many extra rounds of latency.
+    Delay(u64),
+}
+
+/// Fabric traffic counters, all monotone over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Frames accepted by [`Fabric::send`].
+    pub sent: u64,
+    /// Frames delivered into an RX ring.
+    pub delivered: u64,
+    /// Delivery attempts refused by a full RX ring and re-queued.
+    pub retained: u64,
+    /// Frames dropped at delivery time by an active partition.
+    pub partition_dropped: u64,
+}
+
+/// The fabric itself. See the [module docs](self) for the contract.
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: FabricConfig,
+    now: u64,
+    seq: u64,
+    /// In-flight frames keyed by `(due round, sequence number)` — the
+    /// list schedule. `BTreeMap` iteration *is* the delivery order.
+    in_flight: BTreeMap<(u64, u64), Frame>,
+    /// Partitioned pairs, stored with the smaller node first.
+    blocked: BTreeSet<(u32, u32)>,
+    stats: FabricStats,
+}
+
+fn pair(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+/// SplitMix64 — the jitter hash. Deterministic, stateless, good
+/// avalanche; the same function `mips-qc` seeds its generator with.
+fn mix(seed: u64, seq: u64) -> u64 {
+    let mut z = seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Fabric {
+    /// An empty fabric at round zero.
+    pub fn new(cfg: FabricConfig) -> Fabric {
+        Fabric {
+            cfg,
+            now: 0,
+            seq: 0,
+            in_flight: BTreeMap::new(),
+            blocked: BTreeSet::new(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The current round (number of [`Fabric::exchange`] calls).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Frames currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Blocks the `{a, b}` pair in both directions. Frames already in
+    /// flight between them are dropped when they come due.
+    pub fn partition(&mut self, a: u32, b: u32) {
+        self.blocked.insert(pair(a, b));
+    }
+
+    /// Unblocks the `{a, b}` pair.
+    pub fn heal(&mut self, a: u32, b: u32) {
+        self.blocked.remove(&pair(a, b));
+    }
+
+    /// Unblocks every pair.
+    pub fn heal_all(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Whether `{a, b}` is currently partitioned.
+    pub fn partitioned(&self, a: u32, b: u32) -> bool {
+        self.blocked.contains(&pair(a, b))
+    }
+
+    /// Posts a frame; it comes due after the configured latency plus
+    /// seeded jitter. Destinations must name a real node.
+    pub fn send(&mut self, frame: Frame) {
+        self.send_delayed(frame, 0);
+    }
+
+    /// Like [`Fabric::send`] with `extra` additional rounds of latency
+    /// — the [`FaultAction::Delay`] path.
+    pub fn send_delayed(&mut self, frame: Frame, extra: u64) {
+        debug_assert!(frame.dst < self.cfg.nodes, "destination out of range");
+        let jitter = if self.cfg.jitter == 0 {
+            0
+        } else {
+            mix(self.cfg.seed, self.seq) % (self.cfg.jitter + 1)
+        };
+        let due = self.now + self.cfg.latency.max(1) + jitter + extra;
+        self.in_flight.insert((due, self.seq), frame);
+        self.seq += 1;
+        self.stats.sent += 1;
+    }
+
+    /// Advances one round and delivers every due frame in `(due, seq)`
+    /// order through `deliver`, which pushes into the destination
+    /// node's RX ring. A refused delivery (`Err` — ring full) is
+    /// retained with its due bumped one round and its sequence number
+    /// kept, so retained frames stay ahead of younger traffic.
+    pub fn exchange(&mut self, deliver: &mut dyn FnMut(u32, Frame) -> Result<(), Frame>) {
+        self.now += 1;
+        let mut retained = Vec::new();
+        loop {
+            let key = match self.in_flight.keys().next() {
+                Some(&(due, seq)) if due <= self.now => (due, seq),
+                _ => break,
+            };
+            let frame = self.in_flight.remove(&key).expect("key just observed");
+            if self.partitioned(frame.src, frame.dst) {
+                self.stats.partition_dropped += 1;
+                continue;
+            }
+            match deliver(frame.dst, frame) {
+                Ok(()) => self.stats.delivered += 1,
+                Err(f) => {
+                    self.stats.retained += 1;
+                    retained.push((key.1, f));
+                }
+            }
+        }
+        for (seq, f) in retained {
+            self.in_flight.insert((self.now + 1, seq), f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(src: u32, dst: u32, word: u32) -> Frame {
+        Frame {
+            src,
+            dst,
+            payload: vec![word],
+        }
+    }
+
+    fn drain(f: &mut Fabric, rounds: u64) -> Vec<(u32, u32)> {
+        let mut seen = Vec::new();
+        for _ in 0..rounds {
+            f.exchange(&mut |dst, fr| {
+                seen.push((dst, fr.payload[0]));
+                Ok(())
+            });
+        }
+        seen
+    }
+
+    #[test]
+    fn delivery_follows_the_list_schedule() {
+        let mut f = Fabric::new(FabricConfig {
+            nodes: 3,
+            latency: 2,
+            ..FabricConfig::default()
+        });
+        f.send(frame(0, 1, 10));
+        f.send(frame(0, 2, 11));
+        assert_eq!(drain(&mut f, 1), vec![], "nothing before the latency");
+        assert_eq!(
+            drain(&mut f, 1),
+            vec![(1, 10), (2, 11)],
+            "same round delivers in send order"
+        );
+    }
+
+    #[test]
+    fn jitter_reorders_deterministically() {
+        let run = |seed| {
+            let mut f = Fabric::new(FabricConfig {
+                nodes: 2,
+                latency: 1,
+                seed,
+                jitter: 3,
+            });
+            for i in 0..8 {
+                f.send(frame(0, 1, i));
+            }
+            drain(&mut f, 8)
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "jitter actually depends on the seed");
+    }
+
+    #[test]
+    fn partitions_drop_at_delivery_time_and_heal() {
+        let mut f = Fabric::new(FabricConfig {
+            nodes: 2,
+            ..FabricConfig::default()
+        });
+        f.send(frame(0, 1, 1)); // in flight when the partition closes
+        f.partition(0, 1);
+        f.send(frame(1, 0, 2));
+        assert_eq!(drain(&mut f, 3), vec![], "both directions blocked");
+        assert_eq!(f.stats().partition_dropped, 2);
+        f.heal(0, 1);
+        f.send(frame(0, 1, 3));
+        assert_eq!(drain(&mut f, 2), vec![(1, 3)], "traffic resumes");
+    }
+
+    #[test]
+    fn refused_deliveries_are_retained_ahead_of_younger_frames() {
+        let mut f = Fabric::new(FabricConfig {
+            nodes: 2,
+            ..FabricConfig::default()
+        });
+        f.send(frame(0, 1, 1));
+        // Refuse everything this round.
+        f.exchange(&mut |_, fr| Err(fr));
+        assert_eq!(f.stats().retained, 1);
+        assert_eq!(f.in_flight(), 1);
+        f.send(frame(0, 1, 2));
+        // Both come due next round; the retained frame keeps its older
+        // sequence number and goes first.
+        let seen = drain(&mut f, 1);
+        assert_eq!(seen, vec![(1, 1), (1, 2)]);
+    }
+}

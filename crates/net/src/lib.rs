@@ -1,0 +1,34 @@
+//! # mips-net — a deterministic network fabric for guest clusters
+//!
+//! The paper's theme is moving hardware guarantees into software this
+//! machine can afford. This crate extends that to the *distributed*
+//! setting: N simulated machines, each running the `mips-os` kernel
+//! with a NIC, joined by a host-side fabric whose every delivery is a
+//! pure function of `(topology, seed, send order)`. There is no wall
+//! clock and no host-thread nondeterminism anywhere in the path — a
+//! cluster run is as replayable as a single-machine run, which is what
+//! lets distributed chaos campaigns assert **byte-identical cluster
+//! output** between a fault-free baseline and a faulted, recovered
+//! run.
+//!
+//! The pieces:
+//!
+//! * [`fabric`] — the virtual-time list schedule: latency, seeded
+//!   jitter, delivery-time partitions, backpressure retention.
+//! * [`cluster`] — N [`mips_os::KernelRun`]s round-robined against one
+//!   fabric, with per-node checkpoints and [`Cluster::kill_node`]
+//!   crash-restart.
+//! * [`workloads`] — the distributed guest programs (ping/echo RPC,
+//!   replicated counter) whose protocols make faulted output converge
+//!   to the baseline.
+//!
+//! Fault *policy* (which frame to harm, when to partition, whom to
+//! kill) lives in `mips-chaos`; this crate supplies the mechanism: the
+//! per-frame [`FaultAction`] seam in [`Cluster::step`].
+
+pub mod cluster;
+pub mod fabric;
+pub mod workloads;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterReport};
+pub use fabric::{Fabric, FabricConfig, FabricStats, FaultAction};

@@ -1,0 +1,580 @@
+//! Distributed guest workloads, written in guest assembly.
+//!
+//! Two cluster programs exercise the whole stack — NIC, fabric,
+//! kernel driver, syscalls — and are designed so their **observable
+//! output is invariant under faults**: drops, duplicates, reorders,
+//! corruption, partitions (healed), and node kills restored from
+//! checkpoints all produce byte-identical console bytes, because every
+//! protocol below is built on retry, acknowledgement, checksums, and
+//! sequence-number dedup.
+//!
+//! * **Ping/echo RPC** ([`ping_echo_kernels`]): node 0 sends `K`
+//!   pings carrying `value = seq`, node 1 echoes `value + 1`
+//!   statelessly; the client sums the echoes and prints the total. A
+//!   lost or corrupt message times out and is re-sent; a duplicate or
+//!   stale reply fails the sequence check and is ignored. The server
+//!   holds no protocol state, so a checkpoint rollback cannot lose
+//!   any; it exits on an idle timeout, which also covers the case
+//!   where its own final reply was the one in flight.
+//! * **Replicated counter** ([`replicated_counter_kernels`]): node 0
+//!   drives `K` increments to every replica, one `(seq, replica)`
+//!   pair at a time. Crucially every `SET`/`FIN` carries the **full
+//!   replica state** (`counter = value`), so a replica rolled back to
+//!   an old checkpoint is completely re-synchronised by the next
+//!   message it receives; stale sequence numbers are re-ACKed without
+//!   applying. Replicas print the counter exactly once — at `FIN` or,
+//!   if the `FIN` exchange was cut short, at the idle timeout.
+//!
+//! ## Message word format
+//!
+//! One 32-bit word per frame:
+//!
+//! ```text
+//!   31      28 27     20 19         8 7        0
+//!  +----------+---------+------------+----------+
+//!  |   type   |   seq   |   value    | checksum |
+//!  +----------+---------+------------+----------+
+//! ```
+//!
+//! `checksum = (bits 15:8 + bits 23:16 + bits 31:24) & 0xff`, so any
+//! single-bit corruption is detected and the frame discarded — a
+//! corrupt frame behaves exactly like a dropped one, and the sender's
+//! retry masks it.
+
+use mips_os::{Kernel, KernelConfig, OsError};
+use mips_sim::Engine;
+
+/// Pings per run / increments per replica. Small enough that every
+/// field fits its bit budget with room to spare.
+pub const K: u32 = 8;
+
+/// Resend timeout in guest clock ticks (comfortably above the
+/// fabric's round-trip at the default latency).
+pub const RESEND_TICKS: u32 = 8;
+
+/// Server/replica idle-exit timeout in ticks. Must exceed the longest
+/// partition window a chaos plan opens plus a full resend cycle, so a
+/// quiet stretch is never mistaken for the end of the run.
+pub const IDLE_TICKS: u32 = 240;
+
+/// Timer period for cluster nodes: ~2 ticks per default cluster round,
+/// so guest timeouts are measured at useful granularity.
+pub const NODE_TIME_SLICE: u64 = 2_000;
+
+/// Message-word packing and checking, host side. The guest assembly
+/// below implements exactly this; tests and fault injectors use the
+/// Rust form.
+pub mod msg {
+    /// Request type: ping (echo request).
+    pub const PING: u32 = 1;
+    /// Reply type: pong (echo reply, `value + 1`).
+    pub const PONG: u32 = 2;
+    /// Request type: set replica state to `value`.
+    pub const SET: u32 = 3;
+    /// Reply type: set acknowledged.
+    pub const ACK: u32 = 4;
+    /// Request type: finish — apply `value`, print once.
+    pub const FIN: u32 = 5;
+    /// Reply type: finish acknowledged.
+    pub const FINACK: u32 = 6;
+
+    /// Packs `(type, seq, value)` and stamps the checksum.
+    pub fn pack(typ: u32, seq: u32, value: u32) -> u32 {
+        let w = (typ & 0xf) << 28 | (seq & 0xff) << 20 | (value & 0xfff) << 8;
+        w | checksum(w)
+    }
+
+    fn checksum(w: u32) -> u32 {
+        ((w >> 8) + (w >> 16) + (w >> 24)) & 0xff
+    }
+
+    /// Whether the carried checksum matches the word's fields.
+    pub fn checksum_ok(w: u32) -> bool {
+        w & 0xff == checksum(w)
+    }
+
+    /// The type field.
+    pub fn typ(w: u32) -> u32 {
+        w >> 28
+    }
+
+    /// The sequence field.
+    pub fn seq(w: u32) -> u32 {
+        (w >> 20) & 0xff
+    }
+
+    /// The value field.
+    pub fn value(w: u32) -> u32 {
+        (w >> 8) & 0xfff
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fields_round_trip_and_any_bit_flip_is_caught() {
+            let w = pack(PING, 200, 0xabc);
+            assert_eq!((typ(w), seq(w), value(w)), (PING, 200, 0xabc));
+            assert!(checksum_ok(w));
+            for bit in 0..32 {
+                assert!(!checksum_ok(w ^ (1 << bit)), "bit {bit} slipped through");
+            }
+        }
+    }
+}
+
+// Shared assembly idioms, as guest source fragments. The ALU takes
+// four-bit immediates only, so shift amounts above 15 and the 0xff
+// mask travel through registers: r12 is the scratch shift amount, r13
+// holds 255, r15 holds all-ones (the kernel's "nothing"/"full"
+// sentinel). Registers r1/r2 are the syscall argument/return pair.
+
+/// `{w}` := packed word from type in `{w}` (small constant), seq in
+/// `{s}`, value in `{v}`; clobbers r10, r11, r12. Mirrors
+/// [`msg::pack`].
+fn asm_pack(w: &str, s: &str, v: &str) -> String {
+    format!(
+        "
+    mvi #28,r12
+    sll {w},r12,{w}
+    mvi #20,r12
+    sll {s},r12,r10
+    or {w},r10,{w}
+    sll {v},#8,r10
+    or {w},r10,{w}
+    srl {w},#8,r10
+    mvi #16,r12
+    srl {w},r12,r11
+    add r10,r11,r10
+    mvi #24,r12
+    srl {w},r12,r11
+    add r10,r11,r10
+    and r10,r13,r10
+    or {w},r10,{w}"
+    )
+}
+
+/// Branches to `{bad}` unless the word in `{w}` carries a valid
+/// checksum; clobbers r10, r11, r12. Mirrors [`msg::checksum_ok`].
+fn asm_check(w: &str, bad: &str) -> String {
+    format!(
+        "
+    srl {w},#8,r10
+    mvi #16,r12
+    srl {w},r12,r11
+    add r10,r11,r10
+    mvi #24,r12
+    srl {w},r12,r11
+    add r10,r11,r10
+    and r10,r13,r10
+    and {w},r13,r11
+    bne r10,r11,{bad}
+    nop"
+    )
+}
+
+/// The ping client (node 0): `K` sequenced echo requests with resend
+/// on timeout, then prints the sum of the echoed values.
+pub fn ping_client_src(server: u32, k: u32) -> String {
+    let pack = asm_pack("r8", "r4", "r4");
+    let check = asm_check("r1", "wait");
+    let to = RESEND_TICKS;
+    format!(
+        "
+start:
+    mvi #0,r15
+    sub r15,#1,r15       ; r15 := all-ones (empty/full sentinel)
+    mvi #255,r13         ; r13 := byte mask
+    mvi #{k},r5          ; K
+    mvi #0,r6            ; sum
+    mvi #1,r4            ; seq
+next:
+    bgt r4,r5,report
+    nop
+    mvi #1,r8            ; PING
+{pack}
+    mvi #16,r9           ; retry budget 16<<8 = 4096
+    sll r9,#8,r9
+send:
+    mvi #{server},r1
+    add r8,#0,r2
+    trap #7              ; send(server, word)
+    beq r1,r15,backoff   ; TX ring full counts as a retry
+    nop
+    trap #6
+    add r1,#0,r7         ; t0 := now
+wait:
+    trap #8              ; r1 := word, r2 := src (all-ones when empty)
+    bne r2,r15,got
+    nop
+    trap #6
+    sub r1,r7,r1
+    bgt r1,#{to},backoff ; reply overdue: resend the same seq
+    nop
+    bra wait
+    nop
+backoff:
+    sub r9,#1,r9
+    bne r9,#0,send
+    nop
+    bra giveup
+    nop
+got:
+{check}
+    mvi #28,r12
+    srl r1,r12,r10
+    bne r10,#2,wait      ; not a PONG: ignore
+    nop
+    sll r1,#4,r10
+    mvi #24,r12
+    srl r10,r12,r10      ; reply seq
+    bne r10,r4,wait      ; stale or duplicate reply: ignore
+    nop
+    sll r1,#12,r10
+    mvi #20,r12
+    srl r10,r12,r10      ; echoed value
+    add r6,r10,r6
+    add r4,#1,r4
+    bra next
+    nop
+report:
+    add r6,#0,r1
+    trap #2              ; print the sum
+    mvi #10,r1
+    trap #1
+    mvi #0,r1
+    trap #0
+    halt
+giveup:
+    mvi #33,r1           ; '!': retries exhausted
+    trap #1
+    mvi #1,r1
+    trap #0
+    halt"
+    )
+}
+
+/// The echo server (node 1): stateless `value + 1` echo, exits with a
+/// single `'E'` after [`IDLE_TICKS`] of silence.
+pub fn echo_server_src() -> String {
+    let check = asm_check("r4", "serve");
+    let pack = asm_pack("r8", "r5", "r6");
+    let idle = IDLE_TICKS;
+    format!(
+        "
+start:
+    mvi #0,r15
+    sub r15,#1,r15
+    mvi #255,r13
+    mvi #{idle},r14      ; idle budget, ticks
+    trap #6
+    add r1,#0,r7         ; last-activity tick
+serve:
+    trap #8
+    bne r2,r15,got
+    nop
+    trap #6
+    sub r1,r7,r1
+    bgtu r1,r14,done     ; silent too long: the run is over
+    nop
+    bra serve
+    nop
+got:
+    add r1,#0,r4         ; w
+    add r2,#0,r3         ; reply target
+    trap #6
+    add r1,#0,r7         ; refresh activity
+{check}
+    mvi #28,r12
+    srl r4,r12,r10
+    bne r10,#1,serve     ; not a PING: ignore
+    nop
+    sll r4,#4,r5
+    mvi #24,r12
+    srl r5,r12,r5        ; seq
+    sll r4,#12,r6
+    mvi #20,r12
+    srl r6,r12,r6
+    add r6,#1,r6         ; echoed value := value + 1
+    mvi #2,r8            ; PONG
+{pack}
+reply:
+    add r3,#0,r1
+    add r8,#0,r2
+    trap #7
+    beq r1,r15,reply     ; TX full: spin until the ring drains
+    nop
+    bra serve
+    nop
+done:
+    mvi #69,r1           ; 'E'
+    trap #1
+    mvi #0,r1
+    trap #0
+    halt"
+    )
+}
+
+/// The counter coordinator (node 0): drives replicas `1..=last`
+/// through `K` `SET`s and one `FIN` each, one `(seq, replica)` pair at
+/// a time, with per-pair resend; prints `K` when every replica has
+/// acknowledged the finish.
+///
+/// The `seq` loop runs to `K + 1`: the extra pass is the `FIN` round
+/// (type 5 instead of 3), and a reply is valid iff its type is the
+/// request's type plus one — the same wait loop serves both phases.
+pub fn counter_coordinator_src(last: u32, k: u32) -> String {
+    let pack = asm_pack("r8", "r4", "r6");
+    let check = asm_check("r1", "wait");
+    let to = RESEND_TICKS;
+    format!(
+        "
+start:
+    mvi #0,r15
+    sub r15,#1,r15
+    mvi #255,r13
+    mvi #{k},r5          ; K
+    mvi #{last},r14      ; last replica id
+    mvi #1,r4            ; seq, 1..=K+1 (K+1 is the FIN round)
+outer:
+    add r5,#1,r10
+    bgt r4,r10,finish
+    nop
+    mvi #1,r3            ; replica id
+repl:
+    bgt r3,r14,next_seq
+    nop
+    mvi #3,r8            ; SET ...
+    ble r4,r5,have_type
+    nop
+    mvi #5,r8            ; ... or FIN on the extra pass
+have_type:
+    add r4,#0,r6         ; value := min(seq, K) — full state
+    ble r6,r5,have_value
+    nop
+    add r5,#0,r6
+have_value:
+{pack}
+    mvi #16,r9           ; retry budget 4096
+    sll r9,#8,r9
+send:
+    add r3,#0,r1
+    add r8,#0,r2
+    trap #7
+    beq r1,r15,backoff
+    nop
+    trap #6
+    add r1,#0,r7
+wait:
+    trap #8
+    bne r2,r15,got
+    nop
+    trap #6
+    sub r1,r7,r1
+    bgt r1,#{to},backoff
+    nop
+    bra wait
+    nop
+backoff:
+    sub r9,#1,r9
+    bne r9,#0,send
+    nop
+    bra giveup
+    nop
+got:
+    bne r2,r3,wait       ; not the replica being driven: ignore
+    nop
+{check}
+    mvi #28,r12
+    srl r1,r12,r10       ; reply type
+    srl r8,r12,r11       ; request type (top of the built word)
+    add r11,#1,r11
+    bne r10,r11,wait     ; must be request + 1 (ACK or FINACK)
+    nop
+    sll r1,#4,r10
+    mvi #24,r12
+    srl r10,r12,r10
+    bne r10,r4,wait      ; stale ack: ignore
+    nop
+    add r3,#1,r3
+    bra repl
+    nop
+next_seq:
+    add r4,#1,r4
+    bra outer
+    nop
+finish:
+    add r5,#0,r1
+    trap #2              ; print K
+    mvi #10,r1
+    trap #1
+    mvi #0,r1
+    trap #0
+    halt
+giveup:
+    mvi #33,r1
+    trap #1
+    mvi #1,r1
+    trap #0
+    halt"
+    )
+}
+
+/// A counter replica: applies `SET`/`FIN` when `seq >= expect`
+/// (taking the carried value as its whole state), re-ACKs stale
+/// sequence numbers without applying, prints the counter exactly once
+/// (at `FIN`, or at the idle timeout if the finish was cut short).
+pub fn counter_replica_src() -> String {
+    let check = asm_check("r3", "serve");
+    let pack = asm_pack("r8", "r10", "r5");
+    let idle = IDLE_TICKS;
+    format!(
+        "
+start:
+    mvi #0,r15
+    sub r15,#1,r15
+    mvi #255,r13
+    mvi #{idle},r14
+    mvi #1,r4            ; expect: next fresh seq
+    mvi #0,r5            ; counter
+    mvi #0,r6            ; printed?
+    trap #6
+    add r1,#0,r7
+serve:
+    trap #8
+    bne r2,r15,got
+    nop
+    trap #6
+    sub r1,r7,r1
+    bgtu r1,r14,done
+    nop
+    bra serve
+    nop
+got:
+    add r1,#0,r3         ; w
+    add r2,#0,r9         ; reply target
+    trap #6
+    add r1,#0,r7
+{check}
+    mvi #28,r12
+    srl r3,r12,r8        ; type
+    beq r8,#3,apply
+    nop
+    beq r8,#5,apply
+    nop
+    bra serve            ; not SET/FIN: ignore
+    nop
+apply:
+    sll r3,#4,r10
+    mvi #24,r12
+    srl r10,r12,r10      ; seq
+    sll r3,#12,r11
+    mvi #20,r12
+    srl r11,r12,r11      ; value
+    blt r10,r4,build     ; stale: re-ACK, state unchanged
+    nop
+    add r11,#0,r5        ; counter := value (the full state)
+    add r10,#1,r4        ; expect := seq + 1
+build:
+    add r8,#1,r8         ; reply type := request + 1
+{pack}
+reply:
+    add r9,#0,r1
+    add r8,#0,r2
+    trap #7
+    beq r1,r15,reply
+    nop
+    mvi #28,r12
+    srl r8,r12,r10
+    bne r10,#6,serve     ; only a FINACK triggers the print
+    nop
+    bne r6,#0,serve      ; already printed
+    nop
+    add r5,#0,r1
+    trap #2
+    mvi #10,r1
+    trap #1
+    mvi #1,r6
+    bra serve
+    nop
+done:
+    bne r6,#0,quit
+    nop
+    add r5,#0,r1         ; finish was cut short: print at idle
+    trap #2
+    mvi #10,r1
+    trap #1
+quit:
+    mvi #0,r1
+    trap #0
+    halt"
+    )
+}
+
+fn node_config(engine: Engine, node: u32) -> KernelConfig {
+    KernelConfig {
+        time_slice: NODE_TIME_SLICE,
+        engine,
+        nic: Some(node),
+        ..KernelConfig::default()
+    }
+}
+
+fn boot(engine: Engine, node: u32, name: &str, src: &str) -> Result<Kernel, OsError> {
+    // The sources are generated right above; failing to assemble is a
+    // bug in this module, not a runtime condition.
+    let program = mips_asm::assemble(src).expect("workload source assembles");
+    let mut k = Kernel::with_config(node_config(engine, node));
+    k.spawn(name, program)?;
+    Ok(k)
+}
+
+/// The two-node ping/echo cluster: node 0 the client, node 1 the echo
+/// server.
+///
+/// # Errors
+///
+/// [`OsError`] if a workload fails to assemble or spawn.
+pub fn ping_echo_kernels(engine: Engine) -> Result<Vec<Kernel>, OsError> {
+    Ok(vec![
+        boot(engine, 0, "ping", &ping_client_src(1, K))?,
+        boot(engine, 1, "echo", &echo_server_src())?,
+    ])
+}
+
+/// The fault-free ping/echo cluster output: the client's sum of `K`
+/// echoed `value + 1` replies, the server's single `'E'`.
+pub fn ping_echo_expected() -> Vec<u8> {
+    let sum: u32 = (1..=K).map(|s| s + 1).sum();
+    format!("[node 0]\n{sum}\n[node 1]\nE").into_bytes()
+}
+
+/// The replicated-counter cluster: node 0 the coordinator, nodes
+/// `1..=replicas` the replicas.
+///
+/// # Errors
+///
+/// [`OsError`] if a workload fails to assemble or spawn.
+pub fn replicated_counter_kernels(engine: Engine, replicas: u32) -> Result<Vec<Kernel>, OsError> {
+    assert!(replicas >= 1, "a counter cluster needs a replica");
+    let mut kernels = vec![boot(
+        engine,
+        0,
+        "coord",
+        &counter_coordinator_src(replicas, K),
+    )?];
+    for r in 1..=replicas {
+        kernels.push(boot(engine, r, "replica", &counter_replica_src())?);
+    }
+    Ok(kernels)
+}
+
+/// The fault-free replicated-counter output: every node prints `K`.
+pub fn replicated_counter_expected(replicas: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    for node in 0..=replicas {
+        out.extend_from_slice(format!("[node {node}]\n{K}\n").as_bytes());
+    }
+    out
+}

@@ -1,0 +1,201 @@
+//! End-to-end cluster runs: both distributed workloads, fault-free and
+//! under faults, on both engines, serial and fleet-parallel — output
+//! byte-identical throughout.
+
+use mips_net::workloads::{
+    echo_server_src, msg, ping_client_src, ping_echo_expected, ping_echo_kernels,
+    replicated_counter_expected, replicated_counter_kernels,
+};
+use mips_net::{Cluster, ClusterConfig, FaultAction};
+use mips_os::Kernel;
+use mips_sim::Engine;
+
+fn clean_run(kernels: &[Kernel]) -> mips_net::ClusterReport {
+    let mut c = Cluster::new(kernels, ClusterConfig::default()).unwrap();
+    let report = c.run_clean().unwrap();
+    assert!(report.completed, "round budget exhausted: {report:?}");
+    report
+}
+
+#[test]
+fn ping_echo_completes_with_the_expected_output() {
+    let kernels = ping_echo_kernels(Engine::Reference).unwrap();
+    let report = clean_run(&kernels);
+    assert_eq!(report.output(), ping_echo_expected());
+    assert!(report.fabric.delivered >= 16, "8 pings + 8 pongs at least");
+    assert!(report.nodes[0].counters.sends >= 8);
+    assert!(report.nodes[1].counters.recvs >= 8);
+    assert!(report.nodes[1].counters.net_irqs >= 1);
+}
+
+#[test]
+fn replicated_counter_completes_on_every_node() {
+    let kernels = replicated_counter_kernels(Engine::Reference, 2).unwrap();
+    let report = clean_run(&kernels);
+    assert_eq!(report.output(), replicated_counter_expected(2));
+}
+
+#[test]
+fn fast_engine_matches_the_reference_byte_for_byte() {
+    let reference = clean_run(&ping_echo_kernels(Engine::Reference).unwrap());
+    let fast = clean_run(&ping_echo_kernels(Engine::Fast).unwrap());
+    assert_eq!(reference.output(), fast.output());
+    let reference = clean_run(&replicated_counter_kernels(Engine::Reference, 2).unwrap());
+    let fast = clean_run(&replicated_counter_kernels(Engine::Fast, 2).unwrap());
+    assert_eq!(reference.output(), fast.output());
+}
+
+/// Drops, duplicates, corruption, and delays — the retry protocol
+/// hides all of it; output matches the fault-free baseline.
+#[test]
+fn packet_faults_do_not_change_the_observable_output() {
+    let baseline = clean_run(&ping_echo_kernels(Engine::Fast).unwrap());
+    let kernels = ping_echo_kernels(Engine::Fast).unwrap();
+    let mut c = Cluster::new(&kernels, ClusterConfig::default()).unwrap();
+    let mut n = 0u64;
+    let report = c
+        .run(&mut |_, _| {
+            n += 1;
+            match n % 5 {
+                0 => FaultAction::Drop,
+                1 => FaultAction::Duplicate,
+                2 => FaultAction::Corrupt { word: 0, bit: 13 },
+                3 => FaultAction::Delay(3),
+                _ => FaultAction::Deliver,
+            }
+        })
+        .unwrap();
+    assert!(report.completed, "faulted run wedged: {report:?}");
+    assert_eq!(report.output(), baseline.output());
+}
+
+/// A partition opens mid-run and heals: the client's sends time out
+/// and are re-sent after the heal; nothing observable changes.
+#[test]
+fn partition_heal_recovers_the_baseline_output() {
+    let baseline = clean_run(&ping_echo_kernels(Engine::Fast).unwrap());
+    let kernels = ping_echo_kernels(Engine::Fast).unwrap();
+    let mut c = Cluster::new(&kernels, ClusterConfig::default()).unwrap();
+    let mut deliver = |_: u64, _: &mips_sim::Frame| FaultAction::Deliver;
+    while !c.all_done() {
+        if c.round() == 8 {
+            c.partition(0, 1);
+        }
+        if c.round() == 28 {
+            c.heal(0, 1);
+        }
+        c.step(&mut deliver).unwrap();
+    }
+    let report = c.report();
+    assert!(report.fabric.partition_dropped > 0, "partition saw traffic");
+    assert_eq!(report.output(), baseline.output());
+}
+
+/// A replica is killed (rolled back to its checkpoint) mid-run; the
+/// coordinator's retries and the state-carrying SET protocol bring it
+/// back; the cluster output is byte-identical to the baseline.
+#[test]
+fn node_kill_recovers_to_the_baseline_output() {
+    let baseline = clean_run(&replicated_counter_kernels(Engine::Fast, 2).unwrap());
+    let kernels = replicated_counter_kernels(Engine::Fast, 2).unwrap();
+    let mut c = Cluster::new(&kernels, ClusterConfig::default()).unwrap();
+    let mut deliver = |_: u64, _: &mips_sim::Frame| FaultAction::Deliver;
+    while !c.all_done() {
+        if c.round() == 20 {
+            c.kill_node(1).unwrap();
+        }
+        c.step(&mut deliver).unwrap();
+    }
+    let report = c.report();
+    assert_eq!(report.restarts, vec![0, 1, 0]);
+    assert_eq!(report.output(), baseline.output());
+}
+
+/// The NIC edge case the sim tests cannot see: a send to a partitioned
+/// peer is committed locally (the NIC accepts it), lost in the fabric,
+/// and the guest's timeout covers the loss once the partition heals.
+#[test]
+fn send_to_partitioned_peer_times_out_then_heals() {
+    let kernels = ping_echo_kernels(Engine::Fast).unwrap();
+    let mut c = Cluster::new(&kernels, ClusterConfig::default()).unwrap();
+    c.partition(0, 1); // partitioned from the very first frame
+    let mut deliver = |_: u64, _: &mips_sim::Frame| FaultAction::Deliver;
+    for _ in 0..24 {
+        c.step(&mut deliver).unwrap();
+    }
+    let mid = c.report();
+    assert!(!mid.completed);
+    assert!(mid.fabric.sent > 1, "client kept re-sending into the void");
+    assert_eq!(mid.fabric.delivered, 0);
+    assert!(mid.fabric.partition_dropped > 0);
+    c.heal(0, 1);
+    while !c.all_done() {
+        c.step(&mut deliver).unwrap();
+    }
+    assert_eq!(c.report().output(), ping_echo_expected());
+}
+
+/// Same cluster configuration, run twice: bit-for-bit identical
+/// reports (determinism of the whole stack, not just the output).
+#[test]
+fn cluster_runs_are_fully_deterministic() {
+    let a = clean_run(&replicated_counter_kernels(Engine::Fast, 2).unwrap());
+    let b = clean_run(&replicated_counter_kernels(Engine::Fast, 2).unwrap());
+    assert_eq!(a, b);
+}
+
+/// Cluster runs scheduled through the fleet at several worker counts
+/// produce byte-identical outputs in order — distributed runs compose
+/// with host-side parallelism.
+#[test]
+fn fleet_parallel_cluster_runs_match_serial() {
+    struct ClusterJob {
+        replicas: u32,
+    }
+    impl mips_fleet::FleetWork for ClusterJob {
+        type Out = Vec<u8>;
+        fn execute(self) -> Vec<u8> {
+            let kernels = if self.replicas == 0 {
+                ping_echo_kernels(Engine::Fast).unwrap()
+            } else {
+                replicated_counter_kernels(Engine::Fast, self.replicas).unwrap()
+            };
+            let mut c = Cluster::new(&kernels, ClusterConfig::default()).unwrap();
+            c.run_clean().unwrap().output()
+        }
+    }
+    let jobs = || (0..6u32).map(|r| ClusterJob { replicas: r % 3 }).collect();
+    let serial: Vec<Vec<u8>> = mips_fleet::run_ordered(jobs(), 1);
+    for threads in [2, 4, 8] {
+        assert_eq!(mips_fleet::run_ordered(jobs(), threads), serial);
+    }
+}
+
+/// The guest sources stay hazard-free: the strict verifier finds
+/// nothing to say about any workload program.
+#[test]
+fn workload_sources_verify_clean() {
+    for src in [
+        ping_client_src(1, 8),
+        echo_server_src(),
+        mips_net::workloads::counter_coordinator_src(2, 8),
+        mips_net::workloads::counter_replica_src(),
+    ] {
+        let report = mips_verify::verify_source(&src).unwrap();
+        assert!(!report.has_errors(), "errors in:\n{src}");
+        assert_eq!(report.warnings().count(), 0, "warnings in:\n{src}");
+    }
+}
+
+/// The corrupt fault really is detected by the guest checksum: flip
+/// any bit of a packed word and `checksum_ok` fails.
+#[test]
+fn corruption_is_always_detected_by_the_checksum() {
+    for seq in 0..16 {
+        let w = msg::pack(msg::SET, seq, 3 * seq + 1);
+        assert!(msg::checksum_ok(w));
+        for bit in 0..32 {
+            assert!(!msg::checksum_ok(w ^ (1 << bit)));
+        }
+    }
+}

@@ -40,6 +40,9 @@
 .equ FHAND     297       ; second-chance clock hand (frame-table slot)
 .equ FQLEN     298       ; frame slots filled so far (FIFO fill point)
 .equ NFRAMES   299       ; frame budget, set by the host before boot
+.equ KNETIRQ   300       ; counter: NIC delivery doorbells taken
+.equ KSENDS    301       ; counter: frames committed by the send syscall
+.equ KRECVS    302       ; counter: frames consumed by the recv syscall
 .equ ITOA      320       ; 0x140: digit buffer for the putint syscall
 .equ PCB       512       ; 0x200: process control blocks, 32 words/pid
 .equ FRAMES    1024      ; 0x400: frame table, 2 words/slot [page, ref]
@@ -49,6 +52,9 @@
 ; +6 exit status or killing surprise, +7 program break, +8..+23 r0..r15.
 
 ; ---------------------------- device ports ---------------------------
+.equ NIC       16777152  ; network interface: +0 status, +2 tx dst,
+                         ; +3 tx commit, +4 rx len, +5 rx src, +6 rx ack,
+                         ; +16 tx buffer, +32 rx buffer
 .equ INTCTRL   16777200  ; interrupt controller (read: device+1, write: ack)
 .equ MAPUNIT   16777208  ; +0 fault latch / page select, +1 map, +2 unmap
 .equ CONSOLE   16777212  ; console: kernel writes (pid<<8)|byte
@@ -95,7 +101,9 @@ decode:
 ; System calls. The trap code sits in the surprise detail field
 ; (bits 12..27); the argument and return value travel in the caller's
 ; r1 (= SAVE+1).  0 exit  1 putchar  2 putint  3 yield  4 brk
-; 5 getpid  6 time
+; 5 getpid  6 time  7 send  8 recv  9 poll
+; The network calls take a second argument / return a second value in
+; the caller's r2 (= SAVE+2).
 ; =====================================================================
 svc:
     ld @KSYSCALLS,r3
@@ -115,6 +123,12 @@ svc:
     beq r1,#5,svc_getpid
     nop
     beq r1,#6,svc_time
+    nop
+    beq r1,#7,svc_send
+    nop
+    beq r1,#8,svc_recv
+    nop
+    beq r1,#9,svc_poll
     nop
     bra resume           ; unknown service: ignored
     nop
@@ -209,22 +223,107 @@ svc_time:
     bra resume
     nop
 
+; --------------------------- network calls ---------------------------
+; 7 send(dst, word): destination node in the caller's r1, payload word
+; in the caller's r2. Returns 0 in r1 on success; all-ones when the TX
+; ring is full (the caller backs off and retries — the NIC never drops
+; a committed frame, so a refused commit is the only loss the guest
+; ever sees locally).
+svc_send:
+    lim #NIC,r2
+    ld 0(r2),r3          ; NIC status
+    ld @SAVE+1,r4        ; destination argument
+    and r3,#2,r3         ; TX_READY
+    beq r3,#0,snd_full
+    nop
+    ld @SAVE+2,r5        ; payload word argument
+    st r4,2(r2)          ; latch the destination
+    st r5,16(r2)         ; stage the word
+    mvi #1,r6
+    st r6,3(r2)          ; commit a one-word frame
+    ld @KSENDS,r7
+    mvi #0,r6
+    add r7,#1,r7
+    st r7,@KSENDS
+    st r6,@SAVE+1        ; return 0
+    bra resume
+    nop
+snd_full:
+    mvi #0,r6
+    sub r6,#1,r6         ; all-ones: ring full, try again
+    st r6,@SAVE+1
+    bra resume
+    nop
+
+; 8 recv(): pops the head frame. Returns the payload word in r1 and
+; the source node in r2; an empty ring returns r2 = all-ones, r1 = 0.
+svc_recv:
+    lim #NIC,r2
+    ld 4(r2),r3          ; head frame's payload length
+    nop
+    beq r3,#0,rcv_none
+    nop
+    ld 5(r2),r4          ; source node
+    ld 32(r2),r5         ; payload word
+    st r4,@SAVE+2
+    st r5,@SAVE+1
+    mvi #0,r6
+    st r6,6(r2)          ; acknowledge: pop the frame
+    ld @KRECVS,r7
+    nop
+    add r7,#1,r7
+    st r7,@KRECVS
+    bra resume
+    nop
+rcv_none:
+    mvi #0,r4
+    sub r4,#1,r4
+    st r4,@SAVE+2        ; source := all-ones (nothing waiting)
+    mvi #0,r5
+    st r5,@SAVE+1
+    bra resume
+    nop
+
+; 9 poll(): returns the raw NIC status word in r1 (bit 0: a frame is
+; waiting, bit 1: the TX ring has space).
+svc_poll:
+    lim #NIC,r2
+    ld 0(r2),r3
+    nop
+    st r3,@SAVE+1
+    bra resume
+    nop
+
 ; =====================================================================
-; Timer interrupt: acknowledge the controller, advance the clock, and
-; preempt the running process (round-robin time slicing).
+; External interrupt: acknowledge the controller and decide by device.
+; Device 0 is the timer — advance the clock and preempt (round-robin
+; time slicing). Any other device is the NIC's delivery doorbell —
+; count it and resume the interrupted process without costing it the
+; slice; the frames themselves drain through the recv syscall.
 ; =====================================================================
 tick:
     lim #INTCTRL,r1
     ld 0(r1),r2          ; highest pending device + 1
-    ld @KTICKS,r4
+    nop
     sub r2,#1,r2
     st r2,0(r1)          ; acknowledge it
+    bne r2,#0,netirq     ; not the timer: the NIC doorbell
+    nop
+    ld @KTICKS,r4
     ld @CLOCK,r5
     add r4,#1,r4
     st r4,@KTICKS
     add r5,#1,r5
     st r5,@CLOCK
     bra preempt
+    nop
+
+netirq:
+    ld @KNETIRQ,r4
+    nop
+    add r4,#1,r4
+    st r4,@KNETIRQ
+    bra resume
     nop
 
 ; =====================================================================

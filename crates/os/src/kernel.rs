@@ -6,13 +6,22 @@
 //! user program into the shared instruction space behind it, seed the
 //! process control blocks the way real firmware seeds boot state, and
 //! read the results back out of kernel memory afterwards.
+//!
+//! Single-machine runs go through [`Kernel::run_until_idle`] /
+//! [`Kernel::run_with_hook`]. Cluster drivers instead call
+//! [`Kernel::start`] once per node and interleave the returned
+//! [`KernelRun`]s with [`KernelRun::run_slice`], ferrying NIC frames
+//! between nodes in the gaps — the same loop, cut at an instruction
+//! budget instead of run-to-completion.
 
 use crate::layout::{self, pcb, sys};
 use crate::supervise::{LoopState, RecoveryEvent, Supervisor, SupervisorConfig};
 use mips_asm::assemble;
 use mips_core::{Instr, Program, Reg, Target, TrapPiece};
 use mips_sim::machine::CONSOLE_ADDR;
-use mips_sim::{Cause, Engine, Machine, MachineConfig, Mmio, PageMap, Shared, SimError, Surprise};
+use mips_sim::{
+    Cause, Engine, Machine, MachineConfig, Mmio, PageMap, Shared, SimError, Snapshot, Surprise,
+};
 use std::fmt;
 
 /// The guest kernel's source, assembled at [`kernel_program`].
@@ -86,6 +95,11 @@ pub struct KernelConfig {
     /// see [`crate::supervise`]. `None` (the default) keeps the PR 3
     /// behaviour: detected faults stay kills.
     pub supervisor: Option<SupervisorConfig>,
+    /// Attach a NIC at this fabric node address. The guest gains the
+    /// `send`/`recv`/`poll` syscalls' device, and the host fabric
+    /// reaches the rings through [`KernelRun::machine`]'s
+    /// [`Machine::nic`] handle. `None` (the default) boots no NIC.
+    pub nic: Option<u32>,
 }
 
 impl Default for KernelConfig {
@@ -97,6 +111,7 @@ impl Default for KernelConfig {
             watchdog: None,
             engine: Engine::Reference,
             supervisor: None,
+            nic: None,
         }
     }
 }
@@ -146,6 +161,12 @@ pub struct Counters {
     pub syscalls: u64,
     /// Process switch-ins.
     pub switches: u64,
+    /// NIC delivery doorbells taken.
+    pub net_irqs: u64,
+    /// Frames committed by the `send` syscall.
+    pub sends: u64,
+    /// Frames consumed by the `recv` syscall.
+    pub recvs: u64,
 }
 
 /// Instruction-cycle attribution by kernel section — the measured
@@ -328,6 +349,31 @@ enum Bucket {
     Paging,
 }
 
+/// Which cost bucket the instruction at `pc` belongs to, given the
+/// sorted kernel section starts and the kernel-text length.
+fn bucket_of(sections: &[(u32, Bucket)], klen: u32, pc: u32) -> Bucket {
+    if pc >= klen {
+        return Bucket::User;
+    }
+    match sections.binary_search_by_key(&pc, |&(a, _)| a) {
+        Ok(i) => sections[i].1,
+        Err(0) => Bucket::SaveRestore, // address 0 is `dispatch`
+        Err(i) => sections[i - 1].1,
+    }
+}
+
+fn charge(cost: &mut SystemsCost, b: Bucket) {
+    match b {
+        Bucket::User => cost.user += 1,
+        Bucket::SaveRestore => cost.save_restore += 1,
+        Bucket::Dispatch => cost.dispatch += 1,
+        Bucket::Syscall => cost.syscall += 1,
+        Bucket::Tick => cost.tick += 1,
+        Bucket::Sched => cost.sched += 1,
+        Bucket::Paging => cost.paging += 1,
+    }
+}
+
 impl Kernel {
     /// A kernel with default configuration and no processes.
     pub fn boot() -> Kernel {
@@ -416,6 +462,27 @@ impl Kernel {
         &mut self,
         mut hook: Option<&mut dyn FnMut(&mut Machine)>,
     ) -> Result<RunReport, OsError> {
+        let mut run = self.start()?;
+        loop {
+            // Reborrow the hook each lap so the loop doesn't pin it.
+            if run.run_slice(u64::MAX, hook.as_deref_mut())? {
+                break;
+            }
+        }
+        Ok(run.report())
+    }
+
+    /// Builds the combined image and boots the machine, returning a
+    /// stepwise runtime instead of running to completion. Cluster
+    /// drivers call this once per node, then interleave the
+    /// [`KernelRun`]s with [`KernelRun::run_slice`] round-robin,
+    /// moving NIC frames between nodes in the gaps.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` reserves the
+    /// boot path's right to report image-construction failures.
+    pub fn start(&self) -> Result<KernelRun, OsError> {
         let kernel = kernel_program();
         let klen = kernel.len() as u32;
 
@@ -443,6 +510,9 @@ impl Kernel {
         m.set_engine(self.config.engine);
         m.attach_page_map(PageMap::new());
         m.attach_timer(self.config.time_slice, 0);
+        if let Some(node) = self.config.nic {
+            m.attach_nic(node);
+        }
         let console: Shared<Vec<u32>> = Shared::new(Vec::new());
         m.mem_mut()
             .add_device(CONSOLE_ADDR, 1, Box::new(MuxConsole(console.clone())));
@@ -480,25 +550,8 @@ impl Kernel {
             .map(|&(name, b)| (m.program().symbol(name).expect("kernel section"), b))
             .collect();
         sections.sort_by_key(|&(a, _)| a);
-        let bucket_of = |pc: u32| -> Bucket {
-            if pc >= klen {
-                return Bucket::User;
-            }
-            match sections.binary_search_by_key(&pc, |&(a, _)| a) {
-                Ok(i) => sections[i].1,
-                Err(0) => Bucket::SaveRestore, // address 0 is `dispatch`
-                Err(i) => sections[i - 1].1,
-            }
-        };
 
-        // Run, attributing each executed instruction to a section.
-        // An interrupt dispatches before fetch, so the instruction a
-        // step actually executes is the kernel's entry word, not the
-        // one at the sampled pc; traps and faults dispatch *after*
-        // executing (or suppressing) the instruction at the sampled pc.
-        // A fetch of an out-of-range pc dispatches without executing
-        // anything (the instruction count stands still).
-        let mut st = LoopState {
+        let st = LoopState {
             cost: SystemsCost::default(),
             user_spent: vec![0; self.procs.len() + 1],
             watchdog_kills: Vec::new(),
@@ -506,30 +559,135 @@ impl Kernel {
             cur_pid: 0,
             pid_stale: true,
         };
-        let mut panic: Option<KernelPanic> = None;
-        let mut sup = self
+        let sup = self
             .config
             .supervisor
             .map(|cfg| Supervisor::new(cfg, self.procs.len(), klen, console.clone()));
+
+        Ok(KernelRun {
+            m,
+            klen,
+            console,
+            names: self.procs.iter().map(|p| p.name.clone()).collect(),
+            config: self.config.clone(),
+            sections,
+            st,
+            sup,
+            panic: None,
+            recoveries: Vec::new(),
+            quarantined: Vec::new(),
+            done: false,
+        })
+    }
+}
+
+/// A booted kernel machine that runs in instruction-budgeted slices —
+/// the seam cluster drivers schedule nodes through. Between slices the
+/// caller may inspect or mutate the live machine (deliver NIC frames,
+/// collect the TX ring), take a [`NodeCheckpoint`], or roll back to
+/// one: the deterministic-replay contract is that identical slice
+/// budgets and identical between-slice mutations reproduce the run
+/// byte-for-byte.
+pub struct KernelRun {
+    m: Machine,
+    klen: u32,
+    console: Shared<Vec<u32>>,
+    names: Vec<String>,
+    config: KernelConfig,
+    sections: Vec<(u32, Bucket)>,
+    st: LoopState,
+    sup: Option<Supervisor>,
+    panic: Option<KernelPanic>,
+    recoveries: Vec<RecoveryEvent>,
+    quarantined: Vec<u32>,
+    done: bool,
+}
+
+/// Everything needed to roll a [`KernelRun`] back to an earlier point:
+/// the machine snapshot (registers, memory, devices — NIC rings
+/// included), the console high-water mark, and the host-side loop
+/// bookkeeping. Taken with [`KernelRun::checkpoint`], applied with
+/// [`KernelRun::restore`]; the cluster layer uses these to revive
+/// killed nodes.
+#[derive(Clone)]
+pub struct NodeCheckpoint {
+    snap: Snapshot,
+    console_len: usize,
+    st: LoopState,
+    panic: Option<KernelPanic>,
+    done: bool,
+}
+
+impl KernelRun {
+    /// The live machine, e.g. for reading [`Machine::nic`] between
+    /// slices.
+    pub fn machine(&self) -> &Machine {
+        &self.m
+    }
+
+    /// Mutable access to the live machine, e.g. for delivering frames
+    /// into the NIC between slices.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.m
+    }
+
+    /// Whether the run has finished (kernel idle, panic, or supervisor
+    /// stop). Further [`KernelRun::run_slice`] calls return
+    /// immediately.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Runs up to `budget` further instructions (`u64::MAX` = to
+    /// completion). Returns `Ok(true)` when the kernel has finished —
+    /// idle, controlled panic, or supervisor stop — and `Ok(false)`
+    /// when the budget ran out first. `hook`, when present, observes
+    /// the machine before every step and pins execution to the
+    /// reference interpreter, exactly as in [`Kernel::run_with_hook`].
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Sim`] if the machine stops for a reason the kernel
+    /// cannot handle (step limit exceeded, double fault).
+    pub fn run_slice(
+        &mut self,
+        budget: u64,
+        mut hook: Option<&mut (dyn FnMut(&mut Machine) + '_)>,
+    ) -> Result<bool, OsError> {
+        if self.done {
+            return Ok(true);
+        }
+        let klen = self.klen;
+        let slice_start = self.m.profile().instructions;
+        // Run, attributing each executed instruction to a section.
+        // An interrupt dispatches before fetch, so the instruction a
+        // step actually executes is the kernel's entry word, not the
+        // one at the sampled pc; traps and faults dispatch *after*
+        // executing (or suppressing) the instruction at the sampled pc.
+        // A fetch of an out-of-range pc dispatches without executing
+        // anything (the instruction count stands still).
         loop {
+            if self.m.profile().instructions.saturating_sub(slice_start) >= budget {
+                return Ok(false);
+            }
             if let Some(h) = hook.as_deref_mut() {
-                h(&mut m);
+                h(&mut self.m);
             }
-            if let Some(s) = sup.as_mut() {
-                s.observe(&mut m, &mut st);
+            if let Some(s) = self.sup.as_mut() {
+                s.observe(&mut self.m, &mut self.st);
             }
-            if st.pid_stale && m.pc() >= klen {
+            if self.st.pid_stale && self.m.pc() >= klen {
                 // The kernel just handed off to user code; re-read who.
-                st.cur_pid = m.mem().peek(layout::CURRENT);
-                st.pid_stale = false;
+                self.st.cur_pid = self.m.mem().peek(layout::CURRENT);
+                self.st.pid_stale = false;
             }
-            if let Some(budget) = self.config.watchdog {
-                if m.pc() >= klen
-                    && !m.surprise().supervisor()
-                    && (st.cur_pid as usize) < st.user_spent.len()
-                    && st.cur_pid > 0
-                    && st.user_spent[st.cur_pid as usize] >= budget
-                    && !st.watchdog_fired[st.cur_pid as usize]
+            if let Some(wd_budget) = self.config.watchdog {
+                if self.m.pc() >= klen
+                    && !self.m.surprise().supervisor()
+                    && (self.st.cur_pid as usize) < self.st.user_spent.len()
+                    && self.st.cur_pid > 0
+                    && self.st.user_spent[self.st.cur_pid as usize] >= wd_budget
+                    && !self.st.watchdog_fired[self.st.cur_pid as usize]
                 {
                     // The process outlived its budget: squeeze the
                     // machine with an exception the kernel's decode
@@ -537,93 +695,90 @@ impl Kernel {
                     // The fired latch (cleared by a supervised restart,
                     // which also refunds the budget) keeps the squeeze
                     // from repeating while the kill is in flight.
-                    st.watchdog_fired[st.cur_pid as usize] = true;
-                    st.watchdog_kills.push(st.cur_pid);
-                    m.raise_exception(Cause::Illegal, WATCHDOG_DETAIL)
+                    self.st.watchdog_fired[self.st.cur_pid as usize] = true;
+                    self.st.watchdog_kills.push(self.st.cur_pid);
+                    self.m
+                        .raise_exception(Cause::Illegal, WATCHDOG_DETAIL)
                         .map_err(OsError::Sim)?;
                 }
             }
             // Hook-free user-mode stretches burst on the fast path:
             // the burst is fenced at the kernel-text boundary, capped
-            // by the watchdog budget, and stops at the first exception
-            // dispatch — so every instruction it executes was fetched
-            // from user space, except a possible trailing kernel entry
-            // word when an interrupt dispatched (the same
+            // by the watchdog and slice budgets, and stops at the first
+            // exception dispatch — so every instruction it executes was
+            // fetched from user space, except a possible trailing
+            // kernel entry word when an interrupt dispatched (the same
             // dispatched-first shape the per-step attribution handles).
             // A due-but-deferred snapshot point (non-quiescent pipeline,
             // or a restart waiting out its backoff) pins execution to
             // the per-step path until the supervisor clears it.
             if hook.is_none()
                 && self.config.engine == Engine::Fast
-                && m.pc() >= klen
-                && !m.surprise().supervisor()
-                && !m.snapshot_due()
+                && self.m.pc() >= klen
+                && !self.m.surprise().supervisor()
+                && !self.m.snapshot_due()
             {
-                let mut cap = u64::MAX;
-                if let Some(budget) = self.config.watchdog {
-                    if st.cur_pid > 0 && (st.cur_pid as usize) < st.user_spent.len() {
-                        cap = budget
-                            .saturating_sub(st.user_spent[st.cur_pid as usize])
-                            .max(1);
+                let spent = self.m.profile().instructions.saturating_sub(slice_start);
+                let mut cap = budget.saturating_sub(spent).max(1);
+                if let Some(wd_budget) = self.config.watchdog {
+                    if self.st.cur_pid > 0 && (self.st.cur_pid as usize) < self.st.user_spent.len()
+                    {
+                        cap = cap.min(
+                            wd_budget
+                                .saturating_sub(self.st.user_spent[self.st.cur_pid as usize])
+                                .max(1),
+                        );
                     }
                 }
-                let exceptions = m.profile().exceptions;
-                let k = m.run_burst(cap, klen).map_err(OsError::Sim)?;
+                let exceptions = self.m.profile().exceptions;
+                let k = self.m.run_burst(cap, klen).map_err(OsError::Sim)?;
                 if k > 0 {
-                    let dispatched_first = m.profile().exceptions > exceptions && m.pc() == 1;
+                    let dispatched_first =
+                        self.m.profile().exceptions > exceptions && self.m.pc() == 1;
                     let user = if dispatched_first { k - 1 } else { k };
-                    st.cost.user += user;
-                    if (st.cur_pid as usize) < st.user_spent.len() {
-                        st.user_spent[st.cur_pid as usize] += user;
+                    self.st.cost.user += user;
+                    if (self.st.cur_pid as usize) < self.st.user_spent.len() {
+                        self.st.user_spent[self.st.cur_pid as usize] += user;
                     }
                     if dispatched_first {
                         // The burst's final step dispatched an interrupt
                         // and executed kernel word 0 in the same breath.
-                        match bucket_of(0) {
-                            Bucket::User => st.cost.user += 1,
-                            Bucket::SaveRestore => st.cost.save_restore += 1,
-                            Bucket::Dispatch => st.cost.dispatch += 1,
-                            Bucket::Syscall => st.cost.syscall += 1,
-                            Bucket::Tick => st.cost.tick += 1,
-                            Bucket::Sched => st.cost.sched += 1,
-                            Bucket::Paging => st.cost.paging += 1,
-                        }
-                        st.pid_stale = true;
+                        charge(&mut self.st.cost, bucket_of(&self.sections, klen, 0));
+                        self.st.pid_stale = true;
                     }
                 }
-                if m.halted() {
-                    if sup.as_mut().is_some_and(|s| s.on_halt(&mut m, &mut st)) {
-                        continue;
+                if self.m.halted() {
+                    let halted_for_good = match self.sup.as_mut() {
+                        Some(s) => !s.on_halt(&mut self.m, &mut self.st),
+                        None => true,
+                    };
+                    if halted_for_good {
+                        self.finish();
+                        return Ok(true);
                     }
-                    break;
                 }
                 continue;
             }
-            let pc = m.pc();
-            let sup_before = m.surprise().supervisor();
-            let exceptions = m.profile().exceptions;
-            let instructions = m.profile().instructions;
-            let more = m.step().map_err(OsError::Sim)?;
-            let faulted = m.profile().exceptions > exceptions;
-            if m.profile().instructions > instructions {
-                let dispatched_first = faulted && m.pc() == 1;
+            let pc = self.m.pc();
+            let sup_before = self.m.surprise().supervisor();
+            let exceptions = self.m.profile().exceptions;
+            let instructions = self.m.profile().instructions;
+            let more = self.m.step().map_err(OsError::Sim)?;
+            let faulted = self.m.profile().exceptions > exceptions;
+            if self.m.profile().instructions > instructions {
+                let dispatched_first = faulted && self.m.pc() == 1;
                 let executed = if dispatched_first { 0 } else { pc };
-                match bucket_of(executed) {
-                    Bucket::User => {
-                        st.cost.user += 1;
-                        if (st.cur_pid as usize) < st.user_spent.len() {
-                            st.user_spent[st.cur_pid as usize] += 1;
-                        }
+                let b = bucket_of(&self.sections, klen, executed);
+                if b == Bucket::User {
+                    self.st.cost.user += 1;
+                    if (self.st.cur_pid as usize) < self.st.user_spent.len() {
+                        self.st.user_spent[self.st.cur_pid as usize] += 1;
                     }
-                    Bucket::SaveRestore => st.cost.save_restore += 1,
-                    Bucket::Dispatch => st.cost.dispatch += 1,
-                    Bucket::Syscall => st.cost.syscall += 1,
-                    Bucket::Tick => st.cost.tick += 1,
-                    Bucket::Sched => st.cost.sched += 1,
-                    Bucket::Paging => st.cost.paging += 1,
+                } else {
+                    charge(&mut self.st.cost, b);
                 }
                 if executed < klen {
-                    st.pid_stale = true;
+                    self.st.pid_stale = true;
                 }
             }
             if faulted && sup_before && pc < klen {
@@ -632,42 +787,99 @@ impl Kernel {
                 // supervision, roll the whole machine back to the last
                 // global snapshot and replay; otherwise (or past the
                 // rollback budget) stop with a machine-state dump.
-                if let Some(s) = sup.as_mut() {
-                    if s.on_panic(&mut m, &mut st).map_err(OsError::Sim)? {
+                if let Some(s) = self.sup.as_mut() {
+                    if s.on_panic(&mut self.m, &mut self.st)
+                        .map_err(OsError::Sim)?
+                    {
                         continue;
                     }
                 }
                 let mut regs = [0u32; 16];
                 for (i, slot) in regs.iter_mut().enumerate() {
-                    *slot = m.reg(Reg::from_index(i).expect("16 registers"));
+                    *slot = self.m.reg(Reg::from_index(i).expect("16 registers"));
                 }
-                panic = Some(KernelPanic {
+                self.panic = Some(KernelPanic {
                     pc,
-                    instructions: m.profile().instructions,
-                    cause: m.surprise().cause(),
-                    detail: m.surprise().detail(),
-                    surprise: m.surprise().raw(),
-                    ret: m.ret_addrs(),
+                    instructions: self.m.profile().instructions,
+                    cause: self.m.surprise().cause(),
+                    detail: self.m.surprise().detail(),
+                    surprise: self.m.surprise().raw(),
+                    ret: self.m.ret_addrs(),
                     regs,
-                    current_pid: m.mem().peek(layout::CURRENT),
+                    current_pid: self.m.mem().peek(layout::CURRENT),
                 });
-                break;
+                self.finish();
+                return Ok(true);
             }
             if !more {
-                if sup.as_mut().is_some_and(|s| s.on_halt(&mut m, &mut st)) {
-                    continue;
+                let halted_for_good = match self.sup.as_mut() {
+                    Some(s) => !s.on_halt(&mut self.m, &mut self.st),
+                    None => true,
+                };
+                if halted_for_good {
+                    self.finish();
+                    return Ok(true);
                 }
-                break;
             }
         }
-        let (recoveries, quarantined, discarded) = match sup {
+    }
+
+    /// Seals the run: drains the supervisor and latches `done`.
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let (recoveries, quarantined, discarded) = match self.sup.take() {
             Some(s) => s.finish(),
             None => (Vec::new(), Vec::new(), 0),
         };
-        st.cost.recovery = discarded;
+        self.st.cost.recovery = discarded;
+        self.recoveries = recoveries;
+        self.quarantined = quarantined;
+    }
 
-        // Read the results back out of kernel memory.
-        let mem = m.mem();
+    /// Captures the node for a later [`KernelRun::restore`]. Returns
+    /// `None` while a supervisor is attached — its internal snapshots
+    /// and budgets are not part of the capture, so a rollback would
+    /// desynchronize them (cluster drivers run nodes unsupervised and
+    /// do their own checkpointing, which is exactly this call).
+    pub fn checkpoint(&self) -> Option<NodeCheckpoint> {
+        if self.sup.is_some() {
+            return None;
+        }
+        Some(NodeCheckpoint {
+            snap: self.m.snapshot(),
+            console_len: self.console.borrow().len(),
+            st: self.st.clone(),
+            panic: self.panic.clone(),
+            done: self.done,
+        })
+    }
+
+    /// Rolls the node back to a checkpoint: machine state (NIC rings
+    /// included), console high-water mark, and loop bookkeeping all
+    /// rewind, so re-running the same slices with the same deliveries
+    /// reproduces the original trajectory byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Sim`] when the snapshot does not fit this machine
+    /// (it was taken from a different node shape).
+    pub fn restore(&mut self, cp: &NodeCheckpoint) -> Result<(), OsError> {
+        self.m.restore(&cp.snap).map_err(OsError::Sim)?;
+        self.console.borrow_mut().truncate(cp.console_len);
+        self.st = cp.st.clone();
+        self.panic = cp.panic.clone();
+        self.done = cp.done;
+        Ok(())
+    }
+
+    /// The run's results so far: final if [`KernelRun::is_done`],
+    /// otherwise a mid-flight view (unfinished processes report
+    /// [`ProcStatus::Running`]).
+    pub fn report(&self) -> RunReport {
+        let mem = self.m.mem();
         let counters = Counters {
             ticks: mem.peek(layout::KTICKS) as u64,
             faults: mem.peek(layout::KFAULTS) as u64,
@@ -675,10 +887,13 @@ impl Kernel {
             evictions: mem.peek(layout::KEVICTS) as u64,
             syscalls: mem.peek(layout::KSYSCALLS) as u64,
             switches: mem.peek(layout::KSWITCHES) as u64,
+            net_irqs: mem.peek(layout::KNETIRQ) as u64,
+            sends: mem.peek(layout::KSENDS) as u64,
+            recvs: mem.peek(layout::KRECVS) as u64,
         };
-        let mut outputs: Vec<Vec<u8>> = vec![Vec::new(); self.procs.len() + 1];
-        let mut stream = Vec::with_capacity(console.borrow().len());
-        for &word in console.borrow().iter() {
+        let mut outputs: Vec<Vec<u8>> = vec![Vec::new(); self.names.len() + 1];
+        let mut stream = Vec::with_capacity(self.console.borrow().len());
+        for &word in self.console.borrow().iter() {
             let pid = (word >> 8) as usize;
             let byte = (word & 0xff) as u8;
             stream.push((pid as u32, byte));
@@ -687,10 +902,10 @@ impl Kernel {
             }
         }
         let procs = self
-            .procs
+            .names
             .iter()
             .enumerate()
-            .map(|(i, p)| {
+            .map(|(i, name)| {
                 let pid = i as u32 + 1;
                 let base = layout::PCB_BASE + pid * layout::PCB_STRIDE;
                 let code = mem.peek(base + pcb::CODE);
@@ -701,23 +916,23 @@ impl Kernel {
                 };
                 ProcReport {
                     pid,
-                    name: p.name.clone(),
+                    name: name.clone(),
                     status,
                     output: std::mem::take(&mut outputs[pid as usize]),
                 }
             })
             .collect();
-        Ok(RunReport {
+        RunReport {
             procs,
             counters,
-            cost: st.cost,
-            instructions: m.profile().instructions,
+            cost: self.st.cost,
+            instructions: self.m.profile().instructions,
             console: stream,
-            panic,
-            watchdog_kills: st.watchdog_kills,
-            recoveries,
-            quarantined,
-        })
+            panic: self.panic.clone(),
+            watchdog_kills: self.st.watchdog_kills.clone(),
+            recoveries: self.recoveries.clone(),
+            quarantined: self.quarantined.clone(),
+        }
     }
 }
 
@@ -742,7 +957,7 @@ fn relocate(p: &Program, off: u32) -> Vec<Instr> {
 
 // Re-exported device addresses, for tests and documentation.
 pub use mips_sim::machine::{
-    CONSOLE_ADDR as CONSOLE, INTCTRL_ADDR as INTCTRL, MAPUNIT_ADDR as MAPUNIT,
+    CONSOLE_ADDR as CONSOLE, INTCTRL_ADDR as INTCTRL, MAPUNIT_ADDR as MAPUNIT, NIC_ADDR as NIC,
 };
 
 #[cfg(test)]
@@ -766,10 +981,11 @@ mod tests {
             ("INTCTRL", INTCTRL),
             ("MAPUNIT", MAPUNIT),
             ("CONSOLE", CONSOLE),
+            ("NIC", NIC),
         ] {
             let line = KERNEL_SRC
                 .lines()
-                .find(|l| l.trim_start().starts_with(&format!(".equ {name}")))
+                .find(|l| l.trim_start().starts_with(&format!(".equ {name} ")))
                 .unwrap_or_else(|| panic!("kernel.s defines .equ {name}"));
             let got: u32 = line
                 .split(';')
@@ -804,5 +1020,68 @@ mod tests {
         let r = relocate(&p, 100);
         assert_eq!(r[0].target(), Some(Target::Abs(100)));
         assert!(matches!(r[2], Instr::Trap(t) if t.code == sys::EXIT));
+    }
+
+    #[test]
+    fn run_slice_budget_cuts_and_resumes_to_the_same_report() {
+        // Slicing the run must not change what it computes: run the
+        // same two-process workload to completion in one call and in
+        // many small budgeted slices, then compare the full reports.
+        let src = "
+            mvi #0,r1
+            mvi #40,r2
+        loop:
+            trap #1
+            add r1,#1,r1
+            bne r1,r2,loop
+            nop
+            halt
+        ";
+        let mut k = Kernel::boot();
+        k.spawn("a", assemble(src).unwrap()).unwrap();
+        k.spawn("b", assemble(src).unwrap()).unwrap();
+
+        let whole = {
+            let mut run = k.start().unwrap();
+            assert!(run.run_slice(u64::MAX, None).unwrap());
+            run.report()
+        };
+        let sliced = {
+            let mut run = k.start().unwrap();
+            let mut slices = 0u32;
+            while !run.run_slice(1_000, None).unwrap() {
+                slices += 1;
+                assert!(slices < 10_000, "runaway");
+            }
+            assert!(slices > 2, "the budget actually cut the run");
+            run.report()
+        };
+        assert_eq!(whole, sliced);
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_to_an_identical_report() {
+        let src = "
+            mvi #0,r1
+            mvi #200,r2
+        loop:
+            trap #1
+            add r1,#1,r1
+            bne r1,r2,loop
+            nop
+            halt
+        ";
+        let mut k = Kernel::boot();
+        k.spawn("p", assemble(src).unwrap()).unwrap();
+
+        let mut run = k.start().unwrap();
+        assert!(!run.run_slice(2_000, None).unwrap());
+        let cp = run.checkpoint().expect("unsupervised runs checkpoint");
+        while !run.run_slice(1_000, None).unwrap() {}
+        let first = run.report();
+
+        run.restore(&cp).unwrap();
+        while !run.run_slice(1_000, None).unwrap() {}
+        assert_eq!(run.report(), first, "replay from checkpoint diverged");
     }
 }

@@ -32,6 +32,12 @@ pub const FHAND: u32 = 0x129;
 pub const FQLEN: u32 = 0x12a;
 /// Frame budget; the host writes this before boot.
 pub const NFRAMES: u32 = 0x12b;
+/// Counter: NIC delivery doorbells taken.
+pub const KNETIRQ: u32 = 0x12c;
+/// Counter: frames committed by the `send` syscall.
+pub const KSENDS: u32 = 0x12d;
+/// Counter: frames consumed by the `recv` syscall.
+pub const KRECVS: u32 = 0x12e;
 /// Digit buffer for the `putint` syscall.
 pub const ITOA: u32 = 0x140;
 /// Process control block table base.
@@ -86,6 +92,15 @@ pub mod sys {
     pub const GETPID: u16 = 5;
     /// `time()` — tick count returned in r1.
     pub const TIME: u16 = 6;
+    /// `send(dst, word)` — destination node in r1, payload word in r2;
+    /// r1 returns 0 on success, all-ones when the TX ring is full.
+    pub const SEND: u16 = 7;
+    /// `recv()` — payload word returned in r1, source node in r2
+    /// (all-ones in r2 when nothing is waiting).
+    pub const RECV: u16 = 8;
+    /// `poll()` — raw NIC status word returned in r1 (bit 0: frame
+    /// waiting, bit 1: TX space).
+    pub const POLL: u16 = 9;
 }
 
 /// Most processes the kernel can hold. Eight pids of sixteen possible
@@ -138,6 +153,9 @@ mod tests {
             ("FHAND", FHAND),
             ("FQLEN", FQLEN),
             ("NFRAMES", NFRAMES),
+            ("KNETIRQ", KNETIRQ),
+            ("KSENDS", KSENDS),
+            ("KRECVS", KRECVS),
             ("ITOA", ITOA),
             ("PCB", PCB_BASE),
             ("FRAMES", FRAMES_BASE),

@@ -66,8 +66,8 @@ pub mod layout;
 pub mod supervise;
 
 pub use kernel::{
-    kernel_program, Counters, Kernel, KernelConfig, KernelPanic, OsError, ProcReport, ProcStatus,
-    RunReport, SystemsCost, KERNEL_SRC, WATCHDOG_DETAIL,
+    kernel_program, Counters, Kernel, KernelConfig, KernelPanic, KernelRun, NodeCheckpoint,
+    OsError, ProcReport, ProcStatus, RunReport, SystemsCost, KERNEL_SRC, WATCHDOG_DETAIL,
 };
 pub use supervise::{RecoveryEvent, RestartPolicy, SupervisorConfig};
 

@@ -122,8 +122,9 @@ pub enum RecoveryEvent {
 }
 
 /// The run-loop state the supervisor reads and rewrites. Owned by
-/// `run_inner`; bundled so checkpoints can capture and restore it
-/// alongside the machine.
+/// [`crate::kernel::KernelRun`]; bundled so checkpoints can capture and
+/// restore it alongside the machine.
+#[derive(Debug, Clone)]
 pub(crate) struct LoopState {
     pub(crate) cost: SystemsCost,
     pub(crate) user_spent: Vec<u64>,

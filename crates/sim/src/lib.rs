@@ -35,7 +35,7 @@
 //! errors at every observation point.
 //!
 //! The complete architectural state checkpoints into a byte-stable,
-//! versioned [`Snapshot`] (module [`snap`], format `mips-snap/v1`) and
+//! versioned [`Snapshot`] (module [`snap`], format `mips-snap/v2`) and
 //! restores with a lock-step-identical subsequent trajectory on either
 //! engine — the substrate for the OS layer's supervised
 //! checkpoint/restart.
@@ -64,6 +64,7 @@ pub mod hazard;
 pub mod machine;
 pub mod mem;
 pub mod mmu;
+pub mod nic;
 pub mod profile;
 pub mod shared;
 pub mod snap;
@@ -74,8 +75,10 @@ pub use except::Cause;
 pub use fast::Engine;
 pub use hazard::{Hazard, HazardKind};
 pub use machine::{Machine, MachineConfig, StopReason};
+pub use machine::{NIC_ADDR, NIC_DEVICE};
 pub use mem::{ConsolePort, IntCtrl, MapUnitPort, Memory, Mmio};
 pub use mmu::{PageMap, Segmentation, PAGE_WORDS};
+pub use nic::{Frame, Nic, NicPort, MAX_FRAME_WORDS, NIC_WINDOW, RX_RING, TX_RING};
 pub use profile::Profile;
 pub use shared::Shared;
 pub use snap::{Snapshot, SNAP_MAGIC};

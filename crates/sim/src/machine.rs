@@ -53,6 +53,12 @@ pub mod traps {
     pub const PUTINT: u16 = 2;
 }
 
+/// Physical base address of the NIC port window
+/// ([`crate::nic::NIC_WINDOW`] words).
+pub const NIC_ADDR: u32 = MEM_WORDS - 64;
+/// Interrupt-controller device line the NIC's delivery doorbell raises
+/// (the timer conventionally takes line 0).
+pub const NIC_DEVICE: u32 = 1;
 /// Physical address of the interrupt-controller port (one word).
 pub const INTCTRL_ADDR: u32 = MEM_WORDS - 16;
 /// Physical base address of the page-map-unit port (three words).
@@ -215,6 +221,7 @@ pub struct Machine {
     pub(crate) page_map: Option<Shared<PageMap>>,
     pub(crate) fault_addr: Shared<u32>,
     pub(crate) int_ctrl: Option<Shared<IntCtrl>>,
+    pub(crate) nic: Option<Shared<crate::nic::Nic>>,
     pub(crate) irq_line: bool,
     pub(crate) timer: Option<Timer>,
     pub(crate) halted: bool,
@@ -281,6 +288,7 @@ impl Machine {
             page_map: None,
             fault_addr: Shared::new(0),
             int_ctrl: None,
+            nic: None,
             irq_line: false,
             timer: None,
             halted: false,
@@ -418,6 +426,32 @@ impl Machine {
             next_fire: period,
         });
         ctrl
+    }
+
+    /// Installs the network interface for fabric address `node` and its
+    /// MMIO window, installing the interrupt controller if absent so
+    /// deliveries can raise the [`NIC_DEVICE`] doorbell. Returns the
+    /// shared device handle the host fabric collects from and delivers
+    /// into.
+    pub fn attach_nic(&mut self, node: u32) -> Shared<crate::nic::Nic> {
+        let ctrl = match &self.int_ctrl {
+            Some(c) => c.clone(),
+            None => self.attach_int_ctrl(),
+        };
+        let nic = crate::nic::Nic::new(node, Some(ctrl), NIC_DEVICE);
+        self.mem.add_device(
+            NIC_ADDR,
+            crate::nic::NIC_WINDOW,
+            Box::new(crate::nic::NicPort(nic.clone())),
+        );
+        self.nic = Some(nic.clone());
+        nic
+    }
+
+    /// The attached NIC, if any (shared handle; the host fabric collects
+    /// committed frames and delivers incoming ones through it).
+    pub fn nic(&self) -> Option<Shared<crate::nic::Nic>> {
+        self.nic.clone()
     }
 
     /// The three exception return addresses `ret0..ret2` (privileged

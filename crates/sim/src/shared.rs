@@ -14,11 +14,22 @@
 //! API. A machine is still driven by exactly one thread at a time (the
 //! fleet moves whole jobs, it never shares one machine between
 //! workers), so every lock is uncontended and short-lived; the mutex
-//! buys `Send + Sync`, not concurrency. Poisoning is deliberately
-//! ignored: a panic that unwinds through a borrow (the chaos
-//! campaign's `catch_unwind` boundary) must not cascade into every
-//! later observer of the same device — the guarded state itself is
-//! plain data that remains structurally valid.
+//! buys `Send + Sync`, not concurrency.
+//!
+//! ## Poison-recovery policy
+//!
+//! Poisoning is deliberately **recovered, never propagated**: a panic
+//! that unwinds through a borrow (the chaos campaign's `catch_unwind`
+//! boundary, a fleet worker's job panic) must not cascade an opaque
+//! `PoisonError` panic into every later observer of the same device.
+//! The guarded state is plain device data — rings, counters, byte
+//! buffers — that remains structurally valid mid-update, and every
+//! consumer re-derives what it needs rather than trusting cross-field
+//! invariants. Concretely: every accessor ([`Shared::borrow`],
+//! [`Shared::borrow_mut`], [`Shared::try_with`]) strips the poison
+//! flag via `PoisonError::into_inner`, and [`Shared::poisoned`] exists
+//! for callers (a supervisor grading a crashed job) that want to
+//! *observe* that a panic happened without being punished for it.
 //!
 //! All borrows in the tree are short and non-reentrant (audited when
 //! this replaced `RefCell`); holding a guard across a second borrow of
@@ -59,6 +70,26 @@ impl<T: ?Sized> Shared<T> {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+
+    /// Non-blocking access: runs `f` on the contents if the lock is
+    /// free *right now*, else returns `None` without waiting. Poisoned
+    /// cells are recovered exactly as in [`Shared::borrow`] (see the
+    /// [module docs](self)). This is the accessor for observers that
+    /// must never wedge on a cell some other worker holds — a progress
+    /// probe, a Debug formatter, a best-effort stats scrape.
+    pub fn try_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        match self.0.try_lock() {
+            Ok(mut g) => Some(f(&mut g)),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(f(&mut poisoned.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// True when a panic has unwound through a borrow of this cell.
+    /// Observation only — every accessor still recovers the contents.
+    pub fn poisoned(&self) -> bool {
+        self.0.is_poisoned()
     }
 
     /// True when two handles refer to the same cell.
@@ -123,6 +154,23 @@ mod tests {
             let _g = moved.borrow_mut();
             panic!("unwind through a borrow");
         });
-        assert_eq!(*cell.borrow(), 7);
+        assert!(cell.poisoned(), "the panic is observable");
+        assert_eq!(*cell.borrow(), 7, "but the contents stay reachable");
+        assert_eq!(cell.try_with(|v| *v), Some(7), "through try_with too");
+    }
+
+    #[test]
+    fn try_with_declines_instead_of_blocking() {
+        let cell = Shared::new(1u32);
+        let guard = cell.borrow_mut();
+        assert_eq!(cell.try_with(|v| *v), None, "held elsewhere: no wait");
+        drop(guard);
+        assert_eq!(
+            cell.try_with(|v| {
+                *v += 1;
+                *v
+            }),
+            Some(2)
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! Deterministic whole-machine checkpoints: the `mips-snap/v1` format.
+//! Deterministic whole-machine checkpoints: the `mips-snap/v2` format.
 //!
 //! A [`Snapshot`] captures the **complete architectural state** of a
 //! [`Machine`] — registers, special registers, the surprise register,
@@ -22,10 +22,11 @@
 //! * **device internals** — device windows stay attached to the host
 //!   objects they were built with; the restorable device-visible state
 //!   (interrupt-controller pending mask, fault-address latch, console
-//!   bytes, DMA queue/log) is captured explicitly.
+//!   bytes, DMA queue/log, NIC rings and staging buffer) is captured
+//!   explicitly.
 //!
 //! The byte encoding ([`Snapshot::to_bytes`]) is versioned (magic
-//! `mips-snap/v1`), little-endian, sorts every map it serializes, and
+//! `mips-snap/v2`), little-endian, sorts every map it serializes, and
 //! ends in an FNV-1a checksum — so identical machine states produce
 //! identical bytes across runs, engines, and hosts, and CI can diff
 //! the artifact. [`Snapshot::from_bytes`] is total: corrupted headers,
@@ -41,13 +42,14 @@
 use crate::error::SimError;
 use crate::machine::{Machine, PendingBranch, Timer};
 use crate::mem::Dma;
+use crate::nic::{Frame, NicSnap, MAX_FRAME_WORDS};
 use crate::profile::Profile;
 use crate::surprise::Surprise;
 use mips_core::Reg;
 
 /// Magic prefix of every serialized snapshot; doubles as the format
 /// version.
-pub const SNAP_MAGIC: &[u8; 12] = b"mips-snap/v1";
+pub const SNAP_MAGIC: &[u8; 12] = b"mips-snap/v2";
 
 /// A complete architectural checkpoint of a [`Machine`]. See the
 /// [module docs](self) for the capture contract.
@@ -75,6 +77,7 @@ pub struct Snapshot {
     pub(crate) dma_read_log: Vec<u32>,
     pub(crate) dma_queue: Vec<(u8, u32, u32)>,
     pub(crate) page_map: Option<Vec<(u32, u32)>>,
+    pub(crate) nic: Option<NicSnap>,
     pub(crate) mem_words: Vec<(u32, u32)>,
 }
 
@@ -84,7 +87,7 @@ impl Snapshot {
         self.profile.instructions
     }
 
-    /// Serializes to the byte-stable `mips-snap/v1` encoding: identical
+    /// Serializes to the byte-stable `mips-snap/v2` encoding: identical
     /// snapshots always produce identical bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Vec::with_capacity(256 + 8 * self.mem_words.len());
@@ -179,6 +182,29 @@ impl Snapshot {
                 put32(&mut w, 0);
             }
         }
+        match &self.nic {
+            Some(n) => {
+                w.push(1);
+                put32(&mut w, n.node);
+                put32(&mut w, n.tx_dst);
+                put32(&mut w, n.tx_err);
+                for &v in &n.tx_buf {
+                    put32(&mut w, v);
+                }
+                for ring in [&n.tx, &n.rx] {
+                    put32(&mut w, ring.len() as u32);
+                    for f in ring {
+                        put32(&mut w, f.src);
+                        put32(&mut w, f.dst);
+                        put32(&mut w, f.payload.len() as u32);
+                        for &v in &f.payload {
+                            put32(&mut w, v);
+                        }
+                    }
+                }
+            }
+            None => w.push(0),
+        }
         put32(&mut w, self.mem_words.len() as u32);
         for &(addr, value) in &self.mem_words {
             put32(&mut w, addr);
@@ -189,7 +215,7 @@ impl Snapshot {
         w
     }
 
-    /// Decodes a `mips-snap/v1` image. Total over arbitrary bytes: a
+    /// Decodes a `mips-snap/v2` image. Total over arbitrary bytes: a
     /// corrupted header, truncated body, damaged checksum, or trailing
     /// garbage returns [`SimError::BadSnapshot`] — never a panic.
     ///
@@ -201,7 +227,7 @@ impl Snapshot {
             return Err(bad("image shorter than header"));
         }
         if &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
-            return Err(bad("corrupted header (magic is not `mips-snap/v1`)"));
+            return Err(bad("corrupted header (magic is not `mips-snap/v2`)"));
         }
         let (body, sum_bytes) = bytes.split_at(bytes.len() - 4);
         let declared = u32::from_le_bytes(sum_bytes.try_into().unwrap());
@@ -284,6 +310,43 @@ impl Snapshot {
             pages.push((r.u32()?, r.u32()?));
         }
         let page_map = map_present.then_some(pages);
+        let nic = if r.flag()? {
+            let node = r.u32()?;
+            let tx_dst = r.u32()?;
+            let tx_err = r.u32()?;
+            let mut tx_buf = [0u32; MAX_FRAME_WORDS];
+            for slot in &mut tx_buf {
+                *slot = r.u32()?;
+            }
+            let mut rings = [Vec::new(), Vec::new()];
+            for ring in &mut rings {
+                let n = r.len32()?;
+                for _ in 0..n {
+                    let src = r.u32()?;
+                    let dst = r.u32()?;
+                    let plen = r.len32()?;
+                    if plen == 0 || plen > MAX_FRAME_WORDS {
+                        return Err(bad("NIC frame payload length out of range"));
+                    }
+                    let mut payload = Vec::with_capacity(plen);
+                    for _ in 0..plen {
+                        payload.push(r.u32()?);
+                    }
+                    ring.push(Frame { src, dst, payload });
+                }
+            }
+            let [tx, rx] = rings;
+            Some(NicSnap {
+                node,
+                tx_dst,
+                tx_err,
+                tx_buf,
+                tx,
+                rx,
+            })
+        } else {
+            None
+        };
         let nwords = r.len32()?;
         let mut mem_words = Vec::with_capacity(nwords);
         for _ in 0..nwords {
@@ -315,6 +378,7 @@ impl Snapshot {
             dma_read_log,
             dma_queue,
             page_map,
+            nic,
             mem_words,
         })
     }
@@ -370,11 +434,12 @@ impl Machine {
                 .page_map
                 .as_ref()
                 .map(|pm| pm.borrow().resident_pages()),
+            nic: self.nic.as_ref().map(|n| n.borrow().snap_state()),
             mem_words: self.mem.snapshot(),
         }
     }
 
-    /// Convenience: [`Machine::snapshot`] straight to `mips-snap/v1`
+    /// Convenience: [`Machine::snapshot`] straight to `mips-snap/v2`
     /// bytes.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         self.snapshot().to_bytes()
@@ -404,6 +469,9 @@ impl Machine {
         }
         if s.page_map.is_some() != self.page_map.is_some() {
             return Err(bad("page-map attachment differs"));
+        }
+        if s.nic.is_some() != self.nic.is_some() {
+            return Err(bad("NIC attachment differs"));
         }
         let load_in_flight = match s.load_in_flight {
             Some((r, v)) => match Reg::from_index(r as usize) {
@@ -466,6 +534,9 @@ impl Machine {
             for &(page, frame) in pages {
                 pm.map(page, frame);
             }
+        }
+        if let (Some(nic), Some(state)) = (&self.nic, &s.nic) {
+            nic.borrow_mut().restore_state(state);
         }
         Ok(())
     }

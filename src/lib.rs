@@ -11,7 +11,7 @@
 //!   system, driven by either of two lock-step-conformant engines (the
 //!   per-step reference interpreter and a predecoded, chunked fast
 //!   path — `sim::Engine`), with byte-stable whole-machine snapshots
-//!   (`sim::Snapshot`, the `mips-snap/v1` format);
+//!   (`sim::Snapshot`, the `mips-snap/v2` format);
 //! * [`asm`] — the assembler;
 //! * [`reorg`] — the post-pass reorganizer (scheduling, packing, branch
 //!   delay);
@@ -41,7 +41,12 @@
 //! * [`serve`] — the batch/open-loop serving front-end over the fleet:
 //!   sharding, bounded-channel streaming, latency accounting, and the
 //!   pinned `BENCH_fleet.json` scaling artifact with its `fleet_gate`
-//!   CI gate.
+//!   CI gate;
+//! * [`net`] — the deterministic network fabric: NIC-equipped guest
+//!   kernels joined into clusters by a virtual-time list schedule,
+//!   with partitions, per-frame fault interception, node-kill
+//!   recovery from checkpoints, and distributed guest workloads whose
+//!   output is byte-identical under faults (the `net_gate` CI gate).
 //!
 //! See the repository README for a tour and `examples/quickstart.rs` for
 //! the compile → reorganize → simulate pipeline in ten lines.
@@ -53,6 +58,7 @@ pub use mips_chaos as chaos;
 pub use mips_core as core;
 pub use mips_fleet as fleet;
 pub use mips_hll as hll;
+pub use mips_net as net;
 pub use mips_os as os;
 pub use mips_reorg as reorg;
 pub use mips_serve as serve;

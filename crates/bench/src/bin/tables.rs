@@ -9,10 +9,12 @@
 //!
 //! Experiments: `table1` … `table11`, `figure1` … `figure4`, `free`,
 //! `wordwise`, `regalloc`, `systems`, `chaos`, `recovery`,
-//! `throughput` (which also writes the `BENCH_throughput.json`
-//! artifact the CI regression gate compares against), and `fleet`
-//! (which writes `BENCH_fleet.json`, the fleet scaling artifact its
-//! own gate compares against).
+//! `failover` (the kill-anyone distributed campaign: WAL + leader
+//! election under node kills drawn over the whole run), `throughput`
+//! (which also writes the `BENCH_throughput.json` artifact the CI
+//! regression gate compares against), and `fleet` (which writes
+//! `BENCH_fleet.json`, the fleet scaling artifact its own gate
+//! compares against).
 
 use mips_analysis as analysis;
 use mips_hll::MachineTarget;
@@ -133,6 +135,11 @@ fn main() {
         recovery_table();
     }
 
+    if want("failover") {
+        section("Kill-anyone failover (guest WAL + leader election, unrestricted kill window)");
+        failover_table();
+    }
+
     if want("free") {
         section("Free memory cycles (§3.1)");
         let names: Vec<&str> = mips_workloads::corpus().iter().map(|w| w.name).collect();
@@ -238,6 +245,28 @@ fn recovery_table() {
     assert!(
         r.recovered * 4 >= p.detected,
         "fewer than a quarter of detected cases recovered"
+    );
+}
+
+/// The pinned failover campaign: three symmetric members with a
+/// durable write-ahead log and bully-style elections, under the full
+/// distributed fault taxonomy with kills — the sitting leader
+/// included — drawn uniformly over the *entire* run. The table shows
+/// the per-node survival counts plus the election/kill aggregates;
+/// the asserts are the same floors CI holds the pinned artifact to.
+fn failover_table() {
+    let report = mips_chaos::run_net_campaign_threaded(
+        &mips_chaos::NetCampaignConfig {
+            failover: true,
+            ..mips_chaos::NetCampaignConfig::default()
+        },
+        0,
+    );
+    println!("{report}");
+    assert!(report.clean(), "failover campaign must not have escapes");
+    assert!(
+        mips_chaos::kills_all_recovered(&report),
+        "every kill case must grade `recovered`"
     );
 }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N]
 //!                   [--threads N] [--recover | --no-recover]
-//!                   [--net [--replicas N]] [--json]
+//!                   [--net [--replicas N] [--failover]] [--json]
 //!
 //!   --seed N      campaign seed (decimal or 0x-hex; default 0xA5)
 //!   --cases N     chaos cases to run (default 200; 120 with --net)
@@ -22,6 +22,11 @@
 //!                 nothing escaped AND every net-kill case graded
 //!                 `recovered`. (--faults/--fuzz/--recover don't apply)
 //!   --replicas N  counter-cluster replicas for --net (default 2)
+//!   --failover    with --net: run the v2 failover workload (guest
+//!                 write-ahead log + leader election) on every case,
+//!                 with node kills — the sitting leader included —
+//!                 drawn over the *entire* run instead of the v1
+//!                 early window
 //!   --json        emit the byte-stable JSON report instead of the table
 //! ```
 //!
@@ -38,7 +43,7 @@ use mips_chaos::{
 };
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--threads N] [--recover | --no-recover] [--net [--replicas N]] [--json]";
+const USAGE: &str = "usage: mips-chaos [--seed N] [--cases N] [--faults N] [--fuzz N] [--threads N] [--recover | --no-recover] [--net [--replicas N] [--failover]] [--json]";
 
 fn parse_num(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -54,6 +59,7 @@ fn main() -> ExitCode {
     let mut fuzz: u64 = 0;
     let mut threads: usize = 0;
     let mut net = false;
+    let mut failover = false;
     let mut cases_given = false;
     let mut replicas: u32 = 2;
     let mut args = std::env::args().skip(1);
@@ -91,6 +97,7 @@ fn main() -> ExitCode {
             "--recover" => cfg.recover = true,
             "--no-recover" => cfg.recover = false,
             "--net" => net = true,
+            "--failover" => failover = true,
             "--replicas" => match num("--replicas") {
                 Ok(v) => replicas = v as u32,
                 Err(c) => return c,
@@ -107,6 +114,10 @@ fn main() -> ExitCode {
         }
     }
 
+    if failover && !net {
+        eprintln!("mips-chaos: --failover needs --net\n{USAGE}");
+        return ExitCode::from(2);
+    }
     if net {
         let ncfg = NetCampaignConfig {
             seed: cfg.seed,
@@ -116,6 +127,7 @@ fn main() -> ExitCode {
                 NetCampaignConfig::default().cases
             },
             replicas,
+            failover,
             ..NetCampaignConfig::default()
         };
         let report = run_net_campaign_threaded(&ncfg, threads);

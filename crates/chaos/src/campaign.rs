@@ -378,6 +378,7 @@ pub(crate) fn run_planned_case(
         kernel_panic,
         watchdog_fired,
         restarts,
+        max_term: None,
     }
 }
 

@@ -73,5 +73,6 @@ pub use netcampaign::{
 pub use netfault::{FrameFault, NetFaultKind, NetFaultPlan, NodeKill, PartitionWindow};
 pub use parallel::run_campaign_threaded;
 pub use report::{
-    CaseResult, ChaosReport, FaultRecord, KindRow, NetNodeRow, NetSummary, Outcome, Summary,
+    CaseResult, ChaosReport, FailoverSummary, FaultRecord, KindRow, NetNodeRow, NetSummary,
+    Outcome, Summary,
 };

@@ -26,10 +26,22 @@
 //! function of `(seed, case)`, and the fleet-parallel path reuses the
 //! same per-case function, so the JSON artifact is byte-identical at
 //! every thread count — CI replays the pinned seed and diffs bytes.
+//!
+//! With [`NetCampaignConfig::failover`] set, every case instead runs
+//! the [`mips_net::failover`] workload: three symmetric members with
+//! a durable write-ahead log and bully-style leader election. Kills
+//! come from [`NetFaultPlan::draw_failover`] — drawn over the
+//! *entire* run, biased toward the leader, sometimes doubled — and
+//! the campaign still demands `kills_all_recovered`: there is no
+//! round at which killing any node, the sitting leader included, is
+//! allowed to change a byte of cluster output.
 
 use crate::netfault::{NetFaultKind, NetFaultPlan};
-use crate::report::{CaseResult, ChaosReport, FaultRecord, NetNodeRow, NetSummary, Outcome};
+use crate::report::{
+    CaseResult, ChaosReport, FailoverSummary, FaultRecord, NetNodeRow, NetSummary, Outcome,
+};
 use mips_fleet::{run_ordered, FleetWork};
+use mips_net::failover::{self, failover_kernels, FAILOVER_NODES};
 use mips_net::workloads::{ping_echo_kernels, replicated_counter_kernels};
 use mips_net::{Cluster, ClusterConfig, ClusterReport, FaultAction};
 use mips_qc::Rng;
@@ -47,6 +59,11 @@ pub struct NetCampaignConfig {
     pub replicas: u32,
     /// Engine for every node.
     pub engine: Engine,
+    /// Run the failover workload (WAL + leader election) on every
+    /// case instead of alternating the v1 shapes. Kills are drawn
+    /// over the *entire* run — the leader included — via
+    /// [`NetFaultPlan::draw_failover`].
+    pub failover: bool,
 }
 
 impl Default for NetCampaignConfig {
@@ -56,15 +73,18 @@ impl Default for NetCampaignConfig {
             cases: 120,
             replicas: 2,
             engine: Engine::Fast,
+            failover: false,
         }
     }
 }
 
-/// The two cluster shapes a campaign alternates between.
+/// The cluster shapes a campaign runs: the two v1 shapes alternate;
+/// `--failover` campaigns run the v2 workload on every case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Shape {
     PingEcho,
     Counter,
+    Failover,
 }
 
 impl Shape {
@@ -72,8 +92,10 @@ impl Shape {
     /// primary kinds (selected by `case % 6`) meets both shapes within
     /// any twelve consecutive cases — plain `case % 2` would alias
     /// against the kind cycle and pin every kind to one shape forever.
-    fn of(case: u64) -> Shape {
-        if (case + case / 6).is_multiple_of(2) {
+    fn of(cfg: &NetCampaignConfig, case: u64) -> Shape {
+        if cfg.failover {
+            Shape::Failover
+        } else if (case + case / 6).is_multiple_of(2) {
             Shape::PingEcho
         } else {
             Shape::Counter
@@ -84,6 +106,7 @@ impl Shape {
         match self {
             Shape::PingEcho => 2,
             Shape::Counter => cfg.replicas + 1,
+            Shape::Failover => FAILOVER_NODES,
         }
     }
 
@@ -91,6 +114,7 @@ impl Shape {
         match self {
             Shape::PingEcho => ping_echo_kernels(cfg.engine),
             Shape::Counter => replicated_counter_kernels(cfg.engine, cfg.replicas),
+            Shape::Failover => failover_kernels(cfg.engine),
         }
         .expect("workloads boot")
     }
@@ -103,6 +127,7 @@ impl Shape {
                 n.extend(std::iter::repeat_n("replica", cfg.replicas as usize));
                 n
             }
+            Shape::Failover => vec!["member"; FAILOVER_NODES as usize],
         }
     }
 }
@@ -111,6 +136,9 @@ impl Shape {
 #[derive(Debug, Clone)]
 struct Baseline {
     sections: Vec<Vec<u8>>,
+    /// Rounds the fault-free run took — the end of the failover kill
+    /// window (`0..rounds`: a kill may fire at *any* point of the run).
+    rounds: u64,
 }
 
 fn node_sections(report: &ClusterReport) -> Vec<Vec<u8>> {
@@ -126,29 +154,36 @@ fn node_sections(report: &ClusterReport) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn cluster_config(seed: u64) -> ClusterConfig {
+fn cluster_config(seed: u64, shape: Shape) -> ClusterConfig {
+    let base = match shape {
+        Shape::Failover => failover::failover_cluster_config(),
+        _ => ClusterConfig::default(),
+    };
     ClusterConfig {
         fabric: mips_net::FabricConfig {
             seed,
             ..mips_net::FabricConfig::default()
         },
-        ..ClusterConfig::default()
+        ..base
     }
 }
 
 fn compute_baseline(cfg: &NetCampaignConfig, shape: Shape) -> Baseline {
     let kernels = shape.kernels(cfg);
-    let mut c = Cluster::new(&kernels, cluster_config(cfg.seed)).expect("baseline boots");
+    let mut c = Cluster::new(&kernels, cluster_config(cfg.seed, shape)).expect("baseline boots");
     let report = c.run_clean().expect("baseline runs");
     assert!(report.completed, "baseline exhausted its round budget");
     Baseline {
         sections: node_sections(&report),
+        rounds: report.rounds,
     }
 }
 
 /// The per-case plan identity: shape, primary kind, drawn plan.
-fn plan_case(cfg: &NetCampaignConfig, case: u64) -> (Shape, NetFaultPlan) {
-    let shape = Shape::of(case);
+/// `rounds` is the shape's fault-free run length — the failover draw
+/// spreads kills over all of it; the v1 draw ignores it.
+fn plan_case(cfg: &NetCampaignConfig, case: u64, rounds: u64) -> (Shape, NetFaultPlan) {
+    let shape = Shape::of(cfg, case);
     let primary = [
         NetFaultKind::Drop,
         NetFaultKind::Duplicate,
@@ -161,10 +196,11 @@ fn plan_case(cfg: &NetCampaignConfig, case: u64) -> (Shape, NetFaultPlan) {
         cfg.seed
             .wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
     );
-    (
-        shape,
-        NetFaultPlan::draw(&mut rng, shape.nodes(cfg), primary),
-    )
+    let plan = match shape {
+        Shape::Failover => NetFaultPlan::draw_failover(&mut rng, shape.nodes(cfg), primary, rounds),
+        _ => NetFaultPlan::draw(&mut rng, shape.nodes(cfg), primary),
+    };
+    (shape, plan)
 }
 
 /// Runs one planned case and grades it. Pure function of its inputs;
@@ -186,7 +222,11 @@ fn run_net_case(
         })
         .collect();
     let victim = plan.victim();
-    let shell = |outcome: Outcome, note: String, injected: Vec<String>, restarts: u64| CaseResult {
+    let shell = |outcome: Outcome,
+                 note: String,
+                 injected: Vec<String>,
+                 restarts: u64,
+                 max_term: Option<u64>| CaseResult {
         case,
         workloads: shape.names(cfg),
         victim,
@@ -197,16 +237,18 @@ fn run_net_case(
         kernel_panic: false,
         watchdog_fired: false,
         restarts,
+        max_term,
     };
 
     let run = catch_unwind(AssertUnwindSafe(|| drive(cfg, shape, plan)));
-    let (report, injected) = match run {
+    let (report, injected, max_term) = match run {
         Err(_) => {
             return shell(
                 Outcome::Escaped,
                 "host panic crossed the simulation boundary".into(),
                 Vec::new(),
                 0,
+                None,
             )
         }
         Ok(Err(e)) => {
@@ -215,9 +257,10 @@ fn run_net_case(
                 format!("untyped simulator stop: {e}"),
                 Vec::new(),
                 0,
+                None,
             )
         }
-        Ok(Ok(pair)) => pair,
+        Ok(Ok(drove)) => (drove.report, drove.injected, drove.max_term),
     };
 
     let restarts: u64 = report.restarts.iter().map(|&r| u64::from(r)).sum();
@@ -230,6 +273,7 @@ fn run_net_case(
             ),
             injected,
             restarts,
+            max_term,
         );
     }
 
@@ -263,7 +307,7 @@ fn run_net_case(
         Outcome::Isolated => format!("victim node {victim} silently diverged; siblings intact"),
         Outcome::Escaped => format!("divergence crossed node boundaries: nodes {diverged:?}"),
     };
-    shell(worst, note, injected, restarts)
+    shell(worst, note, injected, restarts, max_term)
 }
 
 /// Grades one node. `section`/`base` are its concatenated console
@@ -286,18 +330,37 @@ fn node_outcome(section: &[u8], base: &[u8], restarts: u32, node: u32, victim: u
     }
 }
 
+/// What [`drive`] hands back: the cluster report, the descriptions of
+/// faults that actually fired, and (failover runs only) the highest
+/// election term any member's WAL reached.
+struct Driven {
+    report: ClusterReport,
+    injected: Vec<String>,
+    max_term: Option<u64>,
+}
+
+/// The current leader under the failover protocol: the term of node
+/// `id`'s newest WAL record picks `term % FAILOVER_NODES`. An empty
+/// log means term 0 — node 0 leads from boot.
+fn wal_leader(c: &Cluster, id: usize) -> Option<u32> {
+    let seg = c.wal(id)?;
+    let term = failover::wal::latest(&seg).map_or(0, |r| r.term);
+    Some(term % FAILOVER_NODES)
+}
+
 /// Boots the cluster and runs it under the plan; returns the report
 /// and the descriptions of faults that actually fired.
 fn drive(
     cfg: &NetCampaignConfig,
     shape: Shape,
     plan: &NetFaultPlan,
-) -> Result<(ClusterReport, Vec<String>), mips_os::OsError> {
+) -> Result<Driven, mips_os::OsError> {
     let kernels = shape.kernels(cfg);
-    let mut c = Cluster::new(&kernels, cluster_config(cfg.seed))?;
+    let config = cluster_config(cfg.seed, shape);
+    let max_rounds = config.max_rounds;
+    let mut c = Cluster::new(&kernels, config)?;
     let mut injected: Vec<String> = Vec::new();
     let mut frame_idx: u64 = 0;
-    let max_rounds = cluster_config(cfg.seed).max_rounds;
     while !c.all_done() && c.round() < max_rounds {
         let round = c.round();
         if let Some(p) = plan.partition {
@@ -309,10 +372,21 @@ fn drive(
                 c.heal(p.a, p.b);
             }
         }
-        if let Some(k) = plan.kill {
+        for k in &plan.kills {
             if round == k.round {
+                // The *victim's own* newest WAL term decides whether
+                // this kill hit the leader it believed in — judged at
+                // fire time, since elections move the crown mid-run.
+                let leads = wal_leader(&c, k.node as usize) == Some(k.node);
                 c.kill_node(k.node as usize)?;
-                injected.push(k.to_string());
+                injected.push(if leads {
+                    format!(
+                        "round {}: net-kill node {} (leader, restore last checkpoint)",
+                        k.round, k.node
+                    )
+                } else {
+                    k.to_string()
+                });
             }
         }
         let frames = &plan.frames;
@@ -340,11 +414,27 @@ fn drive(
             }
         })?;
     }
-    Ok((c.report(), injected))
+    let max_term = (shape == Shape::Failover).then(|| {
+        (0..FAILOVER_NODES as usize)
+            .filter_map(|i| c.wal(i))
+            .filter_map(|seg| failover::wal::latest(&seg))
+            .map(|r| u64::from(r.term))
+            .max()
+            .unwrap_or(0)
+    });
+    Ok(Driven {
+        report: c.report(),
+        injected,
+        max_term,
+    })
 }
 
 fn summarize(cfg: &NetCampaignConfig, cases: &[CaseResult]) -> NetSummary {
-    let max_nodes = Shape::Counter.nodes(cfg).max(2) as usize;
+    let max_nodes = if cfg.failover {
+        FAILOVER_NODES as usize
+    } else {
+        Shape::Counter.nodes(cfg).max(2) as usize
+    };
     let mut nodes: Vec<NetNodeRow> = (0..max_nodes as u32)
         .map(|node| NetNodeRow {
             node,
@@ -381,26 +471,59 @@ fn summarize(cfg: &NetCampaignConfig, cases: &[CaseResult]) -> NetSummary {
             }
         }
     }
+    let (topology, failover) = if cfg.failover {
+        let kills = |needle: &str| {
+            cases
+                .iter()
+                .flat_map(|c| c.injected.iter())
+                .filter(|s| s.contains(needle))
+                .count() as u64
+        };
+        (
+            format!("failover/{FAILOVER_NODES}"),
+            Some(FailoverSummary {
+                max_term: cases.iter().filter_map(|c| c.max_term).max().unwrap_or(0),
+                kills_fired: kills("net-kill"),
+                leader_kills_fired: kills("(leader,"),
+            }),
+        )
+    } else {
+        (format!("ping-echo/2 + counter/{}", cfg.replicas + 1), None)
+    };
     NetSummary {
         fabric_seed: cfg.seed,
-        topology: format!("ping-echo/2 + counter/{}", cfg.replicas + 1),
+        topology,
+        failover,
         nodes,
+    }
+}
+
+/// The campaign's comparison targets, one per shape it runs.
+fn compute_baselines(cfg: &NetCampaignConfig) -> Vec<Baseline> {
+    if cfg.failover {
+        vec![compute_baseline(cfg, Shape::Failover)]
+    } else {
+        vec![
+            compute_baseline(cfg, Shape::PingEcho),
+            compute_baseline(cfg, Shape::Counter),
+        ]
+    }
+}
+
+fn baseline_index(shape: Shape) -> usize {
+    match shape {
+        Shape::PingEcho | Shape::Failover => 0,
+        Shape::Counter => 1,
     }
 }
 
 /// Runs the distributed campaign sequentially.
 pub fn run_net_campaign(cfg: &NetCampaignConfig) -> ChaosReport {
-    let baselines = [
-        compute_baseline(cfg, Shape::PingEcho),
-        compute_baseline(cfg, Shape::Counter),
-    ];
+    let baselines = compute_baselines(cfg);
     let cases: Vec<CaseResult> = (0..cfg.cases)
         .map(|case| {
-            let (shape, plan) = plan_case(cfg, case);
-            let base = &baselines[match shape {
-                Shape::PingEcho => 0,
-                Shape::Counter => 1,
-            }];
+            let base = &baselines[baseline_index(Shape::of(cfg, case))];
+            let (shape, plan) = plan_case(cfg, case, base.rounds);
             run_net_case(cfg, case, shape, &plan, base)
         })
         .collect();
@@ -429,23 +552,17 @@ pub fn run_net_campaign_threaded(cfg: &NetCampaignConfig, threads: usize) -> Cha
     if threads == 1 {
         return run_net_campaign(cfg);
     }
-    let baselines = [
-        compute_baseline(cfg, Shape::PingEcho),
-        compute_baseline(cfg, Shape::Counter),
-    ];
+    let baselines = compute_baselines(cfg);
     let jobs: Vec<NetCaseWork> = (0..cfg.cases)
         .map(|case| {
-            let (shape, plan) = plan_case(cfg, case);
+            let base = baselines[baseline_index(Shape::of(cfg, case))].clone();
+            let (shape, plan) = plan_case(cfg, case, base.rounds);
             NetCaseWork {
                 cfg: *cfg,
                 case,
                 shape,
                 plan,
-                base: baselines[match shape {
-                    Shape::PingEcho => 0,
-                    Shape::Counter => 1,
-                }]
-                .clone(),
+                base,
             }
         })
         .collect();
@@ -524,6 +641,56 @@ mod tests {
                 "{threads} workers diverged"
             );
         }
+    }
+
+    fn small_failover() -> NetCampaignConfig {
+        NetCampaignConfig {
+            failover: true,
+            cases: 6,
+            ..small()
+        }
+    }
+
+    /// One lap of the taxonomy against the failover workload: kills
+    /// drawn anywhere in the run — the sitting leader included — and
+    /// every one of them recovered byte-identically.
+    #[test]
+    fn failover_campaign_recovers_every_kill_even_of_the_leader() {
+        let report = run_net_campaign(&small_failover());
+        assert!(report.clean(), "escape:\n{report}");
+        assert!(
+            kills_all_recovered(&report),
+            "kill not recovered:\n{report}"
+        );
+        let net = report.net.as_ref().unwrap();
+        assert_eq!(net.topology, "failover/3");
+        let fo = net.failover.expect("failover campaigns carry the block");
+        assert!(fo.kills_fired >= 1, "the kill case planned no kill");
+        assert!(fo.kills_fired >= fo.leader_kills_fired);
+        assert!(
+            report.cases.iter().all(|c| c.max_term.is_some()),
+            "every failover case reports its max term"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":4,"), "failover lifts to schema 4");
+        assert!(json.contains("\"failover\":{\"max_term\":"));
+        assert!(json.contains("\"max_term\":"));
+    }
+
+    /// The failover campaign is byte-identical across fleet widths,
+    /// like the v1 campaign.
+    #[test]
+    fn threaded_failover_campaigns_match_sequential_byte_for_byte() {
+        let cfg = NetCampaignConfig {
+            cases: 3,
+            ..small_failover()
+        };
+        let sequential = run_net_campaign(&cfg).to_json();
+        assert_eq!(
+            run_net_campaign_threaded(&cfg, 2).to_json(),
+            sequential,
+            "2 workers diverged"
+        );
     }
 
     #[test]

@@ -13,13 +13,23 @@
 //! * **node kills** — roll one node back to its last checkpoint at a
 //!   chosen round, the crash-and-restart model.
 //!
-//! Kills are confined to an **early window**: after the boot
-//! checkpoint but well before the workloads' finish phase. A node
-//! killed *after* its last interaction with its peers has no incoming
-//! traffic left to re-synchronise it — no protocol can recover state
-//! nobody will ever send again — so late kills measure the calendar,
-//! not the protocols. [`KILL_WINDOW`] encodes the honest version of
-//! the experiment.
+//! For the v1 workloads, kills are confined to an **early window**:
+//! after the boot checkpoint but well before the workloads' finish
+//! phase. A v1 node killed *after* its last interaction with its
+//! peers has no incoming traffic left to re-synchronise it — no
+//! protocol can recover state nobody will ever send again — so late
+//! kills would measure the calendar, not the protocols.
+//! [`KILL_WINDOW`] encodes the honest version of *that* experiment,
+//! and it is the [`NetFaultPlan::kill_window`] default so v1 plans
+//! (and their pinned artifacts) are unchanged.
+//!
+//! The failover workload removes the precondition: its write-ahead
+//! log survives restores, so a killed node re-derives its state from
+//! its own log instead of from future peer traffic.
+//! [`NetFaultPlan::draw_failover`] therefore draws kills over the
+//! *entire* run (`0..end_of_run`), biases them toward the initial
+//! leader, and sometimes schedules a second kill so two successive
+//! leaders die in one case.
 
 use mips_qc::Rng;
 use std::fmt;
@@ -39,6 +49,14 @@ pub const PARTITION_OPEN: std::ops::Range<u64> = 5..41;
 
 /// Maximum rounds a partition stays open.
 pub const PARTITION_SPAN: std::ops::Range<u64> = 5..21;
+
+/// Rounds in which a failover-workload partition may open.
+pub const FAILOVER_PARTITION_OPEN: std::ops::Range<u64> = 5..41;
+
+/// Rounds a failover-workload partition stays open. Long enough
+/// (spans cover the members' election timeout) that partitions
+/// actually force elections instead of only testing retry budgets.
+pub const FAILOVER_PARTITION_SPAN: std::ops::Range<u64> = 24..56;
 
 /// Frame indices eligible for frame faults (early traffic; a planned
 /// fault on an index the run never reaches simply does not fire).
@@ -175,14 +193,30 @@ impl fmt::Display for NodeKill {
 }
 
 /// A complete distributed fault plan for one chaos case.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetFaultPlan {
     /// Frame faults, ascending by frame index.
     pub frames: Vec<FrameFault>,
     /// At most one partition window.
     pub partition: Option<PartitionWindow>,
-    /// At most one node kill.
-    pub kill: Option<NodeKill>,
+    /// Scheduled node kills, ascending by round. The v1 draw plans at
+    /// most one; failover plans may kill two successive leaders.
+    pub kills: Vec<NodeKill>,
+    /// Rounds a drawn kill may land in. Defaults to [`KILL_WINDOW`]
+    /// (the v1 precondition); the failover draw widens it to the
+    /// whole run.
+    pub kill_window: std::ops::Range<u64>,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> NetFaultPlan {
+        NetFaultPlan {
+            frames: Vec::new(),
+            partition: None,
+            kills: Vec::new(),
+            kill_window: KILL_WINDOW,
+        }
+    }
 }
 
 impl NetFaultPlan {
@@ -205,10 +239,76 @@ impl NetFaultPlan {
                 });
             }
             NetFaultKind::Kill => {
-                plan.kill = Some(NodeKill {
+                let kill = NodeKill {
                     node: rng.u32(0..nodes),
-                    round: rng.u64(KILL_WINDOW),
+                    round: rng.u64(plan.kill_window.clone()),
+                };
+                plan.kills.push(kill);
+            }
+            kind => plan.frames.push(Self::draw_frame(rng, kind)),
+        }
+        for _ in 0..rng.usize(0..3) {
+            let kind = *rng.pick(&[
+                NetFaultKind::Drop,
+                NetFaultKind::Duplicate,
+                NetFaultKind::Reorder,
+                NetFaultKind::Corrupt,
+            ]);
+            plan.frames.push(Self::draw_frame(rng, kind));
+        }
+        plan.frames.sort_by_key(|f| f.frame);
+        plan
+    }
+
+    /// Draws a failover-workload plan: same taxonomy, but the kill
+    /// window is the **whole run** (`0..end_of_run`, measured on the
+    /// fault-free baseline), kills are biased toward the initial
+    /// leader (node 0) half the time, and a third of kill plans
+    /// schedule a *second* kill so two successive leaders can die in
+    /// one case. Partitions use the longer failover spans so healed
+    /// splits force real elections.
+    pub fn draw_failover(
+        rng: &mut Rng,
+        nodes: u32,
+        primary: NetFaultKind,
+        end_of_run: u64,
+    ) -> NetFaultPlan {
+        let mut plan = NetFaultPlan {
+            kill_window: 0..end_of_run.max(1),
+            ..NetFaultPlan::default()
+        };
+        match primary {
+            NetFaultKind::Partition => {
+                let a = rng.u32(0..nodes);
+                let b = (a + rng.u32(1..nodes)) % nodes;
+                let from = rng.u64(FAILOVER_PARTITION_OPEN);
+                plan.partition = Some(PartitionWindow {
+                    a,
+                    b,
+                    from,
+                    heal: from + rng.u64(FAILOVER_PARTITION_SPAN),
                 });
+            }
+            NetFaultKind::Kill => {
+                // Half the kill plans target the initial leader
+                // outright; the rest pick uniformly (which still hits
+                // the leader 1/nodes of the time).
+                let node = if rng.u32(0..2) == 0 {
+                    0
+                } else {
+                    rng.u32(0..nodes)
+                };
+                plan.kills.push(NodeKill {
+                    node,
+                    round: rng.u64(plan.kill_window.clone()),
+                });
+                if rng.u32(0..3) == 0 {
+                    plan.kills.push(NodeKill {
+                        node: rng.u32(0..nodes),
+                        round: rng.u64(plan.kill_window.clone()),
+                    });
+                }
+                plan.kills.sort_by_key(|k| k.round);
             }
             kind => plan.frames.push(Self::draw_frame(rng, kind)),
         }
@@ -235,11 +335,11 @@ impl NetFaultPlan {
         }
     }
 
-    /// The node this plan aims at: the killed node, else one side of
-    /// the partition, else node 0 (frame faults hit traffic, not a
-    /// node — the client/coordinator is the observable party).
+    /// The node this plan aims at: the first killed node, else one
+    /// side of the partition, else node 0 (frame faults hit traffic,
+    /// not a node — the client/coordinator is the observable party).
     pub fn victim(&self) -> u32 {
-        if let Some(k) = self.kill {
+        if let Some(k) = self.kills.first() {
             k.node
         } else if let Some(p) = self.partition {
             p.a
@@ -263,7 +363,7 @@ impl NetFaultPlan {
         for k in all {
             let present = match k {
                 NetFaultKind::Partition => self.partition.is_some(),
-                NetFaultKind::Kill => self.kill.is_some(),
+                NetFaultKind::Kill => !self.kills.is_empty(),
                 k => self.frames.iter().any(|f| f.kind == k),
             };
             if present {
@@ -274,7 +374,7 @@ impl NetFaultPlan {
     }
 
     /// Human-readable description of every planned fault, report
-    /// order: frame faults first, then the partition, then the kill.
+    /// order: frame faults first, then the partition, then the kills.
     pub fn describe(&self) -> Vec<(NetFaultKind, String)> {
         let mut out: Vec<(NetFaultKind, String)> = self
             .frames
@@ -284,7 +384,7 @@ impl NetFaultPlan {
         if let Some(p) = self.partition {
             out.push((NetFaultKind::Partition, p.to_string()));
         }
-        if let Some(k) = self.kill {
+        for k in &self.kills {
             out.push((NetFaultKind::Kill, k.to_string()));
         }
         out
@@ -303,10 +403,54 @@ mod tests {
         };
         assert_eq!(draw(9), draw(9));
         let plan = draw(9);
-        let kill = plan.kill.expect("primary kind present");
+        assert_eq!(plan.kills.len(), 1, "v1 draws at most one kill");
+        let kill = plan.kills[0];
+        assert_eq!(plan.kill_window, KILL_WINDOW);
         assert!(KILL_WINDOW.contains(&kill.round));
         assert!(kill.node < 3);
         assert!(plan.kinds().contains(&NetFaultKind::Kill));
+    }
+
+    #[test]
+    fn failover_kills_span_the_whole_run_and_sometimes_double() {
+        let mut leader_hits = 0u32;
+        let mut doubles = 0u32;
+        let mut rounds: std::collections::BTreeSet<u64> = Default::default();
+        for seed in 0..128 {
+            let mut rng = Rng::new(seed);
+            let plan = NetFaultPlan::draw_failover(&mut rng, 3, NetFaultKind::Kill, 90);
+            assert_eq!(plan.kill_window, 0..90);
+            assert!(!plan.kills.is_empty());
+            assert!(plan.kills.len() <= 2);
+            for k in &plan.kills {
+                assert!(k.round < 90, "kill outside the run in {plan:?}");
+                assert!(k.node < 3);
+                rounds.insert(k.round);
+            }
+            assert!(
+                plan.kills.windows(2).all(|w| w[0].round <= w[1].round),
+                "kills not sorted in {plan:?}"
+            );
+            leader_hits += u32::from(plan.kills[0].node == 0);
+            doubles += u32::from(plan.kills.len() == 2);
+        }
+        // Leader bias: node 0 well over uniform 1/3; doubles near 1/3.
+        assert!(leader_hits > 64, "leader bias missing: {leader_hits}/128");
+        assert!(doubles > 20, "double kills too rare: {doubles}/128");
+        // Kills actually reach both tails of the unrestricted window.
+        assert!(*rounds.iter().next().unwrap() < KILL_WINDOW.start);
+        assert!(*rounds.iter().last().unwrap() >= KILL_WINDOW.end);
+    }
+
+    #[test]
+    fn failover_partitions_stay_open_past_the_election_timeout() {
+        for seed in 0..64 {
+            let mut rng = Rng::new(seed);
+            let plan = NetFaultPlan::draw_failover(&mut rng, 3, NetFaultKind::Partition, 90);
+            let p = plan.partition.unwrap();
+            assert!(p.heal - p.from >= FAILOVER_PARTITION_SPAN.start);
+            assert_ne!(p.a, p.b);
+        }
     }
 
     #[test]
@@ -328,9 +472,7 @@ mod tests {
         let descs = plan.describe();
         assert_eq!(
             descs.len(),
-            plan.frames.len()
-                + usize::from(plan.partition.is_some())
-                + usize::from(plan.kill.is_some())
+            plan.frames.len() + usize::from(plan.partition.is_some()) + plan.kills.len()
         );
         assert!(descs.iter().any(|(k, _)| *k == NetFaultKind::Corrupt));
     }

@@ -93,6 +93,11 @@ pub struct CaseResult {
     /// Supervisor recovery actions during the run (restarts plus
     /// whole-machine rollbacks); zero without recovery.
     pub restarts: u64,
+    /// Failover cases: highest election term any member's write-ahead
+    /// log reached (0 = the boot leader was never challenged). `None`
+    /// on every other case kind — the JSON field is omitted, keeping
+    /// schema-3 artifacts byte-identical.
+    pub max_term: Option<u64>,
 }
 
 /// Aggregate counts over a campaign.
@@ -135,7 +140,19 @@ pub struct NetNodeRow {
     pub escaped: u64,
 }
 
-/// The distributed (`net`) section of a schema-3 report: fabric
+/// Failover-campaign aggregates: how hard the elections were pushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverSummary {
+    /// Highest election term any case reached.
+    pub max_term: u64,
+    /// Node kills that actually fired across the campaign.
+    pub kills_fired: u64,
+    /// Kills whose victim was the *current* leader (by its own WAL
+    /// term) at the moment it died.
+    pub leader_kills_fired: u64,
+}
+
+/// The distributed (`net`) section of a schema-3/4 report: fabric
 /// identity plus the per-node outcome breakdown.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetSummary {
@@ -143,6 +160,9 @@ pub struct NetSummary {
     pub fabric_seed: u64,
     /// Human-readable cluster shapes, e.g. `"ping-echo/2 + counter/3"`.
     pub topology: String,
+    /// Failover-campaign aggregates; `Some` lifts the report to
+    /// schema 4.
+    pub failover: Option<FailoverSummary>,
     /// One row per node id, ascending.
     pub nodes: Vec<NetNodeRow>,
 }
@@ -227,15 +247,23 @@ impl ChaosReport {
     /// adds the `net` section (fabric seed, topology, and per-node
     /// outcome counts for distributed campaigns; `null` otherwise) on
     /// top of schema 2's `schema`/`recover` header fields, `recovered`
-    /// counts, and per-case `restarts`.
+    /// counts, and per-case `restarts`. Schema 4 — emitted only when
+    /// the `net` section carries a `failover` block — adds that block
+    /// plus per-case `max_term` fields; schema-3 artifacts are
+    /// byte-identical to before.
     pub fn to_json(&self) -> String {
         let s = self.summary();
+        let schema = match &self.net {
+            Some(n) if n.failover.is_some() => 4,
+            _ => 3,
+        };
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"tool\":\"mips-chaos\",\"seed\":{},\"cases\":{},\"max_faults\":{},\"schema\":3,\"recover\":{},\n",
+            "{{\"tool\":\"mips-chaos\",\"seed\":{},\"cases\":{},\"max_faults\":{},\"schema\":{},\"recover\":{},\n",
             self.seed,
             self.cases.len(),
             self.max_faults,
+            schema,
             self.recover
         ));
         out.push_str(&format!(
@@ -246,10 +274,17 @@ impl ChaosReport {
             None => out.push_str("\"net\":null,\n"),
             Some(n) => {
                 out.push_str(&format!(
-                    "\"net\":{{\"fabric_seed\":{},\"topology\":\"{}\",\"nodes\":[",
+                    "\"net\":{{\"fabric_seed\":{},\"topology\":\"{}\",",
                     n.fabric_seed,
                     json_escape(&n.topology)
                 ));
+                if let Some(fo) = &n.failover {
+                    out.push_str(&format!(
+                        "\"failover\":{{\"max_term\":{},\"kills_fired\":{},\"leader_kills_fired\":{}}},",
+                        fo.max_term, fo.kills_fired, fo.leader_kills_fired
+                    ));
+                }
+                out.push_str("\"nodes\":[");
                 for (i, r) in n.nodes.iter().enumerate() {
                     if i > 0 {
                         out.push(',');
@@ -277,8 +312,12 @@ impl ChaosReport {
             if i > 0 {
                 out.push(',');
             }
+            let max_term = c
+                .max_term
+                .map(|t| format!("\"max_term\":{t},"))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "\n{{\"case\":{},\"workloads\":[{}],\"victim\":{},\"faults\":[{}],\"injected\":[{}],\"outcome\":\"{}\",\"restarts\":{},\"note\":\"{}\"}}",
+                "\n{{\"case\":{},\"workloads\":[{}],\"victim\":{},\"faults\":[{}],\"injected\":[{}],\"outcome\":\"{}\",\"restarts\":{},{max_term}\"note\":\"{}\"}}",
                 c.case,
                 c.workloads
                     .iter()
@@ -329,6 +368,13 @@ impl fmt::Display for ChaosReport {
                 "  fabric: seed {:#x}, topology {}",
                 n.fabric_seed, n.topology
             )?;
+            if let Some(fo) = &n.failover {
+                writeln!(
+                    f,
+                    "  failover: max term {}, kills fired {} ({} on the sitting leader)",
+                    fo.max_term, fo.kills_fired, fo.leader_kills_fired
+                )?;
+            }
             writeln!(
                 f,
                 "  {:<6} {:>5} {:>7} {:>9} {:>9} {:>9} {:>8}",
@@ -410,6 +456,7 @@ mod tests {
                 kernel_panic: false,
                 watchdog_fired: false,
                 restarts: 0,
+                max_term: None,
             }],
         }
     }

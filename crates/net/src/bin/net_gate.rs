@@ -1,8 +1,8 @@
 //! `net_gate` — the distributed-determinism CI gate.
 //!
-//! Runs both distributed workloads (ping/echo RPC and the replicated
-//! counter) as cluster jobs on the fleet executor at several worker
-//! counts, on both engines, and demands:
+//! Runs the distributed workloads (ping/echo RPC, the replicated
+//! counter, and the v2 failover members) as cluster jobs on the fleet
+//! executor at several worker counts, on both engines, and demands:
 //!
 //! 1. every cluster's observable output equals the workload's
 //!    expected constant (the protocols actually finish, with the
@@ -16,6 +16,7 @@
 //! distributed-chaos replay (`mips-chaos --net`) is a separate gate in
 //! the same CI job.
 
+use mips_net::failover::{failover_cluster_config, failover_expected, failover_kernels};
 use mips_net::workloads::{
     ping_echo_expected, ping_echo_kernels, replicated_counter_expected, replicated_counter_kernels,
 };
@@ -28,11 +29,15 @@ struct Job {
     engine: Engine,
     /// 0 = ping/echo; otherwise the counter cluster's replica count.
     replicas: u32,
+    /// The v2 failover workload instead (replicas ignored).
+    failover: bool,
 }
 
 impl Job {
     fn expected(self) -> Vec<u8> {
-        if self.replicas == 0 {
+        if self.failover {
+            failover_expected()
+        } else if self.replicas == 0 {
             ping_echo_expected()
         } else {
             replicated_counter_expected(self.replicas)
@@ -44,7 +49,9 @@ impl Job {
             Engine::Reference => "reference",
             Engine::Fast => "fast",
         };
-        if self.replicas == 0 {
+        if self.failover {
+            format!("failover/{engine}")
+        } else if self.replicas == 0 {
             format!("ping-echo/{engine}")
         } else {
             format!("counter-{}/{engine}", self.replicas)
@@ -55,13 +62,20 @@ impl Job {
 impl mips_fleet::FleetWork for Job {
     type Out = Vec<u8>;
     fn execute(self) -> Vec<u8> {
-        let kernels = if self.replicas == 0 {
+        let kernels = if self.failover {
+            failover_kernels(self.engine)
+        } else if self.replicas == 0 {
             ping_echo_kernels(self.engine)
         } else {
             replicated_counter_kernels(self.engine, self.replicas)
         }
         .expect("workloads boot");
-        let mut c = Cluster::new(&kernels, ClusterConfig::default()).expect("cluster boots");
+        let config = if self.failover {
+            failover_cluster_config()
+        } else {
+            ClusterConfig::default()
+        };
+        let mut c = Cluster::new(&kernels, config).expect("cluster boots");
         let report = c.run_clean().expect("cluster runs");
         assert!(report.completed, "round budget exhausted");
         report.output()
@@ -72,8 +86,19 @@ fn jobs() -> Vec<Job> {
     let mut out = Vec::new();
     for engine in [Engine::Reference, Engine::Fast] {
         for replicas in [0, 1, 2, 3] {
-            out.push(Job { engine, replicas });
+            out.push(Job {
+                engine,
+                replicas,
+                failover: false,
+            });
         }
+        // Keep the failover job inside each engine's half so the
+        // conformance split below stays shape-aligned.
+        out.push(Job {
+            engine,
+            replicas: 0,
+            failover: true,
+        });
     }
     out
 }

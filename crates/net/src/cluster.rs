@@ -24,8 +24,23 @@ use mips_os::{Kernel, KernelRun, NodeCheckpoint, OsError, RunReport};
 use mips_sim::nic::Nic;
 use mips_sim::{Frame, Shared};
 
-/// Cluster scheduling knobs.
+/// A reserved guest-physical write-ahead-log segment the host
+/// preserves across [`Cluster::kill_node`] restores. The guest
+/// appends records inside it; the host snapshots the words right
+/// before a restore and writes them back right after, independent of
+/// the periodic checkpoint cadence — so a restored node replays its
+/// *own* log to re-derive protocol state instead of depending on the
+/// next frame it happens to see.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalSpec {
+    /// Guest-physical address of the first WAL word.
+    pub base: u32,
+    /// Segment length in words.
+    pub words: u32,
+}
+
+/// Cluster scheduling knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Fabric shape and timing. `nodes` is overwritten with the actual
     /// node count at [`Cluster::new`].
@@ -37,6 +52,10 @@ pub struct ClusterConfig {
     /// Round budget for [`Cluster::run`] — a liveness backstop, not a
     /// tuning knob; a healthy protocol finishes far below it.
     pub max_rounds: u64,
+    /// Durable WAL segment, if the workload keeps one (see
+    /// [`WalSpec`]). `None` means kills restore the whole machine
+    /// verbatim, v1 behaviour.
+    pub wal: Option<WalSpec>,
 }
 
 impl Default for ClusterConfig {
@@ -46,6 +65,7 @@ impl Default for ClusterConfig {
             slice: 4096,
             checkpoint_every: 16,
             max_rounds: 5_000,
+            wal: None,
         }
     }
 }
@@ -134,7 +154,7 @@ impl Cluster {
         }
         let restarts = vec![0; nodes.len()];
         Ok(Cluster {
-            fabric: Fabric::new(cfg.fabric),
+            fabric: Fabric::new(cfg.fabric.clone()),
             cfg,
             nodes,
             round: 0,
@@ -174,15 +194,52 @@ impl Cluster {
     /// the node sent since the checkpoint will be re-sent on replay
     /// (the receivers' dedup absorbs those).
     ///
+    /// When the cluster has a [`WalSpec`], the WAL segment is
+    /// snapshotted *at the moment of the kill* and written back over
+    /// the restored image: a crash loses volatile state but never the
+    /// log, exactly the durability contract a write-ahead log is for.
+    ///
     /// # Errors
     ///
     /// [`OsError::Sim`] if the snapshot no longer fits the node —
     /// impossible unless the caller swapped machines underneath.
     pub fn kill_node(&mut self, id: usize) -> Result<(), OsError> {
+        let wal = self.cfg.wal.map(|w| {
+            let mem = self.nodes[id].run.machine().mem();
+            (0..w.words)
+                .map(|i| mem.peek(w.base + i))
+                .collect::<Vec<u32>>()
+        });
         let node = &mut self.nodes[id];
         node.run.restore(&node.checkpoint)?;
+        if let (Some(w), Some(words)) = (self.cfg.wal, wal) {
+            let mem = node.run.machine_mut().mem_mut();
+            for (i, v) in words.into_iter().enumerate() {
+                mem.poke(w.base + i as u32, v);
+            }
+        }
         self.restarts[id] += 1;
         Ok(())
+    }
+
+    /// Reads node `id`'s WAL segment (requires a configured
+    /// [`WalSpec`]). Test and grading hook.
+    pub fn wal(&self, id: usize) -> Option<Vec<u32>> {
+        let w = self.cfg.wal?;
+        let mem = self.nodes[id].run.machine().mem();
+        Some((0..w.words).map(|i| mem.peek(w.base + i)).collect())
+    }
+
+    /// Overwrites one word of node `id`'s WAL segment — the torn-write
+    /// test hook (requires a configured [`WalSpec`]).
+    pub fn wal_poke(&mut self, id: usize, word: u32, value: u32) {
+        let w = self.cfg.wal.expect("wal_poke needs a WalSpec");
+        assert!(word < w.words, "wal_poke out of segment");
+        self.nodes[id]
+            .run
+            .machine_mut()
+            .mem_mut()
+            .poke(w.base + word, value);
     }
 
     /// One round: run every live node for a slice, collect TX rings in

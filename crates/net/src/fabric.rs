@@ -27,7 +27,7 @@ use mips_sim::Frame;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Fabric shape and timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FabricConfig {
     /// Number of nodes; valid destinations are `0..nodes`.
     pub nodes: u32,
@@ -41,6 +41,13 @@ pub struct FabricConfig {
     /// fixed latency; larger values reorder deliveries determin-
     /// istically.
     pub jitter: u64,
+    /// Per-link extra latency: `(a, b, extra)` adds `extra` rounds to
+    /// every frame crossing the `{a, b}` pair, in either direction,
+    /// on top of the base latency. Unlisted pairs cost nothing; the
+    /// topology constructors ([`FabricConfig::ring`],
+    /// [`FabricConfig::star`]) express shape purely through this
+    /// field.
+    pub links: Vec<(u32, u32, u64)>,
 }
 
 impl Default for FabricConfig {
@@ -50,7 +57,60 @@ impl Default for FabricConfig {
             latency: 1,
             seed: 0,
             jitter: 0,
+            links: Vec::new(),
         }
+    }
+}
+
+impl FabricConfig {
+    /// A ring of `nodes` nodes: each pair's extra latency is its hop
+    /// distance around the ring minus one, so neighbours cost the
+    /// base latency and antipodes cost the most. Deterministic for
+    /// any N; meant for N > 3 where "everyone is one hop away" stops
+    /// being a believable topology.
+    pub fn ring(nodes: u32) -> FabricConfig {
+        let mut links = Vec::new();
+        for a in 0..nodes {
+            for b in (a + 1)..nodes {
+                let fwd = b - a;
+                let hops = fwd.min(nodes - fwd);
+                if hops > 1 {
+                    links.push((a, b, u64::from(hops) - 1));
+                }
+            }
+        }
+        FabricConfig {
+            nodes,
+            links,
+            ..FabricConfig::default()
+        }
+    }
+
+    /// A star with node 0 as the hub: hub↔spoke frames cost the base
+    /// latency, spoke↔spoke frames pay one extra round (through the
+    /// hub).
+    pub fn star(nodes: u32) -> FabricConfig {
+        let mut links = Vec::new();
+        for a in 1..nodes {
+            for b in (a + 1)..nodes {
+                links.push((a, b, 1));
+            }
+        }
+        FabricConfig {
+            nodes,
+            links,
+            ..FabricConfig::default()
+        }
+    }
+
+    /// The summed extra latency configured for the `{a, b}` pair
+    /// (direction-insensitive).
+    pub fn link_extra(&self, a: u32, b: u32) -> u64 {
+        self.links
+            .iter()
+            .filter(|&&(x, y, _)| pair(x, y) == pair(a, b))
+            .map(|&(_, _, extra)| extra)
+            .sum()
     }
 }
 
@@ -164,8 +224,9 @@ impl Fabric {
         self.blocked.contains(&pair(a, b))
     }
 
-    /// Posts a frame; it comes due after the configured latency plus
-    /// seeded jitter. Destinations must name a real node.
+    /// Posts a frame; it comes due after the configured latency (base
+    /// plus the link's extra, if any) plus seeded jitter. Destinations
+    /// must name a real node.
     pub fn send(&mut self, frame: Frame) {
         self.send_delayed(frame, 0);
     }
@@ -179,7 +240,8 @@ impl Fabric {
         } else {
             mix(self.cfg.seed, self.seq) % (self.cfg.jitter + 1)
         };
-        let due = self.now + self.cfg.latency.max(1) + jitter + extra;
+        let link = self.cfg.link_extra(frame.src, frame.dst);
+        let due = self.now + self.cfg.latency.max(1) + link + jitter + extra;
         self.in_flight.insert((due, self.seq), frame);
         self.seq += 1;
         self.stats.sent += 1;
@@ -265,6 +327,7 @@ mod tests {
                 latency: 1,
                 seed,
                 jitter: 3,
+                ..FabricConfig::default()
             });
             for i in 0..8 {
                 f.send(frame(0, 1, i));
@@ -289,6 +352,56 @@ mod tests {
         f.heal(0, 1);
         f.send(frame(0, 1, 3));
         assert_eq!(drain(&mut f, 2), vec![(1, 3)], "traffic resumes");
+    }
+
+    #[test]
+    fn per_link_latency_delays_exactly_the_configured_pair() {
+        let mut f = Fabric::new(FabricConfig {
+            nodes: 3,
+            links: vec![(0, 2, 2)],
+            ..FabricConfig::default()
+        });
+        f.send(frame(0, 1, 10)); // base latency: due round 1
+        f.send(frame(0, 2, 20)); // +2 extra: due round 3
+        f.send(frame(2, 0, 30)); // direction-insensitive: due round 3
+        assert_eq!(drain(&mut f, 1), vec![(1, 10)]);
+        assert_eq!(drain(&mut f, 1), vec![]);
+        assert_eq!(drain(&mut f, 1), vec![(2, 20), (0, 30)]);
+    }
+
+    #[test]
+    fn ring_delivery_order_is_pinned_by_hop_distance() {
+        // 6-node ring, everything sent from node 0 in one round:
+        // neighbours (1, 5) land first, then distance-2 (2, 4), then
+        // the antipode (3). Ties break in send order (sequence).
+        let run = || {
+            let mut f = Fabric::new(FabricConfig::ring(6));
+            for dst in 1..6 {
+                f.send(frame(0, dst, dst));
+            }
+            drain(&mut f, 4)
+        };
+        let pinned = vec![(1, 1), (5, 5), (2, 2), (4, 4), (3, 3)];
+        assert_eq!(run(), pinned, "ring schedule drifted");
+        assert_eq!(run(), run(), "ring schedule not deterministic");
+    }
+
+    #[test]
+    fn star_delivery_order_is_pinned_hub_first() {
+        // 5-node star: spoke 1 sends to the hub and to every other
+        // spoke in one round. The hub frame lands a round before the
+        // spoke-to-spoke frames, which arrive together in send order.
+        let run = || {
+            let mut f = Fabric::new(FabricConfig::star(5));
+            f.send(frame(1, 0, 100));
+            for dst in 2..5 {
+                f.send(frame(1, dst, dst));
+            }
+            drain(&mut f, 3)
+        };
+        let pinned = vec![(0, 100), (2, 2), (3, 3), (4, 4)];
+        assert_eq!(run(), pinned, "star schedule drifted");
+        assert_eq!(run(), run(), "star schedule not deterministic");
     }
 
     #[test]

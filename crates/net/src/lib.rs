@@ -21,14 +21,20 @@
 //! * [`workloads`] — the distributed guest programs (ping/echo RPC,
 //!   replicated counter) whose protocols make faulted output converge
 //!   to the baseline.
+//! * [`failover`] — the v2 workload: a Frame2-framed replicated
+//!   counter with a guest write-ahead log and bully-style leader
+//!   election, built to survive the kill of *any* node — the leader
+//!   included — at *any* round.
 //!
 //! Fault *policy* (which frame to harm, when to partition, whom to
 //! kill) lives in `mips-chaos`; this crate supplies the mechanism: the
-//! per-frame [`FaultAction`] seam in [`Cluster::step`].
+//! per-frame [`FaultAction`] seam in [`Cluster::step`] and the
+//! [`WalSpec`] durability contract in [`Cluster::kill_node`].
 
 pub mod cluster;
 pub mod fabric;
+pub mod failover;
 pub mod workloads;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterReport};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, WalSpec};
 pub use fabric::{Fabric, FabricConfig, FabricStats, FaultAction};

@@ -512,7 +512,7 @@ quit:
     )
 }
 
-fn node_config(engine: Engine, node: u32) -> KernelConfig {
+pub(crate) fn node_config(engine: Engine, node: u32) -> KernelConfig {
     KernelConfig {
         time_slice: NODE_TIME_SLICE,
         engine,
@@ -521,7 +521,7 @@ fn node_config(engine: Engine, node: u32) -> KernelConfig {
     }
 }
 
-fn boot(engine: Engine, node: u32, name: &str, src: &str) -> Result<Kernel, OsError> {
+pub(crate) fn boot(engine: Engine, node: u32, name: &str, src: &str) -> Result<Kernel, OsError> {
     // The sources are generated right above; failing to assemble is a
     // bug in this module, not a runtime condition.
     let program = mips_asm::assemble(src).expect("workload source assembles");

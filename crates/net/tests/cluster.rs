@@ -1,7 +1,12 @@
-//! End-to-end cluster runs: both distributed workloads, fault-free and
+//! End-to-end cluster runs: the distributed workloads, fault-free and
 //! under faults, on both engines, serial and fleet-parallel — output
-//! byte-identical throughout.
+//! byte-identical throughout. The failover tests at the bottom drive
+//! the v2 workload through its worst cases: torn log tails, leaders
+//! killed mid-election, and two successive leaders dying in one run.
 
+use mips_net::failover::{
+    failover_cluster_config, failover_expected, failover_kernels, member_src, wal, FAILOVER_NODES,
+};
 use mips_net::workloads::{
     echo_server_src, msg, ping_client_src, ping_echo_expected, ping_echo_kernels,
     replicated_counter_expected, replicated_counter_kernels,
@@ -180,6 +185,9 @@ fn workload_sources_verify_clean() {
         echo_server_src(),
         mips_net::workloads::counter_coordinator_src(2, 8),
         mips_net::workloads::counter_replica_src(),
+        member_src(0, 8),
+        member_src(1, 8),
+        member_src(2, 8),
     ] {
         let report = mips_verify::verify_source(&src).unwrap();
         assert!(!report.has_errors(), "errors in:\n{src}");
@@ -196,6 +204,182 @@ fn corruption_is_always_detected_by_the_checksum() {
         assert!(msg::checksum_ok(w));
         for bit in 0..32 {
             assert!(!msg::checksum_ok(w ^ (1 << bit)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- failover
+
+fn failover_baseline() -> Vec<u8> {
+    let kernels = failover_kernels(Engine::Fast).unwrap();
+    let mut c = Cluster::new(&kernels, failover_cluster_config()).unwrap();
+    let report = c.run_clean().unwrap();
+    assert!(report.completed, "failover baseline wedged: {report:?}");
+    assert_eq!(report.output(), failover_expected());
+    report.output()
+}
+
+fn failover_cluster() -> Cluster {
+    let kernels = failover_kernels(Engine::Fast).unwrap();
+    Cluster::new(&kernels, failover_cluster_config()).unwrap()
+}
+
+/// The term of a member's newest durable record (0 = empty log).
+fn wal_term(c: &Cluster, id: usize) -> u32 {
+    wal::latest(&c.wal(id).unwrap()).map_or(0, |r| r.term)
+}
+
+/// A torn append — record words half-written, count not yet bumped,
+/// exactly what a crash mid-append leaves behind — is invisible to
+/// the replay scan, and the node killed on top of it still converges
+/// to the baseline output.
+#[test]
+fn a_torn_wal_tail_is_truncated_on_replay_and_the_node_recovers() {
+    let baseline = failover_baseline();
+    let mut c = failover_cluster();
+    let mut deliver = |_: u64, _: &mips_sim::Frame| FaultAction::Deliver;
+    // Run until node 1 has something durable to tear an append onto.
+    while wal::latest(&c.wal(1).unwrap()).is_none() {
+        assert!(c.round() < 200, "node 1 never appended");
+        c.step(&mut deliver).unwrap();
+    }
+    let seg = c.wal(1).unwrap();
+    let before = wal::latest(&seg).unwrap();
+    let count = seg[0];
+    assert!(count < wal::CAP, "log full this early would be a bug");
+    // Half-write the next slot: plausible magic, no valid checksum,
+    // count untouched — the widest torn window the store order allows.
+    let slot = 1 + 3 * count;
+    c.wal_poke(1, slot, wal::MAGIC << 16 | 5);
+    c.wal_poke(1, slot + 1, 7);
+    assert_eq!(
+        wal::latest(&c.wal(1).unwrap()),
+        Some(before),
+        "the torn tail must be invisible to the replay scan"
+    );
+    c.kill_node(1).unwrap();
+    while !c.all_done() {
+        c.step(&mut deliver).unwrap();
+    }
+    let report = c.report();
+    assert!(report.completed, "torn-tail run wedged: {report:?}");
+    assert_eq!(report.restarts, vec![0, 1, 0]);
+    assert_eq!(report.output(), baseline);
+}
+
+/// Isolate the boot leader until a backup stakes a claim to a new
+/// term, then kill the claimant at that exact moment — before it has
+/// sent a single heartbeat of its reign. Its candidacy is already in
+/// its WAL, so the restore replays it and the election completes.
+#[test]
+fn a_leader_killed_the_moment_it_claims_the_term_still_recovers() {
+    let baseline = failover_baseline();
+    let mut c = failover_cluster();
+    let mut deliver = |_: u64, _: &mips_sim::Frame| FaultAction::Deliver;
+    for _ in 0..8 {
+        c.step(&mut deliver).unwrap();
+    }
+    c.partition(0, 1);
+    c.partition(0, 2);
+    let claimant = loop {
+        assert!(
+            c.round() < 400,
+            "isolating the leader never forced an election"
+        );
+        c.step(&mut deliver).unwrap();
+        let (t1, t2) = (wal_term(&c, 1), wal_term(&c, 2));
+        let t = t1.max(t2);
+        if t > 0 {
+            break (t % FAILOVER_NODES) as usize;
+        }
+    };
+    assert_ne!(claimant, 0, "a new term always belongs to a backup here");
+    c.kill_node(claimant).unwrap();
+    c.heal_all();
+    while !c.all_done() {
+        c.step(&mut deliver).unwrap();
+    }
+    let report = c.report();
+    assert!(
+        report.completed,
+        "post-election-kill run wedged: {report:?}"
+    );
+    assert_eq!(report.restarts.iter().sum::<u32>(), 1);
+    assert_eq!(report.output(), baseline);
+}
+
+/// Two successive leaders die in one run: first the sitting boot
+/// leader (isolated, then killed while it still believes it leads),
+/// then whichever backup wins the resulting election. The cluster
+/// output is still byte-identical to the fault-free run.
+#[test]
+fn killing_two_successive_leaders_still_converges() {
+    let baseline = failover_baseline();
+    let mut c = failover_cluster();
+    let mut deliver = |_: u64, _: &mips_sim::Frame| FaultAction::Deliver;
+    for _ in 0..8 {
+        c.step(&mut deliver).unwrap();
+    }
+    c.partition(0, 1);
+    c.partition(0, 2);
+    for _ in 0..4 {
+        c.step(&mut deliver).unwrap();
+    }
+    // First victim: the boot leader, by its own log still in charge.
+    assert_eq!(wal_term(&c, 0) % FAILOVER_NODES, 0);
+    c.kill_node(0).unwrap();
+    // Second victim: the backup that takes over.
+    let successor = loop {
+        assert!(c.round() < 400, "no successor ever claimed the term");
+        c.step(&mut deliver).unwrap();
+        let t = wal_term(&c, 1).max(wal_term(&c, 2));
+        if t > 0 {
+            break (t % FAILOVER_NODES) as usize;
+        }
+    };
+    c.kill_node(successor).unwrap();
+    c.heal_all();
+    while !c.all_done() {
+        c.step(&mut deliver).unwrap();
+    }
+    let report = c.report();
+    assert!(
+        report.completed,
+        "double-leader-kill run wedged: {report:?}"
+    );
+    assert_eq!(report.restarts.iter().sum::<u32>(), 2);
+    assert_eq!(report.output(), baseline);
+}
+
+/// There is no safe-harbour round: killing any member at sampled
+/// points across the whole run — start, mid-drive, and deep into the
+/// finish phase — always converges back to the baseline bytes.
+#[test]
+fn kills_sampled_across_the_entire_run_always_recover() {
+    let baseline = failover_baseline();
+    for node in 0..FAILOVER_NODES as usize {
+        for at in [0u64, 45, 140] {
+            let mut c = failover_cluster();
+            let mut deliver = |_: u64, _: &mips_sim::Frame| FaultAction::Deliver;
+            let mut killed = false;
+            while !c.all_done() {
+                if c.round() == at {
+                    c.kill_node(node).unwrap();
+                    killed = true;
+                }
+                c.step(&mut deliver).unwrap();
+            }
+            let report = c.report();
+            assert!(killed, "kill at round {at} never fired");
+            assert!(
+                report.completed,
+                "node {node} killed at {at} wedged: {report:?}"
+            );
+            assert_eq!(
+                report.output(),
+                baseline,
+                "node {node} killed at {at} diverged"
+            );
         }
     }
 }

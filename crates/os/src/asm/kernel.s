@@ -101,9 +101,11 @@ decode:
 ; System calls. The trap code sits in the surprise detail field
 ; (bits 12..27); the argument and return value travel in the caller's
 ; r1 (= SAVE+1).  0 exit  1 putchar  2 putint  3 yield  4 brk
-; 5 getpid  6 time  7 send  8 recv  9 poll
+; 5 getpid  6 time  7 send  8 recv  9 poll  10 sendf  11 recvf
 ; The network calls take a second argument / return a second value in
-; the caller's r2 (= SAVE+2).
+; the caller's r2 (= SAVE+2). The frame calls (sendf/recvf) move a
+; whole four-word frame through the caller's r2, r8, r9, r10 — slots
+; chosen to stay clear of the registers protocol guests keep state in.
 ; =====================================================================
 svc:
     ld @KSYSCALLS,r3
@@ -129,6 +131,10 @@ svc:
     beq r1,#8,svc_recv
     nop
     beq r1,#9,svc_poll
+    nop
+    beq r1,#10,svc_sendf
+    nop
+    beq r1,#11,svc_recvf
     nop
     bra resume           ; unknown service: ignored
     nop
@@ -291,6 +297,76 @@ svc_poll:
     ld 0(r2),r3
     nop
     st r3,@SAVE+1
+    bra resume
+    nop
+
+; 10 sendf(dst, w0..w3): commits a whole four-word frame — the Frame2
+; wire format. Destination in the caller's r1, payload words in the
+; caller's r2, r8, r9, r10. Returns 0 in r1 on success; all-ones when
+; the TX ring is full (same back-off contract as send).
+svc_sendf:
+    lim #NIC,r2
+    ld 0(r2),r3          ; NIC status
+    ld @SAVE+1,r4        ; destination argument
+    and r3,#2,r3         ; TX_READY
+    beq r3,#0,snd_full
+    nop
+    st r4,2(r2)          ; latch the destination
+    ld @SAVE+2,r5        ; w0
+    ld @SAVE+8,r6        ; w1
+    st r5,16(r2)
+    ld @SAVE+9,r5        ; w2
+    st r6,17(r2)
+    ld @SAVE+10,r6       ; w3
+    st r5,18(r2)
+    st r6,19(r2)
+    mvi #4,r6
+    st r6,3(r2)          ; commit a four-word frame
+    ld @KSENDS,r7
+    mvi #0,r6
+    add r7,#1,r7
+    st r7,@KSENDS
+    st r6,@SAVE+1        ; return 0
+    bra resume
+    nop
+
+; 11 recvf(): pops the head frame as four words. Returns the source
+; node in r1 (all-ones when nothing is waiting) and the payload words
+; in the caller's r2, r8, r9, r10; words past a short frame's payload
+; read as zero.
+svc_recvf:
+    lim #NIC,r2
+    ld 4(r2),r3          ; head frame's payload length
+    nop
+    beq r3,#0,rcvf_none
+    nop
+    ld 5(r2),r4          ; source node
+    ld 32(r2),r5         ; w0
+    st r4,@SAVE+1
+    ld 33(r2),r4         ; w1
+    st r5,@SAVE+2
+    ld 34(r2),r5         ; w2
+    st r4,@SAVE+8
+    ld 35(r2),r4         ; w3
+    st r5,@SAVE+9
+    st r4,@SAVE+10
+    mvi #0,r6
+    st r6,6(r2)          ; acknowledge: pop the frame
+    ld @KRECVS,r7
+    nop
+    add r7,#1,r7
+    st r7,@KRECVS
+    bra resume
+    nop
+rcvf_none:
+    mvi #0,r4
+    sub r4,#1,r4
+    st r4,@SAVE+1        ; source := all-ones (nothing waiting)
+    mvi #0,r5
+    st r5,@SAVE+2
+    st r5,@SAVE+8
+    st r5,@SAVE+9
+    st r5,@SAVE+10
     bra resume
     nop
 

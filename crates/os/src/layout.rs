@@ -101,6 +101,15 @@ pub mod sys {
     /// `poll()` — raw NIC status word returned in r1 (bit 0: frame
     /// waiting, bit 1: TX space).
     pub const POLL: u16 = 9;
+    /// `sendf(dst, w0..w3)` — commits a whole four-word frame (the
+    /// Frame2 wire format): destination in r1, payload words in
+    /// r2, r8, r9, r10; r1 returns 0 on success, all-ones when the
+    /// TX ring is full.
+    pub const SENDF: u16 = 10;
+    /// `recvf()` — pops the head frame as four words: source node
+    /// returned in r1 (all-ones when nothing is waiting), payload
+    /// words in r2, r8, r9, r10 (zero past a short frame's payload).
+    pub const RECVF: u16 = 11;
 }
 
 /// Most processes the kernel can hold. Eight pids of sixteen possible
